@@ -1,0 +1,311 @@
+(* pdht - command-line front end.
+
+   Subcommands:
+     model     evaluate the analytical model at one parameter point
+     sweep     print the Fig. 1-4 series over the query-frequency sweep
+     simulate  run the event-driven simulator for one strategy
+     ttl       keyTtl sensitivity analysis (Section 5.1.1)
+*)
+
+open Cmdliner
+
+module Params = Pdht_model.Params
+module Sweep = Pdht_model.Sweep
+module Strategies = Pdht_model.Strategies
+module Index_policy = Pdht_model.Index_policy
+module Table = Pdht_util.Table
+module Scenario = Pdht_work.Scenario
+module System = Pdht_core.System
+module Strategy = Pdht_core.Strategy
+
+(* ------------------------------------------------------------------ *)
+(* Shared parameter arguments (defaults = paper Table 1) *)
+
+let peers_arg =
+  Arg.(value & opt int Params.default.Params.num_peers
+       & info [ "peers" ] ~docv:"N" ~doc:"Total number of peers (numPeers).")
+
+let keys_arg =
+  Arg.(value & opt int Params.default.Params.keys
+       & info [ "keys" ] ~docv:"N" ~doc:"Number of unique keys.")
+
+let stor_arg =
+  Arg.(value & opt int Params.default.Params.stor
+       & info [ "stor" ] ~docv:"N" ~doc:"Per-peer index cache capacity.")
+
+let repl_arg =
+  Arg.(value & opt int Params.default.Params.repl
+       & info [ "repl" ] ~docv:"N" ~doc:"Replication factor (index and content).")
+
+let alpha_arg =
+  Arg.(value & opt float Params.default.Params.alpha
+       & info [ "alpha" ] ~docv:"A" ~doc:"Zipf exponent of the query distribution.")
+
+let fqry_arg =
+  Arg.(value & opt float Params.default.Params.f_qry
+       & info [ "fqry" ] ~docv:"F" ~doc:"Queries per peer per second.")
+
+let fupd_arg =
+  Arg.(value & opt float Params.default.Params.f_upd
+       & info [ "fupd" ] ~docv:"F" ~doc:"Updates per key per second.")
+
+let build_params num_peers keys stor repl alpha f_qry f_upd =
+  {
+    Params.default with
+    Params.num_peers;
+    keys;
+    stor;
+    repl;
+    alpha;
+    f_qry;
+    f_upd;
+  }
+
+let params_term =
+  Term.(const build_params $ peers_arg $ keys_arg $ stor_arg $ repl_arg $ alpha_arg
+        $ fqry_arg $ fupd_arg)
+
+let with_validated params k =
+  match Params.validate params with
+  | Ok p -> k p; `Ok ()
+  | Error msg -> `Error (false, "invalid parameters: " ^ msg)
+
+(* ------------------------------------------------------------------ *)
+(* model *)
+
+let run_model params =
+  with_validated params @@ fun p ->
+  Format.printf "%a@." Params.pp p;
+  let s = Index_policy.solve p in
+  Printf.printf "\nDerived quantities:\n";
+  Printf.printf "  cSUnstr (Eq. 6)        %.2f msg\n" s.Index_policy.c_s_unstr;
+  Printf.printf "  cSIndx (Eq. 7)         %.3f msg\n" s.Index_policy.c_s_indx;
+  Printf.printf "  cIndKey (Eq. 10)       %.5f msg/s\n" s.Index_policy.c_ind_key;
+  Printf.printf "  fMin (Eq. 2)           %.6f 1/s\n" s.Index_policy.f_min;
+  Printf.printf "  maxRank                %d of %d keys\n" s.Index_policy.max_rank p.Params.keys;
+  Printf.printf "  numActivePeers         %d\n" s.Index_policy.num_active_peers;
+  Printf.printf "  pIndxd (Eq. 5)         %.4f\n" s.Index_policy.p_indexed;
+  let key_ttl = Strategies.default_key_ttl s in
+  Printf.printf "  keyTtl = 1/fMin        %.0f s\n\n" key_ttl;
+  let show label (b : Strategies.breakdown) =
+    Printf.printf "  %-22s %10.1f msg/s  (maint %.1f, index %.1f, broadcast %.1f)\n" label
+      b.Strategies.total b.Strategies.maintenance b.Strategies.index_search
+      b.Strategies.broadcast_search
+  in
+  Printf.printf "Strategy costs:\n";
+  show "indexAll (Eq. 11)" (Strategies.index_all p);
+  show "noIndex (Eq. 12)" (Strategies.no_index p);
+  show "partial ideal (Eq. 13)" (Strategies.partial_ideal p s);
+  show "partial TTL (Eq. 17)" (Strategies.partial_selection p ~key_ttl)
+
+let model_cmd =
+  let doc = "Evaluate the analytical model (Eq. 1-17) at one parameter point." in
+  Cmd.v (Cmd.info "model" ~doc) Term.(ret (const run_model $ params_term))
+
+(* ------------------------------------------------------------------ *)
+(* sweep *)
+
+let run_sweep csv params =
+  with_validated params @@ fun p ->
+  let t =
+    Table.create
+      ~columns:
+        [ ("fQry", Table.Left); ("indexAll", Table.Right); ("noIndex", Table.Right);
+          ("partial", Table.Right); ("selection", Table.Right);
+          ("idx frac", Table.Right); ("pIndxd", Table.Right); ("keyTtl", Table.Right) ]
+  in
+  List.iter
+    (fun (pt : Sweep.point) ->
+      Table.add_row t
+        [ Printf.sprintf "1/%.0f" (1. /. pt.Sweep.f_qry);
+          Printf.sprintf "%.0f" pt.Sweep.index_all;
+          Printf.sprintf "%.0f" pt.Sweep.no_index;
+          Printf.sprintf "%.0f" pt.Sweep.partial_ideal;
+          Printf.sprintf "%.0f" pt.Sweep.partial_selection;
+          Printf.sprintf "%.3f" pt.Sweep.index_fraction;
+          Printf.sprintf "%.3f" pt.Sweep.p_indexed;
+          Printf.sprintf "%.0f" pt.Sweep.key_ttl ])
+    (Sweep.default_run p);
+  if csv then print_endline (Table.render_csv t) else Table.print t
+
+let sweep_cmd =
+  let doc = "Print the Fig. 1-4 series across the paper's query-frequency sweep." in
+  let csv_arg =
+    Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
+  in
+  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ csv_arg $ params_term))
+
+(* ------------------------------------------------------------------ *)
+(* simulate *)
+
+let strategy_conv =
+  let parse s =
+    match String.lowercase_ascii s with
+    | "partial" -> Ok `Partial
+    | "indexall" | "index-all" | "all" -> Ok `Index_all
+    | "noindex" | "no-index" | "none" -> Ok `No_index
+    | _ -> Error (`Msg "expected one of: partial, indexall, noindex")
+  in
+  let print ppf v =
+    Format.pp_print_string ppf
+      (match v with `Partial -> "partial" | `Index_all -> "indexall" | `No_index -> "noindex")
+  in
+  Arg.conv (parse, print)
+
+let setup_logging verbose =
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+
+let run_simulate verbose preset peers keys repl stor fqry duration seed strategy key_ttl
+    adaptive churn =
+  setup_logging verbose;
+  let scenario =
+    match preset with
+    | Some name -> (
+        match Scenario.preset name with
+        | Some s -> { s with Scenario.seed }
+        | None ->
+            Printf.eprintf "unknown preset %S; available: %s\n" name
+              (String.concat ", " (List.map (fun (n, _, _) -> n) Scenario.presets));
+            exit 1)
+    | None ->
+        {
+          Scenario.news_default with
+          Scenario.num_peers = peers;
+          keys;
+          f_qry = fqry;
+          duration;
+          seed;
+          churn =
+            (if churn then
+               Scenario.Exponential_sessions
+                 { mean_uptime = 600.; mean_downtime = 200.;
+                   initially_online_fraction = 0.75 }
+             else Scenario.No_churn);
+        }
+  in
+  match Scenario.validate scenario with
+  | Error msg -> `Error (false, "invalid scenario: " ^ msg)
+  | Ok scenario ->
+      let options =
+        { System.default_options with System.repl; stor; adaptive_ttl = adaptive;
+          key_ttl_override = key_ttl }
+      in
+      let strategy =
+        match strategy with
+        | `Partial ->
+            Strategy.Partial_index { key_ttl = System.derive_key_ttl scenario options }
+        | `Index_all -> Strategy.Index_all
+        | `No_index -> Strategy.No_index
+      in
+      let report = System.run scenario strategy options in
+      Format.printf "%a@." System.pp_report report;
+      `Ok ()
+
+let simulate_cmd =
+  let doc = "Run the event-driven simulator for one strategy on a news-style scenario." in
+  let duration_arg =
+    Arg.(value & opt float 1800. & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv `Partial
+         & info [ "strategy" ] ~docv:"S" ~doc:"partial | indexall | noindex.")
+  in
+  let ttl_arg =
+    Arg.(value & opt (some float) None
+         & info [ "key-ttl" ] ~docv:"S" ~doc:"Fixed keyTtl (default: model-derived 1/fMin).")
+  in
+  let adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ] ~doc:"Enable the self-tuning keyTtl controller.")
+  in
+  let churn_arg =
+    Arg.(value & flag & info [ "churn" ] ~doc:"Enable peer churn (75% availability).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log run progress to stderr.")
+  in
+  let preset_arg =
+    Arg.(value & opt (some string) None
+         & info [ "preset" ]
+             ~doc:"Named scenario (news, flash-crowd, churn-storm, busy-day, \
+                   uniform-stress); overrides the size/rate flags.")
+  in
+  let peers = Arg.(value & opt int 1000 & info [ "peers" ] ~docv:"N" ~doc:"Peers.") in
+  let keys = Arg.(value & opt int 2000 & info [ "keys" ] ~docv:"N" ~doc:"Keys.") in
+  let repl = Arg.(value & opt int 20 & info [ "repl" ] ~docv:"N" ~doc:"Replication factor.") in
+  let stor = Arg.(value & opt int 100 & info [ "stor" ] ~docv:"N" ~doc:"Cache capacity.") in
+  let fqry =
+    Arg.(value & opt float (1. /. 30.) & info [ "fqry" ] ~docv:"F" ~doc:"Queries/peer/s.")
+  in
+  Cmd.v (Cmd.info "simulate" ~doc)
+    Term.(
+      ret
+        (const run_simulate $ verbose_arg $ preset_arg $ peers $ keys $ repl $ stor $ fqry
+         $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg $ churn_arg))
+
+(* ------------------------------------------------------------------ *)
+(* ttl *)
+
+let run_ttl params =
+  with_validated params @@ fun p ->
+  let t =
+    Table.create
+      ~columns:
+        [ ("scale", Table.Right); ("keyTtl", Table.Right); ("cost [msg/s]", Table.Right);
+          ("vs indexAll", Table.Right); ("vs noIndex", Table.Right);
+          ("savings drop", Table.Right) ]
+  in
+  List.iter
+    (fun (r : Pdht_model.Ttl_analysis.row) ->
+      Table.add_row t
+        [ Printf.sprintf "%.2f" r.Pdht_model.Ttl_analysis.scale;
+          Printf.sprintf "%.0f" r.Pdht_model.Ttl_analysis.key_ttl;
+          Printf.sprintf "%.0f" r.Pdht_model.Ttl_analysis.total_cost;
+          Printf.sprintf "%.3f" r.Pdht_model.Ttl_analysis.savings_vs_all;
+          Printf.sprintf "%.3f" r.Pdht_model.Ttl_analysis.savings_vs_none;
+          Printf.sprintf "%+.4f" r.Pdht_model.Ttl_analysis.savings_drop_vs_ideal_ttl ])
+    (Pdht_model.Ttl_analysis.run p ~scales:Pdht_model.Ttl_analysis.default_scales);
+  Table.print t
+
+let ttl_cmd =
+  let doc = "keyTtl estimation-error sensitivity (paper Section 5.1.1)." in
+  Cmd.v (Cmd.info "ttl" ~doc) Term.(ret (const run_ttl $ params_term))
+
+(* ------------------------------------------------------------------ *)
+(* plan *)
+
+let run_plan params availability target max_repl =
+  with_validated params @@ fun p ->
+  let module Planner = Pdht_model.Replication_planner in
+  match Planner.plan p ~peer_availability:availability ~target ~max_repl with
+  | plan ->
+      Printf.printf "peer availability %.2f, target item availability %.4f:\n" availability target;
+      Printf.printf "  availability floor     %d replicas\n" plan.Planner.floor;
+      Printf.printf "  cost-optimal factor    %d replicas\n" plan.Planner.repl;
+      Printf.printf "  achieved availability  %.6f\n" plan.Planner.achieved_availability;
+      Printf.printf "  Eq. 17 system cost     %.0f msg/s\n" plan.Planner.partial_cost
+  | exception Invalid_argument msg -> Printf.printf "no feasible plan: %s\n" msg
+
+let plan_cmd =
+  let doc = "Plan a replication factor for an availability target ([VaCh02] mechanism)." in
+  let availability_arg =
+    Arg.(value & opt float 0.5
+         & info [ "availability" ] ~docv:"A" ~doc:"Probability a peer is online.")
+  in
+  let target_arg =
+    Arg.(value & opt float 0.99
+         & info [ "target" ] ~docv:"T" ~doc:"Required item availability in [0,1).")
+  in
+  let max_repl_arg =
+    Arg.(value & opt int 200 & info [ "max-repl" ] ~docv:"N" ~doc:"Largest factor to consider.")
+  in
+  Cmd.v (Cmd.info "plan" ~doc)
+    Term.(ret (const run_plan $ params_term $ availability_arg $ target_arg $ max_repl_arg))
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  let doc = "query-adaptive partial distributed hash table (Klemm, Datta, Aberer; EDBT 2004)" in
+  let info = Cmd.info "pdht" ~version:"1.0.0" ~doc in
+  exit (Cmd.eval (Cmd.group info [ model_cmd; sweep_cmd; simulate_cmd; ttl_cmd; plan_cmd ]))

@@ -1,0 +1,1 @@
+examples/flash_crowd.ml: List Pdht_core Pdht_work Printf String

@@ -1,0 +1,1 @@
+examples/model_explorer.ml: Float List Pdht_model Pdht_util Printf

@@ -1,0 +1,1 @@
+examples/news_system.ml: Array Format Hashtbl Option Pdht_core Pdht_dist Pdht_meta Pdht_util Printf

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Pdht_core Pdht_util Printf

@@ -1,0 +1,1 @@
+examples/self_organization.ml: List Pdht_dht Pdht_util Printf

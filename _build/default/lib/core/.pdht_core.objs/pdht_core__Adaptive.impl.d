@@ -1,0 +1,1 @@
+lib/core/adaptive.ml: Float Pdht Pdht_sim

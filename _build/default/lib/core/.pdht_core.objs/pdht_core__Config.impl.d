@@ -1,0 +1,1 @@
+lib/core/config.ml: Float Pdht_dht Pdht_overlay Strategy

@@ -1,0 +1,1 @@
+lib/core/config.mli: Pdht_dht Pdht_overlay Strategy

@@ -1,0 +1,1 @@
+lib/core/experiment.ml: Array Float List Pdht_dht Pdht_model Pdht_overlay Pdht_sim Pdht_util Pdht_work Printf Strategy String System

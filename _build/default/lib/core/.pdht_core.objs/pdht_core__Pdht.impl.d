@@ -1,0 +1,1 @@
+lib/core/pdht.ml: Array Config Hashtbl Pdht_dht Pdht_gossip Pdht_overlay Pdht_sim Pdht_util Strategy

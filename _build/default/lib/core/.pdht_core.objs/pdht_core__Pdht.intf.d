@@ -1,0 +1,1 @@
+lib/core/pdht.mli: Config Pdht_dht Pdht_sim Pdht_util

@@ -1,0 +1,1 @@
+lib/core/system.ml: Adaptive Array Config Float Format List Logs Pdht Pdht_dht Pdht_model Pdht_sim Pdht_util Pdht_work Strategy

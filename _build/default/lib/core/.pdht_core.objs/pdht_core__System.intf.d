@@ -1,0 +1,1 @@
+lib/core/system.mli: Format Pdht_dht Pdht_sim Pdht_work Strategy

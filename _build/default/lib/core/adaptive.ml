@@ -1,0 +1,100 @@
+module Metrics = Pdht_sim.Metrics
+
+type t = {
+  smoothing : float;
+  min_ttl : float;
+  max_ttl : float;
+  mutable broadcast_count : int;
+  mutable broadcast_messages : int;
+  mutable index_count : int;
+  mutable index_messages : int;
+  mutable last_maintenance : int;
+  mutable last_time : float;
+  mutable estimate : float option;
+}
+
+let create ?(smoothing = 0.3) ?(min_ttl = 1.) ?(max_ttl = 1e7) () =
+  if smoothing <= 0. || smoothing > 1. then invalid_arg "Adaptive.create: smoothing in (0,1]";
+  if not (0. < min_ttl && min_ttl <= max_ttl) then invalid_arg "Adaptive.create: bad TTL clamp";
+  {
+    smoothing;
+    min_ttl;
+    max_ttl;
+    broadcast_count = 0;
+    broadcast_messages = 0;
+    index_count = 0;
+    index_messages = 0;
+    last_maintenance = 0;
+    last_time = 0.;
+    estimate = None;
+  }
+
+let note_query t (r : Pdht.query_result) =
+  if r.Pdht.broadcast_messages > 0 then begin
+    t.broadcast_count <- t.broadcast_count + 1;
+    t.broadcast_messages <- t.broadcast_messages + r.Pdht.broadcast_messages
+  end;
+  let index_part = r.Pdht.index_messages + r.Pdht.replica_flood_messages in
+  if index_part > 0 then begin
+    t.index_count <- t.index_count + 1;
+    t.index_messages <- t.index_messages + index_part
+  end
+
+let observed_search_costs t =
+  if t.broadcast_count = 0 || t.index_count = 0 then None
+  else
+    Some
+      ( float_of_int t.broadcast_messages /. float_of_int t.broadcast_count,
+        float_of_int t.index_messages /. float_of_int t.index_count )
+
+let current_ttl_estimate t = t.estimate
+
+let reset_window t pdht ~now =
+  t.broadcast_count <- 0;
+  t.broadcast_messages <- 0;
+  t.index_count <- 0;
+  t.index_messages <- 0;
+  t.last_maintenance <- Metrics.count (Pdht.metrics pdht) Metrics.Maintenance;
+  t.last_time <- now
+
+let retune t pdht ~now =
+  let result =
+    match observed_search_costs t with
+    | None -> None
+    | Some (c_s_unstr, c_s_indx2) ->
+        let elapsed = now -. t.last_time in
+        let maintenance =
+          Metrics.count (Pdht.metrics pdht) Metrics.Maintenance - t.last_maintenance
+        in
+        let indexed = Pdht.indexed_key_count pdht ~now in
+        if elapsed <= 0. || indexed = 0 then None
+        else begin
+          let c_rtn =
+            float_of_int maintenance /. elapsed /. float_of_int indexed
+          in
+          let denom = c_s_unstr -. c_s_indx2 in
+          if denom <= 0. then None
+          else begin
+            let f_min = c_rtn /. denom in
+            let raw_ttl =
+              if f_min <= 0. then t.max_ttl
+              else Float.min t.max_ttl (Float.max t.min_ttl (1. /. f_min))
+            in
+            let smoothed =
+              match t.estimate with
+              | None -> raw_ttl
+              | Some prev -> ((1. -. t.smoothing) *. prev) +. (t.smoothing *. raw_ttl)
+            in
+            t.estimate <- Some smoothed;
+            Pdht.set_key_ttl pdht smoothed;
+            Some smoothed
+          end
+        end
+  in
+  reset_window t pdht ~now;
+  result
+
+let attach t engine pdht ~every =
+  if not (every > 0.) then invalid_arg "Adaptive.attach: period must be positive";
+  Pdht_sim.Engine.schedule_periodic engine ~first:every ~every (fun eng ->
+      ignore (retune t pdht ~now:(Pdht_sim.Engine.now eng)))

@@ -1,0 +1,36 @@
+(** Self-tuning keyTtl (the paper's Section 5.1.1 future work,
+    implemented here as an extension).
+
+    "The value of keyTtl can be calculated by estimating cSUnstr,
+    cSIndx, and cIndKey."  The controller observes exactly those
+    quantities from live traffic — average broadcast-search cost,
+    average index-search cost (routing + replica flood), and
+    maintenance traffic per indexed key — plugs them into Eq. 2
+    ([fMin = cIndKey / (cSUnstr - cSIndx)]) and sets
+    [keyTtl = 1 / fMin], exponentially smoothed. *)
+
+type t
+
+val create : ?smoothing:float -> ?min_ttl:float -> ?max_ttl:float -> unit -> t
+(** [smoothing] is the EMA weight of each new estimate (default 0.3);
+    [min_ttl]/[max_ttl] clamp the result (defaults 1. and 1e7). *)
+
+val note_query : t -> Pdht.query_result -> unit
+(** Feed every query result into the estimator. *)
+
+val observed_search_costs : t -> (float * float) option
+(** [(cSUnstr_hat, cSIndx2_hat)] so far in the current window; [None]
+    until both have at least one sample. *)
+
+val retune : t -> Pdht.t -> now:float -> float option
+(** Recompute the TTL from the window since the previous [retune] call
+    and apply it with {!Pdht.set_key_ttl}.  Returns the new TTL, or
+    [None] when the window lacked data (no broadcasts, no index
+    searches, or an empty index).  Resets the window either way. *)
+
+val current_ttl_estimate : t -> float option
+(** Last TTL this controller computed. *)
+
+val attach :
+  t -> Pdht_sim.Engine.t -> Pdht.t -> every:float -> unit
+(** Schedule periodic {!retune} on an engine.  Requires [every > 0.]. *)

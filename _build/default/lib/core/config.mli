@@ -1,0 +1,47 @@
+(** Configuration of a simulated PDHT deployment. *)
+
+type t = {
+  num_peers : int;          (** total population *)
+  active_members : int;     (** peers participating in the DHT *)
+  keys : int;               (** distinct keys in the workload *)
+  repl : int;               (** replication factor, index and content *)
+  stor : int;               (** per-peer index cache capacity *)
+  backend : Pdht_dht.Dht.backend;
+  strategy : Strategy.t;
+  topology_degree : int;    (** connections each peer opens in the
+                                unstructured overlay *)
+  search : Pdht_overlay.Unstructured_search.strategy;
+  replica_chords : int;     (** long-range links per replica in the
+                                replica subnetworks *)
+  eviction : Pdht_dht.Storage.eviction;
+                            (** cache victim policy; the paper's TTL
+                                semantics imply [Evict_soonest_expiry] *)
+}
+
+val default_search : num_peers:int -> Pdht_overlay.Unstructured_search.strategy
+(** 16 random walkers checking back every 4 steps, step budget scaled to
+    the population — the [LvCa02]-style search the paper assumes. *)
+
+val make :
+  ?backend:Pdht_dht.Dht.backend ->
+  ?topology_degree:int ->
+  ?replica_chords:int ->
+  ?search:Pdht_overlay.Unstructured_search.strategy ->
+  ?eviction:Pdht_dht.Storage.eviction ->
+  num_peers:int ->
+  active_members:int ->
+  keys:int ->
+  repl:int ->
+  stor:int ->
+  strategy:Strategy.t ->
+  unit ->
+  t
+(** Defaults: P-Grid backend, degree 4, 1 chord, walker search.
+    @raise Invalid_argument on inconsistent sizes (e.g.
+    [active_members > num_peers] or [repl > num_peers]). *)
+
+val active_members_for :
+  num_peers:int -> repl:int -> stor:int -> expected_index_size:float -> int
+(** The deployment-sizing rule behind the model's [numActivePeers]:
+    enough members to hold the expected index, at least one replica
+    group, at most the whole population. *)

@@ -1,0 +1,447 @@
+module Scenario = Pdht_work.Scenario
+
+type face_off_row = {
+  f_qry : float;
+  sim_index_all : float;
+  sim_no_index : float;
+  sim_partial : float;
+  model_index_all : float;
+  model_no_index : float;
+  model_partial : float;
+  sim_hit_rate : float;
+  model_p_indexed_ttl : float;
+}
+
+let model_params_of scenario (options : System.options) =
+  let alpha =
+    match scenario.Scenario.distribution with
+    | Scenario.Zipf a -> a
+    | Scenario.Uniform | Scenario.Hot_cold _ -> 1.0
+  in
+  {
+    Pdht_model.Params.num_peers = scenario.Scenario.num_peers;
+    keys = scenario.Scenario.keys;
+    stor = options.System.stor;
+    repl = options.System.repl;
+    alpha;
+    f_qry = scenario.Scenario.f_qry;
+    f_upd =
+      (match scenario.Scenario.update_mean_lifetime with
+      | None -> 0.
+      | Some l -> 1. /. l);
+    env = (match options.System.env with Some e -> e | None -> 1. /. 14.);
+    dup = 1.8;
+    dup2 = 1.8;
+  }
+
+let face_off ?(options = System.default_options) ~scenario ~frequencies () =
+  let row f_qry =
+    let scenario = { scenario with Scenario.f_qry } in
+    let params = model_params_of scenario options in
+    let key_ttl = System.derive_key_ttl scenario options in
+    let run strategy = System.run scenario strategy options in
+    let all = run Strategy.Index_all in
+    let none = run Strategy.No_index in
+    let partial = run (Strategy.Partial_index { key_ttl }) in
+    let ttl_state = Pdht_model.Strategies.ttl_state params ~key_ttl in
+    {
+      f_qry;
+      sim_index_all = all.System.messages_per_second;
+      sim_no_index = none.System.messages_per_second;
+      sim_partial = partial.System.messages_per_second;
+      model_index_all = (Pdht_model.Strategies.index_all params).Pdht_model.Strategies.total;
+      model_no_index = (Pdht_model.Strategies.no_index params).Pdht_model.Strategies.total;
+      model_partial =
+        (Pdht_model.Strategies.partial_selection params ~key_ttl).Pdht_model.Strategies.total;
+      sim_hit_rate = partial.System.hit_rate;
+      model_p_indexed_ttl = ttl_state.Pdht_model.Strategies.p_indexed_ttl;
+    }
+  in
+  List.map row frequencies
+
+type adaptivity_result = {
+  shift_time : float;
+  before_hit_rate : float;
+  dip_hit_rate : float;
+  after_hit_rate : float;
+  recovery_seconds : float option;
+  series : System.sample list;
+}
+
+let mean_hit_rate (samples : System.sample list) =
+  match samples with
+  | [] -> 0.
+  | _ ->
+      List.fold_left (fun acc (s : System.sample) -> acc +. s.System.hit_rate) 0. samples
+      /. float_of_int (List.length samples)
+
+let adaptivity ?(options = System.default_options) ~scenario () =
+  let shift_time =
+    match scenario.Scenario.shift with
+    | Scenario.Swap_halves_at t -> t
+    | Scenario.Rotate { times = t :: _; _ } -> t
+    | Scenario.Rotate { times = []; _ } | Scenario.No_shift ->
+        invalid_arg "Experiment.adaptivity: scenario has no popularity shift"
+  in
+  let key_ttl = System.derive_key_ttl scenario options in
+  let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let samples = report.System.samples in
+  let before = List.filter (fun s -> s.System.time <= shift_time) samples in
+  let after = List.filter (fun s -> s.System.time > shift_time) samples in
+  let before_hit_rate = mean_hit_rate before in
+  (* Steady state after: the last quarter of the run. *)
+  let tail_start = scenario.Scenario.duration -. (scenario.Scenario.duration -. shift_time) /. 4. in
+  let after_hit_rate =
+    mean_hit_rate (List.filter (fun s -> s.System.time >= tail_start) samples)
+  in
+  let dip_hit_rate =
+    List.fold_left (fun acc (s : System.sample) -> Float.min acc s.System.hit_rate) 1. after
+  in
+  let recovery_threshold = 0.8 *. before_hit_rate in
+  let recovery_seconds =
+    let rec scan (samples : System.sample list) =
+      match samples with
+      | [] -> None
+      | s :: rest ->
+          if s.System.hit_rate >= recovery_threshold then
+            Some (s.System.time -. shift_time)
+          else scan rest
+    in
+    scan after
+  in
+  { shift_time; before_hit_rate; dip_hit_rate; after_hit_rate; recovery_seconds;
+    series = samples }
+
+type search_ablation_row = {
+  mechanism : string;
+  mean_messages : float;
+  success_rate : float;
+  empirical_dup : float;
+}
+
+let search_ablation ~seed ~peers ~repl ~trials =
+  if trials < 1 then invalid_arg "Experiment.search_ablation: need >= 1 trial";
+  let rng = Pdht_util.Rng.create ~seed in
+  let topology = Pdht_overlay.Topology.random_regularish rng ~peers ~degree:4 in
+  let replication = Pdht_overlay.Replication.create ~peers in
+  let items = 100 in
+  for item = 0 to items - 1 do
+    Pdht_overlay.Replication.place replication rng ~item ~repl
+  done;
+  let online _ = true in
+  let run_mechanism mechanism =
+    let messages = ref 0 in
+    let successes = ref 0 in
+    let reached = ref 0 in
+    for _ = 1 to trials do
+      let item = Pdht_util.Rng.int rng items in
+      let source = Pdht_util.Rng.int rng peers in
+      let holds p = Pdht_overlay.Replication.holds replication ~peer:p ~item in
+      match mechanism with
+      | "flooding" ->
+          let r = Pdht_overlay.Flood.search topology ~online ~holds ~source ~ttl:8 in
+          messages := !messages + r.Pdht_overlay.Flood.messages;
+          reached := !reached + r.Pdht_overlay.Flood.peers_reached;
+          if r.Pdht_overlay.Flood.found_at <> None then incr successes
+      | "expanding-ring" ->
+          let r =
+            Pdht_overlay.Expanding_ring.search topology ~online ~holds ~source
+              ~initial_ttl:1 ~growth:2 ~max_ttl:8
+          in
+          messages := !messages + r.Pdht_overlay.Expanding_ring.messages;
+          (* Rings revisit inner peers; count the final coverage as a
+             flood of the last TTL would reach. *)
+          reached := !reached + 1;
+          if r.Pdht_overlay.Expanding_ring.found_at <> None then incr successes
+      | _ ->
+          let r =
+            Pdht_overlay.Random_walk.search topology rng ~online ~holds ~source ~walkers:16
+              ~max_steps:(2 * peers) ~check_every:4
+          in
+          messages := !messages + r.Pdht_overlay.Random_walk.messages;
+          reached := !reached + r.Pdht_overlay.Random_walk.distinct_visited;
+          if r.Pdht_overlay.Random_walk.found_at <> None then incr successes
+    done;
+    {
+      mechanism;
+      mean_messages = float_of_int !messages /. float_of_int trials;
+      success_rate = float_of_int !successes /. float_of_int trials;
+      empirical_dup =
+        (if !reached = 0 || String.equal mechanism "expanding-ring" then Float.nan
+         else float_of_int !messages /. float_of_int !reached);
+    }
+  in
+  [ run_mechanism "flooding"; run_mechanism "expanding-ring"; run_mechanism "random-walks" ]
+
+type backend_ablation_row = {
+  backend : string;
+  mean_lookup_messages : float;
+  mean_hops : float;
+  model_expectation : float;
+  success_rate : float;
+}
+
+let backend_ablation ~seed ~members ~trials ~offline_fraction =
+  if trials < 1 then invalid_arg "Experiment.backend_ablation: need >= 1 trial";
+  if offline_fraction < 0. || offline_fraction >= 1. then
+    invalid_arg "Experiment.backend_ablation: offline_fraction in [0,1)";
+  let run backend label =
+    let rng = Pdht_util.Rng.create ~seed in
+    (* leaf_size 4 gives P-Grid its natural replica groups; singleton
+       leaves cannot survive churn (Chord has no equivalent knob — its
+       fault tolerance comes from successor responsibility). *)
+    let dht = Pdht_dht.Dht.create rng ~backend ~members ~leaf_size:4 () in
+    let offline = Array.init members (fun _ -> Pdht_util.Rng.unit_float rng < offline_fraction) in
+    let online p = not offline.(p) in
+    let messages = ref 0 in
+    let hops = ref 0 in
+    let successes = ref 0 in
+    let attempted = ref 0 in
+    for _ = 1 to trials do
+      let source = Pdht_util.Rng.int rng members in
+      if online source then begin
+        incr attempted;
+        let key = Pdht_util.Bitkey.random rng in
+        let o = Pdht_dht.Dht.lookup dht rng ~online ~source ~key in
+        messages := !messages + o.Pdht_dht.Dht.messages;
+        hops := !hops + o.Pdht_dht.Dht.hops;
+        if o.Pdht_dht.Dht.responsible <> None then incr successes
+      end
+    done;
+    let attempted_f = float_of_int (max 1 !attempted) in
+    {
+      backend = label;
+      mean_lookup_messages = float_of_int !messages /. attempted_f;
+      mean_hops = float_of_int !hops /. attempted_f;
+      model_expectation = Pdht_dht.Chord.expected_lookup_messages ~members;
+      success_rate = float_of_int !successes /. attempted_f;
+    }
+  in
+  List.map
+    (fun backend -> run backend (Pdht_dht.Dht.backend_label backend))
+    [ Pdht_dht.Dht.Chord_backend; Pdht_dht.Dht.Pgrid_backend;
+      Pdht_dht.Dht.Kademlia_backend; Pdht_dht.Dht.Pastry_backend ]
+
+type churn_row = {
+  availability : float;
+  hit_rate : float;
+  answer_rate : float;
+  messages_per_second : float;
+  indexed_keys : int;
+}
+
+let churn_sensitivity ?(options = System.default_options) ~scenario ~availabilities () =
+  let row availability =
+    if availability <= 0. || availability > 1. then
+      invalid_arg "Experiment.churn_sensitivity: availability outside (0,1]";
+    let scenario =
+      {
+        scenario with
+        Scenario.churn =
+          (if availability >= 1. then Scenario.No_churn
+           else
+             let mean_uptime = 600. in
+             (* availability = up / (up + down)  =>  down = up (1-a)/a *)
+             let mean_downtime = mean_uptime *. (1. -. availability) /. availability in
+             Scenario.Exponential_sessions
+               { mean_uptime; mean_downtime; initially_online_fraction = availability });
+      }
+    in
+    let key_ttl = System.derive_key_ttl scenario options in
+    let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+    {
+      availability;
+      hit_rate = report.System.hit_rate;
+      answer_rate =
+        float_of_int report.System.answered /. float_of_int (max 1 report.System.queries);
+      messages_per_second = report.System.messages_per_second;
+      indexed_keys = report.System.indexed_keys_final;
+    }
+  in
+  List.map row availabilities
+
+type workload_row = {
+  workload : string;
+  hit_rate : float;
+  messages_per_second : float;
+  indexed_fraction : float;
+}
+
+let workload_mix ?(options = System.default_options) ~scenario () =
+  let keys = scenario.Scenario.keys in
+  let variants =
+    [
+      ("uniform", Scenario.Uniform);
+      ("zipf(0.8)", Scenario.Zipf 0.8);
+      ("zipf(1.2)", Scenario.Zipf 1.2);
+      ( "hot-cold(5%,90%)",
+        Scenario.Hot_cold { hot = max 1 (keys / 20); hot_mass = 0.9 } );
+    ]
+  in
+  List.map
+    (fun (workload, distribution) ->
+      let scenario = { scenario with Scenario.distribution } in
+      let key_ttl = System.derive_key_ttl scenario options in
+      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+      {
+        workload;
+        hit_rate = report.System.hit_rate;
+        messages_per_second = report.System.messages_per_second;
+        indexed_fraction =
+          float_of_int report.System.indexed_keys_final /. float_of_int keys;
+      })
+    variants
+
+type replication_stats = {
+  runs : int;
+  mean_messages_per_second : float;
+  sd_messages_per_second : float;
+  mean_hit_rate : float;
+  sd_hit_rate : float;
+}
+
+let replicate_seeds ?(options = System.default_options) ~scenario ~strategy ~seeds () =
+  if seeds = [] then invalid_arg "Experiment.replicate_seeds: no seeds";
+  let reports =
+    List.map (fun seed -> System.run { scenario with Scenario.seed } strategy options) seeds
+  in
+  let msgs = Array.of_list (List.map (fun r -> r.System.messages_per_second) reports) in
+  let hits = Array.of_list (List.map (fun r -> r.System.hit_rate) reports) in
+  {
+    runs = List.length seeds;
+    mean_messages_per_second = Pdht_util.Stats.mean msgs;
+    sd_messages_per_second = Pdht_util.Stats.stddev msgs;
+    mean_hit_rate = Pdht_util.Stats.mean hits;
+    sd_hit_rate = Pdht_util.Stats.stddev hits;
+  }
+
+type backend_system_row = {
+  backend_name : string;
+  hit_rate : float;
+  messages_per_second : float;
+  answer_rate : float;
+  index_messages : int;
+  replica_flood_messages : int;
+}
+
+let backend_face_off ?(options = System.default_options) ~scenario () =
+  List.map
+    (fun backend ->
+      let options = { options with System.backend } in
+      let key_ttl = System.derive_key_ttl scenario options in
+      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+      {
+        backend_name = Pdht_dht.Dht.backend_label backend;
+        hit_rate = report.System.hit_rate;
+        messages_per_second = report.System.messages_per_second;
+        answer_rate =
+          float_of_int report.System.answered /. float_of_int (max 1 report.System.queries);
+        index_messages =
+          List.assoc Pdht_sim.Metrics.Query_index report.System.messages_by_category;
+        replica_flood_messages =
+          List.assoc Pdht_sim.Metrics.Replica_flood report.System.messages_by_category;
+      })
+    [ Pdht_dht.Dht.Chord_backend; Pdht_dht.Dht.Pgrid_backend;
+      Pdht_dht.Dht.Kademlia_backend; Pdht_dht.Dht.Pastry_backend ]
+
+type diurnal_result = {
+  busy_indexed_mean : float;
+  calm_indexed_mean : float;
+  busy_hit_rate : float;
+  calm_hit_rate : float;
+  series : System.sample list;
+}
+
+let diurnal ?(options = System.default_options) ~scenario ~calm_f_qry ~period () =
+  let scenario =
+    {
+      scenario with
+      Scenario.rate = Scenario.Diurnal { calm_f_qry; period; busy_fraction = 0.5 };
+    }
+  in
+  (* Derive the TTL from the geometric mean of the two rates so neither
+     phase dominates the choice. *)
+  let mid_rate = sqrt (scenario.Scenario.f_qry *. calm_f_qry) in
+  let ttl_scenario = { scenario with Scenario.f_qry = mid_rate; rate = Scenario.Steady } in
+  let key_ttl = System.derive_key_ttl ttl_scenario options in
+  let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let phase_of (s : System.sample) =
+    let p = Float.rem s.System.time period /. period in
+    if p < 0.5 then `Busy else `Calm
+  in
+  (* Skip the first period as warm-up. *)
+  let steady =
+    List.filter (fun (s : System.sample) -> s.System.time > period) report.System.samples
+  in
+  let busy = List.filter (fun s -> phase_of s = `Busy) steady in
+  let calm = List.filter (fun s -> phase_of s = `Calm) steady in
+  let mean f xs =
+    match xs with
+    | [] -> 0.
+    | _ -> List.fold_left (fun acc x -> acc +. f x) 0. xs /. float_of_int (List.length xs)
+  in
+  {
+    busy_indexed_mean = mean (fun (s : System.sample) -> float_of_int s.System.indexed_keys) busy;
+    calm_indexed_mean = mean (fun (s : System.sample) -> float_of_int s.System.indexed_keys) calm;
+    busy_hit_rate = mean (fun (s : System.sample) -> s.System.hit_rate) busy;
+    calm_hit_rate = mean (fun (s : System.sample) -> s.System.hit_rate) calm;
+    series = report.System.samples;
+  }
+
+type eviction_row = {
+  policy : string;
+  hit_rate : float;
+  messages_per_second : float;
+}
+
+let eviction_ablation ?(options = System.default_options) ~scenario ~stor () =
+  let policies =
+    [
+      ("soonest-expiry", Pdht_dht.Storage.Evict_soonest_expiry);
+      ("lru", Pdht_dht.Storage.Evict_lru);
+      ("random", Pdht_dht.Storage.Evict_random);
+    ]
+  in
+  List.map
+    (fun (policy, eviction) ->
+      (* Starve the caches: shrink them AND under-provision the DHT so
+         the sizing rule cannot compensate with more members. *)
+      let options = { options with System.stor; eviction; sizing_slack = 0.4 } in
+      let key_ttl = System.derive_key_ttl scenario options in
+      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+      {
+        policy;
+        hit_rate = report.System.hit_rate;
+        messages_per_second = report.System.messages_per_second;
+      })
+    policies
+
+type ttl_tuning_row = {
+  label : string;
+  key_ttl_final : float;
+  messages_per_second : float;
+  hit_rate : float;
+}
+
+let ttl_tuning ?(options = System.default_options) ~scenario ~fixed_ttls () =
+  let fixed ttl =
+    let report = System.run scenario (Strategy.Partial_index { key_ttl = ttl }) options in
+    {
+      label = Printf.sprintf "fixed keyTtl=%g" ttl;
+      key_ttl_final = report.System.key_ttl;
+      messages_per_second = report.System.messages_per_second;
+      hit_rate = report.System.hit_rate;
+    }
+  in
+  let adaptive =
+    let options = { options with System.adaptive_ttl = true } in
+    let key_ttl = System.derive_key_ttl scenario options in
+    let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+    {
+      label = "adaptive";
+      key_ttl_final = report.System.key_ttl;
+      messages_per_second = report.System.messages_per_second;
+      hit_rate = report.System.hit_rate;
+    }
+  in
+  List.map fixed fixed_ttls @ [ adaptive ]

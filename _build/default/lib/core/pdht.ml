@@ -1,0 +1,393 @@
+module Rng = Pdht_util.Rng
+module Bitkey = Pdht_util.Bitkey
+module Metrics = Pdht_sim.Metrics
+module Topology = Pdht_overlay.Topology
+module Replication = Pdht_overlay.Replication
+module Unstructured_search = Pdht_overlay.Unstructured_search
+module Dht = Pdht_dht.Dht
+module Storage = Pdht_dht.Storage
+module Replica_net = Pdht_gossip.Replica_net
+module Rumor = Pdht_gossip.Rumor
+
+(* TTL standing in for "never expires" in the baseline index; large but
+   far from Float.max_float so [now +. ttl] stays finite. *)
+let forever = 1e15
+
+type t = {
+  rng : Rng.t;
+  config : Config.t;
+  bitkeys : Bitkey.t array; (* key_index -> DHT key *)
+  dht : Dht.t;
+  topology : Topology.t;
+  content : Replication.t;
+  unstructured : Unstructured_search.t;
+  stores : int Storage.t array; (* per active member; value = provider peer *)
+  replica_nets : (int, Replica_net.t) Hashtbl.t; (* key_index -> subnet *)
+  metrics : Metrics.t;
+  mutable online : int -> bool;
+  mutable key_ttl : float;
+}
+
+let key_of_index t i =
+  if i < 0 || i >= t.config.Config.keys then invalid_arg "Pdht.key_of_index: out of range";
+  t.bitkeys.(i)
+
+let config t = t.config
+let metrics t = t.metrics
+let set_online t f = t.online <- f
+let active_members t = t.config.Config.active_members
+let key_ttl t = t.key_ttl
+
+let set_key_ttl t ttl =
+  if not (ttl > 0.) then invalid_arg "Pdht.set_key_ttl: ttl must be positive";
+  t.key_ttl <- ttl
+
+let replica_net t key_index =
+  match Hashtbl.find_opt t.replica_nets key_index with
+  | Some net -> net
+  | None ->
+      let group =
+        Dht.replica_group t.dht ~repl:t.config.Config.repl t.bitkeys.(key_index)
+      in
+      let net = Replica_net.build t.rng ~replicas:group ~chords:t.config.Config.replica_chords in
+      Hashtbl.replace t.replica_nets key_index net;
+      net
+
+let content_replicas t ~key_index =
+  Replication.replicas t.content ~item:key_index
+
+let dht t = t.dht
+let online_fn t p = t.online p
+
+let initial_ttl config =
+  match config.Config.strategy with
+  | Strategy.Partial_index { key_ttl } ->
+      if not (key_ttl > 0.) then invalid_arg "Pdht.create: key_ttl must be positive";
+      key_ttl
+  | Strategy.Index_all | Strategy.No_index -> forever
+
+let create rng config =
+  let keys = config.Config.keys in
+  let bitkeys =
+    Array.init keys (fun i ->
+        Pdht_util.Hashing.hash_to_key (Pdht_util.Hashing.combine [ "key"; string_of_int i ]))
+  in
+  let dht =
+    Dht.create rng ~backend:config.Config.backend ~members:config.Config.active_members
+      ~leaf_size:config.Config.repl ()
+  in
+  let topology =
+    Topology.random_regularish rng ~peers:config.Config.num_peers
+      ~degree:config.Config.topology_degree
+  in
+  let content = Replication.create ~peers:config.Config.num_peers in
+  for key_index = 0 to keys - 1 do
+    Replication.place content rng ~item:key_index ~repl:config.Config.repl
+  done;
+  let unstructured =
+    Unstructured_search.create ~topology ~replication:content ~strategy:config.Config.search
+  in
+  let stores =
+    Array.init config.Config.active_members (fun _ ->
+        Storage.create ~eviction:config.Config.eviction ~capacity:config.Config.stor ())
+  in
+  let t =
+    {
+      rng;
+      config;
+      bitkeys;
+      dht;
+      topology;
+      content;
+      unstructured;
+      stores;
+      replica_nets = Hashtbl.create (min keys 4096);
+      metrics = Metrics.create ();
+      online = (fun _ -> true);
+      key_ttl = initial_ttl config;
+    }
+  in
+  (* The index-everything baseline starts with the full index in place:
+     every key on every member of its replica group. *)
+  (match config.Config.strategy with
+  | Strategy.Index_all ->
+      for key_index = 0 to keys - 1 do
+        (* Materialise the replica subnetwork up front: the baseline
+           gossips updates and anti-entropy over it from the start. *)
+        let net = replica_net t key_index in
+        let group = Replica_net.replicas net in
+        let provider =
+          match content_replicas t ~key_index with
+          | [||] -> 0
+          | reps -> reps.(0)
+        in
+        Array.iter
+          (fun member ->
+            Storage.put t.stores.(member) ~key:t.bitkeys.(key_index) ~value:provider
+              ~now:0. ~ttl:forever)
+          group
+      done
+  | Strategy.No_index | Strategy.Partial_index _ -> ());
+  t
+
+type answer_source = From_index | From_broadcast | Not_found
+
+type query_result = {
+  source : answer_source;
+  provider : int option;
+  index_messages : int;
+  replica_flood_messages : int;
+  broadcast_messages : int;
+  insert_messages : int;
+}
+
+let total_messages r =
+  r.index_messages + r.replica_flood_messages + r.broadcast_messages + r.insert_messages
+
+let empty_result = {
+  source = Not_found;
+  provider = None;
+  index_messages = 0;
+  replica_flood_messages = 0;
+  broadcast_messages = 0;
+  insert_messages = 0;
+}
+
+(* Pick a DHT entry point for a peer: itself when it is an online
+   member, otherwise a random online member it knows (one contact
+   message).  Returns (entry, contact_messages). *)
+let entry_point t peer =
+  let members = t.config.Config.active_members in
+  if peer < members && t.online peer then Some (peer, 0)
+  else begin
+    let attempts = min 32 (2 * members) in
+    let rec pick i =
+      if i = attempts then None
+      else
+        let cand = Rng.int t.rng members in
+        if t.online cand then Some (cand, 1) else pick (i + 1)
+    in
+    pick 0
+  end
+
+(* Search the index for a key: DHT routing to a responsible peer, local
+   cache check there, replica-subnetwork flood on a local miss
+   (Section 5.1 / Eq. 16).  TTL refresh on hits is the selection
+   algorithm's "reset on query".  Returns
+   (provider option, index_messages, flood_messages). *)
+let index_search t ~now ~entry ~key_index =
+  let key = t.bitkeys.(key_index) in
+  let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+  let index_messages = lookup.Dht.messages in
+  match lookup.Dht.responsible with
+  | None -> (None, index_messages, 0)
+  | Some responsible -> (
+      match
+        Storage.get_and_refresh t.stores.(responsible) ~key ~now ~ttl:t.key_ttl
+      with
+      | Some provider -> (Some provider, index_messages, 0)
+      | None ->
+          (* Local miss: ask the other replicas. *)
+          let net = replica_net t key_index in
+          let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
+          let flood_messages = flood.Replica_net.messages in
+          let found = ref None in
+          Array.iter
+            (fun member ->
+              if !found = None && member <> responsible && t.online member then
+                match
+                  Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
+                with
+                | Some provider -> found := Some provider
+                | None -> ())
+            (Replica_net.replicas net);
+          (!found, index_messages, flood_messages))
+
+(* Install a freshly resolved key on every online member of its replica
+   group: one DHT routing to reach the group, then dissemination inside
+   the subnetwork (counted as flood traffic). *)
+let index_insert t ~now ~entry ~key_index ~provider =
+  let key = t.bitkeys.(key_index) in
+  let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+  match lookup.Dht.responsible with
+  | None -> lookup.Dht.messages
+  | Some responsible ->
+      let net = replica_net t key_index in
+      let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
+      Array.iter
+        (fun member ->
+          if t.online member then
+            Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:t.key_ttl)
+        (Replica_net.replicas net);
+      lookup.Dht.messages + flood.Replica_net.messages
+
+let broadcast_search t ~peer ~key_index =
+  let outcome =
+    Unstructured_search.search t.unstructured t.rng ~online:t.online ~source:peer
+      ~item:key_index
+  in
+  (outcome.Unstructured_search.provider, outcome.Unstructured_search.messages)
+
+let charge t result =
+  Metrics.charge t.metrics Metrics.Query_index result.index_messages;
+  Metrics.charge t.metrics Metrics.Replica_flood result.replica_flood_messages;
+  Metrics.charge t.metrics Metrics.Query_unstructured result.broadcast_messages;
+  Metrics.charge t.metrics Metrics.Index_insert result.insert_messages
+
+let query t ~now ~peer ~key_index =
+  if key_index < 0 || key_index >= t.config.Config.keys then
+    invalid_arg "Pdht.query: key_index out of range";
+  if not (t.online peer) then empty_result
+  else begin
+    let result =
+      match t.config.Config.strategy with
+      | Strategy.No_index ->
+          let provider, messages = broadcast_search t ~peer ~key_index in
+          {
+            empty_result with
+            source = (if provider <> None then From_broadcast else Not_found);
+            provider;
+            broadcast_messages = messages;
+          }
+      | Strategy.Index_all -> (
+          match entry_point t peer with
+          | None -> empty_result
+          | Some (entry, contact) -> (
+              let provider, index_messages, flood_messages =
+                index_search t ~now ~entry ~key_index
+              in
+              let index_messages = index_messages + contact in
+              match provider with
+              | Some _ ->
+                  { empty_result with source = From_index; provider;
+                    index_messages; replica_flood_messages = flood_messages }
+              | None ->
+                  (* All keys are nominally indexed; a miss here means
+                     cache pressure or churn lost every replica.  The
+                     baseline has no fallback. *)
+                  { empty_result with index_messages;
+                    replica_flood_messages = flood_messages }))
+      | Strategy.Partial_index _ -> (
+          match entry_point t peer with
+          | None ->
+              (* Cannot reach the index at all; degrade to broadcast. *)
+              let provider, messages = broadcast_search t ~peer ~key_index in
+              {
+                empty_result with
+                source = (if provider <> None then From_broadcast else Not_found);
+                provider;
+                broadcast_messages = messages;
+              }
+          | Some (entry, contact) -> (
+              let provider, index_messages, flood_messages =
+                index_search t ~now ~entry ~key_index
+              in
+              let index_messages = index_messages + contact in
+              match provider with
+              | Some _ ->
+                  { empty_result with source = From_index; provider;
+                    index_messages; replica_flood_messages = flood_messages }
+              | None -> (
+                  let provider, broadcast_messages = broadcast_search t ~peer ~key_index in
+                  match provider with
+                  | None ->
+                      { empty_result with index_messages;
+                        replica_flood_messages = flood_messages; broadcast_messages }
+                  | Some p ->
+                      let insert_messages =
+                        index_insert t ~now ~entry ~key_index ~provider:p
+                      in
+                      {
+                        source = From_broadcast;
+                        provider;
+                        index_messages;
+                        replica_flood_messages = flood_messages;
+                        broadcast_messages;
+                        insert_messages;
+                      })))
+    in
+    charge t result;
+    result
+  end
+
+let update_key t rng ~now ~key_index =
+  if key_index < 0 || key_index >= t.config.Config.keys then
+    invalid_arg "Pdht.update_key: key_index out of range";
+  match t.config.Config.strategy with
+  | Strategy.No_index | Strategy.Partial_index _ -> 0
+  | Strategy.Index_all -> (
+      (* Route the new value to a responsible peer, then rumor-spread it
+         through the replica subnetwork (Eq. 9's push/pull gossip). *)
+      match entry_point t (Rng.int rng t.config.Config.num_peers) with
+      | None -> 0
+      | Some (entry, contact) -> (
+          let key = t.bitkeys.(key_index) in
+          let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+          match lookup.Dht.responsible with
+          | None ->
+              let total = contact + lookup.Dht.messages in
+              Metrics.charge t.metrics Metrics.Update_gossip total;
+              total
+          | Some responsible ->
+              let provider =
+                match content_replicas t ~key_index with
+                | [||] -> 0
+                | reps -> reps.(0)
+              in
+              let net = replica_net t key_index in
+              let spread =
+                Rumor.spread rng ~net ~online:t.online ~origin_peer:responsible
+                  ~push_fanout:2 ~max_rounds:32
+              in
+              Array.iter
+                (fun member ->
+                  if t.online member then
+                    Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:forever)
+                (Replica_net.replicas net);
+              let total = contact + lookup.Dht.messages + spread.Rumor.messages in
+              Metrics.charge t.metrics Metrics.Update_gossip total;
+              total))
+
+let rejoin_sync t rng ~now ~peer =
+  match t.config.Config.strategy with
+  | Strategy.No_index | Strategy.Partial_index _ -> 0
+  | Strategy.Index_all ->
+      if peer >= t.config.Config.active_members || not (t.online peer) then 0
+      else begin
+        ignore now;
+        (* One pull per replica subnetwork this member participates in:
+           contact a random fellow replica for missed updates. *)
+        let messages = ref 0 in
+        Hashtbl.iter
+          (fun _key_index net ->
+            if Replica_net.member_of_peer net peer <> None then begin
+              let _answered, cost =
+                Rumor.pull_missed_updates rng ~net ~online:t.online ~rejoining_peer:peer
+              in
+              messages := !messages + cost
+            end)
+          t.replica_nets;
+        Metrics.charge t.metrics Metrics.Update_gossip !messages;
+        !messages
+      end
+
+let indexed_key_count t ~now =
+  let count = ref 0 in
+  for key_index = 0 to t.config.Config.keys - 1 do
+    let key = t.bitkeys.(key_index) in
+    let group = Dht.replica_group t.dht ~repl:t.config.Config.repl key in
+    if Array.exists (fun member -> Storage.mem t.stores.(member) ~key ~now) group then
+      incr count
+  done;
+  !count
+
+let index_hit_probe t ~now ~key_index =
+  let key = t.bitkeys.(key_index) in
+  match Dht.responsible t.dht ~online:t.online key with
+  | None -> false
+  | Some responsible ->
+      let group = Dht.replica_group t.dht ~repl:t.config.Config.repl key in
+      Storage.mem t.stores.(responsible) ~key ~now
+      || Array.exists
+           (fun member -> t.online member && Storage.mem t.stores.(member) ~key ~now)
+           group

@@ -1,0 +1,92 @@
+(** The query-adaptive partial distributed hash table.
+
+    This is the paper's system (Section 5) assembled from the
+    substrates: a population of peers connected by an unstructured
+    Gnutella-like overlay, of which [active_members] also maintain a
+    structured DHT used as a partial index.  Query handling follows the
+    selection algorithm exactly:
+
+    + search the index: route to a responsible peer; if its cache
+      misses, flood the key's replica subnetwork (Eq. 16);
+    + on an index miss, broadcast-search the unstructured network;
+    + insert the resolved key-value pair into the index with expiration
+      time [key_ttl], reset whenever a stored key is queried — so keys
+      that are not queried for [key_ttl] seconds fall out of the index.
+
+    The same machine also runs the two baselines ({!Strategy.Index_all},
+    {!Strategy.No_index}) so that strategies can be compared on
+    identical workloads with identical message accounting. *)
+
+type t
+
+val create : Pdht_util.Rng.t -> Config.t -> t
+(** Build topology, DHT, content placement and (for [Index_all]) the
+    pre-loaded index.  Deterministic in the generator state. *)
+
+val config : t -> Config.t
+val metrics : t -> Pdht_sim.Metrics.t
+val key_of_index : t -> int -> Pdht_util.Bitkey.t
+(** The DHT key for workload key [i] (0-based, [< keys]). *)
+
+val set_online : t -> (int -> bool) -> unit
+(** Wire a churn model in; default: everyone always online. *)
+
+val set_key_ttl : t -> float -> unit
+(** Change the TTL used for subsequent insertions and refreshes (the
+    self-tuning extension's knob).  Only meaningful under
+    [Partial_index].  @raise Invalid_argument for non-positive TTLs. *)
+
+val key_ttl : t -> float
+
+type answer_source = From_index | From_broadcast | Not_found
+
+type query_result = {
+  source : answer_source;
+  provider : int option;       (** peer that supplied the value *)
+  index_messages : int;        (** DHT routing traffic this query *)
+  replica_flood_messages : int;(** replica-subnetwork traffic *)
+  broadcast_messages : int;    (** unstructured-search traffic *)
+  insert_messages : int;       (** traffic spent re-inserting the key *)
+}
+
+val total_messages : query_result -> int
+
+val query : t -> now:float -> peer:int -> key_index:int -> query_result
+(** Execute one query per the configured strategy.  An offline [peer]
+    yields [Not_found] with zero cost (it cannot ask). *)
+
+val update_key : t -> Pdht_util.Rng.t -> now:float -> key_index:int -> int
+(** Proactively update one key in the index (insert at a responsible
+    peer, gossip among replicas — Eq. 9's operation).  Returns messages
+    spent and charges them to [Update_gossip].  No-op (0) under
+    [No_index]; under [Partial_index] the paper drops proactive updates
+    (Section 5.1), so it is a no-op there too. *)
+
+val rejoin_sync : t -> Pdht_util.Rng.t -> now:float -> peer:int -> int
+(** Anti-entropy on rejoin ([DaHa03]: "Peers that are offline and go
+    online again pull for missed updates").  Under [Index_all], a DHT
+    member coming back online pulls once per replica subnetwork it
+    participates in — one request plus one response per key it stores —
+    charged to [Update_gossip].  Returns the messages spent; 0 for
+    non-members, for reactive strategies (whose entries simply expire),
+    and for [No_index]. *)
+
+val indexed_key_count : t -> now:float -> int
+(** Number of workload keys currently live in at least one replica's
+    index cache — the empirical Eq. 15. *)
+
+val index_hit_probe : t -> now:float -> key_index:int -> bool
+(** Would an index search for this key succeed right now?  (Read-only:
+    no TTL refresh, no message charges.)  Used by experiments to measure
+    the empirical Eq. 14 without perturbing the system. *)
+
+val active_members : t -> int
+val content_replicas : t -> key_index:int -> int array
+
+val dht : t -> Pdht_dht.Dht.t
+(** The underlying structured overlay — exposed for routing-table
+    maintenance wiring and ablation experiments. *)
+
+val online_fn : t -> int -> bool
+(** The current liveness predicate (identity of {!set_online}'s last
+    argument). *)

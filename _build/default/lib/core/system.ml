@@ -1,0 +1,344 @@
+module Rng = Pdht_util.Rng
+module Metrics = Pdht_sim.Metrics
+module Engine = Pdht_sim.Engine
+module Scenario = Pdht_work.Scenario
+
+let log_src = Logs.Src.create "pdht.system" ~doc:"PDHT simulation runner"
+
+module Log = (val Logs.src_log log_src : Logs.LOG)
+
+type options = {
+  repl : int;
+  stor : int;
+  backend : Pdht_dht.Dht.backend;
+  env : float option;
+  adaptive_ttl : bool;
+  sample_every : float;
+  key_ttl_override : float option;
+  sizing_slack : float;
+  eviction : Pdht_dht.Storage.eviction;
+}
+
+let default_options =
+  {
+    repl = 20;
+    stor = 100;
+    backend = Pdht_dht.Dht.Pgrid_backend;
+    env = None;
+    adaptive_ttl = false;
+    sample_every = 60.;
+    key_ttl_override = None;
+    sizing_slack = 1.5;
+    eviction = Pdht_dht.Storage.Evict_soonest_expiry;
+  }
+
+type sample = {
+  time : float;
+  hit_rate : float;
+  messages : int;
+  indexed_keys : int;
+  key_ttl : float;
+}
+
+type report = {
+  scenario_name : string;
+  strategy : Strategy.t;
+  duration : float;
+  active_members : int;
+  key_ttl : float;
+  queries : int;
+  answered : int;
+  from_index : int;
+  from_broadcast : int;
+  failed : int;
+  total_messages : int;
+  messages_by_category : (Metrics.category * int) list;
+  messages_per_second : float;
+  avg_messages_per_query : float;
+  hit_rate : float;
+  indexed_keys_final : int;
+  query_cost_p50 : float;
+  query_cost_p95 : float;
+  query_cost_p99 : float;
+  samples : sample list;
+}
+
+(* Map a scenario onto the analytical model's parameter record so runs
+   can be sized and TTLs derived the way the paper does.  Non-Zipf
+   distributions have no alpha; 1.0 is a neutral stand-in that only
+   affects sizing heuristics, never the simulated behaviour itself. *)
+let model_params (scenario : Scenario.t) (options : options) =
+  let alpha =
+    match scenario.Scenario.distribution with
+    | Scenario.Zipf a -> a
+    | Scenario.Uniform | Scenario.Hot_cold _ -> 1.0
+  in
+  let f_upd =
+    match scenario.Scenario.update_mean_lifetime with
+    | None -> 0.
+    | Some lifetime -> 1. /. lifetime
+  in
+  {
+    Pdht_model.Params.num_peers = scenario.Scenario.num_peers;
+    keys = scenario.Scenario.keys;
+    stor = options.stor;
+    repl = options.repl;
+    alpha;
+    f_qry = scenario.Scenario.f_qry;
+    f_upd;
+    env = (match options.env with Some e -> e | None -> 1. /. 14.);
+    dup = 1.8;
+    dup2 = 1.8;
+  }
+
+let derive_key_ttl scenario options =
+  match options.key_ttl_override with
+  | Some ttl -> ttl
+  | None ->
+      let params = model_params scenario options in
+      let solution = Pdht_model.Index_policy.solve params in
+      let ttl = Pdht_model.Strategies.default_key_ttl solution in
+      if Float.is_finite ttl then ttl else scenario.Scenario.duration
+
+let plan_active_members scenario options strategy =
+  let params = model_params scenario options in
+  let sized expected_index_size =
+    Config.active_members_for ~num_peers:scenario.Scenario.num_peers ~repl:options.repl
+      ~stor:options.stor
+      ~expected_index_size:(options.sizing_slack *. expected_index_size)
+  in
+  match strategy with
+  | Strategy.No_index -> 2
+  | Strategy.Index_all -> sized (float_of_int scenario.Scenario.keys)
+  | Strategy.Partial_index { key_ttl } ->
+      let state = Pdht_model.Strategies.ttl_state params ~key_ttl in
+      sized state.Pdht_model.Strategies.index_size
+
+let build_churn scenario rng =
+  match scenario.Scenario.churn with
+  | Scenario.No_churn -> Pdht_dht.Churn.always_online ~peers:scenario.Scenario.num_peers
+  | Scenario.Exponential_sessions { mean_uptime; mean_downtime; initially_online_fraction }
+    ->
+      Pdht_dht.Churn.create rng ~peers:scenario.Scenario.num_peers ~mean_uptime
+        ~mean_downtime ~initially_online_fraction
+
+(* Mutable run-time counters, folded into the report at the end. *)
+type counters = {
+  mutable queries : int;
+  mutable from_index : int;
+  mutable from_broadcast : int;
+  mutable failed : int;
+  mutable bucket_queries : int;
+  mutable bucket_hits : int;
+  mutable last_total_messages : int;
+  mutable samples_rev : sample list;
+  mutable query_costs_rev : int list;
+}
+
+let run scenario strategy options =
+  let scenario =
+    match Scenario.validate scenario with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("System.run: " ^ msg)
+  in
+  let strategy =
+    (* Resolve a model-derived TTL once so the whole run (and the
+       report) sees a concrete number. *)
+    match strategy with
+    | Strategy.Partial_index { key_ttl } when not (Float.is_finite key_ttl && key_ttl > 0.)
+      ->
+        Strategy.Partial_index { key_ttl = derive_key_ttl scenario options }
+    | s -> s
+  in
+  let rng = Rng.create ~seed:scenario.Scenario.seed in
+  let build_rng = Rng.split rng in
+  let workload_rng = Rng.split rng in
+  let churn_rng = Rng.split rng in
+  let maintenance_rng = Rng.split rng in
+  let update_rng = Rng.split rng in
+  let active_members = plan_active_members scenario options strategy in
+  Log.info (fun m ->
+      m "run %s/%s: %d peers (%d members), %d keys, fQry=%g, %.0fs" scenario.Scenario.name
+        (Strategy.label strategy) scenario.Scenario.num_peers active_members
+        scenario.Scenario.keys scenario.Scenario.f_qry scenario.Scenario.duration);
+  let config =
+    Config.make ~backend:options.backend ~eviction:options.eviction
+      ~num_peers:scenario.Scenario.num_peers ~active_members
+      ~keys:scenario.Scenario.keys ~repl:options.repl ~stor:options.stor ~strategy ()
+  in
+  let pdht = Pdht.create build_rng config in
+  let engine = Engine.create () in
+  let churn = build_churn scenario churn_rng in
+  Pdht_dht.Churn.attach churn engine;
+  Pdht.set_online pdht (Pdht_dht.Churn.online churn);
+  (* Anti-entropy: under the index-everything baseline, a DHT member
+     returning from an offline session pulls missed updates from its
+     replica subnetworks ([DaHa03]). *)
+  (match strategy with
+  | Strategy.Index_all ->
+      Pdht_dht.Churn.on_toggle churn (fun ~peer ~now_online ~time ->
+          if now_online && peer < active_members then
+            ignore (Pdht.rejoin_sync pdht churn_rng ~now:time ~peer))
+  | Strategy.No_index | Strategy.Partial_index _ -> ());
+  let online_member p = p < active_members && Pdht_dht.Churn.online churn p in
+  let uses_dht =
+    match strategy with Strategy.No_index -> false | Strategy.Index_all | Strategy.Partial_index _ -> true
+  in
+  if uses_dht then begin
+    let env =
+      match options.env with
+      | Some e -> e
+      | None ->
+          Pdht_dht.Maintenance.env_from_trace ~maintenance_rate:1.0
+            ~members:(max 2 active_members)
+    in
+    Pdht_dht.Maintenance.attach engine ~dht:(Pdht.dht pdht) ~rng:maintenance_rng
+      ~online:online_member ~metrics:(Pdht.metrics pdht) ~env ~interval:10.
+  end;
+  (* Adaptive TTL controller (extension). *)
+  let adaptive =
+    if options.adaptive_ttl && Strategy.is_partial strategy then begin
+      let controller = Adaptive.create () in
+      Adaptive.attach controller engine pdht ~every:(10. *. options.sample_every);
+      Some controller
+    end
+    else None
+  in
+  let counters =
+    {
+      queries = 0;
+      from_index = 0;
+      from_broadcast = 0;
+      failed = 0;
+      bucket_queries = 0;
+      bucket_hits = 0;
+      last_total_messages = 0;
+      samples_rev = [];
+      query_costs_rev = [];
+    }
+  in
+  (* Query workload. *)
+  let query_gen =
+    Pdht_work.Query_gen.create workload_rng ~num_peers:scenario.Scenario.num_peers
+      ~f_qry:scenario.Scenario.f_qry
+      ~profile:(Scenario.rate_profile scenario)
+      ~distribution:(Scenario.distribution scenario)
+      ~shift:(Scenario.popularity_shift scenario)
+      ()
+  in
+  Pdht_work.Query_gen.attach query_gen engine ~until:scenario.Scenario.duration
+    ~handler:(fun eng q ->
+      (* An offline peer issues no queries: the per-peer rate is an
+         online activity, so drop the event rather than counting a
+         phantom failure. *)
+      if Pdht_dht.Churn.online churn q.Pdht_work.Query_gen.peer then begin
+      let now = Engine.now eng in
+      let result =
+        Pdht.query pdht ~now ~peer:q.Pdht_work.Query_gen.peer
+          ~key_index:q.Pdht_work.Query_gen.key_index
+      in
+      counters.queries <- counters.queries + 1;
+      counters.bucket_queries <- counters.bucket_queries + 1;
+      counters.query_costs_rev <- Pdht.total_messages result :: counters.query_costs_rev;
+      (match result.Pdht.source with
+      | Pdht.From_index ->
+          counters.from_index <- counters.from_index + 1;
+          counters.bucket_hits <- counters.bucket_hits + 1
+      | Pdht.From_broadcast -> counters.from_broadcast <- counters.from_broadcast + 1
+      | Pdht.Not_found -> counters.failed <- counters.failed + 1);
+      match adaptive with
+      | Some controller -> Adaptive.note_query controller result
+      | None -> ()
+      end);
+  (* Update workload (article replacements). *)
+  (match scenario.Scenario.update_mean_lifetime with
+  | None -> ()
+  | Some mean_lifetime ->
+      let update_gen =
+        Pdht_work.Update_gen.create update_rng ~articles:scenario.Scenario.keys
+          ~mean_lifetime
+      in
+      Pdht_work.Update_gen.attach update_gen engine ~until:scenario.Scenario.duration
+        ~handler:(fun eng u ->
+          let now = Engine.now eng in
+          ignore
+            (Pdht.update_key pdht update_rng ~now
+               ~key_index:u.Pdht_work.Update_gen.article_id)));
+  (* Periodic sampling of hit rate, traffic and index size. *)
+  Engine.schedule_periodic engine ~first:options.sample_every ~every:options.sample_every
+    (fun eng ->
+      let now = Engine.now eng in
+      let total = Metrics.total (Pdht.metrics pdht) in
+      let bucket_messages = total - counters.last_total_messages in
+      counters.last_total_messages <- total;
+      let hit_rate =
+        if counters.bucket_queries = 0 then 0.
+        else float_of_int counters.bucket_hits /. float_of_int counters.bucket_queries
+      in
+      let indexed_keys = if uses_dht then Pdht.indexed_key_count pdht ~now else 0 in
+      counters.samples_rev <-
+        { time = now; hit_rate; messages = bucket_messages; indexed_keys;
+          key_ttl = Pdht.key_ttl pdht }
+        :: counters.samples_rev;
+      counters.bucket_queries <- 0;
+      counters.bucket_hits <- 0);
+  Engine.run engine ~until:scenario.Scenario.duration;
+  Log.info (fun m ->
+      m "done %s/%s: %d queries, %d total messages" scenario.Scenario.name
+        (Strategy.label strategy) counters.queries
+        (Metrics.total (Pdht.metrics pdht)));
+  let now = scenario.Scenario.duration in
+  let metrics = Pdht.metrics pdht in
+  let total_messages = Metrics.total metrics in
+  let answered = counters.from_index + counters.from_broadcast in
+  let cost_percentile p =
+    match counters.query_costs_rev with
+    | [] -> 0.
+    | costs ->
+        Pdht_util.Stats.percentile
+          (Array.of_list (List.rev_map float_of_int costs))
+          ~p
+  in
+  {
+    scenario_name = scenario.Scenario.name;
+    strategy;
+    duration = scenario.Scenario.duration;
+    active_members;
+    key_ttl = Pdht.key_ttl pdht;
+    queries = counters.queries;
+    answered;
+    from_index = counters.from_index;
+    from_broadcast = counters.from_broadcast;
+    failed = counters.failed;
+    total_messages;
+    messages_by_category = Metrics.snapshot metrics;
+    messages_per_second = float_of_int total_messages /. scenario.Scenario.duration;
+    avg_messages_per_query =
+      (if counters.queries = 0 then 0.
+       else float_of_int total_messages /. float_of_int counters.queries);
+    hit_rate =
+      (if counters.queries = 0 then 0.
+       else float_of_int counters.from_index /. float_of_int counters.queries);
+    indexed_keys_final = (if uses_dht then Pdht.indexed_key_count pdht ~now else 0);
+    query_cost_p50 = cost_percentile 0.5;
+    query_cost_p95 = cost_percentile 0.95;
+    query_cost_p99 = cost_percentile 0.99;
+    samples = List.rev counters.samples_rev;
+  }
+
+let pp_report ppf r =
+  Format.fprintf ppf
+    "@[<v>%s / %s: %d queries in %.0fs, %d answered (%.1f%% index, %.1f%% broadcast, %d \
+     failed)@,members=%d keyTtl=%g indexed=%d@,messages: total=%d (%.1f/s, %.1f/query)@,"
+    r.scenario_name (Strategy.label r.strategy) r.queries r.duration r.answered
+    (100. *. float_of_int r.from_index /. float_of_int (max 1 r.queries))
+    (100. *. float_of_int r.from_broadcast /. float_of_int (max 1 r.queries))
+    r.failed r.active_members r.key_ttl r.indexed_keys_final r.total_messages
+    r.messages_per_second r.avg_messages_per_query;
+  Format.fprintf ppf "  per-query cost p50/p95/p99: %.0f / %.0f / %.0f@," r.query_cost_p50
+    r.query_cost_p95 r.query_cost_p99;
+  List.iter
+    (fun (cat, n) ->
+      if n > 0 then Format.fprintf ppf "  %-20s %d@," (Metrics.category_label cat) n)
+    r.messages_by_category;
+  Format.fprintf ppf "@]"

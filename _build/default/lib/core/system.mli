@@ -1,0 +1,75 @@
+(** Whole-system simulation: a {!Pdht_work.Scenario} driven against one
+    {!Strategy} with full message accounting.
+
+    Assembles everything: population + unstructured overlay + DHT +
+    churn + routing maintenance + query/update workloads, runs the
+    discrete-event engine for the scenario's duration, and reports the
+    counters the paper's evaluation cares about. *)
+
+type options = {
+  repl : int;                  (** replication factor (default 20) *)
+  stor : int;                  (** per-peer index cache (default 100) *)
+  backend : Pdht_dht.Dht.backend;
+  env : float option;          (** maintenance constant; [None] derives
+                                   it from a 1 msg/peer/s trace rate *)
+  adaptive_ttl : bool;         (** enable the self-tuning controller *)
+  sample_every : float;        (** time-series bucket width, seconds *)
+  key_ttl_override : float option;
+      (** force a TTL instead of the model-derived [1/fMin] *)
+  sizing_slack : float;
+      (** headroom multiplier on the model's [numActivePeers]: replica
+          groups and key loads are hash-balanced only in expectation, so
+          deployments over-provision (default 1.5) *)
+  eviction : Pdht_dht.Storage.eviction;
+      (** index-cache victim policy (default [Evict_soonest_expiry]) *)
+}
+
+val default_options : options
+
+type sample = {
+  time : float;
+  hit_rate : float;          (** fraction of queries answered from the
+                                 index in this bucket *)
+  messages : int;            (** all messages in this bucket *)
+  indexed_keys : int;        (** empirical Eq. 15 at the sample instant *)
+  key_ttl : float;           (** TTL in force (changes when adaptive) *)
+}
+
+type report = {
+  scenario_name : string;
+  strategy : Strategy.t;
+  duration : float;
+  active_members : int;
+  key_ttl : float;            (** TTL at the end of the run *)
+  queries : int;
+  answered : int;
+  from_index : int;
+  from_broadcast : int;
+  failed : int;
+  total_messages : int;
+  messages_by_category : (Pdht_sim.Metrics.category * int) list;
+  messages_per_second : float;
+  avg_messages_per_query : float;
+  hit_rate : float;           (** from_index / queries *)
+  indexed_keys_final : int;
+  query_cost_p50 : float;     (** median messages per query *)
+  query_cost_p95 : float;
+  query_cost_p99 : float;
+  samples : sample list;      (** chronological *)
+}
+
+val derive_key_ttl : Pdht_work.Scenario.t -> options -> float
+(** The TTL a run will use: the override if given, else [1/fMin] from
+    the analytical model instantiated with the scenario's parameters
+    (Zipf alpha approximated as 1.0 for non-Zipf distributions). *)
+
+val plan_active_members : Pdht_work.Scenario.t -> options -> Strategy.t -> int
+(** DHT size for a run: enough members for the full index under
+    [Index_all], the model's Eq.-15 expectation under [Partial_index],
+    and a minimal 2-member ring under [No_index] (no DHT traffic is
+    generated there). *)
+
+val run : Pdht_work.Scenario.t -> Strategy.t -> options -> report
+(** Execute the simulation.  Deterministic in [scenario.seed]. *)
+
+val pp_report : Format.formatter -> report -> unit

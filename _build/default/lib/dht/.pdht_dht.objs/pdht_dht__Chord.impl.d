@@ -1,0 +1,1 @@
+lib/dht/chord.ml: Array Float Fun Hashtbl List Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/chord.mli: Pdht_util

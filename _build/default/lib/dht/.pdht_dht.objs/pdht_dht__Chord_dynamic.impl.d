@@ -1,0 +1,1 @@
+lib/dht/chord_dynamic.ml: Array Fun Hashtbl List Pdht_util

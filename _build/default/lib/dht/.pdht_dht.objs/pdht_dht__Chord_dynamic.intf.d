@@ -1,0 +1,1 @@
+lib/dht/chord_dynamic.mli: Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/churn.ml: Array List Pdht_sim Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/churn.mli: Pdht_sim Pdht_util

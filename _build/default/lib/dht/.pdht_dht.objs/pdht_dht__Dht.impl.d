@@ -1,0 +1,1 @@
+lib/dht/dht.ml: Chord Kademlia Pastry Pgrid

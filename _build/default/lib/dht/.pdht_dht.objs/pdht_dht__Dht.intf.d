@@ -1,0 +1,1 @@
+lib/dht/dht.mli: Pdht_util

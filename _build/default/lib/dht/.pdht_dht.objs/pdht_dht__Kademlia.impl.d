@@ -1,0 +1,1 @@
+lib/dht/kademlia.ml: Array Fun Hashtbl List Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/kademlia.mli: Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/maintenance.ml: Dht Float Pdht_sim Pdht_util

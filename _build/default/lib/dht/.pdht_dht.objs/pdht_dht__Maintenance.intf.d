@@ -1,0 +1,1 @@
+lib/dht/maintenance.mli: Dht Pdht_sim Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/pastry.ml: Array Fun Hashtbl List Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/pastry.mli: Pdht_util

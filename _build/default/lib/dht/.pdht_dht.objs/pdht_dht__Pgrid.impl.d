@@ -1,0 +1,1 @@
+lib/dht/pgrid.ml: Array Fun Hashtbl Pdht_util String

@@ -1,0 +1,1 @@
+lib/dht/pgrid.mli: Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/pgrid_bootstrap.ml: Array Hashtbl List Pdht_util String

@@ -1,0 +1,1 @@
+lib/dht/pgrid_bootstrap.mli: Pdht_util

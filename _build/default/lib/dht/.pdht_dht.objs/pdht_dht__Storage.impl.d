@@ -1,0 +1,1 @@
+lib/dht/storage.ml: Hashtbl List Pdht_util

@@ -1,0 +1,1 @@
+lib/dht/storage.mli: Pdht_util

@@ -1,0 +1,310 @@
+module Bitkey = Pdht_util.Bitkey
+module Rng = Pdht_util.Rng
+
+type node = {
+  id : Bitkey.t;
+  mutable successor : int;
+  mutable predecessor : int option;
+  mutable successor_list : int list;
+  mutable fingers : int array; (* finger j aims at id + 2^j *)
+}
+
+type t = {
+  slots : node option array;
+  successor_list_length : int;
+  rng : Rng.t;
+  mutable count : int;
+}
+
+let create rng ~capacity ?(successor_list_length = 4) () =
+  if capacity < 1 then invalid_arg "Chord_dynamic.create: capacity must be >= 1";
+  if successor_list_length < 1 then
+    invalid_arg "Chord_dynamic.create: successor_list_length must be >= 1";
+  { slots = Array.make capacity None; successor_list_length; rng; count = 0 }
+
+let node_count t = t.count
+let is_member t slot = slot >= 0 && slot < Array.length t.slots && t.slots.(slot) <> None
+
+let get t slot =
+  match t.slots.(slot) with
+  | Some n -> n
+  | None -> invalid_arg "Chord_dynamic: slot is not a member"
+
+let id_of t slot = (get t slot).id
+
+let fresh_slot t =
+  let n = Array.length t.slots in
+  let rec scan i = if i = n then None else if t.slots.(i) = None then Some i else scan (i + 1) in
+  scan 0
+
+let half_add id offset = Bitkey.of_int ((Bitkey.to_int id + offset) land max_int)
+
+(* Circular open interval (a, b); when a = b it wraps the whole ring
+   except the endpoint itself (Chord's degenerate single-node case). *)
+let in_open_interval ~a ~b x =
+  if Bitkey.compare a b < 0 then Bitkey.compare a x < 0 && Bitkey.compare x b < 0
+  else if Bitkey.compare a b > 0 then Bitkey.compare x a > 0 || Bitkey.compare x b < 0
+  else not (Bitkey.equal x a)
+
+(* (a, b] circular; when a = b the interval wraps the whole ring (the
+   single-node / self-successor case). *)
+let in_half_open ~a ~b x =
+  Bitkey.equal a b || in_open_interval ~a ~b x || Bitkey.equal x b
+
+let make_node t id slot successor =
+  t.slots.(slot) <-
+    Some
+      {
+        id;
+        successor;
+        predecessor = None;
+        successor_list = [];
+        fingers = Array.make Bitkey.width successor;
+      };
+  t.count <- t.count + 1
+
+let random_fresh_id t =
+  let rec draw () =
+    let id = Bitkey.random t.rng in
+    let clash = ref false in
+    Array.iter
+      (function Some n when Bitkey.equal n.id id -> clash := true | Some _ | None -> ())
+      t.slots;
+    if !clash then draw () else id
+  in
+  draw ()
+
+let bootstrap t =
+  if t.count > 0 then invalid_arg "Chord_dynamic.bootstrap: ring is not empty";
+  match fresh_slot t with
+  | None -> invalid_arg "Chord_dynamic.bootstrap: zero capacity"
+  | Some slot ->
+      let id = random_fresh_id t in
+      make_node t id slot slot;
+      let n = get t slot in
+      n.predecessor <- Some slot;
+      n.successor_list <- [ slot ];
+      slot
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+(* Greedy routing over current pointers.  Probing a dead pointer costs a
+   message (the timeout) and the route tries the next option; it fails
+   only when every pointer out of the current node is dead. *)
+let lookup t ~source ~key =
+  if not (is_member t source) then invalid_arg "Chord_dynamic.lookup: source not a member";
+  let messages = ref 0 in
+  let hops = ref 0 in
+  let current = ref source in
+  let result = ref None in
+  let give_up = ref false in
+  let budget = 4 * Array.length t.slots in
+  while !result = None && (not !give_up) && !hops <= budget do
+    let n = get t !current in
+    let succ_alive = is_member t n.successor in
+    if succ_alive && in_half_open ~a:n.id ~b:(id_of t n.successor) key then begin
+      incr messages;
+      result := Some n.successor
+    end
+    else begin
+      (* Closest preceding alive finger. *)
+      let chosen = ref None in
+      let j = ref (Bitkey.width - 1) in
+      while !chosen = None && !j >= 0 do
+        let f = n.fingers.(!j) in
+        if f <> !current && is_member t f && in_open_interval ~a:n.id ~b:key (id_of t f)
+        then begin
+          incr messages;
+          chosen := Some f
+        end
+        else if f <> !current && not (is_member t f) then incr messages (* timeout *);
+        decr j
+      done;
+      match !chosen with
+      | Some f ->
+          incr hops;
+          current := f
+      | None ->
+          (* Fall back on the successor chain. *)
+          let rec try_successors = function
+            | [] -> None
+            | s :: rest ->
+                incr messages;
+                if is_member t s && s <> !current then Some s else try_successors rest
+          in
+          let next =
+            if succ_alive then begin
+              incr messages;
+              Some n.successor
+            end
+            else try_successors n.successor_list
+          in
+          (match next with
+          | Some s ->
+              incr hops;
+              current := s
+          | None -> give_up := true)
+    end
+  done;
+  if !hops > budget then give_up := true;
+  match !result with
+  | Some r when not !give_up -> { responsible = Some r; messages = !messages; hops = !hops }
+  | Some _ | None -> { responsible = None; messages = !messages; hops = !hops }
+
+let join t ~via =
+  if not (is_member t via) then Error "via is not a member"
+  else
+    match fresh_slot t with
+    | None -> Error "ring is at capacity"
+    | Some slot -> (
+        let id = random_fresh_id t in
+        let o = lookup t ~source:via ~key:id in
+        match o.responsible with
+        | None -> Error "join lookup failed; stabilize and retry"
+        | Some successor ->
+            make_node t id slot successor;
+            Ok (slot, o.messages + 1))
+
+let leave t ~node =
+  if not (is_member t node) then 0
+  else begin
+    let n = get t node in
+    let messages = ref 0 in
+    (match n.predecessor with
+    | Some p when is_member t p ->
+        incr messages;
+        (get t p).successor <- n.successor
+    | Some _ | None -> ());
+    if is_member t n.successor then begin
+      incr messages;
+      (get t n.successor).predecessor <- n.predecessor
+    end;
+    t.slots.(node) <- None;
+    t.count <- t.count - 1;
+    !messages
+  end
+
+let crash t ~node =
+  if is_member t node then begin
+    t.slots.(node) <- None;
+    t.count <- t.count - 1
+  end
+
+let ideal_responsible t key =
+  let best = ref None in
+  Array.iteri
+    (fun slot entry ->
+      match entry with
+      | None -> ()
+      | Some n -> (
+          let better current =
+            (* smallest id >= key; fall back to the global minimum id *)
+            match current with
+            | None -> true
+            | Some c ->
+                let cid = id_of t c in
+                if Bitkey.compare cid key >= 0 then
+                  Bitkey.compare n.id key >= 0 && Bitkey.compare n.id cid < 0
+                else
+                  Bitkey.compare n.id key >= 0 || Bitkey.compare n.id cid < 0
+          in
+          if better !best then best := Some slot))
+    t.slots;
+  !best
+
+let stabilize_node t slot =
+  if not (is_member t slot) then 0
+  else begin
+    let n = get t slot in
+    let messages = ref 0 in
+    (* 1. Replace a dead successor from the successor list (or, as a
+       last resort, with the ideal successor — modelling the expensive
+       rejoin-by-lookup a real node would perform). *)
+    if not (is_member t n.successor) then begin
+      let rec first_alive = function
+        | [] -> None
+        | s :: rest ->
+            incr messages;
+            if is_member t s && s <> slot then Some s else first_alive rest
+      in
+      match first_alive n.successor_list with
+      | Some s -> n.successor <- s
+      | None -> (
+          match ideal_responsible t (half_add n.id 1) with
+          | Some s ->
+              messages := !messages + 3;
+              n.successor <- s
+          | None -> n.successor <- slot)
+    end;
+    if is_member t n.successor then begin
+      let succ = get t n.successor in
+      (* 2. Rectify: adopt our successor's predecessor if it sits
+         between us.  With a self-successor (bootstrap state) the
+         interval wraps the whole ring, so any notifier is adopted —
+         this is how the first node learns a second one exists. *)
+      incr messages;
+      (match succ.predecessor with
+      | Some p
+        when is_member t p && p <> slot
+             && in_open_interval ~a:n.id ~b:succ.id (id_of t p) ->
+          n.successor <- p
+      | Some _ | None -> ());
+      (* 3. Notify the (possibly new) successor. *)
+      if n.successor <> slot then begin
+        let succ = get t n.successor in
+        incr messages;
+        match succ.predecessor with
+        | Some p
+          when is_member t p && p <> n.successor
+               && not (in_open_interval ~a:(id_of t p) ~b:succ.id n.id) ->
+            ()
+        | Some _ | None -> succ.predecessor <- Some slot
+      end;
+      (* 4. Refresh the successor list from the successor. *)
+      incr messages;
+      let succ_list = (get t n.successor).successor_list in
+      n.successor_list <-
+        (n.successor :: succ_list)
+        |> List.filteri (fun i _ -> i < t.successor_list_length)
+    end;
+    (* 5. Repair one random finger by routing to its target. *)
+    let j = Rng.int t.rng Bitkey.width in
+    let target = half_add n.id (1 lsl j) in
+    (if not (is_member t n.fingers.(j)) then
+       match ideal_responsible t target with
+       | Some f ->
+           messages := !messages + 2;
+           n.fingers.(j) <- f
+       | None -> ());
+    !messages
+  end
+
+let stabilize t rng =
+  let order = Array.init (Array.length t.slots) Fun.id in
+  Pdht_util.Sampling.shuffle rng order;
+  Array.fold_left (fun acc slot -> acc + stabilize_node t slot) 0 order
+
+let ring_consistent t =
+  if t.count = 0 then true
+  else begin
+    (* Find any member, walk successors, require a single cycle visiting
+       every member with ids in circular order. *)
+    let start = ref None in
+    Array.iteri (fun i e -> if e <> None && !start = None then start := Some i) t.slots;
+    match !start with
+    | None -> true
+    | Some s ->
+        let visited = Hashtbl.create t.count in
+        let rec walk current steps =
+          if steps > t.count then false
+          else begin
+            Hashtbl.replace visited current ();
+            let n = get t current in
+            if not (is_member t n.successor) then false
+            else if n.successor = s then Hashtbl.length visited = t.count
+            else if Hashtbl.mem visited n.successor then false
+            else walk n.successor (steps + 1)
+          end
+        in
+        walk s 1
+  end

@@ -1,0 +1,65 @@
+type t = {
+  rng : Pdht_util.Rng.t option; (* None = static, always online *)
+  online : bool array;
+  mean_uptime : float;
+  mean_downtime : float;
+  mutable online_count : int;
+  mutable session_changes : int;
+  mutable callbacks : (peer:int -> now_online:bool -> time:float -> unit) list;
+}
+
+let create rng ~peers ~mean_uptime ~mean_downtime ~initially_online_fraction =
+  if peers < 1 then invalid_arg "Churn.create: need >= 1 peer";
+  if not (mean_uptime > 0. && mean_downtime > 0.) then
+    invalid_arg "Churn.create: durations must be positive";
+  if initially_online_fraction < 0. || initially_online_fraction > 1. then
+    invalid_arg "Churn.create: fraction outside [0,1]";
+  let online =
+    Array.init peers (fun _ -> Pdht_util.Rng.bernoulli rng ~p:initially_online_fraction)
+  in
+  let online_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 online in
+  { rng = Some rng; online; mean_uptime; mean_downtime; online_count;
+    session_changes = 0; callbacks = [] }
+
+let always_online ~peers =
+  if peers < 1 then invalid_arg "Churn.always_online: need >= 1 peer";
+  { rng = None; online = Array.make peers true; mean_uptime = 1.; mean_downtime = 1.;
+    online_count = peers; session_changes = 0; callbacks = [] }
+
+let peers t = Array.length t.online
+let online t p = t.online.(p)
+let online_count t = t.online_count
+
+let availability t =
+  match t.rng with
+  | None -> 1.
+  | Some _ -> t.mean_uptime /. (t.mean_uptime +. t.mean_downtime)
+
+let on_toggle t f = t.callbacks <- t.callbacks @ [ f ]
+let session_changes t = t.session_changes
+
+let toggle t peer time =
+  let now_online = not t.online.(peer) in
+  t.online.(peer) <- now_online;
+  t.online_count <- t.online_count + (if now_online then 1 else -1);
+  t.session_changes <- t.session_changes + 1;
+  List.iter (fun f -> f ~peer ~now_online ~time) t.callbacks
+
+let attach t engine =
+  match t.rng with
+  | None -> ()
+  | Some rng ->
+      let next_duration peer =
+        let rate =
+          if t.online.(peer) then 1. /. t.mean_uptime else 1. /. t.mean_downtime
+        in
+        Pdht_util.Rng.exponential rng ~rate
+      in
+      let rec schedule_toggle peer delay =
+        Pdht_sim.Engine.schedule engine ~delay (fun eng ->
+            toggle t peer (Pdht_sim.Engine.now eng);
+            schedule_toggle peer (next_duration peer))
+      in
+      for peer = 0 to peers t - 1 do
+        schedule_toggle peer (next_duration peer)
+      done

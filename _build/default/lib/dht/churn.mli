@@ -1,0 +1,44 @@
+(** Peer session (churn) model.
+
+    "Peers continuously join and leave the system" (paper Section
+    3.3.1); P2P clients are "extremely transient" [ChRa03].  Each peer
+    alternates independently between online sessions and offline gaps
+    with exponentially distributed durations, the standard model fit to
+    Gnutella traces in [MaCa03].
+
+    The model is driven by a {!Pdht_sim.Engine}: [attach] schedules the
+    on/off toggle events.  Without an engine it can also be stepped
+    manually with [advance_to]. *)
+
+type t
+
+val create :
+  Pdht_util.Rng.t ->
+  peers:int ->
+  mean_uptime:float ->
+  mean_downtime:float ->
+  initially_online_fraction:float ->
+  t
+(** Durations in seconds, both strictly positive.  Each peer starts
+    online with probability [initially_online_fraction]. *)
+
+val always_online : peers:int -> t
+(** Degenerate model with no churn (for model-validation runs). *)
+
+val peers : t -> int
+val online : t -> int -> bool
+val online_count : t -> int
+val availability : t -> float
+(** Stationary expected fraction online:
+    [mean_uptime / (mean_uptime + mean_downtime)] (1. without churn). *)
+
+val attach : t -> Pdht_sim.Engine.t -> unit
+(** Schedule every peer's next toggle on the engine; toggles reschedule
+    themselves, so one call drives the model for the whole run. *)
+
+val on_toggle : t -> (peer:int -> now_online:bool -> time:float -> unit) -> unit
+(** Register a callback fired at every session transition (after the
+    state change).  Multiple callbacks run in registration order. *)
+
+val session_changes : t -> int
+(** Total number of transitions so far (a churn-intensity measure). *)

@@ -1,0 +1,87 @@
+type backend = Chord_backend | Pgrid_backend | Kademlia_backend | Pastry_backend
+
+type impl =
+  | Chord of Chord.t
+  | Pgrid of Pgrid.t
+  | Kademlia of Kademlia.t
+  | Pastry of Pastry.t
+
+type t = { impl : impl }
+
+let create rng ~backend ~members ?(leaf_size = 1) ?(refs_per_level = 3) () =
+  match backend with
+  | Chord_backend -> { impl = Chord (Chord.create rng ~members) }
+  | Pgrid_backend -> { impl = Pgrid (Pgrid.build rng ~members ~leaf_size ~refs_per_level) }
+  | Kademlia_backend ->
+      { impl = Kademlia (Kademlia.create rng ~members ~bucket_size:(max 4 refs_per_level) ()) }
+  | Pastry_backend ->
+      { impl = Pastry (Pastry.create rng ~members ~leaf_set_size:(max 4 refs_per_level) ()) }
+
+let backend t =
+  match t.impl with
+  | Chord _ -> Chord_backend
+  | Pgrid _ -> Pgrid_backend
+  | Kademlia _ -> Kademlia_backend
+  | Pastry _ -> Pastry_backend
+
+let backend_label = function
+  | Chord_backend -> "chord"
+  | Pgrid_backend -> "p-grid"
+  | Kademlia_backend -> "kademlia"
+  | Pastry_backend -> "pastry"
+
+let members t =
+  match t.impl with
+  | Chord c -> Chord.members c
+  | Pgrid g -> Pgrid.members g
+  | Kademlia k -> Kademlia.members k
+  | Pastry p -> Pastry.members p
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+let lookup t rng ~online ~source ~key =
+  match t.impl with
+  | Chord c ->
+      let o = Chord.lookup c ~online ~source ~key in
+      { responsible = o.Chord.responsible; messages = o.Chord.messages; hops = o.Chord.hops }
+  | Pgrid g ->
+      let o = Pgrid.lookup g rng ~online ~source ~key in
+      { responsible = o.Pgrid.responsible; messages = o.Pgrid.messages; hops = o.Pgrid.hops }
+  | Kademlia k ->
+      let o = Kademlia.lookup k rng ~online ~source ~key in
+      { responsible = o.Kademlia.responsible; messages = o.Kademlia.messages;
+        hops = o.Kademlia.hops }
+  | Pastry p ->
+      let o = Pastry.lookup p rng ~online ~source ~key in
+      { responsible = o.Pastry.responsible; messages = o.Pastry.messages;
+        hops = o.Pastry.hops }
+
+let responsible t ~online key =
+  match t.impl with
+  | Chord c -> Chord.responsible c ~online key
+  | Pgrid g -> Pgrid.responsible g ~online key
+  | Kademlia k -> Kademlia.responsible k ~online key
+  | Pastry p -> Pastry.responsible p ~online key
+
+let replica_group t ~repl key =
+  match t.impl with
+  | Chord c -> Chord.successors c key ~k:repl
+  | Pgrid g -> Pgrid.responsible_peers g key
+  | Kademlia k -> Kademlia.closest_members k key ~k:repl
+  | Pastry p -> Pastry.replica_group p key ~k:repl
+
+let probe_and_repair t rng ~online ~peer ~probes =
+  match t.impl with
+  | Chord c -> Chord.probe_and_repair c rng ~online ~peer ~probes
+  | Pgrid g -> Pgrid.probe_and_repair g rng ~online ~peer ~probes
+  | Kademlia k -> Kademlia.probe_and_repair k rng ~online ~peer ~probes
+  | Pastry p -> Pastry.probe_and_repair p rng ~online ~peer ~probes
+
+let routing_table_size t p =
+  match t.impl with
+  | Chord c -> Chord.finger_count c p
+  | Pgrid g -> Pgrid.routing_table_size g p
+  | Kademlia k -> Kademlia.routing_table_size k p
+  | Pastry pa -> Pastry.routing_table_size pa p
+
+let expected_lookup_messages t = Chord.expected_lookup_messages ~members:(members t)

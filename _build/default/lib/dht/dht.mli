@@ -1,0 +1,56 @@
+(** Uniform facade over the structured substrates.
+
+    The PDHT core is generic over "a traditional DHT" (the paper
+    analyses the class, not one system); this module erases the
+    difference between {!Chord}, {!Pgrid}, {!Kademlia} and {!Pastry}
+    behind one lookup/maintain interface — supporting the paper's claim
+    that the scheme "can be used for any of the DHT based systems". *)
+
+type backend = Chord_backend | Pgrid_backend | Kademlia_backend | Pastry_backend
+
+val backend_label : backend -> string
+
+type t
+
+val create :
+  Pdht_util.Rng.t ->
+  backend:backend ->
+  members:int ->
+  ?leaf_size:int ->
+  ?refs_per_level:int ->
+  unit ->
+  t
+(** [leaf_size] applies to P-Grid (default 1); [refs_per_level]
+    (default 3) sets P-Grid's per-level references, Kademlia's bucket
+    size and Pastry's leaf-set half-width (floored at 4 for the
+    latter two, which need redundancy to terminate routing). *)
+
+val backend : t -> backend
+val members : t -> int
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+val lookup :
+  t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  source:int ->
+  key:Pdht_util.Bitkey.t ->
+  outcome
+
+val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
+
+val replica_group : t -> repl:int -> Pdht_util.Bitkey.t -> int array
+(** The peers that should hold a key, targeting [repl] replicas: for
+    Chord the key's [repl] ring successors; for P-Grid the responsible
+    leaf group (build with [leaf_size = repl] to match — the group is
+    whatever the trie split produced); for Kademlia the [repl]
+    XOR-closest members; for Pastry the [repl] numerically closest. *)
+
+val probe_and_repair :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int
+
+val routing_table_size : t -> int -> int
+
+val expected_lookup_messages : t -> float
+(** Eq. 7 with this DHT's member count. *)

@@ -1,0 +1,185 @@
+module Bitkey = Pdht_util.Bitkey
+module Rng = Pdht_util.Rng
+
+type t = {
+  ids : Bitkey.t array; (* member -> id *)
+  buckets : int array array array; (* member -> cpl bucket -> entries *)
+  bucket_size : int;
+  alpha : int;
+}
+
+let members t = Array.length t.ids
+let id_of t m = t.ids.(m)
+
+let distance key id = Bitkey.xor_distance key id
+
+(* The [k] members closest to [key] in XOR distance.  A full scan keeps
+   this exact; member counts in simulations are small enough that the
+   O(n log n) cost never shows up outside construction. *)
+let closest_members t key ~k =
+  let n = members t in
+  let k = min k n in
+  if k < 0 then invalid_arg "Kademlia.closest_members: negative k";
+  let order = Array.init n Fun.id in
+  Array.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b))) order;
+  Array.sub order 0 k
+
+let responsible t ~online key =
+  let n = members t in
+  let best = ref None in
+  for m = 0 to n - 1 do
+    if online m then
+      match !best with
+      | None -> best := Some m
+      | Some b -> if distance key t.ids.(m) < distance key t.ids.(b) then best := Some m
+  done;
+  !best
+
+let create rng ~members:n ?(bucket_size = 8) ?(alpha = 3) () =
+  if n < 1 then invalid_arg "Kademlia.create: need >= 1 member";
+  if bucket_size < 1 then invalid_arg "Kademlia.create: bucket_size must be >= 1";
+  if alpha < 1 then invalid_arg "Kademlia.create: alpha must be >= 1";
+  let seen = Hashtbl.create n in
+  let ids =
+    Array.init n (fun _ ->
+        let rec fresh () =
+          let id = Bitkey.random rng in
+          if Hashtbl.mem seen id then fresh ()
+          else begin
+            Hashtbl.add seen id ();
+            id
+          end
+        in
+        fresh ())
+  in
+  (* Global construction: reservoir-sample up to [bucket_size] members
+     into each common-prefix-length bucket.  One O(n^2) pass with a
+     cheap inner body; fine at simulation scale. *)
+  let buckets =
+    Array.init n (fun m ->
+        let mine = ids.(m) in
+        let per_bucket = Array.make Bitkey.width [] in
+        let counts = Array.make Bitkey.width 0 in
+        for other = 0 to n - 1 do
+          if other <> m then begin
+            let cpl = Bitkey.common_prefix_length mine ids.(other) in
+            let b = min cpl (Bitkey.width - 1) in
+            counts.(b) <- counts.(b) + 1;
+            if List.length per_bucket.(b) < bucket_size then
+              per_bucket.(b) <- other :: per_bucket.(b)
+            else if Rng.int rng counts.(b) < bucket_size then begin
+              (* Reservoir replacement keeps bucket membership uniform
+                 among eligible members. *)
+              let keep = List.filteri (fun i _ -> i > 0) per_bucket.(b) in
+              per_bucket.(b) <- other :: keep
+            end
+          end
+        done;
+        Array.map Array.of_list per_bucket)
+  in
+  { ids; buckets; bucket_size; alpha }
+
+(* A member's routing-table answer to "who do you know near [key]?" *)
+let closest_in_table t member key ~k =
+  let entries =
+    Array.to_list t.buckets.(member) |> List.concat_map Array.to_list
+  in
+  let sorted =
+    List.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b))) entries
+  in
+  List.filteri (fun i _ -> i < k) sorted
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+let lookup t rng ~online ~source ~key =
+  ignore rng;
+  if source < 0 || source >= members t then invalid_arg "Kademlia.lookup: bad source";
+  if not (online source) then { responsible = None; messages = 0; hops = 0 }
+  else
+    match responsible t ~online key with
+    | None -> { responsible = None; messages = 0; hops = 0 }
+    | Some target ->
+        let messages = ref 0 in
+        let hops = ref 0 in
+        let contacted = Hashtbl.create 64 in
+        let dead = Hashtbl.create 16 in
+        let candidates = Hashtbl.create 64 in
+        let add_candidate m = if not (Hashtbl.mem candidates m) then Hashtbl.replace candidates m () in
+        Hashtbl.replace contacted source ();
+        List.iter add_candidate (closest_in_table t source key ~k:t.bucket_size);
+        let best_online = ref (Some source) in
+        let improves m =
+          match !best_online with
+          | None -> true
+          | Some b -> distance key t.ids.(m) < distance key t.ids.(b)
+        in
+        let finished = ref (source = target) in
+        while not !finished do
+          (* Up to alpha closest uncontacted, un-dead candidates. *)
+          let pending =
+            Hashtbl.fold
+              (fun m () acc ->
+                if Hashtbl.mem contacted m || Hashtbl.mem dead m then acc else m :: acc)
+              candidates []
+            |> List.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b)))
+          in
+          match pending with
+          | [] -> finished := true
+          | _ :: _ ->
+              incr hops;
+              let batch = List.filteri (fun i _ -> i < t.alpha) pending in
+              List.iter
+                (fun m ->
+                  incr messages;
+                  if online m then begin
+                    Hashtbl.replace contacted m ();
+                    if improves m then best_online := Some m;
+                    List.iter add_candidate (closest_in_table t m key ~k:t.bucket_size)
+                  end
+                  else Hashtbl.replace dead m ())
+                batch;
+              (match !best_online with
+              | Some b when b = target -> finished := true
+              | Some _ | None -> ())
+        done;
+        let result = match !best_online with Some b when b = target -> Some target | _ -> None in
+        { responsible = result; messages = !messages; hops = !hops }
+
+let bucket_count t m =
+  Array.fold_left (fun acc b -> if Array.length b > 0 then acc + 1 else acc) 0 t.buckets.(m)
+
+let routing_table_size t m =
+  Array.fold_left (fun acc b -> acc + Array.length b) 0 t.buckets.(m)
+
+let probe_and_repair t rng ~online ~peer ~probes =
+  if probes < 0 then invalid_arg "Kademlia.probe_and_repair: negative probes";
+  let nonempty =
+    Array.to_list (Array.mapi (fun i b -> (i, b)) t.buckets.(peer))
+    |> List.filter (fun (_, b) -> Array.length b > 0)
+    |> Array.of_list
+  in
+  if Array.length nonempty = 0 then 0
+  else begin
+    let mine = t.ids.(peer) in
+    for _ = 1 to probes do
+      let b_idx, bucket = nonempty.(Rng.int rng (Array.length nonempty)) in
+      let i = Rng.int rng (Array.length bucket) in
+      if not (online bucket.(i)) then begin
+        (* Replace with a random online member sharing the same bucket
+           (common-prefix-length) if one exists; bounded sampling keeps
+           the repair cheap. *)
+        let n = members t in
+        let rec attempt k =
+          if k = 0 then ()
+          else
+            let cand = Rng.int rng n in
+            let cpl = Bitkey.common_prefix_length mine t.ids.(cand) in
+            let cand_bucket = min cpl (Bitkey.width - 1) in
+            if cand <> peer && online cand && cand_bucket = b_idx then bucket.(i) <- cand
+            else attempt (k - 1)
+        in
+        attempt 30
+      end
+    done;
+    probes
+  end

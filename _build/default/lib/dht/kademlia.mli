@@ -1,0 +1,54 @@
+(** Kademlia: XOR-metric DHT with k-buckets (Maymounkov & Mazieres).
+
+    A third structured substrate beside {!Chord} and {!Pgrid},
+    supporting the paper's claim that the partial-indexing scheme "can
+    be used for any of the DHT based systems".  A key is owned by the
+    [k_replica] members closest to it in XOR distance; lookups proceed
+    iteratively with [alpha]-way parallel probes, halving the distance
+    per round, for the usual O(log n) message cost.
+
+    Like the other substrates, membership is fixed at construction and
+    churn is an [online] predicate supplied per call. *)
+
+type t
+
+val create :
+  Pdht_util.Rng.t -> members:int -> ?bucket_size:int -> ?alpha:int -> unit -> t
+(** [bucket_size] (k, default 8) entries per distance bucket; [alpha]
+    (default 3) parallel probes per round.  Requires [members >= 1]. *)
+
+val members : t -> int
+val id_of : t -> int -> Pdht_util.Bitkey.t
+
+val closest_members : t -> Pdht_util.Bitkey.t -> k:int -> int array
+(** The [min k members] members closest to the key in XOR distance,
+    nearest first — the key's replica group. *)
+
+val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
+(** Closest online member, [None] if everyone is offline. *)
+
+type outcome = {
+  responsible : int option;
+  messages : int; (** every probe, including timeouts on offline peers *)
+  hops : int;     (** probe rounds *)
+}
+
+val lookup :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> key:Pdht_util.Bitkey.t -> outcome
+(** Iterative lookup from [source] (offline source fails free).
+    Succeeds when the globally closest *online* member has been
+    contacted; fails if the search stalls with every known closer
+    candidate offline. *)
+
+val bucket_count : t -> int -> int
+(** Non-empty k-buckets of a member. *)
+
+val routing_table_size : t -> int -> int
+(** Total routing entries a member currently holds. *)
+
+val probe_and_repair :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int
+(** Probe random bucket entries; an offline entry is replaced with a
+    random online member from the same bucket's distance range if one
+    exists (repair free, probes one message each — the [MaCa03]
+    discipline shared by all backends). *)

@@ -1,0 +1,32 @@
+let log2 x = Float.log x /. Float.log 2.
+
+let probes_per_peer_per_second ~env ~members =
+  if members < 1 then invalid_arg "Maintenance.probes_per_peer_per_second";
+  env *. log2 (float_of_int (max 2 members))
+
+let env_from_trace ~maintenance_rate ~members =
+  if members < 2 then invalid_arg "Maintenance.env_from_trace: need >= 2 members";
+  maintenance_rate /. log2 (float_of_int members)
+
+let attach engine ~dht ~rng ~online ~metrics ~env ~interval =
+  if not (interval > 0.) then invalid_arg "Maintenance.attach: interval must be positive";
+  let members = Dht.members dht in
+  let budget = probes_per_peer_per_second ~env ~members *. interval in
+  let whole = int_of_float (Float.floor budget) in
+  let frac = budget -. Float.floor budget in
+  let tick engine =
+    let _ = engine in
+    for peer = 0 to members - 1 do
+      if online peer then begin
+        let probes = whole + (if Pdht_util.Rng.bernoulli rng ~p:frac then 1 else 0) in
+        let sent = Dht.probe_and_repair dht rng ~online ~peer ~probes in
+        Pdht_sim.Metrics.charge metrics Pdht_sim.Metrics.Maintenance sent
+      end
+    done
+  in
+  Pdht_sim.Engine.schedule_periodic engine ~first:interval ~every:interval tick
+
+let cost_per_key_per_second ~env ~members ~indexed_keys =
+  if indexed_keys <= 0 then invalid_arg "Maintenance.cost_per_key_per_second: no keys";
+  let m = float_of_int members in
+  env *. log2 m *. m /. float_of_int indexed_keys

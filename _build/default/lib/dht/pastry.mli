@@ -1,0 +1,60 @@
+(** Pastry: prefix routing with leaf sets ([RoDr01]).
+
+    The fourth structured substrate — and the one whose maintenance
+    behaviour [MaCa03] measured to calibrate the paper's [env] constant,
+    so it belongs in this reproduction.  Identifiers are sequences of
+    base-[2^b] digits; each member keeps a routing table with one row
+    per shared-prefix length (a matching entry per digit value) and a
+    leaf set of the [leaf_set_size] numerically closest members on each
+    side.  Routing resolves one digit per hop, giving
+    O(log_{2^b} members) lookups; the leaf set finishes the last hop and
+    provides the key's replica group.
+
+    Membership is fixed at construction; churn arrives as an [online]
+    predicate per call, exactly as for {!Chord}, {!Pgrid} and
+    {!Kademlia}. *)
+
+type t
+
+val create :
+  Pdht_util.Rng.t -> members:int -> ?digit_bits:int -> ?leaf_set_size:int -> unit -> t
+(** [digit_bits] (b, default 2: base-4 digits) must divide into
+    {!Pdht_util.Bitkey.width} at least once; [leaf_set_size] (default 8)
+    is the leaf-set half-width.  Requires [members >= 1]. *)
+
+val members : t -> int
+val id_of : t -> int -> Pdht_util.Bitkey.t
+
+val numerically_closest : t -> Pdht_util.Bitkey.t -> int
+(** Owner of a key ignoring churn: the member whose id minimises
+    |id - key| on the circular id space. *)
+
+val leaf_set : t -> int -> int array
+(** A member's leaf set (both sides, nearest first). *)
+
+val replica_group : t -> Pdht_util.Bitkey.t -> k:int -> int array
+(** The [min k members] members numerically closest to the key — the
+    Pastry replica group. *)
+
+val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
+(** Numerically closest online member. *)
+
+type outcome = {
+  responsible : int option;
+  messages : int;
+  hops : int;
+}
+
+val lookup :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> key:Pdht_util.Bitkey.t -> outcome
+(** Prefix routing from [source]; offline routing entries cost a timeout
+    message each and fall back to the leaf set (and, in the worst case,
+    a numerically-closer known member), as in deployed Pastry. *)
+
+val routing_table_size : t -> int -> int
+
+val probe_and_repair :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int
+(** The shared [MaCa03] probing discipline: probe random routing
+    entries, replace discovered-offline ones with an online member
+    matching the same prefix slot when available. *)

@@ -1,0 +1,165 @@
+module Bitkey = Pdht_util.Bitkey
+module Rng = Pdht_util.Rng
+module Sampling = Pdht_util.Sampling
+
+type t = {
+  paths : string array; (* peer -> binary path *)
+  refs : int array array array; (* peer -> level -> complementary references *)
+  leaves : (string, int array) Hashtbl.t; (* terminal path -> replica group *)
+  subtrees : (string, int array) Hashtbl.t; (* any trie prefix -> peers under it *)
+  refs_per_level : int;
+  max_depth : int;
+}
+
+let members t = Array.length t.paths
+let path_of t p = t.paths.(p)
+let path_length t p = String.length t.paths.(p)
+let max_path_length t = t.max_depth
+
+let build rng ~members:n ~leaf_size ~refs_per_level =
+  if n < 1 then invalid_arg "Pgrid.build: need >= 1 member";
+  if leaf_size < 1 then invalid_arg "Pgrid.build: leaf_size must be >= 1";
+  if refs_per_level < 1 then invalid_arg "Pgrid.build: refs_per_level must be >= 1";
+  let paths = Array.make n "" in
+  let leaves = Hashtbl.create 64 in
+  let subtrees = Hashtbl.create 256 in
+  let max_depth = ref 0 in
+  (* Balanced recursive split: both halves differ in size by at most
+     one, giving near-uniform path lengths — the shape a converged
+     P-Grid reaches under uniform load. *)
+  let rec split prefix peers =
+    Hashtbl.replace subtrees prefix peers;
+    if Array.length peers <= leaf_size || String.length prefix >= Bitkey.width then begin
+      Hashtbl.replace leaves prefix peers;
+      Array.iter (fun p -> paths.(p) <- prefix) peers;
+      if String.length prefix > !max_depth then max_depth := String.length prefix
+    end
+    else begin
+      let shuffled = Array.copy peers in
+      Sampling.shuffle rng shuffled;
+      let half = Array.length shuffled / 2 in
+      split (prefix ^ "0") (Array.sub shuffled 0 half);
+      split (prefix ^ "1") (Array.sub shuffled half (Array.length shuffled - half))
+    end
+  in
+  split "" (Array.init n Fun.id);
+  let complement path l =
+    let flipped = if path.[l] = '0' then '1' else '0' in
+    String.sub path 0 l ^ String.make 1 flipped
+  in
+  let refs =
+    Array.init n (fun p ->
+        let path = paths.(p) in
+        Array.init (String.length path) (fun l ->
+            let pool = Hashtbl.find subtrees (complement path l) in
+            let k = min refs_per_level (Array.length pool) in
+            let idx = Sampling.sample_without_replacement rng ~k ~n:(Array.length pool) in
+            Array.map (fun i -> pool.(i)) idx))
+  in
+  { paths; refs; leaves; subtrees; refs_per_level; max_depth = !max_depth }
+
+let key_matches_path key path =
+  let rec go i = i = String.length path || (Bitkey.bit key i = (path.[i] = '1') && go (i + 1)) in
+  go 0
+
+(* Length of the longest common prefix of the key's bits and [path]. *)
+let match_length key path =
+  let n = String.length path in
+  let rec go i = if i < n && Bitkey.bit key i = (path.[i] = '1') then go (i + 1) else i in
+  go 0
+
+let responsible_peers t key =
+  let rec descend prefix i =
+    match Hashtbl.find_opt t.leaves prefix with
+    | Some peers -> peers
+    | None ->
+        if i >= Bitkey.width then [||]
+        else
+          let bit = if Bitkey.bit key i then "1" else "0" in
+          descend (prefix ^ bit) (i + 1)
+  in
+  descend "" 0
+
+let responsible t ~online key =
+  let peers = responsible_peers t key in
+  let rec scan i =
+    if i = Array.length peers then None
+    else if online peers.(i) then Some peers.(i)
+    else scan (i + 1)
+  in
+  scan 0
+
+let refs_at t ~peer ~level =
+  if level < 0 || level >= Array.length t.refs.(peer) then
+    invalid_arg "Pgrid.refs_at: level out of range";
+  t.refs.(peer).(level)
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+let lookup t rng ~online ~source ~key =
+  if source < 0 || source >= members t then invalid_arg "Pgrid.lookup: bad source";
+  if not (online source) then { responsible = None; messages = 0; hops = 0 }
+  else begin
+    let messages = ref 0 in
+    let hops = ref 0 in
+    let current = ref source in
+    let failed = ref false in
+    let arrived = ref (key_matches_path key t.paths.(source)) in
+    (* Every hop extends the matched prefix by at least one bit, so the
+       loop runs at most [max_depth] times. *)
+    while (not !arrived) && not !failed do
+      let path = t.paths.(!current) in
+      let l = match_length key path in
+      let candidates = Array.copy t.refs.(!current).(l) in
+      Sampling.shuffle rng candidates;
+      let next = ref None in
+      let i = ref 0 in
+      while !next = None && !i < Array.length candidates do
+        incr messages;
+        if online candidates.(!i) then next := Some candidates.(!i);
+        incr i
+      done;
+      match !next with
+      | Some p ->
+          incr hops;
+          current := p;
+          if key_matches_path key t.paths.(p) then arrived := true
+      | None -> failed := true
+    done;
+    if !failed then { responsible = None; messages = !messages; hops = !hops }
+    else { responsible = Some !current; messages = !messages; hops = !hops }
+  end
+
+let probe_and_repair t rng ~online ~peer ~probes =
+  if probes < 0 then invalid_arg "Pgrid.probe_and_repair: negative probes";
+  let levels = Array.length t.refs.(peer) in
+  if levels = 0 then 0
+  else begin
+    for _ = 1 to probes do
+      let l = Rng.int rng levels in
+      let arr = t.refs.(peer).(l) in
+      if Array.length arr > 0 then begin
+        let i = Rng.int rng (Array.length arr) in
+        if not (online arr.(i)) then begin
+          (* Replace with an online peer from the same complementary
+             subtree, if one exists. *)
+          let path = t.paths.(peer) in
+          let flipped = if path.[l] = '0' then '1' else '0' in
+          let comp = String.sub path 0 l ^ String.make 1 flipped in
+          let pool = Hashtbl.find t.subtrees comp in
+          let tries = min 20 (2 * Array.length pool) in
+          let rec attempt k =
+            if k = 0 then ()
+            else
+              let cand = pool.(Rng.int rng (Array.length pool)) in
+              if online cand then arr.(i) <- cand else attempt (k - 1)
+          in
+          attempt tries
+        end
+      end
+    done;
+    probes
+  end
+
+let routing_table_size t p =
+  Array.fold_left (fun acc refs -> acc + Array.length refs) 0 t.refs.(p)

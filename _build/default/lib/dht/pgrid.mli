@@ -1,0 +1,61 @@
+(** P-Grid: a self-organizing binary-trie access structure ([Aber01]).
+
+    The paper's own prototype runs on P-Grid, so we implement it as the
+    primary structured substrate.  Construction recursively splits the
+    member set: peers on the '0' side of a split extend their path with
+    0, peers on the '1' side with 1, until at most [leaf_size] peers
+    share a path.  A peer with path {m pi} is responsible for every key
+    that starts with {m pi}; peers sharing a path are natural replicas.
+
+    At each level [l] of its path a peer keeps [refs_per_level]
+    references to peers on the complementary subtree.  Routing forwards
+    a query to a reference at the first level where the key disagrees
+    with the current peer's path, resolving at least one more bit per
+    hop — the [O(log2 members)] behaviour the model's Eq. 7 assumes. *)
+
+type t
+
+val build :
+  Pdht_util.Rng.t -> members:int -> leaf_size:int -> refs_per_level:int -> t
+(** Requires [members >= 1], [leaf_size >= 1], [refs_per_level >= 1]. *)
+
+val members : t -> int
+val path_of : t -> int -> string
+(** The peer's binary path as a '0'/'1' string. *)
+
+val path_length : t -> int -> int
+val max_path_length : t -> int
+
+val responsible_peers : t -> Pdht_util.Bitkey.t -> int array
+(** All peers (the leaf replica group) whose path prefixes the key. *)
+
+val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
+(** Any online peer of the responsible leaf (lowest index for
+    determinism). *)
+
+val refs_at : t -> peer:int -> level:int -> int array
+(** Complementary-subtree references of [peer] at [level] (< its path
+    length). *)
+
+type outcome = { responsible : int option; messages : int; hops : int }
+
+val lookup :
+  t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  source:int ->
+  key:Pdht_util.Bitkey.t ->
+  outcome
+(** Route from [source]; each forwarding attempt costs one message,
+    attempts to offline references cost one message each (timeout).
+    Fails ([responsible = None]) if some level's references are all
+    offline and the local leaf cannot answer. *)
+
+val probe_and_repair :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int
+(** Probe random routing references; offline ones are replaced by a
+    random online peer from the same complementary subtree (repair free,
+    probes cost one message each — see {!Chord.probe_and_repair}). *)
+
+val routing_table_size : t -> int -> int
+(** Total references a peer currently holds. *)

@@ -1,0 +1,117 @@
+type eviction =
+  | Evict_soonest_expiry
+  | Evict_lru
+  | Evict_random
+
+type 'v entry = { value : 'v; mutable expiry : float; mutable last_touch : float }
+
+type 'v t = {
+  capacity : int;
+  eviction : eviction;
+  table : (Pdht_util.Bitkey.t, 'v entry) Hashtbl.t;
+  rng : Pdht_util.Rng.t; (* only consulted by Evict_random *)
+}
+
+let create ?(eviction = Evict_soonest_expiry) ?(seed = 0) ~capacity () =
+  if capacity < 1 then invalid_arg "Storage.create: capacity must be >= 1";
+  { capacity; eviction; table = Hashtbl.create (min capacity 64);
+    rng = Pdht_util.Rng.create ~seed }
+
+let capacity t = t.capacity
+let eviction_policy t = t.eviction
+
+let expire t ~now =
+  let stale =
+    Hashtbl.fold (fun k e acc -> if e.expiry <= now then k :: acc else acc) t.table []
+  in
+  List.iter (Hashtbl.remove t.table) stale;
+  List.length stale
+
+(* Victim selection is a linear scan: capacity is a per-peer cache size
+   (order 100 in the paper scenario), so a scan is cheaper than
+   maintaining an ordered structure under the frequent TTL refreshes. *)
+let evict_one t =
+  match t.eviction with
+  | Evict_soonest_expiry ->
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | None -> Some (k, e.expiry)
+            | Some (_, best) -> if e.expiry < best then Some (k, e.expiry) else acc)
+          t.table None
+      in
+      (match victim with None -> () | Some (k, _) -> Hashtbl.remove t.table k)
+  | Evict_lru ->
+      let victim =
+        Hashtbl.fold
+          (fun k e acc ->
+            match acc with
+            | None -> Some (k, e.last_touch)
+            | Some (_, best) -> if e.last_touch < best then Some (k, e.last_touch) else acc)
+          t.table None
+      in
+      (match victim with None -> () | Some (k, _) -> Hashtbl.remove t.table k)
+  | Evict_random ->
+      let n = Hashtbl.length t.table in
+      if n > 0 then begin
+        let target = Pdht_util.Rng.int t.rng n in
+        let idx = ref 0 in
+        let victim = ref None in
+        Hashtbl.iter
+          (fun k _ ->
+            if !idx = target then victim := Some k;
+            incr idx)
+          t.table;
+        match !victim with None -> () | Some k -> Hashtbl.remove t.table k
+      end
+
+let put t ~key ~value ~now ~ttl =
+  if ttl <= 0. then invalid_arg "Storage.put: ttl must be positive";
+  (match Hashtbl.find_opt t.table key with
+  | Some _ -> Hashtbl.remove t.table key
+  | None ->
+      if Hashtbl.length t.table >= t.capacity then begin
+        let _ = expire t ~now in
+        if Hashtbl.length t.table >= t.capacity then evict_one t
+      end);
+  Hashtbl.replace t.table key { value; expiry = now +. ttl; last_touch = now }
+
+let find_live t ~key ~now =
+  match Hashtbl.find_opt t.table key with
+  | None -> None
+  | Some e ->
+      if e.expiry <= now then begin
+        Hashtbl.remove t.table key;
+        None
+      end
+      else Some e
+
+let get t ~key ~now =
+  match find_live t ~key ~now with
+  | None -> None
+  | Some e ->
+      e.last_touch <- now;
+      Some e.value
+
+let get_and_refresh t ~key ~now ~ttl =
+  match find_live t ~key ~now with
+  | None -> None
+  | Some e ->
+      e.expiry <- now +. ttl;
+      e.last_touch <- now;
+      Some e.value
+
+let mem t ~key ~now = find_live t ~key ~now <> None
+let remove t ~key = Hashtbl.remove t.table key
+
+let live_count t ~now =
+  let _ = expire t ~now in
+  Hashtbl.length t.table
+
+let fold_live t ~now ~init ~f =
+  let _ = expire t ~now in
+  Hashtbl.fold (fun k e acc -> f acc k e.value) t.table init
+
+let expiry t ~key =
+  match Hashtbl.find_opt t.table key with None -> None | Some e -> Some e.expiry

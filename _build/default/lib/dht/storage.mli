@@ -1,0 +1,61 @@
+(** Per-peer bounded key-value store with expiration times.
+
+    This implements the paper's index-cache behaviour directly: "Each
+    key has an expiration time keyTtl ... The expiration time of a key
+    is reset ... whenever the peer that stores the key receives a query
+    for it.  Therefore, peers evict those keys from their local storage
+    that have not been queried for keyTtl rounds" (Section 5.1), over a
+    cache of [stor] key-value pairs per peer (Table 1).
+
+    When a peer's cache is full, something must go.  Expired entries are
+    always purged first; the {!eviction} policy picks the victim among
+    live entries.  The paper's TTL semantics make {!Evict_soonest_expiry}
+    the natural choice (the entry the algorithm was going to drop next);
+    the alternatives exist for the ablation bench. *)
+
+type eviction =
+  | Evict_soonest_expiry  (** drop the entry closest to timing out *)
+  | Evict_lru             (** drop the least recently touched entry *)
+  | Evict_random          (** drop a pseudo-random entry (deterministic
+                              in the store's construction seed) *)
+
+type 'v t
+
+val create : ?eviction:eviction -> ?seed:int -> capacity:int -> unit -> 'v t
+(** Requires [capacity >= 1].  [eviction] defaults to
+    {!Evict_soonest_expiry}; [seed] (default 0) only matters for
+    {!Evict_random}. *)
+
+val capacity : 'v t -> int
+val eviction_policy : 'v t -> eviction
+
+val put : 'v t -> key:Pdht_util.Bitkey.t -> value:'v -> now:float -> ttl:float -> unit
+(** Insert or overwrite; expiry becomes [now +. ttl].  On a full store,
+    expired entries are purged, then the policy victim is evicted. *)
+
+val get : 'v t -> key:Pdht_util.Bitkey.t -> now:float -> 'v option
+(** Lookup; expired entries are treated as absent (and purged).  Does
+    NOT refresh the TTL — that is the caller's policy decision.  Counts
+    as a touch for LRU purposes. *)
+
+val get_and_refresh :
+  'v t -> key:Pdht_util.Bitkey.t -> now:float -> ttl:float -> 'v option
+(** The paper's query-hit behaviour: on a hit, the expiration time is
+    reset to [now +. ttl]. *)
+
+val mem : 'v t -> key:Pdht_util.Bitkey.t -> now:float -> bool
+(** Like {!get} but without the LRU touch (read-only probe). *)
+
+val remove : 'v t -> key:Pdht_util.Bitkey.t -> unit
+
+val expire : 'v t -> now:float -> int
+(** Purge everything past expiry; returns the number evicted. *)
+
+val live_count : 'v t -> now:float -> int
+(** Non-expired entries (purges as a side effect). *)
+
+val fold_live : 'v t -> now:float -> init:'a -> f:('a -> Pdht_util.Bitkey.t -> 'v -> 'a) -> 'a
+
+val expiry : 'v t -> key:Pdht_util.Bitkey.t -> float option
+(** Current expiration instant of a key, if present (possibly already
+    past). *)

@@ -1,0 +1,1 @@
+lib/dist/discrete.ml: Array Float Pdht_util

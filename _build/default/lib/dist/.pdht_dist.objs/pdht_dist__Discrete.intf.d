@@ -1,0 +1,1 @@
+lib/dist/discrete.mli: Pdht_util

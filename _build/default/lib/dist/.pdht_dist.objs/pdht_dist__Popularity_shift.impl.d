@@ -1,0 +1,1 @@
+lib/dist/popularity_shift.ml: Array Float

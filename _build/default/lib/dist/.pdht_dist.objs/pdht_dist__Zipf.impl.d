@@ -1,0 +1,1 @@
+lib/dist/zipf.ml: Array Float Pdht_util

@@ -1,0 +1,61 @@
+type scheme =
+  | Static
+  | Rotate of { shift_times : float array; offset : int }
+  | Swap_halves of { time : float }
+
+type t = { n : int; scheme : scheme }
+
+let static ~n =
+  if n < 1 then invalid_arg "Popularity_shift.static";
+  { n; scheme = Static }
+
+let rotate_at ~n ~shift_times ~offset =
+  if n < 1 then invalid_arg "Popularity_shift.rotate_at";
+  let times = Array.of_list shift_times in
+  Array.sort Float.compare times;
+  { n; scheme = Rotate { shift_times = times; offset = ((offset mod n) + n) mod n } }
+
+let swap_halves_at ~n ~time =
+  if n < 2 then invalid_arg "Popularity_shift.swap_halves_at: need n >= 2";
+  { n; scheme = Swap_halves { time } }
+
+let shifts_before times time =
+  (* Number of shift instants that have occurred strictly by [time]. *)
+  let n = Array.length times in
+  let rec count i = if i < n && times.(i) <= time then count (i + 1) else i in
+  count 0
+
+let key_of_rank t ~time rank =
+  if rank < 1 || rank > t.n then invalid_arg "Popularity_shift.key_of_rank: rank out of range";
+  let idx = rank - 1 in
+  match t.scheme with
+  | Static -> idx
+  | Rotate { shift_times; offset } ->
+      let k = shifts_before shift_times time in
+      (idx + (k * offset)) mod t.n
+  | Swap_halves { time = shift } ->
+      if time < shift then idx
+      else
+        let half = t.n / 2 in
+        if idx < half then idx + (t.n - half)
+        else idx - half
+
+let rank_of_key t ~time key =
+  if key < 0 || key >= t.n then invalid_arg "Popularity_shift.rank_of_key: key out of range";
+  let idx =
+    match t.scheme with
+    | Static -> key
+    | Rotate { shift_times; offset } ->
+        let k = shifts_before shift_times time in
+        let shift = k * offset mod t.n in
+        ((key - shift) mod t.n + t.n) mod t.n
+    | Swap_halves { time = shift } ->
+        if time < shift then key
+        else
+          let half = t.n / 2 in
+          let upper = t.n - half in
+          if key < upper then key + half else key - upper
+  in
+  idx + 1
+
+let n t = t.n

@@ -1,0 +1,34 @@
+(** Time-varying key popularity.
+
+    The paper motivates query-adaptive indexing with key popularity
+    that "can change dramatically over time" (Sections 1 and 6) and
+    claims the selection algorithm adapts to changing query
+    distributions (Section 5.2).  This module maps a rank distribution
+    onto concrete key identifiers through a permutation that changes
+    over simulated time, so the "most popular key" is a different key
+    before and after a shift. *)
+
+type t
+
+val static : n:int -> t
+(** Identity mapping forever: rank [r] is always key [r - 1]. *)
+
+val rotate_at : n:int -> shift_times:float list -> offset:int -> t
+(** At each time in [shift_times] (ascending), the rank-to-key mapping
+    rotates by [offset]: the key that was at rank [r] moves to rank
+    [r + offset] (mod n).  Models sudden popularity churn such as
+    breaking news. *)
+
+val swap_halves_at : n:int -> time:float -> t
+(** A single drastic shift at [time]: the most popular half of the key
+    space swaps with the least popular half.  The paper's "changing
+    query distribution" stress case. *)
+
+val key_of_rank : t -> time:float -> int -> int
+(** [key_of_rank t ~time rank] is the key id (0-based) holding [rank]
+    (1-based) at simulated [time]. *)
+
+val rank_of_key : t -> time:float -> int -> int
+(** Inverse of {!key_of_rank} at the same [time]. *)
+
+val n : t -> int

@@ -1,0 +1,1 @@
+lib/gossip/replica_net.ml: Array Hashtbl Int Pdht_util Queue Set

@@ -1,0 +1,1 @@
+lib/gossip/replica_net.mli: Pdht_util

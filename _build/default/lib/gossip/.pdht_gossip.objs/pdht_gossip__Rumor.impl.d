@@ -1,0 +1,1 @@
+lib/gossip/rumor.ml: Array Pdht_util Replica_net

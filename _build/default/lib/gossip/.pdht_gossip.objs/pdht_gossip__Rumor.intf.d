@@ -1,0 +1,1 @@
+lib/gossip/rumor.mli: Pdht_util Replica_net

@@ -1,0 +1,1 @@
+lib/gossip/update_model.ml:

@@ -1,0 +1,70 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  replicas : int array; (* member position -> global peer index *)
+  adj : int array array; (* member position -> member positions *)
+  index : (int, int) Hashtbl.t; (* global peer index -> member position *)
+}
+
+let build rng ~replicas ~chords =
+  let n = Array.length replicas in
+  if n = 0 then invalid_arg "Replica_net.build: empty replica set";
+  if chords < 0 then invalid_arg "Replica_net.build: negative chords";
+  let sets = Array.make n Int_set.empty in
+  let connect a b =
+    if a <> b then begin
+      sets.(a) <- Int_set.add b sets.(a);
+      sets.(b) <- Int_set.add a sets.(b)
+    end
+  in
+  if n > 1 then
+    for i = 0 to n - 1 do
+      connect i ((i + 1) mod n);
+      for _ = 1 to chords do
+        connect i (Pdht_util.Rng.int rng n)
+      done
+    done;
+  let adj = Array.map (fun s -> Array.of_list (Int_set.elements s)) sets in
+  let index = Hashtbl.create n in
+  Array.iteri (fun pos peer -> Hashtbl.replace index peer pos) replicas;
+  { replicas; adj; index }
+
+let size t = Array.length t.replicas
+let replicas t = t.replicas
+let neighbors t ~member = Array.map (fun pos -> t.replicas.(pos)) t.adj.(member)
+let member_of_peer t peer = Hashtbl.find_opt t.index peer
+
+type flood_result = { reached : int; messages : int }
+
+let flood t ~online ~from_peer =
+  match member_of_peer t from_peer with
+  | None -> { reached = 0; messages = 0 }
+  | Some start ->
+      if not (online t.replicas.(start)) then { reached = 0; messages = 0 }
+      else begin
+        let n = size t in
+        let visited = Array.make n false in
+        visited.(start) <- true;
+        let reached = ref 1 in
+        let messages = ref 0 in
+        let queue = Queue.create () in
+        Queue.add start queue;
+        while not (Queue.is_empty queue) do
+          let pos = Queue.pop queue in
+          Array.iter
+            (fun q ->
+              if online t.replicas.(q) then begin
+                incr messages;
+                if not visited.(q) then begin
+                  visited.(q) <- true;
+                  incr reached;
+                  Queue.add q queue
+                end
+              end)
+            t.adj.(pos)
+        done;
+        { reached = !reached; messages = !messages }
+      end
+
+let duplication_factor r =
+  if r.reached = 0 then 0. else float_of_int r.messages /. float_of_int r.reached

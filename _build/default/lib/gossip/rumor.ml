@@ -1,0 +1,82 @@
+type result = {
+  rounds : int;
+  messages : int;
+  informed : int;
+  online_members : int;
+}
+
+let spread rng ~net ~online ~origin_peer ~push_fanout ~max_rounds =
+  if push_fanout < 1 then invalid_arg "Rumor.spread: push_fanout must be >= 1";
+  if max_rounds < 1 then invalid_arg "Rumor.spread: max_rounds must be >= 1";
+  let n = Replica_net.size net in
+  let reps = Replica_net.replicas net in
+  let informed = Array.make n false in
+  let online_members =
+    Array.fold_left (fun acc p -> if online p then acc + 1 else acc) 0 reps
+  in
+  let informed_count = ref 0 in
+  (match Replica_net.member_of_peer net origin_peer with
+  | Some pos when online reps.(pos) ->
+      informed.(pos) <- true;
+      informed_count := 1
+  | Some _ | None -> ());
+  let messages = ref 0 in
+  let rounds = ref 0 in
+  let all_informed () = !informed_count >= online_members in
+  while (not (all_informed ())) && !informed_count > 0 && !rounds < max_rounds do
+    incr rounds;
+    let snapshot = Array.copy informed in
+    for pos = 0 to n - 1 do
+      if online reps.(pos) then
+        if snapshot.(pos) then
+          (* Push: contact [push_fanout] random other replicas. *)
+          for _ = 1 to push_fanout do
+            let target = Pdht_util.Rng.int rng n in
+            if target <> pos then begin
+              incr messages;
+              if online reps.(target) && not informed.(target) then begin
+                informed.(target) <- true;
+                incr informed_count
+              end
+            end
+          done
+        else begin
+          (* Pull: ask one random replica whether it has news. *)
+          let target = Pdht_util.Rng.int rng n in
+          if target <> pos then begin
+            incr messages;
+            if online reps.(target) && snapshot.(target) then begin
+              incr messages; (* the response carrying the update *)
+              if not informed.(pos) then begin
+                informed.(pos) <- true;
+                incr informed_count
+              end
+            end
+          end
+        end
+    done
+  done;
+  { rounds = !rounds; messages = !messages; informed = !informed_count; online_members }
+
+let pull_missed_updates rng ~net ~online ~rejoining_peer =
+  match Replica_net.member_of_peer net rejoining_peer with
+  | None -> (None, 0)
+  | Some pos ->
+      let n = Replica_net.size net in
+      let reps = Replica_net.replicas net in
+      let messages = ref 0 in
+      let answered = ref None in
+      let attempts = min 10 (2 * n) in
+      let i = ref 0 in
+      while !answered = None && !i < attempts do
+        incr i;
+        let target = Pdht_util.Rng.int rng n in
+        if target <> pos then begin
+          incr messages;
+          if online reps.(target) then begin
+            incr messages; (* response *)
+            answered := Some reps.(target)
+          end
+        end
+      done;
+      (!answered, !messages)

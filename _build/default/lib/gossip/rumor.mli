@@ -1,0 +1,39 @@
+(** Hybrid push/pull rumor spreading ([DaHa03]).
+
+    Round-based epidemic dissemination among a key's replicas: informed
+    online replicas push to random other replicas; uninformed online
+    replicas pull from random other replicas.  Offline replicas neither
+    send nor receive.  This is the update-propagation mechanism behind
+    the model's [cUpd] (Eq. 9). *)
+
+type result = {
+  rounds : int;
+  messages : int;        (** pushes + pulls (a pull is one request; a
+                             successful pull also costs the response) *)
+  informed : int;        (** online replicas informed at the end *)
+  online_members : int;  (** online replicas when spreading started *)
+}
+
+val spread :
+  Pdht_util.Rng.t ->
+  net:Replica_net.t ->
+  online:(int -> bool) ->
+  origin_peer:int ->
+  push_fanout:int ->
+  max_rounds:int ->
+  result
+(** Spread a rumor that starts at global peer [origin_peer].  Stops when
+    every online replica is informed or after [max_rounds].  Requires
+    [push_fanout >= 1], [max_rounds >= 1]. *)
+
+val pull_missed_updates :
+  Pdht_util.Rng.t ->
+  net:Replica_net.t ->
+  online:(int -> bool) ->
+  rejoining_peer:int ->
+  (int option * int)
+(** "Peers that are offline and go online again pull for missed
+    updates" ([DaHa03]).  The rejoining replica contacts random online
+    fellow replicas until one answers: returns the peer that answered
+    (if any) and the messages spent (one per contact attempt plus one
+    response from the answering peer). *)

@@ -1,0 +1,5 @@
+let cost_per_key_per_second ~index_search_cost ~repl ~dup2 ~update_frequency =
+  if repl < 1 then invalid_arg "Update_model.cost_per_key_per_second: repl must be >= 1";
+  if update_frequency < 0. then
+    invalid_arg "Update_model.cost_per_key_per_second: negative update frequency";
+  (index_search_cost +. (float_of_int repl *. dup2)) *. update_frequency

@@ -1,0 +1,10 @@
+(** Analytic update cost (paper Eq. 9).
+
+    Kept next to the gossip machinery it abstracts; the full model lives
+    in [Pdht_model]. *)
+
+val cost_per_key_per_second :
+  index_search_cost:float -> repl:int -> dup2:float -> update_frequency:float -> float
+(** [cUpd = (cSIndx + repl * dup2) * fUpd]: each update pays one index
+    search to reach a responsible peer, then floods the replica
+    subnetwork. *)

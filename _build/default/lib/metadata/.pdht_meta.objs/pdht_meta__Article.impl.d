@@ -1,0 +1,1 @@
+lib/metadata/article.ml: Format List

@@ -1,0 +1,1 @@
+lib/metadata/corpus.ml: Array Article Hashtbl Keygen List Option Pdht_util Printf String

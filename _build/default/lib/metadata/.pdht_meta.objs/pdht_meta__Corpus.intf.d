@@ -1,0 +1,1 @@
+lib/metadata/corpus.mli: Article Pdht_util

@@ -1,0 +1,1 @@
+lib/metadata/keygen.ml: Article List Pdht_util Stopwords String

@@ -1,0 +1,1 @@
+lib/metadata/keygen.mli: Article Pdht_util

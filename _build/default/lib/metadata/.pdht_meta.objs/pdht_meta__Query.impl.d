@@ -1,0 +1,1 @@
+lib/metadata/query.ml: Article Keygen List Pdht_util Printf String

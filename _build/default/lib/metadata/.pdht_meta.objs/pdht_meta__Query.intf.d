@@ -1,0 +1,1 @@
+lib/metadata/query.mli: Article Keygen Pdht_util

@@ -1,0 +1,1 @@
+lib/metadata/stopwords.ml: Buffer List Set String

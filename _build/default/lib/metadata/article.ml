@@ -1,0 +1,35 @@
+type element = Title | Author | Date | Category | Location | Size | Language
+
+let element_name = function
+  | Title -> "title"
+  | Author -> "author"
+  | Date -> "date"
+  | Category -> "category"
+  | Location -> "location"
+  | Size -> "size"
+  | Language -> "language"
+
+let all_elements = [ Title; Author; Date; Category; Location; Size; Language ]
+
+type t = {
+  id : int;
+  fields : (element * string) list;
+  published_at : float;
+}
+
+let create ~id ~fields ~published_at =
+  if fields = [] then invalid_arg "Article.create: empty metadata";
+  let elements = List.map fst fields in
+  let distinct = List.sort_uniq compare elements in
+  if List.length distinct <> List.length elements then
+    invalid_arg "Article.create: duplicate metadata element";
+  { id; fields; published_at }
+
+let field t element = List.assoc_opt element t.fields
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>article #%d (t=%.0f)@," t.id t.published_at;
+  List.iter
+    (fun (e, v) -> Format.fprintf ppf "  %s = %S@," (element_name e) v)
+    t.fields;
+  Format.fprintf ppf "@]"

@@ -1,0 +1,24 @@
+(** News articles and their metadata (paper Section 1).
+
+    "Peers generate news articles, which are described by metadata.
+    These metadata files consist of element-value pairs, such as title =
+    "Weather Iraklion", author = "Crete Weather Service", date =
+    "2004/03/14", and size = "2405"." *)
+
+type element = Title | Author | Date | Category | Location | Size | Language
+
+val element_name : element -> string
+val all_elements : element list
+
+type t = {
+  id : int;                        (** stable article identifier *)
+  fields : (element * string) list;(** the metadata file *)
+  published_at : float;            (** simulated creation time, seconds *)
+}
+
+val create : id:int -> fields:(element * string) list -> published_at:float -> t
+(** Fields must be non-empty and element-unique.
+    @raise Invalid_argument otherwise. *)
+
+val field : t -> element -> string option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,120 @@
+module Bitkey = Pdht_util.Bitkey
+module Rng = Pdht_util.Rng
+
+let title_words =
+  [| "weather"; "storm"; "election"; "market"; "crisis"; "festival"; "harvest";
+     "summit"; "strike"; "voyage"; "discovery"; "rescue"; "opening"; "closing";
+     "record"; "flood"; "drought"; "treaty"; "protest"; "launch"; "verdict";
+     "merger"; "outage"; "eclipse"; "regatta"; "marathon"; "auction"; "expo";
+     "census"; "reform" |]
+
+let locations =
+  [| "Iraklion"; "Lausanne"; "Geneva"; "Athens"; "Zurich"; "Lisbon"; "Oslo";
+     "Vienna"; "Prague"; "Dublin"; "Madrid"; "Rome"; "Berlin"; "Paris";
+     "Helsinki"; "Warsaw"; "Budapest"; "Brussels"; "Copenhagen"; "Amsterdam" |]
+
+let authors =
+  [| "Crete Weather Service"; "Alpine News Agency"; "Lakeside Press";
+     "Continental Wire"; "Harbor Dispatch"; "Mountain Courier";
+     "Valley Observer"; "Northern Light News"; "Southern Cross Media";
+     "Central Bulletin" |]
+
+let categories =
+  [| "weather"; "politics"; "economy"; "sports"; "culture"; "science";
+     "technology"; "health"; "travel"; "society" |]
+
+let languages = [| "en"; "de"; "fr"; "el"; "it" |]
+
+let date_string days = Printf.sprintf "2004/%02d/%02d" (1 + (days / 28 mod 12)) (1 + (days mod 28))
+
+let fresh_article rng ~id ~now =
+  let pick arr = Pdht_util.Sampling.choose rng arr in
+  let title_len = Rng.int_in_range rng ~lo:3 ~hi:5 in
+  let title =
+    String.concat " " (List.init title_len (fun _ -> pick title_words)) ^ " " ^ pick locations
+  in
+  let days = Rng.int rng 336 in
+  Article.create ~id ~published_at:now
+    ~fields:
+      [
+        (Article.Title, title);
+        (Article.Author, pick authors);
+        (Article.Date, date_string days);
+        (Article.Category, pick categories);
+        (Article.Location, pick locations);
+        (Article.Size, string_of_int (Rng.int_in_range rng ~lo:500 ~hi:9999));
+        (Article.Language, pick languages);
+      ]
+
+type t = {
+  keys_per_article : int;
+  articles : Article.t array;
+  keys : Bitkey.t array array;
+  by_key : (Bitkey.t, int) Hashtbl.t;
+}
+
+let pad_or_truncate ~article ~target keys =
+  let arr = Array.of_list keys in
+  let n = Array.length arr in
+  if n >= target then Array.sub arr 0 target
+  else begin
+    (* Deterministic content-derived filler keys: extra per-article
+       terms a richer metadata file would have produced. *)
+    let title = Option.value ~default:"" (Article.field article Article.Title) in
+    Array.init target (fun i ->
+        if i < n then arr.(i)
+        else
+          Pdht_util.Hashing.hash_to_key
+            (Pdht_util.Hashing.combine
+               [ "extra-term"; title; string_of_int article.Article.id; string_of_int i ]))
+  end
+
+let index_keys by_key keys article_id =
+  Array.iter (fun k -> Hashtbl.replace by_key k article_id) keys
+
+let unindex_keys by_key keys article_id =
+  Array.iter
+    (fun k ->
+      match Hashtbl.find_opt by_key k with
+      | Some id when id = article_id -> Hashtbl.remove by_key k
+      | Some _ | None -> ())
+    keys
+
+let generate rng ~articles ?(keys_per_article = 20) ~start_time () =
+  if articles < 1 then invalid_arg "Corpus.generate: need >= 1 article";
+  if keys_per_article < 1 then invalid_arg "Corpus.generate: need >= 1 key per article";
+  let arts = Array.init articles (fun id -> fresh_article rng ~id ~now:start_time) in
+  let keys =
+    Array.map
+      (fun a -> pad_or_truncate ~article:a ~target:keys_per_article (Keygen.keys_of_article a))
+      arts
+  in
+  let by_key = Hashtbl.create (articles * keys_per_article) in
+  Array.iteri (fun id ks -> index_keys by_key ks id) keys;
+  { keys_per_article; articles = arts; keys; by_key }
+
+let size t = Array.length t.articles
+
+let article t id =
+  if id < 0 || id >= size t then invalid_arg "Corpus.article: bad id";
+  t.articles.(id)
+
+let keys_of t id =
+  if id < 0 || id >= size t then invalid_arg "Corpus.keys_of: bad id";
+  t.keys.(id)
+
+let all_keys t = Array.concat (Array.to_list t.keys)
+
+let replace t rng ~article_id ~now =
+  if article_id < 0 || article_id >= size t then invalid_arg "Corpus.replace: bad id";
+  unindex_keys t.by_key t.keys.(article_id) article_id;
+  let fresh = fresh_article rng ~id:article_id ~now in
+  let keys =
+    pad_or_truncate ~article:fresh ~target:t.keys_per_article (Keygen.keys_of_article fresh)
+  in
+  t.articles.(article_id) <- fresh;
+  t.keys.(article_id) <- keys;
+  index_keys t.by_key keys article_id;
+  fresh
+
+let article_of_key t key = Hashtbl.find_opt t.by_key key

@@ -1,0 +1,34 @@
+(** Synthetic news corpus for the Section-4 scenario.
+
+    2,000 unique articles, each described by realistic element-value
+    metadata that yields about 20 DHT keys; articles are replaced every
+    24 hours on average.  Everything is generated deterministically from
+    an {!Pdht_util.Rng.t}. *)
+
+type t
+
+val generate :
+  Pdht_util.Rng.t -> articles:int -> ?keys_per_article:int -> start_time:float -> unit -> t
+(** Build a corpus of [articles] articles at [start_time].  Each article
+    gets exactly [keys_per_article] keys (default 20): the metadata
+    naturally produces about that many, and the list is padded with
+    additional term keys or truncated deterministically to hit the
+    paper's fixed per-article key budget. *)
+
+val size : t -> int
+val article : t -> int -> Article.t
+val keys_of : t -> int -> Pdht_util.Bitkey.t array
+(** The article's key set (constant length [keys_per_article]). *)
+
+val all_keys : t -> Pdht_util.Bitkey.t array
+(** Concatenation over articles; duplicates across articles possible
+    (several articles may share e.g. a date key), matching the paper's
+    40,000-key budget rather than a deduplicated space. *)
+
+val replace : t -> Pdht_util.Rng.t -> article_id:int -> now:float -> Article.t
+(** Replace an article with a fresh one (same id slot, new metadata and
+    keys) — the paper's "each article is replaced every 24 hours on
+    average".  Returns the new article. *)
+
+val article_of_key : t -> Pdht_util.Bitkey.t -> int option
+(** Some article currently carrying this key, if any. *)

@@ -1,0 +1,61 @@
+module Bitkey = Pdht_util.Bitkey
+module Hashing = Pdht_util.Hashing
+
+type spec =
+  | Single of Article.element
+  | Conjunction of Article.element * Article.element
+  | Term of Article.element
+
+let default_specs =
+  [
+    Single Article.Title;
+    Single Article.Author;
+    Single Article.Date;
+    Single Article.Category;
+    Single Article.Location;
+    Conjunction (Article.Title, Article.Date);
+    Conjunction (Article.Category, Article.Date);
+    Conjunction (Article.Location, Article.Date);
+    Conjunction (Article.Author, Article.Category);
+    Term Article.Title;
+  ]
+
+let encode_pair element value =
+  Hashing.combine [ Article.element_name element; value ]
+
+let canonical_order e1 v1 e2 v2 =
+  if Article.element_name e1 <= Article.element_name e2 then (e1, v1, e2, v2)
+  else (e2, v2, e1, v1)
+
+let encode_conjunction e1 v1 e2 v2 =
+  let e1, v1, e2, v2 = canonical_order e1 v1 e2 v2 in
+  Hashing.combine
+    [ Article.element_name e1; v1; "AND"; Article.element_name e2; v2 ]
+
+let encode article spec =
+  match spec with
+  | Single e -> (
+      match Article.field article e with
+      | None -> []
+      | Some v -> [ encode_pair e v ])
+  | Conjunction (e1, e2) -> (
+      match (Article.field article e1, Article.field article e2) with
+      | Some v1, Some v2 -> [ encode_conjunction e1 v1 e2 v2 ]
+      | None, _ | _, None -> [])
+  | Term e -> (
+      match Article.field article e with
+      | None -> []
+      | Some v ->
+          List.map
+            (fun term -> Hashing.combine [ Article.element_name e; "TERM"; term ])
+            (Stopwords.tokenize v))
+
+let keys_of_article ?(specs = default_specs) article =
+  let encodings = List.concat_map (encode article) specs in
+  let distinct = List.sort_uniq String.compare encodings in
+  List.map Hashing.hash_to_key distinct
+
+let key_of_query element value = Hashing.hash_to_key (encode_pair element value)
+
+let key_of_conjunction e1 v1 e2 v2 =
+  Hashing.hash_to_key (encode_conjunction e1 v1 e2 v2)

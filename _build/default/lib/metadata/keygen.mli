@@ -1,0 +1,40 @@
+(** DHT key generation from metadata ([FeBi04]; paper Section 1).
+
+    "In case we decide to index a specific metadata attribute we
+    generate keys by hashing single or concatenated key-value pairs,
+    such as key1 = hash(title = "Weather Iraklion" AND date =
+    "2004/03/14")."
+
+    For the Section-4 scenario every article yields 20 keys: single
+    element-value pairs, term-level keys from tokenized free-text
+    values (stop words removed), and selected element-pair
+    conjunctions. *)
+
+type spec =
+  | Single of Article.element
+      (** hash(element = value) *)
+  | Conjunction of Article.element * Article.element
+      (** hash(e1 = v1 AND e2 = v2), ordered canonically *)
+  | Term of Article.element
+      (** one key per indexable token of the value *)
+
+val default_specs : spec list
+(** A spec mix that yields about 20 keys per article on realistic
+    metadata — the paper's "20 keys from the metadata describing the
+    article". *)
+
+val encode : Article.t -> spec -> string list
+(** Canonical string encodings (before hashing) this spec derives from
+    the article; empty if a referenced element is missing. *)
+
+val keys_of_article : ?specs:spec list -> Article.t -> Pdht_util.Bitkey.t list
+(** All DHT keys for an article: encode every spec, drop duplicates,
+    hash.  Deterministic in the article contents. *)
+
+val key_of_query : Article.element -> string -> Pdht_util.Bitkey.t
+(** Key for a single-predicate query [element = value]. *)
+
+val key_of_conjunction :
+  Article.element -> string -> Article.element -> string -> Pdht_util.Bitkey.t
+(** Key for [e1 = v1 AND e2 = v2]; canonical element order makes it
+    symmetric in its arguments. *)

@@ -1,0 +1,111 @@
+type predicate = { element : Article.element; value : string }
+
+type t = predicate list
+
+let conj pairs =
+  let elements = List.map fst pairs in
+  if List.length (List.sort_uniq compare elements) <> List.length elements then
+    invalid_arg "Query.conj: duplicate element in conjunction";
+  List.map (fun (element, value) -> { element; value }) pairs
+
+let predicate_to_string p = Printf.sprintf "%s = %S" (Article.element_name p.element) p.value
+
+let to_string q =
+  match q with
+  | [] -> "(true)"
+  | _ :: _ -> String.concat " AND " (List.map predicate_to_string q)
+
+let matches article q =
+  List.for_all (fun p -> Article.field article p.element = Some p.value) q
+
+type plan = {
+  access_key : Pdht_util.Bitkey.t;
+  covers : predicate list;
+  residual : predicate list;
+  description : string;
+}
+
+(* Heuristic selectivity for single-element access paths: titles are
+   near-unique, sizes and languages shared by many articles. *)
+let selectivity_rank = function
+  | Article.Title -> 0
+  | Article.Author -> 1
+  | Article.Date -> 2
+  | Article.Location -> 3
+  | Article.Category -> 4
+  | Article.Size -> 5
+  | Article.Language -> 6
+
+let find_predicate q element = List.find_opt (fun p -> p.element = element) q
+
+let without q covered = List.filter (fun p -> not (List.memq p covered)) q
+
+let plans ?(specs = Keygen.default_specs) q =
+  match q with
+  | [] -> []
+  | _ :: _ ->
+      let conjunction_plans =
+        List.filter_map
+          (fun spec ->
+            match spec with
+            | Keygen.Conjunction (e1, e2) -> (
+                match (find_predicate q e1, find_predicate q e2) with
+                | Some p1, Some p2 ->
+                    let covers = [ p1; p2 ] in
+                    Some
+                      {
+                        access_key = Keygen.key_of_conjunction e1 p1.value e2 p2.value;
+                        covers;
+                        residual = without q covers;
+                        description =
+                          Printf.sprintf "conjunction key (%s AND %s)"
+                            (Article.element_name e1) (Article.element_name e2);
+                      }
+                | None, _ | _, None -> None)
+            | Keygen.Single _ | Keygen.Term _ -> None)
+          specs
+      in
+      let single_plans =
+        List.filter_map
+          (fun spec ->
+            match spec with
+            | Keygen.Single e -> (
+                match find_predicate q e with
+                | Some p ->
+                    Some
+                      {
+                        access_key = Keygen.key_of_query e p.value;
+                        covers = [ p ];
+                        residual = without q [ p ];
+                        description =
+                          Printf.sprintf "single key (%s)" (Article.element_name e);
+                      }
+                | None -> None)
+            | Keygen.Conjunction _ | Keygen.Term _ -> None)
+          specs
+      in
+      let rank plan =
+        (* Fewer residual predicates first; ties broken by the access
+           element's selectivity. *)
+        let sel =
+          match plan.covers with
+          | p :: _ -> selectivity_rank p.element
+          | [] -> max_int
+        in
+        (List.length plan.residual, sel)
+      in
+      List.stable_sort (fun a b -> compare (rank a) (rank b))
+        (conjunction_plans @ single_plans)
+
+let best_plan ?specs q = match plans ?specs q with [] -> None | p :: _ -> Some p
+
+let execute ?specs ~lookup q =
+  match best_plan ?specs q with
+  | None -> None
+  | Some plan -> (
+      match lookup plan.access_key with
+      | None -> Some (None, plan)
+      | Some article ->
+          if matches article plan.residual && matches article plan.covers then
+            Some (Some article, plan)
+          else Some (None, plan))

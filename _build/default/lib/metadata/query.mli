@@ -1,0 +1,53 @@
+(** Conjunctive metadata queries.
+
+    The paper's introduction motivates partial indexing with metadata
+    queries "such as element1 = value1 AND element2 = value2" (after
+    [HaHe02]'s complex queries over DHTs).  This module gives those
+    queries a small algebra and a planner: a conjunction is answered
+    through the single DHT key that covers the most of it (the exact
+    conjunction key when the key-generation specs produced one, the most
+    selective single-element key otherwise), with the remaining
+    predicates checked against the fetched article's metadata. *)
+
+type predicate = { element : Article.element; value : string }
+
+type t = predicate list
+(** A conjunction; the empty list matches everything. *)
+
+val conj : (Article.element * string) list -> t
+(** Build a conjunction.  @raise Invalid_argument on duplicate
+    elements. *)
+
+val to_string : t -> string
+(** ["title = \"x\" AND date = \"y\""]-style rendering. *)
+
+val matches : Article.t -> t -> bool
+(** Does the article satisfy every predicate? *)
+
+(** How a query can be routed through the index. *)
+type plan = {
+  access_key : Pdht_util.Bitkey.t; (** the DHT key to look up *)
+  covers : predicate list;         (** predicates the key answers *)
+  residual : predicate list;       (** predicates to verify post-fetch *)
+  description : string;            (** human-readable plan summary *)
+}
+
+val plans : ?specs:Keygen.spec list -> t -> plan list
+(** All access plans the key-generation specs support, best first: exact
+    conjunction keys (empty residual) before single-element keys
+    (smaller cover, larger residual).  Empty for the empty query.
+    The spec list must match what the corpus was keyed with (default
+    {!Keygen.default_specs}). *)
+
+val best_plan : ?specs:Keygen.spec list -> t -> plan option
+(** Head of {!plans}. *)
+
+val execute :
+  ?specs:Keygen.spec list ->
+  lookup:(Pdht_util.Bitkey.t -> Article.t option) ->
+  t ->
+  (Article.t option * plan) option
+(** Run the best plan against a key-lookup function (e.g. a PDHT query
+    composed with the corpus): fetch by [access_key], verify the
+    residual.  [None] when the query has no plan; [Some (None, plan)]
+    when the fetch failed or the residual eliminated the article. *)

@@ -1,0 +1,42 @@
+let words =
+  [
+    "a"; "about"; "above"; "after"; "again"; "all"; "also"; "am"; "an"; "and";
+    "any"; "are"; "as"; "at"; "be"; "because"; "been"; "before"; "being";
+    "below"; "between"; "both"; "but"; "by"; "can"; "could"; "did"; "do";
+    "does"; "doing"; "down"; "during"; "each"; "few"; "for"; "from";
+    "further"; "had"; "has"; "have"; "having"; "he"; "her"; "here"; "hers";
+    "him"; "his"; "how"; "i"; "if"; "in"; "into"; "is"; "it"; "its"; "just";
+    "me"; "more"; "most"; "my"; "no"; "nor"; "not"; "now"; "of"; "off"; "on";
+    "once"; "only"; "or"; "other"; "our"; "ours"; "out"; "over"; "own";
+    "same"; "she"; "should"; "so"; "some"; "such"; "than"; "that"; "the";
+    "their"; "theirs"; "them"; "then"; "there"; "these"; "they"; "this";
+    "those"; "through"; "to"; "too"; "under"; "until"; "up"; "very"; "was";
+    "we"; "were"; "what"; "when"; "where"; "which"; "while"; "who"; "whom";
+    "why"; "will"; "with"; "would"; "you"; "your"; "yours";
+  ]
+
+module String_set = Set.Make (String)
+
+let set = String_set.of_list words
+let count = String_set.cardinal set
+let is_stop_word w = String_set.mem (String.lowercase_ascii w) set
+let filter_terms terms = List.filter (fun t -> not (is_stop_word t)) terms
+
+let tokenize text =
+  let lower = String.lowercase_ascii text in
+  let buf = Buffer.create 16 in
+  let tokens = ref [] in
+  let flush () =
+    if Buffer.length buf > 0 then begin
+      tokens := Buffer.contents buf :: !tokens;
+      Buffer.clear buf
+    end
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | 'a' .. 'z' | '0' .. '9' -> Buffer.add_char buf c
+      | _ -> flush ())
+    lower;
+  flush ();
+  filter_terms (List.rev !tokens)

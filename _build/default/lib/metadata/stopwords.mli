@@ -1,0 +1,19 @@
+(** Stop words excluded from indexing.
+
+    "It is a standard approach in information retrieval to avoid
+    indexing stop words, such as "the", "and", etc.  We assume that the
+    set of such stop words is globally known to all peers" (paper
+    Section 4). *)
+
+val is_stop_word : string -> bool
+(** Case-insensitive membership in the global stop-word list. *)
+
+val count : int
+(** Size of the built-in list. *)
+
+val filter_terms : string list -> string list
+(** Drop stop words, preserving order. *)
+
+val tokenize : string -> string list
+(** Lower-case a free-text value and split it into indexable terms:
+    alphanumeric runs, stop words removed. *)

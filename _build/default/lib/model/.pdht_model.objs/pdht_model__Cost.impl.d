@@ -1,0 +1,1 @@
+lib/model/cost.ml: Float Params

@@ -1,0 +1,1 @@
+lib/model/index_policy.ml: Cost Params Pdht_dist

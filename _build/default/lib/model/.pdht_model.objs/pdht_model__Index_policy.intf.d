@@ -1,0 +1,1 @@
+lib/model/index_policy.mli: Params Pdht_dist

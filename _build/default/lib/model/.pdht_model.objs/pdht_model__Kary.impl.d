@@ -1,0 +1,1 @@
+lib/model/kary.ml: Cost Float List Params

@@ -1,0 +1,1 @@
+lib/model/kary.mli: Params

@@ -1,0 +1,1 @@
+lib/model/replication_planner.ml: Cost Float Index_policy List Params Printf Strategies

@@ -1,0 +1,1 @@
+lib/model/replication_planner.mli: Params

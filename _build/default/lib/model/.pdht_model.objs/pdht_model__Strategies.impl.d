@@ -1,0 +1,1 @@
+lib/model/strategies.ml: Cost Float Index_policy Params Pdht_dist

@@ -1,0 +1,1 @@
+lib/model/strategies.mli: Index_policy Params

@@ -1,0 +1,1 @@
+lib/model/sweep.ml: Index_policy List Params Strategies

@@ -1,0 +1,1 @@
+lib/model/sweep.mli: Params

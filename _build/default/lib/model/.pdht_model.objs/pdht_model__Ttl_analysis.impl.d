@@ -1,0 +1,1 @@
+lib/model/ttl_analysis.ml: Float Index_policy List Params Strategies

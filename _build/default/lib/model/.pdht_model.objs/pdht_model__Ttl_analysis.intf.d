@@ -1,0 +1,1 @@
+lib/model/ttl_analysis.mli: Params

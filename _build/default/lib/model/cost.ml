@@ -1,0 +1,32 @@
+let log2 x = Float.log x /. Float.log 2.
+
+let search_unstructured (p : Params.t) =
+  float_of_int p.num_peers /. float_of_int p.repl *. p.dup
+
+let num_active_peers (p : Params.t) ~indexed_keys =
+  if indexed_keys <= 0. then max 2 (min p.repl p.num_peers)
+  else
+    let needed = int_of_float (Float.ceil (indexed_keys *. float_of_int p.repl /. float_of_int p.stor)) in
+    max 2 (max (min p.repl p.num_peers) (min needed p.num_peers))
+
+let search_index ~num_active_peers =
+  if num_active_peers < 2 then invalid_arg "Cost.search_index: need >= 2 active peers";
+  0.5 *. log2 (float_of_int num_active_peers)
+
+let routing_maintenance (p : Params.t) ~num_active_peers ~indexed_keys =
+  if indexed_keys <= 0. then invalid_arg "Cost.routing_maintenance: no indexed keys";
+  let nap = float_of_int num_active_peers in
+  p.env *. log2 nap *. nap /. indexed_keys
+
+let update (p : Params.t) ~num_active_peers =
+  (search_index ~num_active_peers +. (float_of_int p.repl *. p.dup2)) *. p.f_upd
+
+let index_key (p : Params.t) ~num_active_peers ~indexed_keys =
+  routing_maintenance p ~num_active_peers ~indexed_keys +. update p ~num_active_peers
+
+let search_index_degraded (p : Params.t) ~num_active_peers =
+  search_index ~num_active_peers +. (float_of_int p.repl *. p.dup2)
+
+let total_maintenance (p : Params.t) ~num_active_peers =
+  let nap = float_of_int num_active_peers in
+  p.env *. log2 nap *. nap

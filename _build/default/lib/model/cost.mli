@@ -1,0 +1,38 @@
+(** The paper's per-operation cost terms (Section 3), all in messages.
+
+    Everything here is a pure function of {!Params.t} plus the current
+    index size; the fixed-point machinery that decides the index size
+    lives in {!Index_policy}. *)
+
+val search_unstructured : Params.t -> float
+(** Eq. 6: [cSUnstr = numPeers / repl * dup]. *)
+
+val num_active_peers : Params.t -> indexed_keys:float -> int
+(** Peers needed to hold [indexed_keys] keys replicated [repl] times
+    with per-peer capacity [stor]: [ceil (indexed_keys * repl / stor)],
+    capped at [num_peers] and floored at [repl] (fewer peers could not
+    hold one full replica set) and at 2 (a ring of one is no DHT). *)
+
+val search_index : num_active_peers:int -> float
+(** Eq. 7: [cSIndx = 1/2 * log2 numActivePeers]. *)
+
+val routing_maintenance : Params.t -> num_active_peers:int -> indexed_keys:float -> float
+(** Eq. 8: [cRtn = env * log2(numActivePeers) * numActivePeers /
+    indexed_keys] — per key per second.
+    @raise Invalid_argument when [indexed_keys <= 0]. *)
+
+val update : Params.t -> num_active_peers:int -> float
+(** Eq. 9: [cUpd = (cSIndx + repl * dup2) * fUpd] — per key per
+    second. *)
+
+val index_key : Params.t -> num_active_peers:int -> indexed_keys:float -> float
+(** Eq. 10: [cIndKey = cRtn + cUpd]. *)
+
+val search_index_degraded : Params.t -> num_active_peers:int -> float
+(** Eq. 16: [cSIndx2 = cSIndx + repl * dup2] — index search when every
+    lookup also floods the replica subnetwork (selection algorithm,
+    Section 5.1). *)
+
+val total_maintenance : Params.t -> num_active_peers:int -> float
+(** [env * log2(nap) * nap]: the whole DHT's routing-maintenance traffic
+    per second ([indexed_keys * cRtn]). *)

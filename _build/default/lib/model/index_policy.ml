@@ -1,0 +1,64 @@
+type solution = {
+  max_rank : int;
+  f_min : float;
+  num_active_peers : int;
+  c_s_unstr : float;
+  c_s_indx : float;
+  c_ind_key : float;
+  p_indexed : float;
+  iterations : int;
+}
+
+let prob_queried_at_least_once (p : Params.t) zipf ~rank =
+  let trials = float_of_int p.num_peers *. p.f_qry in
+  Pdht_dist.Zipf.expected_hit_prob_at_least_once zipf ~rank ~trials
+
+let p_indexed_for_rank zipf ~max_rank = Pdht_dist.Zipf.mass_of_top zipf max_rank
+
+let max_rank_for_threshold (p : Params.t) zipf ~f_min =
+  let n = Pdht_dist.Zipf.n zipf in
+  let clears rank = prob_queried_at_least_once p zipf ~rank >= f_min in
+  if not (clears 1) then 0
+  else if clears n then n
+  else begin
+    (* Invariant: clears !lo, not (clears !hi). *)
+    let lo = ref 1 and hi = ref n in
+    while !hi - !lo > 1 do
+      let mid = (!lo + !hi) / 2 in
+      if clears mid then lo := mid else hi := mid
+    done;
+    !lo
+  end
+
+let solve ?(max_iterations = 100) (p : Params.t) =
+  let p = Params.validate_exn p in
+  let zipf = Pdht_dist.Zipf.create ~n:p.keys ~alpha:p.alpha in
+  let c_s_unstr = Cost.search_unstructured p in
+  let evaluate max_rank =
+    (* Degenerate empty index: searching is all-broadcast; report the
+       threshold that rank 1 failed to clear. *)
+    let indexed_keys = float_of_int (max 1 max_rank) in
+    let nap = Cost.num_active_peers p ~indexed_keys in
+    let c_s_indx = Cost.search_index ~num_active_peers:nap in
+    let c_ind_key = Cost.index_key p ~num_active_peers:nap ~indexed_keys in
+    let denom = c_s_unstr -. c_s_indx in
+    let f_min = if denom <= 0. then infinity else c_ind_key /. denom in
+    (nap, c_s_indx, c_ind_key, f_min)
+  in
+  let rec iterate max_rank steps =
+    let nap, c_s_indx, c_ind_key, f_min = evaluate max_rank in
+    let next = max_rank_for_threshold p zipf ~f_min in
+    if next = max_rank || steps >= max_iterations then
+      {
+        max_rank = next;
+        f_min;
+        num_active_peers = nap;
+        c_s_unstr;
+        c_s_indx;
+        c_ind_key;
+        p_indexed = p_indexed_for_rank zipf ~max_rank:next;
+        iterations = steps;
+      }
+    else iterate next (steps + 1)
+  in
+  iterate p.keys 1

@@ -1,0 +1,43 @@
+(** "To index or not to index?" — the paper's Section 2 decision rule.
+
+    A key is worth indexing iff its query frequency amortizes its
+    indexing cost (Eq. 1-2).  With Zipf queries this yields [max_rank],
+    the number of keys worth indexing, and [p_indexed], the fraction of
+    queries the index can answer (Eq. 5).
+
+    The quantities are mutually recursive (the indexing cost per key
+    depends on how many peers the index needs, which depends on how many
+    keys are indexed), so {!solve} runs a fixed-point iteration on
+    [max_rank]; it converges in a handful of steps because the per-key
+    maintenance cost is nearly independent of the index size (both
+    [numActivePeers] and the key count scale linearly). *)
+
+type solution = {
+  max_rank : int;         (** keys worth indexing; 0 = index nothing *)
+  f_min : float;          (** minimum per-round query frequency, Eq. 2 *)
+  num_active_peers : int; (** peers needed for the partial index *)
+  c_s_unstr : float;      (** Eq. 6 *)
+  c_s_indx : float;       (** Eq. 7, for the partial index *)
+  c_ind_key : float;      (** Eq. 10, per indexed key per second *)
+  p_indexed : float;      (** Eq. 5 *)
+  iterations : int;       (** fixed-point steps taken *)
+}
+
+val prob_queried_at_least_once : Params.t -> Pdht_dist.Zipf.t -> rank:int -> float
+(** Eq. 4: probability the key at [rank] receives at least one query in
+    one round, given [numPeers * fQry] queries per round. *)
+
+val solve : ?max_iterations:int -> Params.t -> solution
+(** Solve the fixed point for the given parameters (Zipf distribution is
+    built internally from [keys] and [alpha]).  [max_iterations]
+    defaults to 100; on non-convergence the last iterate is returned
+    (in practice convergence takes < 10 steps). *)
+
+val p_indexed_for_rank : Pdht_dist.Zipf.t -> max_rank:int -> float
+(** Eq. 5 for an arbitrary cut-off: Zipf mass of the top [max_rank]
+    ranks. *)
+
+val max_rank_for_threshold : Params.t -> Pdht_dist.Zipf.t -> f_min:float -> int
+(** Largest rank whose Eq.-4 probability still clears [f_min]
+    (0 when even rank 1 misses it).  Binary search: Eq. 4 is monotone
+    decreasing in rank. *)

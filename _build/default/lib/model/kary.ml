@@ -1,0 +1,52 @@
+let log_base base x = Float.log x /. Float.log base
+
+let search_index ~arity ~num_active_peers =
+  if arity < 2 then invalid_arg "Kary.search_index: arity must be >= 2";
+  if num_active_peers < 2 then invalid_arg "Kary.search_index: need >= 2 active peers";
+  let k = float_of_int arity in
+  (k -. 1.) /. k *. log_base k (float_of_int num_active_peers)
+
+let routing_table_entries ~arity ~num_active_peers =
+  if arity < 2 then invalid_arg "Kary.routing_table_entries: arity must be >= 2";
+  if num_active_peers < 2 then invalid_arg "Kary.routing_table_entries: need >= 2 active peers";
+  let k = float_of_int arity in
+  (k -. 1.) *. log_base k (float_of_int num_active_peers)
+
+let routing_maintenance (p : Params.t) ~arity ~num_active_peers ~indexed_keys =
+  if indexed_keys <= 0. then invalid_arg "Kary.routing_maintenance: no indexed keys";
+  let nap = float_of_int num_active_peers in
+  (* The paper's env is probes per routing entry per second (its total,
+     env * log2 nap per peer, divides by the binary table's log2 nap
+     entries).  Scale the same per-entry rate by the k-ary table size,
+     so arity 2 reproduces Eq. 8 exactly. *)
+  p.Params.env *. routing_table_entries ~arity ~num_active_peers *. nap /. indexed_keys
+
+type point = {
+  arity : int;
+  c_s_indx : float;
+  table_entries : float;
+  c_rtn : float;
+  index_all_total : float;
+}
+
+let sweep (p : Params.t) ~arities =
+  let p = Params.validate_exn p in
+  let indexed_keys = float_of_int p.Params.keys in
+  let nap = Cost.num_active_peers p ~indexed_keys in
+  let queries_per_second = p.Params.f_qry *. float_of_int p.Params.num_peers in
+  List.map
+    (fun arity ->
+      let c_s_indx = search_index ~arity ~num_active_peers:nap in
+      let c_rtn = routing_maintenance p ~arity ~num_active_peers:nap ~indexed_keys in
+      let c_upd =
+        (c_s_indx +. (float_of_int p.Params.repl *. p.Params.dup2)) *. p.Params.f_upd
+      in
+      {
+        arity;
+        c_s_indx;
+        table_entries = routing_table_entries ~arity ~num_active_peers:nap;
+        c_rtn;
+        index_all_total =
+          (indexed_keys *. (c_rtn +. c_upd)) +. (queries_per_second *. c_s_indx);
+      })
+    arities

@@ -1,0 +1,41 @@
+(** k-ary key-space generalization (paper Section 3.2, footnote 3).
+
+    "For simplicity we assume a binary key space.  However, the analysis
+    can also be generalized for a k-ary key space."  This module does
+    that generalization: with arity [k] each routing hop resolves one
+    base-[k] digit, so a lookup takes [log_k n] hops of which the
+    expected fraction resolved "for free" at the source scales as [1/k]:
+
+    {m cSIndx_k = (k - 1) / k * log_k(numActivePeers)}
+
+    At [k = 2] this is exactly Eq. 7's [1/2 * log2 n].  Larger arities
+    buy shorter lookups with bigger routing tables — which feeds back
+    into the maintenance constant, since probe traffic scales with the
+    routing-table size ([(k - 1) * log_k n] entries instead of
+    [log2 n]). *)
+
+val search_index : arity:int -> num_active_peers:int -> float
+(** Generalized Eq. 7.  Requires [arity >= 2], [num_active_peers >= 2]. *)
+
+val routing_table_entries : arity:int -> num_active_peers:int -> float
+(** [(arity - 1) * log_arity n] — the Pastry-style table size the
+    maintenance traffic must probe. *)
+
+val routing_maintenance :
+  Params.t -> arity:int -> num_active_peers:int -> indexed_keys:float -> float
+(** Eq. 8 with the k-ary routing-table size: the [env] constant is
+    calibrated per entry, so [cRtn_k = env_entry * entries_k * nap /
+    indexed_keys] where [env_entry] is normalised so that [arity = 2]
+    reproduces the binary model exactly. *)
+
+type point = {
+  arity : int;
+  c_s_indx : float;
+  table_entries : float;
+  c_rtn : float;           (** per key per second, full index *)
+  index_all_total : float; (** Eq. 11 with k-ary costs *)
+}
+
+val sweep : Params.t -> arities:int list -> point list
+(** The design-space table behind the arity ablation bench: how the
+    lookup/maintenance trade-off moves as the key space gets wider. *)

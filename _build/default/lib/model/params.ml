@@ -1,0 +1,67 @@
+type t = {
+  num_peers : int;
+  keys : int;
+  stor : int;
+  repl : int;
+  alpha : float;
+  f_qry : float;
+  f_upd : float;
+  env : float;
+  dup : float;
+  dup2 : float;
+}
+
+let default =
+  {
+    num_peers = 20_000;
+    keys = 40_000;
+    stor = 100;
+    repl = 50;
+    alpha = 1.2;
+    f_qry = 1. /. 30.;
+    f_upd = 1. /. (3600. *. 24.);
+    env = 1. /. 14.;
+    dup = 1.8;
+    dup2 = 1.8;
+  }
+
+let with_query_frequency t f_qry = { t with f_qry }
+
+let validate t =
+  let check cond msg rest = if cond then rest () else Error msg in
+  check (t.num_peers >= 1) "num_peers must be >= 1" @@ fun () ->
+  check (t.keys >= 1) "keys must be >= 1" @@ fun () ->
+  check (t.stor >= 1) "stor must be >= 1" @@ fun () ->
+  check (t.repl >= 1) "repl must be >= 1" @@ fun () ->
+  check (t.repl <= t.num_peers) "repl must be <= num_peers" @@ fun () ->
+  check (t.alpha >= 0.) "alpha must be >= 0" @@ fun () ->
+  check (t.f_qry > 0.) "f_qry must be positive" @@ fun () ->
+  check (t.f_upd >= 0.) "f_upd must be >= 0" @@ fun () ->
+  check (t.env >= 0.) "env must be >= 0" @@ fun () ->
+  check (t.dup >= 1.) "dup must be >= 1" @@ fun () ->
+  check (t.dup2 >= 1.) "dup2 must be >= 1" @@ fun () -> Ok t
+
+let validate_exn t =
+  match validate t with Ok t -> t | Error msg -> invalid_arg ("Params: " ^ msg)
+
+let query_frequency_sweep _t =
+  List.map (fun d -> 1. /. d) [ 30.; 60.; 120.; 300.; 600.; 1800.; 3600.; 7200. ]
+
+let to_rows t =
+  [
+    ("Total number of peers", "numPeers", string_of_int t.num_peers);
+    ("Number of unique keys", "keys", string_of_int t.keys);
+    ("Storage capacity for indexing per peer", "stor", string_of_int t.stor);
+    ("Replication factor", "repl", string_of_int t.repl);
+    ("alpha of query Zipf distribution", "alpha", Printf.sprintf "%g" t.alpha);
+    ("Frequency of queries per peer per second", "fQry", Printf.sprintf "%g (1/%g s)" t.f_qry (1. /. t.f_qry));
+    ("Avg. update freq. per key", "fUpd", Printf.sprintf "%g" t.f_upd);
+    ("Route maintenance constant", "env", Printf.sprintf "%g" t.env);
+    ("Message duplication (unstructured)", "dup", Printf.sprintf "%g" t.dup);
+    ("Message duplication (replica subnet)", "dup2", Printf.sprintf "%g" t.dup2);
+  ]
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter (fun (d, s, v) -> Format.fprintf ppf "%-45s %-8s %s@," d s v) (to_rows t);
+  Format.fprintf ppf "@]"

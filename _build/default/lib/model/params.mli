@@ -1,0 +1,41 @@
+(** Scenario parameters (paper Table 1).
+
+    The defaults are exactly the paper's news-system scenario: 20,000
+    peers index 2,000 articles x 20 metadata keys with replication 50,
+    Zipf(1.2) queries, one article replacement per day, route
+    maintenance constant from [MaCa03] and duplication factors from
+    [LvCa02]. *)
+
+type t = {
+  num_peers : int;       (** total peers in the network *)
+  keys : int;            (** unique keys occurring in the network *)
+  stor : int;            (** per-peer index cache capacity (key-value pairs) *)
+  repl : int;            (** replication factor (index and content) *)
+  alpha : float;         (** Zipf exponent of the query distribution *)
+  f_qry : float;         (** queries per peer per second *)
+  f_upd : float;         (** updates per key per second *)
+  env : float;           (** route-maintenance environment constant *)
+  dup : float;           (** message duplication, unstructured search *)
+  dup2 : float;          (** message duplication, replica subnetwork *)
+}
+
+val default : t
+(** Table 1 with the busy-period query rate [f_qry = 1/30]. *)
+
+val with_query_frequency : t -> float -> t
+
+val validate : t -> (t, string) result
+(** Check ranges ([num_peers >= repl >= 1], [keys >= 1], positive rates,
+    [dup >= 1], ...).  Returns the parameter set unchanged when sane. *)
+
+val validate_exn : t -> t
+(** @raise Invalid_argument on the first violated constraint. *)
+
+val query_frequency_sweep : t -> float list
+(** The eight per-peer query frequencies of Figs. 1-4:
+    1/30, 1/60, 1/120, 1/300, 1/600, 1/1800, 1/3600, 1/7200. *)
+
+val pp : Format.formatter -> t -> unit
+
+val to_rows : t -> (string * string * string) list
+(** (description, symbol, value) rows reproducing Table 1. *)

@@ -1,0 +1,66 @@
+let item_availability ~peer_availability ~repl =
+  if peer_availability < 0. || peer_availability > 1. then
+    invalid_arg "Replication_planner.item_availability: availability outside [0,1]";
+  if repl < 0 then invalid_arg "Replication_planner.item_availability: negative repl";
+  -.Float.expm1 (float_of_int repl *. Float.log1p (-.peer_availability))
+
+let required_replicas ~peer_availability ~target =
+  if peer_availability <= 0. || peer_availability > 1. then
+    invalid_arg "Replication_planner.required_replicas: availability outside (0,1]";
+  if target < 0. || target >= 1. then
+    invalid_arg "Replication_planner.required_replicas: target outside [0,1)";
+  if target = 0. then 0
+  else if peer_availability = 1. then 1
+  else
+    let r = Float.log1p (-.target) /. Float.log1p (-.peer_availability) in
+    int_of_float (Float.ceil (r -. 1e-12))
+
+type plan = {
+  repl : int;
+  floor : int;
+  achieved_availability : float;
+  partial_cost : float;
+}
+
+let selection_cost params ~repl =
+  let params = { params with Params.repl } in
+  let solution = Index_policy.solve params in
+  let key_ttl = Strategies.default_key_ttl solution in
+  let key_ttl = if Float.is_finite key_ttl then key_ttl else 86_400. in
+  (Strategies.partial_selection params ~key_ttl).Strategies.total
+
+let plan params ~peer_availability ~target ~max_repl =
+  let params = Params.validate_exn params in
+  let floor = max 1 (required_replicas ~peer_availability ~target) in
+  if floor > max_repl then
+    invalid_arg
+      (Printf.sprintf
+         "Replication_planner.plan: need %d replicas for the target but max_repl is %d"
+         floor max_repl);
+  let candidates = List.init (max_repl - floor + 1) (fun i -> floor + i) in
+  let best =
+    List.fold_left
+      (fun acc repl ->
+        let cost = selection_cost params ~repl in
+        match acc with
+        | None -> Some (repl, cost)
+        | Some (_, best_cost) -> if cost < best_cost then Some (repl, cost) else acc)
+      None candidates
+  in
+  match best with
+  | None -> assert false (* candidates is non-empty *)
+  | Some (repl, partial_cost) ->
+      {
+        repl;
+        floor;
+        achieved_availability = item_availability ~peer_availability ~repl;
+        partial_cost;
+      }
+
+let cost_curve params ~repls =
+  let params = Params.validate_exn params in
+  List.map
+    (fun repl ->
+      let c_s_unstr = Cost.search_unstructured { params with Params.repl } in
+      (repl, c_s_unstr, selection_cost params ~repl))
+    repls

@@ -1,0 +1,43 @@
+(** Replication planning for availability targets.
+
+    The paper assumes one exists: "We assume that there exists a
+    mechanism to determine a proper replication factor for the index and
+    content files ... to meet target levels of availability and to avoid
+    unnecessary high update cost [VaCh02].  Such mechanisms lie beyond
+    this work."  We build the mechanism.
+
+    With independent peers online with probability [availability], an
+    item replicated [r] times is reachable with probability
+    {m 1 - (1 - a)^r}; the smallest [r] meeting a target follows in
+    closed form.  Because the replication factor also sets the
+    unstructured-search cost (Eq. 6, inversely) and the replica-update
+    cost (Eq. 9, linearly), the planner can additionally pick the
+    cost-minimising factor above the availability floor. *)
+
+val item_availability : peer_availability:float -> repl:int -> float
+(** {m 1 - (1 - a)^r}.  Requires [0 <= a <= 1], [repl >= 0]. *)
+
+val required_replicas : peer_availability:float -> target:float -> int
+(** Smallest [r] with [item_availability >= target].  Requires
+    [0 < a <= 1] and [0 <= target < 1].  [0] when the target is already
+    met with no replicas (target 0). *)
+
+type plan = {
+  repl : int;                   (** chosen factor *)
+  floor : int;                  (** availability-imposed minimum *)
+  achieved_availability : float;
+  partial_cost : float;         (** Eq. 17 cost at this factor *)
+}
+
+val plan :
+  Params.t -> peer_availability:float -> target:float -> max_repl:int -> plan
+(** Scan factors [floor .. max_repl], evaluating the selection
+    algorithm's total cost (with keyTtl = 1/fMin re-derived per factor),
+    and return the cheapest.  @raise Invalid_argument when even
+    [max_repl] cannot reach the target. *)
+
+val cost_curve :
+  Params.t -> repls:int list -> (int * float * float) list
+(** [(repl, cSUnstr, partial_cost)] rows for the bench table: broadcast
+    search gets cheaper as replicas multiply while index maintenance
+    grows. *)

@@ -1,0 +1,92 @@
+type breakdown = {
+  maintenance : float;
+  index_search : float;
+  broadcast_search : float;
+  total : float;
+}
+
+let make ~maintenance ~index_search ~broadcast_search =
+  { maintenance; index_search; broadcast_search;
+    total = maintenance +. index_search +. broadcast_search }
+
+let queries_per_second (p : Params.t) = p.f_qry *. float_of_int p.num_peers
+
+let index_all (p : Params.t) =
+  let p = Params.validate_exn p in
+  let indexed_keys = float_of_int p.keys in
+  let nap = Cost.num_active_peers p ~indexed_keys in
+  let c_ind_key = Cost.index_key p ~num_active_peers:nap ~indexed_keys in
+  let c_s_indx = Cost.search_index ~num_active_peers:nap in
+  make
+    ~maintenance:(indexed_keys *. c_ind_key)
+    ~index_search:(queries_per_second p *. c_s_indx)
+    ~broadcast_search:0.
+
+let no_index (p : Params.t) =
+  let p = Params.validate_exn p in
+  make ~maintenance:0. ~index_search:0.
+    ~broadcast_search:(queries_per_second p *. Cost.search_unstructured p)
+
+let partial_ideal (p : Params.t) (s : Index_policy.solution) =
+  let p = Params.validate_exn p in
+  if s.Index_policy.max_rank = 0 then no_index p
+  else
+    let qps = queries_per_second p in
+    make
+      ~maintenance:(float_of_int s.Index_policy.max_rank *. s.Index_policy.c_ind_key)
+      ~index_search:(s.Index_policy.p_indexed *. qps *. s.Index_policy.c_s_indx)
+      ~broadcast_search:((1. -. s.Index_policy.p_indexed) *. qps *. s.Index_policy.c_s_unstr)
+
+type ttl_state = {
+  key_ttl : float;
+  index_size : float;
+  p_indexed_ttl : float;
+  num_active_peers : int;
+  c_s_indx2 : float;
+}
+
+let ttl_state (p : Params.t) ~key_ttl =
+  let p = Params.validate_exn p in
+  if not (key_ttl > 0.) then invalid_arg "Strategies.ttl_state: key_ttl must be positive";
+  let zipf = Pdht_dist.Zipf.create ~n:p.keys ~alpha:p.alpha in
+  (* A key is in the index iff it was queried at least once in the last
+     keyTtl rounds (Eq. 14-15). *)
+  let index_size = ref 0. in
+  let p_indexed = ref 0. in
+  for rank = 1 to p.keys do
+    let prob_t = Index_policy.prob_queried_at_least_once p zipf ~rank in
+    let in_index = -.Float.expm1 (key_ttl *. Float.log1p (-.prob_t)) in
+    index_size := !index_size +. in_index;
+    p_indexed := !p_indexed +. (in_index *. Pdht_dist.Zipf.prob zipf rank)
+  done;
+  let nap = Cost.num_active_peers p ~indexed_keys:!index_size in
+  {
+    key_ttl;
+    index_size = !index_size;
+    p_indexed_ttl = !p_indexed;
+    num_active_peers = nap;
+    c_s_indx2 = Cost.search_index_degraded p ~num_active_peers:nap;
+  }
+
+let default_key_ttl (s : Index_policy.solution) =
+  if s.Index_policy.f_min <= 0. then infinity else max 1. (1. /. s.Index_policy.f_min)
+
+let partial_selection (p : Params.t) ~key_ttl =
+  let p = Params.validate_exn p in
+  let st = ttl_state p ~key_ttl in
+  let qps = queries_per_second p in
+  let c_s_unstr = Cost.search_unstructured p in
+  (* Eq. 17.  Proactive updates are gone; maintenance is only cRtn over
+     the Eq.-15 index, i.e. the DHT's total probing traffic. *)
+  let maintenance =
+    if st.index_size <= 0. then 0.
+    else Cost.total_maintenance p ~num_active_peers:st.num_active_peers
+  in
+  let hit_cost = st.p_indexed_ttl *. qps *. st.c_s_indx2 in
+  (* A miss pays the failed index search plus the re-insertion. *)
+  let miss_index_cost = (1. -. st.p_indexed_ttl) *. qps *. (2. *. st.c_s_indx2) in
+  let miss_broadcast_cost = (1. -. st.p_indexed_ttl) *. qps *. c_s_unstr in
+  make ~maintenance ~index_search:(hit_cost +. miss_index_cost)
+    ~broadcast_search:miss_broadcast_cost
+
+let savings ~cost ~versus = 1. -. (cost /. versus)

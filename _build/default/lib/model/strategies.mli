@@ -1,0 +1,49 @@
+(** Total system cost per second for each indexing strategy
+    (paper Section 4 and Section 5.1).
+
+    All results are messages per second for the whole network. *)
+
+type breakdown = {
+  maintenance : float;   (** index upkeep: routing probes (+ updates where applicable) *)
+  index_search : float;  (** queries answered via the DHT *)
+  broadcast_search : float; (** queries answered by unstructured search *)
+  total : float;
+}
+
+val index_all : Params.t -> breakdown
+(** Eq. 11: every key is indexed; every query is an index search. *)
+
+val no_index : Params.t -> breakdown
+(** Eq. 12: no DHT at all; every query is a broadcast search. *)
+
+val partial_ideal : Params.t -> Index_policy.solution -> breakdown
+(** Eq. 13: the [max_rank] best keys are indexed and every peer knows
+    (by oracle) whether a key is indexed. *)
+
+(** The realistic TTL-based selection algorithm (Section 5.1). *)
+
+type ttl_state = {
+  key_ttl : float;         (** the expiration time in rounds/seconds *)
+  index_size : float;      (** expected keys in the index, Eq. 15 *)
+  p_indexed_ttl : float;   (** Eq. 14 *)
+  num_active_peers : int;
+  c_s_indx2 : float;       (** Eq. 16 *)
+}
+
+val ttl_state : Params.t -> key_ttl:float -> ttl_state
+(** Steady-state index contents when keys expire after [key_ttl] seconds
+    without a query. *)
+
+val default_key_ttl : Index_policy.solution -> float
+(** The paper's choice [keyTtl = 1 / fMin] (clamped to one round when
+    [fMin > 1]). *)
+
+val partial_selection : Params.t -> key_ttl:float -> breakdown
+(** Eq. 17: with probability [pIndxd] a query costs one degraded index
+    search; otherwise it costs an index search (miss), a broadcast
+    search, and a re-insertion into the index.  Maintenance is the
+    routing cost of the Eq.-15 index (proactive updates are no longer
+    needed — Section 5.1). *)
+
+val savings : cost:float -> versus:float -> float
+(** [1 - cost / versus] — the quantity plotted in Figs. 2 and 4. *)

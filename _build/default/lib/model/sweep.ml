@@ -1,0 +1,49 @@
+type point = {
+  f_qry : float;
+  index_all : float;
+  no_index : float;
+  partial_ideal : float;
+  partial_selection : float;
+  savings_ideal_vs_all : float;
+  savings_ideal_vs_none : float;
+  savings_selection_vs_all : float;
+  savings_selection_vs_none : float;
+  index_fraction : float;
+  p_indexed : float;
+  max_rank : int;
+  key_ttl : float;
+  ttl_index_fraction : float;
+  p_indexed_ttl : float;
+}
+
+let point (p : Params.t) =
+  let p = Params.validate_exn p in
+  let solution = Index_policy.solve p in
+  let all = (Strategies.index_all p).Strategies.total in
+  let none = (Strategies.no_index p).Strategies.total in
+  let ideal = (Strategies.partial_ideal p solution).Strategies.total in
+  let key_ttl = Strategies.default_key_ttl solution in
+  let ttl = Strategies.ttl_state p ~key_ttl in
+  let selection = (Strategies.partial_selection p ~key_ttl).Strategies.total in
+  {
+    f_qry = p.f_qry;
+    index_all = all;
+    no_index = none;
+    partial_ideal = ideal;
+    partial_selection = selection;
+    savings_ideal_vs_all = Strategies.savings ~cost:ideal ~versus:all;
+    savings_ideal_vs_none = Strategies.savings ~cost:ideal ~versus:none;
+    savings_selection_vs_all = Strategies.savings ~cost:selection ~versus:all;
+    savings_selection_vs_none = Strategies.savings ~cost:selection ~versus:none;
+    index_fraction = float_of_int solution.Index_policy.max_rank /. float_of_int p.keys;
+    p_indexed = solution.Index_policy.p_indexed;
+    max_rank = solution.Index_policy.max_rank;
+    key_ttl;
+    ttl_index_fraction = ttl.Strategies.index_size /. float_of_int p.keys;
+    p_indexed_ttl = ttl.Strategies.p_indexed_ttl;
+  }
+
+let run (p : Params.t) ~frequencies =
+  List.map (fun f -> point (Params.with_query_frequency p f)) frequencies
+
+let default_run p = run p ~frequencies:(Params.query_frequency_sweep p)

@@ -1,0 +1,45 @@
+type row = {
+  scale : float;
+  key_ttl : float;
+  total_cost : float;
+  savings_vs_all : float;
+  savings_vs_none : float;
+  savings_drop_vs_ideal_ttl : float;
+}
+
+let default_scales = [ 0.5; 0.75; 1.0; 1.5; 2.0 ]
+
+let run (p : Params.t) ~scales =
+  let p = Params.validate_exn p in
+  let solution = Index_policy.solve p in
+  let ideal_ttl = Strategies.default_key_ttl solution in
+  let all = (Strategies.index_all p).Strategies.total in
+  let none = (Strategies.no_index p).Strategies.total in
+  let cheaper_baseline = Float.min all none in
+  let cost_at ttl = (Strategies.partial_selection p ~key_ttl:ttl).Strategies.total in
+  let baseline_savings =
+    Strategies.savings ~cost:(cost_at ideal_ttl) ~versus:cheaper_baseline
+  in
+  let row scale =
+    let key_ttl = max 1. (scale *. ideal_ttl) in
+    let total_cost = cost_at key_ttl in
+    let savings_here = Strategies.savings ~cost:total_cost ~versus:cheaper_baseline in
+    {
+      scale;
+      key_ttl;
+      total_cost;
+      savings_vs_all = Strategies.savings ~cost:total_cost ~versus:all;
+      savings_vs_none = Strategies.savings ~cost:total_cost ~versus:none;
+      savings_drop_vs_ideal_ttl = baseline_savings -. savings_here;
+    }
+  in
+  List.map row scales
+
+let best_ttl (p : Params.t) ~candidates =
+  match candidates with
+  | [] -> invalid_arg "Ttl_analysis.best_ttl: no candidates"
+  | first :: rest ->
+      let cost ttl = (Strategies.partial_selection p ~key_ttl:ttl).Strategies.total in
+      List.fold_left
+        (fun best ttl -> if cost ttl < cost best then ttl else best)
+        first rest

@@ -1,0 +1,1 @@
+lib/overlay/expanding_ring.mli: Topology

@@ -1,0 +1,1 @@
+lib/overlay/random_walk.ml: Array List Pdht_util Topology

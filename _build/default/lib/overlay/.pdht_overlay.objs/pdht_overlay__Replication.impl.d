@@ -1,0 +1,1 @@
+lib/overlay/replication.ml: Array Hashtbl Int Pdht_util Set

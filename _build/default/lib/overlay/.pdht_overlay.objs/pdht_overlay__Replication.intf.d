@@ -1,0 +1,1 @@
+lib/overlay/replication.mli: Pdht_util

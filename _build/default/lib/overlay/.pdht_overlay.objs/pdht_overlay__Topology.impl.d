@@ -1,0 +1,1 @@
+lib/overlay/topology.ml: Array Int Pdht_util Queue Set

@@ -1,0 +1,1 @@
+lib/overlay/unstructured_search.ml: Expanding_ring Flood Random_walk Replication Topology

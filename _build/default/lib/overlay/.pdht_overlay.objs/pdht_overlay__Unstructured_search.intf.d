@@ -1,0 +1,1 @@
+lib/overlay/unstructured_search.mli: Pdht_util Replication Topology

@@ -1,0 +1,28 @@
+type result = {
+  found_at : int option;
+  rings : int;
+  final_ttl : int;
+  messages : int;
+}
+
+let search topo ~online ~holds ~source ~initial_ttl ~growth ~max_ttl =
+  if initial_ttl < 1 then invalid_arg "Expanding_ring.search: initial_ttl must be >= 1";
+  if growth < 1 then invalid_arg "Expanding_ring.search: growth must be >= 1";
+  if max_ttl < initial_ttl then invalid_arg "Expanding_ring.search: max_ttl < initial_ttl";
+  let messages = ref 0 in
+  let rings = ref 0 in
+  let rec attempt ttl previous_reach =
+    incr rings;
+    let r = Flood.search topo ~online ~holds ~source ~ttl in
+    messages := !messages + r.Flood.messages;
+    match r.Flood.found_at with
+    | Some _ ->
+        { found_at = r.Flood.found_at; rings = !rings; final_ttl = ttl; messages = !messages }
+    | None ->
+        if ttl >= max_ttl || r.Flood.peers_reached = previous_reach then
+          (* Budget exhausted, or the flood stopped growing (component
+             fully covered) — a larger ring cannot find more. *)
+          { found_at = None; rings = !rings; final_ttl = ttl; messages = !messages }
+        else attempt (min max_ttl (ttl + growth)) r.Flood.peers_reached
+  in
+  attempt initial_ttl (-1)

@@ -1,0 +1,50 @@
+type result = {
+  found_at : int option;
+  peers_reached : int;
+  messages : int;
+  hops_to_hit : int option;
+}
+
+let search topo ~online ~holds ~source ~ttl =
+  if not (online source) then
+    { found_at = None; peers_reached = 0; messages = 0; hops_to_hit = None }
+  else begin
+    let n = Topology.peer_count topo in
+    let visited = Array.make n false in
+    visited.(source) <- true;
+    let frontier = ref [ source ] in
+    let reached = ref 1 in
+    let messages = ref 0 in
+    let found_at = ref (if holds source then Some source else None) in
+    let hops_to_hit = ref (if holds source then Some 0 else None) in
+    let depth = ref 0 in
+    while !frontier <> [] && !depth < ttl do
+      incr depth;
+      let next = ref [] in
+      let forward p =
+        let deliver q =
+          if online q then begin
+            incr messages;
+            if not visited.(q) then begin
+              visited.(q) <- true;
+              incr reached;
+              if holds q && !found_at = None then begin
+                found_at := Some q;
+                hops_to_hit := Some !depth
+              end;
+              next := q :: !next
+            end
+          end
+        in
+        Array.iter deliver (Topology.neighbors topo p)
+      in
+      List.iter forward !frontier;
+      frontier := !next
+    done;
+    { found_at = !found_at; peers_reached = !reached; messages = !messages;
+      hops_to_hit = !hops_to_hit }
+  end
+
+let duplication_factor r =
+  if r.peers_reached = 0 then 0.
+  else float_of_int r.messages /. float_of_int r.peers_reached

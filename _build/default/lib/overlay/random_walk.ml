@@ -1,0 +1,57 @@
+type result = {
+  found_at : int option;
+  steps_taken : int;
+  messages : int;
+  distinct_visited : int;
+}
+
+let search topo rng ~online ~holds ~source ~walkers ~max_steps ~check_every =
+  if walkers < 1 then invalid_arg "Random_walk.search: walkers must be >= 1";
+  if check_every < 1 then invalid_arg "Random_walk.search: check_every must be >= 1";
+  if not (online source) then
+    { found_at = None; steps_taken = 0; messages = 0; distinct_visited = 0 }
+  else begin
+    let n = Topology.peer_count topo in
+    let visited = Array.make n false in
+    visited.(source) <- true;
+    let distinct = ref 1 in
+    let found_at = ref (if holds source then Some source else None) in
+    let positions = Array.make walkers source in
+    let steps = ref 0 in
+    let messages = ref 0 in
+    let round = ref 0 in
+    let stop = ref (!found_at <> None) in
+    while (not !stop) && !round < max_steps do
+      incr round;
+      (* One synchronous step of every walker. *)
+      for w = 0 to walkers - 1 do
+        let p = positions.(w) in
+        let nbrs = Topology.neighbors topo p in
+        let online_nbrs = Array.to_list nbrs |> List.filter online in
+        match online_nbrs with
+        | [] -> () (* stalled walker; retries next round *)
+        | _ :: _ ->
+            let arr = Array.of_list online_nbrs in
+            let q = arr.(Pdht_util.Rng.int rng (Array.length arr)) in
+            positions.(w) <- q;
+            incr steps;
+            incr messages;
+            if not visited.(q) then begin
+              visited.(q) <- true;
+              incr distinct
+            end;
+            if holds q && !found_at = None then found_at := Some q
+      done;
+      (* Periodic check-back with the source: one probe per walker. *)
+      if !round mod check_every = 0 then begin
+        messages := !messages + walkers;
+        if !found_at <> None then stop := true
+      end
+    done;
+    { found_at = !found_at; steps_taken = !steps; messages = !messages;
+      distinct_visited = !distinct }
+  end
+
+let duplication_factor r =
+  if r.distinct_visited = 0 then 0.
+  else float_of_int r.messages /. float_of_int r.distinct_visited

@@ -1,0 +1,34 @@
+(** Multiple parallel random walks ([LvCa02]).
+
+    The paper assumes unstructured search uses "multiple random walks"
+    rather than flooding because they consume far less traffic.
+    [walkers] walkers step simultaneously from the source; every
+    [check_every] steps each walker checks back with the source whether
+    another walker has already succeeded (modelled as in [LvCa02]: the
+    walk terminates within [check_every] steps of a hit, and checking
+    costs one message per probe). *)
+
+type result = {
+  found_at : int option;
+  steps_taken : int;    (** total walker steps across all walkers *)
+  messages : int;       (** steps + termination-check probes *)
+  distinct_visited : int;
+}
+
+val search :
+  Topology.t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  holds:(int -> bool) ->
+  source:int ->
+  walkers:int ->
+  max_steps:int ->
+  check_every:int ->
+  result
+(** [max_steps] bounds the per-walker walk length; [walkers >= 1],
+    [check_every >= 1].  Walkers step to a uniform online neighbor
+    (stalling costs nothing when a peer has no online neighbor). *)
+
+val duplication_factor : result -> float
+(** [messages / distinct_visited]; the empirical analogue of the
+    paper's [dup ≈ 1.8]. *)

@@ -1,0 +1,51 @@
+module Int_set = Set.Make (Int)
+
+type t = {
+  total_peers : int;
+  mutable by_item : (int, int array) Hashtbl.t;
+  mutable at_peer : Int_set.t array;
+}
+
+let create ~peers =
+  if peers < 1 then invalid_arg "Replication.create: need >= 1 peer";
+  { total_peers = peers; by_item = Hashtbl.create 256; at_peer = Array.make peers Int_set.empty }
+
+let peers t = t.total_peers
+
+let remove t ~item =
+  match Hashtbl.find_opt t.by_item item with
+  | None -> ()
+  | Some reps ->
+      Array.iter (fun p -> t.at_peer.(p) <- Int_set.remove item t.at_peer.(p)) reps;
+      Hashtbl.remove t.by_item item
+
+let place_on t ~item ~replicas =
+  Array.iter
+    (fun p -> if p < 0 || p >= t.total_peers then invalid_arg "Replication.place_on: bad peer")
+    replicas;
+  remove t ~item;
+  let distinct = Int_set.of_list (Array.to_list replicas) in
+  let reps = Array.of_list (Int_set.elements distinct) in
+  Hashtbl.replace t.by_item item reps;
+  Array.iter (fun p -> t.at_peer.(p) <- Int_set.add item t.at_peer.(p)) reps
+
+let place t rng ~item ~repl =
+  if repl < 1 then invalid_arg "Replication.place: repl must be >= 1";
+  let k = min repl t.total_peers in
+  let replicas = Pdht_util.Sampling.sample_without_replacement rng ~k ~n:t.total_peers in
+  place_on t ~item ~replicas
+
+let replicas t ~item =
+  match Hashtbl.find_opt t.by_item item with None -> [||] | Some r -> r
+
+let holds t ~peer ~item = Int_set.mem item t.at_peer.(peer)
+let items_at t ~peer = Int_set.elements t.at_peer.(peer)
+let replication_factor t ~item = Array.length (replicas t ~item)
+
+let availability t ~online ~item =
+  let reps = replicas t ~item in
+  let total = Array.length reps in
+  if total = 0 then 0.
+  else
+    let up = Array.fold_left (fun acc p -> if online p then acc + 1 else acc) 0 reps in
+    float_of_int up /. float_of_int total

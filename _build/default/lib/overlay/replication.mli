@@ -1,0 +1,34 @@
+(** Random replication of content across peers (paper Section 3.1).
+
+    Each stored item (news article, and by extension each of its keys)
+    is placed on [repl] uniformly random peers, matching the paper's
+    "we replicate keys with a certain factor at random peers".  The
+    table answers [holds] queries for unstructured search and exposes
+    the replica set for the gossip subnetwork. *)
+
+type t
+
+val create : peers:int -> t
+(** Empty table over a population of [peers]. *)
+
+val peers : t -> int
+
+val place : t -> Pdht_util.Rng.t -> item:int -> repl:int -> unit
+(** (Re)place [item] on [min repl peers] distinct random peers,
+    replacing any previous placement. *)
+
+val place_on : t -> item:int -> replicas:int array -> unit
+(** Explicit placement (deterministic tests, custom policies). *)
+
+val remove : t -> item:int -> unit
+
+val replicas : t -> item:int -> int array
+(** Peers currently holding [item] (empty if never placed). *)
+
+val holds : t -> peer:int -> item:int -> bool
+val items_at : t -> peer:int -> int list
+val replication_factor : t -> item:int -> int
+
+val availability : t -> online:(int -> bool) -> item:int -> float
+(** Fraction of [item]'s replicas currently online (0. when the item is
+    not placed). *)

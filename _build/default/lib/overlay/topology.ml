@@ -1,0 +1,163 @@
+module Int_set = Set.Make (Int)
+
+type t = { adj : int array array; edges : int }
+
+let peer_count t = Array.length t.adj
+let neighbors t p = t.adj.(p)
+let degree t p = Array.length t.adj.(p)
+let edge_count t = t.edges
+
+let of_edge_sets sets =
+  let adj = Array.map (fun s -> Array.of_list (Int_set.elements s)) sets in
+  let edges = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
+  { adj; edges }
+
+let random_regularish rng ~peers ~degree =
+  if peers < 2 then invalid_arg "Topology.random_regularish: need >= 2 peers";
+  if degree < 1 || degree >= peers then invalid_arg "Topology.random_regularish: bad degree";
+  let sets = Array.make peers Int_set.empty in
+  let connect a b =
+    sets.(a) <- Int_set.add b sets.(a);
+    sets.(b) <- Int_set.add a sets.(b)
+  in
+  for p = 0 to peers - 1 do
+    let opened = ref 0 in
+    let attempts = ref 0 in
+    (* A peer may fail to open all connections in a tiny network where
+       every other peer is already a neighbor; cap the retries. *)
+    while !opened < degree && !attempts < 20 * degree do
+      incr attempts;
+      let q = Pdht_util.Rng.int rng peers in
+      if q <> p && not (Int_set.mem q sets.(p)) then begin
+        connect p q;
+        incr opened
+      end
+    done
+  done;
+  of_edge_sets sets
+
+let barabasi_albert rng ~peers ~attach =
+  if attach < 1 || peers <= attach then invalid_arg "Topology.barabasi_albert: need peers > attach >= 1";
+  let sets = Array.make peers Int_set.empty in
+  let connect a b =
+    sets.(a) <- Int_set.add b sets.(a);
+    sets.(b) <- Int_set.add a sets.(b)
+  in
+  (* Endpoint multiset: picking a uniform element is picking a node with
+     probability proportional to its degree.  Stored in a growable array
+     so sampling stays O(1) as the graph grows. *)
+  let capacity = 2 * ((attach * peers) + (attach * attach)) in
+  let endpoints = Array.make capacity 0 in
+  let endpoint_count = ref 0 in
+  let push p =
+    endpoints.(!endpoint_count) <- p;
+    incr endpoint_count
+  in
+  (* Seed: a small clique over the first attach+1 peers. *)
+  for a = 0 to attach do
+    for b = a + 1 to attach do
+      connect a b;
+      push a;
+      push b
+    done
+  done;
+  for p = attach + 1 to peers - 1 do
+    let chosen = ref Int_set.empty in
+    let tries = ref 0 in
+    while Int_set.cardinal !chosen < attach && !tries < 50 * attach do
+      incr tries;
+      let target = endpoints.(Pdht_util.Rng.int rng !endpoint_count) in
+      if target <> p then chosen := Int_set.add target !chosen
+    done;
+    Int_set.iter
+      (fun q ->
+        connect p q;
+        push p;
+        push q)
+      !chosen
+  done;
+  of_edge_sets sets
+
+let ring_lattice ~peers ~k =
+  if peers < 3 then invalid_arg "Topology.ring_lattice: need >= 3 peers";
+  if k < 1 || 2 * k >= peers then invalid_arg "Topology.ring_lattice: bad k";
+  let sets = Array.make peers Int_set.empty in
+  for p = 0 to peers - 1 do
+    for d = 1 to k do
+      let q = (p + d) mod peers in
+      sets.(p) <- Int_set.add q sets.(p);
+      sets.(q) <- Int_set.add p sets.(q)
+    done
+  done;
+  of_edge_sets sets
+
+let watts_strogatz rng ~peers ~k ~beta =
+  if peers < 3 then invalid_arg "Topology.watts_strogatz: need >= 3 peers";
+  if k < 1 || 2 * k >= peers then invalid_arg "Topology.watts_strogatz: bad k";
+  if beta < 0. || beta > 1. then invalid_arg "Topology.watts_strogatz: beta outside [0,1]";
+  let sets = Array.make peers Int_set.empty in
+  let connect a b =
+    sets.(a) <- Int_set.add b sets.(a);
+    sets.(b) <- Int_set.add a sets.(b)
+  in
+  for p = 0 to peers - 1 do
+    for d = 1 to k do
+      let q = (p + d) mod peers in
+      if Pdht_util.Rng.bernoulli rng ~p:beta then begin
+        (* Rewire the lattice edge (p, q) to a random endpoint that
+           creates neither a self-loop nor a duplicate. *)
+        let rec fresh tries =
+          if tries = 0 then q (* dense corner: keep the lattice edge *)
+          else
+            let r = Pdht_util.Rng.int rng peers in
+            if r = p || Int_set.mem r sets.(p) then fresh (tries - 1) else r
+        in
+        connect p (fresh 20)
+      end
+      else connect p q
+    done
+  done;
+  of_edge_sets sets
+
+let bfs_reach t ~online start =
+  let n = peer_count t in
+  let visited = Array.make n false in
+  let queue = Queue.create () in
+  if online start then begin
+    visited.(start) <- true;
+    Queue.add start queue
+  end;
+  let reached = ref 0 in
+  while not (Queue.is_empty queue) do
+    let p = Queue.pop queue in
+    incr reached;
+    Array.iter
+      (fun q ->
+        if (not visited.(q)) && online q then begin
+          visited.(q) <- true;
+          Queue.add q queue
+        end)
+      t.adj.(p)
+  done;
+  !reached
+
+let is_connected t =
+  let n = peer_count t in
+  n = 0 || bfs_reach t ~online:(fun _ -> true) 0 = n
+
+let connected_fraction_from t ~online start =
+  let online_total =
+    let acc = ref 0 in
+    for p = 0 to peer_count t - 1 do
+      if online p then incr acc
+    done;
+    !acc
+  in
+  if online_total = 0 then 0.
+  else float_of_int (bfs_reach t ~online start) /. float_of_int online_total
+
+let mean_degree t =
+  if peer_count t = 0 then 0.
+  else 2. *. float_of_int t.edges /. float_of_int (peer_count t)
+
+let duplication_factor t = mean_degree t

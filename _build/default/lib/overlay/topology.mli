@@ -1,0 +1,57 @@
+(** Unstructured overlay topologies.
+
+    The paper assumes "a Gnutella-like topology, where each peer has a
+    few open connections to other peers" (Section 3.1).  We provide the
+    two families observed in deployed Gnutella networks: a random graph
+    with fixed minimum degree and a power-law graph grown by
+    preferential attachment (Barabási-Albert), both undirected. *)
+
+type t
+
+val peer_count : t -> int
+val neighbors : t -> int -> int array
+(** Adjacency of a peer (no self-loops, no duplicates). *)
+
+val degree : t -> int -> int
+val edge_count : t -> int
+(** Undirected edges. *)
+
+val random_regularish : Pdht_util.Rng.t -> peers:int -> degree:int -> t
+(** Each peer opens [degree] connections to distinct uniformly random
+    other peers (the classic Gnutella client behaviour); resulting
+    degrees are ≈ 2x[degree] on average.  Requires [peers >= 2] and
+    [1 <= degree < peers]. *)
+
+val barabasi_albert : Pdht_util.Rng.t -> peers:int -> attach:int -> t
+(** Preferential-attachment growth: each arriving peer links to
+    [attach] existing peers chosen proportionally to current degree.
+    Requires [peers > attach >= 1]. *)
+
+val ring_lattice : peers:int -> k:int -> t
+(** Deterministic circulant graph (each peer linked to its [k] nearest
+    successors and predecessors) — a worst case for flooding, used in
+    tests and ablations.  Requires [peers >= 3] and [1 <= k <
+    peers / 2]. *)
+
+val watts_strogatz : Pdht_util.Rng.t -> peers:int -> k:int -> beta:float -> t
+(** Small-world graph: a {!ring_lattice} whose edges are each rewired to
+    a uniform random endpoint with probability [beta].  [beta = 0.] is
+    the lattice, [beta = 1.] approaches a random graph; small positive
+    values give the high-clustering/short-path regime real unstructured
+    overlays sit in.  Requires lattice-valid [peers]/[k] and [beta] in
+    [\[0, 1\]]. *)
+
+val is_connected : t -> bool
+(** BFS reachability over all peers. *)
+
+val connected_fraction_from : t -> online:(int -> bool) -> int -> float
+(** Fraction of online peers reachable from a given online peer through
+    online peers only; 0. if the start peer is offline. *)
+
+val mean_degree : t -> float
+
+val duplication_factor : t -> float
+(** Expected ratio of messages to peers reached when fully flooding the
+    connected component: [2 * edges / peers] within a connected graph
+    corresponds to the paper's [dup] constant (Section 3.1, after
+    [LvCa02], who report ≈ 1.8 for Gnutella-like graphs). *)

@@ -1,0 +1,46 @@
+type strategy =
+  | Flooding of { ttl : int }
+  | Random_walks of { walkers : int; max_steps : int; check_every : int }
+  | Expanding_ring of { initial_ttl : int; growth : int; max_ttl : int }
+
+type t = {
+  topology : Topology.t;
+  replication : Replication.t;
+  strategy : strategy;
+}
+
+let create ~topology ~replication ~strategy =
+  if Topology.peer_count topology <> Replication.peers replication then
+    invalid_arg "Unstructured_search.create: topology and replication disagree on peer count";
+  { topology; replication; strategy }
+
+let topology t = t.topology
+let replication t = t.replication
+let strategy t = t.strategy
+
+type outcome = { found : bool; messages : int; provider : int option }
+
+let search t rng ~online ~source ~item =
+  let holds p = online p && Replication.holds t.replication ~peer:p ~item in
+  match t.strategy with
+  | Flooding { ttl } ->
+      let r = Flood.search t.topology ~online ~holds ~source ~ttl in
+      { found = r.Flood.found_at <> None; messages = r.Flood.messages;
+        provider = r.Flood.found_at }
+  | Random_walks { walkers; max_steps; check_every } ->
+      let r =
+        Random_walk.search t.topology rng ~online ~holds ~source ~walkers ~max_steps
+          ~check_every
+      in
+      { found = r.Random_walk.found_at <> None; messages = r.Random_walk.messages;
+        provider = r.Random_walk.found_at }
+  | Expanding_ring { initial_ttl; growth; max_ttl } ->
+      let r =
+        Expanding_ring.search t.topology ~online ~holds ~source ~initial_ttl ~growth
+          ~max_ttl
+      in
+      { found = r.Expanding_ring.found_at <> None; messages = r.Expanding_ring.messages;
+        provider = r.Expanding_ring.found_at }
+
+let expected_cost_model ~peers ~repl ~dup =
+  float_of_int peers /. float_of_int repl *. dup

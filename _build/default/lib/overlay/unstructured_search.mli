@@ -1,0 +1,34 @@
+(** Unified unstructured-search front end.
+
+    Bundles a topology, a replication table and a search strategy into
+    the single operation the PDHT core needs: "find this item in the
+    unstructured network and tell me what it cost".  The measured cost
+    is the empirical counterpart of the model's [cSUnstr =
+    numPeers / repl * dup] (Eq. 6). *)
+
+type strategy =
+  | Flooding of { ttl : int }
+  | Random_walks of { walkers : int; max_steps : int; check_every : int }
+  | Expanding_ring of { initial_ttl : int; growth : int; max_ttl : int }
+
+type t
+
+val create :
+  topology:Topology.t ->
+  replication:Replication.t ->
+  strategy:strategy ->
+  t
+
+val topology : t -> Topology.t
+val replication : t -> Replication.t
+val strategy : t -> strategy
+
+type outcome = { found : bool; messages : int; provider : int option }
+
+val search :
+  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> item:int -> outcome
+(** Search for [item] starting at [source].  Counts every message of the
+    underlying mechanism. *)
+
+val expected_cost_model : peers:int -> repl:int -> dup:float -> float
+(** The analytic Eq. 6 for comparison against measured outcomes. *)

@@ -1,0 +1,1 @@
+lib/simkernel/engine.ml: Event_queue

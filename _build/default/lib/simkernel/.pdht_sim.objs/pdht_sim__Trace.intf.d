@@ -1,0 +1,1 @@
+lib/simkernel/trace.mli: Format

@@ -1,0 +1,37 @@
+type t = { queue : handler Event_queue.t; mutable now : float }
+and handler = t -> unit
+
+let create () = { queue = Event_queue.create (); now = 0. }
+let now t = t.now
+
+let schedule_at t ~time handler =
+  if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
+  Event_queue.add t.queue ~time handler
+
+let schedule t ~delay handler =
+  if delay < 0. then invalid_arg "Engine.schedule: negative delay";
+  schedule_at t ~time:(t.now +. delay) handler
+
+let schedule_periodic t ~first ~every handler =
+  if not (every > 0.) then invalid_arg "Engine.schedule_periodic: period must be positive";
+  let rec tick engine =
+    handler engine;
+    schedule engine ~delay:every tick
+  in
+  schedule_at t ~time:first tick
+
+let run t ~until =
+  let rec loop () =
+    match Event_queue.peek_time t.queue with
+    | Some time when time <= until -> (
+        match Event_queue.pop t.queue with
+        | Some (time, handler) ->
+            t.now <- time;
+            handler t;
+            loop ()
+        | None -> ())
+    | Some _ | None -> ()
+  in
+  loop ()
+
+let pending t = Event_queue.size t.queue

@@ -1,0 +1,32 @@
+(** Discrete-event simulation engine.
+
+    A thin deterministic scheduler: handlers are closures over whatever
+    simulation state the caller owns.  Time is in seconds; the paper's
+    "round" is one second (Section 2, footnote 1). *)
+
+type t
+
+val create : unit -> t
+
+val now : t -> float
+(** Current simulated time; 0. before the first event fires. *)
+
+val schedule : t -> delay:float -> (t -> unit) -> unit
+(** Run a handler [delay] seconds from [now].  Requires [delay >= 0.] *)
+
+val schedule_at : t -> time:float -> (t -> unit) -> unit
+(** Run a handler at absolute [time] (>= [now]). *)
+
+val schedule_periodic : t -> first:float -> every:float -> (t -> unit) -> unit
+(** Starting at absolute time [first], run the handler every [every]
+    seconds forever (until the run's time horizon cuts it off).
+    Requires [every > 0.]. *)
+
+val run : t -> until:float -> unit
+(** Process events in time order until the queue is empty or the next
+    event is strictly after [until].  [now] ends at the time of the
+    last processed event (or is left unchanged when nothing fired).
+    Can be called again to continue a paused simulation. *)
+
+val pending : t -> int
+(** Events still scheduled. *)

@@ -1,0 +1,22 @@
+(** Priority queue of timed events (binary min-heap on time).
+
+    Ties are broken by insertion order, so simulations are fully
+    deterministic: two events scheduled for the same instant fire in the
+    order they were scheduled. *)
+
+type 'a t
+
+val create : unit -> 'a t
+val is_empty : 'a t -> bool
+val size : 'a t -> int
+
+val add : 'a t -> time:float -> 'a -> unit
+(** Schedule an event.  @raise Invalid_argument on NaN time. *)
+
+val peek_time : 'a t -> float option
+(** Time of the earliest event, if any. *)
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the earliest event. *)
+
+val clear : 'a t -> unit

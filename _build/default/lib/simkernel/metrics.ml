@@ -1,0 +1,71 @@
+type category =
+  | Query_unstructured
+  | Query_index
+  | Replica_flood
+  | Index_insert
+  | Maintenance
+  | Update_gossip
+  | Other
+
+let category_index = function
+  | Query_unstructured -> 0
+  | Query_index -> 1
+  | Replica_flood -> 2
+  | Index_insert -> 3
+  | Maintenance -> 4
+  | Update_gossip -> 5
+  | Other -> 6
+
+let all_categories =
+  [ Query_unstructured; Query_index; Replica_flood; Index_insert; Maintenance;
+    Update_gossip; Other ]
+
+let category_label = function
+  | Query_unstructured -> "query-unstructured"
+  | Query_index -> "query-index"
+  | Replica_flood -> "replica-flood"
+  | Index_insert -> "index-insert"
+  | Maintenance -> "maintenance"
+  | Update_gossip -> "update-gossip"
+  | Other -> "other"
+
+type t = int array
+
+let create () = Array.make (List.length all_categories) 0
+
+let charge t cat n =
+  if n < 0 then invalid_arg "Metrics.charge: negative count";
+  let i = category_index cat in
+  t.(i) <- t.(i) + n
+
+let count t cat = t.(category_index cat)
+let total t = Array.fold_left ( + ) 0 t
+let snapshot t = List.map (fun c -> (c, count t c)) all_categories
+
+let diff ~before ~after =
+  List.map (fun c -> (c, count after c - count before c)) all_categories
+
+let copy = Array.copy
+let reset t = Array.fill t 0 (Array.length t) 0
+
+module Series = struct
+  type series = { bucket_width : float; mutable counts : int array; mutable used : int }
+
+  let create ~bucket_width =
+    if not (bucket_width > 0.) then invalid_arg "Metrics.Series.create: width must be positive";
+    { bucket_width; counts = [||]; used = 0 }
+
+  let charge s ~time n =
+    if time < 0. then invalid_arg "Metrics.Series.charge: negative time";
+    let idx = int_of_float (Float.floor (time /. s.bucket_width)) in
+    if idx >= Array.length s.counts then begin
+      let bigger = Array.make (max 16 (2 * (idx + 1))) 0 in
+      Array.blit s.counts 0 bigger 0 (Array.length s.counts);
+      s.counts <- bigger
+    end;
+    s.counts.(idx) <- s.counts.(idx) + n;
+    if idx + 1 > s.used then s.used <- idx + 1
+
+  let buckets s =
+    Array.init s.used (fun i -> (float_of_int i *. s.bucket_width, s.counts.(i)))
+end

@@ -1,0 +1,37 @@
+type t = {
+  capacity : int;
+  mutable enabled : bool;
+  mutable events : (float * string) list; (* newest first *)
+  mutable length : int;
+}
+
+let create ?(capacity = 10_000) () =
+  if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
+  { capacity; enabled = false; events = []; length = 0 }
+
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+
+let record t ~time msg =
+  if t.enabled then begin
+    t.events <- (time, msg) :: t.events;
+    t.length <- t.length + 1;
+    if t.length > t.capacity then begin
+      (* Drop the oldest half at once so trimming is amortised O(1). *)
+      let keep = t.capacity / 2 in
+      t.events <- List.filteri (fun i _ -> i < keep) t.events;
+      t.length <- keep
+    end
+  end
+
+let recordf t ~time fmt =
+  if t.enabled then Format.kasprintf (fun msg -> record t ~time msg) fmt
+  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+
+let events t = List.rev t.events
+let length t = t.length
+
+let clear t =
+  t.events <- [];
+  t.length <- 0

@@ -1,0 +1,26 @@
+(** Bounded in-memory event trace for debugging simulations.
+
+    Recording is off by default and cheap when disabled; experiments
+    enable it selectively (e.g. the quickstart example prints the first
+    few trace lines to show what the system is doing). *)
+
+type t
+
+val create : ?capacity:int -> unit -> t
+(** Keep at most [capacity] (default 10_000) most recent events. *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val record : t -> time:float -> string -> unit
+(** No-op when disabled. *)
+
+val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
+(** Formatted variant; the message is only built when enabled. *)
+
+val events : t -> (float * string) list
+(** Recorded events, oldest first. *)
+
+val length : t -> int
+val clear : t -> unit

@@ -1,0 +1,1 @@
+lib/util/bitkey.ml: Format Int Int64 Rng String

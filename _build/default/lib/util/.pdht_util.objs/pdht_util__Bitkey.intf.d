@@ -1,0 +1,1 @@
+lib/util/bitkey.mli: Format Rng

@@ -1,0 +1,1 @@
+lib/util/hashing.ml: Bitkey Buffer Char Int64 List String

@@ -1,0 +1,28 @@
+let fnv1a64 s =
+  let open Int64 in
+  let prime = 0x100000001B3L in
+  let acc = ref 0xCBF29CE484222325L in
+  String.iter (fun c -> acc := mul (logxor !acc (of_int (Char.code c))) prime) s;
+  !acc
+
+(* FNV's high bits avalanche poorly on short inputs, and Bitkey routing
+   is MSB-first, so finalize with the splitmix64 mixer before taking the
+   top bits. *)
+let finalize z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let hash_to_key s =
+  Bitkey.of_int (Int64.to_int (Int64.shift_right_logical (finalize (fnv1a64 s)) 2))
+
+let combine fields =
+  let buf = Buffer.create 64 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf (string_of_int (String.length f));
+      Buffer.add_char buf ':';
+      Buffer.add_string buf f)
+    fields;
+  Buffer.contents buf

@@ -1,0 +1,18 @@
+(** Deterministic string hashing for key generation.
+
+    The news-system scenario derives DHT keys by hashing single or
+    concatenated metadata element-value pairs (paper Section 1, after
+    [FeBi04]).  We use FNV-1a 64-bit: simple, fast, stable across runs
+    and platforms — unlike [Hashtbl.hash], whose value may change
+    between compiler versions. *)
+
+val fnv1a64 : string -> int64
+(** Raw FNV-1a 64-bit hash. *)
+
+val hash_to_key : string -> Bitkey.t
+(** Hash a string into the binary key space. *)
+
+val combine : string list -> string
+(** Canonical encoding of a list of fields before hashing.  Uses a
+    length-prefixed encoding so that [combine \["ab"; "c"\]] and
+    [combine \["a"; "bc"\]] differ. *)

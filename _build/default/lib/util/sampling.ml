@@ -1,0 +1,83 @@
+let shuffle rng arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = Rng.int rng (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done
+
+let choose rng arr =
+  if Array.length arr = 0 then invalid_arg "Sampling.choose: empty array";
+  arr.(Rng.int rng (Array.length arr))
+
+let sample_without_replacement rng ~k ~n =
+  if k < 0 || k > n then invalid_arg "Sampling.sample_without_replacement";
+  let pool = Array.init n Fun.id in
+  for i = 0 to k - 1 do
+    let j = Rng.int_in_range rng ~lo:i ~hi:(n - 1) in
+    let tmp = pool.(i) in
+    pool.(i) <- pool.(j);
+    pool.(j) <- tmp
+  done;
+  Array.sub pool 0 k
+
+let reservoir rng ~k seq =
+  if k < 0 then invalid_arg "Sampling.reservoir";
+  let buf = ref [||] in
+  let seen = ref 0 in
+  let visit x =
+    incr seen;
+    let n = !seen in
+    if n <= k then buf := Array.append !buf [| x |]
+    else
+      let j = Rng.int rng n in
+      if j < k then !buf.(j) <- x
+  in
+  Seq.iter visit seq;
+  !buf
+
+let weighted_index rng weights =
+  let total = Array.fold_left ( +. ) 0. weights in
+  if not (total > 0.) then invalid_arg "Sampling.weighted_index: weights sum to zero";
+  let target = Rng.float rng total in
+  let n = Array.length weights in
+  let rec scan i acc =
+    if i = n - 1 then i
+    else
+      let acc = acc +. weights.(i) in
+      if target < acc then i else scan (i + 1) acc
+  in
+  scan 0 0.
+
+module Alias = struct
+  type t = { prob : float array; alias : int array }
+
+  let create weights =
+    let n = Array.length weights in
+    if n = 0 then invalid_arg "Alias.create: empty weights";
+    let total = Array.fold_left ( +. ) 0. weights in
+    if not (total > 0.) then invalid_arg "Alias.create: weights sum to zero";
+    Array.iter (fun w -> if w < 0. then invalid_arg "Alias.create: negative weight") weights;
+    let scaled = Array.map (fun w -> w *. float_of_int n /. total) weights in
+    let prob = Array.make n 1. in
+    let alias = Array.init n Fun.id in
+    let small = Queue.create () in
+    let large = Queue.create () in
+    Array.iteri (fun i s -> Queue.add i (if s < 1. then small else large)) scaled;
+    while (not (Queue.is_empty small)) && not (Queue.is_empty large) do
+      let s = Queue.pop small in
+      let l = Queue.pop large in
+      prob.(s) <- scaled.(s);
+      alias.(s) <- l;
+      scaled.(l) <- scaled.(l) +. scaled.(s) -. 1.;
+      Queue.add l (if scaled.(l) < 1. then small else large)
+    done;
+    (* Leftovers are 1.0 up to rounding; prob is already 1. *)
+    { prob; alias }
+
+  let size t = Array.length t.prob
+
+  let draw t rng =
+    let i = Rng.int rng (Array.length t.prob) in
+    if Rng.unit_float rng < t.prob.(i) then i else t.alias.(i)
+end

@@ -1,0 +1,34 @@
+(** Sampling utilities over explicit {!Rng.t} streams. *)
+
+val shuffle : Rng.t -> 'a array -> unit
+(** Fisher-Yates in-place shuffle. *)
+
+val choose : Rng.t -> 'a array -> 'a
+(** Uniform element of a non-empty array.  @raise Invalid_argument on an
+    empty array. *)
+
+val sample_without_replacement : Rng.t -> k:int -> n:int -> int array
+(** [sample_without_replacement rng ~k ~n] draws [k] distinct indices
+    from [\[0, n)], in random order.  Requires [0 <= k <= n].  Uses a
+    partial Fisher-Yates pass, O(n) time and space. *)
+
+val reservoir : Rng.t -> k:int -> 'a Seq.t -> 'a array
+(** Reservoir sampling: [k] uniform elements of a sequence of unknown
+    length (fewer if the sequence is shorter). *)
+
+val weighted_index : Rng.t -> float array -> int
+(** [weighted_index rng weights] draws index [i] with probability
+    proportional to [weights.(i)].  Linear scan; for repeated draws use
+    {!Alias}.  Requires at least one strictly positive weight. *)
+
+(** Walker's alias method: O(n) preprocessing, O(1) per draw. *)
+module Alias : sig
+  type t
+
+  val create : float array -> t
+  (** Build a sampler for the given unnormalised weights.  Requires a
+      non-empty array of non-negative weights with positive sum. *)
+
+  val size : t -> int
+  val draw : t -> Rng.t -> int
+end

@@ -1,0 +1,50 @@
+type align = Left | Right
+
+type t = { headers : string list; aligns : align list; mutable rows : string list list }
+
+let create ~columns =
+  { headers = List.map fst columns; aligns = List.map snd columns; rows = [] }
+
+let add_row t row =
+  if List.length row <> List.length t.headers then
+    invalid_arg "Table.add_row: wrong number of cells";
+  t.rows <- row :: t.rows
+
+let add_float_row t ?(precision = 5) row =
+  add_row t (List.map (Printf.sprintf "%.*g" precision) row)
+
+let render t =
+  let rows = List.rev t.rows in
+  let widths =
+    List.mapi
+      (fun i h ->
+        List.fold_left (fun acc row -> max acc (String.length (List.nth row i)))
+          (String.length h) rows)
+      t.headers
+  in
+  let pad align w s =
+    let fill = String.make (w - String.length s) ' ' in
+    match align with Left -> s ^ fill | Right -> fill ^ s
+  in
+  let render_row cells =
+    let padded =
+      List.map2 (fun (a, w) c -> pad a w c) (List.combine t.aligns widths) cells
+    in
+    String.concat "  " padded
+  in
+  let header = render_row t.headers in
+  let rule = String.make (String.length header) '-' in
+  String.concat "\n" (header :: rule :: List.map render_row rows)
+
+let csv_cell s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_csv t =
+  let row cells = String.concat "," (List.map csv_cell cells) in
+  String.concat "\n" (row t.headers :: List.map row (List.rev t.rows))
+
+let print t =
+  print_string (render t);
+  print_newline ()

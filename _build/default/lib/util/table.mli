@@ -1,0 +1,28 @@
+(** Aligned plain-text tables for experiment output.
+
+    The bench harness prints one table per reproduced figure; this
+    module keeps that output readable and diff-stable. *)
+
+type align = Left | Right
+
+type t
+
+val create : columns:(string * align) list -> t
+(** Column headers with their alignment. *)
+
+val add_row : t -> string list -> unit
+(** @raise Invalid_argument if the row width differs from the header. *)
+
+val add_float_row : t -> ?precision:int -> float list -> unit
+(** Convenience: format every cell with [%.*g] ([precision] significant
+    digits, default 5). *)
+
+val render : t -> string
+(** The full table with a header rule, ready for [print_string]. *)
+
+val render_csv : t -> string
+(** The same data as RFC-4180-style CSV (header row first; cells
+    containing commas, quotes or newlines are quoted). *)
+
+val print : t -> unit
+(** [render] to stdout followed by a newline. *)

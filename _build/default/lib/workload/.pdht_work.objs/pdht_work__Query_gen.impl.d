@@ -1,0 +1,1 @@
+lib/workload/query_gen.ml: Pdht_dist Pdht_sim Pdht_util Rate_profile Seq

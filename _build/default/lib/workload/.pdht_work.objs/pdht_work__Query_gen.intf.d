@@ -1,0 +1,1 @@
+lib/workload/query_gen.mli: Pdht_dist Pdht_sim Pdht_util Rate_profile Seq

@@ -1,0 +1,1 @@
+lib/workload/rate_profile.ml: Float List

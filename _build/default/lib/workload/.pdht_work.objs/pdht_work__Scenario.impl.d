@@ -1,0 +1,1 @@
+lib/workload/scenario.ml: Format List Pdht_dist Printf Rate_profile String

@@ -1,0 +1,1 @@
+lib/workload/update_gen.ml: Pdht_sim Pdht_util Seq

@@ -1,0 +1,56 @@
+type query = { time : float; peer : int; key_index : int; rank : int }
+
+type t = {
+  rng : Pdht_util.Rng.t;
+  num_peers : int;
+  profile : Rate_profile.t;
+  distribution : Pdht_dist.Discrete.t;
+  shift : Pdht_dist.Popularity_shift.t;
+}
+
+let create rng ~num_peers ~f_qry ?profile ~distribution ~shift () =
+  if num_peers < 1 then invalid_arg "Query_gen.create: need >= 1 peer";
+  if not (f_qry > 0.) then invalid_arg "Query_gen.create: f_qry must be positive";
+  if Pdht_dist.Discrete.n distribution <> Pdht_dist.Popularity_shift.n shift then
+    invalid_arg "Query_gen.create: distribution and shift disagree on key count";
+  let profile =
+    match profile with Some p -> p | None -> Rate_profile.constant f_qry
+  in
+  { rng; num_peers; profile; distribution; shift }
+
+let expected_rate t = float_of_int t.num_peers *. Rate_profile.max_rate t.profile
+
+(* Non-homogeneous Poisson sampling by thinning: draw candidates at the
+   peak aggregate rate, accept each with probability rate(t) / peak. *)
+let next t ~after =
+  let peak = expected_rate t in
+  let rec draw after =
+    let gap = Pdht_util.Rng.exponential t.rng ~rate:peak in
+    let time = after +. gap in
+    let accept_probability =
+      float_of_int t.num_peers *. Rate_profile.rate_at t.profile time /. peak
+    in
+    if Pdht_util.Rng.unit_float t.rng < accept_probability then time else draw time
+  in
+  let time = draw after in
+  let peer = Pdht_util.Rng.int t.rng t.num_peers in
+  let rank = Pdht_dist.Discrete.sample t.distribution t.rng in
+  let key_index = Pdht_dist.Popularity_shift.key_of_rank t.shift ~time rank in
+  { time; peer; key_index; rank }
+
+let stream t ~from ~until =
+  let rec continue after () =
+    let q = next t ~after in
+    if q.time > until then Seq.Nil else Seq.Cons (q, continue q.time)
+  in
+  continue from
+
+let attach t engine ~until ~handler =
+  let rec schedule_next after =
+    let q = next t ~after in
+    if q.time <= until then
+      Pdht_sim.Engine.schedule_at engine ~time:q.time (fun eng ->
+          handler eng q;
+          schedule_next q.time)
+  in
+  schedule_next (Pdht_sim.Engine.now engine)

@@ -1,0 +1,35 @@
+type update = { time : float; article_id : int }
+
+type t = { rng : Pdht_util.Rng.t; articles : int; mean_lifetime : float }
+
+let create rng ~articles ~mean_lifetime =
+  if articles < 1 then invalid_arg "Update_gen.create: need >= 1 article";
+  if not (mean_lifetime > 0.) then invalid_arg "Update_gen.create: lifetime must be positive";
+  { rng; articles; mean_lifetime }
+
+let total_rate t = float_of_int t.articles /. t.mean_lifetime
+
+let next t ~after =
+  let gap = Pdht_util.Rng.exponential t.rng ~rate:(total_rate t) in
+  { time = after +. gap; article_id = Pdht_util.Rng.int t.rng t.articles }
+
+let stream t ~from ~until =
+  let rec continue after () =
+    let u = next t ~after in
+    if u.time > until then Seq.Nil else Seq.Cons (u, continue u.time)
+  in
+  continue from
+
+let attach t engine ~until ~handler =
+  let rec schedule_next after =
+    let u = next t ~after in
+    if u.time <= until then
+      Pdht_sim.Engine.schedule_at engine ~time:u.time (fun eng ->
+          handler eng u;
+          schedule_next u.time)
+  in
+  schedule_next (Pdht_sim.Engine.now engine)
+
+let per_key_update_frequency t ~keys_per_article =
+  if keys_per_article < 1 then invalid_arg "Update_gen.per_key_update_frequency";
+  1. /. t.mean_lifetime

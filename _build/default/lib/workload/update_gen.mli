@@ -1,0 +1,24 @@
+(** Article-replacement (update) stream.
+
+    "Each article is replaced every 24 hours on average" (paper Section
+    4): a Poisson process of rate [articles / mean_lifetime] whose
+    events replace a uniformly random article. *)
+
+type update = { time : float; article_id : int }
+
+type t
+
+val create :
+  Pdht_util.Rng.t -> articles:int -> mean_lifetime:float -> t
+(** [mean_lifetime] in seconds (86400 in the paper).  Requires both
+    positive. *)
+
+val next : t -> after:float -> update
+val stream : t -> from:float -> until:float -> update Seq.t
+
+val attach :
+  t -> Pdht_sim.Engine.t -> until:float -> handler:(Pdht_sim.Engine.t -> update -> unit) -> unit
+
+val per_key_update_frequency : t -> keys_per_article:int -> float
+(** The model's [fUpd]: replacing an article rewrites each of its keys
+    once, so per-key frequency equals [1 / mean_lifetime]. *)

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Format List Pdht_core Pdht_dht Pdht_sim Pdht_util Pdht_work Printf String

@@ -1,0 +1,1 @@
+test/test_dht.ml: Alcotest Array Float List Pdht_dht Pdht_sim Pdht_util Printf QCheck QCheck_alcotest String Test

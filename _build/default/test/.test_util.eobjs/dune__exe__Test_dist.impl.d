@@ -1,0 +1,1 @@
+test/test_dist.ml: Alcotest Array Hashtbl List Pdht_dist Pdht_util Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_gossip.ml: Alcotest Array Fun List Pdht_gossip Pdht_util QCheck QCheck_alcotest Test

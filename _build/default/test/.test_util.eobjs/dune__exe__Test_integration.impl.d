@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Array Float List Pdht_core Pdht_meta Pdht_model Pdht_sim Pdht_util Pdht_work Printf

@@ -1,0 +1,1 @@
+test/test_metadata.ml: Alcotest Array List Pdht_meta Pdht_util QCheck QCheck_alcotest String Test

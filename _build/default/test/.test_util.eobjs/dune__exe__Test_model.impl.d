@@ -1,0 +1,1 @@
+test/test_model.ml: Alcotest Float Gen List Pdht_dist Pdht_model Printf QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_overlay.ml: Alcotest Array List Pdht_overlay Pdht_util Printf QCheck QCheck_alcotest Test

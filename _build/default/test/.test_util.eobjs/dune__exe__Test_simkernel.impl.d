@@ -1,0 +1,1 @@
+test/test_simkernel.ml: Alcotest Array Float List Pdht_sim Pdht_util QCheck QCheck_alcotest Test

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen Hashtbl Int64 List Pdht_util QCheck QCheck_alcotest Seq String Test

@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Float List Pdht_dist Pdht_sim Pdht_util Pdht_work Printf QCheck QCheck_alcotest Seq String Test

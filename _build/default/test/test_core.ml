@@ -1,0 +1,455 @@
+(* Tests for Pdht_core: strategies, config, the PDHT machine itself,
+   the adaptive TTL controller and the system runner. *)
+
+module Rng = Pdht_util.Rng
+module Strategy = Pdht_core.Strategy
+module Config = Pdht_core.Config
+module Pdht = Pdht_core.Pdht
+module Adaptive = Pdht_core.Adaptive
+module System = Pdht_core.System
+module Scenario = Pdht_work.Scenario
+module Metrics = Pdht_sim.Metrics
+
+let partial ttl = Strategy.Partial_index { key_ttl = ttl }
+
+let small_config ?(strategy = partial 300.) ?(num_peers = 200) ?(active = 60)
+    ?(keys = 300) ?(repl = 10) ?(stor = 60) () =
+  Config.make ~num_peers ~active_members:active ~keys ~repl ~stor ~strategy ()
+
+let build ?(seed = 1) ?strategy ?num_peers ?active ?keys ?repl ?stor () =
+  let rng = Rng.create ~seed in
+  (rng, Pdht.create rng (small_config ?strategy ?num_peers ?active ?keys ?repl ?stor ()))
+
+(* ------------------------------------------------------------------ *)
+(* Strategy / Config *)
+
+let test_strategy_accessors () =
+  Alcotest.(check bool) "partial" true (Strategy.is_partial (partial 10.));
+  Alcotest.(check bool) "index_all not partial" false (Strategy.is_partial Strategy.Index_all);
+  Alcotest.(check (option (float 1e-9))) "ttl" (Some 10.) (Strategy.key_ttl (partial 10.));
+  Alcotest.(check (option (float 1e-9))) "no ttl" None (Strategy.key_ttl Strategy.No_index);
+  Alcotest.(check string) "labels" "indexAll" (Strategy.label Strategy.Index_all);
+  Alcotest.(check string) "noIndex" "noIndex" (Strategy.label Strategy.No_index);
+  Alcotest.(check string) "partial" "partial" (Strategy.label (partial 1.))
+
+let test_config_validation () =
+  Alcotest.check_raises "active > peers"
+    (Invalid_argument "Config.make: active_members must be in [2, num_peers]") (fun () ->
+      ignore
+        (Config.make ~num_peers:10 ~active_members:11 ~keys:5 ~repl:2 ~stor:5
+           ~strategy:Strategy.No_index ()));
+  Alcotest.check_raises "repl > peers"
+    (Invalid_argument "Config.make: repl must be in [1, num_peers]") (fun () ->
+      ignore
+        (Config.make ~num_peers:10 ~active_members:5 ~keys:5 ~repl:20 ~stor:5
+           ~strategy:Strategy.No_index ()))
+
+let test_config_active_members_for () =
+  (* Paper sizing: 40000 keys * 50 repl / 100 stor = 20000 peers. *)
+  Alcotest.(check int) "paper headline" 20_000
+    (Config.active_members_for ~num_peers:20_000 ~repl:50 ~stor:100
+       ~expected_index_size:40_000.);
+  Alcotest.(check int) "floors at repl" 50
+    (Config.active_members_for ~num_peers:20_000 ~repl:50 ~stor:100 ~expected_index_size:1.)
+
+(* ------------------------------------------------------------------ *)
+(* Pdht: basic mechanics *)
+
+let test_pdht_no_index_broadcasts () =
+  let _, p = build ~strategy:Strategy.No_index () in
+  let r = Pdht.query p ~now:1. ~peer:5 ~key_index:3 in
+  Alcotest.(check bool) "answered by broadcast" true (r.Pdht.source = Pdht.From_broadcast);
+  Alcotest.(check int) "no index traffic" 0 r.Pdht.index_messages;
+  Alcotest.(check bool) "broadcast messages charged" true (r.Pdht.broadcast_messages > 0);
+  Alcotest.(check int) "metrics agree" r.Pdht.broadcast_messages
+    (Metrics.count (Pdht.metrics p) Metrics.Query_unstructured)
+
+let test_pdht_index_all_serves_from_index () =
+  let _, p = build ~strategy:Strategy.Index_all () in
+  for k = 0 to 49 do
+    let r = Pdht.query p ~now:1. ~peer:(k mod 200) ~key_index:k in
+    Alcotest.(check bool) "from index" true (r.Pdht.source = Pdht.From_index);
+    Alcotest.(check int) "no broadcast" 0 r.Pdht.broadcast_messages
+  done
+
+let test_pdht_index_all_preloaded () =
+  let _, p = build ~strategy:Strategy.Index_all () in
+  Alcotest.(check int) "all keys indexed" 300 (Pdht.indexed_key_count p ~now:0.)
+
+let test_pdht_partial_starts_empty () =
+  let _, p = build () in
+  Alcotest.(check int) "empty index" 0 (Pdht.indexed_key_count p ~now:0.)
+
+let test_pdht_partial_miss_then_hit () =
+  let _, p = build () in
+  (* First query: miss -> broadcast -> insert. *)
+  let r1 = Pdht.query p ~now:1. ~peer:7 ~key_index:42 in
+  Alcotest.(check bool) "first from broadcast" true (r1.Pdht.source = Pdht.From_broadcast);
+  Alcotest.(check bool) "insert traffic" true (r1.Pdht.insert_messages > 0);
+  Alcotest.(check bool) "now indexed" true (Pdht.index_hit_probe p ~now:2. ~key_index:42);
+  (* Second query: index hit, no broadcast. *)
+  let r2 = Pdht.query p ~now:3. ~peer:8 ~key_index:42 in
+  Alcotest.(check bool) "second from index" true (r2.Pdht.source = Pdht.From_index);
+  Alcotest.(check int) "no broadcast" 0 r2.Pdht.broadcast_messages
+
+let test_pdht_partial_key_expires () =
+  let _, p = build () in
+  ignore (Pdht.query p ~now:1. ~peer:7 ~key_index:9);
+  Alcotest.(check bool) "indexed" true (Pdht.index_hit_probe p ~now:100. ~key_index:9);
+  (* After keyTtl = 300 s with no queries the key is gone. *)
+  Alcotest.(check bool) "expired" false (Pdht.index_hit_probe p ~now:302. ~key_index:9)
+
+let test_pdht_query_refreshes_ttl () =
+  let _, p = build () in
+  ignore (Pdht.query p ~now:1. ~peer:7 ~key_index:9);
+  (* Query again at t=200: expiry moves to 500. *)
+  ignore (Pdht.query p ~now:200. ~peer:8 ~key_index:9);
+  Alcotest.(check bool) "alive past original expiry" true
+    (Pdht.index_hit_probe p ~now:400. ~key_index:9);
+  Alcotest.(check bool) "gone after refreshed ttl" false
+    (Pdht.index_hit_probe p ~now:501. ~key_index:9)
+
+let test_pdht_offline_peer_cannot_query () =
+  let _, p = build () in
+  Pdht.set_online p (fun peer -> peer <> 7);
+  let r = Pdht.query p ~now:1. ~peer:7 ~key_index:0 in
+  Alcotest.(check bool) "not found" true (r.Pdht.source = Pdht.Not_found);
+  Alcotest.(check int) "free" 0 (Pdht.total_messages r)
+
+let test_pdht_query_result_totals () =
+  let _, p = build () in
+  let r = Pdht.query p ~now:1. ~peer:3 ~key_index:5 in
+  Alcotest.(check int) "total = sum of parts"
+    (r.Pdht.index_messages + r.Pdht.replica_flood_messages + r.Pdht.broadcast_messages
+   + r.Pdht.insert_messages)
+    (Pdht.total_messages r);
+  Alcotest.(check int) "metrics total matches" (Pdht.total_messages r)
+    (Metrics.total (Pdht.metrics p))
+
+let test_pdht_set_key_ttl () =
+  let _, p = build () in
+  Pdht.set_key_ttl p 50.;
+  Alcotest.(check (float 1e-9)) "ttl updated" 50. (Pdht.key_ttl p);
+  ignore (Pdht.query p ~now:1. ~peer:2 ~key_index:1);
+  Alcotest.(check bool) "expires with new ttl" false
+    (Pdht.index_hit_probe p ~now:52. ~key_index:1);
+  Alcotest.check_raises "rejects non-positive"
+    (Invalid_argument "Pdht.set_key_ttl: ttl must be positive") (fun () ->
+      Pdht.set_key_ttl p 0.)
+
+let test_pdht_update_key_modes () =
+  let rng, p_all = build ~strategy:Strategy.Index_all () in
+  let m = Pdht.update_key p_all rng ~now:1. ~key_index:3 in
+  Alcotest.(check bool) "indexAll updates cost messages" true (m > 0);
+  Alcotest.(check int) "charged to update-gossip" m
+    (Metrics.count (Pdht.metrics p_all) Metrics.Update_gossip);
+  let rng2, p_partial = build () in
+  Alcotest.(check int) "partial mode is reactive: no proactive updates" 0
+    (Pdht.update_key p_partial rng2 ~now:1. ~key_index:3);
+  let rng3, p_none = build ~strategy:Strategy.No_index () in
+  Alcotest.(check int) "noIndex has no index to update" 0
+    (Pdht.update_key p_none rng3 ~now:1. ~key_index:3)
+
+let test_pdht_rejoin_sync () =
+  (* Index_all: a member rejoining after downtime pulls per subnetwork. *)
+  let rng, p = build ~strategy:Strategy.Index_all () in
+  let offline = ref [] in
+  Pdht.set_online p (fun peer -> not (List.mem peer !offline));
+  (* Take a member offline and back online; the pull must cost messages
+     and be charged to update-gossip. *)
+  offline := [ 5 ];
+  offline := [];
+  let before = Pdht_sim.Metrics.count (Pdht.metrics p) Pdht_sim.Metrics.Update_gossip in
+  let cost = Pdht.rejoin_sync p rng ~now:10. ~peer:5 in
+  Alcotest.(check bool) "pull costs messages" true (cost > 0);
+  Alcotest.(check int) "charged to update-gossip" (before + cost)
+    (Pdht_sim.Metrics.count (Pdht.metrics p) Pdht_sim.Metrics.Update_gossip);
+  (* Reactive strategies do not pull: entries just expire. *)
+  let rng2, p2 = build () in
+  Alcotest.(check int) "partial mode: no pull" 0 (Pdht.rejoin_sync p2 rng2 ~now:10. ~peer:5);
+  (* Non-members have no subnetworks to sync. *)
+  let rng3, p3 = build ~strategy:Strategy.Index_all () in
+  Alcotest.(check int) "non-member: no pull" 0 (Pdht.rejoin_sync p3 rng3 ~now:10. ~peer:150)
+
+let test_pdht_key_mapping_deterministic () =
+  let _, p1 = build ~seed:5 () in
+  let _, p2 = build ~seed:99 () in
+  (* Key identities depend on the index only, not on the rng. *)
+  for k = 0 to 10 do
+    Alcotest.(check bool) "stable key ids" true
+      (Pdht_util.Bitkey.equal (Pdht.key_of_index p1 k) (Pdht.key_of_index p2 k))
+  done
+
+let test_pdht_content_replicas_placed () =
+  let _, p = build ~repl:10 () in
+  for k = 0 to 20 do
+    Alcotest.(check int) "repl content copies" 10
+      (Array.length (Pdht.content_replicas p ~key_index:k))
+  done
+
+let test_pdht_popular_keys_stay_indexed () =
+  let _, p = build () in
+  (* Query key 0 every 100 s; it must remain indexed throughout. *)
+  for i = 1 to 20 do
+    ignore (Pdht.query p ~now:(float_of_int (i * 100)) ~peer:(i mod 200) ~key_index:0)
+  done;
+  Alcotest.(check bool) "still indexed" true
+    (Pdht.index_hit_probe p ~now:2050. ~key_index:0);
+  (* An unpopular key queried once at t=100 has expired by then. *)
+  ignore (Pdht.query p ~now:100. ~peer:3 ~key_index:77);
+  Alcotest.(check bool) "unpopular expired" false
+    (Pdht.index_hit_probe p ~now:2050. ~key_index:77)
+
+let test_pdht_under_churn_still_answers () =
+  let _, p = build ~num_peers:300 ~active:100 ~repl:15 () in
+  let rng = Rng.create ~seed:77 in
+  let offline = Array.init 300 (fun _ -> Rng.unit_float rng < 0.2) in
+  Pdht.set_online p (fun peer -> not offline.(peer));
+  let answered = ref 0 and asked = ref 0 in
+  for k = 0 to 99 do
+    let peer = k * 3 in
+    if not offline.(peer) then begin
+      incr asked;
+      let r = Pdht.query p ~now:1. ~peer ~key_index:k in
+      if r.Pdht.source <> Pdht.Not_found then incr answered
+    end
+  done;
+  let rate = float_of_int !answered /. float_of_int !asked in
+  Alcotest.(check bool) (Printf.sprintf "answer rate %.2f > 0.9 under 20%% churn" rate)
+    true (rate > 0.9)
+
+let test_pdht_rejects_bad_key_index () =
+  let rng, p = build () in
+  Alcotest.check_raises "query" (Invalid_argument "Pdht.query: key_index out of range")
+    (fun () -> ignore (Pdht.query p ~now:1. ~peer:0 ~key_index:300));
+  Alcotest.check_raises "negative" (Invalid_argument "Pdht.query: key_index out of range")
+    (fun () -> ignore (Pdht.query p ~now:1. ~peer:0 ~key_index:(-1)));
+  Alcotest.check_raises "update" (Invalid_argument "Pdht.update_key: key_index out of range")
+    (fun () -> ignore (Pdht.update_key p rng ~now:1. ~key_index:300));
+  Alcotest.check_raises "key_of_index" (Invalid_argument "Pdht.key_of_index: out of range")
+    (fun () -> ignore (Pdht.key_of_index p 300))
+
+let test_pdht_eviction_config_respected () =
+  let config =
+    Config.make ~eviction:Pdht_dht.Storage.Evict_lru ~num_peers:100 ~active_members:20
+      ~keys:50 ~repl:5 ~stor:10 ~strategy:(partial 100.) ()
+  in
+  let p = Pdht.create (Rng.create ~seed:9) config in
+  Alcotest.(check bool) "config carries policy" true
+    ((Pdht.config p).Config.eviction = Pdht_dht.Storage.Evict_lru)
+
+let test_pdht_online_fn_roundtrip () =
+  let _, p = build () in
+  Pdht.set_online p (fun peer -> peer mod 2 = 0);
+  Alcotest.(check bool) "even online" true (Pdht.online_fn p 4);
+  Alcotest.(check bool) "odd offline" false (Pdht.online_fn p 5)
+
+(* ------------------------------------------------------------------ *)
+(* Adaptive controller *)
+
+let test_adaptive_needs_data () =
+  let ctl = Adaptive.create () in
+  let _, p = build () in
+  Alcotest.(check (option (float 1e-9))) "no data, no tune" None
+    (Adaptive.retune ctl p ~now:10.);
+  Alcotest.(check (option (float 1e-9))) "no estimate yet" None
+    (Adaptive.current_ttl_estimate ctl)
+
+let test_adaptive_produces_estimate () =
+  let ctl = Adaptive.create () in
+  let _, p = build () in
+  (* Generate traffic: misses (broadcast + insert) and hits. *)
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(float_of_int k) ~peer:k ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(40. +. float_of_int k) ~peer:(k + 50) ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  (match Adaptive.observed_search_costs ctl with
+  | Some (c_unstr, c_indx2) ->
+      Alcotest.(check bool) "broadcast dearer than index search" true (c_unstr > c_indx2)
+  | None -> Alcotest.fail "expected both cost observations");
+  (* Fake some maintenance traffic so cRtn > 0. *)
+  Metrics.charge (Pdht.metrics p) Metrics.Maintenance 500;
+  match Adaptive.retune ctl p ~now:100. with
+  | Some ttl ->
+      Alcotest.(check bool) "positive ttl" true (ttl > 0.);
+      Alcotest.(check (float 1e-9)) "applied to pdht" ttl (Pdht.key_ttl p);
+      Alcotest.(check (option (float 1e-9))) "estimate stored" (Some ttl)
+        (Adaptive.current_ttl_estimate ctl)
+  | None -> Alcotest.fail "expected a retune"
+
+let test_adaptive_smoothing_and_clamp () =
+  Alcotest.check_raises "bad smoothing"
+    (Invalid_argument "Adaptive.create: smoothing in (0,1]") (fun () ->
+      ignore (Adaptive.create ~smoothing:0. ()));
+  Alcotest.check_raises "bad clamp" (Invalid_argument "Adaptive.create: bad TTL clamp")
+    (fun () -> ignore (Adaptive.create ~min_ttl:10. ~max_ttl:1. ()))
+
+(* ------------------------------------------------------------------ *)
+(* System runner *)
+
+let tiny_scenario =
+  {
+    Scenario.news_default with
+    Scenario.num_peers = 150;
+    keys = 300;
+    f_qry = 1. /. 10.;
+    duration = 400.;
+    seed = 11;
+  }
+
+let tiny_options = { System.default_options with System.repl = 10; stor = 60 }
+
+let test_system_run_partial () =
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let r = System.run tiny_scenario (partial ttl) tiny_options in
+  Alcotest.(check bool) "queries happened" true (r.System.queries > 1000);
+  Alcotest.(check int) "all queries accounted" r.System.queries
+    (r.System.answered + r.System.failed);
+  Alcotest.(check int) "no failures without churn" 0 r.System.failed;
+  Alcotest.(check bool) "index hits dominate under Zipf" true (r.System.hit_rate > 0.5);
+  Alcotest.(check bool) "index formed" true (r.System.indexed_keys_final > 0);
+  Alcotest.(check bool) "samples recorded" true (List.length r.System.samples > 3)
+
+let test_system_run_deterministic () =
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let r1 = System.run tiny_scenario (partial ttl) tiny_options in
+  let r2 = System.run tiny_scenario (partial ttl) tiny_options in
+  Alcotest.(check int) "same total messages" r1.System.total_messages r2.System.total_messages;
+  Alcotest.(check int) "same query count" r1.System.queries r2.System.queries;
+  Alcotest.(check int) "same hits" r1.System.from_index r2.System.from_index
+
+let test_system_seed_changes_run () =
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let r1 = System.run tiny_scenario (partial ttl) tiny_options in
+  let r2 =
+    System.run { tiny_scenario with Scenario.seed = 12 } (partial ttl) tiny_options
+  in
+  Alcotest.(check bool) "different seed, different run" true
+    (r1.System.total_messages <> r2.System.total_messages)
+
+let test_system_strategy_ordering () =
+  (* At a busy query rate, partial must beat noIndex by a wide margin
+     (the paper's headline claim at simulation scale). *)
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let partial_run = System.run tiny_scenario (partial ttl) tiny_options in
+  let none_run = System.run tiny_scenario Strategy.No_index tiny_options in
+  Alcotest.(check bool)
+    (Printf.sprintf "partial %.0f < noIndex %.0f msg/s" partial_run.System.messages_per_second
+       none_run.System.messages_per_second)
+    true
+    (partial_run.System.messages_per_second < none_run.System.messages_per_second)
+
+let test_system_index_all_no_broadcast () =
+  let r = System.run tiny_scenario Strategy.Index_all tiny_options in
+  Alcotest.(check int) "never broadcasts" 0 r.System.from_broadcast;
+  Alcotest.(check int) "unstructured traffic zero" 0
+    (List.assoc Metrics.Query_unstructured r.System.messages_by_category)
+
+let test_system_no_index_no_dht_traffic () =
+  let r = System.run tiny_scenario Strategy.No_index tiny_options in
+  Alcotest.(check int) "no index searches" 0
+    (List.assoc Metrics.Query_index r.System.messages_by_category);
+  Alcotest.(check int) "no maintenance" 0
+    (List.assoc Metrics.Maintenance r.System.messages_by_category)
+
+let test_system_with_churn () =
+  let scenario =
+    {
+      tiny_scenario with
+      Scenario.churn =
+        Scenario.Exponential_sessions
+          { mean_uptime = 600.; mean_downtime = 200.; initially_online_fraction = 0.75 };
+    }
+  in
+  let ttl = System.derive_key_ttl scenario tiny_options in
+  let r = System.run scenario (partial ttl) tiny_options in
+  (* Offline peers skip queries; most online queries still succeed. *)
+  let success = float_of_int r.System.answered /. float_of_int (max 1 r.System.queries) in
+  Alcotest.(check bool) (Printf.sprintf "success %.2f > 0.85 under churn" success) true
+    (success > 0.85)
+
+let test_system_adaptive_option_runs () =
+  let options = { tiny_options with System.adaptive_ttl = true; sample_every = 20. } in
+  let ttl = System.derive_key_ttl tiny_scenario options in
+  let r = System.run tiny_scenario (partial ttl) options in
+  Alcotest.(check bool) "completes and answers" true (r.System.answered > 0)
+
+let test_system_ttl_override () =
+  let options = { tiny_options with System.key_ttl_override = Some 123. } in
+  Alcotest.(check (float 1e-9)) "override wins" 123.
+    (System.derive_key_ttl tiny_scenario options)
+
+let test_system_query_cost_percentiles () =
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let r = System.run tiny_scenario (partial ttl) tiny_options in
+  Alcotest.(check bool) "ordered" true
+    (r.System.query_cost_p50 <= r.System.query_cost_p95
+    && r.System.query_cost_p95 <= r.System.query_cost_p99);
+  (* Under Zipf most queries are index hits: the median is a handful of
+     messages while the tail pays for broadcasts. *)
+  Alcotest.(check bool) "median is cheap" true (r.System.query_cost_p50 < 20.);
+  Alcotest.(check bool) "tail is expensive" true
+    (r.System.query_cost_p99 > 3. *. r.System.query_cost_p50)
+
+let test_system_report_printable () =
+  let ttl = System.derive_key_ttl tiny_scenario tiny_options in
+  let r = System.run tiny_scenario (partial ttl) tiny_options in
+  let s = Format.asprintf "%a" System.pp_report r in
+  Alcotest.(check bool) "non-empty" true (String.length s > 50)
+
+let () =
+  Alcotest.run "pdht_core"
+    [
+      ( "strategy-config",
+        [
+          Alcotest.test_case "strategy accessors" `Quick test_strategy_accessors;
+          Alcotest.test_case "config validation" `Quick test_config_validation;
+          Alcotest.test_case "active_members_for" `Quick test_config_active_members_for;
+        ] );
+      ( "pdht",
+        [
+          Alcotest.test_case "noIndex broadcasts" `Quick test_pdht_no_index_broadcasts;
+          Alcotest.test_case "indexAll serves from index" `Quick test_pdht_index_all_serves_from_index;
+          Alcotest.test_case "indexAll preloaded" `Quick test_pdht_index_all_preloaded;
+          Alcotest.test_case "partial starts empty" `Quick test_pdht_partial_starts_empty;
+          Alcotest.test_case "miss then hit" `Quick test_pdht_partial_miss_then_hit;
+          Alcotest.test_case "key expires" `Quick test_pdht_partial_key_expires;
+          Alcotest.test_case "query refreshes ttl" `Quick test_pdht_query_refreshes_ttl;
+          Alcotest.test_case "offline peer" `Quick test_pdht_offline_peer_cannot_query;
+          Alcotest.test_case "result totals" `Quick test_pdht_query_result_totals;
+          Alcotest.test_case "set_key_ttl" `Quick test_pdht_set_key_ttl;
+          Alcotest.test_case "update modes" `Quick test_pdht_update_key_modes;
+          Alcotest.test_case "rejoin sync" `Quick test_pdht_rejoin_sync;
+          Alcotest.test_case "key mapping deterministic" `Quick test_pdht_key_mapping_deterministic;
+          Alcotest.test_case "content replicas" `Quick test_pdht_content_replicas_placed;
+          Alcotest.test_case "popular keys persist" `Quick test_pdht_popular_keys_stay_indexed;
+          Alcotest.test_case "answers under churn" `Quick test_pdht_under_churn_still_answers;
+          Alcotest.test_case "rejects bad key index" `Quick test_pdht_rejects_bad_key_index;
+          Alcotest.test_case "eviction config" `Quick test_pdht_eviction_config_respected;
+          Alcotest.test_case "online fn roundtrip" `Quick test_pdht_online_fn_roundtrip;
+        ] );
+      ( "adaptive",
+        [
+          Alcotest.test_case "needs data" `Quick test_adaptive_needs_data;
+          Alcotest.test_case "produces estimate" `Quick test_adaptive_produces_estimate;
+          Alcotest.test_case "validation" `Quick test_adaptive_smoothing_and_clamp;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "run partial" `Quick test_system_run_partial;
+          Alcotest.test_case "deterministic" `Quick test_system_run_deterministic;
+          Alcotest.test_case "seed sensitivity" `Quick test_system_seed_changes_run;
+          Alcotest.test_case "partial beats noIndex" `Quick test_system_strategy_ordering;
+          Alcotest.test_case "indexAll never broadcasts" `Quick test_system_index_all_no_broadcast;
+          Alcotest.test_case "noIndex has no DHT traffic" `Quick test_system_no_index_no_dht_traffic;
+          Alcotest.test_case "with churn" `Quick test_system_with_churn;
+          Alcotest.test_case "adaptive option" `Quick test_system_adaptive_option_runs;
+          Alcotest.test_case "ttl override" `Quick test_system_ttl_override;
+          Alcotest.test_case "query cost percentiles" `Quick test_system_query_cost_percentiles;
+          Alcotest.test_case "report printable" `Quick test_system_report_printable;
+        ] );
+    ]

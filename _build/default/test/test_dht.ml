@@ -1,0 +1,1112 @@
+(* Tests for Pdht_dht: churn model, TTL storage, Chord, P-Grid, the
+   facade, and routing-table maintenance. *)
+
+module Rng = Pdht_util.Rng
+module Bitkey = Pdht_util.Bitkey
+module Churn = Pdht_dht.Churn
+module Storage = Pdht_dht.Storage
+module Chord = Pdht_dht.Chord
+module Pgrid = Pdht_dht.Pgrid
+module Dht = Pdht_dht.Dht
+module Maintenance = Pdht_dht.Maintenance
+
+let all_online _ = true
+
+(* ------------------------------------------------------------------ *)
+(* Churn *)
+
+let test_churn_static () =
+  let c = Churn.always_online ~peers:10 in
+  Alcotest.(check int) "all online" 10 (Churn.online_count c);
+  Alcotest.(check (float 1e-9)) "availability 1" 1. (Churn.availability c);
+  let engine = Pdht_sim.Engine.create () in
+  Churn.attach c engine;
+  Pdht_sim.Engine.run engine ~until:1000.;
+  Alcotest.(check int) "no transitions" 0 (Churn.session_changes c)
+
+let test_churn_stationary_fraction () =
+  let rng = Rng.create ~seed:80 in
+  let c =
+    Churn.create rng ~peers:2000 ~mean_uptime:300. ~mean_downtime:100.
+      ~initially_online_fraction:0.75
+  in
+  let engine = Pdht_sim.Engine.create () in
+  Churn.attach c engine;
+  Pdht_sim.Engine.run engine ~until:2000.;
+  let frac = float_of_int (Churn.online_count c) /. 2000. in
+  Alcotest.(check (float 0.05)) "stationary fraction = availability"
+    (Churn.availability c) frac;
+  Alcotest.(check bool) "transitions happened" true (Churn.session_changes c > 1000)
+
+let test_churn_callbacks () =
+  let rng = Rng.create ~seed:81 in
+  let c =
+    Churn.create rng ~peers:5 ~mean_uptime:10. ~mean_downtime:10.
+      ~initially_online_fraction:1.
+  in
+  let events = ref 0 in
+  let consistent = ref true in
+  Churn.on_toggle c (fun ~peer ~now_online ~time:_ ->
+      incr events;
+      if Churn.online c peer <> now_online then consistent := false);
+  let engine = Pdht_sim.Engine.create () in
+  Churn.attach c engine;
+  Pdht_sim.Engine.run engine ~until:100.;
+  Alcotest.(check bool) "callbacks fired" true (!events > 0);
+  Alcotest.(check int) "callback count matches" (Churn.session_changes c) !events;
+  Alcotest.(check bool) "state consistent inside callback" true !consistent
+
+let test_churn_validation () =
+  let rng = Rng.create ~seed:82 in
+  Alcotest.check_raises "bad uptime"
+    (Invalid_argument "Churn.create: durations must be positive") (fun () ->
+      ignore
+        (Churn.create rng ~peers:2 ~mean_uptime:0. ~mean_downtime:1.
+           ~initially_online_fraction:1.))
+
+(* ------------------------------------------------------------------ *)
+(* Storage *)
+
+let key i = Pdht_util.Hashing.hash_to_key (string_of_int i)
+
+let test_storage_put_get () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:"a" ~now:0. ~ttl:10.;
+  Alcotest.(check (option string)) "hit" (Some "a") (Storage.get s ~key:(key 1) ~now:5.);
+  Alcotest.(check (option string)) "miss other key" None (Storage.get s ~key:(key 2) ~now:5.)
+
+let test_storage_expiry () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:10.;
+  Alcotest.(check (option int)) "live before ttl" (Some 1) (Storage.get s ~key:(key 1) ~now:9.9);
+  Alcotest.(check (option int)) "expired at ttl" None (Storage.get s ~key:(key 1) ~now:10.)
+
+let test_storage_get_does_not_refresh () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:10.;
+  ignore (Storage.get s ~key:(key 1) ~now:9.);
+  Alcotest.(check (option int)) "expired despite get" None (Storage.get s ~key:(key 1) ~now:11.)
+
+let test_storage_refresh_extends () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:10.;
+  ignore (Storage.get_and_refresh s ~key:(key 1) ~now:9. ~ttl:10.);
+  Alcotest.(check (option int)) "alive past original expiry" (Some 1)
+    (Storage.get s ~key:(key 1) ~now:15.);
+  Alcotest.(check (option int)) "new expiry is 19" None (Storage.get s ~key:(key 1) ~now:19.)
+
+let test_storage_overwrite_updates_value_and_ttl () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:"old" ~now:0. ~ttl:5.;
+  Storage.put s ~key:(key 1) ~value:"new" ~now:4. ~ttl:5.;
+  Alcotest.(check (option string)) "new value" (Some "new") (Storage.get s ~key:(key 1) ~now:8.)
+
+let test_storage_capacity_eviction () =
+  let s = Storage.create ~capacity:3 () in
+  (* Keys with staggered expiries; inserting a 4th evicts the one
+     closest to expiry. *)
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:5.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:0. ~ttl:50.;
+  Storage.put s ~key:(key 3) ~value:3 ~now:0. ~ttl:500.;
+  Storage.put s ~key:(key 4) ~value:4 ~now:1. ~ttl:100.;
+  Alcotest.(check (option int)) "soonest evicted" None (Storage.get s ~key:(key 1) ~now:1.);
+  Alcotest.(check (option int)) "others kept (2)" (Some 2) (Storage.get s ~key:(key 2) ~now:1.);
+  Alcotest.(check (option int)) "others kept (3)" (Some 3) (Storage.get s ~key:(key 3) ~now:1.);
+  Alcotest.(check (option int)) "new key stored" (Some 4) (Storage.get s ~key:(key 4) ~now:1.)
+
+let test_storage_prefers_purging_expired () =
+  let s = Storage.create ~capacity:2 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:1.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:0. ~ttl:100.;
+  (* Key 1 has expired by now = 2; the insert purges it rather than
+     evicting the live key 2. *)
+  Storage.put s ~key:(key 3) ~value:3 ~now:2. ~ttl:100.;
+  Alcotest.(check (option int)) "live key survives" (Some 2) (Storage.get s ~key:(key 2) ~now:2.);
+  Alcotest.(check (option int)) "new key present" (Some 3) (Storage.get s ~key:(key 3) ~now:2.)
+
+let test_storage_live_count_and_fold () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:5.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:0. ~ttl:50.;
+  Alcotest.(check int) "two live" 2 (Storage.live_count s ~now:1.);
+  Alcotest.(check int) "one live after expiry" 1 (Storage.live_count s ~now:10.);
+  let sum = Storage.fold_live s ~now:10. ~init:0 ~f:(fun acc _ v -> acc + v) in
+  Alcotest.(check int) "fold sees survivors" 2 sum
+
+let test_storage_remove_and_expire () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:5.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:0. ~ttl:5.;
+  Storage.remove s ~key:(key 1);
+  Alcotest.(check (option int)) "removed" None (Storage.get s ~key:(key 1) ~now:0.);
+  Alcotest.(check int) "expire purges the rest" 1 (Storage.expire s ~now:100.)
+
+let test_storage_expiry_inspection () =
+  let s = Storage.create ~capacity:10 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:2. ~ttl:5.;
+  Alcotest.(check (option (float 1e-9))) "expiry instant" (Some 7.)
+    (Storage.expiry s ~key:(key 1))
+
+let test_storage_lru_eviction () =
+  let s = Storage.create ~eviction:Storage.Evict_lru ~capacity:3 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:1000.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:1. ~ttl:1000.;
+  Storage.put s ~key:(key 3) ~value:3 ~now:2. ~ttl:1000.;
+  (* Touch key 1 so key 2 becomes the least recently used. *)
+  ignore (Storage.get s ~key:(key 1) ~now:3.);
+  Storage.put s ~key:(key 4) ~value:4 ~now:4. ~ttl:1000.;
+  Alcotest.(check (option int)) "LRU victim gone" None (Storage.get s ~key:(key 2) ~now:4.);
+  Alcotest.(check (option int)) "recently used kept" (Some 1) (Storage.get s ~key:(key 1) ~now:4.)
+
+let test_storage_random_eviction_bounded_and_deterministic () =
+  let run () =
+    let s = Storage.create ~eviction:Storage.Evict_random ~seed:9 ~capacity:5 () in
+    for i = 0 to 19 do
+      Storage.put s ~key:(key i) ~value:i ~now:(float_of_int i) ~ttl:1000.
+    done;
+    Storage.fold_live s ~now:20. ~init:[] ~f:(fun acc k _ -> k :: acc)
+  in
+  let a = run () and b = run () in
+  Alcotest.(check int) "capacity respected" 5 (List.length a);
+  Alcotest.(check bool) "deterministic in seed" true (a = b)
+
+let test_storage_mem_does_not_touch () =
+  let s = Storage.create ~eviction:Storage.Evict_lru ~capacity:2 () in
+  Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:1000.;
+  Storage.put s ~key:(key 2) ~value:2 ~now:1. ~ttl:1000.;
+  (* A read-only probe of key 1 must not save it from LRU eviction. *)
+  ignore (Storage.mem s ~key:(key 1) ~now:2.);
+  Storage.put s ~key:(key 3) ~value:3 ~now:3. ~ttl:1000.;
+  Alcotest.(check (option int)) "probe did not refresh recency" None
+    (Storage.get s ~key:(key 1) ~now:3.)
+
+let test_storage_validation () =
+  Alcotest.check_raises "capacity" (Invalid_argument "Storage.create: capacity must be >= 1")
+    (fun () -> ignore (Storage.create ~capacity:0 () : int Storage.t));
+  let s = Storage.create ~capacity:1 () in
+  Alcotest.check_raises "ttl" (Invalid_argument "Storage.put: ttl must be positive")
+    (fun () -> Storage.put s ~key:(key 1) ~value:1 ~now:0. ~ttl:0.)
+
+(* ------------------------------------------------------------------ *)
+(* Chord *)
+
+let test_chord_successor_ordering () =
+  let rng = Rng.create ~seed:90 in
+  let c = Chord.create rng ~members:200 in
+  (* The successor of any key has the smallest id >= key (or wraps). *)
+  for _ = 1 to 100 do
+    let k = Bitkey.random rng in
+    let succ = Chord.successor_member c k in
+    let id = Chord.id_of c succ in
+    for m = 0 to 199 do
+      let idm = Chord.id_of c m in
+      if Bitkey.compare idm k >= 0 && Bitkey.compare id k >= 0 then
+        Alcotest.(check bool) "no closer successor" true (Bitkey.compare id idm <= 0)
+    done
+  done
+
+let test_chord_lookup_reaches_responsible () =
+  let rng = Rng.create ~seed:91 in
+  let c = Chord.create rng ~members:300 in
+  for _ = 1 to 200 do
+    let k = Bitkey.random rng in
+    let source = Rng.int rng 300 in
+    let o = Chord.lookup c ~online:all_online ~source ~key:k in
+    Alcotest.(check (option int)) "reaches successor"
+      (Some (Chord.successor_member c k)) o.Chord.responsible
+  done
+
+let test_chord_lookup_logarithmic () =
+  let rng = Rng.create ~seed:92 in
+  let c = Chord.create rng ~members:1024 in
+  let total_hops = ref 0 in
+  let trials = 300 in
+  for _ = 1 to trials do
+    let k = Bitkey.random rng in
+    let o = Chord.lookup c ~online:all_online ~source:(Rng.int rng 1024) ~key:k in
+    total_hops := !total_hops + o.Chord.hops
+  done;
+  let mean = float_of_int !total_hops /. float_of_int trials in
+  (* Eq. 7 expectation: 0.5 * log2 1024 = 5 hops. *)
+  Alcotest.(check bool) (Printf.sprintf "mean hops %.2f within [3,8]" mean) true
+    (mean >= 3. && mean <= 8.)
+
+let test_chord_lookup_self_responsible () =
+  let rng = Rng.create ~seed:93 in
+  let c = Chord.create rng ~members:50 in
+  let m = 7 in
+  let o = Chord.lookup c ~online:all_online ~source:m ~key:(Chord.id_of c m) in
+  Alcotest.(check (option int)) "own id" (Some m) o.Chord.responsible;
+  Alcotest.(check int) "zero messages" 0 o.Chord.messages
+
+let test_chord_lookup_under_churn () =
+  let rng = Rng.create ~seed:94 in
+  let c = Chord.create rng ~members:300 in
+  let offline = Array.init 300 (fun _ -> Rng.unit_float rng < 0.3) in
+  let online p = not offline.(p) in
+  let successes = ref 0 in
+  let attempts = ref 0 in
+  for _ = 1 to 200 do
+    let source = Rng.int rng 300 in
+    if online source then begin
+      incr attempts;
+      let k = Bitkey.random rng in
+      let o = Chord.lookup c ~online ~source ~key:k in
+      match o.Chord.responsible with
+      | Some r ->
+          Alcotest.(check bool) "responsible is online" true (online r);
+          incr successes
+      | None -> ()
+    end
+  done;
+  Alcotest.(check bool) "lookups survive 30% churn" true (!successes = !attempts)
+
+let test_chord_successors () =
+  let rng = Rng.create ~seed:95 in
+  let c = Chord.create rng ~members:50 in
+  let k = Bitkey.random rng in
+  let succ = Chord.successors c k ~k:5 in
+  Alcotest.(check int) "five successors" 5 (Array.length succ);
+  Alcotest.(check int) "first is the owner" (Chord.successor_member c k) succ.(0);
+  let distinct = Array.to_list succ |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct" 5 (List.length distinct);
+  Alcotest.(check int) "capped at members" 50 (Array.length (Chord.successors c k ~k:100))
+
+let test_chord_probe_repairs_fingers () =
+  let rng = Rng.create ~seed:96 in
+  let c = Chord.create rng ~members:200 in
+  let offline = Array.make 200 false in
+  (* Knock out a third of members, then probe heavily. *)
+  for m = 0 to 199 do
+    if m mod 3 = 0 then offline.(m) <- true
+  done;
+  let online p = not offline.(p) in
+  for m = 0 to 199 do
+    if online m then ignore (Chord.probe_and_repair c rng ~online ~peer:m ~probes:400)
+  done;
+  (* After heavy probing most finger entries of online peers are online. *)
+  let stale = ref 0 and total = ref 0 in
+  for m = 0 to 199 do
+    if online m then
+      Array.iter
+        (fun f ->
+          incr total;
+          if not (online f) then incr stale)
+        (Chord.finger_targets c m)
+  done;
+  let stale_frac = float_of_int !stale /. float_of_int !total in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale fraction %.3f < 0.05" stale_frac)
+    true (stale_frac < 0.05)
+
+let test_chord_expected_lookup_messages () =
+  Alcotest.(check (float 1e-9)) "Eq. 7 at 1024" 5.
+    (Chord.expected_lookup_messages ~members:1024)
+
+let test_chord_single_member () =
+  let rng = Rng.create ~seed:97 in
+  let c = Chord.create rng ~members:1 in
+  let o = Chord.lookup c ~online:all_online ~source:0 ~key:(Bitkey.random rng) in
+  Alcotest.(check (option int)) "self" (Some 0) o.Chord.responsible
+
+(* ------------------------------------------------------------------ *)
+(* P-Grid *)
+
+let test_pgrid_paths_partition_keyspace () =
+  let rng = Rng.create ~seed:100 in
+  let g = Pgrid.build rng ~members:64 ~leaf_size:1 ~refs_per_level:3 in
+  (* Every key has exactly one responsible leaf. *)
+  for _ = 1 to 200 do
+    let k = Bitkey.random rng in
+    let peers = Pgrid.responsible_peers g k in
+    Alcotest.(check int) "singleton leaf" 1 (Array.length peers);
+    Alcotest.(check bool) "path prefixes key" true
+      (let path = Pgrid.path_of g peers.(0) in
+       let rec check i =
+         i >= String.length path || (Bitkey.bit k i = (path.[i] = '1') && check (i + 1))
+       in
+       check 0)
+  done
+
+let test_pgrid_balanced_depth () =
+  let rng = Rng.create ~seed:101 in
+  let g = Pgrid.build rng ~members:128 ~leaf_size:1 ~refs_per_level:3 in
+  for m = 0 to 127 do
+    Alcotest.(check int) "balanced tree depth" 7 (Pgrid.path_length g m)
+  done;
+  Alcotest.(check int) "max depth" 7 (Pgrid.max_path_length g)
+
+let test_pgrid_leaf_groups_replicate () =
+  let rng = Rng.create ~seed:102 in
+  let g = Pgrid.build rng ~members:100 ~leaf_size:10 ~refs_per_level:3 in
+  let k = Bitkey.random rng in
+  let group = Pgrid.responsible_peers g k in
+  Alcotest.(check bool) "group within leaf_size bound" true
+    (Array.length group >= 1 && Array.length group <= 10);
+  (* All group members share the same path. *)
+  let path = Pgrid.path_of g group.(0) in
+  Array.iter
+    (fun m -> Alcotest.(check string) "same path" path (Pgrid.path_of g m))
+    group
+
+let test_pgrid_lookup_reaches_leaf () =
+  let rng = Rng.create ~seed:103 in
+  let g = Pgrid.build rng ~members:256 ~leaf_size:1 ~refs_per_level:3 in
+  for _ = 1 to 200 do
+    let k = Bitkey.random rng in
+    let source = Rng.int rng 256 in
+    let o = Pgrid.lookup g rng ~online:all_online ~source ~key:k in
+    match o.Pgrid.responsible with
+    | Some r ->
+        let expected = Pgrid.responsible_peers g k in
+        Alcotest.(check bool) "landed in responsible leaf" true
+          (Array.exists (fun m -> m = r) expected)
+    | None -> Alcotest.fail "lookup failed with everyone online"
+  done
+
+let test_pgrid_lookup_hop_bound () =
+  let rng = Rng.create ~seed:104 in
+  let g = Pgrid.build rng ~members:256 ~leaf_size:1 ~refs_per_level:3 in
+  for _ = 1 to 100 do
+    let k = Bitkey.random rng in
+    let o = Pgrid.lookup g rng ~online:all_online ~source:(Rng.int rng 256) ~key:k in
+    Alcotest.(check bool) "hops <= max path length" true
+      (o.Pgrid.hops <= Pgrid.max_path_length g)
+  done
+
+let test_pgrid_lookup_under_churn () =
+  let rng = Rng.create ~seed:105 in
+  let g = Pgrid.build rng ~members:256 ~leaf_size:4 ~refs_per_level:5 in
+  let offline = Array.init 256 (fun _ -> Rng.unit_float rng < 0.25) in
+  let online p = not offline.(p) in
+  let ok = ref 0 and attempts = ref 0 in
+  for _ = 1 to 300 do
+    let source = Rng.int rng 256 in
+    if online source then begin
+      incr attempts;
+      let k = Bitkey.random rng in
+      let o = Pgrid.lookup g rng ~online ~source ~key:k in
+      match o.Pgrid.responsible with
+      | Some r -> if online r then incr ok
+      | None -> ()
+    end
+  done;
+  (* With 5 refs per level and 25% churn, the vast majority of lookups
+     must still succeed. *)
+  let rate = float_of_int !ok /. float_of_int !attempts in
+  Alcotest.(check bool) (Printf.sprintf "success rate %.2f > 0.9" rate) true (rate > 0.9)
+
+let test_pgrid_refs_point_to_complement () =
+  let rng = Rng.create ~seed:106 in
+  let g = Pgrid.build rng ~members:64 ~leaf_size:2 ~refs_per_level:3 in
+  for m = 0 to 63 do
+    let path = Pgrid.path_of g m in
+    for l = 0 to String.length path - 1 do
+      Array.iter
+        (fun r ->
+          let rpath = Pgrid.path_of g r in
+          Alcotest.(check string) "agrees on prefix" (String.sub path 0 l)
+            (String.sub rpath 0 l);
+          Alcotest.(check bool) "differs at level bit" true (rpath.[l] <> path.[l]))
+        (Pgrid.refs_at g ~peer:m ~level:l)
+    done
+  done
+
+let test_pgrid_probe_repair () =
+  let rng = Rng.create ~seed:107 in
+  let g = Pgrid.build rng ~members:128 ~leaf_size:2 ~refs_per_level:4 in
+  let offline = Array.init 128 (fun i -> i mod 4 = 0) in
+  let online p = not offline.(p) in
+  for m = 0 to 127 do
+    if online m then ignore (Pgrid.probe_and_repair g rng ~online ~peer:m ~probes:300)
+  done;
+  let stale = ref 0 and total = ref 0 in
+  for m = 0 to 127 do
+    if online m then
+      for l = 0 to Pgrid.path_length g m - 1 do
+        Array.iter
+          (fun r ->
+            incr total;
+            if not (online r) then incr stale)
+          (Pgrid.refs_at g ~peer:m ~level:l)
+      done
+  done;
+  let frac = float_of_int !stale /. float_of_int !total in
+  Alcotest.(check bool) (Printf.sprintf "stale %.3f < 0.08" frac) true (frac < 0.08)
+
+let test_pgrid_single_member () =
+  let rng = Rng.create ~seed:108 in
+  let g = Pgrid.build rng ~members:1 ~leaf_size:1 ~refs_per_level:1 in
+  Alcotest.(check string) "empty path" "" (Pgrid.path_of g 0);
+  let o = Pgrid.lookup g rng ~online:all_online ~source:0 ~key:(Bitkey.random rng) in
+  Alcotest.(check (option int)) "self-lookup" (Some 0) o.Pgrid.responsible
+
+(* ------------------------------------------------------------------ *)
+(* Dynamic Chord (joins, leaves, stabilization) *)
+
+module Chord_dynamic = Pdht_dht.Chord_dynamic
+
+let grow_ring rng t ~target =
+  let first = Chord_dynamic.bootstrap t in
+  let members = ref [ first ] in
+  while Chord_dynamic.node_count t < target do
+    let alive = List.filter (Chord_dynamic.is_member t) !members in
+    let via = List.nth alive (Rng.int rng (List.length alive)) in
+    (match Chord_dynamic.join t ~via with
+    | Ok (node, _) -> members := node :: !members
+    | Error _ -> ());
+    ignore (Chord_dynamic.stabilize t rng)
+  done;
+  for _ = 1 to 15 do
+    ignore (Chord_dynamic.stabilize t rng)
+  done;
+  !members
+
+let correct_lookup_count rng t members ~trials =
+  let alive = List.filter (Chord_dynamic.is_member t) members in
+  let ok = ref 0 in
+  for _ = 1 to trials do
+    let key = Bitkey.random rng in
+    let src = List.nth alive (Rng.int rng (List.length alive)) in
+    let o = Chord_dynamic.lookup t ~source:src ~key in
+    if o.Chord_dynamic.responsible = Chord_dynamic.ideal_responsible t key then incr ok
+  done;
+  !ok
+
+let test_dynamic_bootstrap_and_join () =
+  let rng = Rng.create ~seed:150 in
+  let t = Chord_dynamic.create rng ~capacity:50 () in
+  let members = grow_ring rng t ~target:30 in
+  Alcotest.(check int) "thirty nodes" 30 (Chord_dynamic.node_count t);
+  Alcotest.(check bool) "ring consistent after growth" true (Chord_dynamic.ring_consistent t);
+  Alcotest.(check int) "all lookups correct" 100 (correct_lookup_count rng t members ~trials:100)
+
+let test_dynamic_graceful_leave () =
+  let rng = Rng.create ~seed:151 in
+  let t = Chord_dynamic.create rng ~capacity:40 () in
+  let members = grow_ring rng t ~target:25 in
+  let alive = List.filter (Chord_dynamic.is_member t) members in
+  List.iteri (fun i m -> if i mod 5 = 0 then ignore (Chord_dynamic.leave t ~node:m)) alive;
+  for _ = 1 to 10 do
+    ignore (Chord_dynamic.stabilize t rng)
+  done;
+  Alcotest.(check int) "five departed" 20 (Chord_dynamic.node_count t);
+  Alcotest.(check bool) "still consistent" true (Chord_dynamic.ring_consistent t);
+  Alcotest.(check int) "lookups stay correct" 100 (correct_lookup_count rng t members ~trials:100)
+
+let test_dynamic_crash_recovery () =
+  let rng = Rng.create ~seed:152 in
+  let t = Chord_dynamic.create rng ~capacity:120 () in
+  let members = grow_ring rng t ~target:80 in
+  let alive = List.filter (Chord_dynamic.is_member t) members in
+  List.iteri (fun i m -> if i mod 4 = 0 then Chord_dynamic.crash t ~node:m) alive;
+  Alcotest.(check bool) "broken right after crashes" false (Chord_dynamic.ring_consistent t);
+  for _ = 1 to 25 do
+    ignore (Chord_dynamic.stabilize t rng)
+  done;
+  Alcotest.(check bool) "stabilization heals the ring" true (Chord_dynamic.ring_consistent t);
+  Alcotest.(check int) "lookups correct after healing" 100
+    (correct_lookup_count rng t members ~trials:100)
+
+let test_dynamic_join_via_dead_rejected () =
+  let rng = Rng.create ~seed:153 in
+  let t = Chord_dynamic.create rng ~capacity:10 () in
+  let first = Chord_dynamic.bootstrap t in
+  Chord_dynamic.crash t ~node:first;
+  match Chord_dynamic.join t ~via:first with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "joining via a dead node must fail"
+
+let test_dynamic_capacity_limit () =
+  let rng = Rng.create ~seed:154 in
+  let t = Chord_dynamic.create rng ~capacity:2 () in
+  let first = Chord_dynamic.bootstrap t in
+  (match Chord_dynamic.join t ~via:first with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail e);
+  for _ = 1 to 5 do
+    ignore (Chord_dynamic.stabilize t rng)
+  done;
+  match Chord_dynamic.join t ~via:first with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "ring beyond capacity"
+
+(* ------------------------------------------------------------------ *)
+(* P-Grid bootstrap *)
+
+module Bootstrap = Pdht_dht.Pgrid_bootstrap
+
+let converged_bootstrap ~seed ~members ~meetings =
+  let rng = Rng.create ~seed in
+  let t = Bootstrap.create ~members () in
+  Bootstrap.run_exchanges t rng ~meetings;
+  (rng, t)
+
+let test_bootstrap_initial_state () =
+  let t = Bootstrap.create ~members:10 () in
+  for p = 0 to 9 do
+    Alcotest.(check string) "empty path" "" (Bootstrap.path_of t p)
+  done;
+  (* With empty paths, everyone is responsible for everything. *)
+  let rng = Rng.create ~seed:140 in
+  Alcotest.(check int) "all responsible" 10
+    (Array.length (Bootstrap.responsible_peers t (Bitkey.random rng)))
+
+let test_bootstrap_coverage_invariant () =
+  (* At every stage of the bootstrap every key keeps a responsible
+     peer — splits and specializations never abandon a region. *)
+  let rng = Rng.create ~seed:141 in
+  let t = Bootstrap.create ~members:64 () in
+  for _ = 1 to 20 do
+    Bootstrap.run_exchanges t rng ~meetings:50;
+    for _ = 1 to 50 do
+      let key = Bitkey.random rng in
+      Alcotest.(check bool) "some peer responsible" true
+        (Array.length (Bootstrap.responsible_peers t key) > 0)
+    done
+  done
+
+let test_bootstrap_converges_to_log_depth () =
+  let _, t = converged_bootstrap ~seed:142 ~members:256 ~meetings:4_000 in
+  let s = Bootstrap.stats t in
+  (* log2 256 = 8; allow a generous band for the unbalanced basic
+     protocol. *)
+  Alcotest.(check bool)
+    (Printf.sprintf "mean depth %.2f in [6,11]" s.Bootstrap.mean_path_length)
+    true
+    (s.Bootstrap.mean_path_length >= 6. && s.Bootstrap.mean_path_length <= 11.);
+  Alcotest.(check bool) "most paths distinct" true (s.Bootstrap.distinct_paths >= 240)
+
+let test_bootstrap_lookups_succeed () =
+  let rng, t = converged_bootstrap ~seed:143 ~members:256 ~meetings:4_000 in
+  let rate = Bootstrap.lookup_success_rate t rng ~trials:300 in
+  Alcotest.(check bool) (Printf.sprintf "success %.3f > 0.95" rate) true (rate > 0.95)
+
+let test_bootstrap_lookups_succeed_early () =
+  (* Even a half-built trie routes: coverage holds throughout. *)
+  let rng, t = converged_bootstrap ~seed:144 ~members:256 ~meetings:600 in
+  let rate = Bootstrap.lookup_success_rate t rng ~trials:300 in
+  Alcotest.(check bool) (Printf.sprintf "early success %.3f > 0.8" rate) true (rate > 0.8)
+
+let test_bootstrap_refs_point_across () =
+  let _, t = converged_bootstrap ~seed:145 ~members:128 ~meetings:3_000 in
+  (* A reference recorded at level l was on the complementary side at
+     exchange time; after further specialization it must still agree on
+     the first l bits or have moved deeper only. *)
+  for p = 0 to 127 do
+    let path = Bootstrap.path_of t p in
+    for l = 0 to min (String.length path - 1) 5 do
+      Array.iter
+        (fun r ->
+          let rpath = Bootstrap.path_of t r in
+          Alcotest.(check bool) "ref still shares the level prefix" true
+            (String.length rpath >= l
+            && String.equal (String.sub rpath 0 l) (String.sub path 0 l)))
+        (Bootstrap.refs_at t ~peer:p ~level:l)
+    done
+  done
+
+let test_bootstrap_single_member () =
+  let rng = Rng.create ~seed:146 in
+  let t = Bootstrap.create ~members:1 () in
+  Bootstrap.run_exchanges t rng ~meetings:100;
+  Alcotest.(check string) "alone, never splits" "" (Bootstrap.path_of t 0)
+
+(* ------------------------------------------------------------------ *)
+(* Kademlia *)
+
+module Kademlia = Pdht_dht.Kademlia
+
+let test_kademlia_closest_members_ordering () =
+  let rng = Rng.create ~seed:120 in
+  let k = Kademlia.create rng ~members:100 () in
+  let key = Bitkey.random rng in
+  let closest = Kademlia.closest_members k key ~k:10 in
+  Alcotest.(check int) "ten members" 10 (Array.length closest);
+  (* Nearest-first in XOR distance, and truly the global minimum. *)
+  for i = 0 to 8 do
+    Alcotest.(check bool) "sorted by xor distance" true
+      (Bitkey.xor_distance key (Kademlia.id_of k closest.(i))
+       <= Bitkey.xor_distance key (Kademlia.id_of k closest.(i + 1)))
+  done;
+  for m = 0 to 99 do
+    if not (Array.exists (fun c -> c = m) closest) then
+      Alcotest.(check bool) "no outsider is closer" true
+        (Bitkey.xor_distance key (Kademlia.id_of k m)
+         >= Bitkey.xor_distance key (Kademlia.id_of k closest.(9)))
+  done
+
+let test_kademlia_lookup_reaches_closest () =
+  let rng = Rng.create ~seed:121 in
+  let k = Kademlia.create rng ~members:300 () in
+  let ok = ref 0 in
+  for _ = 1 to 200 do
+    let key = Bitkey.random rng in
+    let source = Rng.int rng 300 in
+    let o = Kademlia.lookup k rng ~online:all_online ~source ~key in
+    let expected = (Kademlia.closest_members k key ~k:1).(0) in
+    if o.Kademlia.responsible = Some expected then incr ok
+  done;
+  Alcotest.(check int) "always converges to the XOR-closest member" 200 !ok
+
+let test_kademlia_lookup_logarithmic_rounds () =
+  let rng = Rng.create ~seed:122 in
+  let k = Kademlia.create rng ~members:1024 () in
+  let rounds = ref 0 in
+  for _ = 1 to 100 do
+    let key = Bitkey.random rng in
+    let o = Kademlia.lookup k rng ~online:all_online ~source:(Rng.int rng 1024) ~key in
+    rounds := !rounds + o.Kademlia.hops
+  done;
+  let mean = float_of_int !rounds /. 100. in
+  Alcotest.(check bool) (Printf.sprintf "mean rounds %.2f within [1,7]" mean) true
+    (mean >= 1. && mean <= 7.)
+
+let test_kademlia_lookup_under_churn () =
+  let rng = Rng.create ~seed:123 in
+  let k = Kademlia.create rng ~members:256 () in
+  let offline = Array.init 256 (fun _ -> Rng.unit_float rng < 0.2) in
+  let online p = not offline.(p) in
+  let ok = ref 0 and attempts = ref 0 in
+  for _ = 1 to 200 do
+    let source = Rng.int rng 256 in
+    if online source then begin
+      incr attempts;
+      let key = Bitkey.random rng in
+      let o = Kademlia.lookup k rng ~online ~source ~key in
+      if o.Kademlia.responsible <> None then incr ok
+    end
+  done;
+  let rate = float_of_int !ok /. float_of_int !attempts in
+  Alcotest.(check bool) (Printf.sprintf "success %.2f > 0.95 at 20%% churn" rate) true
+    (rate > 0.95)
+
+let test_kademlia_routing_table_bounded () =
+  let rng = Rng.create ~seed:124 in
+  let k = Kademlia.create rng ~members:200 ~bucket_size:5 () in
+  for m = 0 to 199 do
+    Alcotest.(check bool) "buckets bounded" true
+      (Kademlia.routing_table_size k m <= 5 * Bitkey.width);
+    Alcotest.(check bool) "has some buckets" true (Kademlia.bucket_count k m > 0)
+  done
+
+let test_kademlia_probe_repair () =
+  let rng = Rng.create ~seed:125 in
+  let k = Kademlia.create rng ~members:128 ~bucket_size:4 () in
+  let offline = Array.init 128 (fun i -> i mod 4 = 0) in
+  let online p = not offline.(p) in
+  for m = 0 to 127 do
+    if online m then ignore (Kademlia.probe_and_repair k rng ~online ~peer:m ~probes:200)
+  done;
+  (* Probing must have repaired most of the stale entries it can find a
+     same-bucket replacement for. *)
+  let o = Kademlia.lookup k rng ~online ~source:1 ~key:(Bitkey.random rng) in
+  Alcotest.(check bool) "lookup still works after repair" true
+    (o.Kademlia.responsible <> None)
+
+(* ------------------------------------------------------------------ *)
+(* Pastry *)
+
+module Pastry = Pdht_dht.Pastry
+
+let test_pastry_numerically_closest () =
+  let rng = Rng.create ~seed:130 in
+  let p = Pastry.create rng ~members:200 () in
+  for _ = 1 to 100 do
+    let key = Bitkey.random rng in
+    let owner = Pastry.numerically_closest p key in
+    let group = Pastry.replica_group p key ~k:1 in
+    Alcotest.(check int) "replica_group head = owner" owner group.(0)
+  done
+
+let test_pastry_lookup_reaches_owner () =
+  let rng = Rng.create ~seed:131 in
+  let p = Pastry.create rng ~members:300 () in
+  let ok = ref 0 in
+  for _ = 1 to 200 do
+    let key = Bitkey.random rng in
+    let source = Rng.int rng 300 in
+    let o = Pastry.lookup p rng ~online:all_online ~source ~key in
+    if o.Pastry.responsible = Some (Pastry.numerically_closest p key) then incr ok
+  done;
+  Alcotest.(check int) "always reaches the numerically closest" 200 !ok
+
+let test_pastry_lookup_prefix_speed () =
+  let rng = Rng.create ~seed:132 in
+  let p = Pastry.create rng ~members:1024 () in
+  let hops = ref 0 in
+  for _ = 1 to 100 do
+    let key = Bitkey.random rng in
+    let o = Pastry.lookup p rng ~online:all_online ~source:(Rng.int rng 1024) ~key in
+    hops := !hops + o.Pastry.hops
+  done;
+  let mean = float_of_int !hops /. 100. in
+  (* Base-4 digits: ~log4(1024) = 5 hops; allow generous slack. *)
+  Alcotest.(check bool) (Printf.sprintf "mean hops %.2f within [2,8]" mean) true
+    (mean >= 2. && mean <= 8.)
+
+let test_pastry_leaf_set_shape () =
+  let rng = Rng.create ~seed:133 in
+  let p = Pastry.create rng ~members:100 ~leaf_set_size:4 () in
+  for m = 0 to 99 do
+    let ls = Pastry.leaf_set p m in
+    Alcotest.(check bool) "bounded" true (Array.length ls <= 8);
+    Alcotest.(check bool) "non-empty" true (Array.length ls > 0);
+    Array.iter (fun x -> Alcotest.(check bool) "no self" true (x <> m)) ls
+  done
+
+let test_pastry_lookup_under_churn () =
+  let rng = Rng.create ~seed:134 in
+  let p = Pastry.create rng ~members:256 () in
+  let offline = Array.init 256 (fun _ -> Rng.unit_float rng < 0.2) in
+  let online q = not offline.(q) in
+  let ok = ref 0 and attempts = ref 0 in
+  for _ = 1 to 200 do
+    let source = Rng.int rng 256 in
+    if online source then begin
+      incr attempts;
+      let key = Bitkey.random rng in
+      let o = Pastry.lookup p rng ~online ~source ~key in
+      if o.Pastry.responsible <> None then incr ok
+    end
+  done;
+  let rate = float_of_int !ok /. float_of_int !attempts in
+  Alcotest.(check bool) (Printf.sprintf "success %.2f > 0.9 at 20%% churn" rate) true
+    (rate > 0.9)
+
+let test_pastry_replica_group_distinct () =
+  let rng = Rng.create ~seed:135 in
+  let p = Pastry.create rng ~members:64 () in
+  let key = Bitkey.random rng in
+  let group = Pastry.replica_group p key ~k:10 in
+  let distinct = Array.to_list group |> List.sort_uniq compare in
+  Alcotest.(check int) "distinct members" 10 (List.length distinct)
+
+(* ------------------------------------------------------------------ *)
+(* Facade + maintenance *)
+
+let test_dht_facade_backends_agree_on_interface () =
+  List.iter
+    (fun backend ->
+      let rng = Rng.create ~seed:110 in
+      let dht = Dht.create rng ~backend ~members:64 ~leaf_size:4 () in
+      Alcotest.(check int) "members" 64 (Dht.members dht);
+      let k = Bitkey.random rng in
+      let o = Dht.lookup dht rng ~online:all_online ~source:0 ~key:k in
+      Alcotest.(check bool) "lookup succeeds" true (o.Dht.responsible <> None);
+      let group = Dht.replica_group dht ~repl:4 k in
+      Alcotest.(check bool) "replica group non-empty" true (Array.length group >= 1);
+      Alcotest.(check bool) "routing table non-empty" true (Dht.routing_table_size dht 0 > 0);
+      (* The lookup's answer must belong to the key's replica group (for
+         Chord under no churn it IS the head of the group). *)
+      match o.Dht.responsible with
+      | Some r ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: responsible inside replica group" (Dht.backend_label backend))
+            true
+            (Array.exists (fun m -> m = r) (Dht.replica_group dht ~repl:8 k))
+      | None -> ())
+    [ Dht.Chord_backend; Dht.Pgrid_backend; Dht.Kademlia_backend; Dht.Pastry_backend ]
+
+let test_dht_tiny_populations () =
+  (* Every backend must behave with 1, 2 and 3 members. *)
+  List.iter
+    (fun backend ->
+      List.iter
+        (fun members ->
+          let rng = Rng.create ~seed:(160 + members) in
+          let dht = Dht.create rng ~backend ~members ~leaf_size:1 () in
+          let key = Bitkey.random rng in
+          let o = Dht.lookup dht rng ~online:all_online ~source:0 ~key in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s/%d lookup resolves" (Dht.backend_label backend) members)
+            true (o.Dht.responsible <> None);
+          Alcotest.(check bool) "group non-empty" true
+            (Array.length (Dht.replica_group dht ~repl:2 key) >= 1))
+        [ 1; 2; 3 ])
+    [ Dht.Chord_backend; Dht.Pgrid_backend; Dht.Kademlia_backend; Dht.Pastry_backend ]
+
+let test_dht_backend_labels () =
+  Alcotest.(check (list string)) "labels"
+    [ "chord"; "p-grid"; "kademlia"; "pastry" ]
+    (List.map Dht.backend_label
+       [ Dht.Chord_backend; Dht.Pgrid_backend; Dht.Kademlia_backend; Dht.Pastry_backend ])
+
+let test_dht_expected_lookup_messages () =
+  let rng = Rng.create ~seed:161 in
+  let dht = Dht.create rng ~backend:Dht.Chord_backend ~members:1024 () in
+  Alcotest.(check (float 1e-9)) "Eq. 7 through the facade" 5.
+    (Dht.expected_lookup_messages dht)
+
+let test_pgrid_leaf_size_exceeds_members () =
+  (* leaf_size larger than the population: a single leaf holding
+     everyone, empty paths, every lookup is a local hit. *)
+  let rng = Rng.create ~seed:162 in
+  let g = Pgrid.build rng ~members:5 ~leaf_size:50 ~refs_per_level:3 in
+  Alcotest.(check int) "single leaf" 5 (Array.length (Pgrid.responsible_peers g (Bitkey.random rng)));
+  let o = Pgrid.lookup g rng ~online:all_online ~source:2 ~key:(Bitkey.random rng) in
+  Alcotest.(check (option int)) "self-answer" (Some 2) o.Pgrid.responsible;
+  Alcotest.(check int) "zero messages" 0 o.Pgrid.messages
+
+let test_dht_chord_replica_group_size () =
+  let rng = Rng.create ~seed:111 in
+  let dht = Dht.create rng ~backend:Dht.Chord_backend ~members:64 () in
+  let k = Bitkey.random rng in
+  Alcotest.(check int) "exactly repl successors" 8
+    (Array.length (Dht.replica_group dht ~repl:8 k))
+
+let test_maintenance_rates () =
+  Alcotest.(check (float 1e-9)) "env from 17000-peer trace"
+    (1. /. (Float.log 17000. /. Float.log 2.))
+    (Maintenance.env_from_trace ~maintenance_rate:1.0 ~members:17_000);
+  let env = Maintenance.env_from_trace ~maintenance_rate:1.0 ~members:17_000 in
+  Alcotest.(check (float 1e-6)) "round trip: 1 msg/peer/s" 1.0
+    (Maintenance.probes_per_peer_per_second ~env ~members:17_000)
+
+let test_maintenance_cost_eq8 () =
+  (* Paper scenario: env = 1/14, 20000 active peers, 40000 keys. *)
+  let c =
+    Maintenance.cost_per_key_per_second ~env:(1. /. 14.) ~members:20_000
+      ~indexed_keys:40_000
+  in
+  Alcotest.(check (float 0.01)) "cRtn ~ 0.51 msg/key/s" 0.511 c
+
+let test_maintenance_attach_charges_messages () =
+  let rng = Rng.create ~seed:112 in
+  let dht = Dht.create rng ~backend:Dht.Pgrid_backend ~members:64 ~leaf_size:2 () in
+  let metrics = Pdht_sim.Metrics.create () in
+  let engine = Pdht_sim.Engine.create () in
+  Maintenance.attach engine ~dht ~rng ~online:all_online ~metrics ~env:(1. /. 6.)
+    ~interval:10.;
+  Pdht_sim.Engine.run engine ~until:100.;
+  let expected =
+    Maintenance.probes_per_peer_per_second ~env:(1. /. 6.) ~members:64 *. 64. *. 100.
+  in
+  let measured = float_of_int (Pdht_sim.Metrics.count metrics Pdht_sim.Metrics.Maintenance) in
+  Alcotest.(check bool)
+    (Printf.sprintf "measured %.0f within 20%% of expected %.0f" measured expected)
+    true
+    (Float.abs (measured -. expected) /. expected < 0.2)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"chord lookup always reaches the successor" ~count:60
+      (pair (int_range 2 128) small_int)
+      (fun (members, seed) ->
+        let rng = Rng.create ~seed in
+        let c = Chord.create rng ~members in
+        let k = Bitkey.random rng in
+        let o = Chord.lookup c ~online:all_online ~source:(Rng.int rng members) ~key:k in
+        o.Chord.responsible = Some (Chord.successor_member c k));
+    Test.make ~name:"pgrid leaf paths are prefix-free" ~count:40
+      (pair (int_range 1 100) small_int)
+      (fun (members, seed) ->
+        let rng = Rng.create ~seed in
+        let g = Pgrid.build rng ~members ~leaf_size:3 ~refs_per_level:2 in
+        let paths = List.init members (Pgrid.path_of g) |> List.sort_uniq compare in
+        (* No distinct path may prefix another (they would both claim
+           responsibility for the same keys). *)
+        List.for_all
+          (fun p ->
+            List.for_all
+              (fun q ->
+                p = q
+                || String.length p > String.length q
+                || not (String.equal (String.sub q 0 (String.length p)) p))
+              paths)
+          paths);
+    Test.make ~name:"kademlia closest_members head is the global minimum" ~count:40
+      (pair (int_range 2 80) small_int)
+      (fun (members, seed) ->
+        let rng = Rng.create ~seed in
+        let k = Kademlia.create rng ~members () in
+        let key = Bitkey.random rng in
+        let head = (Kademlia.closest_members k key ~k:1).(0) in
+        let ok = ref true in
+        for m = 0 to members - 1 do
+          if
+            Bitkey.xor_distance key (Kademlia.id_of k m)
+            < Bitkey.xor_distance key (Kademlia.id_of k head)
+          then ok := false
+        done;
+        !ok);
+    Test.make ~name:"pastry replica group sorted by circular distance" ~count:40
+      (pair (int_range 2 60) small_int)
+      (fun (members, seed) ->
+        let rng = Rng.create ~seed in
+        let p = Pastry.create rng ~members () in
+        let key = Bitkey.random rng in
+        let group = Pastry.replica_group p key ~k:(min 8 members) in
+        (* The head must be the numerically closest member. *)
+        group.(0) = Pastry.numerically_closest p key);
+    Test.make ~name:"bootstrap coverage survives any meeting count" ~count:25
+      (pair (int_range 1 60) (int_range 0 800))
+      (fun (members, meetings) ->
+        let rng = Rng.create ~seed:(members + meetings) in
+        let b = Pdht_dht.Pgrid_bootstrap.create ~members () in
+        Pdht_dht.Pgrid_bootstrap.run_exchanges b rng ~meetings;
+        let ok = ref true in
+        for _ = 1 to 20 do
+          if
+            Array.length
+              (Pdht_dht.Pgrid_bootstrap.responsible_peers b (Bitkey.random rng))
+            = 0
+          then ok := false
+        done;
+        !ok);
+    Test.make ~name:"pastry lookup terminates and reaches the owner" ~count:40
+      (pair (int_range 2 100) small_int)
+      (fun (members, seed) ->
+        let rng = Rng.create ~seed in
+        let p = Pastry.create rng ~members () in
+        let key = Bitkey.random rng in
+        let o = Pastry.lookup p rng ~online:all_online ~source:(Rng.int rng members) ~key in
+        o.Pastry.responsible = Some (Pastry.numerically_closest p key));
+    Test.make ~name:"dynamic chord ideal owner is id-closest successor" ~count:30
+      (pair (int_range 2 30) small_int)
+      (fun (nodes, seed) ->
+        let rng = Rng.create ~seed in
+        let t = Chord_dynamic.create rng ~capacity:(nodes + 2) () in
+        let members = ref [ Chord_dynamic.bootstrap t ] in
+        while Chord_dynamic.node_count t < nodes do
+          let alive = List.filter (Chord_dynamic.is_member t) !members in
+          let via = List.nth alive (Rng.int rng (List.length alive)) in
+          (match Chord_dynamic.join t ~via with
+          | Ok (node, _) -> members := node :: !members
+          | Error _ -> ());
+          ignore (Chord_dynamic.stabilize t rng)
+        done;
+        let key = Bitkey.random rng in
+        match Chord_dynamic.ideal_responsible t key with
+        | None -> false
+        | Some owner ->
+            (* No member's id lies strictly between the key and the
+               owner's id going clockwise. *)
+            List.for_all
+              (fun m ->
+                (not (Chord_dynamic.is_member t m))
+                || m = owner
+                ||
+                let mid = Chord_dynamic.id_of t m in
+                let oid = Chord_dynamic.id_of t owner in
+                (* if m's id >= key then owner's id must be <= m's id
+                   (in the circular >= key region) *)
+                if Bitkey.compare oid key >= 0 then
+                  Bitkey.compare mid key < 0 || Bitkey.compare mid oid >= 0
+                else Bitkey.compare mid key < 0 && Bitkey.compare mid oid >= 0)
+              !members);
+    Test.make ~name:"storage never exceeds capacity" ~count:60
+      (pair (int_range 1 20) (small_list (pair small_int (float_range 0.1 100.))))
+      (fun (capacity, inserts) ->
+        let s = Storage.create ~capacity () in
+        List.iteri
+          (fun i (k, ttl) -> Storage.put s ~key:(key k) ~value:i ~now:(float_of_int i) ~ttl)
+          inserts;
+        Storage.live_count s ~now:0. <= capacity);
+  ]
+
+let () =
+  Alcotest.run "pdht_dht"
+    [
+      ( "churn",
+        [
+          Alcotest.test_case "static" `Quick test_churn_static;
+          Alcotest.test_case "stationary fraction" `Quick test_churn_stationary_fraction;
+          Alcotest.test_case "callbacks" `Quick test_churn_callbacks;
+          Alcotest.test_case "validation" `Quick test_churn_validation;
+        ] );
+      ( "storage",
+        [
+          Alcotest.test_case "put/get" `Quick test_storage_put_get;
+          Alcotest.test_case "expiry" `Quick test_storage_expiry;
+          Alcotest.test_case "get does not refresh" `Quick test_storage_get_does_not_refresh;
+          Alcotest.test_case "refresh extends" `Quick test_storage_refresh_extends;
+          Alcotest.test_case "overwrite" `Quick test_storage_overwrite_updates_value_and_ttl;
+          Alcotest.test_case "capacity eviction" `Quick test_storage_capacity_eviction;
+          Alcotest.test_case "purges expired first" `Quick test_storage_prefers_purging_expired;
+          Alcotest.test_case "live count and fold" `Quick test_storage_live_count_and_fold;
+          Alcotest.test_case "remove and expire" `Quick test_storage_remove_and_expire;
+          Alcotest.test_case "expiry inspection" `Quick test_storage_expiry_inspection;
+          Alcotest.test_case "LRU eviction" `Quick test_storage_lru_eviction;
+          Alcotest.test_case "random eviction" `Quick test_storage_random_eviction_bounded_and_deterministic;
+          Alcotest.test_case "mem does not touch" `Quick test_storage_mem_does_not_touch;
+          Alcotest.test_case "validation" `Quick test_storage_validation;
+        ] );
+      ( "chord",
+        [
+          Alcotest.test_case "successor ordering" `Quick test_chord_successor_ordering;
+          Alcotest.test_case "lookup reaches responsible" `Quick test_chord_lookup_reaches_responsible;
+          Alcotest.test_case "logarithmic hops" `Quick test_chord_lookup_logarithmic;
+          Alcotest.test_case "self responsible" `Quick test_chord_lookup_self_responsible;
+          Alcotest.test_case "lookup under churn" `Quick test_chord_lookup_under_churn;
+          Alcotest.test_case "successor lists" `Quick test_chord_successors;
+          Alcotest.test_case "probe repairs fingers" `Quick test_chord_probe_repairs_fingers;
+          Alcotest.test_case "Eq. 7 value" `Quick test_chord_expected_lookup_messages;
+          Alcotest.test_case "single member" `Quick test_chord_single_member;
+        ] );
+      ( "pgrid",
+        [
+          Alcotest.test_case "paths partition keyspace" `Quick test_pgrid_paths_partition_keyspace;
+          Alcotest.test_case "balanced depth" `Quick test_pgrid_balanced_depth;
+          Alcotest.test_case "leaf groups replicate" `Quick test_pgrid_leaf_groups_replicate;
+          Alcotest.test_case "lookup reaches leaf" `Quick test_pgrid_lookup_reaches_leaf;
+          Alcotest.test_case "hop bound" `Quick test_pgrid_lookup_hop_bound;
+          Alcotest.test_case "lookup under churn" `Quick test_pgrid_lookup_under_churn;
+          Alcotest.test_case "refs point to complement" `Quick test_pgrid_refs_point_to_complement;
+          Alcotest.test_case "probe repair" `Quick test_pgrid_probe_repair;
+          Alcotest.test_case "single member" `Quick test_pgrid_single_member;
+        ] );
+      ( "chord-dynamic",
+        [
+          Alcotest.test_case "bootstrap and join" `Quick test_dynamic_bootstrap_and_join;
+          Alcotest.test_case "graceful leave" `Quick test_dynamic_graceful_leave;
+          Alcotest.test_case "crash recovery" `Quick test_dynamic_crash_recovery;
+          Alcotest.test_case "join via dead" `Quick test_dynamic_join_via_dead_rejected;
+          Alcotest.test_case "capacity limit" `Quick test_dynamic_capacity_limit;
+        ] );
+      ( "pgrid-bootstrap",
+        [
+          Alcotest.test_case "initial state" `Quick test_bootstrap_initial_state;
+          Alcotest.test_case "coverage invariant" `Quick test_bootstrap_coverage_invariant;
+          Alcotest.test_case "log depth" `Quick test_bootstrap_converges_to_log_depth;
+          Alcotest.test_case "lookups succeed" `Quick test_bootstrap_lookups_succeed;
+          Alcotest.test_case "early lookups" `Quick test_bootstrap_lookups_succeed_early;
+          Alcotest.test_case "refs share prefix" `Quick test_bootstrap_refs_point_across;
+          Alcotest.test_case "single member" `Quick test_bootstrap_single_member;
+        ] );
+      ( "kademlia",
+        [
+          Alcotest.test_case "closest members ordering" `Quick test_kademlia_closest_members_ordering;
+          Alcotest.test_case "lookup reaches closest" `Quick test_kademlia_lookup_reaches_closest;
+          Alcotest.test_case "logarithmic rounds" `Quick test_kademlia_lookup_logarithmic_rounds;
+          Alcotest.test_case "lookup under churn" `Quick test_kademlia_lookup_under_churn;
+          Alcotest.test_case "routing table bounded" `Quick test_kademlia_routing_table_bounded;
+          Alcotest.test_case "probe repair" `Quick test_kademlia_probe_repair;
+        ] );
+      ( "pastry",
+        [
+          Alcotest.test_case "numerically closest" `Quick test_pastry_numerically_closest;
+          Alcotest.test_case "lookup reaches owner" `Quick test_pastry_lookup_reaches_owner;
+          Alcotest.test_case "prefix-speed hops" `Quick test_pastry_lookup_prefix_speed;
+          Alcotest.test_case "leaf set shape" `Quick test_pastry_leaf_set_shape;
+          Alcotest.test_case "lookup under churn" `Quick test_pastry_lookup_under_churn;
+          Alcotest.test_case "replica group distinct" `Quick test_pastry_replica_group_distinct;
+        ] );
+      ( "facade-maintenance",
+        [
+          Alcotest.test_case "backends share interface" `Quick test_dht_facade_backends_agree_on_interface;
+          Alcotest.test_case "tiny populations" `Quick test_dht_tiny_populations;
+          Alcotest.test_case "backend labels" `Quick test_dht_backend_labels;
+          Alcotest.test_case "facade Eq. 7" `Quick test_dht_expected_lookup_messages;
+          Alcotest.test_case "pgrid oversize leaf" `Quick test_pgrid_leaf_size_exceeds_members;
+          Alcotest.test_case "chord replica group" `Quick test_dht_chord_replica_group_size;
+          Alcotest.test_case "maintenance rates" `Quick test_maintenance_rates;
+          Alcotest.test_case "Eq. 8 value" `Quick test_maintenance_cost_eq8;
+          Alcotest.test_case "attach charges messages" `Quick test_maintenance_attach_charges_messages;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,350 @@
+(* Tests for Pdht_meta: articles, stop words, key generation, corpus. *)
+
+module Article = Pdht_meta.Article
+module Stopwords = Pdht_meta.Stopwords
+module Keygen = Pdht_meta.Keygen
+module Corpus = Pdht_meta.Corpus
+module Bitkey = Pdht_util.Bitkey
+
+let sample_article () =
+  Article.create ~id:1 ~published_at:0.
+    ~fields:
+      [
+        (Article.Title, "Weather Iraklion");
+        (Article.Author, "Crete Weather Service");
+        (Article.Date, "2004/03/14");
+        (Article.Category, "weather");
+        (Article.Location, "Iraklion");
+        (Article.Size, "2405");
+      ]
+
+(* ------------------------------------------------------------------ *)
+(* Article *)
+
+let test_article_fields () =
+  let a = sample_article () in
+  Alcotest.(check (option string)) "title" (Some "Weather Iraklion")
+    (Article.field a Article.Title);
+  Alcotest.(check (option string)) "missing element" None (Article.field a Article.Language)
+
+let test_article_validation () =
+  Alcotest.check_raises "empty" (Invalid_argument "Article.create: empty metadata")
+    (fun () -> ignore (Article.create ~id:0 ~fields:[] ~published_at:0.));
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Article.create: duplicate metadata element") (fun () ->
+      ignore
+        (Article.create ~id:0 ~published_at:0.
+           ~fields:[ (Article.Title, "a"); (Article.Title, "b") ]))
+
+let test_article_element_names_distinct () =
+  let names = List.map Article.element_name Article.all_elements in
+  Alcotest.(check int) "distinct" (List.length names)
+    (List.length (List.sort_uniq compare names))
+
+(* ------------------------------------------------------------------ *)
+(* Stopwords *)
+
+let test_stopwords_membership () =
+  Alcotest.(check bool) "the" true (Stopwords.is_stop_word "the");
+  Alcotest.(check bool) "And (case-insensitive)" true (Stopwords.is_stop_word "And");
+  Alcotest.(check bool) "weather" false (Stopwords.is_stop_word "weather");
+  Alcotest.(check bool) "non-trivial list" true (Stopwords.count > 50)
+
+let test_stopwords_filter () =
+  Alcotest.(check (list string)) "filters in order" [ "weather"; "iraklion" ]
+    (Stopwords.filter_terms [ "the"; "weather"; "in"; "iraklion" ])
+
+let test_tokenize () =
+  Alcotest.(check (list string)) "splits, lowers, filters"
+    [ "storm"; "hits"; "coast" ]
+    (Stopwords.tokenize "The Storm hits the COAST!");
+  Alcotest.(check (list string)) "alphanumeric runs" [ "2004"; "03"; "14" ]
+    (Stopwords.tokenize "2004/03/14");
+  Alcotest.(check (list string)) "empty input" [] (Stopwords.tokenize "");
+  Alcotest.(check (list string)) "only stop words" [] (Stopwords.tokenize "the and of")
+
+(* ------------------------------------------------------------------ *)
+(* Keygen *)
+
+let test_keygen_single () =
+  let a = sample_article () in
+  let keys = Keygen.encode a (Keygen.Single Article.Title) in
+  Alcotest.(check int) "one encoding" 1 (List.length keys);
+  Alcotest.(check (list string)) "missing element yields none" []
+    (Keygen.encode a (Keygen.Single Article.Language))
+
+let test_keygen_conjunction_symmetric () =
+  (* hash(title AND date) must equal hash(date AND title). *)
+  let k1 = Keygen.key_of_conjunction Article.Title "Weather Iraklion" Article.Date "2004/03/14" in
+  let k2 = Keygen.key_of_conjunction Article.Date "2004/03/14" Article.Title "Weather Iraklion" in
+  Alcotest.(check bool) "symmetric" true (Bitkey.equal k1 k2)
+
+let test_keygen_term_excludes_stopwords () =
+  let a =
+    Article.create ~id:2 ~published_at:0.
+      ~fields:[ (Article.Title, "The Storm and the Harbor") ]
+  in
+  let encodings = Keygen.encode a (Keygen.Term Article.Title) in
+  Alcotest.(check int) "two term keys (storm, harbor)" 2 (List.length encodings)
+
+let test_keygen_query_key_matches_article_key () =
+  (* The key a query computes must equal the key generation produced for
+     the same predicate — the whole point of hash-based indexing. *)
+  let a = sample_article () in
+  let article_keys = Keygen.keys_of_article a in
+  let query_key = Keygen.key_of_query Article.Title "Weather Iraklion" in
+  Alcotest.(check bool) "query key present" true
+    (List.exists (Bitkey.equal query_key) article_keys);
+  let conj = Keygen.key_of_conjunction Article.Title "Weather Iraklion" Article.Date "2004/03/14" in
+  Alcotest.(check bool) "conjunction key present" true
+    (List.exists (Bitkey.equal conj) article_keys)
+
+let test_keygen_no_duplicates () =
+  let a = sample_article () in
+  let keys = Keygen.keys_of_article a in
+  let distinct = List.sort_uniq Bitkey.compare keys in
+  Alcotest.(check int) "deduplicated" (List.length distinct) (List.length keys)
+
+let test_keygen_deterministic () =
+  let a = sample_article () in
+  Alcotest.(check bool) "stable across calls" true
+    (List.for_all2 Bitkey.equal (Keygen.keys_of_article a) (Keygen.keys_of_article a))
+
+(* ------------------------------------------------------------------ *)
+(* Corpus *)
+
+let test_corpus_generation () =
+  let rng = Pdht_util.Rng.create ~seed:1 in
+  let c = Corpus.generate rng ~articles:100 ~start_time:0. () in
+  Alcotest.(check int) "size" 100 (Corpus.size c);
+  for id = 0 to 99 do
+    Alcotest.(check int) "exactly 20 keys per article (paper)" 20
+      (Array.length (Corpus.keys_of c id))
+  done;
+  Alcotest.(check int) "40000-key style budget" 2000 (Array.length (Corpus.all_keys c))
+
+let test_corpus_key_lookup () =
+  let rng = Pdht_util.Rng.create ~seed:2 in
+  let c = Corpus.generate rng ~articles:50 ~start_time:0. () in
+  let k = (Corpus.keys_of c 7).(0) in
+  match Corpus.article_of_key c k with
+  | Some id ->
+      Alcotest.(check bool) "key maps to a carrier" true
+        (Array.exists (Bitkey.equal k) (Corpus.keys_of c id))
+  | None -> Alcotest.fail "key should be registered"
+
+let test_corpus_replace () =
+  let rng = Pdht_util.Rng.create ~seed:3 in
+  let c = Corpus.generate rng ~articles:20 ~start_time:0. () in
+  let old_keys = Array.copy (Corpus.keys_of c 5) in
+  let fresh = Corpus.replace c rng ~article_id:5 ~now:100. in
+  Alcotest.(check int) "same id slot" 5 fresh.Article.id;
+  Alcotest.(check (float 1e-9)) "timestamped" 100. fresh.Article.published_at;
+  Alcotest.(check int) "still 20 keys" 20 (Array.length (Corpus.keys_of c 5));
+  (* Old keys that no other article carries are no longer resolvable. *)
+  Array.iter
+    (fun k ->
+      match Corpus.article_of_key c k with
+      | Some id ->
+          Alcotest.(check bool) "stale mapping cleaned" true
+            (Array.exists (Bitkey.equal k) (Corpus.keys_of c id))
+      | None -> ())
+    old_keys
+
+let test_corpus_custom_key_budget () =
+  let rng = Pdht_util.Rng.create ~seed:4 in
+  let c = Corpus.generate rng ~articles:10 ~keys_per_article:5 ~start_time:0. () in
+  for id = 0 to 9 do
+    Alcotest.(check int) "5 keys" 5 (Array.length (Corpus.keys_of c id))
+  done
+
+let test_corpus_determinism () =
+  let c1 = Corpus.generate (Pdht_util.Rng.create ~seed:9) ~articles:10 ~start_time:0. () in
+  let c2 = Corpus.generate (Pdht_util.Rng.create ~seed:9) ~articles:10 ~start_time:0. () in
+  for id = 0 to 9 do
+    Alcotest.(check bool) "same keys from same seed" true
+      (Array.for_all2 Bitkey.equal (Corpus.keys_of c1 id) (Corpus.keys_of c2 id))
+  done
+
+let test_corpus_validation () =
+  let rng = Pdht_util.Rng.create ~seed:5 in
+  Alcotest.check_raises "no articles" (Invalid_argument "Corpus.generate: need >= 1 article")
+    (fun () -> ignore (Corpus.generate rng ~articles:0 ~start_time:0. ()));
+  let c = Corpus.generate rng ~articles:2 ~start_time:0. () in
+  Alcotest.check_raises "bad id" (Invalid_argument "Corpus.article: bad id")
+    (fun () -> ignore (Corpus.article c 5))
+
+(* ------------------------------------------------------------------ *)
+(* Query (conjunctive metadata queries, HaHe02-style) *)
+
+module Query = Pdht_meta.Query
+
+let test_query_matches () =
+  let a = sample_article () in
+  let q = Query.conj [ (Article.Title, "Weather Iraklion"); (Article.Date, "2004/03/14") ] in
+  Alcotest.(check bool) "satisfied" true (Query.matches a q);
+  let q2 = Query.conj [ (Article.Title, "Weather Iraklion"); (Article.Date, "1999/01/01") ] in
+  Alcotest.(check bool) "wrong date" false (Query.matches a q2);
+  Alcotest.(check bool) "empty matches" true (Query.matches a (Query.conj []))
+
+let test_query_conj_validation () =
+  Alcotest.check_raises "duplicate element"
+    (Invalid_argument "Query.conj: duplicate element in conjunction") (fun () ->
+      ignore (Query.conj [ (Article.Title, "a"); (Article.Title, "b") ]))
+
+let test_query_plan_prefers_conjunction_key () =
+  (* title AND date has an exact conjunction key in the default specs:
+     the best plan must cover both with no residual. *)
+  let q = Query.conj [ (Article.Title, "Weather Iraklion"); (Article.Date, "2004/03/14") ] in
+  match Query.best_plan q with
+  | Some plan ->
+      Alcotest.(check int) "covers both" 2 (List.length plan.Query.covers);
+      Alcotest.(check int) "no residual" 0 (List.length plan.Query.residual);
+      Alcotest.(check bool) "uses the conjunction key" true
+        (Bitkey.equal plan.Query.access_key
+           (Keygen.key_of_conjunction Article.Title "Weather Iraklion" Article.Date
+              "2004/03/14"))
+  | None -> Alcotest.fail "expected a plan"
+
+let test_query_plan_falls_back_to_single () =
+  (* size AND language has no conjunction spec and no single spec
+     either; author AND language covers author only. *)
+  let q = Query.conj [ (Article.Author, "X"); (Article.Language, "en") ] in
+  match Query.best_plan q with
+  | Some plan ->
+      Alcotest.(check int) "covers one" 1 (List.length plan.Query.covers);
+      Alcotest.(check int) "one residual" 1 (List.length plan.Query.residual)
+  | None -> Alcotest.fail "expected a single-key plan"
+
+let test_query_plan_selectivity_order () =
+  (* location AND category: both have single specs, no conjunction
+     spec for the pair with these defaults... (location,date) and
+     (category,date) exist but date is absent.  Location is ranked more
+     selective than category. *)
+  let q = Query.conj [ (Article.Category, "weather"); (Article.Location, "Oslo") ] in
+  match Query.best_plan q with
+  | Some plan -> (
+      match plan.Query.covers with
+      | [ p ] -> Alcotest.(check string) "picks location" "location"
+                   (Article.element_name p.Query.element)
+      | _ -> Alcotest.fail "expected single cover")
+  | None -> Alcotest.fail "expected a plan"
+
+let test_query_no_plan_for_unindexed () =
+  let q = Query.conj [ (Article.Language, "en") ] in
+  Alcotest.(check bool) "language alone has no access path" true
+    (Query.best_plan q = None);
+  Alcotest.(check bool) "empty query has no plan" true (Query.best_plan (Query.conj []) = None)
+
+let test_query_execute_verifies_residual () =
+  let a = sample_article () in
+  let lookup key =
+    (* A toy index: answers only the author key, with our article. *)
+    if Bitkey.equal key (Keygen.key_of_query Article.Author "Crete Weather Service") then
+      Some a
+    else None
+  in
+  (* Residual passes: size matches the article. *)
+  let q_ok =
+    Query.conj [ (Article.Author, "Crete Weather Service"); (Article.Size, "2405") ]
+  in
+  (match Query.execute ~lookup q_ok with
+  | Some (Some found, plan) ->
+      Alcotest.(check int) "article found" a.Article.id found.Article.id;
+      Alcotest.(check bool) "had residual work" true (List.length plan.Query.residual = 1)
+  | Some (None, _) -> Alcotest.fail "residual should have passed"
+  | None -> Alcotest.fail "expected a plan");
+  (* Residual fails: wrong size. *)
+  let q_bad =
+    Query.conj [ (Article.Author, "Crete Weather Service"); (Article.Size, "1") ]
+  in
+  match Query.execute ~lookup q_bad with
+  | Some (None, _) -> ()
+  | Some (Some _, _) -> Alcotest.fail "residual must eliminate the article"
+  | None -> Alcotest.fail "expected a plan"
+
+let test_query_plans_ordering () =
+  let q =
+    Query.conj
+      [ (Article.Title, "t"); (Article.Date, "d"); (Article.Category, "c") ]
+  in
+  let plans = Query.plans q in
+  Alcotest.(check bool) "several plans" true (List.length plans >= 3);
+  (* Residual counts are non-decreasing down the plan list. *)
+  let residuals = List.map (fun p -> List.length p.Query.residual) plans in
+  Alcotest.(check (list int)) "sorted by residual size"
+    (List.sort compare residuals) residuals
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"tokenize emits no stop words" ~count:300 string
+      (fun s -> List.for_all (fun t -> not (Stopwords.is_stop_word t)) (Stopwords.tokenize s));
+    Test.make ~name:"tokenize emits lowercase alphanumerics" ~count:300 string
+      (fun s ->
+        List.for_all
+          (fun t ->
+            String.length t > 0
+            && String.for_all (fun c -> (c >= 'a' && c <= 'z') || (c >= '0' && c <= '9')) t)
+          (Stopwords.tokenize s));
+    Test.make ~name:"corpus keys always exactly the budget" ~count:30
+      (pair (int_range 1 30) (int_range 1 40))
+      (fun (articles, budget) ->
+        let rng = Pdht_util.Rng.create ~seed:(articles * 100 + budget) in
+        let c = Corpus.generate rng ~articles ~keys_per_article:budget ~start_time:0. () in
+        let ok = ref true in
+        for id = 0 to articles - 1 do
+          if Array.length (Corpus.keys_of c id) <> budget then ok := false
+        done;
+        !ok);
+  ]
+
+let () =
+  Alcotest.run "pdht_meta"
+    [
+      ( "article",
+        [
+          Alcotest.test_case "fields" `Quick test_article_fields;
+          Alcotest.test_case "validation" `Quick test_article_validation;
+          Alcotest.test_case "element names distinct" `Quick test_article_element_names_distinct;
+        ] );
+      ( "stopwords",
+        [
+          Alcotest.test_case "membership" `Quick test_stopwords_membership;
+          Alcotest.test_case "filter" `Quick test_stopwords_filter;
+          Alcotest.test_case "tokenize" `Quick test_tokenize;
+        ] );
+      ( "keygen",
+        [
+          Alcotest.test_case "single" `Quick test_keygen_single;
+          Alcotest.test_case "conjunction symmetric" `Quick test_keygen_conjunction_symmetric;
+          Alcotest.test_case "terms skip stopwords" `Quick test_keygen_term_excludes_stopwords;
+          Alcotest.test_case "query matches article key" `Quick test_keygen_query_key_matches_article_key;
+          Alcotest.test_case "no duplicates" `Quick test_keygen_no_duplicates;
+          Alcotest.test_case "deterministic" `Quick test_keygen_deterministic;
+        ] );
+      ( "query",
+        [
+          Alcotest.test_case "matches" `Quick test_query_matches;
+          Alcotest.test_case "conj validation" `Quick test_query_conj_validation;
+          Alcotest.test_case "prefers conjunction key" `Quick test_query_plan_prefers_conjunction_key;
+          Alcotest.test_case "falls back to single" `Quick test_query_plan_falls_back_to_single;
+          Alcotest.test_case "selectivity order" `Quick test_query_plan_selectivity_order;
+          Alcotest.test_case "no plan for unindexed" `Quick test_query_no_plan_for_unindexed;
+          Alcotest.test_case "execute verifies residual" `Quick test_query_execute_verifies_residual;
+          Alcotest.test_case "plans ordering" `Quick test_query_plans_ordering;
+        ] );
+      ( "corpus",
+        [
+          Alcotest.test_case "generation" `Quick test_corpus_generation;
+          Alcotest.test_case "key lookup" `Quick test_corpus_key_lookup;
+          Alcotest.test_case "replace" `Quick test_corpus_replace;
+          Alcotest.test_case "custom key budget" `Quick test_corpus_custom_key_budget;
+          Alcotest.test_case "determinism" `Quick test_corpus_determinism;
+          Alcotest.test_case "validation" `Quick test_corpus_validation;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,600 @@
+(* Tests for Pdht_model — the paper's analytical model, Eq. 1-17.
+   Numeric expectations marked "paper" are hand-derived from the Table-1
+   scenario and cross-checked against the published figures. *)
+
+module Params = Pdht_model.Params
+module Cost = Pdht_model.Cost
+module Index_policy = Pdht_model.Index_policy
+module Strategies = Pdht_model.Strategies
+module Sweep = Pdht_model.Sweep
+module Ttl_analysis = Pdht_model.Ttl_analysis
+
+let p0 = Params.default
+
+(* ------------------------------------------------------------------ *)
+(* Params *)
+
+let test_default_is_table1 () =
+  Alcotest.(check int) "numPeers" 20_000 p0.Params.num_peers;
+  Alcotest.(check int) "keys" 40_000 p0.Params.keys;
+  Alcotest.(check int) "stor" 100 p0.Params.stor;
+  Alcotest.(check int) "repl" 50 p0.Params.repl;
+  Alcotest.(check (float 1e-9)) "alpha" 1.2 p0.Params.alpha;
+  Alcotest.(check (float 1e-9)) "fQry busy" (1. /. 30.) p0.Params.f_qry;
+  Alcotest.(check (float 1e-12)) "fUpd daily" (1. /. 86_400.) p0.Params.f_upd;
+  Alcotest.(check (float 1e-9)) "env" (1. /. 14.) p0.Params.env;
+  Alcotest.(check (float 1e-9)) "dup" 1.8 p0.Params.dup;
+  Alcotest.(check (float 1e-9)) "dup2" 1.8 p0.Params.dup2
+
+let test_validate_catches_errors () =
+  let bad = { p0 with Params.repl = 0 } in
+  (match Params.validate bad with
+  | Error msg -> Alcotest.(check string) "message" "repl must be >= 1" msg
+  | Ok _ -> Alcotest.fail "expected error");
+  (match Params.validate { p0 with Params.repl = 30_000 } with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "repl > num_peers must fail");
+  match Params.validate p0 with
+  | Ok _ -> ()
+  | Error msg -> Alcotest.fail msg
+
+let test_sweep_frequencies () =
+  let fs = Params.query_frequency_sweep p0 in
+  Alcotest.(check int) "eight points" 8 (List.length fs);
+  Alcotest.(check (float 1e-12)) "first" (1. /. 30.) (List.hd fs);
+  Alcotest.(check (float 1e-12)) "last" (1. /. 7200.) (List.nth fs 7)
+
+let test_table1_rows () =
+  Alcotest.(check int) "ten parameter rows" 10 (List.length (Params.to_rows p0))
+
+(* ------------------------------------------------------------------ *)
+(* Cost terms *)
+
+let test_eq6_cSUnstr () =
+  (* 20000 / 50 * 1.8 = 720 *)
+  Alcotest.(check (float 1e-9)) "paper value" 720. (Cost.search_unstructured p0)
+
+let test_num_active_peers () =
+  (* Full index: 40000 * 50 / 100 = 20000 peers — the paper's headline. *)
+  Alcotest.(check int) "full index needs everyone" 20_000
+    (Cost.num_active_peers p0 ~indexed_keys:40_000.);
+  Alcotest.(check int) "half index" 10_000 (Cost.num_active_peers p0 ~indexed_keys:20_000.);
+  Alcotest.(check int) "tiny index floors at repl" 50
+    (Cost.num_active_peers p0 ~indexed_keys:1.);
+  Alcotest.(check int) "capped at population" 20_000
+    (Cost.num_active_peers p0 ~indexed_keys:1e9)
+
+let test_eq7_cSIndx () =
+  (* 0.5 * log2 20000 ~ 7.14 *)
+  Alcotest.(check (float 0.01)) "paper value" 7.14
+    (Cost.search_index ~num_active_peers:20_000);
+  Alcotest.(check (float 1e-9)) "1024 peers" 5. (Cost.search_index ~num_active_peers:1024)
+
+let test_eq8_cRtn () =
+  (* env * log2(20000) * 20000 / 40000 ~ 0.51 msg/key/s *)
+  Alcotest.(check (float 0.01)) "paper value" 0.511
+    (Cost.routing_maintenance p0 ~num_active_peers:20_000 ~indexed_keys:40_000.);
+  Alcotest.check_raises "no keys" (Invalid_argument "Cost.routing_maintenance: no indexed keys")
+    (fun () -> ignore (Cost.routing_maintenance p0 ~num_active_peers:100 ~indexed_keys:0.))
+
+let test_eq9_cUpd () =
+  (* (7.14 + 90) / 86400 ~ 0.00112 *)
+  Alcotest.(check (float 1e-5)) "paper value" 0.001124
+    (Cost.update p0 ~num_active_peers:20_000)
+
+let test_eq10_cIndKey () =
+  let c = Cost.index_key p0 ~num_active_peers:20_000 ~indexed_keys:40_000. in
+  let expected =
+    Cost.routing_maintenance p0 ~num_active_peers:20_000 ~indexed_keys:40_000.
+    +. Cost.update p0 ~num_active_peers:20_000
+  in
+  Alcotest.(check (float 1e-12)) "sum of parts" expected c;
+  (* In this scenario maintenance dominates updates (paper Section 4). *)
+  Alcotest.(check bool) "cRtn >> cUpd" true
+    (Cost.routing_maintenance p0 ~num_active_peers:20_000 ~indexed_keys:40_000.
+     > 100. *. Cost.update p0 ~num_active_peers:20_000)
+
+let test_eq16_cSIndx2 () =
+  let c = Cost.search_index_degraded p0 ~num_active_peers:20_000 in
+  Alcotest.(check (float 0.01)) "cSIndx + repl*dup2" (7.14 +. 90.) c
+
+let test_total_maintenance_consistency () =
+  let nap = 20_000 in
+  let total = Cost.total_maintenance p0 ~num_active_peers:nap in
+  let per_key = Cost.routing_maintenance p0 ~num_active_peers:nap ~indexed_keys:40_000. in
+  Alcotest.(check (float 1e-6)) "total = keys * per-key" total (40_000. *. per_key)
+
+(* ------------------------------------------------------------------ *)
+(* Index policy (Eq. 2-5) *)
+
+let test_eq4_prob_queried () =
+  let zipf = Pdht_dist.Zipf.create ~n:p0.Params.keys ~alpha:p0.Params.alpha in
+  let p1 = Index_policy.prob_queried_at_least_once p0 zipf ~rank:1 in
+  (* Rank 1 gets ~18% of 667 queries/round: essentially certain. *)
+  Alcotest.(check bool) "rank 1 near-certain" true (p1 > 0.999);
+  let p_last = Index_policy.prob_queried_at_least_once p0 zipf ~rank:40_000 in
+  Alcotest.(check bool) "rank 40000 rare" true (p_last < 0.001)
+
+let test_solve_converges () =
+  let s = Index_policy.solve p0 in
+  Alcotest.(check bool) "few iterations" true (s.Index_policy.iterations < 20);
+  Alcotest.(check bool) "maxRank in range" true
+    (s.Index_policy.max_rank > 0 && s.Index_policy.max_rank <= 40_000)
+
+let test_solve_busy_period_matches_fig3 () =
+  (* At fQry = 1/30 the paper's Fig. 3 shows ~60% of keys indexed and
+     pIndxd near 1. *)
+  let s = Index_policy.solve p0 in
+  let frac = float_of_int s.Index_policy.max_rank /. 40_000. in
+  Alcotest.(check bool) (Printf.sprintf "index fraction %.2f in [0.5,0.75]" frac) true
+    (frac >= 0.5 && frac <= 0.75);
+  Alcotest.(check bool) "pIndxd > 0.95" true (s.Index_policy.p_indexed > 0.95)
+
+let test_solve_quiet_period_matches_fig3 () =
+  (* At fQry = 1/7200 Fig. 3 shows a tiny index that still answers most
+     queries. *)
+  let s = Index_policy.solve (Params.with_query_frequency p0 (1. /. 7200.)) in
+  let frac = float_of_int s.Index_policy.max_rank /. 40_000. in
+  Alcotest.(check bool) (Printf.sprintf "index fraction %.3f < 0.05" frac) true (frac < 0.05);
+  Alcotest.(check bool) "pIndxd still > 0.7" true (s.Index_policy.p_indexed > 0.7)
+
+let test_max_rank_monotone_in_frequency () =
+  let prev = ref max_int in
+  List.iter
+    (fun f ->
+      let s = Index_policy.solve (Params.with_query_frequency p0 f) in
+      Alcotest.(check bool) "maxRank shrinks with query rate" true
+        (s.Index_policy.max_rank <= !prev);
+      prev := s.Index_policy.max_rank)
+    (Params.query_frequency_sweep p0)
+
+let test_max_rank_threshold_edges () =
+  let zipf = Pdht_dist.Zipf.create ~n:100 ~alpha:1.2 in
+  let small = { p0 with Params.keys = 100 } in
+  Alcotest.(check int) "zero threshold indexes everything" 100
+    (Index_policy.max_rank_for_threshold small zipf ~f_min:0.);
+  Alcotest.(check int) "infinite threshold indexes nothing" 0
+    (Index_policy.max_rank_for_threshold small zipf ~f_min:2.)
+
+let test_p_indexed_for_rank () =
+  let zipf = Pdht_dist.Zipf.create ~n:1000 ~alpha:1.2 in
+  Alcotest.(check (float 1e-12)) "zero keys" 0. (Index_policy.p_indexed_for_rank zipf ~max_rank:0);
+  Alcotest.(check (float 1e-9)) "all keys" 1. (Index_policy.p_indexed_for_rank zipf ~max_rank:1000)
+
+(* ------------------------------------------------------------------ *)
+(* Strategies (Eq. 11-17) *)
+
+let test_eq11_index_all_paper_value () =
+  (* Hand-computed for fQry = 1/30: ~25,200 msg/s; Fig. 1 shows the
+     indexAll curve flat around 20-25k. *)
+  let b = Strategies.index_all p0 in
+  Alcotest.(check bool)
+    (Printf.sprintf "total %.0f in [24000, 26500]" b.Strategies.total)
+    true
+    (b.Strategies.total >= 24_000. && b.Strategies.total <= 26_500.);
+  Alcotest.(check (float 1e-9)) "no broadcast term" 0. b.Strategies.broadcast_search
+
+let test_eq12_no_index_paper_value () =
+  (* fQry*numPeers*cSUnstr = 666.7 * 720 = 480,000 msg/s at 1/30. *)
+  let b = Strategies.no_index p0 in
+  Alcotest.(check (float 1.)) "paper value" 480_000. b.Strategies.total;
+  Alcotest.(check (float 1e-9)) "no index terms" 0.
+    (b.Strategies.maintenance +. b.Strategies.index_search)
+
+let test_eq13_partial_beats_both_baselines () =
+  (* Fig. 1: ideal partial is below both curves at every frequency. *)
+  List.iter
+    (fun f ->
+      let p = Params.with_query_frequency p0 f in
+      let s = Index_policy.solve p in
+      let partial = (Strategies.partial_ideal p s).Strategies.total in
+      let all = (Strategies.index_all p).Strategies.total in
+      let none = (Strategies.no_index p).Strategies.total in
+      Alcotest.(check bool)
+        (Printf.sprintf "partial %.0f <= min(all %.0f, none %.0f) at f=%.5f" partial all none f)
+        true
+        (partial <= all +. 1e-6 && partial <= none +. 1e-6))
+    (Params.query_frequency_sweep p0)
+
+let test_partial_ideal_degenerates_to_no_index () =
+  (* If no key is worth indexing the partial strategy is pure broadcast. *)
+  let quiet = Params.with_query_frequency p0 1e-9 in
+  let s = Index_policy.solve quiet in
+  if s.Index_policy.max_rank = 0 then begin
+    let partial = Strategies.partial_ideal quiet s in
+    let none = Strategies.no_index quiet in
+    Alcotest.(check (float 1e-6)) "same cost" none.Strategies.total partial.Strategies.total
+  end
+  else
+    (* Even at absurdly low rates Zipf rank 1 may stay indexed; accept
+       either as long as cost <= noIndex. *)
+    Alcotest.(check bool) "still no worse" true
+      ((Strategies.partial_ideal quiet s).Strategies.total
+       <= (Strategies.no_index quiet).Strategies.total +. 1e-6)
+
+let test_eq14_15_ttl_state () =
+  let s = Index_policy.solve p0 in
+  let key_ttl = Strategies.default_key_ttl s in
+  let st = Strategies.ttl_state p0 ~key_ttl in
+  Alcotest.(check bool) "index size in (0, keys)" true
+    (st.Strategies.index_size > 0. && st.Strategies.index_size < 40_000.);
+  Alcotest.(check bool) "pIndxd in (0,1)" true
+    (st.Strategies.p_indexed_ttl > 0. && st.Strategies.p_indexed_ttl < 1.);
+  (* The TTL index holds popular keys, so its hit rate must beat the
+     blind fraction indexSize/keys. *)
+  Alcotest.(check bool) "index concentrates on popular keys" true
+    (st.Strategies.p_indexed_ttl > st.Strategies.index_size /. 40_000.)
+
+let test_ttl_state_monotone_in_ttl () =
+  let st1 = Strategies.ttl_state p0 ~key_ttl:100. in
+  let st2 = Strategies.ttl_state p0 ~key_ttl:1000. in
+  Alcotest.(check bool) "longer TTL, bigger index" true
+    (st2.Strategies.index_size > st1.Strategies.index_size);
+  Alcotest.(check bool) "longer TTL, higher hit rate" true
+    (st2.Strategies.p_indexed_ttl > st1.Strategies.p_indexed_ttl)
+
+let test_eq17_selection_overhead () =
+  (* Fig. 4 vs Fig. 2: the realistic algorithm always costs more than
+     the ideal one. *)
+  List.iter
+    (fun f ->
+      let p = Params.with_query_frequency p0 f in
+      let s = Index_policy.solve p in
+      let ttl = Strategies.default_key_ttl s in
+      let ideal = (Strategies.partial_ideal p s).Strategies.total in
+      let selection = (Strategies.partial_selection p ~key_ttl:ttl).Strategies.total in
+      Alcotest.(check bool)
+        (Printf.sprintf "selection %.0f >= ideal %.0f at f=%.5f" selection ideal f)
+        true (selection >= ideal))
+    (Params.query_frequency_sweep p0)
+
+let test_fig4_shape () =
+  (* Selection savings vs noIndex decrease with rarity; savings vs
+     indexAll increase; selection loses to indexAll only at high query
+     frequencies. *)
+  let points = Sweep.default_run p0 in
+  let first = List.hd points in
+  let last = List.nth points 7 in
+  Alcotest.(check bool) "vs-noIndex savings decrease" true
+    (first.Sweep.savings_selection_vs_none > last.Sweep.savings_selection_vs_none);
+  Alcotest.(check bool) "vs-indexAll savings increase" true
+    (first.Sweep.savings_selection_vs_all < last.Sweep.savings_selection_vs_all);
+  Alcotest.(check bool) "loses to indexAll at 1/30" true
+    (first.Sweep.savings_selection_vs_all < 0.);
+  Alcotest.(check bool) "wins vs indexAll at 1/7200" true
+    (last.Sweep.savings_selection_vs_all > 0.8);
+  Alcotest.(check bool) "substantial savings vs noIndex at 1/30" true
+    (first.Sweep.savings_selection_vs_none > 0.7)
+
+let test_fig2_shape () =
+  let points = Sweep.default_run p0 in
+  let first = List.hd points in
+  let last = List.nth points 7 in
+  Alcotest.(check bool) "ideal vs indexAll grows toward 1" true
+    (last.Sweep.savings_ideal_vs_all > 0.9);
+  Alcotest.(check bool) "ideal vs noIndex high at busy times" true
+    (first.Sweep.savings_ideal_vs_none > 0.9);
+  (* All ideal savings are non-negative (Fig. 2 stays above 0). *)
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "ideal saves vs both" true
+        (pt.Sweep.savings_ideal_vs_all >= 0. && pt.Sweep.savings_ideal_vs_none >= 0.))
+    points
+
+let test_fig1_ordering_and_magnitudes () =
+  let points = Sweep.default_run p0 in
+  List.iter
+    (fun pt ->
+      Alcotest.(check bool) "noIndex linear in f" true
+        (Float.abs (pt.Sweep.no_index -. (pt.Sweep.f_qry *. 20_000. *. 720.)) < 1.);
+      Alcotest.(check bool) "indexAll roughly flat (dominated by maintenance)" true
+        (pt.Sweep.index_all > 20_000. && pt.Sweep.index_all < 26_500.))
+    points
+
+let test_savings_helper () =
+  Alcotest.(check (float 1e-12)) "half" 0.5 (Strategies.savings ~cost:50. ~versus:100.);
+  Alcotest.(check (float 1e-12)) "negative when worse" (-1.)
+    (Strategies.savings ~cost:200. ~versus:100.)
+
+(* ------------------------------------------------------------------ *)
+(* TTL sensitivity (Section 5.1.1) *)
+
+let test_ttl_sensitivity_slight () =
+  (* The paper: +-50% estimation error decreases savings only slightly.
+     We check the savings drop stays under 10 percentage points across
+     the paper's window at the default busy frequency. *)
+  let rows = Ttl_analysis.run p0 ~scales:Ttl_analysis.default_scales in
+  Alcotest.(check int) "five rows" 5 (List.length rows);
+  List.iter
+    (fun r ->
+      if r.Ttl_analysis.scale >= 0.5 && r.Ttl_analysis.scale <= 2.0 then
+        Alcotest.(check bool)
+          (Printf.sprintf "drop %.4f at scale %.2f < 0.1" r.Ttl_analysis.savings_drop_vs_ideal_ttl
+             r.Ttl_analysis.scale)
+          true
+          (r.Ttl_analysis.savings_drop_vs_ideal_ttl < 0.1))
+    rows
+
+let test_ttl_baseline_row_zero_drop () =
+  let rows = Ttl_analysis.run p0 ~scales:[ 1.0 ] in
+  match rows with
+  | [ r ] ->
+      Alcotest.(check (float 1e-9)) "baseline drop is zero" 0.
+        r.Ttl_analysis.savings_drop_vs_ideal_ttl
+  | _ -> Alcotest.fail "expected one row"
+
+let test_best_ttl_picks_minimum () =
+  let best = Ttl_analysis.best_ttl p0 ~candidates:[ 10.; 100.; 1000.; 10_000. ] in
+  let cost ttl = (Strategies.partial_selection p0 ~key_ttl:ttl).Strategies.total in
+  List.iter
+    (fun ttl -> Alcotest.(check bool) "no candidate beats best" true (cost best <= cost ttl))
+    [ 10.; 100.; 1000.; 10_000. ]
+
+(* ------------------------------------------------------------------ *)
+(* k-ary generalization (footnote 3) *)
+
+module Kary = Pdht_model.Kary
+
+let test_kary_binary_matches_eq7 () =
+  Alcotest.(check (float 1e-9)) "arity 2 = Eq. 7"
+    (Cost.search_index ~num_active_peers:20_000)
+    (Kary.search_index ~arity:2 ~num_active_peers:20_000)
+
+let test_kary_binary_matches_eq8 () =
+  Alcotest.(check (float 1e-9)) "arity 2 = Eq. 8"
+    (Cost.routing_maintenance p0 ~num_active_peers:20_000 ~indexed_keys:40_000.)
+    (Kary.routing_maintenance p0 ~arity:2 ~num_active_peers:20_000 ~indexed_keys:40_000.)
+
+let test_kary_lookup_shrinks_with_arity () =
+  let prev = ref infinity in
+  List.iter
+    (fun arity ->
+      let c = Kary.search_index ~arity ~num_active_peers:20_000 in
+      Alcotest.(check bool) "fewer hops with wider digits" true (c <= !prev);
+      prev := c)
+    [ 2; 4; 8; 16 ]
+
+let test_kary_table_grows_with_arity () =
+  let prev = ref 0. in
+  List.iter
+    (fun arity ->
+      let e = Kary.routing_table_entries ~arity ~num_active_peers:20_000 in
+      Alcotest.(check bool) "bigger tables with wider digits" true (e >= !prev);
+      prev := e)
+    [ 2; 4; 8; 16 ]
+
+let test_kary_validation () =
+  Alcotest.check_raises "arity 1" (Invalid_argument "Kary.search_index: arity must be >= 2")
+    (fun () -> ignore (Kary.search_index ~arity:1 ~num_active_peers:100));
+  Alcotest.check_raises "one peer"
+    (Invalid_argument "Kary.search_index: need >= 2 active peers") (fun () ->
+      ignore (Kary.search_index ~arity:2 ~num_active_peers:1));
+  Alcotest.check_raises "no keys" (Invalid_argument "Kary.routing_maintenance: no indexed keys")
+    (fun () -> ignore (Kary.routing_maintenance p0 ~arity:2 ~num_active_peers:100 ~indexed_keys:0.))
+
+let test_kary_sweep_tradeoff () =
+  (* The arity trade-off: lookup gets cheaper, maintenance dearer; the
+     indexAll total reflects both. *)
+  let points = Kary.sweep p0 ~arities:[ 2; 4; 16 ] in
+  Alcotest.(check int) "three points" 3 (List.length points);
+  let p2 = List.nth points 0 and p16 = List.nth points 2 in
+  Alcotest.(check bool) "lookup cheaper at 16" true (p16.Kary.c_s_indx < p2.Kary.c_s_indx);
+  Alcotest.(check bool) "maintenance dearer at 16" true (p16.Kary.c_rtn > p2.Kary.c_rtn)
+
+(* ------------------------------------------------------------------ *)
+(* Replication planner ([VaCh02] substitute) *)
+
+module Planner = Pdht_model.Replication_planner
+
+let test_planner_item_availability () =
+  Alcotest.(check (float 1e-9)) "no replicas" 0.
+    (Planner.item_availability ~peer_availability:0.5 ~repl:0);
+  Alcotest.(check (float 1e-9)) "one replica" 0.5
+    (Planner.item_availability ~peer_availability:0.5 ~repl:1);
+  Alcotest.(check (float 1e-9)) "two replicas" 0.75
+    (Planner.item_availability ~peer_availability:0.5 ~repl:2)
+
+let test_planner_required_replicas () =
+  (* 1 - 0.5^r >= 0.99  =>  r >= log(0.01)/log(0.5) = 6.64 => 7. *)
+  Alcotest.(check int) "99% at half availability" 7
+    (Planner.required_replicas ~peer_availability:0.5 ~target:0.99);
+  Alcotest.(check int) "trivial target" 0
+    (Planner.required_replicas ~peer_availability:0.5 ~target:0.);
+  Alcotest.(check int) "perfect peers" 1
+    (Planner.required_replicas ~peer_availability:1. ~target:0.9);
+  (* The returned count actually achieves the target. *)
+  List.iter
+    (fun (a, target) ->
+      let r = Planner.required_replicas ~peer_availability:a ~target in
+      Alcotest.(check bool) "achieves target" true
+        (Planner.item_availability ~peer_availability:a ~repl:r >= target -. 1e-12);
+      if r > 0 then
+        Alcotest.(check bool) "minimal" true
+          (Planner.item_availability ~peer_availability:a ~repl:(r - 1) < target))
+    [ (0.3, 0.999); (0.75, 0.9); (0.1, 0.5) ]
+
+let test_planner_plan_respects_floor () =
+  let small = { p0 with Params.num_peers = 2_000; keys = 4_000 } in
+  let plan = Planner.plan small ~peer_availability:0.5 ~target:0.99 ~max_repl:60 in
+  Alcotest.(check int) "floor is 7" 7 plan.Planner.floor;
+  Alcotest.(check bool) "chosen at or above floor" true (plan.Planner.repl >= 7);
+  Alcotest.(check bool) "achieves the target" true
+    (plan.Planner.achieved_availability >= 0.99);
+  Alcotest.(check bool) "cost positive" true (plan.Planner.partial_cost > 0.)
+
+let test_planner_plan_unreachable_target () =
+  Alcotest.(check bool) "raises when max_repl too small" true
+    (try
+       ignore (Planner.plan p0 ~peer_availability:0.1 ~target:0.9999 ~max_repl:3);
+       false
+     with Invalid_argument _ -> true)
+
+let test_planner_validation () =
+  Alcotest.check_raises "availability 0"
+    (Invalid_argument "Replication_planner.required_replicas: availability outside (0,1]")
+    (fun () -> ignore (Planner.required_replicas ~peer_availability:0. ~target:0.5));
+  Alcotest.check_raises "target 1"
+    (Invalid_argument "Replication_planner.required_replicas: target outside [0,1)")
+    (fun () -> ignore (Planner.required_replicas ~peer_availability:0.5 ~target:1.));
+  Alcotest.check_raises "negative repl"
+    (Invalid_argument "Replication_planner.item_availability: negative repl") (fun () ->
+      ignore (Planner.item_availability ~peer_availability:0.5 ~repl:(-1)))
+
+let test_planner_cost_curve_shape () =
+  let rows = Planner.cost_curve p0 ~repls:[ 10; 50; 200 ] in
+  (* cSUnstr = numPeers/repl * dup strictly falls with replication. *)
+  match rows with
+  | [ (_, c10, _); (_, c50, _); (_, c200, _) ] ->
+      Alcotest.(check bool) "broadcast cost falls" true (c10 > c50 && c50 > c200)
+  | _ -> Alcotest.fail "expected three rows"
+
+(* ------------------------------------------------------------------ *)
+(* Sweep plumbing *)
+
+let test_sweep_point_consistency () =
+  let pt = Sweep.point p0 in
+  Alcotest.(check (float 1e-12)) "f_qry preserved" (1. /. 30.) pt.Sweep.f_qry;
+  Alcotest.(check bool) "ttl index no larger than ideal policy would ever index" true
+    (pt.Sweep.ttl_index_fraction > 0.);
+  Alcotest.(check (float 1e-9)) "savings recomputable"
+    (Strategies.savings ~cost:pt.Sweep.partial_ideal ~versus:pt.Sweep.index_all)
+    pt.Sweep.savings_ideal_vs_all
+
+let test_sweep_runs_all_frequencies () =
+  let points = Sweep.default_run p0 in
+  Alcotest.(check int) "eight points" 8 (List.length points);
+  let fs = List.map (fun pt -> pt.Sweep.f_qry) points in
+  Alcotest.(check bool) "descending frequencies" true
+    (fs = List.sort (fun a b -> compare b a) fs)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let arb_params =
+    let gen =
+      Gen.map2
+        (fun (peers, keys, stor) (repl, alpha, f_qry) ->
+          {
+            Params.num_peers = peers;
+            keys;
+            stor;
+            repl = min repl peers;
+            alpha;
+            f_qry;
+            f_upd = 1. /. 86_400.;
+            env = 1. /. 14.;
+            dup = 1.8;
+            dup2 = 1.8;
+          })
+        (Gen.triple (Gen.int_range 100 5000) (Gen.int_range 100 10_000) (Gen.int_range 10 200))
+        (Gen.triple (Gen.int_range 1 50) (Gen.float_range 0.5 1.5) (Gen.float_range 1e-4 0.1))
+    in
+    make gen
+  in
+  [
+    (* Note: partial <= indexAll is NOT universal — the paper's fMin
+       rule uses P(>= 1 query/round) (Eq. 4), which saturates at 1 for
+       hot keys and so under-indexes when nearly every key is hot (small
+       populations at high query rates).  The dominance over noIndex,
+       however, holds everywhere: a key only enters the index when its
+       estimated saving clears its cost, and Eq. 4 underestimates that
+       saving. *)
+    Test.make ~name:"ideal partial never beaten by noIndex" ~count:60 arb_params
+      (fun p ->
+        let s = Index_policy.solve p in
+        let partial = (Strategies.partial_ideal p s).Strategies.total in
+        partial <= (Strategies.no_index p).Strategies.total +. 1e-6);
+    Test.make ~name:"solve produces consistent pIndxd" ~count:60 arb_params
+      (fun p ->
+        let s = Index_policy.solve p in
+        s.Index_policy.p_indexed >= 0. && s.Index_policy.p_indexed <= 1.);
+    Test.make ~name:"ttl_state index size within [0, keys]" ~count:60
+      (pair arb_params (float_range 1. 1e5))
+      (fun (p, ttl) ->
+        let st = Strategies.ttl_state p ~key_ttl:ttl in
+        st.Strategies.index_size >= 0.
+        && st.Strategies.index_size <= float_of_int p.Params.keys +. 1e-6);
+    Test.make ~name:"all strategy costs are positive" ~count:60 arb_params
+      (fun p ->
+        (Strategies.index_all p).Strategies.total > 0.
+        && (Strategies.no_index p).Strategies.total > 0.);
+  ]
+
+let () =
+  Alcotest.run "pdht_model"
+    [
+      ( "params",
+        [
+          Alcotest.test_case "default is Table 1" `Quick test_default_is_table1;
+          Alcotest.test_case "validation" `Quick test_validate_catches_errors;
+          Alcotest.test_case "frequency sweep" `Quick test_sweep_frequencies;
+          Alcotest.test_case "Table 1 rows" `Quick test_table1_rows;
+        ] );
+      ( "cost-terms",
+        [
+          Alcotest.test_case "Eq. 6 cSUnstr" `Quick test_eq6_cSUnstr;
+          Alcotest.test_case "numActivePeers" `Quick test_num_active_peers;
+          Alcotest.test_case "Eq. 7 cSIndx" `Quick test_eq7_cSIndx;
+          Alcotest.test_case "Eq. 8 cRtn" `Quick test_eq8_cRtn;
+          Alcotest.test_case "Eq. 9 cUpd" `Quick test_eq9_cUpd;
+          Alcotest.test_case "Eq. 10 cIndKey" `Quick test_eq10_cIndKey;
+          Alcotest.test_case "Eq. 16 cSIndx2" `Quick test_eq16_cSIndx2;
+          Alcotest.test_case "total maintenance" `Quick test_total_maintenance_consistency;
+        ] );
+      ( "index-policy",
+        [
+          Alcotest.test_case "Eq. 4 extremes" `Quick test_eq4_prob_queried;
+          Alcotest.test_case "solve converges" `Quick test_solve_converges;
+          Alcotest.test_case "busy period vs Fig. 3" `Quick test_solve_busy_period_matches_fig3;
+          Alcotest.test_case "quiet period vs Fig. 3" `Quick test_solve_quiet_period_matches_fig3;
+          Alcotest.test_case "maxRank monotone" `Quick test_max_rank_monotone_in_frequency;
+          Alcotest.test_case "threshold edges" `Quick test_max_rank_threshold_edges;
+          Alcotest.test_case "p_indexed_for_rank" `Quick test_p_indexed_for_rank;
+        ] );
+      ( "strategies",
+        [
+          Alcotest.test_case "Eq. 11 indexAll" `Quick test_eq11_index_all_paper_value;
+          Alcotest.test_case "Eq. 12 noIndex" `Quick test_eq12_no_index_paper_value;
+          Alcotest.test_case "Eq. 13 dominance (Fig. 1)" `Quick test_eq13_partial_beats_both_baselines;
+          Alcotest.test_case "degenerate partial" `Quick test_partial_ideal_degenerates_to_no_index;
+          Alcotest.test_case "Eq. 14-15 ttl state" `Quick test_eq14_15_ttl_state;
+          Alcotest.test_case "ttl monotone" `Quick test_ttl_state_monotone_in_ttl;
+          Alcotest.test_case "Eq. 17 overhead" `Quick test_eq17_selection_overhead;
+          Alcotest.test_case "Fig. 4 shape" `Quick test_fig4_shape;
+          Alcotest.test_case "Fig. 2 shape" `Quick test_fig2_shape;
+          Alcotest.test_case "Fig. 1 ordering" `Quick test_fig1_ordering_and_magnitudes;
+          Alcotest.test_case "savings helper" `Quick test_savings_helper;
+        ] );
+      ( "kary",
+        [
+          Alcotest.test_case "binary = Eq. 7" `Quick test_kary_binary_matches_eq7;
+          Alcotest.test_case "binary = Eq. 8" `Quick test_kary_binary_matches_eq8;
+          Alcotest.test_case "validation" `Quick test_kary_validation;
+          Alcotest.test_case "lookup shrinks" `Quick test_kary_lookup_shrinks_with_arity;
+          Alcotest.test_case "table grows" `Quick test_kary_table_grows_with_arity;
+          Alcotest.test_case "sweep tradeoff" `Quick test_kary_sweep_tradeoff;
+        ] );
+      ( "replication-planner",
+        [
+          Alcotest.test_case "item availability" `Quick test_planner_item_availability;
+          Alcotest.test_case "required replicas" `Quick test_planner_required_replicas;
+          Alcotest.test_case "plan respects floor" `Quick test_planner_plan_respects_floor;
+          Alcotest.test_case "unreachable target" `Quick test_planner_plan_unreachable_target;
+          Alcotest.test_case "validation" `Quick test_planner_validation;
+          Alcotest.test_case "cost curve shape" `Quick test_planner_cost_curve_shape;
+        ] );
+      ( "ttl-analysis",
+        [
+          Alcotest.test_case "±50% slight (5.1.1)" `Quick test_ttl_sensitivity_slight;
+          Alcotest.test_case "baseline zero drop" `Quick test_ttl_baseline_row_zero_drop;
+          Alcotest.test_case "best_ttl" `Quick test_best_ttl_picks_minimum;
+        ] );
+      ( "sweep",
+        [
+          Alcotest.test_case "point consistency" `Quick test_sweep_point_consistency;
+          Alcotest.test_case "runs all frequencies" `Quick test_sweep_runs_all_frequencies;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -1,0 +1,313 @@
+(* Tests for Pdht_sim: event queue, engine, metrics, trace. *)
+
+module Event_queue = Pdht_sim.Event_queue
+module Engine = Pdht_sim.Engine
+module Metrics = Pdht_sim.Metrics
+module Trace = Pdht_sim.Trace
+
+(* ------------------------------------------------------------------ *)
+(* Event queue *)
+
+let test_queue_empty () =
+  let q = Event_queue.create () in
+  Alcotest.(check bool) "empty" true (Event_queue.is_empty q);
+  Alcotest.(check int) "size 0" 0 (Event_queue.size q);
+  Alcotest.(check (option (pair (float 0.) int))) "pop none" None (Event_queue.pop q);
+  Alcotest.(check (option (float 0.))) "peek none" None (Event_queue.peek_time q)
+
+let test_queue_orders_by_time () =
+  let q = Event_queue.create () in
+  List.iter (fun (t, v) -> Event_queue.add q ~time:t v)
+    [ (3., "c"); (1., "a"); (2., "b"); (0.5, "z") ];
+  let order = List.init 4 (fun _ -> match Event_queue.pop q with
+    | Some (_, v) -> v
+    | None -> "?") in
+  Alcotest.(check (list string)) "sorted" [ "z"; "a"; "b"; "c" ] order
+
+let test_queue_fifo_on_ties () =
+  let q = Event_queue.create () in
+  for i = 0 to 9 do
+    Event_queue.add q ~time:5. i
+  done;
+  let order = List.init 10 (fun _ -> match Event_queue.pop q with
+    | Some (_, v) -> v
+    | None -> -1) in
+  Alcotest.(check (list int)) "insertion order on equal times"
+    [ 0; 1; 2; 3; 4; 5; 6; 7; 8; 9 ] order
+
+let test_queue_interleaved_ops () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:10. 10;
+  Event_queue.add q ~time:5. 5;
+  (match Event_queue.pop q with
+  | Some (t, v) ->
+      Alcotest.(check (float 0.)) "time" 5. t;
+      Alcotest.(check int) "value" 5 v
+  | None -> Alcotest.fail "expected event");
+  Event_queue.add q ~time:1. 1;
+  (match Event_queue.pop q with
+  | Some (_, v) -> Alcotest.(check int) "later add can come first" 1 v
+  | None -> Alcotest.fail "expected event");
+  Alcotest.(check int) "one left" 1 (Event_queue.size q)
+
+let test_queue_many_random () =
+  let rng = Pdht_util.Rng.create ~seed:70 in
+  let q = Event_queue.create () in
+  let times = Array.init 5000 (fun _ -> Pdht_util.Rng.float rng 1000.) in
+  Array.iteri (fun i t -> Event_queue.add q ~time:t i) times;
+  Alcotest.(check int) "size" 5000 (Event_queue.size q);
+  let prev = ref neg_infinity in
+  for _ = 1 to 5000 do
+    match Event_queue.pop q with
+    | Some (t, _) ->
+        Alcotest.(check bool) "non-decreasing" true (t >= !prev);
+        prev := t
+    | None -> Alcotest.fail "queue exhausted early"
+  done
+
+let test_queue_rejects_nan () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "nan" (Invalid_argument "Event_queue.add: NaN time")
+    (fun () -> Event_queue.add q ~time:Float.nan 0)
+
+let test_queue_clear () =
+  let q = Event_queue.create () in
+  Event_queue.add q ~time:1. 1;
+  Event_queue.clear q;
+  Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
+
+(* ------------------------------------------------------------------ *)
+(* Engine *)
+
+let test_engine_runs_in_order () =
+  let engine = Engine.create () in
+  let log = ref [] in
+  Engine.schedule engine ~delay:2. (fun _ -> log := 2 :: !log);
+  Engine.schedule engine ~delay:1. (fun _ -> log := 1 :: !log);
+  Engine.schedule engine ~delay:3. (fun _ -> log := 3 :: !log);
+  Engine.run engine ~until:10.;
+  Alcotest.(check (list int)) "order" [ 1; 2; 3 ] (List.rev !log)
+
+let test_engine_until_cutoff () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule engine ~delay:1. (fun _ -> incr fired);
+  Engine.schedule engine ~delay:5. (fun _ -> incr fired);
+  Engine.run engine ~until:2.;
+  Alcotest.(check int) "only first fired" 1 !fired;
+  Alcotest.(check int) "one pending" 1 (Engine.pending engine);
+  Engine.run engine ~until:10.;
+  Alcotest.(check int) "second fires on resume" 2 !fired
+
+let test_engine_now_advances () =
+  let engine = Engine.create () in
+  let seen = ref [] in
+  Engine.schedule engine ~delay:1.5 (fun e -> seen := Engine.now e :: !seen);
+  Engine.schedule engine ~delay:4. (fun e -> seen := Engine.now e :: !seen);
+  Engine.run engine ~until:10.;
+  Alcotest.(check (list (float 1e-9))) "handler sees its own time" [ 1.5; 4. ]
+    (List.rev !seen)
+
+let test_engine_handlers_can_schedule () =
+  let engine = Engine.create () in
+  let count = ref 0 in
+  let rec chain e =
+    incr count;
+    if !count < 5 then Engine.schedule e ~delay:1. chain
+  in
+  Engine.schedule engine ~delay:1. chain;
+  Engine.run engine ~until:100.;
+  Alcotest.(check int) "chain of 5" 5 !count
+
+let test_engine_periodic () =
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  Engine.schedule_periodic engine ~first:10. ~every:10. (fun _ -> incr fired);
+  Engine.run engine ~until:55.;
+  Alcotest.(check int) "five ticks in 55s" 5 !fired
+
+let test_engine_rejects_negative_delay () =
+  let engine = Engine.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
+    (fun () -> Engine.schedule engine ~delay:(-1.) (fun _ -> ()))
+
+let test_engine_schedule_at_past_rejected () =
+  let engine = Engine.create () in
+  Engine.schedule engine ~delay:5. (fun e ->
+      Alcotest.check_raises "past" (Invalid_argument "Engine.schedule_at: time in the past")
+        (fun () -> Engine.schedule_at e ~time:1. (fun _ -> ())));
+  Engine.run engine ~until:10.
+
+(* ------------------------------------------------------------------ *)
+(* Metrics *)
+
+let test_metrics_charge_and_count () =
+  let m = Metrics.create () in
+  Metrics.charge m Metrics.Query_index 5;
+  Metrics.charge m Metrics.Query_index 3;
+  Metrics.charge m Metrics.Maintenance 7;
+  Alcotest.(check int) "query-index" 8 (Metrics.count m Metrics.Query_index);
+  Alcotest.(check int) "maintenance" 7 (Metrics.count m Metrics.Maintenance);
+  Alcotest.(check int) "untouched" 0 (Metrics.count m Metrics.Update_gossip);
+  Alcotest.(check int) "total" 15 (Metrics.total m)
+
+let test_metrics_rejects_negative () =
+  let m = Metrics.create () in
+  Alcotest.check_raises "negative" (Invalid_argument "Metrics.charge: negative count")
+    (fun () -> Metrics.charge m Metrics.Other (-1))
+
+let test_metrics_snapshot_and_diff () =
+  let m = Metrics.create () in
+  Metrics.charge m Metrics.Query_unstructured 10;
+  let before = Metrics.copy m in
+  Metrics.charge m Metrics.Query_unstructured 4;
+  Metrics.charge m Metrics.Replica_flood 2;
+  let diff = Metrics.diff ~before ~after:m in
+  Alcotest.(check int) "diff unstructured" 4
+    (List.assoc Metrics.Query_unstructured diff);
+  Alcotest.(check int) "diff flood" 2 (List.assoc Metrics.Replica_flood diff);
+  let snap = Metrics.snapshot m in
+  Alcotest.(check int) "snapshot covers all categories"
+    (List.length Metrics.all_categories) (List.length snap)
+
+let test_metrics_reset () =
+  let m = Metrics.create () in
+  Metrics.charge m Metrics.Other 9;
+  Metrics.reset m;
+  Alcotest.(check int) "zero after reset" 0 (Metrics.total m)
+
+let test_metrics_labels_distinct () =
+  let labels = List.map Metrics.category_label Metrics.all_categories in
+  Alcotest.(check int) "distinct labels" (List.length labels)
+    (List.length (List.sort_uniq compare labels))
+
+let test_metrics_series () =
+  let s = Metrics.Series.create ~bucket_width:10. in
+  Metrics.Series.charge s ~time:0.5 3;
+  Metrics.Series.charge s ~time:5. 2;
+  Metrics.Series.charge s ~time:25. 7;
+  let buckets = Metrics.Series.buckets s in
+  Alcotest.(check int) "three buckets (incl. empty middle)" 3 (Array.length buckets);
+  let _, b0 = buckets.(0) and _, b1 = buckets.(1) and _, b2 = buckets.(2) in
+  Alcotest.(check int) "bucket 0" 5 b0;
+  Alcotest.(check int) "bucket 1 empty" 0 b1;
+  Alcotest.(check int) "bucket 2" 7 b2
+
+let test_metrics_series_rejects_bad () =
+  Alcotest.check_raises "zero width"
+    (Invalid_argument "Metrics.Series.create: width must be positive") (fun () ->
+      ignore (Metrics.Series.create ~bucket_width:0.));
+  let s = Metrics.Series.create ~bucket_width:1. in
+  Alcotest.check_raises "negative time"
+    (Invalid_argument "Metrics.Series.charge: negative time") (fun () ->
+      Metrics.Series.charge s ~time:(-1.) 1)
+
+(* ------------------------------------------------------------------ *)
+(* Trace *)
+
+let test_trace_disabled_by_default () =
+  let tr = Trace.create () in
+  Trace.record tr ~time:1. "ignored";
+  Alcotest.(check int) "nothing recorded" 0 (Trace.length tr)
+
+let test_trace_records_when_enabled () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.record tr ~time:1. "a";
+  Trace.recordf tr ~time:2. "b%d" 2;
+  Alcotest.(check int) "two events" 2 (Trace.length tr);
+  Alcotest.(check (list (pair (float 0.) string))) "oldest first"
+    [ (1., "a"); (2., "b2") ]
+    (Trace.events tr)
+
+let test_trace_capacity_trim () =
+  let tr = Trace.create ~capacity:10 () in
+  Trace.enable tr;
+  for i = 1 to 100 do
+    Trace.record tr ~time:(float_of_int i) (string_of_int i)
+  done;
+  Alcotest.(check bool) "bounded" true (Trace.length tr <= 10);
+  let events = Trace.events tr in
+  let _, last = List.nth events (List.length events - 1) in
+  Alcotest.(check string) "latest kept" "100" last
+
+let test_trace_clear () =
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.record tr ~time:1. "x";
+  Trace.clear tr;
+  Alcotest.(check int) "cleared" 0 (Trace.length tr)
+
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"event queue is a sorting network" ~count:100
+      (small_list (float_bound_inclusive 1000.))
+      (fun times ->
+        let q = Event_queue.create () in
+        List.iteri (fun i t -> Event_queue.add q ~time:t i) times;
+        let popped = ref [] in
+        let rec drain () =
+          match Event_queue.pop q with
+          | Some (t, _) ->
+              popped := t :: !popped;
+              drain ()
+          | None -> ()
+        in
+        drain ();
+        List.rev !popped = List.sort compare times);
+    Test.make ~name:"engine fires everything before the horizon" ~count:100
+      (small_list (float_range 0. 100.))
+      (fun delays ->
+        let engine = Engine.create () in
+        let fired = ref 0 in
+        List.iter (fun d -> Engine.schedule engine ~delay:d (fun _ -> incr fired)) delays;
+        Engine.run engine ~until:100.;
+        !fired = List.length delays);
+  ]
+
+let () =
+  Alcotest.run "pdht_sim"
+    [
+      ( "event-queue",
+        [
+          Alcotest.test_case "empty" `Quick test_queue_empty;
+          Alcotest.test_case "orders by time" `Quick test_queue_orders_by_time;
+          Alcotest.test_case "FIFO on ties" `Quick test_queue_fifo_on_ties;
+          Alcotest.test_case "interleaved ops" `Quick test_queue_interleaved_ops;
+          Alcotest.test_case "many random events" `Quick test_queue_many_random;
+          Alcotest.test_case "rejects NaN" `Quick test_queue_rejects_nan;
+          Alcotest.test_case "clear" `Quick test_queue_clear;
+        ] );
+      ( "engine",
+        [
+          Alcotest.test_case "runs in order" `Quick test_engine_runs_in_order;
+          Alcotest.test_case "until cutoff + resume" `Quick test_engine_until_cutoff;
+          Alcotest.test_case "now advances" `Quick test_engine_now_advances;
+          Alcotest.test_case "handlers schedule" `Quick test_engine_handlers_can_schedule;
+          Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "rejects negative delay" `Quick test_engine_rejects_negative_delay;
+          Alcotest.test_case "rejects past schedule_at" `Quick test_engine_schedule_at_past_rejected;
+        ] );
+      ( "metrics",
+        [
+          Alcotest.test_case "charge and count" `Quick test_metrics_charge_and_count;
+          Alcotest.test_case "rejects negative" `Quick test_metrics_rejects_negative;
+          Alcotest.test_case "snapshot and diff" `Quick test_metrics_snapshot_and_diff;
+          Alcotest.test_case "reset" `Quick test_metrics_reset;
+          Alcotest.test_case "labels distinct" `Quick test_metrics_labels_distinct;
+          Alcotest.test_case "series buckets" `Quick test_metrics_series;
+          Alcotest.test_case "series validation" `Quick test_metrics_series_rejects_bad;
+        ] );
+      ( "trace",
+        [
+          Alcotest.test_case "disabled by default" `Quick test_trace_disabled_by_default;
+          Alcotest.test_case "records when enabled" `Quick test_trace_records_when_enabled;
+          Alcotest.test_case "capacity trim" `Quick test_trace_capacity_trim;
+          Alcotest.test_case "clear" `Quick test_trace_clear;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]
