@@ -647,6 +647,70 @@ let section_replication_planning () =
     plan.Pdht_model.Replication_planner.partial_cost
 
 (* ------------------------------------------------------------------ *)
+(* Perf run: instrumented simulation, exported as BENCH_pdht.json *)
+
+let section_perf () =
+  heading "Perf - instrumented partial-index run (writes BENCH_pdht.json)"
+    "(wall-clock engine throughput plus streaming query-cost percentiles,\n\
+     exported as JSON so runs can be compared across commits)";
+  let module Json = Pdht_obs.Json in
+  let scenario =
+    {
+      sim_scenario with
+      Scenario.num_peers = 600;
+      keys = 1_200;
+      duration = 1_200.;
+      seed = 2020;
+    }
+  in
+  let options = sim_options in
+  let key_ttl = System.derive_key_ttl scenario options in
+  let obs = Pdht_obs.Context.create () in
+  let t0 = Unix.gettimeofday () in
+  let report = System.run ~obs scenario (Strategy.Partial_index { key_ttl }) options in
+  let wall = Unix.gettimeofday () -. t0 in
+  let registry = Pdht_obs.Context.registry obs in
+  let engine_events =
+    match Pdht_obs.Registry.counter_value_by_name registry "engine.events_processed" with
+    | Some n -> n
+    | None -> 0
+  in
+  let events_per_second = if wall > 0. then float_of_int engine_events /. wall else 0. in
+  let run_name = scenario.Scenario.name ^ "/partial" in
+  let json =
+    Json.Obj
+      [
+        ("run", Json.String run_name);
+        ("seed", Json.Int scenario.Scenario.seed);
+        ("sim_duration_s", Json.Float scenario.Scenario.duration);
+        ("wall_time_s", Json.Float wall);
+        ("engine_events", Json.Int engine_events);
+        ("sim_events_per_second", Json.Float events_per_second);
+        ("queries", Json.Int report.System.queries);
+        ("total_messages", Json.Int report.System.total_messages);
+        ("messages_per_second", Json.Float report.System.messages_per_second);
+        ("hit_rate", Json.Float report.System.hit_rate);
+        ("query_cost_p50", Json.Float report.System.query_cost_p50);
+        ("query_cost_p95", Json.Float report.System.query_cost_p95);
+        ("query_cost_p99", Json.Float report.System.query_cost_p99);
+        ( "histograms",
+          Json.Obj
+            (List.map
+               (fun (name, s) -> (name, Pdht_obs.Histogram.summary_to_json s))
+               report.System.histograms) );
+      ]
+  in
+  let path = "BENCH_pdht.json" in
+  let oc = open_out path in
+  output_string oc (Json.to_string json);
+  output_char oc '\n';
+  close_out oc;
+  Printf.printf
+    "%s: %d engine events in %.2f s wall (%.0f events/s), %d messages\n\
+     wrote %s\n"
+    run_name engine_events wall events_per_second report.System.total_messages path
+
+(* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)
 
 let section_micro () =
@@ -739,6 +803,7 @@ let sections =
     ("eviction", section_eviction);
     ("arity", section_arity);
     ("replication_planning", section_replication_planning);
+    ("perf", section_perf);
     ("micro", section_micro);
   ]
 

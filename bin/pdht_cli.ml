@@ -152,13 +152,39 @@ let strategy_conv =
   in
   Arg.conv (parse, print)
 
-let setup_logging verbose =
+let setup_logging verbose log_level =
   Logs.set_reporter (Logs.format_reporter ());
-  Logs.set_level (Some (if verbose then Logs.Info else Logs.Warning))
+  let level =
+    match log_level with
+    | Some l -> l
+    | None -> Some (if verbose then Logs.Info else Logs.Warning)
+  in
+  Logs.set_level level
 
-let run_simulate verbose preset peers keys repl stor fqry duration seed strategy key_ttl
-    adaptive churn =
-  setup_logging verbose;
+(* "query,dht-lookup" -> category list; errors name the bad token. *)
+let parse_trace_filter spec =
+  let tokens =
+    String.split_on_char ',' spec
+    |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  let rec convert acc = function
+    | [] -> Ok (List.rev acc)
+    | tok :: rest -> (
+        match Pdht_obs.Event.category_of_label tok with
+        | Some cat -> convert (cat :: acc) rest
+        | None ->
+            Error
+              (Printf.sprintf "unknown trace category %S; known: %s" tok
+                 (String.concat ", "
+                    (List.map Pdht_obs.Event.category_label
+                       Pdht_obs.Event.all_categories))))
+  in
+  convert [] tokens
+
+let run_simulate verbose log_level metrics_out trace_out trace_filter preset peers keys
+    repl stor fqry duration seed strategy key_ttl adaptive churn =
+  setup_logging verbose log_level;
   let scenario =
     match preset with
     | Some name -> (
@@ -198,9 +224,56 @@ let run_simulate verbose preset peers keys repl stor fqry duration seed strategy
         | `Index_all -> Strategy.Index_all
         | `No_index -> Strategy.No_index
       in
-      let report = System.run scenario strategy options in
-      Format.printf "%a@." System.pp_report report;
-      `Ok ()
+      let filter =
+        match trace_filter with
+        | None -> Ok None
+        | Some spec -> (
+            match parse_trace_filter spec with
+            | Ok cats -> Ok (Some cats)
+            | Error msg -> Error msg)
+      in
+      (match filter with
+      | Error msg -> `Error (false, msg)
+      | Ok filter -> (
+          let obs = Pdht_obs.Context.create () in
+          let tracer = Pdht_obs.Context.tracer obs in
+          match
+            match trace_out with
+            | None -> Ok None
+            | Some path -> (
+                match open_out path with
+                | oc ->
+                    Pdht_obs.Tracer.enable tracer;
+                    Pdht_obs.Tracer.set_filter tracer filter;
+                    Pdht_obs.Tracer.add_sink tracer (Pdht_obs.Sink.jsonl oc);
+                    Ok (Some oc)
+                | exception Sys_error msg -> Error ("cannot open trace file: " ^ msg))
+          with
+          | Error msg -> `Error (false, msg)
+          | Ok trace_channel -> (
+              let report = System.run ~obs scenario strategy options in
+              Format.printf "%a@." System.pp_report report;
+              (match trace_channel with
+              | None -> ()
+              | Some oc ->
+                  close_out oc;
+                  Logs.info (fun m ->
+                      m "wrote %d trace events"
+                        (Pdht_obs.Tracer.events_emitted tracer)));
+              match metrics_out with
+              | None -> `Ok ()
+              | Some path -> (
+                  let run_label =
+                    scenario.Scenario.name ^ "/" ^ Strategy.label strategy
+                  in
+                  match
+                    Pdht_obs.Export.to_file ~run:run_label
+                      ~time:scenario.Scenario.duration ~path
+                      (Pdht_obs.Registry.snapshot (Pdht_obs.Context.registry obs))
+                  with
+                  | () -> `Ok ()
+                  | exception Sys_error msg ->
+                      `Error (false, "cannot write metrics file: " ^ msg)))))
 
 let simulate_cmd =
   let doc = "Run the event-driven simulator for one strategy on a news-style scenario." in
@@ -225,6 +298,34 @@ let simulate_cmd =
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log run progress to stderr.")
   in
+  let log_level_arg =
+    let level_conv =
+      Arg.conv
+        ( Logs.level_of_string,
+          fun ppf l -> Format.pp_print_string ppf (Logs.level_to_string l) )
+    in
+    Arg.(value & opt (some level_conv) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Log verbosity (quiet, error, warning, info, debug); overrides \
+                   $(b,--verbose).")
+  in
+  let metrics_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "metrics-out" ] ~docv:"FILE"
+             ~doc:"Write the final metrics snapshot to FILE (JSONL, or CSV if the \
+                   name ends in .csv).")
+  in
+  let trace_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-out" ] ~docv:"FILE"
+             ~doc:"Enable event tracing and stream typed events to FILE as JSONL.")
+  in
+  let trace_filter_arg =
+    Arg.(value & opt (some string) None
+         & info [ "trace-filter" ] ~docv:"CATS"
+             ~doc:"Comma-separated event categories to keep (e.g. \
+                   query,dht-lookup); default: all.")
+  in
   let preset_arg =
     Arg.(value & opt (some string) None
          & info [ "preset" ]
@@ -241,8 +342,10 @@ let simulate_cmd =
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       ret
-        (const run_simulate $ verbose_arg $ preset_arg $ peers $ keys $ repl $ stor $ fqry
-         $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg $ churn_arg))
+        (const run_simulate $ verbose_arg $ log_level_arg $ metrics_out_arg
+         $ trace_out_arg $ trace_filter_arg $ preset_arg $ peers $ keys $ repl $ stor
+         $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
+         $ churn_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)

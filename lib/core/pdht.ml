@@ -1,6 +1,11 @@
 module Rng = Pdht_util.Rng
 module Bitkey = Pdht_util.Bitkey
 module Metrics = Pdht_sim.Metrics
+module Obs = Pdht_obs.Context
+module Registry = Pdht_obs.Registry
+module Histogram = Pdht_obs.Histogram
+module Tracer = Pdht_obs.Tracer
+module Event = Pdht_obs.Event
 module Topology = Pdht_overlay.Topology
 module Replication = Pdht_overlay.Replication
 module Unstructured_search = Pdht_overlay.Unstructured_search
@@ -13,6 +18,26 @@ module Rumor = Pdht_gossip.Rumor
    far from Float.max_float so [now +. ttl] stays finite. *)
 let forever = 1e15
 
+(* Pre-resolved observability instruments: hot paths must not pay a
+   registry hash lookup per query. *)
+type instruments = {
+  backend_label : string;
+  hops_hist : Histogram.t;          (* dht.hops.<backend> *)
+  lookup_msgs_hist : Histogram.t;   (* dht.lookup_messages.<backend> *)
+  query_cost_hist : Histogram.t;    (* query.cost *)
+  index_cost_hist : Histogram.t;    (* index.search_cost *)
+  broadcast_hist : Histogram.t;     (* broadcast.reach *)
+  gossip_rounds_hist : Histogram.t; (* gossip.rounds *)
+  c_lookup_failed : Registry.counter;
+  c_index_hit : Registry.counter;
+  c_index_miss : Registry.counter;
+  c_ttl_reset : Registry.counter;
+  c_index_insert : Registry.counter;
+  c_broadcast : Registry.counter;
+  c_broadcast_found : Registry.counter;
+  c_gossip_spreads : Registry.counter;
+}
+
 type t = {
   rng : Rng.t;
   config : Config.t;
@@ -24,6 +49,8 @@ type t = {
   stores : int Storage.t array; (* per active member; value = provider peer *)
   replica_nets : (int, Replica_net.t) Hashtbl.t; (* key_index -> subnet *)
   metrics : Metrics.t;
+  obs : Obs.t;
+  ins : instruments;
   mutable online : int -> bool;
   mutable key_ttl : float;
 }
@@ -34,6 +61,7 @@ let key_of_index t i =
 
 let config t = t.config
 let metrics t = t.metrics
+let obs t = t.obs
 let set_online t f = t.online <- f
 let active_members t = t.config.Config.active_members
 let key_ttl t = t.key_ttl
@@ -66,7 +94,29 @@ let initial_ttl config =
       key_ttl
   | Strategy.Index_all | Strategy.No_index -> forever
 
-let create rng config =
+let make_instruments (obs : Obs.t) ~backend =
+  let r = obs.Obs.registry in
+  let backend_label = Dht.backend_label backend in
+  {
+    backend_label;
+    hops_hist = Registry.histogram r ("dht.hops." ^ backend_label);
+    lookup_msgs_hist = Registry.histogram r ("dht.lookup_messages." ^ backend_label);
+    query_cost_hist = Registry.histogram r "query.cost";
+    index_cost_hist = Registry.histogram r "index.search_cost";
+    broadcast_hist = Registry.histogram r "broadcast.reach";
+    gossip_rounds_hist = Registry.histogram r "gossip.rounds";
+    c_lookup_failed = Registry.counter r "dht.lookup_failures";
+    c_index_hit = Registry.counter r "index.hit";
+    c_index_miss = Registry.counter r "index.miss";
+    c_ttl_reset = Registry.counter r "index.ttl_reset";
+    c_index_insert = Registry.counter r "index.insert";
+    c_broadcast = Registry.counter r "broadcast.searches";
+    c_broadcast_found = Registry.counter r "broadcast.found";
+    c_gossip_spreads = Registry.counter r "gossip.spreads";
+  }
+
+let create ?obs rng config =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let keys = config.Config.keys in
   let bitkeys =
     Array.init keys (fun i ->
@@ -103,10 +153,15 @@ let create rng config =
       stores;
       replica_nets = Hashtbl.create (min keys 4096);
       metrics = Metrics.create ();
+      obs;
+      ins = make_instruments obs ~backend:config.Config.backend;
       online = (fun _ -> true);
       key_ttl = initial_ttl config;
     }
   in
+  (* Tee per-category message counts into the registry so exported
+     counters always agree with [Metrics.total]. *)
+  Metrics.attach_registry t.metrics obs.Obs.registry;
   (* The index-everything baseline starts with the full index in place:
      every key on every member of its replica group. *)
   (match config.Config.strategy with
@@ -170,6 +225,27 @@ let entry_point t peer =
     pick 0
   end
 
+(* Per-backend lookup telemetry: hop/message histograms feed the
+   measured-vs-model cSIndx comparison in {!System.report}. *)
+let record_lookup t ~now ~peer ~key_index lookup =
+  Histogram.record_int t.ins.hops_hist lookup.Dht.hops;
+  Histogram.record_int t.ins.lookup_msgs_hist lookup.Dht.messages;
+  if lookup.Dht.responsible = None then Registry.incr t.ins.c_lookup_failed 1;
+  let tracer = t.obs.Obs.tracer in
+  if Tracer.active tracer Event.Dht_lookup then
+    Tracer.emit tracer
+      (Event.make ~time:now ~peer ~key_index ~hops:lookup.Dht.hops
+         ~messages:lookup.Dht.messages
+         ~outcome:
+           (if lookup.Dht.responsible = None then Event.Not_found else Event.Found)
+         ~detail:t.ins.backend_label Event.Dht_lookup)
+
+let record_ttl_reset t ~now ~peer ~key_index =
+  Registry.incr t.ins.c_ttl_reset 1;
+  let tracer = t.obs.Obs.tracer in
+  if Tracer.active tracer Event.Ttl_reset then
+    Tracer.emit tracer (Event.make ~time:now ~peer ~key_index Event.Ttl_reset)
+
 (* Search the index for a key: DHT routing to a responsible peer, local
    cache check there, replica-subnetwork flood on a local miss
    (Section 5.1 / Eq. 16).  TTL refresh on hits is the selection
@@ -178,30 +254,43 @@ let entry_point t peer =
 let index_search t ~now ~entry ~key_index =
   let key = t.bitkeys.(key_index) in
   let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+  record_lookup t ~now ~peer:entry ~key_index lookup;
   let index_messages = lookup.Dht.messages in
-  match lookup.Dht.responsible with
-  | None -> (None, index_messages, 0)
-  | Some responsible -> (
-      match
-        Storage.get_and_refresh t.stores.(responsible) ~key ~now ~ttl:t.key_ttl
-      with
-      | Some provider -> (Some provider, index_messages, 0)
-      | None ->
-          (* Local miss: ask the other replicas. *)
-          let net = replica_net t key_index in
-          let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
-          let flood_messages = flood.Replica_net.messages in
-          let found = ref None in
-          Array.iter
-            (fun member ->
-              if !found = None && member <> responsible && t.online member then
-                match
-                  Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
-                with
-                | Some provider -> found := Some provider
-                | None -> ())
-            (Replica_net.replicas net);
-          (!found, index_messages, flood_messages))
+  let result =
+    match lookup.Dht.responsible with
+    | None -> (None, index_messages, 0)
+    | Some responsible -> (
+        match
+          Storage.get_and_refresh t.stores.(responsible) ~key ~now ~ttl:t.key_ttl
+        with
+        | Some provider ->
+            record_ttl_reset t ~now ~peer:responsible ~key_index;
+            (Some provider, index_messages, 0)
+        | None ->
+            (* Local miss: ask the other replicas. *)
+            let net = replica_net t key_index in
+            let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
+            let flood_messages = flood.Replica_net.messages in
+            let found = ref None in
+            Array.iter
+              (fun member ->
+                if !found = None && member <> responsible && t.online member then
+                  match
+                    Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
+                  with
+                  | Some provider ->
+                      record_ttl_reset t ~now ~peer:member ~key_index;
+                      found := Some provider
+                  | None -> ())
+              (Replica_net.replicas net);
+            (!found, index_messages, flood_messages))
+  in
+  let provider, index_messages, flood_messages = result in
+  Histogram.record_int t.ins.index_cost_hist (index_messages + flood_messages);
+  Registry.incr
+    (if provider = None then t.ins.c_index_miss else t.ins.c_index_hit)
+    1;
+  result
 
 (* Install a freshly resolved key on every online member of its replica
    group: one DHT routing to reach the group, then dissemination inside
@@ -209,24 +298,44 @@ let index_search t ~now ~entry ~key_index =
 let index_insert t ~now ~entry ~key_index ~provider =
   let key = t.bitkeys.(key_index) in
   let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
-  match lookup.Dht.responsible with
-  | None -> lookup.Dht.messages
-  | Some responsible ->
-      let net = replica_net t key_index in
-      let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
-      Array.iter
-        (fun member ->
-          if t.online member then
-            Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:t.key_ttl)
-        (Replica_net.replicas net);
-      lookup.Dht.messages + flood.Replica_net.messages
+  record_lookup t ~now ~peer:entry ~key_index lookup;
+  Registry.incr t.ins.c_index_insert 1;
+  let messages =
+    match lookup.Dht.responsible with
+    | None -> lookup.Dht.messages
+    | Some responsible ->
+        let net = replica_net t key_index in
+        let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
+        Array.iter
+          (fun member ->
+            if t.online member then
+              Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:t.key_ttl)
+          (Replica_net.replicas net);
+        lookup.Dht.messages + flood.Replica_net.messages
+  in
+  let tracer = t.obs.Obs.tracer in
+  if Tracer.active tracer Event.Index_insert then
+    Tracer.emit tracer
+      (Event.make ~time:now ~peer:entry ~key_index ~messages Event.Index_insert);
+  messages
 
-let broadcast_search t ~peer ~key_index =
+let broadcast_search t ~now ~peer ~key_index =
   let outcome =
     Unstructured_search.search t.unstructured t.rng ~online:t.online ~source:peer
       ~item:key_index
   in
-  (outcome.Unstructured_search.provider, outcome.Unstructured_search.messages)
+  let provider = outcome.Unstructured_search.provider in
+  let messages = outcome.Unstructured_search.messages in
+  Histogram.record_int t.ins.broadcast_hist messages;
+  Registry.incr t.ins.c_broadcast 1;
+  if provider <> None then Registry.incr t.ins.c_broadcast_found 1;
+  let tracer = t.obs.Obs.tracer in
+  if Tracer.active tracer Event.Broadcast then
+    Tracer.emit tracer
+      (Event.make ~time:now ~peer ~key_index ~messages
+         ~outcome:(if provider = None then Event.Not_found else Event.Found)
+         Event.Broadcast);
+  (provider, messages)
 
 let charge t result =
   Metrics.charge t.metrics Metrics.Query_index result.index_messages;
@@ -242,7 +351,7 @@ let query t ~now ~peer ~key_index =
     let result =
       match t.config.Config.strategy with
       | Strategy.No_index ->
-          let provider, messages = broadcast_search t ~peer ~key_index in
+          let provider, messages = broadcast_search t ~now ~peer ~key_index in
           {
             empty_result with
             source = (if provider <> None then From_broadcast else Not_found);
@@ -271,7 +380,7 @@ let query t ~now ~peer ~key_index =
           match entry_point t peer with
           | None ->
               (* Cannot reach the index at all; degrade to broadcast. *)
-              let provider, messages = broadcast_search t ~peer ~key_index in
+              let provider, messages = broadcast_search t ~now ~peer ~key_index in
               {
                 empty_result with
                 source = (if provider <> None then From_broadcast else Not_found);
@@ -288,7 +397,9 @@ let query t ~now ~peer ~key_index =
                   { empty_result with source = From_index; provider;
                     index_messages; replica_flood_messages = flood_messages }
               | None -> (
-                  let provider, broadcast_messages = broadcast_search t ~peer ~key_index in
+                  let provider, broadcast_messages =
+                    broadcast_search t ~now ~peer ~key_index
+                  in
                   match provider with
                   | None ->
                       { empty_result with index_messages;
@@ -307,6 +418,17 @@ let query t ~now ~peer ~key_index =
                       })))
     in
     charge t result;
+    Histogram.record_int t.ins.query_cost_hist (total_messages result);
+    let tracer = t.obs.Obs.tracer in
+    if Tracer.active tracer Event.Query then
+      Tracer.emit tracer
+        (Event.make ~time:now ~peer ~key_index ~messages:(total_messages result)
+           ~outcome:
+             (match result.source with
+             | From_index -> Event.Hit
+             | From_broadcast -> Event.Found
+             | Not_found -> Event.Not_found)
+           Event.Query);
     result
   end
 
@@ -323,6 +445,7 @@ let update_key t rng ~now ~key_index =
       | Some (entry, contact) -> (
           let key = t.bitkeys.(key_index) in
           let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+          record_lookup t ~now ~peer:entry ~key_index lookup;
           match lookup.Dht.responsible with
           | None ->
               let total = contact + lookup.Dht.messages in
@@ -344,6 +467,14 @@ let update_key t rng ~now ~key_index =
                   if t.online member then
                     Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:forever)
                 (Replica_net.replicas net);
+              Histogram.record_int t.ins.gossip_rounds_hist spread.Rumor.rounds;
+              Registry.incr t.ins.c_gossip_spreads 1;
+              let tracer = t.obs.Obs.tracer in
+              if Tracer.active tracer Event.Gossip then
+                Tracer.emit tracer
+                  (Event.make ~time:now ~peer:responsible ~key_index
+                     ~hops:spread.Rumor.rounds ~messages:spread.Rumor.messages
+                     Event.Gossip);
               let total = contact + lookup.Dht.messages + spread.Rumor.messages in
               Metrics.charge t.metrics Metrics.Update_gossip total;
               total))

@@ -19,12 +19,26 @@
 
 type t
 
-val create : Pdht_util.Rng.t -> Config.t -> t
+val create : ?obs:Pdht_obs.Context.t -> Pdht_util.Rng.t -> Config.t -> t
 (** Build topology, DHT, content placement and (for [Index_all]) the
-    pre-loaded index.  Deterministic in the generator state. *)
+    pre-loaded index.  Deterministic in the generator state.
+
+    [obs] (default: a fresh disabled context) receives all telemetry:
+    per-backend lookup histograms [dht.hops.<backend>] and
+    [dht.lookup_messages.<backend>], the [query.cost],
+    [broadcast.reach] and [gossip.rounds] histograms, counters
+    [index.hit]/[index.miss]/[index.ttl_reset]/[index.insert]/
+    [dht.lookup_failures]/[broadcast.searches]/[broadcast.found]/
+    [gossip.spreads], the per-category [messages.*] counters teed from
+    {!Pdht_sim.Metrics}, and — when the tracer is enabled — typed
+    [Query]/[Dht_lookup]/[Broadcast]/[Index_insert]/[Ttl_reset]/[Gossip]
+    events. *)
 
 val config : t -> Config.t
 val metrics : t -> Pdht_sim.Metrics.t
+
+(** The observability context telemetry is recorded into. *)
+val obs : t -> Pdht_obs.Context.t
 val key_of_index : t -> int -> Pdht_util.Bitkey.t
 (** The DHT key for workload key [i] (0-based, [< keys]). *)
 

@@ -2,6 +2,9 @@ module Rng = Pdht_util.Rng
 module Metrics = Pdht_sim.Metrics
 module Engine = Pdht_sim.Engine
 module Scenario = Pdht_work.Scenario
+module Obs = Pdht_obs.Context
+module Registry = Pdht_obs.Registry
+module Histogram = Pdht_obs.Histogram
 
 let log_src = Logs.Src.create "pdht.system" ~doc:"PDHT simulation runner"
 
@@ -60,6 +63,11 @@ type report = {
   query_cost_p50 : float;
   query_cost_p95 : float;
   query_cost_p99 : float;
+  c_s_indx_model : float;
+  c_s_indx_measured : float;
+  c_s_unstr_model : float;
+  c_s_unstr_measured : float;
+  histograms : (string * Histogram.summary) list;
   samples : sample list;
 }
 
@@ -132,10 +140,10 @@ type counters = {
   mutable bucket_hits : int;
   mutable last_total_messages : int;
   mutable samples_rev : sample list;
-  mutable query_costs_rev : int list;
 }
 
-let run scenario strategy options =
+let run ?obs scenario strategy options =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
   let scenario =
     match Scenario.validate scenario with
     | Ok s -> s
@@ -166,9 +174,13 @@ let run scenario strategy options =
       ~num_peers:scenario.Scenario.num_peers ~active_members
       ~keys:scenario.Scenario.keys ~repl:options.repl ~stor:options.stor ~strategy ()
   in
-  let pdht = Pdht.create build_rng config in
+  let pdht = Pdht.create ~obs build_rng config in
   let engine = Engine.create () in
+  Engine.instrument engine obs.Obs.registry;
+  if Pdht_obs.Tracer.enabled obs.Obs.tracer then
+    Engine.emit_snapshots engine ~every:options.sample_every ~tracer:obs.Obs.tracer;
   let churn = build_churn scenario churn_rng in
+  Pdht_dht.Churn.instrument churn obs;
   Pdht_dht.Churn.attach churn engine;
   Pdht.set_online pdht (Pdht_dht.Churn.online churn);
   (* Anti-entropy: under the index-everything baseline, a DHT member
@@ -192,7 +204,7 @@ let run scenario strategy options =
           Pdht_dht.Maintenance.env_from_trace ~maintenance_rate:1.0
             ~members:(max 2 active_members)
     in
-    Pdht_dht.Maintenance.attach engine ~dht:(Pdht.dht pdht) ~rng:maintenance_rng
+    Pdht_dht.Maintenance.attach ~obs engine ~dht:(Pdht.dht pdht) ~rng:maintenance_rng
       ~online:online_member ~metrics:(Pdht.metrics pdht) ~env ~interval:10.
   end;
   (* Adaptive TTL controller (extension). *)
@@ -214,7 +226,6 @@ let run scenario strategy options =
       bucket_hits = 0;
       last_total_messages = 0;
       samples_rev = [];
-      query_costs_rev = [];
     }
   in
   (* Query workload. *)
@@ -239,7 +250,6 @@ let run scenario strategy options =
       in
       counters.queries <- counters.queries + 1;
       counters.bucket_queries <- counters.bucket_queries + 1;
-      counters.query_costs_rev <- Pdht.total_messages result :: counters.query_costs_rev;
       (match result.Pdht.source with
       | Pdht.From_index ->
           counters.from_index <- counters.from_index + 1;
@@ -291,13 +301,27 @@ let run scenario strategy options =
   let metrics = Pdht.metrics pdht in
   let total_messages = Metrics.total metrics in
   let answered = counters.from_index + counters.from_broadcast in
-  let cost_percentile p =
-    match counters.query_costs_rev with
-    | [] -> 0.
-    | costs ->
-        Pdht_util.Stats.percentile
-          (Array.of_list (List.rev_map float_of_int costs))
-          ~p
+  let registry = obs.Obs.registry in
+  (* Per-query cost quantiles come from the streaming histogram Pdht
+     fills — O(1) memory instead of the old per-query cost list. *)
+  let cost_percentile =
+    match Registry.find_histogram registry "query.cost" with
+    | Some h when Histogram.count h > 0 -> fun p -> Histogram.quantile h p
+    | _ -> fun _ -> 0.
+  in
+  let hist_mean name =
+    match Registry.find_histogram registry name with
+    | Some h when Histogram.count h > 0 -> Histogram.mean h
+    | _ -> 0.
+  in
+  let solution = Pdht_model.Index_policy.solve (model_params scenario options) in
+  let histograms =
+    List.filter_map
+      (fun (name, v) ->
+        match v with
+        | Registry.Histogram_v s when s.Histogram.count > 0 -> Some (name, s)
+        | _ -> None)
+      (Registry.snapshot registry)
   in
   {
     scenario_name = scenario.Scenario.name;
@@ -323,6 +347,11 @@ let run scenario strategy options =
     query_cost_p50 = cost_percentile 0.5;
     query_cost_p95 = cost_percentile 0.95;
     query_cost_p99 = cost_percentile 0.99;
+    c_s_indx_model = solution.Pdht_model.Index_policy.c_s_indx;
+    c_s_indx_measured = hist_mean "index.search_cost";
+    c_s_unstr_model = solution.Pdht_model.Index_policy.c_s_unstr;
+    c_s_unstr_measured = hist_mean "broadcast.reach";
+    histograms;
     samples = List.rev counters.samples_rev;
   }
 
@@ -337,8 +366,16 @@ let pp_report ppf r =
     r.messages_per_second r.avg_messages_per_query;
   Format.fprintf ppf "  per-query cost p50/p95/p99: %.0f / %.0f / %.0f@," r.query_cost_p50
     r.query_cost_p95 r.query_cost_p99;
+  (* Measured-vs-model search costs: Eq. 7 (cSIndx) and Eq. 6 (cSUnstr). *)
+  Format.fprintf ppf
+    "  cSIndx  measured %.1f vs model %.1f@,  cSUnstr measured %.1f vs model %.1f@,"
+    r.c_s_indx_measured r.c_s_indx_model r.c_s_unstr_measured r.c_s_unstr_model;
   List.iter
     (fun (cat, n) ->
       if n > 0 then Format.fprintf ppf "  %-20s %d@," (Metrics.category_label cat) n)
     r.messages_by_category;
+  List.iter
+    (fun (name, s) ->
+      Format.fprintf ppf "  %-28s %a@," name Histogram.pp_summary s)
+    r.histograms;
   Format.fprintf ppf "@]"

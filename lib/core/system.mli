@@ -55,6 +55,13 @@ type report = {
   query_cost_p50 : float;     (** median messages per query *)
   query_cost_p95 : float;
   query_cost_p99 : float;
+  c_s_indx_model : float;     (** Eq. 7 from the analytical model *)
+  c_s_indx_measured : float;  (** mean [index.search_cost] (0 if unused) *)
+  c_s_unstr_model : float;    (** Eq. 6 from the analytical model *)
+  c_s_unstr_measured : float; (** mean [broadcast.reach] (0 if unused) *)
+  histograms : (string * Pdht_obs.Histogram.summary) list;
+      (** every registry histogram with at least one observation,
+          name-sorted *)
   samples : sample list;      (** chronological *)
 }
 
@@ -69,7 +76,15 @@ val plan_active_members : Pdht_work.Scenario.t -> options -> Strategy.t -> int
     and a minimal 2-member ring under [No_index] (no DHT traffic is
     generated there). *)
 
-val run : Pdht_work.Scenario.t -> Strategy.t -> options -> report
-(** Execute the simulation.  Deterministic in [scenario.seed]. *)
+val run :
+  ?obs:Pdht_obs.Context.t -> Pdht_work.Scenario.t -> Strategy.t -> options -> report
+(** Execute the simulation.  Deterministic in [scenario.seed].
+
+    [obs] (default: fresh, tracer disabled) collects the run's metrics
+    and trace events: everything {!Pdht.create} registers, plus engine
+    instrumentation ([engine.*]), churn telemetry ([churn.*]) and
+    maintenance telemetry ([maintenance.*]).  Pass a context with an
+    enabled tracer to capture typed events; periodic [Engine] snapshot
+    events are emitted every [options.sample_every] sim-seconds. *)
 
 val pp_report : Format.formatter -> report -> unit

@@ -45,6 +45,29 @@ let toggle t peer time =
   t.session_changes <- t.session_changes + 1;
   List.iter (fun f -> f ~peer ~now_online ~time) t.callbacks
 
+let instrument t (obs : Pdht_obs.Context.t) =
+  let module R = Pdht_obs.Registry in
+  let registry = obs.Pdht_obs.Context.registry in
+  let tracer = obs.Pdht_obs.Context.tracer in
+  let session_lengths = R.histogram registry "churn.session_length" in
+  let transitions = R.counter registry "churn.transitions" in
+  let online_gauge = R.gauge registry "churn.online_count" in
+  R.set_gauge online_gauge (float_of_int t.online_count);
+  (* Time of each peer's previous transition; the run starts at 0, so
+     the first session of every peer is measured from there. *)
+  let last_toggle = Array.make (peers t) 0. in
+  on_toggle t (fun ~peer ~now_online ~time ->
+      R.incr transitions 1;
+      R.set_gauge online_gauge (float_of_int t.online_count);
+      let session = time -. last_toggle.(peer) in
+      last_toggle.(peer) <- time;
+      if session >= 0. then Pdht_obs.Histogram.record session_lengths session;
+      if Pdht_obs.Tracer.active tracer Pdht_obs.Event.Churn then
+        Pdht_obs.Tracer.emit tracer
+          (Pdht_obs.Event.make ~time ~peer
+             ~detail:(if now_online then "online" else "offline")
+             Pdht_obs.Event.Churn))
+
 let attach t engine =
   match t.rng with
   | None -> ()

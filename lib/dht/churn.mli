@@ -36,6 +36,13 @@ val attach : t -> Pdht_sim.Engine.t -> unit
 (** Schedule every peer's next toggle on the engine; toggles reschedule
     themselves, so one call drives the model for the whole run. *)
 
+val instrument : t -> Pdht_obs.Context.t -> unit
+(** Register churn telemetry: the ["churn.session_length"] histogram
+    (seconds between a peer's consecutive transitions — completed
+    uptime and downtime sessions alike), the ["churn.transitions"]
+    counter, the ["churn.online_count"] gauge, and a [Churn] trace
+    event per transition.  Call before {!attach} fires any toggles. *)
+
 val on_toggle : t -> (peer:int -> now_online:bool -> time:float -> unit) -> unit
 (** Register a callback fired at every session transition (after the
     state change).  Multiple callbacks run in registration order. *)

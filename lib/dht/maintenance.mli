@@ -21,6 +21,7 @@ val env_from_trace : maintenance_rate:float -> members:int -> float
     [env = 1 / log2 17000] from rate 1.0). *)
 
 val attach :
+  ?obs:Pdht_obs.Context.t ->
   Pdht_sim.Engine.t ->
   dht:Dht.t ->
   rng:Pdht_util.Rng.t ->
@@ -32,7 +33,11 @@ val attach :
 (** Every [interval] seconds, every online member sends its accumulated
     probe budget ([env * log2 members * interval] probes, with the
     fractional part carried stochastically) and repairs what it finds
-    stale.  Requires [interval > 0.]. *)
+    stale.  Requires [interval > 0.].
+
+    With [obs], each tick also records the
+    ["maintenance.messages_per_tick"] histogram and emits one
+    [Maintenance] trace event carrying the tick's message count. *)
 
 val cost_per_key_per_second :
   env:float -> members:int -> indexed_keys:int -> float

@@ -1,0 +1,11 @@
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+}
+
+let create ?tracer () =
+  let tracer = match tracer with Some tr -> tr | None -> Tracer.create () in
+  { registry = Registry.create (); tracer }
+
+let registry t = t.registry
+let tracer t = t.tracer

@@ -1,0 +1,17 @@
+(** The observability bundle a run threads through every subsystem.
+
+    A metrics registry (always on — counters and histograms are cheap)
+    plus a tracer (off unless a sink was attached and it was enabled).
+    Constructing a fresh context per run keeps runs isolated and
+    deterministic output trivially comparable. *)
+
+type t = {
+  registry : Registry.t;
+  tracer : Tracer.t;
+}
+
+val create : ?tracer:Tracer.t -> unit -> t
+(** Fresh registry; [tracer] defaults to a new disabled tracer. *)
+
+val registry : t -> Registry.t
+val tracer : t -> Tracer.t

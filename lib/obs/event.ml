@@ -1,0 +1,133 @@
+type category =
+  | Query
+  | Dht_lookup
+  | Broadcast
+  | Index_insert
+  | Ttl_reset
+  | Gossip
+  | Maintenance
+  | Churn
+  | Engine
+  | Custom
+
+type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
+
+type t = {
+  time : float;
+  category : category;
+  peer : int;
+  key_index : int;
+  hops : int;
+  messages : int;
+  outcome : outcome;
+  detail : string;
+}
+
+let make ?(peer = -1) ?(key_index = -1) ?(hops = 0) ?(messages = 0)
+    ?(outcome = Completed) ?(detail = "") ~time category =
+  { time; category; peer; key_index; hops; messages; outcome; detail }
+
+let all_categories =
+  [ Query; Dht_lookup; Broadcast; Index_insert; Ttl_reset; Gossip; Maintenance;
+    Churn; Engine; Custom ]
+
+let category_label = function
+  | Query -> "query"
+  | Dht_lookup -> "dht-lookup"
+  | Broadcast -> "broadcast"
+  | Index_insert -> "index-insert"
+  | Ttl_reset -> "ttl-reset"
+  | Gossip -> "gossip"
+  | Maintenance -> "maintenance"
+  | Churn -> "churn"
+  | Engine -> "engine"
+  | Custom -> "custom"
+
+let category_of_label s =
+  List.find_opt (fun c -> category_label c = String.lowercase_ascii s) all_categories
+
+let all_outcomes = [ Hit; Miss; Found; Not_found; Completed; Dropped ]
+
+let outcome_label = function
+  | Hit -> "hit"
+  | Miss -> "miss"
+  | Found -> "found"
+  | Not_found -> "not-found"
+  | Completed -> "completed"
+  | Dropped -> "dropped"
+
+let outcome_of_label s =
+  List.find_opt (fun o -> outcome_label o = String.lowercase_ascii s) all_outcomes
+
+let to_json e =
+  let base =
+    [ ("t", Json.Float e.time); ("cat", Json.String (category_label e.category)) ]
+  in
+  (* Default-valued fields are elided: a trace file is mostly events,
+     so line size matters more than schema uniformity. *)
+  let opt name v default to_j = if v = default then [] else [ (name, to_j v) ] in
+  Json.Obj
+    (base
+    @ opt "peer" e.peer (-1) (fun p -> Json.Int p)
+    @ opt "key" e.key_index (-1) (fun k -> Json.Int k)
+    @ opt "hops" e.hops 0 (fun h -> Json.Int h)
+    @ opt "msgs" e.messages 0 (fun m -> Json.Int m)
+    @ opt "outcome" e.outcome Completed (fun o -> Json.String (outcome_label o))
+    @ opt "detail" e.detail "" (fun d -> Json.String d))
+
+let of_json json =
+  match json with
+  | Json.Obj _ -> (
+      let time = Option.bind (Json.member "t" json) Json.to_float_opt in
+      let category =
+        Option.bind
+          (Option.bind (Json.member "cat" json) Json.to_string_opt)
+          category_of_label
+      in
+      match (time, category) with
+      | Some time, Some category ->
+          let int_field name default =
+            match Option.bind (Json.member name json) Json.to_int_opt with
+            | Some i -> i
+            | None -> default
+          in
+          let outcome =
+            match
+              Option.bind
+                (Option.bind (Json.member "outcome" json) Json.to_string_opt)
+                outcome_of_label
+            with
+            | Some o -> o
+            | None -> Completed
+          in
+          let detail =
+            match Option.bind (Json.member "detail" json) Json.to_string_opt with
+            | Some d -> d
+            | None -> ""
+          in
+          Ok
+            {
+              time;
+              category;
+              peer = int_field "peer" (-1);
+              key_index = int_field "key" (-1);
+              hops = int_field "hops" 0;
+              messages = int_field "msgs" 0;
+              outcome;
+              detail;
+            }
+      | None, _ -> Error "event: missing or malformed \"t\""
+      | _, None -> Error "event: missing or unknown \"cat\"")
+  | _ -> Error "event: expected an object"
+
+let pp ppf e =
+  Format.fprintf ppf "[%10.3f] %-12s" e.time (category_label e.category);
+  if e.peer >= 0 then Format.fprintf ppf " peer=%d" e.peer;
+  if e.key_index >= 0 then Format.fprintf ppf " key=%d" e.key_index;
+  if e.hops > 0 then Format.fprintf ppf " hops=%d" e.hops;
+  if e.messages > 0 then Format.fprintf ppf " msgs=%d" e.messages;
+  if e.outcome <> Completed then
+    Format.fprintf ppf " %s" (outcome_label e.outcome);
+  if e.detail <> "" then Format.fprintf ppf " %s" e.detail
+
+let to_line e = Format.asprintf "%a" pp e

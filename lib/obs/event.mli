@@ -1,0 +1,65 @@
+(** Typed trace events.
+
+    One flat record covers every instrumentation point in the simulator:
+    the category says which subsystem spoke, and the numeric fields are
+    interpreted per category (documented on {!category}).  Flat rather
+    than per-category payloads so sinks, filters and the JSONL codec
+    stay trivial and allocation per event stays at one record. *)
+
+type category =
+  | Query         (** one end-to-end PDHT query; [messages] = total cost *)
+  | Dht_lookup    (** one structured-overlay routing; [hops], [messages],
+                      [detail] = backend label *)
+  | Broadcast     (** one unstructured search; [messages] = reach *)
+  | Index_insert  (** key installed into the partial index *)
+  | Ttl_reset     (** a stored key's expiry pushed out by a query hit *)
+  | Gossip        (** one rumor spread; [hops] = rounds *)
+  | Maintenance   (** one maintenance tick; [messages] = probes sent *)
+  | Churn         (** one session transition; [detail] = "online"/"offline" *)
+  | Engine        (** periodic engine snapshot; [messages] = events
+                      processed so far, [hops] = event-queue depth *)
+  | Custom        (** free-form ({!Pdht_sim.Trace} compatibility);
+                      [detail] = the message *)
+
+type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
+
+type t = {
+  time : float;     (** simulated seconds *)
+  category : category;
+  peer : int;       (** acting peer; -1 when not applicable *)
+  key_index : int;  (** workload key; -1 when not applicable *)
+  hops : int;       (** category-specific, see above; 0 default *)
+  messages : int;   (** messages this event accounts for; 0 default *)
+  outcome : outcome;
+  detail : string;  (** category-specific label; "" default *)
+}
+
+val make :
+  ?peer:int ->
+  ?key_index:int ->
+  ?hops:int ->
+  ?messages:int ->
+  ?outcome:outcome ->
+  ?detail:string ->
+  time:float ->
+  category ->
+  t
+(** Defaults: [peer = -1], [key_index = -1], [hops = 0], [messages = 0],
+    [outcome = Completed], [detail = ""]. *)
+
+val all_categories : category list
+val category_label : category -> string
+val category_of_label : string -> category option
+val outcome_label : outcome -> string
+val outcome_of_label : string -> outcome option
+
+val to_json : t -> Json.t
+val of_json : Json.t -> (t, string) result
+(** Inverse of {!to_json}; missing optional fields take their [make]
+    defaults. *)
+
+val pp : Format.formatter -> t -> unit
+(** One-line human rendering (used by {!Pdht_sim.Trace.events}). *)
+
+val to_line : t -> string
+(** [pp] into a string. *)

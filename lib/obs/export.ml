@@ -1,0 +1,85 @@
+let stamp ?run ?time fields =
+  let run_field = match run with Some r -> [ ("run", Json.String r) ] | None -> [] in
+  let time_field = match time with Some t -> [ ("time", Json.Float t) ] | None -> [] in
+  fields @ run_field @ time_field
+
+let metric_json ?run ?time name value =
+  match value with
+  | Registry.Counter_v n ->
+      Json.Obj
+        (stamp ?run ?time
+           [ ("type", Json.String "counter"); ("name", Json.String name);
+             ("value", Json.Int n) ])
+  | Registry.Gauge_v v ->
+      Json.Obj
+        (stamp ?run ?time
+           [ ("type", Json.String "gauge"); ("name", Json.String name);
+             ("value", Json.Float v) ])
+  | Registry.Histogram_v s ->
+      let summary_fields =
+        match Histogram.summary_to_json s with Json.Obj fields -> fields | _ -> []
+      in
+      Json.Obj
+        (stamp ?run ?time
+           ([ ("type", Json.String "histogram"); ("name", Json.String name) ]
+           @ summary_fields))
+
+let jsonl_lines ?run ?time snapshot =
+  List.map (fun (name, value) -> Json.to_string (metric_json ?run ?time name value)) snapshot
+
+let write_jsonl ?run ?time channel snapshot =
+  List.iter
+    (fun line ->
+      output_string channel line;
+      output_char channel '\n')
+    (jsonl_lines ?run ?time snapshot)
+
+let csv_escape s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let csv_header = "name,type,value,count,mean,p50,p90,p95,p99,max"
+
+let csv_row name value =
+  match value with
+  | Registry.Counter_v n ->
+      Printf.sprintf "%s,counter,%d,,,,,,," (csv_escape name) n
+  | Registry.Gauge_v v -> Printf.sprintf "%s,gauge,%g,,,,,,," (csv_escape name) v
+  | Registry.Histogram_v (s : Histogram.summary) ->
+      Printf.sprintf "%s,histogram,,%d,%g,%g,%g,%g,%g,%g" (csv_escape name) s.count
+        s.mean s.p50 s.p90 s.p95 s.p99 s.max
+
+let csv snapshot =
+  String.concat "\n" (csv_header :: List.map (fun (n, v) -> csv_row n v) snapshot) ^ "\n"
+
+let write_csv channel snapshot = output_string channel (csv snapshot)
+
+let to_file ?run ?time ~path snapshot =
+  let channel = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out channel)
+    (fun () ->
+      if Filename.check_suffix path ".csv" then write_csv channel snapshot
+      else write_jsonl ?run ?time channel snapshot)
+
+let validate_jsonl_file ~path =
+  let channel = open_in path in
+  Fun.protect
+    ~finally:(fun () -> close_in channel)
+    (fun () ->
+      let valid = ref 0 in
+      let line_no = ref 0 in
+      let result = ref (Ok 0) in
+      (try
+         while !result = Ok 0 do
+           let line = input_line channel in
+           incr line_no;
+           if String.trim line <> "" then
+             match Json.of_string line with
+             | Ok _ -> incr valid
+             | Error msg ->
+                 result := Error (Printf.sprintf "line %d: %s" !line_no msg)
+         done
+       with End_of_file -> ());
+      match !result with Ok _ -> Ok !valid | Error _ as e -> e)

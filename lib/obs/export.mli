@@ -1,0 +1,37 @@
+(** Serialize registry snapshots as JSON Lines or CSV.
+
+    JSONL schema, one object per instrument per line:
+    {v
+    {"type":"counter","name":"messages.query-index","run":R,"time":T,"value":N}
+    {"type":"gauge","name":"engine.queue_depth",...,"value":F}
+    {"type":"histogram","name":"dht.hops.p-grid",...,"count":N,"mean":F,
+     "p50":F,"p90":F,"p95":F,"p99":F,"max":F,"buckets":[[lo,hi,count],...]}
+    v}
+    [run] and [time] are optional labels stamped on every line so
+    snapshot streams from periodic emission stay self-describing.
+
+    CSV schema: [name,type,value,count,mean,p50,p90,p95,p99,max]; for
+    counters and gauges the histogram columns are empty. *)
+
+val metric_json : ?run:string -> ?time:float -> string -> Registry.value -> Json.t
+(** One instrument reading as the JSONL object described above. *)
+
+val jsonl_lines : ?run:string -> ?time:float -> Registry.snapshot -> string list
+
+val write_jsonl : ?run:string -> ?time:float -> out_channel -> Registry.snapshot -> unit
+(** One line per instrument; does not flush or close. *)
+
+val csv : Registry.snapshot -> string
+(** Header plus one row per instrument, newline-terminated. *)
+
+val write_csv : out_channel -> Registry.snapshot -> unit
+
+val to_file : ?run:string -> ?time:float -> path:string -> Registry.snapshot -> unit
+(** Create/truncate [path] and write the snapshot; format chosen by
+    extension ([.csv] for CSV, JSONL otherwise). *)
+
+val validate_jsonl_file : path:string -> (int, string) result
+(** Parse every non-empty line of [path]; [Ok n] gives the number of
+    valid lines, [Error] names the first offending line.  Used by the
+    CI smoke script so the emitted telemetry is checked with the same
+    parser that tests use. *)

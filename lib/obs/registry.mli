@@ -1,0 +1,57 @@
+(** Named metrics: counters, gauges and streaming histograms.
+
+    One registry travels through a whole simulation run; every subsystem
+    finds-or-creates its instruments by name ([counter], [gauge],
+    [histogram] are idempotent), so instrumentation points never need
+    central declaration.  Snapshots are plain association lists that can
+    be diffed, printed and exported ({!Export}). *)
+
+type t
+
+type counter
+type gauge
+
+val create : unit -> t
+
+val counter : t -> string -> counter
+(** Find or create.  @raise Invalid_argument if the name already names
+    a different instrument kind. *)
+
+val incr : counter -> int -> unit
+(** @raise Invalid_argument on negative increments. *)
+
+val counter_value : counter -> int
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+
+val histogram : ?gamma:float -> t -> string -> Histogram.t
+(** Find or create; [gamma] is only used on creation. *)
+
+val find_histogram : t -> string -> Histogram.t option
+val counter_value_by_name : t -> string -> int option
+val gauge_value_by_name : t -> string -> float option
+
+(** A point-in-time reading of every instrument, sorted by name. *)
+type value =
+  | Counter_v of int
+  | Gauge_v of float
+  | Histogram_v of Histogram.summary
+
+type snapshot = (string * value) list
+
+val snapshot : t -> snapshot
+
+val diff : before:snapshot -> after:snapshot -> snapshot
+(** Counter values are subtracted ([after] minus [before], missing
+    [before] entries count as 0); gauges and histograms keep their
+    [after] reading.  Instruments absent from [after] are dropped. *)
+
+val reset : t -> unit
+(** Counters to 0, gauges to 0, histograms emptied.  Names survive. *)
+
+val fold : t -> init:'a -> f:('a -> string -> value -> 'a) -> 'a
+(** In name order. *)
+
+val pp_snapshot : Format.formatter -> snapshot -> unit

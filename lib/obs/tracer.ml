@@ -1,0 +1,27 @@
+type t = {
+  mutable enabled : bool;
+  mutable filter : Event.category list option;
+  mutable sinks : Sink.t list; (* registration order *)
+  mutable emitted : int;
+}
+
+let create ?(enabled = false) () = { enabled; filter = None; sinks = []; emitted = 0 }
+let enable t = t.enabled <- true
+let disable t = t.enabled <- false
+let enabled t = t.enabled
+let set_filter t f = t.filter <- f
+let filter t = t.filter
+let add_sink t sink = t.sinks <- t.sinks @ [ sink ]
+
+let passes t category =
+  match t.filter with None -> true | Some cats -> List.memq category cats
+
+let active t category = t.enabled && t.sinks <> [] && passes t category
+
+let emit t (e : Event.t) =
+  if active t e.Event.category then begin
+    t.emitted <- t.emitted + 1;
+    List.iter (fun sink -> sink e) t.sinks
+  end
+
+let events_emitted t = t.emitted

@@ -1,0 +1,36 @@
+(** Event emitter with category filtering and pluggable sinks.
+
+    Disabled by default so that instrumented hot paths pay one branch
+    when tracing is off.  Call sites that would allocate to build an
+    event should guard with {!active}:
+
+    {[
+      if Tracer.active tracer Event.Dht_lookup then
+        Tracer.emit tracer (Event.make ~time ... Event.Dht_lookup)
+    ]} *)
+
+type t
+
+val create : ?enabled:bool -> unit -> t
+(** No sinks, no filter (all categories pass). *)
+
+val enable : t -> unit
+val disable : t -> unit
+val enabled : t -> bool
+
+val set_filter : t -> Event.category list option -> unit
+(** [Some cats] passes only those categories; [None] passes all. *)
+
+val filter : t -> Event.category list option
+
+val add_sink : t -> Sink.t -> unit
+(** Sinks run in registration order on every emitted event. *)
+
+val active : t -> Event.category -> bool
+(** Would an event of this category reach at least one sink? *)
+
+val emit : t -> Event.t -> unit
+(** No-op when disabled, filtered out, or sink-less. *)
+
+val events_emitted : t -> int
+(** Events that reached the sinks since creation. *)

@@ -1,8 +1,28 @@
-type t = { queue : handler Event_queue.t; mutable now : float }
+type instruments = {
+  events_counter : Pdht_obs.Registry.counter;
+  depth_gauge : Pdht_obs.Registry.gauge;
+  time_gauge : Pdht_obs.Registry.gauge;
+  throughput : Pdht_obs.Histogram.t;
+  sample_every : int;
+  mutable since_sample : int;
+  mutable last_wall : float;
+  mutable last_sim : float;
+}
+
+type t = {
+  queue : handler Event_queue.t;
+  mutable now : float;
+  mutable events_processed : int;
+  mutable instruments : instruments option;
+}
+
 and handler = t -> unit
 
-let create () = { queue = Event_queue.create (); now = 0. }
+let create () =
+  { queue = Event_queue.create (); now = 0.; events_processed = 0; instruments = None }
+
 let now t = t.now
+let events_processed t = t.events_processed
 
 let schedule_at t ~time handler =
   if time < t.now then invalid_arg "Engine.schedule_at: time in the past";
@@ -20,6 +40,35 @@ let schedule_periodic t ~first ~every handler =
   in
   schedule_at t ~time:first tick
 
+let instrument ?(sample_every = 4096) t registry =
+  if sample_every < 1 then invalid_arg "Engine.instrument: sample_every must be >= 1";
+  let instruments =
+    {
+      events_counter = Pdht_obs.Registry.counter registry "engine.events_processed";
+      depth_gauge = Pdht_obs.Registry.gauge registry "engine.queue_depth";
+      time_gauge = Pdht_obs.Registry.gauge registry "engine.sim_time";
+      throughput = Pdht_obs.Registry.histogram registry "engine.sim_seconds_per_wall_second";
+      sample_every;
+      since_sample = 0;
+      last_wall = Unix.gettimeofday ();
+      last_sim = t.now;
+    }
+  in
+  t.instruments <- Some instruments
+
+let sample ins t =
+  Pdht_obs.Registry.set_gauge ins.depth_gauge (float_of_int (Event_queue.size t.queue));
+  Pdht_obs.Registry.set_gauge ins.time_gauge t.now;
+  let wall = Unix.gettimeofday () in
+  let wall_delta = wall -. ins.last_wall in
+  let sim_delta = t.now -. ins.last_sim in
+  (* Sub-microsecond wall deltas are clock noise; skip the sample
+     rather than record a garbage rate. *)
+  if wall_delta > 1e-6 && sim_delta >= 0. then
+    Pdht_obs.Histogram.record ins.throughput (sim_delta /. wall_delta);
+  ins.last_wall <- wall;
+  ins.last_sim <- t.now
+
 let run t ~until =
   let rec loop () =
     match Event_queue.peek_time t.queue with
@@ -28,10 +77,28 @@ let run t ~until =
         | Some (time, handler) ->
             t.now <- time;
             handler t;
+            t.events_processed <- t.events_processed + 1;
+            (match t.instruments with
+            | Some ins ->
+                Pdht_obs.Registry.incr ins.events_counter 1;
+                ins.since_sample <- ins.since_sample + 1;
+                if ins.since_sample >= ins.sample_every then begin
+                  ins.since_sample <- 0;
+                  sample ins t
+                end
+            | None -> ());
             loop ()
         | None -> ())
     | Some _ | None -> ()
   in
-  loop ()
+  loop ();
+  match t.instruments with Some ins -> sample ins t | None -> ()
 
 let pending t = Event_queue.size t.queue
+
+let emit_snapshots t ~every ~tracer =
+  schedule_periodic t ~first:every ~every (fun engine ->
+      if Pdht_obs.Tracer.active tracer Pdht_obs.Event.Engine then
+        Pdht_obs.Tracer.emit tracer
+          (Pdht_obs.Event.make ~time:engine.now ~messages:engine.events_processed
+             ~hops:(Event_queue.size engine.queue) Pdht_obs.Event.Engine))

@@ -30,3 +30,28 @@ val run : t -> until:float -> unit
 
 val pending : t -> int
 (** Events still scheduled. *)
+
+val events_processed : t -> int
+(** Handlers executed so far, across all [run] calls.  Always counted,
+    instrumented or not — it is one integer increment. *)
+
+val instrument : ?sample_every:int -> t -> Pdht_obs.Registry.t -> unit
+(** Register the engine's own telemetry in [registry] and keep it
+    current while [run] executes:
+
+    - ["engine.events_processed"] (counter) — handlers executed;
+    - ["engine.queue_depth"] (gauge) — pending events, refreshed every
+      [sample_every] (default 4096) handlers and at the end of [run];
+    - ["engine.sim_time"] (gauge) — simulated now;
+    - ["engine.sim_seconds_per_wall_second"] (histogram) — simulated
+      seconds advanced per wall-clock second between refreshes, the
+      run's throughput profile.
+
+    Instrumentation costs one branch per event plus the periodic
+    refresh; an un-instrumented engine pays only the branch. *)
+
+val emit_snapshots : t -> every:float -> tracer:Pdht_obs.Tracer.t -> unit
+(** Schedule a periodic [Engine]-category trace event every [every]
+    simulated seconds carrying [messages] = events processed so far and
+    [hops] = queue depth.  A no-op while the tracer is disabled or
+    filters out [Engine] events. *)

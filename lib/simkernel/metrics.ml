@@ -29,24 +29,45 @@ let category_label = function
   | Update_gossip -> "update-gossip"
   | Other -> "other"
 
-type t = int array
+type t = {
+  counts : int array;
+  (* Optional tee into an observability registry: one named counter per
+     category, kept in [category_index] order so [charge] stays O(1). *)
+  mutable tee : Pdht_obs.Registry.counter array option;
+}
 
-let create () = Array.make (List.length all_categories) 0
+let create () = { counts = Array.make (List.length all_categories) 0; tee = None }
+
+let counter_name cat = "messages." ^ category_label cat
+
+let attach_registry t registry =
+  let counters =
+    Array.of_list
+      (List.map (fun cat -> Pdht_obs.Registry.counter registry (counter_name cat))
+         all_categories)
+  in
+  (* Carry anything already charged over, so the registry totals agree
+     with [total] no matter when the registry was attached. *)
+  Array.iteri (fun i c -> Pdht_obs.Registry.incr counters.(i) c) t.counts;
+  t.tee <- Some counters
 
 let charge t cat n =
   if n < 0 then invalid_arg "Metrics.charge: negative count";
   let i = category_index cat in
-  t.(i) <- t.(i) + n
+  t.counts.(i) <- t.counts.(i) + n;
+  match t.tee with
+  | Some counters -> Pdht_obs.Registry.incr counters.(i) n
+  | None -> ()
 
-let count t cat = t.(category_index cat)
-let total t = Array.fold_left ( + ) 0 t
+let count t cat = t.counts.(category_index cat)
+let total t = Array.fold_left ( + ) 0 t.counts
 let snapshot t = List.map (fun c -> (c, count t c)) all_categories
 
 let diff ~before ~after =
   List.map (fun c -> (c, count after c - count before c)) all_categories
 
-let copy = Array.copy
-let reset t = Array.fill t 0 (Array.length t) 0
+let copy t = { counts = Array.copy t.counts; tee = None }
+let reset t = Array.fill t.counts 0 (Array.length t.counts) 0
 
 module Series = struct
   type series = { bucket_width : float; mutable counts : int array; mutable used : int }
@@ -57,6 +78,7 @@ module Series = struct
 
   let charge s ~time n =
     if time < 0. then invalid_arg "Metrics.Series.charge: negative time";
+    if n < 0 then invalid_arg "Metrics.Series.charge: negative count";
     let idx = int_of_float (Float.floor (time /. s.bucket_width)) in
     if idx >= Array.length s.counts then begin
       let bigger = Array.make (max 16 (2 * (idx + 1))) 0 in

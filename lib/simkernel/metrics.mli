@@ -24,6 +24,16 @@ val create : unit -> t
 val charge : t -> category -> int -> unit
 (** Count [n] messages in [category].  Negative counts are rejected. *)
 
+val attach_registry : t -> Pdht_obs.Registry.t -> unit
+(** Tee every subsequent charge into a named counter
+    ["messages.<category-label>"] in [registry]; counts charged before
+    attaching are carried over, so the registry's per-category totals
+    always sum to {!total}.  {!copy} produces a detached account and
+    {!reset} leaves the registry's cumulative counters untouched. *)
+
+val counter_name : category -> string
+(** The registry counter name used by {!attach_registry}. *)
+
 val count : t -> category -> int
 val total : t -> int
 
@@ -46,7 +56,8 @@ module Series : sig
   (** Requires a positive width. *)
 
   val charge : series -> time:float -> int -> unit
-  (** Count messages at simulated [time] (>= 0). *)
+  (** Count [n] messages at simulated [time] (>= 0).  Negative counts
+      are rejected, matching {!Metrics.charge}. *)
 
   val buckets : series -> (float * int) array
   (** [(bucket_start_time, messages)] for every bucket up to the last

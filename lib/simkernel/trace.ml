@@ -1,37 +1,47 @@
+module Event = Pdht_obs.Event
+module Tracer = Pdht_obs.Tracer
+module Sink = Pdht_obs.Sink
+
 type t = {
-  capacity : int;
-  mutable enabled : bool;
-  mutable events : (float * string) list; (* newest first *)
-  mutable length : int;
+  tracer : Tracer.t;
+  ring : Sink.Ring.ring;
 }
 
 let create ?(capacity = 10_000) () =
   if capacity < 1 then invalid_arg "Trace.create: capacity must be >= 1";
-  { capacity; enabled = false; events = []; length = 0 }
+  let tracer = Tracer.create () in
+  let ring = Sink.Ring.create ~capacity in
+  Tracer.add_sink tracer (Sink.Ring.sink ring);
+  { tracer; ring }
 
-let enable t = t.enabled <- true
-let disable t = t.enabled <- false
-let enabled t = t.enabled
+let tracer t = t.tracer
+let enable t = Tracer.enable t.tracer
+let disable t = Tracer.disable t.tracer
+let enabled t = Tracer.enabled t.tracer
 
 let record t ~time msg =
-  if t.enabled then begin
-    t.events <- (time, msg) :: t.events;
-    t.length <- t.length + 1;
-    if t.length > t.capacity then begin
-      (* Drop the oldest half at once so trimming is amortised O(1). *)
-      let keep = t.capacity / 2 in
-      t.events <- List.filteri (fun i _ -> i < keep) t.events;
-      t.length <- keep
-    end
-  end
+  Tracer.emit t.tracer (Event.make ~time ~detail:msg Event.Custom)
+
+(* A formatter that discards everything: the disabled branch of
+   [recordf] must not touch shared global state (the old implementation
+   leaned on [Format.str_formatter], clobbering anyone else's pending
+   output in it). *)
+let devnull = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
 
 let recordf t ~time fmt =
-  if t.enabled then Format.kasprintf (fun msg -> record t ~time msg) fmt
-  else Format.ikfprintf (fun _ -> ()) Format.str_formatter fmt
+  if enabled t then Format.kasprintf (fun msg -> record t ~time msg) fmt
+  else Format.ikfprintf (fun _ -> ()) devnull fmt
 
-let events t = List.rev t.events
-let length t = t.length
+let typed_events t = Sink.Ring.contents t.ring
 
-let clear t =
-  t.events <- [];
-  t.length <- 0
+let events t =
+  List.map
+    (fun (e : Event.t) ->
+      ( e.Event.time,
+        match e.Event.category with
+        | Event.Custom -> e.Event.detail
+        | _ -> Event.to_line e ))
+    (typed_events t)
+
+let length t = Sink.Ring.length t.ring
+let clear t = Sink.Ring.clear t.ring

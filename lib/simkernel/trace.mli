@@ -1,13 +1,23 @@
 (** Bounded in-memory event trace for debugging simulations.
 
-    Recording is off by default and cheap when disabled; experiments
-    enable it selectively (e.g. the quickstart example prints the first
-    few trace lines to show what the system is doing). *)
+    A thin convenience wrapper over the typed tracing layer: a
+    {!Pdht_obs.Tracer} wired to a fixed-capacity ring sink.  Recording
+    is off by default and cheap when disabled; experiments enable it
+    selectively (e.g. the quickstart example prints the first few trace
+    lines to show what the system is doing).
+
+    [record]/[recordf] write free-form [Custom] events; subsystems that
+    emit typed events through {!tracer} land in the same ring and are
+    rendered by {!events} via {!Pdht_obs.Event.pp}. *)
 
 type t
 
 val create : ?capacity:int -> unit -> t
 (** Keep at most [capacity] (default 10_000) most recent events. *)
+
+val tracer : t -> Pdht_obs.Tracer.t
+(** The underlying tracer, for wiring typed instrumentation (e.g.
+    passing it into a {!Pdht_obs.Context}) or adding more sinks. *)
 
 val enable : t -> unit
 val disable : t -> unit
@@ -20,7 +30,10 @@ val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> '
 (** Formatted variant; the message is only built when enabled. *)
 
 val events : t -> (float * string) list
-(** Recorded events, oldest first. *)
+(** Recorded events, oldest first, rendered to strings. *)
+
+val typed_events : t -> Pdht_obs.Event.t list
+(** Recorded events, oldest first, as typed values. *)
 
 val length : t -> int
 val clear : t -> unit

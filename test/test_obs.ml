@@ -1,0 +1,347 @@
+(* Tests for Pdht_obs: JSON round-trips, streaming histogram accuracy,
+   registry snapshots, tracer plumbing, exporters, and the integration
+   with the simulator's metrics and the full system run. *)
+
+module Json = Pdht_obs.Json
+module Histogram = Pdht_obs.Histogram
+module Registry = Pdht_obs.Registry
+module Event = Pdht_obs.Event
+module Sink = Pdht_obs.Sink
+module Tracer = Pdht_obs.Tracer
+module Export = Pdht_obs.Export
+module Context = Pdht_obs.Context
+
+(* ------------------------------------------------------------------ *)
+(* JSON *)
+
+let test_json_roundtrip () =
+  let value =
+    Json.Obj
+      [
+        ("a", Json.Int 42);
+        ("b", Json.Float 1.5);
+        ("c", Json.String "hi \"there\"\n");
+        ("d", Json.List [ Json.Bool true; Json.Null; Json.Int (-7) ]);
+        ("nested", Json.Obj [ ("x", Json.Float 1e-9) ]);
+      ]
+  in
+  match Json.of_string (Json.to_string value) with
+  | Error msg -> Alcotest.failf "reparse failed: %s" msg
+  | Ok parsed ->
+      Alcotest.(check string) "stable print" (Json.to_string value)
+        (Json.to_string parsed)
+
+let test_json_rejects_garbage () =
+  List.iter
+    (fun s ->
+      match Json.of_string s with
+      | Ok _ -> Alcotest.failf "accepted %S" s
+      | Error _ -> ())
+    [ ""; "{"; "[1,]"; "{\"a\":}"; "nul"; "1 2"; "\"unterminated" ]
+
+(* ------------------------------------------------------------------ *)
+(* Histogram *)
+
+let exact_percentile values p =
+  let sorted = List.sort compare values in
+  let arr = Array.of_list sorted in
+  let n = Array.length arr in
+  let rank = int_of_float (Float.ceil (p *. float_of_int n)) in
+  arr.(max 0 (min (n - 1) (rank - 1)))
+
+(* The log-bucketed quantile must land within one bucket of the exact
+   nearest-rank percentile: [exact / gamma <= estimate <= exact * gamma]. *)
+let check_quantile_accuracy values =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) values;
+  let gamma = Histogram.gamma h in
+  List.iter
+    (fun p ->
+      let exact = exact_percentile values p in
+      let est = Histogram.quantile h p in
+      let lo = exact /. gamma and hi = exact *. gamma in
+      if not (est >= lo -. 1e-9 && est <= hi +. 1e-9) then
+        Alcotest.failf "p%.0f: estimate %g outside [%g, %g] (exact %g)" (100. *. p)
+          est lo hi exact)
+    [ 0.5; 0.9; 0.95; 0.99 ]
+
+let test_histogram_quantiles_uniform () =
+  let rng = Pdht_util.Rng.create ~seed:11 in
+  check_quantile_accuracy
+    (List.init 5_000 (fun _ -> 1_000. *. Pdht_util.Rng.unit_float rng))
+
+let test_histogram_quantiles_heavy_tail () =
+  let rng = Pdht_util.Rng.create ~seed:12 in
+  check_quantile_accuracy
+    (List.init 5_000 (fun _ ->
+         let u = Pdht_util.Rng.unit_float rng in
+         1. /. (1e-4 +. (u *. u))))
+
+let test_histogram_small_counts () =
+  let h = Histogram.create () in
+  Alcotest.(check (float 0.)) "empty quantile" 0. (Histogram.quantile h 0.5);
+  Histogram.record h 7.;
+  Alcotest.(check (float 0.)) "single value p50" 7. (Histogram.quantile h 0.5);
+  Alcotest.(check (float 0.)) "single value p99" 7. (Histogram.quantile h 0.99);
+  Alcotest.(check int) "count" 1 (Histogram.count h)
+
+let test_histogram_rejects_bad_input () =
+  let h = Histogram.create () in
+  List.iter
+    (fun v ->
+      match Histogram.record h v with
+      | exception Invalid_argument _ -> ()
+      | () -> Alcotest.failf "accepted %g" v)
+    [ -1.; Float.nan; Float.infinity ];
+  Alcotest.(check int) "invalid samples rejected" 0 (Histogram.count h);
+  Histogram.record h 0.;
+  Alcotest.(check int) "zero accepted" 1 (Histogram.count h)
+
+let test_histogram_summary_and_reset () =
+  let h = Histogram.create () in
+  List.iter (Histogram.record h) [ 1.; 2.; 3.; 4. ];
+  let s = Histogram.summary h in
+  Alcotest.(check int) "count" 4 s.Histogram.count;
+  Alcotest.(check (float 1e-9)) "mean" 2.5 s.Histogram.mean;
+  Alcotest.(check (float 1e-9)) "max" 4. s.Histogram.max;
+  Histogram.reset h;
+  Alcotest.(check int) "reset count" 0 (Histogram.count h);
+  Alcotest.(check (float 0.)) "reset quantile" 0. (Histogram.quantile h 0.9)
+
+(* ------------------------------------------------------------------ *)
+(* Events *)
+
+let sample_events =
+  [
+    Event.make ~time:1.5 ~peer:3 ~key_index:17 ~hops:4 ~messages:9
+      ~outcome:Event.Found ~detail:"chord" Event.Dht_lookup;
+    Event.make ~time:0. Event.Engine;
+    Event.make ~time:2.25 ~peer:8 ~outcome:Event.Miss Event.Query;
+    Event.make ~time:3. ~detail:"with \"quotes\" and\nnewline" Event.Custom;
+  ]
+
+let test_event_json_roundtrip () =
+  List.iter
+    (fun ev ->
+      let line = Json.to_string (Event.to_json ev) in
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "parse %S: %s" line msg
+      | Ok json -> (
+          match Event.of_json json with
+          | Error msg -> Alcotest.failf "of_json %S: %s" line msg
+          | Ok ev' ->
+              Alcotest.(check string) "round-trip" (Event.to_line ev)
+                (Event.to_line ev');
+              Alcotest.(check bool) "equal" true (ev = ev')))
+    sample_events
+
+let test_event_labels_bijective () =
+  List.iter
+    (fun cat ->
+      match Event.category_of_label (Event.category_label cat) with
+      | Some cat' -> Alcotest.(check bool) "category" true (cat = cat')
+      | None -> Alcotest.fail "category label not parseable")
+    Event.all_categories
+
+(* ------------------------------------------------------------------ *)
+(* Tracer + sinks *)
+
+let test_tracer_filter_and_ring () =
+  let tracer = Tracer.create ~enabled:true () in
+  let ring = Sink.Ring.create ~capacity:3 in
+  Tracer.add_sink tracer (Sink.Ring.sink ring);
+  Tracer.set_filter tracer (Some [ Event.Query ]);
+  Alcotest.(check bool) "query active" true (Tracer.active tracer Event.Query);
+  Alcotest.(check bool) "gossip filtered" false (Tracer.active tracer Event.Gossip);
+  for i = 0 to 4 do
+    Tracer.emit tracer (Event.make ~time:(float_of_int i) Event.Query)
+  done;
+  Alcotest.(check int) "emitted" 5 (Tracer.events_emitted tracer);
+  let times = List.map (fun e -> e.Event.time) (Sink.Ring.contents ring) in
+  Alcotest.(check (list (float 0.))) "ring keeps latest, oldest first"
+    [ 2.; 3.; 4. ] times;
+  Tracer.disable tracer;
+  Alcotest.(check bool) "disabled" false (Tracer.active tracer Event.Query)
+
+(* ------------------------------------------------------------------ *)
+(* Registry *)
+
+let test_registry_snapshot_diff_reset () =
+  let r = Registry.create () in
+  let c = Registry.counter r "queries" in
+  let g = Registry.gauge r "depth" in
+  let h = Registry.histogram r "cost" in
+  Registry.incr c 5;
+  Registry.set_gauge g 2.5;
+  Histogram.record h 10.;
+  let before = Registry.snapshot r in
+  Registry.incr c 3;
+  Registry.set_gauge g 4.;
+  Histogram.record h 20.;
+  let after = Registry.snapshot r in
+  let d = Registry.diff ~before ~after in
+  (match List.assoc "queries" d with
+  | Registry.Counter_v n -> Alcotest.(check int) "counter delta" 3 n
+  | _ -> Alcotest.fail "queries not a counter");
+  (match List.assoc "depth" d with
+  | Registry.Gauge_v v -> Alcotest.(check (float 0.)) "gauge takes after" 4. v
+  | _ -> Alcotest.fail "depth not a gauge");
+  Alcotest.(check bool) "find-or-create returns same instrument" true
+    (Registry.counter r "queries" == c);
+  (match Registry.counter r "depth" with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "kind mismatch not rejected");
+  Registry.reset r;
+  Alcotest.(check (option int)) "counter reset" (Some 0)
+    (Registry.counter_value_by_name r "queries");
+  Alcotest.(check int) "histogram reset" 0 (Histogram.count h)
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+let test_export_jsonl_and_csv () =
+  let r = Registry.create () in
+  Registry.incr (Registry.counter r "messages.total") 12;
+  Registry.set_gauge (Registry.gauge r "engine.queue_depth") 3.;
+  Histogram.record (Registry.histogram r "query.cost") 42.;
+  let snap = Registry.snapshot r in
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "bad JSONL %S: %s" line msg
+      | Ok json ->
+          Alcotest.(check bool) "has name" true (Json.member "name" json <> None);
+          Alcotest.(check (option string)) "run label" (Some "r1")
+            (Option.bind (Json.member "run" json) Json.to_string_opt))
+    (Export.jsonl_lines ~run:"r1" snap);
+  let csv = Export.csv snap in
+  let lines = String.split_on_char '\n' (String.trim csv) in
+  Alcotest.(check int) "header + one row per instrument" 4 (List.length lines)
+
+let test_export_validate_file () =
+  let path = Filename.temp_file "pdht_obs" ".jsonl" in
+  let r = Registry.create () in
+  Registry.incr (Registry.counter r "a") 1;
+  Histogram.record (Registry.histogram r "b") 2.;
+  Export.to_file ~run:"t" ~time:9. ~path (Registry.snapshot r);
+  (match Export.validate_jsonl_file ~path with
+  | Ok n -> Alcotest.(check int) "lines" 2 n
+  | Error msg -> Alcotest.failf "validate: %s" msg);
+  let oc = open_out_gen [ Open_append ] 0o644 path in
+  output_string oc "{broken\n";
+  close_out oc;
+  (match Export.validate_jsonl_file ~path with
+  | Ok _ -> Alcotest.fail "accepted broken line"
+  | Error _ -> ());
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Metrics tee: registry counters must agree with Metrics.total *)
+
+let test_metrics_tee_agrees () =
+  let module Metrics = Pdht_sim.Metrics in
+  let m = Metrics.create () in
+  Metrics.charge m Metrics.Query_index 7;
+  let r = Registry.create () in
+  Metrics.attach_registry m r;
+  Metrics.charge m Metrics.Query_index 5;
+  Metrics.charge m Metrics.Maintenance 11;
+  let teed =
+    List.fold_left
+      (fun acc (cat, _) ->
+        match Registry.counter_value_by_name r (Metrics.counter_name cat) with
+        | Some n -> acc + n
+        | None -> acc)
+      0 (Metrics.snapshot m)
+  in
+  Alcotest.(check int) "registry total = Metrics.total" (Metrics.total m) teed;
+  Alcotest.(check int) "pre-attach counts carried over" 23 teed
+
+(* ------------------------------------------------------------------ *)
+(* Integration: a short partial-index run fills the hop histograms *)
+
+let test_system_run_populates_histograms () =
+  let scenario =
+    {
+      Pdht_work.Scenario.news_default with
+      Pdht_work.Scenario.num_peers = 200;
+      keys = 300;
+      duration = 200.;
+      seed = 99;
+    }
+  in
+  let options =
+    { Pdht_core.System.default_options with Pdht_core.System.repl = 10; stor = 50 }
+  in
+  let key_ttl = Pdht_core.System.derive_key_ttl scenario options in
+  let obs = Context.create () in
+  let report =
+    Pdht_core.System.run ~obs scenario
+      (Pdht_core.Strategy.Partial_index { key_ttl })
+      options
+  in
+  let backend = Pdht_dht.Dht.backend_label options.Pdht_core.System.backend in
+  let hops_name = "dht.hops." ^ backend in
+  (match Registry.find_histogram (Context.registry obs) hops_name with
+  | None -> Alcotest.failf "%s not registered" hops_name
+  | Some h ->
+      Alcotest.(check bool) "hop histogram nonzero" true (Histogram.count h > 0));
+  Alcotest.(check bool) "report carries histograms" true
+    (List.mem_assoc hops_name report.Pdht_core.System.histograms);
+  Alcotest.(check bool) "query.cost in report" true
+    (List.mem_assoc "query.cost" report.Pdht_core.System.histograms);
+  (* The teed per-category counters must sum to the run's total. *)
+  let total_teed =
+    Registry.fold (Context.registry obs) ~init:0 ~f:(fun acc name v ->
+        match v with
+        | Registry.Counter_v n
+          when String.length name > 9 && String.sub name 0 9 = "messages." ->
+            acc + n
+        | _ -> acc)
+  in
+  Alcotest.(check int) "messages.* counters sum to total_messages"
+    report.Pdht_core.System.total_messages total_teed
+
+let () =
+  Alcotest.run "pdht_obs"
+    [
+      ( "json",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_json_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_json_rejects_garbage;
+        ] );
+      ( "histogram",
+        [
+          Alcotest.test_case "quantiles uniform" `Quick test_histogram_quantiles_uniform;
+          Alcotest.test_case "quantiles heavy tail" `Quick
+            test_histogram_quantiles_heavy_tail;
+          Alcotest.test_case "small counts" `Quick test_histogram_small_counts;
+          Alcotest.test_case "rejects bad input" `Quick test_histogram_rejects_bad_input;
+          Alcotest.test_case "summary and reset" `Quick test_histogram_summary_and_reset;
+        ] );
+      ( "event",
+        [
+          Alcotest.test_case "json roundtrip" `Quick test_event_json_roundtrip;
+          Alcotest.test_case "labels bijective" `Quick test_event_labels_bijective;
+        ] );
+      ( "tracer",
+        [ Alcotest.test_case "filter and ring" `Quick test_tracer_filter_and_ring ] );
+      ( "registry",
+        [
+          Alcotest.test_case "snapshot diff reset" `Quick
+            test_registry_snapshot_diff_reset;
+        ] );
+      ( "export",
+        [
+          Alcotest.test_case "jsonl and csv" `Quick test_export_jsonl_and_csv;
+          Alcotest.test_case "validate file" `Quick test_export_validate_file;
+        ] );
+      ( "metrics-tee",
+        [ Alcotest.test_case "registry agrees with total" `Quick test_metrics_tee_agrees ]
+      );
+      ( "system",
+        [
+          Alcotest.test_case "run populates histograms" `Quick
+            test_system_run_populates_histograms;
+        ] );
+    ]

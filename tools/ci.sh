@@ -1,0 +1,25 @@
+#!/bin/sh
+# Tier-1 CI: build, test suite, bench smoke, and a telemetry smoke run
+# whose emitted JSONL is validated with the library's own parser.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== build =="
+dune build
+
+echo "== tests =="
+dune runtest
+
+echo "== bench smoke =="
+dune exec bench/main.exe -- table1 perf > /dev/null
+test -f BENCH_pdht.json
+dune exec tools/validate_jsonl.exe -- BENCH_pdht.json
+
+echo "== telemetry smoke =="
+out=$(mktemp -d)
+trap 'rm -rf "$out"' EXIT INT TERM
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
+  --metrics-out "$out/metrics.jsonl" --trace-out "$out/trace.jsonl" > /dev/null
+dune exec tools/validate_jsonl.exe -- "$out/metrics.jsonl" "$out/trace.jsonl"
+
+echo "CI OK"

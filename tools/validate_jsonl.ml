@@ -1,0 +1,23 @@
+(* Validate JSON-Lines telemetry files: every non-empty line must parse
+   with the same parser the library and tests use.  Exit 1 on the first
+   malformed file; used by tools/ci.sh. *)
+
+let () =
+  let files = List.tl (Array.to_list Sys.argv) in
+  if files = [] then begin
+    prerr_endline "usage: validate_jsonl FILE...";
+    exit 2
+  end;
+  let failed = ref false in
+  List.iter
+    (fun path ->
+      match Pdht_obs.Export.validate_jsonl_file ~path with
+      | Ok n -> Printf.printf "%s: %d valid JSON lines\n" path n
+      | Error msg ->
+          Printf.eprintf "%s: %s\n" path msg;
+          failed := true
+      | exception Sys_error msg ->
+          Printf.eprintf "%s\n" msg;
+          failed := true)
+    files;
+  if !failed then exit 1
