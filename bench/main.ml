@@ -15,7 +15,11 @@
      ttl_tuning       ext      fixed keyTtl grid vs the adaptive controller
      micro            -        Bechamel micro-benchmarks of the hot paths
 
-   Usage: main.exe [section ...]   (no arguments = everything) *)
+   Usage: main.exe [section ...] [-j N]   (no sections = everything)
+
+   -j/--jobs N runs each experiment's independent simulations on N
+   domains (default: recommended_domain_count - 1).  Output is
+   byte-identical for every N. *)
 
 module Params = Pdht_model.Params
 module Sweep = Pdht_model.Sweep
@@ -178,14 +182,18 @@ let sim_scenario =
     seed = 2004;
   }
 
-let sim_options = { System.default_options with System.repl = 20; stor = 100 }
+let sim_options = System.Options.make ~repl:20 ~stor:100 ()
+
+(* Worker domains for the experiment batches (-j/--jobs).  Results are
+   identical for any value; only wall-clock changes. *)
+let jobs = ref (Pdht_core.Runner.default_jobs ())
 
 let section_sim_vs_model () =
   heading "E7 - event-driven simulation vs analytical model (scaled 1/10)"
     "(shape check: who wins and by roughly what factor; absolute numbers differ\n\
      because the simulator measures its own dup factors and warm-up misses)";
   let frequencies = [ 1. /. 30.; 1. /. 120.; 1. /. 600.; 1. /. 3600. ] in
-  let rows = Experiment.face_off ~options:sim_options ~scenario:sim_scenario ~frequencies () in
+  let rows = Experiment.face_off ~jobs:!jobs ~options:sim_options ~scenario:sim_scenario ~frequencies () in
   let t =
     Table.create
       ~columns:
@@ -223,7 +231,7 @@ let section_sim_adaptivity () =
       seed = 2005;
     }
   in
-  let r = Experiment.adaptivity ~options:sim_options ~scenario () in
+  let r = Experiment.adaptivity ~jobs:!jobs ~options:sim_options ~scenario () in
   Printf.printf
     "shift at t=%.0fs: hit rate %.3f before -> dip %.3f -> %.3f at end; recovery %s\n\n"
     r.Experiment.shift_time r.Experiment.before_hit_rate r.Experiment.dip_hit_rate
@@ -252,7 +260,7 @@ let section_sim_adaptivity () =
 let section_ablation () =
   heading "E8a - unstructured search mechanism (cSUnstr substrate)"
     "(paper assumes multiple random walks [LvCa02] because flooding is wasteful)";
-  let rows = Experiment.search_ablation ~seed:7 ~peers:1_000 ~repl:50 ~trials:200 in
+  let rows = Experiment.search_ablation ~jobs:!jobs ~seed:7 ~peers:1_000 ~repl:50 ~trials:200 () in
   let t =
     Table.create
       ~columns:
@@ -292,7 +300,7 @@ let section_ablation () =
               Printf.sprintf "%.2f" r.Experiment.mean_hops;
               Printf.sprintf "%.2f" r.Experiment.model_expectation;
               Printf.sprintf "%.3f" r.Experiment.success_rate ])
-        (Experiment.backend_ablation ~seed:8 ~members:1_024 ~trials:400 ~offline_fraction))
+        (Experiment.backend_ablation ~jobs:!jobs ~seed:8 ~members:1_024 ~trials:400 ~offline_fraction ()))
     [ 0.; 0.15 ];
   Table.print t2
 
@@ -301,7 +309,7 @@ let section_ttl_tuning () =
     "(the adaptive controller estimates cSUnstr/cSIndx2/cRtn from live traffic)";
   let scenario = { sim_scenario with Scenario.num_peers = 600; keys = 1_200; seed = 2006 } in
   let rows =
-    Experiment.ttl_tuning ~options:sim_options ~scenario
+    Experiment.ttl_tuning ~jobs:!jobs ~options:sim_options ~scenario
       ~fixed_ttls:[ 30.; 120.; 600.; 3_000. ] ()
   in
   let t =
@@ -326,7 +334,7 @@ let section_backends_e2e () =
      any of the DHT based systems' — the full selection algorithm end-to-end\n\
      on Chord, P-Grid, Kademlia and Pastry with identical workloads)";
   let scenario = { sim_scenario with Scenario.num_peers = 500; keys = 1_000; seed = 2019 } in
-  let rows = Experiment.backend_face_off ~options:sim_options ~scenario () in
+  let rows = Experiment.backend_face_off ~jobs:!jobs ~options:sim_options ~scenario () in
   let t =
     Table.create
       ~columns:
@@ -355,7 +363,7 @@ let section_churn () =
      partial run at decreasing stationary availability, 10-min mean sessions)";
   let scenario = { sim_scenario with Scenario.num_peers = 600; keys = 1_200; seed = 2007 } in
   let rows =
-    Experiment.churn_sensitivity ~options:sim_options ~scenario
+    Experiment.churn_sensitivity ~jobs:!jobs ~options:sim_options ~scenario
       ~availabilities:[ 1.0; 0.9; 0.75; 0.5 ] ()
   in
   let t =
@@ -381,7 +389,7 @@ let section_workloads () =
     "(skew is what makes partial indexing pay: flatter query distributions\n\
      index more keys for a lower hit rate)";
   let scenario = { sim_scenario with Scenario.num_peers = 600; keys = 1_200; seed = 2008 } in
-  let rows = Experiment.workload_mix ~options:sim_options ~scenario () in
+  let rows = Experiment.workload_mix ~jobs:!jobs ~options:sim_options ~scenario () in
   let t =
     Table.create
       ~columns:
@@ -405,7 +413,7 @@ let section_seeds () =
   let options = sim_options in
   let key_ttl = System.derive_key_ttl scenario options in
   let stats =
-    Experiment.replicate_seeds ~options ~scenario
+    Experiment.replicate_seeds ~jobs:!jobs ~options ~scenario
       ~strategy:(Strategy.Partial_index { key_ttl })
       ~seeds:[ 1; 2; 3; 4; 5 ] ()
   in
@@ -429,7 +437,7 @@ let section_fullscale () =
       seed = 2018;
     }
   in
-  let options = { System.default_options with System.repl = 50; stor = 100 } in
+  let options = System.Options.make ~repl:50 ~stor:100 () in
   let key_ttl = System.derive_key_ttl scenario options in
   let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
   let params = Params.default in
@@ -545,7 +553,7 @@ let section_diurnal () =
     }
   in
   let r =
-    Experiment.diurnal ~options:sim_options ~scenario ~calm_f_qry:(1. /. 600.)
+    Experiment.diurnal ~jobs:!jobs ~options:sim_options ~scenario ~calm_f_qry:(1. /. 600.)
       ~period:1_600. ()
   in
   Printf.printf
@@ -576,7 +584,7 @@ let section_eviction () =
      single global keyTtl, expiry = last-query + keyTtl, so evict-soonest-expiry\n\
      and LRU coincide exactly — random eviction is the one that pays)";
   let scenario = { sim_scenario with Scenario.num_peers = 600; keys = 1_200; seed = 2009 } in
-  let rows = Experiment.eviction_ablation ~options:sim_options ~scenario ~stor:20 () in
+  let rows = Experiment.eviction_ablation ~jobs:!jobs ~options:sim_options ~scenario ~stor:20 () in
   let t =
     Table.create
       ~columns:
@@ -676,6 +684,27 @@ let section_perf () =
     | None -> 0
   in
   let events_per_second = if wall > 0. then float_of_int engine_events /. wall else 0. in
+  (* Runner scaling: the same 4-spec seed batch on one domain and on
+     [max !jobs 4] domains.  The outputs are asserted identical; only
+     the wall-clock may differ (>= 2x on 4+ real cores). *)
+  let par_jobs = max !jobs 4 in
+  let batch_specs =
+    let scenario =
+      { scenario with Scenario.num_peers = 400; keys = 800; duration = 600. }
+    in
+    Pdht_core.Run_spec.over_seeds [ 1; 2; 3; 4 ]
+      (Pdht_core.Run_spec.make ~options scenario)
+  in
+  let timed_batch jobs =
+    let t0 = Unix.gettimeofday () in
+    let results = Pdht_core.Runner.run_all ~jobs batch_specs in
+    (Unix.gettimeofday () -. t0, Pdht_core.Run_result.reports_exn results)
+  in
+  let wall_single, reports_single = timed_batch 1 in
+  let wall_parallel, reports_parallel = timed_batch par_jobs in
+  if reports_single <> reports_parallel then
+    failwith "perf: parallel batch diverged from the single-domain batch";
+  let speedup = if wall_parallel > 0. then wall_single /. wall_parallel else 0. in
   let run_name = scenario.Scenario.name ^ "/partial" in
   let json =
     Json.Obj
@@ -698,6 +727,17 @@ let section_perf () =
             (List.map
                (fun (name, s) -> (name, Pdht_obs.Histogram.summary_to_json s))
                report.System.histograms) );
+        ( "parallel",
+          Json.Obj
+            [
+              ("batch_specs", Json.Int (List.length batch_specs));
+              ("jobs_single", Json.Int 1);
+              ("wall_single_s", Json.Float wall_single);
+              ("jobs_parallel", Json.Int par_jobs);
+              ("wall_parallel_s", Json.Float wall_parallel);
+              ("speedup", Json.Float speedup);
+              ("identical_reports", Json.Bool true);
+            ] );
       ]
   in
   let path = "BENCH_pdht.json" in
@@ -707,8 +747,10 @@ let section_perf () =
   close_out oc;
   Printf.printf
     "%s: %d engine events in %.2f s wall (%.0f events/s), %d messages\n\
+     runner: %d-spec batch %.2f s on 1 domain vs %.2f s on %d (%.2fx, identical output)\n\
      wrote %s\n"
-    run_name engine_events wall events_per_second report.System.total_messages path
+    run_name engine_events wall events_per_second report.System.total_messages
+    (List.length batch_specs) wall_single wall_parallel par_jobs speedup path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)
@@ -807,12 +849,31 @@ let sections =
     ("micro", section_micro);
   ]
 
+let set_jobs value =
+  match int_of_string_opt value with
+  | Some n when n >= 1 -> jobs := n
+  | Some _ | None ->
+      Printf.eprintf "-j/--jobs needs a positive integer, got %S\n" value;
+      exit 2
+
+(* [-j N] / [--jobs N] / [--jobs=N] may appear anywhere among the
+   section names. *)
+let rec strip_jobs acc = function
+  | [] -> List.rev acc
+  | ("-j" | "--jobs") :: value :: rest ->
+      set_jobs value;
+      strip_jobs acc rest
+  | [ ("-j" | "--jobs") ] ->
+      Printf.eprintf "-j/--jobs needs a value\n";
+      exit 2
+  | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
+      set_jobs (String.sub arg 7 (String.length arg - 7));
+      strip_jobs acc rest
+  | arg :: rest -> strip_jobs (arg :: acc) rest
+
 let () =
-  let requested =
-    match Array.to_list Sys.argv with
-    | _ :: (_ :: _ as names) -> names
-    | _ :: [] | [] -> List.map fst sections
-  in
+  let names = strip_jobs [] (List.tl (Array.to_list Sys.argv)) in
+  let requested = match names with [] -> List.map fst sections | names -> names in
   List.iter
     (fun name ->
       match List.assoc_opt name sections with

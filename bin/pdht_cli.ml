@@ -70,6 +70,12 @@ let with_validated params k =
   | Ok p -> k p; `Ok ()
   | Error msg -> `Error (false, "invalid parameters: " ^ msg)
 
+let jobs_arg =
+  Arg.(value & opt int (Pdht_core.Runner.default_jobs ())
+       & info [ "jobs"; "j" ] ~docv:"N"
+           ~doc:"Worker domains for independent tasks (default: cores - 1). \
+                 Results are identical for any value.")
+
 (* ------------------------------------------------------------------ *)
 (* model *)
 
@@ -105,7 +111,9 @@ let model_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let run_sweep csv params =
+let run_sweep csv jobs params =
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else
   with_validated params @@ fun p ->
   let t =
     Table.create
@@ -125,7 +133,9 @@ let run_sweep csv params =
           Printf.sprintf "%.3f" pt.Sweep.index_fraction;
           Printf.sprintf "%.3f" pt.Sweep.p_indexed;
           Printf.sprintf "%.0f" pt.Sweep.key_ttl ])
-    (Sweep.default_run p);
+    (Pdht_runner.Pool.map_list ~jobs
+       ~f:(fun _ f -> Sweep.point (Params.with_query_frequency p f))
+       (Params.query_frequency_sweep p));
   if csv then print_endline (Table.render_csv t) else Table.print t
 
 let sweep_cmd =
@@ -133,7 +143,8 @@ let sweep_cmd =
   let csv_arg =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
-  Cmd.v (Cmd.info "sweep" ~doc) Term.(ret (const run_sweep $ csv_arg $ params_term))
+  Cmd.v (Cmd.info "sweep" ~doc)
+    Term.(ret (const run_sweep $ csv_arg $ jobs_arg $ params_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -183,8 +194,11 @@ let parse_trace_filter spec =
   convert [] tokens
 
 let run_simulate verbose log_level metrics_out trace_out trace_filter preset peers keys
-    repl stor fqry duration seed strategy key_ttl adaptive churn =
+    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate =
   setup_logging verbose log_level;
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if replicate < 1 then `Error (false, "--replicate must be >= 1")
+  else
   let scenario =
     match preset with
     | Some name -> (
@@ -213,10 +227,13 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
   match Scenario.validate scenario with
   | Error msg -> `Error (false, "invalid scenario: " ^ msg)
   | Ok scenario ->
-      let options =
-        { System.default_options with System.repl; stor; adaptive_ttl = adaptive;
-          key_ttl_override = key_ttl }
+      let ttl_policy =
+        (* --adaptive wins over --key-ttl: the controller subsumes any
+           fixed starting point. *)
+        if adaptive then System.Adaptive
+        else match key_ttl with Some ttl -> System.Fixed ttl | None -> System.Model_derived
       in
+      let options = System.Options.make ~repl ~stor ~ttl_policy () in
       let strategy =
         match strategy with
         | `Partial ->
@@ -224,6 +241,33 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
         | `Index_all -> Strategy.Index_all
         | `No_index -> Strategy.No_index
       in
+      if replicate > 1 then begin
+        if trace_out <> None || metrics_out <> None then
+          `Error
+            ( false,
+              "--trace-out/--metrics-out describe a single run; drop them or drop \
+               --replicate" )
+        else begin
+          let seeds = List.init replicate (fun i -> seed + i) in
+          let stats =
+            Pdht_core.Experiment.replicate_seeds ~jobs ~options ~scenario ~strategy
+              ~seeds ()
+          in
+          Printf.printf "%d/%d runs (seeds %d..%d, %d domains)\n" stats.Pdht_core.Experiment.runs
+            replicate seed (seed + replicate - 1) jobs;
+          Printf.printf "  messages/s  %.1f +- %.1f\n"
+            stats.Pdht_core.Experiment.mean_messages_per_second
+            stats.Pdht_core.Experiment.sd_messages_per_second;
+          Printf.printf "  hit rate    %.3f +- %.3f\n"
+            stats.Pdht_core.Experiment.mean_hit_rate
+            stats.Pdht_core.Experiment.sd_hit_rate;
+          List.iter
+            (fun (tag, msg) -> Printf.printf "  FAILED %s: %s\n" tag msg)
+            stats.Pdht_core.Experiment.failures;
+          `Ok ()
+        end
+      end
+      else
       let filter =
         match trace_filter with
         | None -> Ok None
@@ -251,7 +295,14 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
           with
           | Error msg -> `Error (false, msg)
           | Ok trace_channel -> (
-              let report = System.run ~obs scenario strategy options in
+              (* Single-spec batch: the runner executes it inline against
+                 this obs context, so the tracer still sees every event,
+                 and the seed derivation matches what batch runs use. *)
+              let report =
+                Pdht_core.Runner.run_all ~jobs ~obs
+                  [ Pdht_core.Run_spec.make ~strategy ~options scenario ]
+                |> List.hd |> snd |> Pdht_core.Run_result.report_exn
+              in
               Format.printf "%a@." System.pp_report report;
               (match trace_channel with
               | None -> ()
@@ -339,13 +390,19 @@ let simulate_cmd =
   let fqry =
     Arg.(value & opt float (1. /. 30.) & info [ "fqry" ] ~docv:"F" ~doc:"Queries/peer/s.")
   in
+  let replicate_arg =
+    Arg.(value & opt int 1
+         & info [ "replicate" ] ~docv:"N"
+             ~doc:"Run N independent replicas on seeds seed..seed+N-1 (spread over \
+                   $(b,--jobs) domains) and report mean +- sd instead of one report.")
+  in
   Cmd.v (Cmd.info "simulate" ~doc)
     Term.(
       ret
         (const run_simulate $ verbose_arg $ log_level_arg $ metrics_out_arg
          $ trace_out_arg $ trace_filter_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
-         $ churn_arg))
+         $ churn_arg $ jobs_arg $ replicate_arg))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)

@@ -30,7 +30,7 @@ let () =
       seed = 99;
     }
   in
-  let options = { System.default_options with System.repl = 20; stor = 100; sample_every = 60. } in
+  let options = System.Options.make ~repl:20 ~stor:100 ~sample_every:60. () in
   Printf.printf "scenario: %d peers, %d keys, Zipf(1.2) queries at 1/30 per peer per second\n"
     scenario.Scenario.num_peers scenario.Scenario.keys;
   Printf.printf "breaking news at t = 1200 s swaps the hot and cold key-space halves\n\n";

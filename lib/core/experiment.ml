@@ -1,4 +1,12 @@
 module Scenario = Pdht_work.Scenario
+module Pool = Pdht_runner.Pool
+
+(* Every System-level experiment below is one [Run_spec.t list] handed
+   to [Runner.run_all ?jobs]; the row builders only reshape reports.
+   Experiments whose rows need every report to exist treat a failed
+   task as fatal ([Run_result.reports_exn]); [replicate_seeds] instead
+   reports failures per spec. *)
+let run_specs ?jobs specs = Run_result.reports_exn (Runner.run_all ?jobs specs)
 
 type face_off_row = {
   f_qry : float;
@@ -34,30 +42,48 @@ let model_params_of scenario (options : System.options) =
     dup2 = 1.8;
   }
 
-let face_off ?(options = System.default_options) ~scenario ~frequencies () =
-  let row f_qry =
-    let scenario = { scenario with Scenario.f_qry } in
-    let params = model_params_of scenario options in
-    let key_ttl = System.derive_key_ttl scenario options in
-    let run strategy = System.run scenario strategy options in
-    let all = run Strategy.Index_all in
-    let none = run Strategy.No_index in
-    let partial = run (Strategy.Partial_index { key_ttl }) in
-    let ttl_state = Pdht_model.Strategies.ttl_state params ~key_ttl in
-    {
-      f_qry;
-      sim_index_all = all.System.messages_per_second;
-      sim_no_index = none.System.messages_per_second;
-      sim_partial = partial.System.messages_per_second;
-      model_index_all = (Pdht_model.Strategies.index_all params).Pdht_model.Strategies.total;
-      model_no_index = (Pdht_model.Strategies.no_index params).Pdht_model.Strategies.total;
-      model_partial =
-        (Pdht_model.Strategies.partial_selection params ~key_ttl).Pdht_model.Strategies.total;
-      sim_hit_rate = partial.System.hit_rate;
-      model_p_indexed_ttl = ttl_state.Pdht_model.Strategies.p_indexed_ttl;
-    }
+let face_off ?jobs ?(options = System.default_options) ~scenario ~frequencies () =
+  let specs =
+    List.concat_map
+      (fun f_qry ->
+        let scenario = { scenario with Scenario.f_qry } in
+        let key_ttl = System.derive_key_ttl scenario options in
+        let spec = Run_spec.make ~options scenario in
+        (* All three strategies share the spec's (seed, task_id), so
+           each frequency is a paired comparison on one workload. *)
+        [ Run_spec.with_strategy Strategy.Index_all spec;
+          Run_spec.with_strategy Strategy.No_index spec;
+          Run_spec.with_strategy (Strategy.Partial_index { key_ttl }) spec ])
+      frequencies
   in
-  List.map row frequencies
+  let reports = run_specs ?jobs specs in
+  let rec rows frequencies reports =
+    match (frequencies, reports) with
+    | [], [] -> []
+    | f_qry :: frequencies, all :: none :: partial :: reports ->
+        let scenario = { scenario with Scenario.f_qry } in
+        let params = model_params_of scenario options in
+        let key_ttl = System.derive_key_ttl scenario options in
+        let ttl_state = Pdht_model.Strategies.ttl_state params ~key_ttl in
+        {
+          f_qry;
+          sim_index_all = all.System.messages_per_second;
+          sim_no_index = none.System.messages_per_second;
+          sim_partial = partial.System.messages_per_second;
+          model_index_all =
+            (Pdht_model.Strategies.index_all params).Pdht_model.Strategies.total;
+          model_no_index =
+            (Pdht_model.Strategies.no_index params).Pdht_model.Strategies.total;
+          model_partial =
+            (Pdht_model.Strategies.partial_selection params ~key_ttl)
+              .Pdht_model.Strategies.total;
+          sim_hit_rate = partial.System.hit_rate;
+          model_p_indexed_ttl = ttl_state.Pdht_model.Strategies.p_indexed_ttl;
+        }
+        :: rows frequencies reports
+    | _ -> assert false
+  in
+  rows frequencies reports
 
 type adaptivity_result = {
   shift_time : float;
@@ -75,7 +101,7 @@ let mean_hit_rate (samples : System.sample list) =
       List.fold_left (fun acc (s : System.sample) -> acc +. s.System.hit_rate) 0. samples
       /. float_of_int (List.length samples)
 
-let adaptivity ?(options = System.default_options) ~scenario () =
+let adaptivity ?jobs ?(options = System.default_options) ~scenario () =
   let shift_time =
     match scenario.Scenario.shift with
     | Scenario.Swap_halves_at t -> t
@@ -83,8 +109,11 @@ let adaptivity ?(options = System.default_options) ~scenario () =
     | Scenario.Rotate { times = []; _ } | Scenario.No_shift ->
         invalid_arg "Experiment.adaptivity: scenario has no popularity shift"
   in
-  let key_ttl = System.derive_key_ttl scenario options in
-  let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let report =
+    match run_specs ?jobs [ Run_spec.make ~options scenario ] with
+    | [ r ] -> r
+    | _ -> assert false
+  in
   let samples = report.System.samples in
   let before = List.filter (fun s -> s.System.time <= shift_time) samples in
   let after = List.filter (fun s -> s.System.time > shift_time) samples in
@@ -119,8 +148,10 @@ type search_ablation_row = {
   empirical_dup : float;
 }
 
-let search_ablation ~seed ~peers ~repl ~trials =
+let search_ablation ?jobs ~seed ~peers ~repl ~trials () =
   if trials < 1 then invalid_arg "Experiment.search_ablation: need >= 1 trial";
+  (* Shared, read-only fixture: topology and placement come from the
+     base seed so every mechanism searches the same network. *)
   let rng = Pdht_util.Rng.create ~seed in
   let topology = Pdht_overlay.Topology.random_regularish rng ~peers ~degree:4 in
   let replication = Pdht_overlay.Replication.create ~peers in
@@ -129,7 +160,10 @@ let search_ablation ~seed ~peers ~repl ~trials =
     Pdht_overlay.Replication.place replication rng ~item ~repl
   done;
   let online _ = true in
-  let run_mechanism mechanism =
+  let run_mechanism task_id mechanism =
+    (* Each mechanism draws its trials from its own derived stream, so
+       the tasks are order- and domain-independent. *)
+    let rng = Pdht_util.Rng.of_stream ~seed ~stream:task_id in
     let messages = ref 0 in
     let successes = ref 0 in
     let reached = ref 0 in
@@ -171,7 +205,7 @@ let search_ablation ~seed ~peers ~repl ~trials =
          else float_of_int !messages /. float_of_int !reached);
     }
   in
-  [ run_mechanism "flooding"; run_mechanism "expanding-ring"; run_mechanism "random-walks" ]
+  Pool.map_list ?jobs ~f:run_mechanism [ "flooding"; "expanding-ring"; "random-walks" ]
 
 type backend_ablation_row = {
   backend : string;
@@ -181,11 +215,13 @@ type backend_ablation_row = {
   success_rate : float;
 }
 
-let backend_ablation ~seed ~members ~trials ~offline_fraction =
+let backend_ablation ?jobs ~seed ~members ~trials ~offline_fraction () =
   if trials < 1 then invalid_arg "Experiment.backend_ablation: need >= 1 trial";
   if offline_fraction < 0. || offline_fraction >= 1. then
     invalid_arg "Experiment.backend_ablation: offline_fraction in [0,1)";
   let run backend label =
+    (* Every backend re-creates the RNG from the same seed: a paired
+       comparison on identical outage patterns and key draws. *)
     let rng = Pdht_util.Rng.create ~seed in
     (* leaf_size 4 gives P-Grid its natural replica groups; singleton
        leaves cannot survive churn (Chord has no equivalent knob — its
@@ -217,8 +253,8 @@ let backend_ablation ~seed ~members ~trials ~offline_fraction =
       success_rate = float_of_int !successes /. attempted_f;
     }
   in
-  List.map
-    (fun backend -> run backend (Pdht_dht.Dht.backend_label backend))
+  Pool.map_list ?jobs
+    ~f:(fun _ backend -> run backend (Pdht_dht.Dht.backend_label backend))
     [ Pdht_dht.Dht.Chord_backend; Pdht_dht.Dht.Pgrid_backend;
       Pdht_dht.Dht.Kademlia_backend; Pdht_dht.Dht.Pastry_backend ]
 
@@ -230,8 +266,9 @@ type churn_row = {
   indexed_keys : int;
 }
 
-let churn_sensitivity ?(options = System.default_options) ~scenario ~availabilities () =
-  let row availability =
+let churn_sensitivity ?jobs ?(options = System.default_options) ~scenario ~availabilities
+    () =
+  let spec_of availability =
     if availability <= 0. || availability > 1. then
       invalid_arg "Experiment.churn_sensitivity: availability outside (0,1]";
     let scenario =
@@ -248,17 +285,23 @@ let churn_sensitivity ?(options = System.default_options) ~scenario ~availabilit
       }
     in
     let key_ttl = System.derive_key_ttl scenario options in
-    let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
-    {
-      availability;
-      hit_rate = report.System.hit_rate;
-      answer_rate =
-        float_of_int report.System.answered /. float_of_int (max 1 report.System.queries);
-      messages_per_second = report.System.messages_per_second;
-      indexed_keys = report.System.indexed_keys_final;
-    }
+    Run_spec.make ~options
+      ~tag:(Printf.sprintf "%s avail=%g" scenario.Scenario.name availability)
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
   in
-  List.map row availabilities
+  let reports = run_specs ?jobs (List.map spec_of availabilities) in
+  List.map2
+    (fun availability report ->
+      {
+        availability;
+        hit_rate = report.System.hit_rate;
+        answer_rate =
+          float_of_int report.System.answered /. float_of_int (max 1 report.System.queries);
+        messages_per_second = report.System.messages_per_second;
+        indexed_keys = report.System.indexed_keys_final;
+      })
+    availabilities reports
 
 type workload_row = {
   workload : string;
@@ -267,7 +310,7 @@ type workload_row = {
   indexed_fraction : float;
 }
 
-let workload_mix ?(options = System.default_options) ~scenario () =
+let workload_mix ?jobs ?(options = System.default_options) ~scenario () =
   let keys = scenario.Scenario.keys in
   let variants =
     [
@@ -278,11 +321,17 @@ let workload_mix ?(options = System.default_options) ~scenario () =
         Scenario.Hot_cold { hot = max 1 (keys / 20); hot_mass = 0.9 } );
     ]
   in
-  List.map
-    (fun (workload, distribution) ->
-      let scenario = { scenario with Scenario.distribution } in
-      let key_ttl = System.derive_key_ttl scenario options in
-      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let spec_of (workload, distribution) =
+    let scenario = { scenario with Scenario.distribution } in
+    let key_ttl = System.derive_key_ttl scenario options in
+    Run_spec.make ~options
+      ~tag:(scenario.Scenario.name ^ "/" ^ workload)
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
+  in
+  let reports = run_specs ?jobs (List.map spec_of variants) in
+  List.map2
+    (fun (workload, _) report ->
       {
         workload;
         hit_rate = report.System.hit_rate;
@@ -290,7 +339,7 @@ let workload_mix ?(options = System.default_options) ~scenario () =
         indexed_fraction =
           float_of_int report.System.indexed_keys_final /. float_of_int keys;
       })
-    variants
+    variants reports
 
 type replication_stats = {
   runs : int;
@@ -298,21 +347,28 @@ type replication_stats = {
   sd_messages_per_second : float;
   mean_hit_rate : float;
   sd_hit_rate : float;
+  failures : (string * string) list;
 }
 
-let replicate_seeds ?(options = System.default_options) ~scenario ~strategy ~seeds () =
+let replicate_seeds ?jobs ?(options = System.default_options) ~scenario ~strategy ~seeds
+    () =
   if seeds = [] then invalid_arg "Experiment.replicate_seeds: no seeds";
+  let specs =
+    Run_spec.over_seeds seeds (Run_spec.make ~options ~strategy scenario)
+  in
+  let results = Runner.run_all ?jobs specs in
   let reports =
-    List.map (fun seed -> System.run { scenario with Scenario.seed } strategy options) seeds
+    List.filter_map (fun (_, outcome) -> Result.to_option outcome) results
   in
   let msgs = Array.of_list (List.map (fun r -> r.System.messages_per_second) reports) in
   let hits = Array.of_list (List.map (fun r -> r.System.hit_rate) reports) in
   {
-    runs = List.length seeds;
+    runs = List.length reports;
     mean_messages_per_second = Pdht_util.Stats.mean msgs;
     sd_messages_per_second = Pdht_util.Stats.stddev msgs;
     mean_hit_rate = Pdht_util.Stats.mean hits;
     sd_hit_rate = Pdht_util.Stats.stddev hits;
+    failures = Run_result.failures results;
   }
 
 type backend_system_row = {
@@ -324,12 +380,22 @@ type backend_system_row = {
   replica_flood_messages : int;
 }
 
-let backend_face_off ?(options = System.default_options) ~scenario () =
-  List.map
-    (fun backend ->
-      let options = { options with System.backend } in
-      let key_ttl = System.derive_key_ttl scenario options in
-      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+let backend_face_off ?jobs ?(options = System.default_options) ~scenario () =
+  let backends =
+    [ Pdht_dht.Dht.Chord_backend; Pdht_dht.Dht.Pgrid_backend;
+      Pdht_dht.Dht.Kademlia_backend; Pdht_dht.Dht.Pastry_backend ]
+  in
+  let spec_of backend =
+    let options = System.Options.with_backend backend options in
+    let key_ttl = System.derive_key_ttl scenario options in
+    Run_spec.make ~options
+      ~tag:(scenario.Scenario.name ^ "/" ^ Pdht_dht.Dht.backend_label backend)
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
+  in
+  let reports = run_specs ?jobs (List.map spec_of backends) in
+  List.map2
+    (fun backend report ->
       {
         backend_name = Pdht_dht.Dht.backend_label backend;
         hit_rate = report.System.hit_rate;
@@ -341,8 +407,7 @@ let backend_face_off ?(options = System.default_options) ~scenario () =
         replica_flood_messages =
           List.assoc Pdht_sim.Metrics.Replica_flood report.System.messages_by_category;
       })
-    [ Pdht_dht.Dht.Chord_backend; Pdht_dht.Dht.Pgrid_backend;
-      Pdht_dht.Dht.Kademlia_backend; Pdht_dht.Dht.Pastry_backend ]
+    backends reports
 
 type diurnal_result = {
   busy_indexed_mean : float;
@@ -352,7 +417,7 @@ type diurnal_result = {
   series : System.sample list;
 }
 
-let diurnal ?(options = System.default_options) ~scenario ~calm_f_qry ~period () =
+let diurnal ?jobs ?(options = System.default_options) ~scenario ~calm_f_qry ~period () =
   let scenario =
     {
       scenario with
@@ -364,7 +429,14 @@ let diurnal ?(options = System.default_options) ~scenario ~calm_f_qry ~period ()
   let mid_rate = sqrt (scenario.Scenario.f_qry *. calm_f_qry) in
   let ttl_scenario = { scenario with Scenario.f_qry = mid_rate; rate = Scenario.Steady } in
   let key_ttl = System.derive_key_ttl ttl_scenario options in
-  let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let report =
+    match
+      run_specs ?jobs
+        [ Run_spec.make ~options ~strategy:(Strategy.Partial_index { key_ttl }) scenario ]
+    with
+    | [ r ] -> r
+    | _ -> assert false
+  in
   let phase_of (s : System.sample) =
     let p = Float.rem s.System.time period /. period in
     if p < 0.5 then `Busy else `Calm
@@ -394,7 +466,7 @@ type eviction_row = {
   messages_per_second : float;
 }
 
-let eviction_ablation ?(options = System.default_options) ~scenario ~stor () =
+let eviction_ablation ?jobs ?(options = System.default_options) ~scenario ~stor () =
   let policies =
     [
       ("soonest-expiry", Pdht_dht.Storage.Evict_soonest_expiry);
@@ -402,19 +474,25 @@ let eviction_ablation ?(options = System.default_options) ~scenario ~stor () =
       ("random", Pdht_dht.Storage.Evict_random);
     ]
   in
-  List.map
-    (fun (policy, eviction) ->
-      (* Starve the caches: shrink them AND under-provision the DHT so
-         the sizing rule cannot compensate with more members. *)
-      let options = { options with System.stor; eviction; sizing_slack = 0.4 } in
-      let key_ttl = System.derive_key_ttl scenario options in
-      let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
+  let spec_of (policy, eviction) =
+    (* Starve the caches: shrink them AND under-provision the DHT so
+       the sizing rule cannot compensate with more members. *)
+    let options = { options with System.stor; eviction; sizing_slack = 0.4 } in
+    let key_ttl = System.derive_key_ttl scenario options in
+    Run_spec.make ~options
+      ~tag:(scenario.Scenario.name ^ "/evict-" ^ policy)
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
+  in
+  let reports = run_specs ?jobs (List.map spec_of policies) in
+  List.map2
+    (fun (policy, _) report ->
       {
         policy;
         hit_rate = report.System.hit_rate;
         messages_per_second = report.System.messages_per_second;
       })
-    policies
+    policies reports
 
 type ttl_tuning_row = {
   label : string;
@@ -423,25 +501,34 @@ type ttl_tuning_row = {
   hit_rate : float;
 }
 
-let ttl_tuning ?(options = System.default_options) ~scenario ~fixed_ttls () =
-  let fixed ttl =
-    let report = System.run scenario (Strategy.Partial_index { key_ttl = ttl }) options in
-    {
-      label = Printf.sprintf "fixed keyTtl=%g" ttl;
-      key_ttl_final = report.System.key_ttl;
-      messages_per_second = report.System.messages_per_second;
-      hit_rate = report.System.hit_rate;
-    }
+let ttl_tuning ?jobs ?(options = System.default_options) ~scenario ~fixed_ttls () =
+  let fixed_spec ttl =
+    Run_spec.make ~options
+      ~tag:(Printf.sprintf "%s keyTtl=%g" scenario.Scenario.name ttl)
+      ~strategy:(Strategy.Partial_index { key_ttl = ttl })
+      scenario
   in
-  let adaptive =
-    let options = { options with System.adaptive_ttl = true } in
+  let adaptive_spec =
+    let options = System.Options.with_ttl_policy System.Adaptive options in
     let key_ttl = System.derive_key_ttl scenario options in
-    let report = System.run scenario (Strategy.Partial_index { key_ttl }) options in
-    {
-      label = "adaptive";
-      key_ttl_final = report.System.key_ttl;
-      messages_per_second = report.System.messages_per_second;
-      hit_rate = report.System.hit_rate;
-    }
+    Run_spec.make ~options
+      ~tag:(scenario.Scenario.name ^ "/adaptive-ttl")
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
   in
-  List.map fixed fixed_ttls @ [ adaptive ]
+  let labels =
+    List.map (fun ttl -> Printf.sprintf "fixed keyTtl=%g" ttl) fixed_ttls
+    @ [ "adaptive" ]
+  in
+  let reports =
+    run_specs ?jobs (List.map fixed_spec fixed_ttls @ [ adaptive_spec ])
+  in
+  List.map2
+    (fun label report ->
+      {
+        label;
+        key_ttl_final = report.System.key_ttl;
+        messages_per_second = report.System.messages_per_second;
+        hit_rate = report.System.hit_rate;
+      })
+    labels reports

@@ -1,6 +1,14 @@
 (** Named experiments: each function returns the data behind one table
     or figure of EXPERIMENTS.md.  Pure of I/O — rendering lives in the
-    bench harness. *)
+    bench harness.
+
+    Every system-level experiment is a {!Run_spec.t} batch executed by
+    {!Runner.run_all}: [?jobs] spreads the independent runs over that
+    many domains, and any value of [jobs] returns identical rows
+    (see {!Runner} for the determinism contract).  The two
+    micro-ablations ([search_ablation], [backend_ablation]) sit below
+    the {!System} layer but parallelize on the same pool, one derived
+    RNG stream per task. *)
 
 (** E7: simulated strategies vs the analytical model across the query
     frequency sweep. *)
@@ -17,6 +25,7 @@ type face_off_row = {
 }
 
 val face_off :
+  ?jobs:int ->
   ?options:System.options ->
   scenario:Pdht_work.Scenario.t ->
   frequencies:float list ->
@@ -38,7 +47,11 @@ type adaptivity_result = {
 }
 
 val adaptivity :
-  ?options:System.options -> scenario:Pdht_work.Scenario.t -> unit -> adaptivity_result
+  ?jobs:int ->
+  ?options:System.options ->
+  scenario:Pdht_work.Scenario.t ->
+  unit ->
+  adaptivity_result
 (** The scenario must contain a [Swap_halves_at] shift; queries continue
     across it and the partial index must re-learn the popular set.
     @raise Invalid_argument if the scenario has no shift. *)
@@ -52,7 +65,8 @@ type search_ablation_row = {
 }
 
 val search_ablation :
-  seed:int -> peers:int -> repl:int -> trials:int -> search_ablation_row list
+  ?jobs:int ->
+  seed:int -> peers:int -> repl:int -> trials:int -> unit -> search_ablation_row list
 (** Flooding vs expanding-ring vs k-random-walks on the same topology
     and replica placement ([LvCa02]'s three mechanisms).
     [empirical_dup] is NaN for expanding ring, whose repeated inner-ring
@@ -68,7 +82,13 @@ type backend_ablation_row = {
 }
 
 val backend_ablation :
-  seed:int -> members:int -> trials:int -> offline_fraction:float -> backend_ablation_row list
+  ?jobs:int ->
+  seed:int ->
+  members:int ->
+  trials:int ->
+  offline_fraction:float ->
+  unit ->
+  backend_ablation_row list
 (** Lookup cost across all four structured substrates (Chord, P-Grid,
     Kademlia, Pastry), with a fraction of members knocked offline to
     exercise fault routing. *)
@@ -83,6 +103,7 @@ type churn_row = {
 }
 
 val churn_sensitivity :
+  ?jobs:int ->
   ?options:System.options ->
   scenario:Pdht_work.Scenario.t ->
   availabilities:float list ->
@@ -100,7 +121,11 @@ type workload_row = {
 }
 
 val workload_mix :
-  ?options:System.options -> scenario:Pdht_work.Scenario.t -> unit -> workload_row list
+  ?jobs:int ->
+  ?options:System.options ->
+  scenario:Pdht_work.Scenario.t ->
+  unit ->
+  workload_row list
 (** The same scenario under uniform, Zipf(0.8), Zipf(1.2) and hot-cold
     query distributions: flatter workloads index more keys for a lower
     hit rate — the regime where the paper says partial indexing matters
@@ -109,14 +134,18 @@ val workload_mix :
 (** Statistical confidence: the same experiment across independent
     seeds. *)
 type replication_stats = {
-  runs : int;
+  runs : int;                  (** successful runs, <= seeds given *)
   mean_messages_per_second : float;
   sd_messages_per_second : float;
   mean_hit_rate : float;
   sd_hit_rate : float;
+  failures : (string * string) list;
+      (** [(tag, message)] of every run that raised; failed runs are
+          excluded from the statistics instead of aborting the batch *)
 }
 
 val replicate_seeds :
+  ?jobs:int ->
   ?options:System.options ->
   scenario:Pdht_work.Scenario.t ->
   strategy:Strategy.t ->
@@ -124,7 +153,8 @@ val replicate_seeds :
   unit ->
   replication_stats
 (** Mean and sample standard deviation of the headline metrics across
-    seeds.  Requires a non-empty seed list. *)
+    seeds.  Requires a non-empty seed list.  A run that raises becomes
+    an entry in [failures] rather than an exception. *)
 
 (** E19: the whole PDHT on each structured substrate.  The paper claims
     the scheme "can be used for any of the DHT based systems"; this runs
@@ -142,7 +172,11 @@ type backend_system_row = {
 }
 
 val backend_face_off :
-  ?options:System.options -> scenario:Pdht_work.Scenario.t -> unit -> backend_system_row list
+  ?jobs:int ->
+  ?options:System.options ->
+  scenario:Pdht_work.Scenario.t ->
+  unit ->
+  backend_system_row list
 (** One partial-strategy run per backend on identical workloads. *)
 
 (** E15: adaptation to changing query *frequency* (the paper's
@@ -156,6 +190,7 @@ type diurnal_result = {
 }
 
 val diurnal :
+  ?jobs:int ->
   ?options:System.options ->
   scenario:Pdht_work.Scenario.t ->
   calm_f_qry:float ->
@@ -175,7 +210,12 @@ type eviction_row = {
 }
 
 val eviction_ablation :
-  ?options:System.options -> scenario:Pdht_work.Scenario.t -> stor:int -> unit -> eviction_row list
+  ?jobs:int ->
+  ?options:System.options ->
+  scenario:Pdht_work.Scenario.t ->
+  stor:int ->
+  unit ->
+  eviction_row list
 (** Run the partial strategy with a deliberately small per-peer cache
     ([stor]) under each eviction policy.  The paper's TTL semantics
     imply evict-soonest-expiry; the ablation measures what LRU or random
@@ -190,6 +230,7 @@ type ttl_tuning_row = {
 }
 
 val ttl_tuning :
+  ?jobs:int ->
   ?options:System.options ->
   scenario:Pdht_work.Scenario.t ->
   fixed_ttls:float list ->

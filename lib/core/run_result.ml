@@ -1,0 +1,15 @@
+type error = { tag : string; message : string }
+
+type t = (System.report, error) result
+
+exception Task_failed of error
+
+let report_exn = function Ok report -> report | Error e -> raise (Task_failed e)
+
+let reports_exn results = List.map (fun (_, outcome) -> report_exn outcome) results
+
+let failures results =
+  List.filter_map
+    (fun ((_ : Run_spec.t), outcome) ->
+      match outcome with Ok _ -> None | Error e -> Some (e.tag, e.message))
+    results

@@ -1,0 +1,22 @@
+(** What one {!Run_spec.t} produced: its report, or a labelled error.
+
+    {!Runner.run_all} never lets one raising task abort its batch —
+    every spec comes back paired with an outcome, and the caller
+    decides whether a failure is fatal ({!reports_exn}) or just a row
+    to report ({!failures}). *)
+
+type error = { tag : string; message : string }
+
+type t = (System.report, error) result
+
+exception Task_failed of error
+
+val report_exn : t -> System.report
+(** @raise Task_failed on an [Error] outcome. *)
+
+val reports_exn : (Run_spec.t * t) list -> System.report list
+(** All reports, in batch order.
+    @raise Task_failed on the first failed outcome. *)
+
+val failures : (Run_spec.t * t) list -> (string * string) list
+(** The [(tag, message)] of every failed outcome, in batch order. *)

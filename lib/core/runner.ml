@@ -1,0 +1,48 @@
+module Pool = Pdht_runner.Pool
+module Obs = Pdht_obs.Context
+module Registry = Pdht_obs.Registry
+module Scenario = Pdht_work.Scenario
+
+let default_jobs = Pool.default_jobs
+
+let run_all ?jobs ?obs specs =
+  let specs = Array.of_list specs in
+  let n = Array.length specs in
+  (* Per-task contexts keep domains from racing on one registry and,
+     merged back in batch order, make the final registry independent of
+     scheduling.  A single-spec batch runs straight against the
+     caller's context so its tracer (if any) still sees events. *)
+  let contexts =
+    match obs with
+    | Some ctx when n = 1 -> [| ctx |]
+    | Some _ | None -> Array.init n (fun _ -> Obs.create ())
+  in
+  let outcomes =
+    Pool.try_map ?jobs specs ~f:(fun i (spec : Run_spec.t) ->
+        let scenario =
+          { spec.Run_spec.scenario with Scenario.seed = Run_spec.run_seed spec }
+        in
+        System.run ~obs:contexts.(i) scenario spec.Run_spec.strategy
+          spec.Run_spec.options)
+  in
+  (match obs with
+  | Some into when n > 1 ->
+      Array.iteri
+        (fun i ctx ->
+          match outcomes.(i) with
+          | Ok _ -> Registry.merge_into (Obs.registry ctx) ~into:(Obs.registry into)
+          | Error _ -> ())
+        contexts
+  | Some _ | None -> ());
+  Array.to_list
+    (Array.mapi
+       (fun i outcome ->
+         let spec = specs.(i) in
+         match outcome with
+         | Ok report -> (spec, Ok report)
+         | Error exn ->
+             ( spec,
+               Error
+                 { Run_result.tag = spec.Run_spec.tag;
+                   message = Printexc.to_string exn } ))
+       outcomes)

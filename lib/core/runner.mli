@@ -1,0 +1,36 @@
+(** Executes batches of {!Run_spec.t} on a Domain worker pool.
+
+    Every experiment in {!Experiment} is implemented as
+    [specs |> Runner.run_all ?jobs]; the bench harness and CLI expose
+    the [?jobs] knob as [--jobs]/[-j].
+
+    {b Determinism.}  Results are byte-identical across [jobs] values:
+    each task's randomness is rooted in {!Run_spec.run_seed} (a pure
+    function of the spec), each task records into its own fresh
+    {!Pdht_obs.Context.t}, results are returned in batch order, and the
+    per-task registries are folded into the caller's registry in batch
+    order too ({!Pdht_obs.Registry.merge_into}). *)
+
+val default_jobs : unit -> int
+(** {!Pdht_runner.Pool.default_jobs}:
+    [Domain.recommended_domain_count () - 1], at least 1. *)
+
+val run_all :
+  ?jobs:int ->
+  ?obs:Pdht_obs.Context.t ->
+  Run_spec.t list ->
+  (Run_spec.t * Run_result.t) list
+(** Run every spec (its scenario re-seeded to {!Run_spec.run_seed})
+    and pair it with its outcome, in batch order.  A raising task
+    becomes an [Error] carrying the spec's tag; the rest of the batch
+    still runs.
+
+    [jobs] defaults to {!default_jobs}; [1] executes inline on the
+    calling domain.
+
+    [obs]: the registries of all {e successful} tasks are merged into
+    it in batch order.  Trace events cannot be multiplexed across
+    domains, so an enabled tracer in [obs] only captures events when
+    the batch has exactly one spec (which then runs directly against
+    [obs], preserving the single-run tracing path).
+    @raise Invalid_argument when [jobs < 1]. *)

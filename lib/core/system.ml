@@ -10,14 +10,15 @@ let log_src = Logs.Src.create "pdht.system" ~doc:"PDHT simulation runner"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+type ttl_policy = Model_derived | Fixed of float | Adaptive
+
 type options = {
   repl : int;
   stor : int;
   backend : Pdht_dht.Dht.backend;
   env : float option;
-  adaptive_ttl : bool;
+  ttl_policy : ttl_policy;
   sample_every : float;
-  key_ttl_override : float option;
   sizing_slack : float;
   eviction : Pdht_dht.Storage.eviction;
 }
@@ -28,12 +29,35 @@ let default_options =
     stor = 100;
     backend = Pdht_dht.Dht.Pgrid_backend;
     env = None;
-    adaptive_ttl = false;
+    ttl_policy = Model_derived;
     sample_every = 60.;
-    key_ttl_override = None;
     sizing_slack = 1.5;
     eviction = Pdht_dht.Storage.Evict_soonest_expiry;
   }
+
+module Options = struct
+  let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction ()
+      =
+    let d = default_options in
+    let value default = function Some v -> v | None -> default in
+    {
+      repl = value d.repl repl;
+      stor = value d.stor stor;
+      backend = value d.backend backend;
+      env = (match env with Some _ -> env | None -> d.env);
+      ttl_policy = value d.ttl_policy ttl_policy;
+      sample_every = value d.sample_every sample_every;
+      sizing_slack = value d.sizing_slack sizing_slack;
+      eviction = value d.eviction eviction;
+    }
+
+  let with_repl repl options = { options with repl }
+  let with_stor stor options = { options with stor }
+  let with_backend backend options = { options with backend }
+  let with_ttl_policy ttl_policy options = { options with ttl_policy }
+  let with_sample_every sample_every options = { options with sample_every }
+  let with_eviction eviction options = { options with eviction }
+end
 
 type sample = {
   time : float;
@@ -100,9 +124,9 @@ let model_params (scenario : Scenario.t) (options : options) =
   }
 
 let derive_key_ttl scenario options =
-  match options.key_ttl_override with
-  | Some ttl -> ttl
-  | None ->
+  match options.ttl_policy with
+  | Fixed ttl -> ttl
+  | Model_derived | Adaptive ->
       let params = model_params scenario options in
       let solution = Pdht_model.Index_policy.solve params in
       let ttl = Pdht_model.Strategies.default_key_ttl solution in
@@ -209,7 +233,7 @@ let run ?obs scenario strategy options =
   end;
   (* Adaptive TTL controller (extension). *)
   let adaptive =
-    if options.adaptive_ttl && Strategy.is_partial strategy then begin
+    if options.ttl_policy = Adaptive && Strategy.is_partial strategy then begin
       let controller = Adaptive.create () in
       Adaptive.attach controller engine pdht ~every:(10. *. options.sample_every);
       Some controller
@@ -315,11 +339,19 @@ let run ?obs scenario strategy options =
     | _ -> 0.
   in
   let solution = Pdht_model.Index_policy.solve (model_params scenario options) in
+  (* The engine's wall-clock throughput histogram measures the host, not
+     the simulation: it is the one registry instrument that legitimately
+     varies between runs (and between jobs counts).  Keeping it out of
+     the report preserves the contract that reports are a pure function
+     of (scenario, strategy, options); it stays in the registry for
+     telemetry export. *)
   let histograms =
     List.filter_map
       (fun (name, v) ->
         match v with
-        | Registry.Histogram_v s when s.Histogram.count > 0 -> Some (name, s)
+        | Registry.Histogram_v s
+          when s.Histogram.count > 0 && name <> "engine.sim_seconds_per_wall_second" ->
+            Some (name, s)
         | _ -> None)
       (Registry.snapshot registry)
   in

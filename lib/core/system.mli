@@ -6,16 +6,27 @@
     discrete-event engine for the scenario's duration, and reports the
     counters the paper's evaluation cares about. *)
 
+(** How a run picks (and maintains) the partial index's key TTL.  One
+    policy instead of the old [adaptive_ttl : bool] +
+    [key_ttl_override : float option] pair, whose four combinations
+    included two that silently meant the same thing. *)
+type ttl_policy =
+  | Model_derived  (** the analytical model's [1/fMin] (the default) *)
+  | Fixed of float  (** force this TTL, seconds *)
+  | Adaptive
+      (** start from the model's TTL, then let the self-tuning
+          controller steer it during the run (extension; only active
+          under [Partial_index]) *)
+
 type options = {
   repl : int;                  (** replication factor (default 20) *)
   stor : int;                  (** per-peer index cache (default 100) *)
   backend : Pdht_dht.Dht.backend;
   env : float option;          (** maintenance constant; [None] derives
                                    it from a 1 msg/peer/s trace rate *)
-  adaptive_ttl : bool;         (** enable the self-tuning controller *)
+  ttl_policy : ttl_policy;     (** key-TTL selection (default
+                                   [Model_derived]) *)
   sample_every : float;        (** time-series bucket width, seconds *)
-  key_ttl_override : float option;
-      (** force a TTL instead of the model-derived [1/fMin] *)
   sizing_slack : float;
       (** headroom multiplier on the model's [numActivePeers]: replica
           groups and key loads are hash-balanced only in expectation, so
@@ -25,6 +36,30 @@ type options = {
 }
 
 val default_options : options
+
+(** Builders for {!options}, so call sites name only what they change
+    and survive future field additions. *)
+module Options : sig
+  val make :
+    ?repl:int ->
+    ?stor:int ->
+    ?backend:Pdht_dht.Dht.backend ->
+    ?env:float ->
+    ?ttl_policy:ttl_policy ->
+    ?sample_every:float ->
+    ?sizing_slack:float ->
+    ?eviction:Pdht_dht.Storage.eviction ->
+    unit ->
+    options
+  (** Unnamed arguments take their {!default_options} value. *)
+
+  val with_repl : int -> options -> options
+  val with_stor : int -> options -> options
+  val with_backend : Pdht_dht.Dht.backend -> options -> options
+  val with_ttl_policy : ttl_policy -> options -> options
+  val with_sample_every : float -> options -> options
+  val with_eviction : Pdht_dht.Storage.eviction -> options -> options
+end
 
 type sample = {
   time : float;
@@ -61,14 +96,17 @@ type report = {
   c_s_unstr_measured : float; (** mean [broadcast.reach] (0 if unused) *)
   histograms : (string * Pdht_obs.Histogram.summary) list;
       (** every registry histogram with at least one observation,
-          name-sorted *)
+          name-sorted — except [engine.sim_seconds_per_wall_second],
+          which measures host speed rather than the simulation and
+          would break the determinism contract below *)
   samples : sample list;      (** chronological *)
 }
 
 val derive_key_ttl : Pdht_work.Scenario.t -> options -> float
-(** The TTL a run will use: the override if given, else [1/fMin] from
-    the analytical model instantiated with the scenario's parameters
-    (Zipf alpha approximated as 1.0 for non-Zipf distributions). *)
+(** The TTL a run starts with: [Fixed ttl] verbatim, otherwise (both
+    [Model_derived] and [Adaptive]) [1/fMin] from the analytical model
+    instantiated with the scenario's parameters (Zipf alpha
+    approximated as 1.0 for non-Zipf distributions). *)
 
 val plan_active_members : Pdht_work.Scenario.t -> options -> Strategy.t -> int
 (** DHT size for a run: enough members for the full index under

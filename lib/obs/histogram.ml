@@ -94,6 +94,27 @@ let nonzero_buckets t =
   done;
   !acc
 
+let merge ~into src =
+  if into == src then invalid_arg "Histogram.merge: cannot merge a histogram into itself";
+  if into.gamma <> src.gamma then
+    invalid_arg
+      (Printf.sprintf "Histogram.merge: gamma mismatch (%g vs %g)" into.gamma src.gamma);
+  if src.count > 0 then begin
+    if src.used > Array.length into.counts then begin
+      let bigger = Array.make (max 32 (2 * src.used)) 0 in
+      Array.blit into.counts 0 bigger 0 (Array.length into.counts);
+      into.counts <- bigger
+    end;
+    for i = 0 to src.used - 1 do
+      into.counts.(i) <- into.counts.(i) + src.counts.(i)
+    done;
+    if src.used > into.used then into.used <- src.used;
+    into.count <- into.count + src.count;
+    into.sum <- into.sum +. src.sum;
+    if src.min < into.min then into.min <- src.min;
+    if src.max > into.max then into.max <- src.max
+  end
+
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.used <- 0;

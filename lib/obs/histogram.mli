@@ -53,6 +53,17 @@ val nonzero_buckets : t -> (float * float * int) list
     order.  Bucket 0 is [(0, 1, _)]; bucket [i>0] is
     [(gamma^(i-1), gamma^i, _)]. *)
 
+val merge : into:t -> t -> unit
+(** [merge ~into src] adds every sample of [src] to [into],
+    bucket-for-bucket: the result is indistinguishable (same buckets,
+    count, min, max; sum up to float association) from having recorded
+    the concatenation of both sample streams into one histogram.  [src]
+    is left untouched.  The workhorse behind {!Registry.merge_into},
+    which folds per-task observability contexts from parallel runs back
+    into one registry.
+    @raise Invalid_argument if the two histograms have different
+    [gamma]s, or if [src] and [into] are the same histogram. *)
+
 val reset : t -> unit
 
 (** The fixed set of headline statistics the exporters and reports

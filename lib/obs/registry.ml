@@ -98,6 +98,24 @@ let diff ~before ~after =
       | Gauge_v _ | Histogram_v _ -> (name, value))
     after
 
+let merge_into src ~into =
+  if src.table == into.table then
+    invalid_arg "Registry.merge_into: cannot merge a registry into itself";
+  (* Name order makes the merge deterministic regardless of hash-table
+     iteration order — parallel batches must fold to identical state. *)
+  let instruments =
+    Hashtbl.fold (fun name inst acc -> (name, inst) :: acc) src.table []
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+  in
+  List.iter
+    (fun (name, inst) ->
+      match inst with
+      | I_counter c -> incr (counter into name) c.c_value
+      | I_gauge g -> set_gauge (gauge into name) g.g_value
+      | I_histogram h ->
+          Histogram.merge ~into:(histogram ~gamma:(Histogram.gamma h) into name) h)
+    instruments
+
 let reset t =
   Hashtbl.iter
     (fun _ inst ->

@@ -48,6 +48,18 @@ val diff : before:snapshot -> after:snapshot -> snapshot
     [before] entries count as 0); gauges and histograms keep their
     [after] reading.  Instruments absent from [after] are dropped. *)
 
+val merge_into : t -> into:t -> unit
+(** [merge_into src ~into] folds every instrument of [src] into [into],
+    creating instruments that don't exist there yet: counters add,
+    histograms merge sample-for-sample ({!Histogram.merge}), and gauges
+    take [src]'s reading (last merge wins — gauges are point-in-time).
+    [src] is left untouched.  Deterministic: instruments are merged in
+    name order, so folding the per-task registries of a parallel batch
+    in task order always yields the same state.
+    @raise Invalid_argument if a name already names a different
+    instrument kind in [into], if histogram [gamma]s differ, or if
+    [src] and [into] are the same registry. *)
+
 val reset : t -> unit
 (** Counters to 0, gauges to 0, histograms emptied.  Names survive. *)
 

@@ -1,0 +1,41 @@
+let default_jobs () = Stdlib.max 1 (Domain.recommended_domain_count () - 1)
+
+let try_map ?jobs ~f tasks =
+  let n = Array.length tasks in
+  let jobs = match jobs with Some j -> j | None -> default_jobs () in
+  if jobs < 1 then invalid_arg "Pool.try_map: jobs must be >= 1";
+  let run i = try Ok (f i tasks.(i)) with exn -> Error exn in
+  let jobs = Stdlib.min jobs n in
+  if jobs <= 1 then Array.init n run
+  else begin
+    let results = Array.make n None in
+    (* Work-stealing by atomic counter: domains grab the next unclaimed
+       index until the batch is drained.  Which domain runs which task
+       is racy, but each slot is written exactly once and results are
+       read back by index, so the output order is the input order. *)
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (run i);
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains = Array.init jobs (fun _ -> Domain.spawn worker) in
+    Array.iter Domain.join domains;
+    Array.map
+      (function
+        | Some outcome -> outcome
+        | None -> assert false (* every index below [n] was claimed *))
+      results
+  end
+
+let map ?jobs ~f tasks =
+  let outcomes = try_map ?jobs ~f tasks in
+  Array.map (function Ok v -> v | Error exn -> raise exn) outcomes
+
+let map_list ?jobs ~f tasks =
+  Array.to_list (map ?jobs ~f (Array.of_list tasks))

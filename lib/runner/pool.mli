@@ -1,0 +1,34 @@
+(** Domain-based worker pool for batches of independent tasks.
+
+    The pool runs a fixed function over an indexed batch of inputs on
+    [jobs] domains and hands the results back in input order, so callers
+    observe exactly the sequence a plain [List.map] would have produced.
+    Determinism is the caller's half of the contract: each task must
+    derive all of its randomness from its own index (see
+    {!Pdht_util.Rng.of_stream}) and touch no shared mutable state, and
+    then [run ~jobs:1] and [run ~jobs:n] are indistinguishable.
+
+    With [jobs = 1] (or a single-element batch) everything executes
+    inline on the calling domain — no spawning, so the sequential path
+    stays exactly as debuggable as before the pool existed. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count () - 1], clamped to at least 1:
+    leave one core for the coordinating domain, but never refuse to
+    work on a single-core machine. *)
+
+val try_map : ?jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> ('b, exn) result array
+(** [try_map ?jobs ~f tasks] applies [f index task] to every task and
+    returns the outcomes in input order.  A task that raises is captured
+    as [Error exn] in its slot; the other tasks still run to completion,
+    so one bad run in a batch never aborts its siblings.  [jobs]
+    defaults to {!default_jobs} and is additionally clamped to the batch
+    size.
+    @raise Invalid_argument when [jobs < 1]. *)
+
+val map : ?jobs:int -> f:(int -> 'a -> 'b) -> 'a array -> 'b array
+(** Like {!try_map}, but re-raises the first (lowest-index) captured
+    exception after the whole batch has finished. *)
+
+val map_list : ?jobs:int -> f:(int -> 'a -> 'b) -> 'a list -> 'b list
+(** {!map} over lists. *)

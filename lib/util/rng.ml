@@ -42,6 +42,24 @@ let split t =
   let s3 = splitmix64_next state in
   { s0; s1; s2; s3 }
 
+(* Derivation is stateless: two splitmix64 rounds mix [seed] and
+   [stream] so that nearby (seed, stream) pairs land far apart, and the
+   result does not depend on any generator having been advanced.  The
+   +1 keeps stream 0 from collapsing to a plain splitmix of the seed. *)
+let derive_seed ~seed ~stream =
+  let state = ref (Int64.of_int seed) in
+  let mixed_seed = splitmix64_next state in
+  let state =
+    ref
+      (Int64.logxor mixed_seed
+         (Int64.mul 0x9E3779B97F4A7C15L (Int64.of_int (stream + 1))))
+  in
+  (* Keep 62 bits: a 63-bit value can still wrap negative through
+     Int64.to_int on 64-bit OCaml ints. *)
+  Int64.to_int (Int64.shift_right_logical (splitmix64_next state) 2)
+
+let of_stream ~seed ~stream = create ~seed:(derive_seed ~seed ~stream)
+
 (* Rejection sampling over the non-negative 62-bit range (so the draw
    always fits OCaml's 63-bit int) keeps the distribution exactly
    uniform for any bound. *)

@@ -23,6 +23,17 @@ val split : t -> t
 (** [split t] draws from [t] to create a statistically independent
     generator.  Advances [t]. *)
 
+val derive_seed : seed:int -> stream:int -> int
+(** [derive_seed ~seed ~stream] is a non-negative seed derived from the
+    pair by splitmix64 mixing.  Stateless and deterministic: parallel
+    task [stream] of a batch rooted at [seed] gets the same seed no
+    matter which domain runs it or in what order — the basis of the
+    runner's parallel/sequential parity guarantee.  Distinct streams of
+    the same root seed give statistically independent generators. *)
+
+val of_stream : seed:int -> stream:int -> t
+(** [of_stream ~seed ~stream] is [create ~seed:(derive_seed ~seed ~stream)]. *)
+
 val bits64 : t -> int64
 (** Next raw 64-bit output. *)
 

@@ -7,6 +7,9 @@ module Config = Pdht_core.Config
 module Pdht = Pdht_core.Pdht
 module Adaptive = Pdht_core.Adaptive
 module System = Pdht_core.System
+module Run_spec = Pdht_core.Run_spec
+module Run_result = Pdht_core.Run_result
+module Runner = Pdht_core.Runner
 module Scenario = Pdht_work.Scenario
 module Metrics = Pdht_sim.Metrics
 
@@ -373,15 +376,38 @@ let test_system_with_churn () =
     (success > 0.85)
 
 let test_system_adaptive_option_runs () =
-  let options = { tiny_options with System.adaptive_ttl = true; sample_every = 20. } in
+  let options =
+    { tiny_options with System.ttl_policy = System.Adaptive; sample_every = 20. }
+  in
   let ttl = System.derive_key_ttl tiny_scenario options in
   let r = System.run tiny_scenario (partial ttl) options in
   Alcotest.(check bool) "completes and answers" true (r.System.answered > 0)
 
 let test_system_ttl_override () =
-  let options = { tiny_options with System.key_ttl_override = Some 123. } in
-  Alcotest.(check (float 1e-9)) "override wins" 123.
-    (System.derive_key_ttl tiny_scenario options)
+  let options = System.Options.with_ttl_policy (System.Fixed 123.) tiny_options in
+  Alcotest.(check (float 1e-9)) "fixed policy wins" 123.
+    (System.derive_key_ttl tiny_scenario options);
+  (* Adaptive runs start from the same model-derived TTL as the default
+     policy; only the in-run controller differs. *)
+  Alcotest.(check (float 1e-9)) "adaptive starts model-derived"
+    (System.derive_key_ttl tiny_scenario tiny_options)
+    (System.derive_key_ttl tiny_scenario
+       (System.Options.with_ttl_policy System.Adaptive tiny_options))
+
+let test_system_options_builders () =
+  let o =
+    System.Options.make ~repl:7 ~stor:42 ~ttl_policy:(System.Fixed 5.) ()
+  in
+  Alcotest.(check int) "repl" 7 o.System.repl;
+  Alcotest.(check int) "stor" 42 o.System.stor;
+  Alcotest.(check bool) "ttl policy" true (o.System.ttl_policy = System.Fixed 5.);
+  Alcotest.(check int) "defaults survive" System.default_options.System.repl
+    (System.Options.make ()).System.repl;
+  let o2 = System.Options.with_stor 9 (System.Options.with_repl 3 o) in
+  Alcotest.(check int) "with_repl" 3 o2.System.repl;
+  Alcotest.(check int) "with_stor" 9 o2.System.stor;
+  Alcotest.(check bool) "with_* keeps the rest" true
+    (o2.System.ttl_policy = System.Fixed 5.)
 
 let test_system_query_cost_percentiles () =
   let ttl = System.derive_key_ttl tiny_scenario tiny_options in
@@ -400,6 +426,101 @@ let test_system_report_printable () =
   let r = System.run tiny_scenario (partial ttl) tiny_options in
   let s = Format.asprintf "%a" System.pp_report r in
   Alcotest.(check bool) "non-empty" true (String.length s > 50)
+
+(* ------------------------------------------------------------------ *)
+(* Run specs and the domain pool *)
+
+let runner_scenario =
+  { tiny_scenario with Scenario.num_peers = 100; keys = 200; duration = 250. }
+
+let runner_specs () =
+  let base = Run_spec.make ~options:tiny_options runner_scenario in
+  Run_spec.over_seeds [ 1; 2; 3 ] base
+  @ [ Run_spec.with_strategy Strategy.No_index base ]
+
+let test_runner_jobs_parity () =
+  (* The determinism contract: any jobs count yields the same reports,
+     field by field, because each task's randomness derives from the
+     spec alone. *)
+  let reports jobs = Run_result.reports_exn (Runner.run_all ~jobs (runner_specs ())) in
+  let sequential = reports 1 and parallel = reports 4 in
+  Alcotest.(check int) "batch size" (List.length sequential) (List.length parallel);
+  List.iter2
+    (fun (a : System.report) (b : System.report) ->
+      Alcotest.(check string) "scenario" a.System.scenario_name b.System.scenario_name;
+      Alcotest.(check int) "queries" a.System.queries b.System.queries;
+      Alcotest.(check int) "answered" a.System.answered b.System.answered;
+      Alcotest.(check int) "from_index" a.System.from_index b.System.from_index;
+      Alcotest.(check int) "total messages" a.System.total_messages b.System.total_messages;
+      Alcotest.(check (float 0.)) "messages/s" a.System.messages_per_second
+        b.System.messages_per_second;
+      Alcotest.(check (float 0.)) "hit rate" a.System.hit_rate b.System.hit_rate;
+      Alcotest.(check (float 0.)) "p99" a.System.query_cost_p99 b.System.query_cost_p99;
+      Alcotest.(check int) "indexed keys" a.System.indexed_keys_final
+        b.System.indexed_keys_final;
+      Alcotest.(check int) "samples" (List.length a.System.samples)
+        (List.length b.System.samples);
+      Alcotest.(check int) "histograms" (List.length a.System.histograms)
+        (List.length b.System.histograms);
+      (* ... and every remaining field, via structural equality. *)
+      Alcotest.(check bool) "whole report" true (a = b))
+    sequential parallel
+
+let test_runner_error_capture () =
+  (* One poisoned spec becomes a labelled error; the rest of the batch
+     still runs. *)
+  let good = Run_spec.make ~options:tiny_options runner_scenario in
+  let bad =
+    Run_spec.with_tag "poisoned"
+      (Run_spec.with_options { tiny_options with System.repl = 0 } good)
+  in
+  let results = Runner.run_all ~jobs:2 [ good; bad; good ] in
+  (match results with
+  | [ (_, Ok _); (spec, Error e); (_, Ok _) ] ->
+      Alcotest.(check string) "error carries the tag" "poisoned" e.Run_result.tag;
+      Alcotest.(check string) "spec preserved" "poisoned" spec.Run_spec.tag;
+      Alcotest.(check bool) "message non-empty" true (String.length e.Run_result.message > 0)
+  | _ -> Alcotest.fail "expected [Ok; Error; Ok]");
+  Alcotest.(check int) "failures lists only the poisoned spec" 1
+    (List.length (Run_result.failures results));
+  Alcotest.check_raises "reports_exn surfaces the failure"
+    (Run_result.Task_failed
+       { Run_result.tag = "poisoned";
+         message =
+           (match results with
+           | [ _; (_, Error e); _ ] -> e.Run_result.message
+           | _ -> "") })
+    (fun () -> ignore (Run_result.reports_exn results))
+
+let test_run_spec_seeding () =
+  let spec = Run_spec.make ~options:tiny_options runner_scenario in
+  Alcotest.(check bool) "derived seed differs from the raw seed" true
+    (Run_spec.run_seed spec <> runner_scenario.Scenario.seed);
+  Alcotest.(check bool) "task_id splits the stream" true
+    (Run_spec.run_seed spec <> Run_spec.run_seed (Run_spec.with_task_id 1 spec));
+  Alcotest.(check int) "run_seed is a pure function of the spec"
+    (Run_spec.run_seed spec) (Run_spec.run_seed spec);
+  let tags = List.map (fun s -> s.Run_spec.tag) (Run_spec.over_seeds [ 7; 8 ] spec) in
+  Alcotest.(check (list string)) "over_seeds tags"
+    [ spec.Run_spec.tag ^ " seed=7"; spec.Run_spec.tag ^ " seed=8" ] tags;
+  Alcotest.(check string) "with_strategy refreshes a defaulted tag"
+    (runner_scenario.Scenario.name ^ "/" ^ Strategy.label Strategy.No_index)
+    (Run_spec.with_strategy Strategy.No_index spec).Run_spec.tag;
+  Alcotest.(check string) "with_strategy keeps a custom tag" "mine"
+    (Run_spec.with_strategy Strategy.No_index (Run_spec.with_tag "mine" spec)).Run_spec.tag
+
+let test_pool_map_preserves_order () =
+  let squares =
+    Pdht_runner.Pool.map ~jobs:4 ~f:(fun i x -> (i, x * x)) (Array.init 40 (fun i -> i + 1))
+  in
+  Array.iteri
+    (fun i (j, sq) ->
+      Alcotest.(check int) "index" i j;
+      Alcotest.(check int) "value" ((i + 1) * (i + 1)) sq)
+    squares;
+  Alcotest.check_raises "jobs must be positive"
+    (Invalid_argument "Pool.try_map: jobs must be >= 1") (fun () ->
+      ignore (Pdht_runner.Pool.map ~jobs:0 ~f:(fun _ x -> x) [| 1 |]))
 
 let () =
   Alcotest.run "pdht_core"
@@ -449,7 +570,15 @@ let () =
           Alcotest.test_case "with churn" `Quick test_system_with_churn;
           Alcotest.test_case "adaptive option" `Quick test_system_adaptive_option_runs;
           Alcotest.test_case "ttl override" `Quick test_system_ttl_override;
+          Alcotest.test_case "options builders" `Quick test_system_options_builders;
           Alcotest.test_case "query cost percentiles" `Quick test_system_query_cost_percentiles;
           Alcotest.test_case "report printable" `Quick test_system_report_printable;
+        ] );
+      ( "runner",
+        [
+          Alcotest.test_case "jobs parity" `Quick test_runner_jobs_parity;
+          Alcotest.test_case "error capture" `Quick test_runner_error_capture;
+          Alcotest.test_case "run_spec seeding" `Quick test_run_spec_seeding;
+          Alcotest.test_case "pool order" `Quick test_pool_map_preserves_order;
         ] );
     ]

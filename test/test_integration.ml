@@ -64,7 +64,7 @@ let test_adaptivity_recovers () =
 (* E8a: random walks must be far cheaper than flooding while still
    succeeding — the paper's reason for assuming [LvCa02]-style search. *)
 let test_search_ablation () =
-  let rows = Experiment.search_ablation ~seed:3 ~peers:400 ~repl:20 ~trials:60 in
+  let rows = Experiment.search_ablation ~seed:3 ~peers:400 ~repl:20 ~trials:60 () in
   let find m = List.find (fun (r : Experiment.search_ablation_row) -> r.Experiment.mechanism = m) rows in
   let flood = find "flooding" and walks = find "random-walks" in
   Alcotest.(check bool) "flooding succeeds" true (flood.Experiment.success_rate > 0.95);
@@ -80,7 +80,7 @@ let test_search_ablation () =
 let test_backend_ablation () =
   let check_rows offline_fraction =
     let rows =
-      Experiment.backend_ablation ~seed:4 ~members:512 ~trials:300 ~offline_fraction
+      Experiment.backend_ablation ~seed:4 ~members:512 ~trials:300 ~offline_fraction ()
     in
     List.iter
       (fun (r : Experiment.backend_ablation_row) ->

@@ -197,6 +197,99 @@ let test_registry_snapshot_diff_reset () =
   Alcotest.(check int) "histogram reset" 0 (Histogram.count h)
 
 (* ------------------------------------------------------------------ *)
+(* Merging (the parallel runner folds per-task registries together) *)
+
+let record_all h vs = List.iter (Histogram.record h) vs
+
+let test_histogram_merge_equals_concat () =
+  let a = [ 0.2; 3.; 17.; 17.5; 400.; 0.9 ] in
+  let b = [ 1.; 2.; 1_000_000.; 0.; 17. ] in
+  let ha = Histogram.create () and hb = Histogram.create () in
+  let hc = Histogram.create () in
+  record_all ha a;
+  record_all hb b;
+  record_all hc (a @ b);
+  Histogram.merge ~into:ha hb;
+  Alcotest.(check int) "count" (Histogram.count hc) (Histogram.count ha);
+  Alcotest.(check (float 1e-9)) "min" (Histogram.min_value hc) (Histogram.min_value ha);
+  Alcotest.(check (float 1e-9)) "max" (Histogram.max_value hc) (Histogram.max_value ha);
+  Alcotest.(check (float 1e-6)) "sum" (Histogram.sum hc) (Histogram.sum ha);
+  let buckets h =
+    List.map (fun (lo, _, n) -> (lo, n)) (Histogram.nonzero_buckets h)
+  in
+  Alcotest.(check (list (pair (float 1e-9) int)))
+    "bucket-for-bucket" (buckets hc) (buckets ha);
+  List.iter
+    (fun p ->
+      Alcotest.(check (float 1e-9))
+        (Printf.sprintf "quantile %g" p)
+        (Histogram.quantile hc p) (Histogram.quantile ha p))
+    [ 0.5; 0.9; 0.99 ];
+  (* hb untouched *)
+  Alcotest.(check int) "src untouched" (List.length b) (Histogram.count hb)
+
+let test_histogram_merge_empty_cases () =
+  let full = Histogram.create () in
+  record_all full [ 1.; 2.; 3. ];
+  let empty = Histogram.create () in
+  Histogram.merge ~into:full empty;
+  Alcotest.(check int) "merging empty is a no-op" 3 (Histogram.count full);
+  let target = Histogram.create () in
+  Histogram.merge ~into:target full;
+  Alcotest.(check int) "merge into empty copies counts" 3 (Histogram.count target);
+  Alcotest.(check (float 1e-9)) "mean" (Histogram.mean full) (Histogram.mean target)
+
+let test_histogram_merge_rejects_mismatch () =
+  let a = Histogram.create ~gamma:1.1 () in
+  let b = Histogram.create ~gamma:1.2 () in
+  (match Histogram.merge ~into:a b with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "gamma mismatch not rejected");
+  match Histogram.merge ~into:a a with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "self-merge not rejected"
+
+let test_registry_merge_into () =
+  let src = Registry.create () and dst = Registry.create () in
+  Registry.incr (Registry.counter dst "messages") 10;
+  Registry.incr (Registry.counter src "messages") 5;
+  Registry.incr (Registry.counter src "only_in_src") 2;
+  Registry.set_gauge (Registry.gauge dst "depth") 1.;
+  Registry.set_gauge (Registry.gauge src "depth") 9.;
+  Histogram.record (Registry.histogram dst "cost") 4.;
+  Histogram.record (Registry.histogram src "cost") 8.;
+  Registry.merge_into src ~into:dst;
+  Alcotest.(check (option int)) "counters add" (Some 15)
+    (Registry.counter_value_by_name dst "messages");
+  Alcotest.(check (option int)) "missing counters created" (Some 2)
+    (Registry.counter_value_by_name dst "only_in_src");
+  Alcotest.(check (option (float 0.))) "gauge last-wins" (Some 9.)
+    (Registry.gauge_value_by_name dst "depth");
+  (match Registry.find_histogram dst "cost" with
+  | Some h -> Alcotest.(check int) "histograms merge" 2 (Histogram.count h)
+  | None -> Alcotest.fail "cost histogram lost");
+  (* src untouched by the merge *)
+  Alcotest.(check (option int)) "src counter untouched" (Some 5)
+    (Registry.counter_value_by_name src "messages")
+
+let test_registry_merge_kind_mismatch () =
+  let src = Registry.create () and dst = Registry.create () in
+  Registry.incr (Registry.counter src "x") 1;
+  Registry.set_gauge (Registry.gauge dst "x") 2.;
+  (match Registry.merge_into src ~into:dst with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "counter-into-gauge not rejected");
+  let src2 = Registry.create () and dst2 = Registry.create () in
+  Histogram.record (Registry.histogram src2 "y") 1.;
+  Registry.incr (Registry.counter dst2 "y") 1;
+  (match Registry.merge_into src2 ~into:dst2 with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "histogram-into-counter not rejected");
+  match Registry.merge_into src ~into:src with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "self-merge not rejected"
+
+(* ------------------------------------------------------------------ *)
 (* Export *)
 
 let test_export_jsonl_and_csv () =
@@ -302,6 +395,39 @@ let test_system_run_populates_histograms () =
   Alcotest.(check int) "messages.* counters sum to total_messages"
     report.Pdht_core.System.total_messages total_teed
 
+(* ------------------------------------------------------------------ *)
+(* Properties *)
+
+let qcheck_tests =
+  let open QCheck in
+  let sample = float_range 0. 1e6 in
+  [
+    Test.make ~name:"histogram merge = observing the concatenated stream" ~count:200
+      (pair (list_of_size Gen.(int_range 0 60) sample)
+         (list_of_size Gen.(int_range 0 60) sample))
+      (fun (a, b) ->
+        let ha = Histogram.create () and hb = Histogram.create () in
+        let hc = Histogram.create () in
+        record_all ha a;
+        record_all hb b;
+        record_all hc (a @ b);
+        Histogram.merge ~into:ha hb;
+        Histogram.count ha = Histogram.count hc
+        && Histogram.nonzero_buckets ha = Histogram.nonzero_buckets hc
+        && Histogram.min_value ha = Histogram.min_value hc
+        && Histogram.max_value ha = Histogram.max_value hc
+        && Float.abs (Histogram.sum ha -. Histogram.sum hc)
+           <= 1e-9 *. Float.max 1. (Histogram.sum hc));
+    Test.make ~name:"registry merge adds counters" ~count:100
+      (pair (int_range 0 1000) (int_range 0 1000))
+      (fun (x, y) ->
+        let src = Registry.create () and dst = Registry.create () in
+        Registry.incr (Registry.counter src "c") x;
+        Registry.incr (Registry.counter dst "c") y;
+        Registry.merge_into src ~into:dst;
+        Registry.counter_value_by_name dst "c" = Some (x + y));
+  ]
+
 let () =
   Alcotest.run "pdht_obs"
     [
@@ -318,6 +444,10 @@ let () =
           Alcotest.test_case "small counts" `Quick test_histogram_small_counts;
           Alcotest.test_case "rejects bad input" `Quick test_histogram_rejects_bad_input;
           Alcotest.test_case "summary and reset" `Quick test_histogram_summary_and_reset;
+          Alcotest.test_case "merge equals concat" `Quick test_histogram_merge_equals_concat;
+          Alcotest.test_case "merge empty cases" `Quick test_histogram_merge_empty_cases;
+          Alcotest.test_case "merge rejects mismatch" `Quick
+            test_histogram_merge_rejects_mismatch;
         ] );
       ( "event",
         [
@@ -330,6 +460,8 @@ let () =
         [
           Alcotest.test_case "snapshot diff reset" `Quick
             test_registry_snapshot_diff_reset;
+          Alcotest.test_case "merge_into" `Quick test_registry_merge_into;
+          Alcotest.test_case "merge kind mismatch" `Quick test_registry_merge_kind_mismatch;
         ] );
       ( "export",
         [
@@ -344,4 +476,5 @@ let () =
           Alcotest.test_case "run populates histograms" `Quick
             test_system_run_populates_histograms;
         ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

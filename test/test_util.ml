@@ -71,6 +71,37 @@ let test_rng_int_in_range () =
   done;
   Alcotest.(check int) "degenerate range" 3 (Rng.int_in_range rng ~lo:3 ~hi:3)
 
+let test_rng_derive_seed_deterministic () =
+  Alcotest.(check int) "same pair, same seed"
+    (Rng.derive_seed ~seed:42 ~stream:3)
+    (Rng.derive_seed ~seed:42 ~stream:3);
+  Alcotest.(check bool) "non-negative" true (Rng.derive_seed ~seed:(-9) ~stream:0 >= 0);
+  (* Stateless: deriving is not affected by other derivations. *)
+  let a = Rng.derive_seed ~seed:1 ~stream:5 in
+  ignore (Rng.derive_seed ~seed:99 ~stream:7);
+  Alcotest.(check int) "stateless" a (Rng.derive_seed ~seed:1 ~stream:5)
+
+let test_rng_derive_seed_separates_streams () =
+  (* Distinct streams (and distinct root seeds) must not collide over a
+     modest range, and the derived generators must not share a stream. *)
+  let seen = Hashtbl.create 512 in
+  for seed = 0 to 15 do
+    for stream = 0 to 15 do
+      let s = Rng.derive_seed ~seed ~stream in
+      Alcotest.(check bool)
+        (Printf.sprintf "no collision at (%d,%d)" seed stream)
+        false (Hashtbl.mem seen s);
+      Hashtbl.replace seen s ()
+    done
+  done;
+  let a = Rng.of_stream ~seed:7 ~stream:0 in
+  let b = Rng.of_stream ~seed:7 ~stream:1 in
+  let overlap = ref 0 in
+  for _ = 1 to 200 do
+    if Int64.equal (Rng.bits64 a) (Rng.bits64 b) then incr overlap
+  done;
+  Alcotest.(check int) "streams do not track each other" 0 !overlap
+
 let test_rng_unit_float_range () =
   let rng = Rng.create ~seed:8 in
   for _ = 1 to 1000 do
@@ -484,6 +515,8 @@ let () =
           Alcotest.test_case "int bounds" `Quick test_rng_int_bounds;
           Alcotest.test_case "int rejects nonpositive" `Quick test_rng_int_rejects_nonpositive;
           Alcotest.test_case "int_in_range" `Quick test_rng_int_in_range;
+          Alcotest.test_case "derive_seed deterministic" `Quick test_rng_derive_seed_deterministic;
+          Alcotest.test_case "derive_seed separates streams" `Quick test_rng_derive_seed_separates_streams;
           Alcotest.test_case "unit_float range" `Quick test_rng_unit_float_range;
           Alcotest.test_case "uniformity" `Quick test_rng_uniformity;
           Alcotest.test_case "bernoulli extremes" `Quick test_rng_bernoulli_extremes;

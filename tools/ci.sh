@@ -15,9 +15,17 @@ dune exec bench/main.exe -- table1 perf > /dev/null
 test -f BENCH_pdht.json
 dune exec tools/validate_jsonl.exe -- BENCH_pdht.json
 
+echo "== parallel determinism =="
+# The runner's contract: any --jobs value yields byte-identical output.
+par=$(mktemp -d)
+trap 'rm -rf "$par"' EXIT INT TERM
+dune exec bench/main.exe -- -j 1 seeds > "$par/seeds-j1.txt"
+dune exec bench/main.exe -- -j 4 seeds > "$par/seeds-j4.txt"
+diff "$par/seeds-j1.txt" "$par/seeds-j4.txt"
+
 echo "== telemetry smoke =="
 out=$(mktemp -d)
-trap 'rm -rf "$out"' EXIT INT TERM
+trap 'rm -rf "$par" "$out"' EXIT INT TERM
 dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
   --metrics-out "$out/metrics.jsonl" --trace-out "$out/trace.jsonl" > /dev/null
 dune exec tools/validate_jsonl.exe -- "$out/metrics.jsonl" "$out/trace.jsonl"
