@@ -659,7 +659,7 @@ let section_replication_planning () =
 
 let section_perf () =
   heading "Perf - instrumented partial-index run (writes BENCH_pdht.json)"
-    "(wall-clock engine throughput plus streaming query-cost percentiles,\n\
+    "(wall-clock engine throughput, allocation counters, and runner scaling,\n\
      exported as JSON so runs can be compared across commits)";
   let module Json = Pdht_obs.Json in
   let scenario =
@@ -673,10 +673,38 @@ let section_perf () =
   in
   let options = sim_options in
   let key_ttl = System.derive_key_ttl scenario options in
-  let obs = Pdht_obs.Context.create () in
-  let t0 = Unix.gettimeofday () in
-  let report = System.run ~obs scenario (Strategy.Partial_index { key_ttl }) options in
-  let wall = Unix.gettimeofday () -. t0 in
+  (* One discarded warm-up run, then best wall-clock of three measured
+     runs.  The warm-up pays the process's one-off costs (page faults
+     on fresh heap chunks, the GC growing its heaps to steady state);
+     taking the minimum of the repeats filters scheduler noise, which
+     on a small shared box swings single measurements by +-20%.  The
+     run is deterministic, so every repeat produces the identical
+     report — only the wall-clock varies, and the fastest repeat is
+     the best estimate of what the code actually costs.  Each repeat
+     gets its own observability context so [engine.events_processed]
+     counts one run. *)
+  let partial = Strategy.Partial_index { key_ttl } in
+  let (_ : System.report) =
+    System.run ~obs:(Pdht_obs.Context.create ()) scenario partial options
+  in
+  let measure () =
+    let obs = Pdht_obs.Context.create () in
+    let gc0 = Gc.quick_stat () in
+    let t0 = Unix.gettimeofday () in
+    let report = System.run ~obs scenario partial options in
+    let wall = Unix.gettimeofday () -. t0 in
+    let gc1 = Gc.quick_stat () in
+    (wall, gc0, gc1, obs, report)
+  in
+  let best = ref (measure ()) in
+  for _ = 2 to 3 do
+    let ((wall, _, _, _, _) as m) = measure () in
+    let best_wall, _, _, _, _ = !best in
+    if wall < best_wall then best := m
+  done;
+  let wall, gc0, gc1, obs, report = !best in
+  let minor_words_run = gc1.Gc.minor_words -. gc0.Gc.minor_words in
+  let minor_collections_run = gc1.Gc.minor_collections - gc0.Gc.minor_collections in
   let registry = Pdht_obs.Context.registry obs in
   let engine_events =
     match Pdht_obs.Registry.counter_value_by_name registry "engine.events_processed" with
@@ -684,24 +712,72 @@ let section_perf () =
     | None -> 0
   in
   let events_per_second = if wall > 0. then float_of_int engine_events /. wall else 0. in
-  (* Runner scaling: the same 4-spec seed batch on one domain and on
-     [max !jobs 4] domains.  The outputs are asserted identical; only
-     the wall-clock may differ (>= 2x on 4+ real cores). *)
+  let minor_words_per_event =
+    if engine_events > 0 then minor_words_run /. float_of_int engine_events else 0.
+  in
+  (* Allocation probes for the two hot paths this bench guards: the event
+     queue must be allocation-free after warm-up, and a scratch-reusing
+     flood must allocate only its result record (a fresh-scratch flood
+     pays the visited set and frontier buffers every call). *)
+  let minor_words_per_op ~warmup ~iters f =
+    for _ = 1 to warmup do
+      f ()
+    done;
+    let w0 = Gc.minor_words () in
+    for _ = 1 to iters do
+      f ()
+    done;
+    (Gc.minor_words () -. w0) /. float_of_int iters
+  in
+  let queue_words_per_op =
+    let q = Pdht_sim.Event_queue.create () in
+    minor_words_per_op ~warmup:10_000 ~iters:100_000 (fun () ->
+        Pdht_sim.Event_queue.add q ~time:1.0 0;
+        ignore (Pdht_sim.Event_queue.pop_min q))
+  in
+  let flood_topo =
+    Pdht_overlay.Topology.random_regularish (Pdht_util.Rng.create ~seed:7) ~peers:2_000
+      ~degree:4
+  in
+  let flood_online _ = true in
+  let flood_holds _ = false in
+  let flood_words ?scratch () =
+    minor_words_per_op ~warmup:50 ~iters:500 (fun () ->
+        ignore
+          (Pdht_overlay.Flood.search ?scratch flood_topo ~online:flood_online
+             ~holds:flood_holds ~source:0 ~ttl:6))
+  in
+  let flood_scratch_words = flood_words ~scratch:(Pdht_overlay.Scratch.create ()) () in
+  let flood_fresh_words = flood_words () in
+  (* Runner scaling: a sweep-sized seed batch (>= 4x the domain count, so
+     work-stealing has something to balance) on one domain and on
+     [max !jobs 4] domains.  The outputs are asserted identical; only the
+     wall-clock may differ.  The pool clamps its worker count to the
+     physical cores, so on a single-core box both batches run inline and
+     the honest speedup is ~1.0 rather than the oversubscription slowdown
+     spawning 4 domains there would cost. *)
+  let cores = Domain.recommended_domain_count () in
   let par_jobs = max !jobs 4 in
   let batch_specs =
     let scenario =
       { scenario with Scenario.num_peers = 400; keys = 800; duration = 600. }
     in
-    Pdht_core.Run_spec.over_seeds [ 1; 2; 3; 4 ]
+    Pdht_core.Run_spec.over_seeds
+      (List.init 16 (fun i -> i + 1))
       (Pdht_core.Run_spec.make ~options scenario)
   in
   let timed_batch jobs =
+    let g0 = Gc.quick_stat () in
     let t0 = Unix.gettimeofday () in
     let results = Pdht_core.Runner.run_all ~jobs batch_specs in
-    (Unix.gettimeofday () -. t0, Pdht_core.Run_result.reports_exn results)
+    let wall = Unix.gettimeofday () -. t0 in
+    let g1 = Gc.quick_stat () in
+    ( wall,
+      g1.Gc.minor_words -. g0.Gc.minor_words,
+      Pdht_core.Run_result.reports_exn results )
   in
-  let wall_single, reports_single = timed_batch 1 in
-  let wall_parallel, reports_parallel = timed_batch par_jobs in
+  let wall_single, minor_single, reports_single = timed_batch 1 in
+  let wall_parallel, minor_parallel, reports_parallel = timed_batch par_jobs in
   if reports_single <> reports_parallel then
     failwith "perf: parallel batch diverged from the single-domain batch";
   let speedup = if wall_parallel > 0. then wall_single /. wall_parallel else 0. in
@@ -722,6 +798,20 @@ let section_perf () =
         ("query_cost_p50", Json.Float report.System.query_cost_p50);
         ("query_cost_p95", Json.Float report.System.query_cost_p95);
         ("query_cost_p99", Json.Float report.System.query_cost_p99);
+        ( "gc",
+          Json.Obj
+            [
+              ("minor_words_run", Json.Float minor_words_run);
+              ("minor_collections_run", Json.Int minor_collections_run);
+              ("minor_words_per_event", Json.Float minor_words_per_event);
+            ] );
+        ( "alloc",
+          Json.Obj
+            [
+              ("event_queue_add_pop_minor_words_per_op", Json.Float queue_words_per_op);
+              ("flood_scratch_minor_words_per_search", Json.Float flood_scratch_words);
+              ("flood_fresh_minor_words_per_search", Json.Float flood_fresh_words);
+            ] );
         ( "histograms",
           Json.Obj
             (List.map
@@ -730,11 +820,15 @@ let section_perf () =
         ( "parallel",
           Json.Obj
             [
+              ("cores", Json.Int cores);
               ("batch_specs", Json.Int (List.length batch_specs));
               ("jobs_single", Json.Int 1);
               ("wall_single_s", Json.Float wall_single);
+              ("minor_words_single", Json.Float minor_single);
               ("jobs_parallel", Json.Int par_jobs);
+              ("jobs_effective", Json.Int (min par_jobs cores));
               ("wall_parallel_s", Json.Float wall_parallel);
+              ("minor_words_parallel", Json.Float minor_parallel);
               ("speedup", Json.Float speedup);
               ("identical_reports", Json.Bool true);
             ] );
@@ -746,11 +840,14 @@ let section_perf () =
   output_char oc '\n';
   close_out oc;
   Printf.printf
-    "%s: %d engine events in %.2f s wall (%.0f events/s), %d messages\n\
-     runner: %d-spec batch %.2f s on 1 domain vs %.2f s on %d (%.2fx, identical output)\n\
+    "%s: %d engine events in %.2f s wall (%.0f events/s), %.1f minor words/event\n\
+     alloc: queue add+pop %.2f w/op, flood %.0f w/search with scratch vs %.0f fresh\n\
+     runner: %d-spec batch %.2f s on 1 domain vs %.2f s at -j %d (%.2fx on %d core(s), \
+     identical output)\n\
      wrote %s\n"
-    run_name engine_events wall events_per_second report.System.total_messages
-    (List.length batch_specs) wall_single wall_parallel par_jobs speedup path
+    run_name engine_events wall events_per_second minor_words_per_event queue_words_per_op
+    flood_scratch_words flood_fresh_words (List.length batch_specs) wall_single
+    wall_parallel par_jobs speedup cores path
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)

@@ -14,6 +14,8 @@ module Storage = Pdht_dht.Storage
 module Replica_net = Pdht_gossip.Replica_net
 module Rumor = Pdht_gossip.Rumor
 
+
+
 (* TTL standing in for "never expires" in the baseline index; large but
    far from Float.max_float so [now +. ttl] stays finite. *)
 let forever = 1e15
@@ -210,27 +212,35 @@ let empty_result = {
 
 (* Pick a DHT entry point for a peer: itself when it is an online
    member, otherwise a random online member it knows (one contact
-   message).  Returns (entry, contact_messages). *)
+   message).  Returns the entry member, or [-1] when none is reachable;
+   unboxed so the per-query path builds no option/tuple.  The contact
+   cost is recoverable as [entry_contact]: zero exactly when the peer is
+   its own entry (a drawn candidate is always online while the peer in
+   that branch is offline or not a member, so they never collide). *)
 let entry_point t peer =
   let members = t.config.Config.active_members in
-  if peer < members && t.online peer then Some (peer, 0)
+  if peer < members && t.online peer then peer
   else begin
     let attempts = min 32 (2 * members) in
     let rec pick i =
-      if i = attempts then None
+      if i = attempts then -1
       else
         let cand = Rng.int t.rng members in
-        if t.online cand then Some (cand, 1) else pick (i + 1)
+        if t.online cand then cand else pick (i + 1)
     in
     pick 0
   end
+
+let entry_contact ~peer entry = if entry = peer then 0 else 1
 
 (* Per-backend lookup telemetry: hop/message histograms feed the
    measured-vs-model cSIndx comparison in {!System.report}. *)
 let record_lookup t ~now ~peer ~key_index lookup =
   Histogram.record_int t.ins.hops_hist lookup.Dht.hops;
   Histogram.record_int t.ins.lookup_msgs_hist lookup.Dht.messages;
-  if lookup.Dht.responsible = None then Registry.incr t.ins.c_lookup_failed 1;
+  (match lookup.Dht.responsible with
+  | None -> Registry.incr t.ins.c_lookup_failed 1
+  | Some _ -> ());
   let tracer = t.obs.Obs.tracer in
   if Tracer.active tracer Event.Dht_lookup then
     Tracer.emit tracer
@@ -267,28 +277,34 @@ let index_search t ~now ~entry ~key_index =
             record_ttl_reset t ~now ~peer:responsible ~key_index;
             (Some provider, index_messages, 0)
         | None ->
-            (* Local miss: ask the other replicas. *)
+            (* Local miss: ask the other replicas.  Plain loop with an
+               int sentinel — an [option ref] compared with [=] would
+               cost a polymorphic-equality call per member. *)
             let net = replica_net t key_index in
             let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
             let flood_messages = flood.Replica_net.messages in
-            let found = ref None in
-            Array.iter
-              (fun member ->
-                if !found = None && member <> responsible && t.online member then
-                  match
-                    Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
-                  with
-                  | Some provider ->
-                      record_ttl_reset t ~now ~peer:member ~key_index;
-                      found := Some provider
-                  | None -> ())
-              (Replica_net.replicas net);
-            (!found, index_messages, flood_messages))
+            let members = Replica_net.replicas net in
+            let found = ref (-1) in
+            let i = ref 0 in
+            let len = Array.length members in
+            while !found < 0 && !i < len do
+              let member = members.(!i) in
+              incr i;
+              if member <> responsible && t.online member then
+                match
+                  Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
+                with
+                | Some provider ->
+                    record_ttl_reset t ~now ~peer:member ~key_index;
+                    found := provider
+                | None -> ()
+            done;
+            ((if !found < 0 then None else Some !found), index_messages, flood_messages))
   in
   let provider, index_messages, flood_messages = result in
   Histogram.record_int t.ins.index_cost_hist (index_messages + flood_messages);
   Registry.incr
-    (if provider = None then t.ins.c_index_miss else t.ins.c_index_hit)
+    (match provider with None -> t.ins.c_index_miss | Some _ -> t.ins.c_index_hit)
     1;
   result
 
@@ -328,7 +344,9 @@ let broadcast_search t ~now ~peer ~key_index =
   let messages = outcome.Unstructured_search.messages in
   Histogram.record_int t.ins.broadcast_hist messages;
   Registry.incr t.ins.c_broadcast 1;
-  if provider <> None then Registry.incr t.ins.c_broadcast_found 1;
+  (match provider with
+  | Some _ -> Registry.incr t.ins.c_broadcast_found 1
+  | None -> ());
   let tracer = t.obs.Obs.tracer in
   if Tracer.active tracer Event.Broadcast then
     Tracer.emit tracer
@@ -359,9 +377,11 @@ let query t ~now ~peer ~key_index =
             broadcast_messages = messages;
           }
       | Strategy.Index_all -> (
-          match entry_point t peer with
-          | None -> empty_result
-          | Some (entry, contact) -> (
+          let entry = entry_point t peer in
+          if entry < 0 then empty_result
+          else
+            let contact = entry_contact ~peer entry in
+            (
               let provider, index_messages, flood_messages =
                 index_search t ~now ~entry ~key_index
               in
@@ -377,17 +397,19 @@ let query t ~now ~peer ~key_index =
                   { empty_result with index_messages;
                     replica_flood_messages = flood_messages }))
       | Strategy.Partial_index _ -> (
-          match entry_point t peer with
-          | None ->
-              (* Cannot reach the index at all; degrade to broadcast. *)
-              let provider, messages = broadcast_search t ~now ~peer ~key_index in
-              {
-                empty_result with
-                source = (if provider <> None then From_broadcast else Not_found);
-                provider;
-                broadcast_messages = messages;
-              }
-          | Some (entry, contact) -> (
+          let entry = entry_point t peer in
+          if entry < 0 then
+            (* Cannot reach the index at all; degrade to broadcast. *)
+            let provider, messages = broadcast_search t ~now ~peer ~key_index in
+            {
+              empty_result with
+              source = (if provider <> None then From_broadcast else Not_found);
+              provider;
+              broadcast_messages = messages;
+            }
+          else
+            let contact = entry_contact ~peer entry in
+            (
               let provider, index_messages, flood_messages =
                 index_search t ~now ~entry ~key_index
               in
@@ -440,9 +462,12 @@ let update_key t rng ~now ~key_index =
   | Strategy.Index_all -> (
       (* Route the new value to a responsible peer, then rumor-spread it
          through the replica subnetwork (Eq. 9's push/pull gossip). *)
-      match entry_point t (Rng.int rng t.config.Config.num_peers) with
-      | None -> 0
-      | Some (entry, contact) -> (
+      let issuer = Rng.int rng t.config.Config.num_peers in
+      let entry = entry_point t issuer in
+      if entry < 0 then 0
+      else
+        let contact = entry_contact ~peer:issuer entry in
+        (
           let key = t.bitkeys.(key_index) in
           let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
           record_lookup t ~now ~peer:entry ~key_index lookup;

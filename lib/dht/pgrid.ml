@@ -9,6 +9,20 @@ type t = {
   subtrees : (string, int array) Hashtbl.t; (* any trie prefix -> peers under it *)
   refs_per_level : int;
   max_depth : int;
+  (* Per-instance candidate buffer for [lookup]: each hop copies the
+     current level's references here and shuffles the prefix, instead of
+     allocating an [Array.copy] per hop.  Single-owner state — a P-Grid
+     instance belongs to one simulated system / domain. *)
+  lookup_buf : int array;
+  (* Flat binary trie over the leaf paths, for allocation-free
+     [responsible_peers]: descending the string-keyed [leaves] table
+     would build a prefix string per level on every call, and replica
+     subnetworks resolve their groups through this on the query path.
+     [trie_child.(2 * node + bit)] is the child node or -1;
+     [trie_leaf.(node)] is the leaf's replica group, [||] for interior
+     nodes. *)
+  trie_child : int array;
+  trie_leaf : int array array;
 }
 
 let members t = Array.length t.paths
@@ -56,29 +70,62 @@ let build rng ~members:n ~leaf_size ~refs_per_level =
             let idx = Sampling.sample_without_replacement rng ~k ~n:(Array.length pool) in
             Array.map (fun i -> pool.(i)) idx))
   in
-  { paths; refs; leaves; subtrees; refs_per_level; max_depth = !max_depth }
+  (* Materialise the leaf trie as flat arrays.  Node 0 is the root; the
+     node count is bounded by one interior node per path character plus
+     the root. *)
+  let node_bound =
+    1 + Hashtbl.fold (fun path _ acc -> acc + String.length path) leaves 0
+  in
+  let trie_child = Array.make (2 * node_bound) (-1) in
+  let trie_leaf = Array.make node_bound [||] in
+  let next_node = ref 1 in
+  Hashtbl.iter
+    (fun path peers ->
+      let node = ref 0 in
+      String.iter
+        (fun c ->
+          let slot = (2 * !node) + if c = '1' then 1 else 0 in
+          (if trie_child.(slot) < 0 then begin
+             trie_child.(slot) <- !next_node;
+             incr next_node
+           end);
+          node := trie_child.(slot))
+        path;
+      trie_leaf.(!node) <- peers)
+    leaves;
+  { paths; refs; leaves; subtrees; refs_per_level; max_depth = !max_depth;
+    lookup_buf = Array.make (max 1 refs_per_level) 0; trie_child; trie_leaf }
 
-let key_matches_path key path =
-  let rec go i = i = String.length path || (Bitkey.bit key i = (path.[i] = '1') && go (i + 1)) in
-  go 0
+(* Top-level recursion (not local closures): [lookup] calls these a
+   couple of times per hop, and a local [let rec] would allocate its
+   closure on every call. *)
+let rec key_matches_from key path i =
+  i = String.length path
+  || (Bitkey.bit key i = (String.unsafe_get path i = '1') && key_matches_from key path (i + 1))
+
+let key_matches_path key path = key_matches_from key path 0
+
+let rec match_length_from key path n i =
+  if i < n && Bitkey.bit key i = (String.unsafe_get path i = '1') then
+    match_length_from key path n (i + 1)
+  else i
 
 (* Length of the longest common prefix of the key's bits and [path]. *)
-let match_length key path =
-  let n = String.length path in
-  let rec go i = if i < n && Bitkey.bit key i = (path.[i] = '1') then go (i + 1) else i in
-  go 0
+let match_length key path = match_length_from key path (String.length path) 0
 
 let responsible_peers t key =
-  let rec descend prefix i =
-    match Hashtbl.find_opt t.leaves prefix with
-    | Some peers -> peers
-    | None ->
-        if i >= Bitkey.width then [||]
-        else
-          let bit = if Bitkey.bit key i then "1" else "0" in
-          descend (prefix ^ bit) (i + 1)
+  (* Walk the flat trie by key bits — no prefix strings, no lookups in
+     the string-keyed tables.  Returns the shared group array exactly
+     as the table-backed descent did; callers treat it as read-only. *)
+  let rec walk node i =
+    let leaf = t.trie_leaf.(node) in
+    if Array.length leaf > 0 then leaf
+    else if i >= Bitkey.width then [||]
+    else
+      let child = t.trie_child.((2 * node) + if Bitkey.bit key i then 1 else 0) in
+      if child < 0 then [||] else walk child (i + 1)
   in
-  descend "" 0
+  walk 0 0
 
 let responsible t ~online key =
   let peers = responsible_peers t key in
@@ -110,21 +157,33 @@ let lookup t rng ~online ~source ~key =
     while (not !arrived) && not !failed do
       let path = t.paths.(!current) in
       let l = match_length key path in
-      let candidates = Array.copy t.refs.(!current).(l) in
-      Sampling.shuffle rng candidates;
-      let next = ref None in
+      let refs = t.refs.(!current).(l) in
+      let len = Array.length refs in
+      let candidates = t.lookup_buf in
+      Array.blit refs 0 candidates 0 len;
+      (* Try the level's references in a uniformly random order, but
+         generate that order lazily (incremental Fisher-Yates): the
+         scan stops at the first online reference, so drawing the full
+         shuffle up front would waste RNG draws on candidates never
+         contacted.  The sequence of tried candidates is distributed
+         exactly as a scan over a fully shuffled copy. *)
+      let next = ref (-1) in
       let i = ref 0 in
-      while !next = None && !i < Array.length candidates do
+      while !next < 0 && !i < len do
+        let j = !i + Rng.int rng (len - !i) in
+        let c = candidates.(j) in
+        candidates.(j) <- candidates.(!i);
+        candidates.(!i) <- c;
         incr messages;
-        if online candidates.(!i) then next := Some candidates.(!i);
+        if online c then next := c;
         incr i
       done;
-      match !next with
-      | Some p ->
-          incr hops;
-          current := p;
-          if key_matches_path key t.paths.(p) then arrived := true
-      | None -> failed := true
+      if !next >= 0 then begin
+        incr hops;
+        current := !next;
+        if key_matches_path key t.paths.(!next) then arrived := true
+      end
+      else failed := true
     done;
     if !failed then { responsible = None; messages = !messages; hops = !hops }
     else { responsible = Some !current; messages = !messages; hops = !hops }

@@ -1,67 +1,111 @@
-module Int_set = Set.Make (Int)
-
 type t = {
   replicas : int array; (* member position -> global peer index *)
   adj : int array array; (* member position -> member positions *)
-  index : (int, int) Hashtbl.t; (* global peer index -> member position *)
+  (* Flood scratch, reused across calls: generation-stamped visited set
+     and a ring-buffer BFS queue, so the per-flood cost is free of the
+     bool-array and Queue-cell allocations a fresh traversal would pay.
+     Single-owner state — a subnet belongs to one simulated system. *)
+  stamp : int array;
+  queue : int array;
+  mutable generation : int;
 }
 
 let build rng ~replicas ~chords =
   let n = Array.length replicas in
   if n = 0 then invalid_arg "Replica_net.build: empty replica set";
   if chords < 0 then invalid_arg "Replica_net.build: negative chords";
-  let sets = Array.make n Int_set.empty in
+  (* Subnets are built lazily on the query path (first flood of a key),
+     so construction cost is hot: accumulate each member's neighbor set
+     in a flat fixed-capacity row with a linear duplicate scan —
+     degrees stay small in practice, so the scan beats a tree set and
+     allocates nothing per edge.  Sorting the rows reproduces the
+     ascending order [Int_set.elements] returned. *)
+  let cap = max 1 (n - 1) in
+  let deg = Array.make n 0 in
+  let rows = Array.make (n * cap) 0 in
   let connect a b =
     if a <> b then begin
-      sets.(a) <- Int_set.add b sets.(a);
-      sets.(b) <- Int_set.add a sets.(b)
+      let base = a * cap in
+      let d = deg.(a) in
+      let dup = ref false in
+      for k = 0 to d - 1 do
+        if rows.(base + k) = b then dup := true
+      done;
+      if not !dup then begin
+        rows.(base + d) <- b;
+        deg.(a) <- d + 1
+      end
     end
   in
   if n > 1 then
     for i = 0 to n - 1 do
-      connect i ((i + 1) mod n);
+      let succ = (i + 1) mod n in
+      connect i succ;
+      connect succ i;
       for _ = 1 to chords do
-        connect i (Pdht_util.Rng.int rng n)
+        let j = Pdht_util.Rng.int rng n in
+        connect i j;
+        connect j i
       done
     done;
-  let adj = Array.map (fun s -> Array.of_list (Int_set.elements s)) sets in
-  let index = Hashtbl.create n in
-  Array.iteri (fun pos peer -> Hashtbl.replace index peer pos) replicas;
-  { replicas; adj; index }
+  let adj =
+    Array.init n (fun i ->
+        let a = Array.sub rows (i * cap) deg.(i) in
+        Array.sort Int.compare a;
+        a)
+  in
+  { replicas; adj; stamp = Array.make n 0; queue = Array.make n 0; generation = 0 }
 
 let size t = Array.length t.replicas
 let replicas t = t.replicas
 let neighbors t ~member = Array.map (fun pos -> t.replicas.(pos)) t.adj.(member)
-let member_of_peer t peer = Hashtbl.find_opt t.index peer
+(* Groups are small (the replication factor), so position lookup is a
+   linear scan — building a hash index per subnet cost more at
+   construction than every scan it ever served. *)
+let position_of_peer t peer =
+  let n = Array.length t.replicas in
+  let rec go i = if i = n then -1 else if t.replicas.(i) = peer then i else go (i + 1) in
+  go 0
+
+let member_of_peer t peer =
+  match position_of_peer t peer with -1 -> None | pos -> Some pos
 
 type flood_result = { reached : int; messages : int }
 
 let flood t ~online ~from_peer =
-  match member_of_peer t from_peer with
-  | None -> { reached = 0; messages = 0 }
-  | Some start ->
+  match position_of_peer t from_peer with
+  | -1 -> { reached = 0; messages = 0 }
+  | start ->
       if not (online t.replicas.(start)) then { reached = 0; messages = 0 }
       else begin
-        let n = size t in
-        let visited = Array.make n false in
-        visited.(start) <- true;
+        (if t.generation = max_int then begin
+           Array.fill t.stamp 0 (Array.length t.stamp) 0;
+           t.generation <- 0
+         end);
+        t.generation <- t.generation + 1;
+        let gen = t.generation in
+        let stamp = t.stamp and queue = t.queue in
+        stamp.(start) <- gen;
+        queue.(0) <- start;
+        let head = ref 0 and tail = ref 1 in
         let reached = ref 1 in
         let messages = ref 0 in
-        let queue = Queue.create () in
-        Queue.add start queue;
-        while not (Queue.is_empty queue) do
-          let pos = Queue.pop queue in
-          Array.iter
-            (fun q ->
-              if online t.replicas.(q) then begin
-                incr messages;
-                if not visited.(q) then begin
-                  visited.(q) <- true;
-                  incr reached;
-                  Queue.add q queue
-                end
-              end)
-            t.adj.(pos)
+        while !head < !tail do
+          let pos = queue.(!head) in
+          incr head;
+          let nbrs = t.adj.(pos) in
+          for i = 0 to Array.length nbrs - 1 do
+            let q = nbrs.(i) in
+            if online t.replicas.(q) then begin
+              incr messages;
+              if stamp.(q) <> gen then begin
+                stamp.(q) <- gen;
+                incr reached;
+                queue.(!tail) <- q;
+                incr tail
+              end
+            end
+          done
         done;
         { reached = !reached; messages = !messages }
       end

@@ -4,10 +4,12 @@ type t = {
   mutable counts : int array; (* counts.(0) = values in [0,1) *)
   mutable used : int;         (* highest occupied bucket + 1 *)
   mutable count : int;
-  mutable sum : float;
-  mutable min : float;
-  mutable max : float;
+  (* All-float record, so the per-record accumulator stores stay flat:
+     mutable float fields of a mixed record would re-box on every
+     [record] call. *)
+  acc : acc;
 }
+and acc = { mutable sum : float; mutable min : float; mutable max : float }
 
 let default_gamma = Float.exp (Float.log 2. /. 8.)
 
@@ -19,9 +21,7 @@ let create ?(gamma = default_gamma) () =
     counts = [||];
     used = 0;
     count = 0;
-    sum = 0.;
-    min = infinity;
-    max = neg_infinity;
+    acc = { sum = 0.; min = infinity; max = neg_infinity };
   }
 
 let gamma t = t.gamma
@@ -42,17 +42,18 @@ let record t v =
   t.counts.(idx) <- t.counts.(idx) + 1;
   if idx + 1 > t.used then t.used <- idx + 1;
   t.count <- t.count + 1;
-  t.sum <- t.sum +. v;
-  if v < t.min then t.min <- v;
-  if v > t.max then t.max <- v
+  let acc = t.acc in
+  acc.sum <- acc.sum +. v;
+  if v < acc.min then acc.min <- v;
+  if v > acc.max then acc.max <- v
 
 let record_int t n = record t (float_of_int n)
 
 let count t = t.count
-let sum t = t.sum
-let mean t = if t.count = 0 then 0. else t.sum /. float_of_int t.count
-let min_value t = if t.count = 0 then 0. else t.min
-let max_value t = if t.count = 0 then 0. else t.max
+let sum t = t.acc.sum
+let mean t = if t.count = 0 then 0. else t.acc.sum /. float_of_int t.count
+let min_value t = if t.count = 0 then 0. else t.acc.min
+let max_value t = if t.count = 0 then 0. else t.acc.max
 
 let bucket_lower t i = if i = 0 then 0. else t.gamma ** float_of_int (i - 1)
 let bucket_upper t i = if i = 0 then 1. else t.gamma ** float_of_int i
@@ -83,7 +84,7 @@ let quantile t p =
        done
      with Exit -> ());
     let estimate = bucket_mid t !idx in
-    Float.min t.max (Float.max t.min estimate)
+    Float.min t.acc.max (Float.max t.acc.min estimate)
   end
 
 let nonzero_buckets t =
@@ -110,18 +111,18 @@ let merge ~into src =
     done;
     if src.used > into.used then into.used <- src.used;
     into.count <- into.count + src.count;
-    into.sum <- into.sum +. src.sum;
-    if src.min < into.min then into.min <- src.min;
-    if src.max > into.max then into.max <- src.max
+    into.acc.sum <- into.acc.sum +. src.acc.sum;
+    if src.acc.min < into.acc.min then into.acc.min <- src.acc.min;
+    if src.acc.max > into.acc.max then into.acc.max <- src.acc.max
   end
 
 let reset t =
   Array.fill t.counts 0 (Array.length t.counts) 0;
   t.used <- 0;
   t.count <- 0;
-  t.sum <- 0.;
-  t.min <- infinity;
-  t.max <- neg_infinity
+  t.acc.sum <- 0.;
+  t.acc.min <- infinity;
+  t.acc.max <- neg_infinity
 
 type summary = {
   count : int;

@@ -5,7 +5,7 @@ type result = {
   messages : int;
 }
 
-let search topo ~online ~holds ~source ~initial_ttl ~growth ~max_ttl =
+let search ?scratch topo ~online ~holds ~source ~initial_ttl ~growth ~max_ttl =
   if initial_ttl < 1 then invalid_arg "Expanding_ring.search: initial_ttl must be >= 1";
   if growth < 1 then invalid_arg "Expanding_ring.search: growth must be >= 1";
   if max_ttl < initial_ttl then invalid_arg "Expanding_ring.search: max_ttl < initial_ttl";
@@ -13,7 +13,7 @@ let search topo ~online ~holds ~source ~initial_ttl ~growth ~max_ttl =
   let rings = ref 0 in
   let rec attempt ttl previous_reach =
     incr rings;
-    let r = Flood.search topo ~online ~holds ~source ~ttl in
+    let r = Flood.search ?scratch topo ~online ~holds ~source ~ttl in
     messages := !messages + r.Flood.messages;
     match r.Flood.found_at with
     | Some _ ->

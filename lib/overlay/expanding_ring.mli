@@ -15,6 +15,7 @@ type result = {
 }
 
 val search :
+  ?scratch:Scratch.t ->
   Topology.t ->
   online:(int -> bool) ->
   holds:(int -> bool) ->
@@ -25,4 +26,5 @@ val search :
   result
 (** Start at [initial_ttl], adding [growth] per round up to [max_ttl].
     Requires [initial_ttl >= 1], [growth >= 1], [max_ttl >=
-    initial_ttl]. *)
+    initial_ttl].  [scratch] is threaded through to the underlying
+    {!Flood.search} rings. *)

@@ -14,6 +14,7 @@ type result = {
 }
 
 val search :
+  ?scratch:Scratch.t ->
   Topology.t ->
   online:(int -> bool) ->
   holds:(int -> bool) ->
@@ -25,7 +26,12 @@ val search :
     [holds] is true.  The flood is exhaustive (it does not stop early on
     a hit), matching deployed Gnutella behaviour and giving a
     conservative message count; [found_at] reports the first hit in BFS
-    order. *)
+    order.
+
+    [scratch] makes repeated searches allocation-free: the visited set
+    and frontier buffers are reused instead of rebuilt per call.  The
+    result is identical with or without it (a fresh scratch is allocated
+    when omitted). *)
 
 val duplication_factor : result -> float
 (** [messages / peers_reached]; 0. when nothing was reached. *)

@@ -5,51 +5,95 @@ type result = {
   distinct_visited : int;
 }
 
-let search topo rng ~online ~holds ~source ~walkers ~max_steps ~check_every =
+let search ?scratch topo rng ~online ~holds ~source ~walkers ~max_steps ~check_every =
   if walkers < 1 then invalid_arg "Random_walk.search: walkers must be >= 1";
   if check_every < 1 then invalid_arg "Random_walk.search: check_every must be >= 1";
   if not (online source) then
     { found_at = None; steps_taken = 0; messages = 0; distinct_visited = 0 }
   else begin
+    let scratch = match scratch with Some s -> s | None -> Scratch.create () in
     let n = Topology.peer_count topo in
-    let visited = Array.make n false in
-    visited.(source) <- true;
+    Scratch.ensure_peers scratch n;
+    Scratch.ensure_walkers scratch walkers;
+    let gen = Scratch.next_generation scratch in
+    let stamp = scratch.Scratch.stamp in
+    (* Staging buffer for a step's online neighbors: filled in place so
+       no per-step list/array is built.  One RNG draw per non-stalled
+       step, exactly as a fresh-allocation implementation would make. *)
+    let candidates = scratch.Scratch.candidates in
+    let positions = scratch.Scratch.positions in
+    stamp.(source) <- gen;
     let distinct = ref 1 in
-    let found_at = ref (if holds source then Some source else None) in
-    let positions = Array.make walkers source in
+    let found_at = ref (if holds source then source else -1) in
+    Array.fill positions 0 walkers source;
     let steps = ref 0 in
     let messages = ref 0 in
     let round = ref 0 in
-    let stop = ref (!found_at <> None) in
+    let stop = ref (!found_at >= 0) in
     while (not !stop) && !round < max_steps do
       incr round;
       (* One synchronous step of every walker. *)
       for w = 0 to walkers - 1 do
         let p = positions.(w) in
         let nbrs = Topology.neighbors topo p in
-        let online_nbrs = Array.to_list nbrs |> List.filter online in
-        match online_nbrs with
-        | [] -> () (* stalled walker; retries next round *)
-        | _ :: _ ->
-            let arr = Array.of_list online_nbrs in
-            let q = arr.(Pdht_util.Rng.int rng (Array.length arr)) in
-            positions.(w) <- q;
-            incr steps;
-            incr messages;
-            if not visited.(q) then begin
-              visited.(q) <- true;
-              incr distinct
-            end;
-            if holds q && !found_at = None then found_at := Some q
+        let deg = Array.length nbrs in
+        (* Uniform draw over the *online* neighbors.  Rejection sampling
+           (draw a neighbor, retry while offline) has exactly that
+           conditional distribution and usually succeeds in one or two
+           draws, so the common case never scans the whole neighbor
+           list through the [online] closure.  After a few misses —
+           most neighbors offline — fall back to the exact
+           filter-then-draw, which is also uniform, so the overall
+           distribution is unchanged either way. *)
+        let q =
+          if deg = 0 then -1
+          else begin
+            let attempts = ref 4 in
+            let picked = ref (-1) in
+            while !picked < 0 && !attempts > 0 do
+              decr attempts;
+              let c = nbrs.(Pdht_util.Rng.int rng deg) in
+              if online c then picked := c
+            done;
+            if !picked >= 0 then !picked
+            else begin
+              let online_count = ref 0 in
+              for k = 0 to deg - 1 do
+                let c = nbrs.(k) in
+                if online c then begin
+                  candidates.(!online_count) <- c;
+                  incr online_count
+                end
+              done;
+              if !online_count = 0 then -1
+              else candidates.(Pdht_util.Rng.int rng !online_count)
+            end
+          end
+        in
+        if q >= 0 then begin
+          positions.(w) <- q;
+          incr steps;
+          incr messages;
+          if stamp.(q) <> gen then begin
+            stamp.(q) <- gen;
+            incr distinct
+          end;
+          if holds q && !found_at < 0 then found_at := q
+        end
+        (* else: stalled walker; retries next round *)
       done;
       (* Periodic check-back with the source: one probe per walker. *)
       if !round mod check_every = 0 then begin
         messages := !messages + walkers;
-        if !found_at <> None then stop := true
+        if !found_at >= 0 then stop := true
       end
     done;
-    { found_at = !found_at; steps_taken = !steps; messages = !messages;
-      distinct_visited = !distinct }
+    {
+      found_at = (if !found_at < 0 then None else Some !found_at);
+      steps_taken = !steps;
+      messages = !messages;
+      distinct_visited = !distinct;
+    }
   end
 
 let duplication_factor r =

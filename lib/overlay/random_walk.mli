@@ -16,6 +16,7 @@ type result = {
 }
 
 val search :
+  ?scratch:Scratch.t ->
   Topology.t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -27,7 +28,11 @@ val search :
   result
 (** [max_steps] bounds the per-walker walk length; [walkers >= 1],
     [check_every >= 1].  Walkers step to a uniform online neighbor
-    (stalling costs nothing when a peer has no online neighbor). *)
+    (stalling costs nothing when a peer has no online neighbor).
+
+    [scratch] reuses the visited set, candidate buffer and walker
+    positions across calls; results (including the RNG draw sequence)
+    are identical with or without it. *)
 
 val duplication_factor : result -> float
 (** [messages / distinct_visited]; the empirical analogue of the

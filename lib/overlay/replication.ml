@@ -1,32 +1,58 @@
 module Int_set = Set.Make (Int)
 
+(* [by_item] is indexed directly by the item id (items are small dense
+   ints in practice — key indices), holding each item's replica set as a
+   sorted array.  [holds] is the hot operation: unstructured search
+   calls it once per walk step / flood visit, so it must not chase an
+   [Int_set] tree — a binary search over a short sorted int array stays
+   in one cache line.  [at_peer] keeps the per-peer view for the cold
+   enumeration queries. *)
 type t = {
   total_peers : int;
-  mutable by_item : (int, int array) Hashtbl.t;
+  mutable by_item : int array array; (* item -> sorted replicas; [||] = absent *)
   mutable at_peer : Int_set.t array;
 }
 
+let no_replicas : int array = [||]
+
 let create ~peers =
   if peers < 1 then invalid_arg "Replication.create: need >= 1 peer";
-  { total_peers = peers; by_item = Hashtbl.create 256; at_peer = Array.make peers Int_set.empty }
+  {
+    total_peers = peers;
+    by_item = Array.make 64 no_replicas;
+    at_peer = Array.make peers Int_set.empty;
+  }
 
 let peers t = t.total_peers
 
+let ensure_item t item =
+  if item < 0 then invalid_arg "Replication: negative item";
+  let n = Array.length t.by_item in
+  if item >= n then begin
+    let grown = Array.make (max (item + 1) (2 * n)) no_replicas in
+    Array.blit t.by_item 0 grown 0 n;
+    t.by_item <- grown
+  end
+
+let replicas_of t item =
+  if item < 0 || item >= Array.length t.by_item then no_replicas else t.by_item.(item)
+
 let remove t ~item =
-  match Hashtbl.find_opt t.by_item item with
-  | None -> ()
-  | Some reps ->
-      Array.iter (fun p -> t.at_peer.(p) <- Int_set.remove item t.at_peer.(p)) reps;
-      Hashtbl.remove t.by_item item
+  let reps = replicas_of t item in
+  if Array.length reps > 0 then begin
+    Array.iter (fun p -> t.at_peer.(p) <- Int_set.remove item t.at_peer.(p)) reps;
+    t.by_item.(item) <- no_replicas
+  end
 
 let place_on t ~item ~replicas =
   Array.iter
     (fun p -> if p < 0 || p >= t.total_peers then invalid_arg "Replication.place_on: bad peer")
     replicas;
+  ensure_item t item;
   remove t ~item;
   let distinct = Int_set.of_list (Array.to_list replicas) in
   let reps = Array.of_list (Int_set.elements distinct) in
-  Hashtbl.replace t.by_item item reps;
+  t.by_item.(item) <- reps;
   Array.iter (fun p -> t.at_peer.(p) <- Int_set.add item t.at_peer.(p)) reps
 
 let place t rng ~item ~repl =
@@ -35,10 +61,21 @@ let place t rng ~item ~repl =
   let replicas = Pdht_util.Sampling.sample_without_replacement rng ~k ~n:t.total_peers in
   place_on t ~item ~replicas
 
-let replicas t ~item =
-  match Hashtbl.find_opt t.by_item item with None -> [||] | Some r -> r
+let replicas t ~item = replicas_of t item
 
-let holds t ~peer ~item = Int_set.mem item t.at_peer.(peer)
+let holds t ~peer ~item =
+  let reps = replicas_of t item in
+  (* Binary search in the sorted replica array. *)
+  let lo = ref 0 and hi = ref (Array.length reps - 1) and found = ref false in
+  while (not !found) && !lo <= !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    let v = Array.unsafe_get reps mid in
+    if v = peer then found := true
+    else if v < peer then lo := mid + 1
+    else hi := mid - 1
+  done;
+  !found
+
 let items_at t ~peer = Int_set.elements t.at_peer.(peer)
 let replication_factor t ~item = Array.length (replicas t ~item)
 

@@ -7,12 +7,17 @@ type t = {
   topology : Topology.t;
   replication : Replication.t;
   strategy : strategy;
+  (* One scratch per search front end: searches through [t] are
+     sequential (one simulated system per domain), so the visited set
+     and frontier buffers are reused across every query instead of
+     reallocated per broadcast. *)
+  scratch : Scratch.t;
 }
 
 let create ~topology ~replication ~strategy =
   if Topology.peer_count topology <> Replication.peers replication then
     invalid_arg "Unstructured_search.create: topology and replication disagree on peer count";
-  { topology; replication; strategy }
+  { topology; replication; strategy; scratch = Scratch.create () }
 
 let topology t = t.topology
 let replication t = t.replication
@@ -24,20 +29,20 @@ let search t rng ~online ~source ~item =
   let holds p = online p && Replication.holds t.replication ~peer:p ~item in
   match t.strategy with
   | Flooding { ttl } ->
-      let r = Flood.search t.topology ~online ~holds ~source ~ttl in
+      let r = Flood.search ~scratch:t.scratch t.topology ~online ~holds ~source ~ttl in
       { found = r.Flood.found_at <> None; messages = r.Flood.messages;
         provider = r.Flood.found_at }
   | Random_walks { walkers; max_steps; check_every } ->
       let r =
-        Random_walk.search t.topology rng ~online ~holds ~source ~walkers ~max_steps
-          ~check_every
+        Random_walk.search ~scratch:t.scratch t.topology rng ~online ~holds ~source
+          ~walkers ~max_steps ~check_every
       in
       { found = r.Random_walk.found_at <> None; messages = r.Random_walk.messages;
         provider = r.Random_walk.found_at }
   | Expanding_ring { initial_ttl; growth; max_ttl } ->
       let r =
-        Expanding_ring.search t.topology ~online ~holds ~source ~initial_ttl ~growth
-          ~max_ttl
+        Expanding_ring.search ~scratch:t.scratch t.topology ~online ~holds ~source
+          ~initial_ttl ~growth ~max_ttl
       in
       { found = r.Expanding_ring.found_at <> None; messages = r.Expanding_ring.messages;
         provider = r.Expanding_ring.found_at }

@@ -10,7 +10,25 @@
 
     With [jobs = 1] (or a single-element batch) everything executes
     inline on the calling domain — no spawning, so the sequential path
-    stays exactly as debuggable as before the pool existed. *)
+    stays exactly as debuggable as before the pool existed.
+
+    The effective worker count is the minimum of [jobs], the batch size,
+    and {!hardware_jobs}.  Requesting [-j 8] on a single-core machine
+    therefore runs inline rather than thrashing: in OCaml 5 every minor
+    collection is a stop-the-world barrier across all domains, so
+    oversubscribed domains do not merely fail to help — they actively
+    stall each other.  Because task results are deterministic in the
+    task index, the clamp changes scheduling only, never output.
+
+    When the pool does go parallel, the calling domain works too
+    ([workers - 1] domains are spawned), and each worker accumulates
+    its results in a private buffer that the coordinator merges after
+    the joins — workers share nothing but an atomic claim counter, so
+    there is no false sharing on a common results array. *)
+
+val hardware_jobs : unit -> int
+(** [Domain.recommended_domain_count ()], clamped to at least 1: the
+    most domains worth running at once on this machine. *)
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count () - 1], clamped to at least 1:

@@ -70,26 +70,29 @@ let sample ins t =
   ins.last_sim <- t.now
 
 let run t ~until =
+  (* Allocation-free dispatch loop: [min_time]/[pop_min] touch the
+     queue's flat arrays directly, so steady-state cost per event is the
+     handler's own work plus heap bookkeeping — no options or tuples. *)
   let rec loop () =
-    match Event_queue.peek_time t.queue with
-    | Some time when time <= until -> (
-        match Event_queue.pop t.queue with
-        | Some (time, handler) ->
-            t.now <- time;
-            handler t;
-            t.events_processed <- t.events_processed + 1;
-            (match t.instruments with
-            | Some ins ->
-                Pdht_obs.Registry.incr ins.events_counter 1;
-                ins.since_sample <- ins.since_sample + 1;
-                if ins.since_sample >= ins.sample_every then begin
-                  ins.since_sample <- 0;
-                  sample ins t
-                end
-            | None -> ());
-            loop ()
-        | None -> ())
-    | Some _ | None -> ()
+    if not (Event_queue.is_empty t.queue) then begin
+      let time = Event_queue.min_time t.queue in
+      if time <= until then begin
+        let handler = Event_queue.pop_min t.queue in
+        t.now <- time;
+        handler t;
+        t.events_processed <- t.events_processed + 1;
+        (match t.instruments with
+        | Some ins ->
+            Pdht_obs.Registry.incr ins.events_counter 1;
+            ins.since_sample <- ins.since_sample + 1;
+            if ins.since_sample >= ins.sample_every then begin
+              ins.since_sample <- 0;
+              sample ins t
+            end
+        | None -> ());
+        loop ()
+      end
+    end
   in
   loop ();
   match t.instruments with Some ins -> sample ins t | None -> ()

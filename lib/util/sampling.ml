@@ -1,10 +1,13 @@
-let shuffle rng arr =
-  for i = Array.length arr - 1 downto 1 do
+let shuffle_prefix rng arr ~len =
+  if len < 0 || len > Array.length arr then invalid_arg "Sampling.shuffle_prefix";
+  for i = len - 1 downto 1 do
     let j = Rng.int rng (i + 1) in
     let tmp = arr.(i) in
     arr.(i) <- arr.(j);
     arr.(j) <- tmp
   done
+
+let shuffle rng arr = shuffle_prefix rng arr ~len:(Array.length arr)
 
 let choose rng arr =
   if Array.length arr = 0 then invalid_arg "Sampling.choose: empty array";

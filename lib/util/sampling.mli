@@ -3,6 +3,14 @@
 val shuffle : Rng.t -> 'a array -> unit
 (** Fisher-Yates in-place shuffle. *)
 
+val shuffle_prefix : Rng.t -> 'a array -> len:int -> unit
+(** Fisher-Yates over [arr.(0 .. len-1)] only, leaving the rest
+    untouched.  Draws exactly the same RNG sequence as {!shuffle} on a
+    [len]-element array, so copying candidates into a reusable oversized
+    buffer and shuffling the prefix is observably identical to shuffling
+    a fresh exact-size copy.
+    @raise Invalid_argument when [len] is outside [0, length arr]. *)
+
 val choose : Rng.t -> 'a array -> 'a
 (** Uniform element of a non-empty array.  @raise Invalid_argument on an
     empty array. *)

@@ -60,7 +60,17 @@ let test_config_active_members_for () =
 
 let test_pdht_no_index_broadcasts () =
   let _, p = build ~strategy:Strategy.No_index () in
-  let r = Pdht.query p ~now:1. ~peer:5 ~key_index:3 in
+  (* Query from a peer that does not hold the key itself: a replica
+     would answer locally with zero messages, which is correct but not
+     the broadcast path this test exercises.  Replica placement is
+     random, so pick the peer relative to the actual placement rather
+     than hard-coding one. *)
+  let replicas = Pdht.content_replicas p ~key_index:3 in
+  let peer =
+    let rec free p = if Array.exists (( = ) p) replicas then free (p + 1) else p in
+    free 0
+  in
+  let r = Pdht.query p ~now:1. ~peer ~key_index:3 in
   Alcotest.(check bool) "answered by broadcast" true (r.Pdht.source = Pdht.From_broadcast);
   Alcotest.(check int) "no index traffic" 0 r.Pdht.index_messages;
   Alcotest.(check bool) "broadcast messages charged" true (r.Pdht.broadcast_messages > 0);
@@ -522,6 +532,30 @@ let test_pool_map_preserves_order () =
     (Invalid_argument "Pool.try_map: jobs must be >= 1") (fun () ->
       ignore (Pdht_runner.Pool.map ~jobs:0 ~f:(fun _ x -> x) [| 1 |]))
 
+(* Regression: the effective worker count is clamped to the batch size,
+   so a 1-task batch runs inline on the caller's domain no matter how
+   large [jobs] is — spawning 7 idle domains for one task would be pure
+   stop-the-world GC overhead. *)
+let test_pool_small_batch_runs_inline () =
+  let caller = Domain.self () in
+  let ran_on =
+    Pdht_runner.Pool.map ~jobs:8 ~f:(fun _ () -> Domain.self ()) [| () |]
+  in
+  Alcotest.(check bool) "single task stays on the calling domain" true
+    (ran_on.(0) = caller);
+  (* Two tasks at -j 8 still need at most two domains: the caller works
+     too, so at most one domain is spawned. *)
+  let domains =
+    Pdht_runner.Pool.map ~jobs:8 ~f:(fun _ () -> Domain.self ()) (Array.init 2 (fun _ -> ()))
+  in
+  let distinct =
+    Array.fold_left
+      (fun acc d -> if List.exists (fun d' -> d' = d) acc then acc else d :: acc)
+      [] domains
+  in
+  Alcotest.(check bool) "two tasks use at most two domains" true
+    (List.length distinct <= 2)
+
 let () =
   Alcotest.run "pdht_core"
     [
@@ -580,5 +614,7 @@ let () =
           Alcotest.test_case "error capture" `Quick test_runner_error_capture;
           Alcotest.test_case "run_spec seeding" `Quick test_run_spec_seeding;
           Alcotest.test_case "pool order" `Quick test_pool_map_preserves_order;
+          Alcotest.test_case "pool inlines small batches" `Quick
+            test_pool_small_batch_runs_inline;
         ] );
     ]

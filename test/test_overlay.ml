@@ -426,6 +426,63 @@ let qcheck_tests =
         let r = Replication.create ~peers in
         Replication.place r rng ~item:0 ~repl;
         Array.length (Replication.replicas r ~item:0) = min repl peers);
+    (* Scratch reuse must be observationally invisible: a single scratch
+       threaded through a whole sequence of searches (so it carries
+       stamps, frontier contents and walker positions from previous
+       calls) returns exactly what fresh per-call allocation returns.
+       Holds/online predicates vary per query to exercise stale state. *)
+    Test.make ~name:"flood: shared scratch == fresh allocation" ~count:50
+      (triple (int_range 10 80) (int_range 1 10) small_int)
+      (fun (peers, ttl, seed) ->
+        let rng = Rng.create ~seed in
+        let t = Topology.random_regularish rng ~peers ~degree:3 in
+        let online p = (p * 7) mod 13 <> seed mod 13 in
+        let scratch = Pdht_overlay.Scratch.create () in
+        List.for_all
+          (fun q ->
+            let holds p = p mod (q + 2) = 0 in
+            let source = q * 3 mod peers in
+            Flood.search ~scratch t ~online ~holds ~source ~ttl
+            = Flood.search t ~online ~holds ~source ~ttl)
+          [ 0; 1; 2; 3; 4 ]);
+    Test.make ~name:"expanding ring: shared scratch == fresh allocation" ~count:50
+      (triple (int_range 10 60) (int_range 2 8) small_int)
+      (fun (peers, max_ttl, seed) ->
+        let rng = Rng.create ~seed in
+        let t = Topology.random_regularish rng ~peers ~degree:3 in
+        let online p = (p * 5) mod 11 <> seed mod 11 in
+        let scratch = Pdht_overlay.Scratch.create () in
+        List.for_all
+          (fun q ->
+            let holds p = p mod (q + 3) = 1 in
+            let source = q * 5 mod peers in
+            Expanding_ring.search ~scratch t ~online ~holds ~source ~initial_ttl:1
+              ~growth:1 ~max_ttl
+            = Expanding_ring.search t ~online ~holds ~source ~initial_ttl:1 ~growth:1
+                ~max_ttl)
+          [ 0; 1; 2; 3; 4 ]);
+    Test.make ~name:"random walk: shared scratch == fresh (same RNG stream)" ~count:50
+      (triple (int_range 10 60) (int_range 1 8) small_int)
+      (fun (peers, walkers, seed) ->
+        let rng = Rng.create ~seed in
+        let t = Topology.random_regularish rng ~peers ~degree:3 in
+        let online p = (p * 3) mod 7 <> seed mod 7 in
+        let scratch = Pdht_overlay.Scratch.create () in
+        List.for_all
+          (fun q ->
+            let holds p = p mod (q + 4) = 2 in
+            let source = q * 7 mod peers in
+            (* Identical RNG state for both runs: equality covers the
+               draw sequence, not just the aggregate result. *)
+            let r1 = Rng.copy rng in
+            let r2 = Rng.copy rng in
+            ignore (Rng.bits64 rng);
+            Random_walk.search ~scratch t r1 ~online ~holds ~source ~walkers
+              ~max_steps:50 ~check_every:4
+            = Random_walk.search t r2 ~online ~holds ~source ~walkers ~max_steps:50
+                ~check_every:4
+            && Rng.bits64 r1 = Rng.bits64 r2)
+          [ 0; 1; 2; 3; 4 ]);
   ]
 
 let () =

@@ -76,6 +76,34 @@ let test_queue_clear () =
   Event_queue.clear q;
   Alcotest.(check bool) "cleared" true (Event_queue.is_empty q)
 
+let test_queue_clear_keeps_capacity () =
+  let q = Event_queue.create () in
+  for i = 1 to 1000 do
+    Event_queue.add q ~time:(float_of_int i) i
+  done;
+  let warm = Event_queue.capacity q in
+  Alcotest.(check bool) "grew" true (warm >= 1000);
+  Event_queue.clear q;
+  Alcotest.(check bool) "empty after clear" true (Event_queue.is_empty q);
+  Alcotest.(check int) "capacity retained" warm (Event_queue.capacity q);
+  (* Refilling a cleared queue must not grow the backing arrays again. *)
+  for i = 1 to 1000 do
+    Event_queue.add q ~time:(float_of_int i) i
+  done;
+  Alcotest.(check int) "no regrowth on refill" warm (Event_queue.capacity q)
+
+let test_queue_hot_path_raises_on_empty () =
+  let q = Event_queue.create () in
+  Alcotest.check_raises "min_time" (Invalid_argument "Event_queue.min_time: empty queue")
+    (fun () -> ignore (Event_queue.min_time (q : int Event_queue.t)));
+  Alcotest.check_raises "pop_min" (Invalid_argument "Event_queue.pop_min: empty queue")
+    (fun () -> ignore (Event_queue.pop_min q));
+  (* And again after a fill/drain cycle, not just on a fresh queue. *)
+  Event_queue.add q ~time:1. 1;
+  ignore (Event_queue.pop_min q);
+  Alcotest.check_raises "pop_min after drain" (Invalid_argument "Event_queue.pop_min: empty queue")
+    (fun () -> ignore (Event_queue.pop_min q))
+
 (* ------------------------------------------------------------------ *)
 (* Engine *)
 
@@ -241,9 +269,74 @@ let test_trace_clear () =
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
+(* Model-based check of the SoA heap: drive the real queue and a naive
+   reference (a sorted association list keyed by (time, insertion seq))
+   through the same random Add/Pop/Clear script and demand identical
+   observable behaviour at every step — pop results including FIFO
+   tie-breaks, sizes, and min_time. *)
+type queue_op = Op_add of float | Op_pop | Op_clear
+
+let queue_op_gen =
+  QCheck.Gen.(
+    frequency
+      [
+        (* A coarse time grid so equal times (and hence tie-breaks) are
+           actually exercised. *)
+        (6, map (fun t -> Op_add (float_of_int t)) (int_bound 20));
+        (3, return Op_pop);
+        (1, return Op_clear);
+      ])
+
+let queue_op_print = function
+  | Op_add t -> Printf.sprintf "Add %g" t
+  | Op_pop -> "Pop"
+  | Op_clear -> "Clear"
+
+let queue_model_agrees ops =
+  let q = Event_queue.create () in
+  let model = ref [] (* (time, seq, payload), sorted by (time, seq) *) in
+  let seq = ref 0 in
+  List.for_all
+    (fun op ->
+      match op with
+      | Op_add time ->
+          Event_queue.add q ~time !seq;
+          model :=
+            List.merge
+              (fun (t1, s1, _) (t2, s2, _) -> compare (t1, s1) (t2, s2))
+              !model
+              [ (time, !seq, !seq) ];
+          incr seq;
+          Event_queue.size q = List.length !model
+      | Op_pop -> (
+          match (Event_queue.pop q, !model) with
+          | None, [] -> true
+          | Some (t, v), (mt, _, mv) :: rest ->
+              model := rest;
+              t = mt && v = mv
+          | Some _, [] | None, _ :: _ -> false)
+      | Op_clear ->
+          Event_queue.clear q;
+          model := [];
+          Event_queue.is_empty q)
+    ops
+  && (* Drain whatever is left and compare the full tail. *)
+  List.for_all
+    (fun (mt, _, mv) ->
+      (not (Event_queue.is_empty q))
+      && Event_queue.min_time q = mt
+      &&
+      let v = Event_queue.pop_min q in
+      v = mv)
+    !model
+  && Event_queue.is_empty q
+
 let qcheck_tests =
   let open QCheck in
   [
+    Test.make ~name:"heap agrees with sorted-list model (Add/Pop/Clear)" ~count:500
+      (list_of_size Gen.(int_bound 60) (make ~print:queue_op_print queue_op_gen))
+      queue_model_agrees;
     Test.make ~name:"event queue is a sorting network" ~count:100
       (small_list (float_bound_inclusive 1000.))
       (fun times ->
@@ -281,6 +374,9 @@ let () =
           Alcotest.test_case "many random events" `Quick test_queue_many_random;
           Alcotest.test_case "rejects NaN" `Quick test_queue_rejects_nan;
           Alcotest.test_case "clear" `Quick test_queue_clear;
+          Alcotest.test_case "clear keeps capacity" `Quick test_queue_clear_keeps_capacity;
+          Alcotest.test_case "hot path raises on empty" `Quick
+            test_queue_hot_path_raises_on_empty;
         ] );
       ( "engine",
         [

@@ -15,6 +15,22 @@ dune exec bench/main.exe -- table1 perf > /dev/null
 test -f BENCH_pdht.json
 dune exec tools/validate_jsonl.exe -- BENCH_pdht.json
 
+echo "== perf guardrail =="
+# The perf section just ran as part of the bench smoke; hold its output
+# to the runner's two contracts.  (1) Batch output must be identical
+# across --jobs values.  (2) The parallel batch must never be
+# meaningfully slower than the sequential one: on multi-core machines it
+# should win, and on a single core the hardware clamp makes it run
+# inline, so a large regression here means the clamp broke and domains
+# are thrashing the stop-the-world GC.  The 1.5x factor is generous on
+# purpose — this is a smoke test on shared CI boxes, not a benchmark.
+grep -q '"identical_reports": *true' BENCH_pdht.json
+wall_single=$(grep -o '"wall_single_s": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
+wall_parallel=$(grep -o '"wall_parallel_s": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
+echo "wall_single_s=$wall_single wall_parallel_s=$wall_parallel"
+awk -v s="$wall_single" -v p="$wall_parallel" \
+  'BEGIN { if (!(s > 0) || !(p > 0)) exit 1; exit (p <= 1.5 * s) ? 0 : 1 }'
+
 echo "== parallel determinism =="
 # The runner's contract: any --jobs value yields byte-identical output.
 par=$(mktemp -d)
