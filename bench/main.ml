@@ -781,6 +781,113 @@ let section_perf () =
   if reports_single <> reports_parallel then
     failwith "perf: parallel batch diverged from the single-domain batch";
   let speedup = if wall_parallel > 0. then wall_single /. wall_parallel else 0. in
+  (* Network model under the same workload (smaller instance so the
+     sweep stays interactive): first the contract — a zero-cost net
+     (zero latency, zero loss) must reproduce the no-net report
+     field-for-field once its own [net.*] additions are set aside —
+     then a loss sweep 0 -> 20% showing the selection algorithm
+     degrading gracefully (bounded retries, broadcast fallback, no
+     unhandled exceptions). *)
+  let net_scenario =
+    { scenario with Scenario.num_peers = 400; keys = 800; duration = 600. }
+  in
+  let net_key_ttl = System.derive_key_ttl net_scenario options in
+  let net_partial = Strategy.Partial_index { key_ttl = net_key_ttl } in
+  let run_with net =
+    let options =
+      match net with
+      | None -> System.Options.without_net options
+      | Some cfg -> System.Options.with_net cfg options
+    in
+    System.run net_scenario net_partial options
+  in
+  let strip_net (r : System.report) =
+    {
+      r with
+      System.net = None;
+      histograms =
+        List.filter
+          (fun (name, _) ->
+            not (String.length name >= 4 && String.sub name 0 4 = "net."))
+          r.System.histograms;
+    }
+  in
+  let plain_report = run_with None in
+  let zero_cost_report = run_with (Some Pdht_net.Config.zero_cost) in
+  let zero_cost_equivalent = strip_net zero_cost_report = plain_report in
+  if not zero_cost_equivalent then
+    failwith "perf: zero-cost network model diverged from the no-net report";
+  let loss_sweep =
+    List.map
+      (fun loss ->
+        let cfg =
+          { Pdht_net.Config.default with Pdht_net.Config.loss;
+            latency = Pdht_net.Config.Constant 0.02; rpc_timeout = 0.5 }
+        in
+        (loss, run_with (Some cfg)))
+      [ 0.0; 0.05; 0.1; 0.2 ]
+  in
+  let net_json =
+    let row (loss, (r : System.report)) =
+      let n =
+        match r.System.net with
+        | Some n -> n
+        | None -> failwith "perf: net-enabled report lacks its net summary"
+      in
+      let fq = float_of_int (max 1 r.System.queries) in
+      Json.Obj
+        [
+          ("loss", Json.Float loss);
+          ("queries", Json.Int r.System.queries);
+          ("answered", Json.Int r.System.answered);
+          ("answer_rate", Json.Float (float_of_int r.System.answered /. fq));
+          ("hit_rate", Json.Float r.System.hit_rate);
+          ("messages_per_second", Json.Float r.System.messages_per_second);
+          ("messages_sent", Json.Int n.System.messages_sent);
+          ("messages_dropped", Json.Int n.System.messages_dropped);
+          ("messages_retried", Json.Int n.System.messages_retried);
+          ("messages_timed_out", Json.Int n.System.messages_timed_out);
+          ("latency_p50", Json.Float n.System.latency_p50);
+          ("latency_p95", Json.Float n.System.latency_p95);
+          ("latency_p99", Json.Float n.System.latency_p99);
+        ]
+    in
+    Json.Obj
+      [
+        ("zero_cost_net_equivalent", Json.Bool zero_cost_equivalent);
+        ("loss_sweep", Json.List (List.map row loss_sweep));
+      ]
+  in
+  let net_table =
+    let t =
+      Table.create
+        ~columns:
+          [ ("loss", Table.Right); ("answer rate", Table.Right);
+            ("hit rate", Table.Right); ("sent", Table.Right);
+            ("dropped", Table.Right); ("retried", Table.Right);
+            ("timed out", Table.Right); ("lat p50 [s]", Table.Right);
+            ("lat p99 [s]", Table.Right) ]
+    in
+    List.iter
+      (fun (loss, (r : System.report)) ->
+        match r.System.net with
+        | None -> ()
+        | Some n ->
+            Table.add_row t
+              [ Printf.sprintf "%.0f%%" (100. *. loss);
+                Printf.sprintf "%.3f"
+                  (float_of_int r.System.answered
+                  /. float_of_int (max 1 r.System.queries));
+                Printf.sprintf "%.3f" r.System.hit_rate;
+                string_of_int n.System.messages_sent;
+                string_of_int n.System.messages_dropped;
+                string_of_int n.System.messages_retried;
+                string_of_int n.System.messages_timed_out;
+                Printf.sprintf "%.3f" n.System.latency_p50;
+                Printf.sprintf "%.3f" n.System.latency_p99 ])
+      loss_sweep;
+    t
+  in
   let run_name = scenario.Scenario.name ^ "/partial" in
   let json =
     Json.Obj
@@ -832,6 +939,7 @@ let section_perf () =
               ("speedup", Json.Float speedup);
               ("identical_reports", Json.Bool true);
             ] );
+        ("net", net_json);
       ]
   in
   let path = "BENCH_pdht.json" in
@@ -847,7 +955,12 @@ let section_perf () =
      wrote %s\n"
     run_name engine_events wall events_per_second minor_words_per_event queue_words_per_op
     flood_scratch_words flood_fresh_words (List.length batch_specs) wall_single
-    wall_parallel par_jobs speedup cores path
+    wall_parallel par_jobs speedup cores path;
+  Printf.printf
+    "\nnetwork model (constant 20 ms/hop, 0.5 s timeout, %d retries): \
+     zero-cost net == no net: %b\n"
+    Pdht_net.Config.default.Pdht_net.Config.rpc_retries zero_cost_equivalent;
+  Table.print net_table
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)

@@ -77,6 +77,70 @@ let jobs_arg =
                  Results are identical for any value.")
 
 (* ------------------------------------------------------------------ *)
+(* Network-model flags (shared by simulate and sweep).  Giving any of
+   them enables the model; the others fall back to
+   [Pdht_net.Config.default]. *)
+
+let net_term =
+  let latency_arg =
+    Arg.(value & opt (some string) None
+         & info [ "latency" ] ~docv:"SPEC"
+             ~doc:"Per-hop latency model: a bare float (constant seconds), or \
+                   $(b,constant:S), $(b,uniform:LO:HI), \
+                   $(b,lognormal:MU:SIGMA).  Enables the network model.")
+  in
+  let loss_arg =
+    Arg.(value & opt (some float) None
+         & info [ "loss" ] ~docv:"P"
+             ~doc:"Independent per-message drop probability in [0,1].  Enables \
+                   the network model.")
+  in
+  let timeout_arg =
+    Arg.(value & opt (some float) None
+         & info [ "rpc-timeout" ] ~docv:"S"
+             ~doc:"Seconds an RPC caller waits for its first attempt (later \
+                   attempts back off exponentially).  Enables the network \
+                   model.")
+  in
+  let retries_arg =
+    Arg.(value & opt (some int) None
+         & info [ "rpc-retries" ] ~docv:"N"
+             ~doc:"RPC retries after the first attempt (0 = one shot).  \
+                   Enables the network model.")
+  in
+  let build latency loss rpc_timeout rpc_retries =
+    match (latency, loss, rpc_timeout, rpc_retries) with
+    | None, None, None, None -> Ok None
+    | _ -> (
+        let base = Pdht_net.Config.default in
+        let latency_result =
+          match latency with
+          | None -> Ok base.Pdht_net.Config.latency
+          | Some spec -> Pdht_net.Config.latency_of_string spec
+        in
+        match latency_result with
+        | Error msg -> Error ("--latency: " ^ msg)
+        | Ok latency -> (
+            let cfg =
+              {
+                base with
+                Pdht_net.Config.latency;
+                loss = Option.value loss ~default:base.Pdht_net.Config.loss;
+                rpc_timeout =
+                  Option.value rpc_timeout
+                    ~default:base.Pdht_net.Config.rpc_timeout;
+                rpc_retries =
+                  Option.value rpc_retries
+                    ~default:base.Pdht_net.Config.rpc_retries;
+              }
+            in
+            match Pdht_net.Config.validate cfg with
+            | Ok cfg -> Ok (Some cfg)
+            | Error msg -> Error ("invalid network model: " ^ msg)))
+  in
+  Term.(const build $ latency_arg $ loss_arg $ timeout_arg $ retries_arg)
+
+(* ------------------------------------------------------------------ *)
 (* model *)
 
 let run_model params =
@@ -111,9 +175,23 @@ let model_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let run_sweep csv jobs params =
+let run_sweep csv jobs net params =
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else
+  match net with
+  | Error msg -> `Error (false, msg)
+  | Ok net ->
+  (match net with
+  | Some cfg ->
+      (* The analytical sweep counts messages (Eqs. 11-17); delivery
+         timing does not enter the equations.  Accept the flags for
+         symmetry with [simulate], but say what they (don't) do. *)
+      Printf.eprintf
+        "note: network model (%s, loss %.3f) does not affect the analytical \
+         sweep; use `pdht simulate` to measure delivery effects\n"
+        (Pdht_net.Config.latency_to_string cfg.Pdht_net.Config.latency)
+        cfg.Pdht_net.Config.loss
+  | None -> ());
   with_validated params @@ fun p ->
   let t =
     Table.create
@@ -144,7 +222,7 @@ let sweep_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(ret (const run_sweep $ csv_arg $ jobs_arg $ params_term))
+    Term.(ret (const run_sweep $ csv_arg $ jobs_arg $ net_term $ params_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -194,11 +272,14 @@ let parse_trace_filter spec =
   convert [] tokens
 
 let run_simulate verbose log_level metrics_out trace_out trace_filter preset peers keys
-    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate =
+    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate net =
   setup_logging verbose log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else if replicate < 1 then `Error (false, "--replicate must be >= 1")
   else
+  match net with
+  | Error msg -> `Error (false, msg)
+  | Ok net ->
   let scenario =
     match preset with
     | Some name -> (
@@ -233,7 +314,7 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
         if adaptive then System.Adaptive
         else match key_ttl with Some ttl -> System.Fixed ttl | None -> System.Model_derived
       in
-      let options = System.Options.make ~repl ~stor ~ttl_policy () in
+      let options = System.Options.make ~repl ~stor ~ttl_policy ?net () in
       let strategy =
         match strategy with
         | `Partial ->
@@ -402,7 +483,7 @@ let simulate_cmd =
         (const run_simulate $ verbose_arg $ log_level_arg $ metrics_out_arg
          $ trace_out_arg $ trace_filter_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
-         $ churn_arg $ jobs_arg $ replicate_arg))
+         $ churn_arg $ jobs_arg $ replicate_arg $ net_term))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)

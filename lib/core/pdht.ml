@@ -13,6 +13,7 @@ module Dht = Pdht_dht.Dht
 module Storage = Pdht_dht.Storage
 module Replica_net = Pdht_gossip.Replica_net
 module Rumor = Pdht_gossip.Rumor
+module Net_hook = Pdht_net.Hook
 
 
 
@@ -53,6 +54,13 @@ type t = {
   metrics : Metrics.t;
   obs : Obs.t;
   ins : instruments;
+  (* Network model, if any.  The two closures are built once at
+     creation (no per-query allocation) and passed as the [?deliver]
+     hooks: [net_rpc] per DHT forward hop, [net_cast] per broadcast
+     message.  All three are [None] together. *)
+  net : Net_hook.t option;
+  net_rpc : (src:int -> dst:int -> bool) option;
+  net_cast : (src:int -> dst:int -> bool) option;
   mutable online : int -> bool;
   mutable key_ttl : float;
 }
@@ -117,7 +125,7 @@ let make_instruments (obs : Obs.t) ~backend =
     c_gossip_spreads = Registry.counter r "gossip.spreads";
   }
 
-let create ?obs rng config =
+let create ?obs ?net rng config =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let keys = config.Config.keys in
   let bitkeys =
@@ -157,6 +165,15 @@ let create ?obs rng config =
       metrics = Metrics.create ();
       obs;
       ins = make_instruments obs ~backend:config.Config.backend;
+      net;
+      net_rpc =
+        (match net with
+        | None -> None
+        | Some h -> Some (fun ~src ~dst -> Net_hook.rpc h ~src ~dst));
+      net_cast =
+        (match net with
+        | None -> None
+        | Some h -> Some (fun ~src ~dst -> Net_hook.cast h ~src ~dst));
       online = (fun _ -> true);
       key_ttl = initial_ttl config;
     }
@@ -233,6 +250,17 @@ let entry_point t peer =
 
 let entry_contact ~peer entry = if entry = peer then 0 else 1
 
+(* Under the network model the contact message to a remote entry point
+   is itself an RPC: when its retry budget fails, the peer cannot reach
+   the index at all this query and the caller sees [-1], degrading
+   exactly like "no online member found". *)
+let reach_entry t ~peer entry =
+  if entry < 0 || entry = peer then entry
+  else
+    match t.net with
+    | None -> entry
+    | Some h -> if Net_hook.rpc h ~src:peer ~dst:entry then entry else -1
+
 (* Per-backend lookup telemetry: hop/message histograms feed the
    measured-vs-model cSIndx comparison in {!System.report}. *)
 let record_lookup t ~now ~peer ~key_index lookup =
@@ -263,7 +291,7 @@ let record_ttl_reset t ~now ~peer ~key_index =
    (provider option, index_messages, flood_messages). *)
 let index_search t ~now ~entry ~key_index =
   let key = t.bitkeys.(key_index) in
-  let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+  let lookup = Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key in
   record_lookup t ~now ~peer:entry ~key_index lookup;
   let index_messages = lookup.Dht.messages in
   let result =
@@ -313,7 +341,7 @@ let index_search t ~now ~entry ~key_index =
    the subnetwork (counted as flood traffic). *)
 let index_insert t ~now ~entry ~key_index ~provider =
   let key = t.bitkeys.(key_index) in
-  let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+  let lookup = Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key in
   record_lookup t ~now ~peer:entry ~key_index lookup;
   Registry.incr t.ins.c_index_insert 1;
   let messages =
@@ -337,9 +365,14 @@ let index_insert t ~now ~entry ~key_index ~provider =
 
 let broadcast_search t ~now ~peer ~key_index =
   let outcome =
-    Unstructured_search.search t.unstructured t.rng ~online:t.online ~source:peer
-      ~item:key_index
+    Unstructured_search.search ?deliver:t.net_cast t.unstructured t.rng ~online:t.online
+      ~source:peer ~item:key_index
   in
+  (* A broadcast advances in synchronous waves; its wall-clock cost is
+     one per-hop latency per wave, not per message. *)
+  (match t.net with
+  | Some h -> Net_hook.advance_rounds h outcome.Unstructured_search.rounds
+  | None -> ());
   let provider = outcome.Unstructured_search.provider in
   let messages = outcome.Unstructured_search.messages in
   Histogram.record_int t.ins.broadcast_hist messages;
@@ -366,6 +399,7 @@ let query t ~now ~peer ~key_index =
     invalid_arg "Pdht.query: key_index out of range";
   if not (t.online peer) then empty_result
   else begin
+    (match t.net with Some h -> Net_hook.begin_op h ~now | None -> ());
     let result =
       match t.config.Config.strategy with
       | Strategy.No_index ->
@@ -377,7 +411,7 @@ let query t ~now ~peer ~key_index =
             broadcast_messages = messages;
           }
       | Strategy.Index_all -> (
-          let entry = entry_point t peer in
+          let entry = reach_entry t ~peer (entry_point t peer) in
           if entry < 0 then empty_result
           else
             let contact = entry_contact ~peer entry in
@@ -397,7 +431,7 @@ let query t ~now ~peer ~key_index =
                   { empty_result with index_messages;
                     replica_flood_messages = flood_messages }))
       | Strategy.Partial_index _ -> (
-          let entry = entry_point t peer in
+          let entry = reach_entry t ~peer (entry_point t peer) in
           if entry < 0 then
             (* Cannot reach the index at all; degrade to broadcast. *)
             let provider, messages = broadcast_search t ~now ~peer ~key_index in
@@ -440,6 +474,7 @@ let query t ~now ~peer ~key_index =
                       })))
     in
     charge t result;
+    (match t.net with Some h -> Net_hook.record_latency h | None -> ());
     Histogram.record_int t.ins.query_cost_hist (total_messages result);
     let tracer = t.obs.Obs.tracer in
     if Tracer.active tracer Event.Query then
@@ -463,13 +498,16 @@ let update_key t rng ~now ~key_index =
       (* Route the new value to a responsible peer, then rumor-spread it
          through the replica subnetwork (Eq. 9's push/pull gossip). *)
       let issuer = Rng.int rng t.config.Config.num_peers in
-      let entry = entry_point t issuer in
+      (match t.net with Some h -> Net_hook.begin_op h ~now | None -> ());
+      let entry = reach_entry t ~peer:issuer (entry_point t issuer) in
       if entry < 0 then 0
       else
         let contact = entry_contact ~peer:issuer entry in
         (
           let key = t.bitkeys.(key_index) in
-          let lookup = Dht.lookup t.dht t.rng ~online:t.online ~source:entry ~key in
+          let lookup =
+            Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key
+          in
           record_lookup t ~now ~peer:entry ~key_index lookup;
           match lookup.Dht.responsible with
           | None ->

@@ -19,7 +19,7 @@
 
 type t
 
-val create : ?obs:Pdht_obs.Context.t -> Pdht_util.Rng.t -> Config.t -> t
+val create : ?obs:Pdht_obs.Context.t -> ?net:Pdht_net.Hook.t -> Pdht_util.Rng.t -> Config.t -> t
 (** Build topology, DHT, content placement and (for [Index_all]) the
     pre-loaded index.  Deterministic in the generator state.
 
@@ -32,7 +32,19 @@ val create : ?obs:Pdht_obs.Context.t -> Pdht_util.Rng.t -> Config.t -> t
     [gossip.spreads], the per-category [messages.*] counters teed from
     {!Pdht_sim.Metrics}, and — when the tracer is enabled — typed
     [Query]/[Dht_lookup]/[Broadcast]/[Index_insert]/[Ttl_reset]/[Gossip]
-    events. *)
+    events.
+
+    [net] (default: none — reliable, instantaneous messages, bit-for-bit
+    the pre-network-model behaviour) applies the network model to the
+    query path: every DHT forward hop and the entry-point contact become
+    RPCs with timeout/retry/backoff, broadcast messages face the loss
+    coin, sequential hop and wave latencies accumulate into a per-query
+    virtual clock recorded as [net.query_latency_ms], and delivery failures
+    degrade a lookup to the unstructured miss path instead of raising.
+    The hook draws only from its own RNG stream, so all other
+    randomness is unperturbed.  Replica-subnetwork floods, gossip and
+    maintenance probes stay instantaneous (documented simplification —
+    they are background traffic, not query-path latency). *)
 
 val config : t -> Config.t
 val metrics : t -> Pdht_sim.Metrics.t

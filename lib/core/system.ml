@@ -21,6 +21,7 @@ type options = {
   sample_every : float;
   sizing_slack : float;
   eviction : Pdht_dht.Storage.eviction;
+  net : Pdht_net.Config.t option;
 }
 
 let default_options =
@@ -33,11 +34,12 @@ let default_options =
     sample_every = 60.;
     sizing_slack = 1.5;
     eviction = Pdht_dht.Storage.Evict_soonest_expiry;
+    net = None;
   }
 
 module Options = struct
-  let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction ()
-      =
+  let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction
+      ?net () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
     {
@@ -49,6 +51,7 @@ module Options = struct
       sample_every = value d.sample_every sample_every;
       sizing_slack = value d.sizing_slack sizing_slack;
       eviction = value d.eviction eviction;
+      net = (match net with Some _ -> net | None -> d.net);
     }
 
   let with_repl repl options = { options with repl }
@@ -57,6 +60,8 @@ module Options = struct
   let with_ttl_policy ttl_policy options = { options with ttl_policy }
   let with_sample_every sample_every options = { options with sample_every }
   let with_eviction eviction options = { options with eviction }
+  let with_net net options = { options with net = Some net }
+  let without_net options = { options with net = None }
 end
 
 type sample = {
@@ -65,6 +70,19 @@ type sample = {
   messages : int;
   indexed_keys : int;
   key_ttl : float;
+}
+
+(* Network-model outcome of a run: the [net.*] registry instruments
+   folded into report form.  [None] exactly when [options.net] was
+   [None], so pre-network reports are structurally unchanged. *)
+type net_summary = {
+  messages_sent : int;
+  messages_dropped : int;
+  messages_retried : int;
+  messages_timed_out : int;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
 }
 
 type report = {
@@ -92,6 +110,7 @@ type report = {
   c_s_unstr_model : float;
   c_s_unstr_measured : float;
   histograms : (string * Histogram.summary) list;
+  net : net_summary option;
   samples : sample list;
 }
 
@@ -188,6 +207,18 @@ let run ?obs scenario strategy options =
   let churn_rng = Rng.split rng in
   let maintenance_rng = Rng.split rng in
   let update_rng = Rng.split rng in
+  (* The network model gets its own stream, split only when enabled:
+     the five streams above were derived before this point and the
+     parent generator is never drawn from again, so [net = None] runs
+     are bit-identical to the pre-network code and enabling a zero-cost
+     net perturbs no other stream. *)
+  let net_hook =
+    match options.net with
+    | None -> None
+    | Some cfg ->
+        let net_rng = Rng.split rng in
+        Some (Pdht_net.Hook.create ~obs ~rng:net_rng cfg)
+  in
   let active_members = plan_active_members scenario options strategy in
   Log.info (fun m ->
       m "run %s/%s: %d peers (%d members), %d keys, fQry=%g, %.0fs" scenario.Scenario.name
@@ -198,7 +229,7 @@ let run ?obs scenario strategy options =
       ~num_peers:scenario.Scenario.num_peers ~active_members
       ~keys:scenario.Scenario.keys ~repl:options.repl ~stor:options.stor ~strategy ()
   in
-  let pdht = Pdht.create ~obs build_rng config in
+  let pdht = Pdht.create ~obs ?net:net_hook build_rng config in
   let engine = Engine.create () in
   Engine.instrument engine obs.Obs.registry;
   if Pdht_obs.Tracer.enabled obs.Obs.tracer then
@@ -355,6 +386,32 @@ let run ?obs scenario strategy options =
         | _ -> None)
       (Registry.snapshot registry)
   in
+  let net_summary =
+    match net_hook with
+    | None -> None
+    | Some _ ->
+        let c name =
+          match Registry.counter_value_by_name registry name with Some v -> v | None -> 0
+        in
+        let latency_q p =
+          (* The histogram records milliseconds (sub-second values
+             would collapse into the sketch's [0,1) bucket); the
+             summary reports seconds. *)
+          match Registry.find_histogram registry "net.query_latency_ms" with
+          | Some h when Histogram.count h > 0 -> Histogram.quantile h p /. 1000.
+          | _ -> 0.
+        in
+        Some
+          {
+            messages_sent = c "net.messages_sent";
+            messages_dropped = c "net.messages_dropped";
+            messages_retried = c "net.messages_retried";
+            messages_timed_out = c "net.messages_timed_out";
+            latency_p50 = latency_q 0.5;
+            latency_p95 = latency_q 0.95;
+            latency_p99 = latency_q 0.99;
+          }
+  in
   {
     scenario_name = scenario.Scenario.name;
     strategy;
@@ -384,6 +441,7 @@ let run ?obs scenario strategy options =
     c_s_unstr_model = solution.Pdht_model.Index_policy.c_s_unstr;
     c_s_unstr_measured = hist_mean "broadcast.reach";
     histograms;
+    net = net_summary;
     samples = List.rev counters.samples_rev;
   }
 
@@ -402,6 +460,14 @@ let pp_report ppf r =
   Format.fprintf ppf
     "  cSIndx  measured %.1f vs model %.1f@,  cSUnstr measured %.1f vs model %.1f@,"
     r.c_s_indx_measured r.c_s_indx_model r.c_s_unstr_measured r.c_s_unstr_model;
+  (match r.net with
+  | None -> ()
+  | Some n ->
+      Format.fprintf ppf
+        "  net: sent=%d dropped=%d retried=%d timed_out=%d latency p50/p95/p99 = \
+         %.4f / %.4f / %.4f s@,"
+        n.messages_sent n.messages_dropped n.messages_retried n.messages_timed_out
+        n.latency_p50 n.latency_p95 n.latency_p99);
   List.iter
     (fun (cat, n) ->
       if n > 0 then Format.fprintf ppf "  %-20s %d@," (Metrics.category_label cat) n)

@@ -33,6 +33,12 @@ type options = {
           deployments over-provision (default 1.5) *)
   eviction : Pdht_dht.Storage.eviction;
       (** index-cache victim policy (default [Evict_soonest_expiry]) *)
+  net : Pdht_net.Config.t option;
+      (** network model for the query path (default [None] =
+          instantaneous, reliable messages — bit-identical to the
+          pre-network behaviour).  When set, per-hop latency, loss,
+          partitions and RPC timeout/retry semantics apply, and the
+          report gains its [net] summary. *)
 }
 
 val default_options : options
@@ -49,6 +55,7 @@ module Options : sig
     ?sample_every:float ->
     ?sizing_slack:float ->
     ?eviction:Pdht_dht.Storage.eviction ->
+    ?net:Pdht_net.Config.t ->
     unit ->
     options
   (** Unnamed arguments take their {!default_options} value. *)
@@ -59,6 +66,8 @@ module Options : sig
   val with_ttl_policy : ttl_policy -> options -> options
   val with_sample_every : float -> options -> options
   val with_eviction : Pdht_dht.Storage.eviction -> options -> options
+  val with_net : Pdht_net.Config.t -> options -> options
+  val without_net : options -> options
 end
 
 type sample = {
@@ -68,6 +77,21 @@ type sample = {
   messages : int;            (** all messages in this bucket *)
   indexed_keys : int;        (** empirical Eq. 15 at the sample instant *)
   key_ttl : float;           (** TTL in force (changes when adaptive) *)
+}
+
+(** The [net.*] instruments in report form; present exactly when
+    [options.net] was set.  Latency quantiles come from the
+    [net.query_latency_ms] histogram (recorded in milliseconds,
+    reported here in end-to-end virtual seconds per query); the
+    counters are whole-run totals. *)
+type net_summary = {
+  messages_sent : int;
+  messages_dropped : int;
+  messages_retried : int;
+  messages_timed_out : int;
+  latency_p50 : float;
+  latency_p95 : float;
+  latency_p99 : float;
 }
 
 type report = {
@@ -99,6 +123,7 @@ type report = {
           name-sorted — except [engine.sim_seconds_per_wall_second],
           which measures host speed rather than the simulation and
           would break the determinism contract below *)
+  net : net_summary option;   (** see {!net_summary} *)
   samples : sample list;      (** chronological *)
 }
 

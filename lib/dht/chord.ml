@@ -83,7 +83,7 @@ let in_open_interval ~a ~b x =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup t ~online ~source ~key =
+let lookup ?deliver t ~online ~source ~key =
   if source < 0 || source >= members t then invalid_arg "Chord.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
   else
@@ -93,10 +93,17 @@ let lookup t ~online ~source ~key =
         let messages = ref 0 in
         let hops = ref 0 in
         let current = ref source in
+        let failed = ref false in
         let n = members t in
+        (* Forwarding the lookup to the next node is one RPC under the
+           network model; an exhausted retry budget aborts the routing
+           (the caller degrades to its miss path). *)
+        let forward src dst =
+          match deliver with None -> true | Some d -> d ~src ~dst
+        in
         (* Each iteration strictly advances clockwise toward the key, so
            the loop terminates after at most [n] hops. *)
-        while !current <> target do
+        while !current <> target && not !failed do
           let c = !current in
           let id_c = t.ids.(c) in
           (* Closest preceding online finger within (id_c, key). *)
@@ -112,8 +119,11 @@ let lookup t ~online ~source ~key =
           done;
           (match !chosen with
           | Some f ->
-              incr hops;
-              current := f
+              if forward c f then begin
+                incr hops;
+                current := f
+              end
+              else failed := true
           | None ->
               (* No useful finger: walk the ring successor by successor,
                  paying for timeouts on offline members. *)
@@ -126,11 +136,15 @@ let lookup t ~online ~source ~key =
               in
               (match walk 1 with
               | Some m ->
-                  incr hops;
-                  current := m
+                  if forward c m then begin
+                    incr hops;
+                    current := m
+                  end
+                  else failed := true
               | None -> current := target (* unreachable: target is online *)))
         done;
-        { responsible = Some target; messages = !messages; hops = !hops }
+        if !failed then { responsible = None; messages = !messages; hops = !hops }
+        else { responsible = Some target; messages = !messages; hops = !hops }
 
 let finger_targets t m =
   let seen = Hashtbl.create 16 in

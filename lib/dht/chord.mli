@@ -38,9 +38,18 @@ type outcome = {
   hops : int;               (** successful forwarding steps only *)
 }
 
-val lookup : t -> online:(int -> bool) -> source:int -> key:Pdht_util.Bitkey.t -> outcome
+val lookup :
+  ?deliver:(src:int -> dst:int -> bool) ->
+  t ->
+  online:(int -> bool) ->
+  source:int ->
+  key:Pdht_util.Bitkey.t ->
+  outcome
 (** Iterative greedy finger routing from [source] (must be a member; an
-    offline source fails immediately with no messages). *)
+    offline source fails immediately with no messages).  [deliver] is
+    consulted once per successful forwarding step (RPC semantics); a
+    [false] verdict aborts the routing with [responsible = None] so the
+    caller can degrade to its miss path.  Omitted = reliable. *)
 
 (** Finger-table maintenance (probing per [MaCa03]). *)
 

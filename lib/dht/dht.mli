@@ -31,12 +31,17 @@ val members : t -> int
 type outcome = { responsible : int option; messages : int; hops : int }
 
 val lookup :
+  ?deliver:(src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
   source:int ->
   key:Pdht_util.Bitkey.t ->
   outcome
+(** [deliver] threads the network model's per-hop RPC verdict into the
+    backend (see each backend's [lookup]); a failed delivery makes the
+    lookup fail ([responsible = None]) or routes around the silent peer,
+    never raises.  Omitted = reliable, instantaneous semantics. *)
 
 val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
 

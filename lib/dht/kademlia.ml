@@ -91,7 +91,7 @@ let closest_in_table t member key ~k =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup t rng ~online ~source ~key =
+let lookup ?deliver t rng ~online ~source ~key =
   ignore rng;
   if source < 0 || source >= members t then invalid_arg "Kademlia.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
@@ -131,7 +131,17 @@ let lookup t rng ~online ~source ~key =
               List.iter
                 (fun m ->
                   incr messages;
-                  if online m then begin
+                  (* The iterative caller contacts each candidate
+                     directly; under the network model that contact is
+                     one RPC (consulted only for live candidates —
+                     offline ones already pay their timeout message),
+                     and an exhausted retry budget makes the candidate
+                     look dead — Kademlia's native tolerance to
+                     unresponsive nodes, no abort needed. *)
+                  if
+                    online m
+                    && (match deliver with None -> true | Some d -> d ~src:source ~dst:m)
+                  then begin
                     Hashtbl.replace contacted m ();
                     if improves m then best_online := Some m;
                     List.iter add_candidate (closest_in_table t m key ~k:t.bucket_size)

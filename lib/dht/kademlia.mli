@@ -34,11 +34,19 @@ type outcome = {
 }
 
 val lookup :
-  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> key:Pdht_util.Bitkey.t -> outcome
+  ?deliver:(src:int -> dst:int -> bool) ->
+  t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  source:int ->
+  key:Pdht_util.Bitkey.t ->
+  outcome
 (** Iterative lookup from [source] (offline source fails free).
     Succeeds when the globally closest *online* member has been
     contacted; fails if the search stalls with every known closer
-    candidate offline. *)
+    candidate offline.  [deliver] (one RPC per live contact) makes an
+    undeliverable candidate look dead; the iteration routes around it
+    rather than aborting. *)
 
 val bucket_count : t -> int -> int
 (** Non-empty k-buckets of a member. *)

@@ -160,7 +160,7 @@ let responsible t ~online key =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup t rng ~online ~source ~key =
+let lookup ?deliver t rng ~online ~source ~key =
   ignore rng;
   if source < 0 || source >= members t then invalid_arg "Pastry.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
@@ -172,6 +172,11 @@ let lookup t rng ~online ~source ~key =
         let hops = ref 0 in
         let current = ref source in
         let stalled = ref false in
+        (* One RPC per successful forward under the network model; an
+           exhausted retry budget stalls the routing (miss path). *)
+        let forward src dst =
+          match deliver with None -> true | Some d -> d ~src ~dst
+        in
         (* Progress measure: (shared prefix length, numeric closeness)
            lexicographically — preferred hops grow the prefix, fallback
            hops keep it and shrink the distance, so the loop terminates;
@@ -198,8 +203,11 @@ let lookup t rng ~online ~source ~key =
           in
           match next with
           | Some m ->
-              incr hops;
-              current := m
+              if forward c m then begin
+                incr hops;
+                current := m
+              end
+              else stalled := true
           | None ->
               (* Fallback tiers (the standard Pastry "rare case" rule
                  plus leaf-set delivery):
@@ -246,13 +254,19 @@ let lookup t rng ~online ~source ~key =
               in
               (match try_candidates prefix_safe with
               | Some m ->
-                  incr hops;
-                  current := m
+                  if forward c m then begin
+                    incr hops;
+                    current := m
+                  end
+                  else stalled := true
               | None -> (
                   match try_candidates leaf_delivery with
                   | Some m ->
-                      incr hops;
-                      current := m
+                      if forward c m then begin
+                        incr hops;
+                        current := m
+                      end
+                      else stalled := true
                   | None -> stalled := true))
           end
         done;

@@ -46,10 +46,18 @@ type outcome = {
 }
 
 val lookup :
-  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> key:Pdht_util.Bitkey.t -> outcome
+  ?deliver:(src:int -> dst:int -> bool) ->
+  t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  source:int ->
+  key:Pdht_util.Bitkey.t ->
+  outcome
 (** Prefix routing from [source]; offline routing entries cost a timeout
     message each and fall back to the leaf set (and, in the worst case,
-    a numerically-closer known member), as in deployed Pastry. *)
+    a numerically-closer known member), as in deployed Pastry.
+    [deliver] is one RPC per successful forward; a [false] verdict
+    stalls the routing ([responsible = None]). *)
 
 val routing_table_size : t -> int -> int
 

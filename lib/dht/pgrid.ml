@@ -143,7 +143,7 @@ let refs_at t ~peer ~level =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup t rng ~online ~source ~key =
+let lookup ?deliver t rng ~online ~source ~key =
   if source < 0 || source >= members t then invalid_arg "Pgrid.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
   else begin
@@ -179,9 +179,17 @@ let lookup t rng ~online ~source ~key =
         incr i
       done;
       if !next >= 0 then begin
-        incr hops;
-        current := !next;
-        if key_matches_path key t.paths.(!next) then arrived := true
+        (* Forward hop = one RPC under the network model; an exhausted
+           retry budget fails the lookup like a dead level would. *)
+        let delivered =
+          match deliver with None -> true | Some d -> d ~src:!current ~dst:!next
+        in
+        if delivered then begin
+          incr hops;
+          current := !next;
+          if key_matches_path key t.paths.(!next) then arrived := true
+        end
+        else failed := true
       end
       else failed := true
     done;

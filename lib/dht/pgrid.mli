@@ -40,6 +40,7 @@ val refs_at : t -> peer:int -> level:int -> int array
 type outcome = { responsible : int option; messages : int; hops : int }
 
 val lookup :
+  ?deliver:(src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -49,7 +50,9 @@ val lookup :
 (** Route from [source]; each forwarding attempt costs one message,
     attempts to offline references cost one message each (timeout).
     Fails ([responsible = None]) if some level's references are all
-    offline and the local leaf cannot answer. *)
+    offline and the local leaf cannot answer — or, with [deliver]
+    supplied (one RPC per forward hop), when a hop's delivery budget is
+    exhausted. *)
 
 val probe_and_repair :
   t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int

@@ -1,0 +1,103 @@
+module Rng = Pdht_util.Rng
+module Obs = Pdht_obs.Context
+module Registry = Pdht_obs.Registry
+module Tracer = Pdht_obs.Tracer
+module Event = Pdht_obs.Event
+
+type t = {
+  rng : Rng.t;
+  link : Link_model.t;
+  config : Config.t;
+  stats : Stats.t;
+  tracer : Tracer.t;
+  mutable clock : float; (* virtual seconds into the current operation *)
+  mutable op_start : float; (* simulated time the operation began *)
+}
+
+let create ?obs ~rng config =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  let link = Link_model.create config in
+  {
+    rng;
+    link;
+    config = Link_model.config link;
+    stats = Stats.create obs.Obs.registry;
+    tracer = obs.Obs.tracer;
+    clock = 0.;
+    op_start = 0.;
+  }
+
+let config t = t.config
+let stats t = t.stats
+
+let begin_op t ~now =
+  t.clock <- 0.;
+  t.op_start <- now
+
+let elapsed t = t.clock
+let now t = t.op_start +. t.clock
+
+let trace t ~src ~dst ~attempt ~dropped ~detail =
+  if Tracer.active t.tracer Event.Net then
+    Tracer.emit t.tracer
+      (Event.make ~time:(now t) ~peer:src ~key_index:dst ~hops:attempt
+         ~outcome:(if dropped then Event.Dropped else Event.Completed)
+         ~detail Event.Net)
+
+let cast t ~src ~dst =
+  Registry.incr t.stats.Stats.c_sent 1;
+  if Link_model.drops t.link t.rng ~src ~dst ~now:(now t) then begin
+    Registry.incr t.stats.Stats.c_dropped 1;
+    trace t ~src ~dst ~attempt:0 ~dropped:true ~detail:"send";
+    false
+  end
+  else true
+
+(* One request/response leg: send-time drop decision, then a latency
+   sample only when the leg survives (stream economy: a zero-loss
+   constant-latency config draws nothing at all). *)
+let leg t ~src ~dst =
+  Registry.incr t.stats.Stats.c_sent 1;
+  if Link_model.drops t.link t.rng ~src ~dst ~now:(now t) then begin
+    Registry.incr t.stats.Stats.c_dropped 1;
+    false
+  end
+  else begin
+    t.clock <- t.clock +. Link_model.sample_latency t.link t.rng;
+    true
+  end
+
+let rpc t ~src ~dst =
+  let retries = t.config.Config.rpc_retries in
+  let rec attempt k =
+    if k > 0 then Registry.incr t.stats.Stats.c_retried 1;
+    let before = t.clock in
+    let ok = leg t ~src ~dst && leg t ~src:dst ~dst:src in
+    if ok then begin
+      trace t ~src ~dst ~attempt:k ~dropped:false ~detail:"rpc";
+      true
+    end
+    else begin
+      (* A lost leg costs the attempt's full timeout; any latency the
+         surviving first leg charged is subsumed by it. *)
+      t.clock <- before +. Config.timeout_for_attempt t.config ~attempt:k;
+      trace t ~src ~dst ~attempt:k ~dropped:true ~detail:"rpc";
+      if k < retries then attempt (k + 1)
+      else begin
+        Registry.incr t.stats.Stats.c_timed_out 1;
+        trace t ~src ~dst ~attempt:k ~dropped:true ~detail:"timeout";
+        false
+      end
+    end
+  in
+  attempt 0
+
+let advance_rounds t n =
+  if n < 0 then invalid_arg "Hook.advance_rounds: negative rounds";
+  for _ = 1 to n do
+    t.clock <- t.clock +. Link_model.sample_latency t.link t.rng
+  done
+
+let record_latency t =
+  (* Histogram unit is milliseconds — see the note in [Stats.create]. *)
+  Pdht_obs.Histogram.record t.stats.Stats.latency_hist (t.clock *. 1000.)

@@ -1,0 +1,47 @@
+module Engine = Pdht_sim.Engine
+module Registry = Pdht_obs.Registry
+
+type t = { transport : Transport.t; config : Config.t }
+
+let create transport =
+  { transport; config = Link_model.config (Transport.link transport) }
+
+let transport t = t.transport
+
+type call_state = { mutable settled : bool }
+
+let call t ~src ~dst ~handler ~on_reply =
+  let stats = Transport.stats t.transport in
+  let engine = Transport.engine t.transport in
+  let state = { settled = false } in
+  let rec attempt k =
+    if not state.settled then begin
+      if k > 0 then Registry.incr stats.Stats.c_retried 1;
+      let (_ : bool) =
+        Transport.send t.transport ~src ~dst (fun _eng ->
+            if (not state.settled) && handler () then
+              let (_ : bool) =
+                Transport.send t.transport ~src:dst ~dst:src (fun eng ->
+                    if not state.settled then begin
+                      state.settled <- true;
+                      on_reply ~ok:true eng
+                    end)
+              in
+              ())
+      in
+      (* The caller cannot observe a send-time drop: it always waits the
+         attempt's full timeout before retrying or giving up, exactly as
+         a real endpoint would. *)
+      Engine.schedule engine
+        ~delay:(Config.timeout_for_attempt t.config ~attempt:k)
+        (fun eng ->
+          if not state.settled then
+            if k < t.config.Config.rpc_retries then attempt (k + 1)
+            else begin
+              state.settled <- true;
+              Registry.incr stats.Stats.c_timed_out 1;
+              on_reply ~ok:false eng
+            end)
+    end
+  in
+  attempt 0

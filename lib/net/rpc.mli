@@ -1,0 +1,44 @@
+(** Request/response over {!Transport} with timeout, bounded retries and
+    exponential backoff.
+
+    The asynchronous state machine (per call):
+
+    {v
+      attempt k (k = 0 .. rpc_retries):
+        send request  --lost-->  wait timeout * backoff^k, retry / give up
+             |
+          delivered, handler says yes
+             |
+        send response --lost-->  (same timeout path on the caller)
+             |
+          delivered  -->  on_reply ~ok:true
+    v}
+
+    A late reply racing a retry is settled exactly once: whichever of
+    {e reply delivered} / {e final timeout} happens first wins, the
+    loser finds the call settled and does nothing.  Counters:
+    [net.messages_retried] per retry attempt, [net.messages_timed_out]
+    per call that exhausts its budget. *)
+
+type t
+
+val create : Transport.t -> t
+(** Timeout, retry and backoff parameters come from the transport's
+    link-model config. *)
+
+val transport : t -> Transport.t
+
+val call :
+  t ->
+  src:int ->
+  dst:int ->
+  handler:(unit -> bool) ->
+  on_reply:(ok:bool -> Pdht_sim.Engine.t -> unit) ->
+  unit
+(** Issue one RPC from [src] to [dst].  [handler] runs (on the engine,
+    at request-arrival time) to decide whether [dst] answers — e.g. an
+    online check.  [on_reply ~ok:true] fires at response-arrival time;
+    [on_reply ~ok:false] fires when every attempt timed out, or when
+    [handler] returned false on a delivered attempt and the timeout
+    budget subsequently ran out (a peer that refuses to answer looks
+    identical to a lost message from the caller's side). *)

@@ -1,0 +1,21 @@
+module Registry = Pdht_obs.Registry
+
+type t = {
+  c_sent : Registry.counter;
+  c_dropped : Registry.counter;
+  c_retried : Registry.counter;
+  c_timed_out : Registry.counter;
+  latency_hist : Pdht_obs.Histogram.t;
+}
+
+let create r =
+  {
+    c_sent = Registry.counter r "net.messages_sent";
+    c_dropped = Registry.counter r "net.messages_dropped";
+    c_retried = Registry.counter r "net.messages_retried";
+    c_timed_out = Registry.counter r "net.messages_timed_out";
+    (* Milliseconds, not seconds: the histogram's geometric buckets
+       start at 1, so every sub-second sample would collapse into the
+       single [0,1) bucket and the quantiles would degenerate to 0.5. *)
+    latency_hist = Registry.histogram r "net.query_latency_ms";
+  }

@@ -1,0 +1,14 @@
+(** Pre-resolved [net.*] instruments.
+
+    One lookup per run instead of one registry hash probe per message:
+    the transport and the query-path hook share a single [Stats.t]. *)
+
+type t = {
+  c_sent : Pdht_obs.Registry.counter;       (* net.messages_sent *)
+  c_dropped : Pdht_obs.Registry.counter;    (* net.messages_dropped *)
+  c_retried : Pdht_obs.Registry.counter;    (* net.messages_retried *)
+  c_timed_out : Pdht_obs.Registry.counter;  (* net.messages_timed_out *)
+  latency_hist : Pdht_obs.Histogram.t;      (* net.query_latency_ms *)
+}
+
+val create : Pdht_obs.Registry.t -> t

@@ -1,0 +1,52 @@
+module Rng = Pdht_util.Rng
+module Engine = Pdht_sim.Engine
+module Obs = Pdht_obs.Context
+module Registry = Pdht_obs.Registry
+module Tracer = Pdht_obs.Tracer
+module Event = Pdht_obs.Event
+
+type t = {
+  engine : Engine.t;
+  rng : Rng.t;
+  link : Link_model.t;
+  stats : Stats.t;
+  tracer : Tracer.t;
+}
+
+let create ?obs ~engine ~rng link =
+  let obs = match obs with Some o -> o | None -> Obs.create () in
+  {
+    engine;
+    rng;
+    link;
+    stats = Stats.create obs.Obs.registry;
+    tracer = obs.Obs.tracer;
+  }
+
+let link t = t.link
+let stats t = t.stats
+let engine t = t.engine
+
+let trace t ~src ~dst ~dropped =
+  if Tracer.active t.tracer Event.Net then
+    Tracer.emit t.tracer
+      (Event.make ~time:(Engine.now t.engine) ~peer:src ~key_index:dst
+         ~outcome:(if dropped then Event.Dropped else Event.Completed)
+         ~detail:"send" Event.Net)
+
+let send t ~src ~dst callback =
+  Registry.incr t.stats.Stats.c_sent 1;
+  let now = Engine.now t.engine in
+  if Link_model.drops t.link t.rng ~src ~dst ~now then begin
+    Registry.incr t.stats.Stats.c_dropped 1;
+    trace t ~src ~dst ~dropped:true;
+    false
+  end
+  else begin
+    let latency = Link_model.sample_latency t.link t.rng in
+    trace t ~src ~dst ~dropped:false;
+    Engine.schedule t.engine ~delay:latency callback;
+    true
+  end
+
+let delay t = Link_model.sample_latency t.link t.rng

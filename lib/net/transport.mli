@@ -1,0 +1,36 @@
+(** Engine-scheduled message delivery.
+
+    The asynchronous half of the network model: [send] decides the
+    message's fate immediately (loss and partition checks at send time,
+    from the run's own RNG stream, so the outcome is a pure function of
+    the spec) and, when the message survives, schedules the delivery
+    callback on the simulation engine after a sampled latency.  Every
+    message emits one [Net] trace event when the tracer listens. *)
+
+type t
+
+val create :
+  ?obs:Pdht_obs.Context.t ->
+  engine:Pdht_sim.Engine.t ->
+  rng:Pdht_util.Rng.t ->
+  Link_model.t ->
+  t
+(** [rng] should be a stream dedicated to the network (the caller
+    splits it); the transport draws latency and loss coins from it in
+    send order. *)
+
+val link : t -> Link_model.t
+val stats : t -> Stats.t
+val engine : t -> Pdht_sim.Engine.t
+
+val send : t -> src:int -> dst:int -> (Pdht_sim.Engine.t -> unit) -> bool
+(** Send one message from [src] to [dst]; the callback runs on the
+    engine when the message arrives.  Returns false — and never runs
+    the callback — when the message is dropped (loss coin or active
+    partition).  Counts [net.messages_sent] always and
+    [net.messages_dropped] on a drop. *)
+
+val delay : t -> float
+(** Sample one delivery latency from the link model without sending —
+    the building block for callers that account for message time
+    outside the engine (see {!Hook}). *)

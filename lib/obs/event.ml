@@ -8,6 +8,7 @@ type category =
   | Maintenance
   | Churn
   | Engine
+  | Net
   | Custom
 
 type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
@@ -29,7 +30,7 @@ let make ?(peer = -1) ?(key_index = -1) ?(hops = 0) ?(messages = 0)
 
 let all_categories =
   [ Query; Dht_lookup; Broadcast; Index_insert; Ttl_reset; Gossip; Maintenance;
-    Churn; Engine; Custom ]
+    Churn; Engine; Net; Custom ]
 
 let category_label = function
   | Query -> "query"
@@ -41,6 +42,7 @@ let category_label = function
   | Maintenance -> "maintenance"
   | Churn -> "churn"
   | Engine -> "engine"
+  | Net -> "net"
   | Custom -> "custom"
 
 let category_of_label s =

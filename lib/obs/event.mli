@@ -18,6 +18,10 @@ type category =
   | Churn         (** one session transition; [detail] = "online"/"offline" *)
   | Engine        (** periodic engine snapshot; [messages] = events
                       processed so far, [hops] = event-queue depth *)
+  | Net           (** one network message or RPC attempt; [peer] = source,
+                      [key_index] = destination peer, [hops] = attempt
+                      number (RPCs), [outcome] = [Completed] delivered /
+                      [Dropped] lost, [detail] = "send"/"rpc"/"timeout" *)
   | Custom        (** free-form ({!Pdht_sim.Trace} compatibility);
                       [detail] = the message *)
 

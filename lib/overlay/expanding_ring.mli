@@ -12,10 +12,14 @@ type result = {
   rings : int;        (** flood attempts performed *)
   final_ttl : int;    (** TTL of the last attempt *)
   messages : int;     (** total across every attempt *)
+  depth : int;        (** BFS levels summed over all rings — rings run
+                          sequentially, so this is the search's duration
+                          in per-hop latencies *)
 }
 
 val search :
   ?scratch:Scratch.t ->
+  ?deliver:(src:int -> dst:int -> bool) ->
   Topology.t ->
   online:(int -> bool) ->
   holds:(int -> bool) ->
@@ -26,5 +30,5 @@ val search :
   result
 (** Start at [initial_ttl], adding [growth] per round up to [max_ttl].
     Requires [initial_ttl >= 1], [growth >= 1], [max_ttl >=
-    initial_ttl].  [scratch] is threaded through to the underlying
-    {!Flood.search} rings. *)
+    initial_ttl].  [scratch] and [deliver] are threaded through to the
+    underlying {!Flood.search} rings. *)

@@ -3,6 +3,7 @@ type result = {
   peers_reached : int;
   messages : int;
   hops_to_hit : int option;
+  depth : int;
 }
 
 (* BFS over the topology using the scratch's generation-stamped visited
@@ -10,9 +11,9 @@ type result = {
    search are the result record itself (and a fresh scratch when the
    caller did not supply one), so the per-broadcast cost no longer
    scales an [Array.make n false] with the network size. *)
-let search ?scratch topo ~online ~holds ~source ~ttl =
+let search ?scratch ?deliver topo ~online ~holds ~source ~ttl =
   if not (online source) then
-    { found_at = None; peers_reached = 0; messages = 0; hops_to_hit = None }
+    { found_at = None; peers_reached = 0; messages = 0; hops_to_hit = None; depth = 0 }
   else begin
     let scratch = match scratch with Some s -> s | None -> Scratch.create () in
     let n = Topology.peer_count topo in
@@ -40,7 +41,13 @@ let search ?scratch topo ~online ~holds ~source ~ttl =
           let q = nbrs.(k) in
           if online q then begin
             incr messages;
-            if stamp.(q) <> gen then begin
+            (* The drop decision is per message: duplicates flip the
+               coin too (they are real traffic), but only a delivered
+               first reception forwards the query onward. *)
+            let delivered =
+              match deliver with None -> true | Some d -> d ~src:p ~dst:q
+            in
+            if delivered && stamp.(q) <> gen then begin
               stamp.(q) <- gen;
               incr reached;
               if holds q && !found_at < 0 then begin
@@ -62,6 +69,7 @@ let search ?scratch topo ~online ~holds ~source ~ttl =
       peers_reached = !reached;
       messages = !messages;
       hops_to_hit = (if !hops_to_hit < 0 then None else Some !hops_to_hit);
+      depth = !depth;
     }
   end
 

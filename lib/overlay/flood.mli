@@ -11,10 +11,15 @@ type result = {
   peers_reached : int;    (** distinct peers that saw the query *)
   messages : int;         (** total messages sent, duplicates included *)
   hops_to_hit : int option; (** TTL depth at which the key was first found *)
+  depth : int;            (** BFS levels actually executed ([<= ttl]);
+                              a level is one wave of parallel messages,
+                              so sequential search time is [depth]
+                              per-hop latencies *)
 }
 
 val search :
   ?scratch:Scratch.t ->
+  ?deliver:(src:int -> dst:int -> bool) ->
   Topology.t ->
   online:(int -> bool) ->
   holds:(int -> bool) ->
@@ -31,7 +36,14 @@ val search :
     [scratch] makes repeated searches allocation-free: the visited set
     and frontier buffers are reused instead of rebuilt per call.  The
     result is identical with or without it (a fresh scratch is allocated
-    when omitted). *)
+    when omitted).
+
+    [deliver ~src ~dst] is the network model's per-message fate (see
+    [Pdht_net.Hook.cast]): every message to an online peer is counted
+    and then offered to [deliver]; a [false] verdict means the message
+    was lost in flight, so the receiver neither answers nor forwards.
+    Omitting [deliver] keeps the classic instantaneous-and-reliable
+    semantics, bit for bit. *)
 
 val duplication_factor : result -> float
 (** [messages / peers_reached]; 0. when nothing was reached. *)

@@ -3,13 +3,15 @@ type result = {
   steps_taken : int;
   messages : int;
   distinct_visited : int;
+  rounds : int;
 }
 
-let search ?scratch topo rng ~online ~holds ~source ~walkers ~max_steps ~check_every =
+let search ?scratch ?deliver topo rng ~online ~holds ~source ~walkers ~max_steps
+    ~check_every =
   if walkers < 1 then invalid_arg "Random_walk.search: walkers must be >= 1";
   if check_every < 1 then invalid_arg "Random_walk.search: check_every must be >= 1";
   if not (online source) then
-    { found_at = None; steps_taken = 0; messages = 0; distinct_visited = 0 }
+    { found_at = None; steps_taken = 0; messages = 0; distinct_visited = 0; rounds = 0 }
   else begin
     let scratch = match scratch with Some s -> s | None -> Scratch.create () in
     let n = Topology.peer_count topo in
@@ -71,14 +73,22 @@ let search ?scratch topo rng ~online ~holds ~source ~walkers ~max_steps ~check_e
           end
         in
         if q >= 0 then begin
-          positions.(w) <- q;
           incr steps;
           incr messages;
-          if stamp.(q) <> gen then begin
-            stamp.(q) <- gen;
-            incr distinct
-          end;
-          if holds q && !found_at < 0 then found_at := q
+          (* A lost step message (network model) leaves the walker where
+             it was: the step is paid for but the next peer never hears
+             the query, exactly like a stalled walker for one round. *)
+          let delivered =
+            match deliver with None -> true | Some d -> d ~src:p ~dst:q
+          in
+          if delivered then begin
+            positions.(w) <- q;
+            if stamp.(q) <> gen then begin
+              stamp.(q) <- gen;
+              incr distinct
+            end;
+            if holds q && !found_at < 0 then found_at := q
+          end
         end
         (* else: stalled walker; retries next round *)
       done;
@@ -93,6 +103,7 @@ let search ?scratch topo rng ~online ~holds ~source ~walkers ~max_steps ~check_e
       steps_taken = !steps;
       messages = !messages;
       distinct_visited = !distinct;
+      rounds = !round;
     }
   end
 

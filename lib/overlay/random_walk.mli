@@ -13,10 +13,13 @@ type result = {
   steps_taken : int;    (** total walker steps across all walkers *)
   messages : int;       (** steps + termination-check probes *)
   distinct_visited : int;
+  rounds : int;         (** synchronous rounds executed; the walk's
+                            sequential duration in per-hop latencies *)
 }
 
 val search :
   ?scratch:Scratch.t ->
+  ?deliver:(src:int -> dst:int -> bool) ->
   Topology.t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -32,7 +35,13 @@ val search :
 
     [scratch] reuses the visited set, candidate buffer and walker
     positions across calls; results (including the RNG draw sequence)
-    are identical with or without it. *)
+    are identical with or without it.
+
+    [deliver] applies the network model to step messages: a lost step
+    is counted but the walker stays put for that round (termination
+    check-backs stay reliable — they model [LvCa02]'s bounded-overrun
+    abstraction, not a concrete message exchange).  Omitted = reliable
+    delivery, unchanged semantics. *)
 
 val duplication_factor : result -> float
 (** [messages / distinct_visited]; the empirical analogue of the

@@ -23,12 +23,26 @@ val topology : t -> Topology.t
 val replication : t -> Replication.t
 val strategy : t -> strategy
 
-type outcome = { found : bool; messages : int; provider : int option }
+type outcome = {
+  found : bool;
+  messages : int;
+  provider : int option;
+  rounds : int;  (** sequential message waves the mechanism executed —
+                     flood levels, walk rounds, or ring levels summed;
+                     the search's duration in per-hop latencies *)
+}
 
 val search :
-  t -> Pdht_util.Rng.t -> online:(int -> bool) -> source:int -> item:int -> outcome
+  ?deliver:(src:int -> dst:int -> bool) ->
+  t ->
+  Pdht_util.Rng.t ->
+  online:(int -> bool) ->
+  source:int ->
+  item:int ->
+  outcome
 (** Search for [item] starting at [source].  Counts every message of the
-    underlying mechanism. *)
+    underlying mechanism.  [deliver] threads the network model's
+    per-message loss decision into the mechanism (omitted = reliable). *)
 
 val expected_cost_model : peers:int -> repl:int -> dup:float -> float
 (** The analytic Eq. 6 for comparison against measured outcomes. *)

@@ -34,11 +34,19 @@ let schedule t ~delay handler =
 
 let schedule_periodic t ~first ~every handler =
   if not (every > 0.) then invalid_arg "Engine.schedule_periodic: period must be positive";
-  let rec tick engine =
+  (* Tick k fires at [first + k * every], computed fresh each tick
+     rather than accumulated with [+. every]: repeated addition drifts
+     by one ulp per tick, which over a multi-day horizon shifts
+     maintenance and sampling phases relative to each other.  The
+     product form keeps tick N exact to one rounding no matter how
+     large N gets.  Monotonicity holds because [first + k *. every] is
+     nondecreasing in k and the engine is at tick k's time when tick
+     k+1 is scheduled. *)
+  let rec tick k engine =
     handler engine;
-    schedule engine ~delay:every tick
+    schedule_at engine ~time:(first +. (float_of_int (k + 1) *. every)) (tick (k + 1))
   in
-  schedule_at t ~time:first tick
+  schedule_at t ~time:first (tick 0)
 
 let instrument ?(sample_every = 4096) t registry =
   if sample_every < 1 then invalid_arg "Engine.instrument: sample_every must be >= 1";

@@ -20,7 +20,9 @@ val schedule_at : t -> time:float -> (t -> unit) -> unit
 val schedule_periodic : t -> first:float -> every:float -> (t -> unit) -> unit
 (** Starting at absolute time [first], run the handler every [every]
     seconds forever (until the run's time horizon cuts it off).
-    Requires [every > 0.]. *)
+    Tick [k] fires at exactly [first +. float k *. every] — times are
+    recomputed from the tick index, not accumulated, so long horizons
+    do not drift by an ulp per tick.  Requires [every > 0.]. *)
 
 val run : t -> until:float -> unit
 (** Process events in time order until the queue is empty or the next

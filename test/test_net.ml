@@ -1,0 +1,533 @@
+(* Tests for the network subsystem (Pdht_net): config parsing and
+   validation, link-model sampling and partitions, engine-scheduled
+   transport delivery, RPC timeout/retry/backoff semantics, the
+   synchronous query-path hook, and the system-level contracts — a
+   zero-cost net reproduces the no-net report field for field, and
+   net-enabled runs are byte-identical for any worker count (including
+   under popularity shifts and diurnal rate profiles). *)
+
+module Rng = Pdht_util.Rng
+module Engine = Pdht_sim.Engine
+module Config = Pdht_net.Config
+module Link_model = Pdht_net.Link_model
+module Transport = Pdht_net.Transport
+module Rpc = Pdht_net.Rpc
+module Hook = Pdht_net.Hook
+module Registry = Pdht_obs.Registry
+module Histogram = Pdht_obs.Histogram
+module Scenario = Pdht_work.Scenario
+module System = Pdht_core.System
+module Strategy = Pdht_core.Strategy
+module Runner = Pdht_core.Runner
+module Run_spec = Pdht_core.Run_spec
+module Run_result = Pdht_core.Run_result
+
+let counter obs name =
+  match Registry.counter_value_by_name (Pdht_obs.Context.registry obs) name with
+  | Some v -> v
+  | None -> 0
+
+let feq = Alcotest.float 1e-9
+
+(* ------------------------------------------------------------------ *)
+(* Config *)
+
+let test_config_validate () =
+  let ok c = Result.is_ok (Config.validate c) in
+  Alcotest.(check bool) "default valid" true (ok Config.default);
+  Alcotest.(check bool) "zero_cost valid" true (ok Config.zero_cost);
+  let bad label c =
+    Alcotest.(check bool) label false (ok c)
+  in
+  bad "loss > 1" { Config.default with Config.loss = 1.5 };
+  bad "loss < 0" { Config.default with Config.loss = -0.1 };
+  bad "negative constant latency"
+    { Config.default with Config.latency = Config.Constant (-1.) };
+  bad "uniform lo > hi"
+    { Config.default with Config.latency = Config.Uniform { lo = 2.; hi = 1. } };
+  bad "lognormal sigma < 0"
+    { Config.default with Config.latency = Config.Lognormal { mu = 0.; sigma = -1. } };
+  bad "zero timeout" { Config.default with Config.rpc_timeout = 0. };
+  bad "negative retries" { Config.default with Config.rpc_retries = -1 };
+  bad "backoff < 1" { Config.default with Config.backoff = 0.5 };
+  bad "partition window reversed"
+    {
+      Config.default with
+      Config.partitions =
+        [ { Config.group_a = [| 0 |]; group_b = [| 1 |];
+            from_time = 10.; until_time = 5. } ];
+    };
+  bad "partition negative peer"
+    {
+      Config.default with
+      Config.partitions =
+        [ { Config.group_a = [| -3 |]; group_b = [| 1 |];
+            from_time = 0.; until_time = 5. } ];
+    }
+
+let test_latency_parse () =
+  let check_ok spec expected =
+    match Config.latency_of_string spec with
+    | Ok l -> Alcotest.(check bool) spec true (l = expected)
+    | Error msg -> Alcotest.failf "%s rejected: %s" spec msg
+  in
+  check_ok "0.05" (Config.Constant 0.05);
+  check_ok "constant:0.1" (Config.Constant 0.1);
+  check_ok "uniform:0.01:0.05" (Config.Uniform { lo = 0.01; hi = 0.05 });
+  check_ok "lognormal:-3.0:0.5" (Config.Lognormal { mu = -3.0; sigma = 0.5 });
+  List.iter
+    (fun l ->
+      match Config.latency_of_string (Config.latency_to_string l) with
+      | Ok l' -> Alcotest.(check bool) "round trip" true (l = l')
+      | Error msg -> Alcotest.failf "round trip rejected: %s" msg)
+    [ Config.Constant 0.25; Config.Uniform { lo = 0.; hi = 1.5 };
+      Config.Lognormal { mu = -3.; sigma = 0.6 } ];
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (spec ^ " rejected") true
+        (Result.is_error (Config.latency_of_string spec)))
+    [ "bogus"; "uniform:1"; "lognormal:0.1"; "constant:x"; "" ]
+
+let test_timeout_backoff () =
+  let c = { Config.default with Config.rpc_timeout = 1.0; backoff = 2.0 } in
+  Alcotest.check feq "attempt 0" 1. (Config.timeout_for_attempt c ~attempt:0);
+  Alcotest.check feq "attempt 1" 2. (Config.timeout_for_attempt c ~attempt:1);
+  Alcotest.check feq "attempt 2" 4. (Config.timeout_for_attempt c ~attempt:2)
+
+(* ------------------------------------------------------------------ *)
+(* Link model *)
+
+let test_constant_zero_loss_draws_nothing () =
+  (* The stream-economy contract behind zero-cost equivalence: constant
+     latency and zero loss must leave the RNG untouched. *)
+  let lm =
+    Link_model.create
+      { Config.default with Config.latency = Config.Constant 0.05; loss = 0. }
+  in
+  let rng = Rng.create ~seed:1 in
+  let probe = Rng.copy rng in
+  Alcotest.check feq "constant sample" 0.05 (Link_model.sample_latency lm rng);
+  Alcotest.(check bool) "no drop" false (Link_model.drops lm rng ~src:0 ~dst:1 ~now:0.);
+  Alcotest.(check bool) "rng untouched" true (Rng.bits64 rng = Rng.bits64 probe)
+
+let test_uniform_bounds () =
+  let lo = 0.01 and hi = 0.05 in
+  let lm =
+    Link_model.create
+      { Config.default with Config.latency = Config.Uniform { lo; hi } }
+  in
+  let rng = Rng.create ~seed:2 in
+  for _ = 1 to 200 do
+    let s = Link_model.sample_latency lm rng in
+    if s < lo || s >= hi then Alcotest.failf "uniform sample %g outside [%g,%g)" s lo hi
+  done
+
+let test_lognormal_positive () =
+  let lm =
+    Link_model.create
+      { Config.default with
+        Config.latency = Config.Lognormal { mu = -3.; sigma = 0.6 } }
+  in
+  let rng = Rng.create ~seed:3 in
+  for _ = 1 to 200 do
+    let s = Link_model.sample_latency lm rng in
+    if not (Float.is_finite s && s > 0.) then
+      Alcotest.failf "lognormal sample %g not finite-positive" s
+  done
+
+let test_loss_one_drops_all () =
+  let lm = Link_model.create { Config.default with Config.loss = 1.0 } in
+  let rng = Rng.create ~seed:4 in
+  for _ = 1 to 50 do
+    Alcotest.(check bool) "dropped" true (Link_model.drops lm rng ~src:0 ~dst:1 ~now:0.)
+  done
+
+let test_partition_window () =
+  let cfg =
+    {
+      Config.default with
+      Config.loss = 0.;
+      partitions =
+        [ { Config.group_a = [| 0; 1 |]; group_b = [| 5; 6 |];
+            from_time = 10.; until_time = 20. } ];
+    }
+  in
+  let lm = Link_model.create cfg in
+  let part ~src ~dst ~now = Link_model.partitioned lm ~src ~dst ~now in
+  Alcotest.(check bool) "inside window" true (part ~src:0 ~dst:5 ~now:15.);
+  Alcotest.(check bool) "window start inclusive" true (part ~src:1 ~dst:6 ~now:10.);
+  Alcotest.(check bool) "symmetric" true (part ~src:6 ~dst:1 ~now:15.);
+  Alcotest.(check bool) "before window" false (part ~src:0 ~dst:5 ~now:9.9);
+  Alcotest.(check bool) "window end exclusive" false (part ~src:0 ~dst:5 ~now:20.);
+  Alcotest.(check bool) "uninvolved peer" false (part ~src:0 ~dst:3 ~now:15.);
+  Alcotest.(check bool) "same side" false (part ~src:0 ~dst:1 ~now:15.);
+  (* A partition drop is deterministic: no RNG draw even at loss 0. *)
+  let rng = Rng.create ~seed:5 in
+  let probe = Rng.copy rng in
+  Alcotest.(check bool) "partition drops" true
+    (Link_model.drops lm rng ~src:0 ~dst:5 ~now:15.);
+  Alcotest.(check bool) "no draw for partition drop" true
+    (Rng.bits64 rng = Rng.bits64 probe)
+
+(* ------------------------------------------------------------------ *)
+(* Transport *)
+
+let transport_with ?(seed = 7) cfg =
+  let obs = Pdht_obs.Context.create () in
+  let engine = Engine.create () in
+  let rng = Rng.create ~seed in
+  let t = Transport.create ~obs ~engine ~rng (Link_model.create cfg) in
+  (obs, engine, t)
+
+let test_transport_delivery () =
+  let obs, engine, t =
+    transport_with { Config.default with Config.latency = Config.Constant 0.25; loss = 0. }
+  in
+  let arrived = ref nan in
+  let accepted =
+    Transport.send t ~src:1 ~dst:2 (fun e -> arrived := Engine.now e)
+  in
+  Alcotest.(check bool) "send accepted" true accepted;
+  Alcotest.(check bool) "not delivered before run" true (Float.is_nan !arrived);
+  Engine.run engine ~until:10.;
+  Alcotest.check feq "delivered after one latency" 0.25 !arrived;
+  Alcotest.(check int) "sent" 1 (counter obs "net.messages_sent");
+  Alcotest.(check int) "dropped" 0 (counter obs "net.messages_dropped")
+
+let test_transport_drop () =
+  let obs, engine, t = transport_with { Config.default with Config.loss = 1.0 } in
+  let delivered = ref false in
+  let accepted = Transport.send t ~src:1 ~dst:2 (fun _ -> delivered := true) in
+  Alcotest.(check bool) "send refused" false accepted;
+  Engine.run engine ~until:10.;
+  Alcotest.(check bool) "never delivered" false !delivered;
+  Alcotest.(check int) "sent" 1 (counter obs "net.messages_sent");
+  Alcotest.(check int) "dropped" 1 (counter obs "net.messages_dropped")
+
+(* ------------------------------------------------------------------ *)
+(* Rpc *)
+
+let test_rpc_success () =
+  let obs, engine, t =
+    transport_with
+      { Config.default with
+        Config.latency = Config.Constant 0.25; loss = 0.;
+        rpc_timeout = 1.0; rpc_retries = 3; backoff = 2.0 }
+  in
+  let rpc = Rpc.create t in
+  let handler_at = ref nan and reply = ref None in
+  Rpc.call rpc ~src:1 ~dst:2
+    ~handler:(fun () -> handler_at := Engine.now (Transport.engine t); true)
+    ~on_reply:(fun ~ok e -> reply := Some (ok, Engine.now e));
+  Engine.run engine ~until:60.;
+  Alcotest.check feq "request arrives after one leg" 0.25 !handler_at;
+  (match !reply with
+  | Some (true, at) -> Alcotest.check feq "reply after the round trip" 0.5 at
+  | Some (false, _) -> Alcotest.fail "rpc failed on a loss-free link"
+  | None -> Alcotest.fail "rpc never settled");
+  Alcotest.(check int) "request + response" 2 (counter obs "net.messages_sent");
+  Alcotest.(check int) "no retries" 0 (counter obs "net.messages_retried");
+  Alcotest.(check int) "no timeouts" 0 (counter obs "net.messages_timed_out")
+
+let test_rpc_all_lost () =
+  let obs, engine, t =
+    transport_with
+      { Config.default with
+        Config.loss = 1.0; rpc_timeout = 1.0; rpc_retries = 2; backoff = 2.0 }
+  in
+  let rpc = Rpc.create t in
+  let reply = ref None in
+  Rpc.call rpc ~src:1 ~dst:2
+    ~handler:(fun () -> true)
+    ~on_reply:(fun ~ok e -> reply := Some (ok, Engine.now e));
+  Engine.run engine ~until:60.;
+  (match !reply with
+  | Some (false, at) ->
+      (* Attempt timeouts 1 + 2 + 4 elapse before the caller gives up. *)
+      Alcotest.check feq "gives up after the backoff ladder" 7.0 at
+  | Some (true, _) -> Alcotest.fail "rpc succeeded on a fully lossy link"
+  | None -> Alcotest.fail "rpc never settled");
+  Alcotest.(check int) "one request per attempt" 3 (counter obs "net.messages_sent");
+  Alcotest.(check int) "retried" 2 (counter obs "net.messages_retried");
+  Alcotest.(check int) "timed out" 1 (counter obs "net.messages_timed_out")
+
+let test_rpc_handler_refuses () =
+  let obs, engine, t =
+    transport_with
+      { Config.default with
+        Config.latency = Config.Constant 0.1; loss = 0.;
+        rpc_timeout = 1.0; rpc_retries = 1; backoff = 2.0 }
+  in
+  let rpc = Rpc.create t in
+  let handler_calls = ref 0 and reply = ref None in
+  Rpc.call rpc ~src:1 ~dst:2
+    ~handler:(fun () -> incr handler_calls; false)
+    ~on_reply:(fun ~ok e -> reply := Some (ok, Engine.now e));
+  Engine.run engine ~until:60.;
+  Alcotest.(check int) "handler ran on every delivered attempt" 2 !handler_calls;
+  (match !reply with
+  | Some (false, at) -> Alcotest.check feq "settled by the final timeout" 3.0 at
+  | Some (true, _) -> Alcotest.fail "a refusing peer produced a success"
+  | None -> Alcotest.fail "rpc never settled");
+  Alcotest.(check int) "requests only, no responses" 2 (counter obs "net.messages_sent");
+  Alcotest.(check int) "timed out" 1 (counter obs "net.messages_timed_out")
+
+(* ------------------------------------------------------------------ *)
+(* Hook *)
+
+let hook_with ?(seed = 9) cfg =
+  let obs = Pdht_obs.Context.create () in
+  (obs, Hook.create ~obs ~rng:(Rng.create ~seed) cfg)
+
+let test_hook_clock () =
+  let obs, h =
+    hook_with
+      { Config.default with Config.latency = Config.Constant 0.05; loss = 0. }
+  in
+  Hook.begin_op h ~now:100.;
+  Alcotest.check feq "clock starts at zero" 0. (Hook.elapsed h);
+  Alcotest.(check bool) "rpc succeeds" true (Hook.rpc h ~src:0 ~dst:1);
+  Alcotest.check feq "round trip charged" 0.1 (Hook.elapsed h);
+  Alcotest.(check bool) "cast succeeds" true (Hook.cast h ~src:0 ~dst:1);
+  Alcotest.check feq "cast does not touch the clock" 0.1 (Hook.elapsed h);
+  Hook.advance_rounds h 3;
+  Alcotest.check feq "one latency per wave" 0.25 (Hook.elapsed h);
+  Alcotest.(check int) "sent: 2 rpc legs + 1 cast" 3 (counter obs "net.messages_sent");
+  (* A later operation resets the clock. *)
+  Hook.begin_op h ~now:200.;
+  Alcotest.check feq "fresh operation" 0. (Hook.elapsed h)
+
+let test_hook_rpc_exhausts_budget () =
+  let obs, h =
+    hook_with
+      { Config.default with
+        Config.loss = 1.0; rpc_timeout = 1.0; rpc_retries = 3; backoff = 2.0 }
+  in
+  Hook.begin_op h ~now:0.;
+  Alcotest.(check bool) "rpc fails" false (Hook.rpc h ~src:0 ~dst:1);
+  Alcotest.check feq "every timeout charged (1+2+4+8)" 15. (Hook.elapsed h);
+  Alcotest.(check int) "retried" 3 (counter obs "net.messages_retried");
+  Alcotest.(check int) "timed out" 1 (counter obs "net.messages_timed_out")
+
+let test_hook_partition_blocks () =
+  let _obs, h =
+    hook_with
+      {
+        Config.default with
+        Config.loss = 0.;
+        rpc_retries = 0;
+        partitions =
+          [ { Config.group_a = [| 0 |]; group_b = [| 1 |];
+              from_time = 0.; until_time = 1000. } ];
+      }
+  in
+  Hook.begin_op h ~now:10.;
+  Alcotest.(check bool) "partitioned pair fails" false (Hook.rpc h ~src:0 ~dst:1);
+  Alcotest.(check bool) "unaffected pair succeeds" true (Hook.rpc h ~src:0 ~dst:2);
+  (* After the window heals, the same pair talks again. *)
+  Hook.begin_op h ~now:2000.;
+  Alcotest.(check bool) "healed" true (Hook.rpc h ~src:0 ~dst:1)
+
+let test_hook_latency_histogram_ms () =
+  let obs, h =
+    hook_with
+      { Config.default with Config.latency = Config.Constant 0.05; loss = 0. }
+  in
+  Hook.begin_op h ~now:0.;
+  ignore (Hook.rpc h ~src:0 ~dst:1);
+  Hook.record_latency h;
+  match
+    Registry.find_histogram (Pdht_obs.Context.registry obs) "net.query_latency_ms"
+  with
+  | None -> Alcotest.fail "net.query_latency_ms not registered"
+  | Some hist ->
+      Alcotest.(check int) "one observation" 1 (Histogram.count hist);
+      let p50 = Histogram.quantile hist 0.5 in
+      (* 0.1 s recorded as 100 ms, resolved to within one ~9% bucket. *)
+      if p50 < 90. || p50 > 110. then
+        Alcotest.failf "p50 = %g ms, expected ~100 ms" p50
+
+(* ------------------------------------------------------------------ *)
+(* System-level contracts *)
+
+let sim_scenario =
+  {
+    Scenario.news_default with
+    Scenario.num_peers = 300;
+    keys = 600;
+    duration = 300.;
+    seed = 11;
+    churn =
+      Scenario.Exponential_sessions
+        { mean_uptime = 300.; mean_downtime = 100.;
+          initially_online_fraction = 0.8 };
+  }
+
+let strip_net (r : System.report) =
+  {
+    r with
+    System.net = None;
+    histograms =
+      List.filter
+        (fun (name, _) ->
+          not (String.length name >= 4 && String.sub name 0 4 = "net."))
+        r.System.histograms;
+  }
+
+let test_zero_cost_net_equivalence () =
+  (* Satellite contract: enabling the model with zero latency and zero
+     loss must reproduce the no-net report field for field once its own
+     net.* additions are set aside — proof that the hook draws from its
+     private stream only and perturbs nothing. *)
+  let options = System.Options.make ~repl:20 ~stor:100 () in
+  let strategy =
+    Strategy.Partial_index { key_ttl = System.derive_key_ttl sim_scenario options }
+  in
+  let plain = System.run sim_scenario strategy options in
+  let netted =
+    System.run sim_scenario strategy (System.Options.with_net Config.zero_cost options)
+  in
+  (match netted.System.net with
+  | None -> Alcotest.fail "net-enabled report lacks its net summary"
+  | Some n ->
+      Alcotest.(check bool) "query path sent messages" true (n.System.messages_sent > 0);
+      Alcotest.(check int) "nothing dropped" 0 n.System.messages_dropped;
+      Alcotest.(check int) "nothing retried" 0 n.System.messages_retried;
+      Alcotest.(check int) "nothing timed out" 0 n.System.messages_timed_out);
+  let stripped = strip_net netted in
+  (* Spot-check headline fields first for a readable failure... *)
+  Alcotest.(check int) "queries" plain.System.queries stripped.System.queries;
+  Alcotest.(check int) "answered" plain.System.answered stripped.System.answered;
+  Alcotest.(check int) "total messages" plain.System.total_messages
+    stripped.System.total_messages;
+  Alcotest.check feq "hit rate" plain.System.hit_rate stripped.System.hit_rate;
+  Alcotest.(check int) "indexed keys" plain.System.indexed_keys_final
+    stripped.System.indexed_keys_final;
+  (* ...then demand the whole record agrees, samples and histograms
+     included. *)
+  Alcotest.(check bool) "entire report identical" true (stripped = plain)
+
+let test_net_enabled_determinism_across_jobs () =
+  (* Byte-identical reports for -j 1 vs -j 4 with net-enabled specs. *)
+  let cfg =
+    { Config.default with
+      Config.latency = Config.Uniform { lo = 0.01; hi = 0.05 };
+      loss = 0.1; rpc_timeout = 0.3; rpc_retries = 2 }
+  in
+  let options = System.Options.make ~repl:20 ~stor:100 ~net:cfg () in
+  let scenario = { sim_scenario with Scenario.duration = 150. } in
+  let specs =
+    List.concat_map
+      (fun seed ->
+        [ Run_spec.make ~options { scenario with Scenario.seed };
+          Run_spec.make ~options
+            ~strategy:Strategy.Index_all
+            { scenario with Scenario.seed } ])
+      [ 1; 2 ]
+  in
+  let reports jobs = Run_result.reports_exn (Runner.run_all ~jobs specs) in
+  Alcotest.(check bool) "-j 1 == -j 4" true (reports 1 = reports 4)
+
+(* ------------------------------------------------------------------ *)
+(* Determinism properties: Popularity_shift / Rate_profile scenarios
+   under Runner.run_all with a net-enabled spec (satellite task). *)
+
+let net_options =
+  System.Options.make ~repl:20 ~stor:100
+    ~net:
+      { Config.default with
+        Config.latency = Config.Uniform { lo = 0.005; hi = 0.03 };
+        loss = 0.05; rpc_timeout = 0.2; rpc_retries = 1 }
+    ()
+
+let prop_scenario ~seed ~shift ~rate =
+  {
+    Scenario.news_default with
+    Scenario.num_peers = 120;
+    keys = 240;
+    f_qry = 1. /. 10.;
+    duration = 120.;
+    seed;
+    shift;
+    rate;
+  }
+
+let jobs_agree scenario =
+  let specs = [ Run_spec.make ~options:net_options scenario ] in
+  let reports jobs = Run_result.reports_exn (Runner.run_all ~jobs specs) in
+  reports 1 = reports 4
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"popularity-shift runs identical for -j 1 vs -j 4 (net on)"
+      ~count:3
+      (pair (int_bound 10_000) (int_bound 100))
+      (fun (seed, offset) ->
+        let shift =
+          if offset mod 2 = 0 then Scenario.Swap_halves_at 60.
+          else Scenario.Rotate { times = [ 40.; 80. ]; offset = 1 + offset }
+        in
+        jobs_agree (prop_scenario ~seed ~shift ~rate:Scenario.Steady));
+    Test.make ~name:"rate-profile runs identical for -j 1 vs -j 4 (net on)"
+      ~count:3
+      (pair (int_bound 10_000) (int_bound 1))
+      (fun (seed, which) ->
+        let rate =
+          if which = 0 then
+            Scenario.Diurnal
+              { calm_f_qry = 1. /. 60.; period = 60.; busy_fraction = 0.5 }
+          else Scenario.Steady
+        in
+        jobs_agree
+          (prop_scenario ~seed ~shift:(Scenario.Swap_halves_at 60.) ~rate));
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pdht_net"
+    [
+      ( "config",
+        [
+          Alcotest.test_case "validate" `Quick test_config_validate;
+          Alcotest.test_case "latency parse" `Quick test_latency_parse;
+          Alcotest.test_case "timeout backoff" `Quick test_timeout_backoff;
+        ] );
+      ( "link-model",
+        [
+          Alcotest.test_case "constant + zero loss draw nothing" `Quick
+            test_constant_zero_loss_draws_nothing;
+          Alcotest.test_case "uniform bounds" `Quick test_uniform_bounds;
+          Alcotest.test_case "lognormal positive" `Quick test_lognormal_positive;
+          Alcotest.test_case "loss 1 drops all" `Quick test_loss_one_drops_all;
+          Alcotest.test_case "partition window" `Quick test_partition_window;
+        ] );
+      ( "transport",
+        [
+          Alcotest.test_case "engine-scheduled delivery" `Quick test_transport_delivery;
+          Alcotest.test_case "drop" `Quick test_transport_drop;
+        ] );
+      ( "rpc",
+        [
+          Alcotest.test_case "success" `Quick test_rpc_success;
+          Alcotest.test_case "all attempts lost" `Quick test_rpc_all_lost;
+          Alcotest.test_case "handler refuses" `Quick test_rpc_handler_refuses;
+        ] );
+      ( "hook",
+        [
+          Alcotest.test_case "virtual clock" `Quick test_hook_clock;
+          Alcotest.test_case "rpc exhausts budget" `Quick test_hook_rpc_exhausts_budget;
+          Alcotest.test_case "partition blocks" `Quick test_hook_partition_blocks;
+          Alcotest.test_case "latency histogram in ms" `Quick
+            test_hook_latency_histogram_ms;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "zero-cost net == no net" `Slow
+            test_zero_cost_net_equivalence;
+          Alcotest.test_case "net-enabled batch identical across jobs" `Slow
+            test_net_enabled_determinism_across_jobs;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -154,6 +154,31 @@ let test_engine_periodic () =
   Engine.run engine ~until:55.;
   Alcotest.(check int) "five ticks in 55s" 5 !fired
 
+let test_engine_periodic_no_drift () =
+  (* Tick times must be [first + k * every] exactly, not an accumulated
+     [+. every] per tick: with every = 0.1 the accumulated sum drifts by
+     ~1e-9 per million ticks, eventually losing or gaining a tick
+     against any fixed horizon.  0.1 is not representable in binary, so
+     this is the adversarial period. *)
+  let engine = Engine.create () in
+  let fired = ref 0 in
+  let worst = ref 0. in
+  Engine.schedule_periodic engine ~first:0.1 ~every:0.1 (fun e ->
+      incr fired;
+      let expected = float_of_int !fired *. 0.1 in
+      worst := Float.max !worst (Float.abs (Engine.now e -. expected)));
+  Engine.run engine ~until:100_000.;
+  (* 100_000 / 0.1 = exactly 1_000_000 ticks (the tick at t = 100_000
+     itself is beyond [until], which is exclusive at equal time only if
+     scheduled after the cutoff check — count both acceptable values
+     out: the grid guarantees the k-th tick lands on k * 0.1 up to one
+     representation error, never an accumulated one). *)
+  Alcotest.(check bool) "one million ticks" true (!fired >= 999_999 && !fired <= 1_000_000);
+  Alcotest.(check bool)
+    (Printf.sprintf "worst grid deviation %.3e is representation-level" !worst)
+    true
+    (!worst < 1e-7)
+
 let test_engine_rejects_negative_delay () =
   let engine = Engine.create () in
   Alcotest.check_raises "negative" (Invalid_argument "Engine.schedule: negative delay")
@@ -385,6 +410,8 @@ let () =
           Alcotest.test_case "now advances" `Quick test_engine_now_advances;
           Alcotest.test_case "handlers schedule" `Quick test_engine_handlers_can_schedule;
           Alcotest.test_case "periodic" `Quick test_engine_periodic;
+          Alcotest.test_case "periodic long-horizon drift" `Quick
+            test_engine_periodic_no_drift;
           Alcotest.test_case "rejects negative delay" `Quick test_engine_rejects_negative_delay;
           Alcotest.test_case "rejects past schedule_at" `Quick test_engine_schedule_at_past_rejected;
         ] );

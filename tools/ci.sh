@@ -10,6 +10,13 @@ dune build
 echo "== tests =="
 dune runtest
 
+echo "== docs =="
+# Documentation must at least assemble.  With no public library names
+# and no odoc in the container the alias is currently empty (and so
+# trivially green), but the gate keeps doc rules from rotting silently
+# once either appears.
+dune build @doc
+
 echo "== bench smoke =="
 dune exec bench/main.exe -- table1 perf > /dev/null
 test -f BENCH_pdht.json
@@ -25,6 +32,14 @@ echo "== perf guardrail =="
 # are thrashing the stop-the-world GC.  The 1.5x factor is generous on
 # purpose — this is a smoke test on shared CI boxes, not a benchmark.
 grep -q '"identical_reports": *true' BENCH_pdht.json
+
+echo "== network model =="
+# The perf section also ran the network-model contracts: a zero-cost
+# net (zero latency, zero loss) must reproduce the no-net report field
+# for field, and the 0 -> 20% loss sweep must have completed without an
+# unhandled exception (its rows land in the same JSON).
+grep -q '"zero_cost_net_equivalent": *true' BENCH_pdht.json
+grep -q '"loss_sweep"' BENCH_pdht.json
 wall_single=$(grep -o '"wall_single_s": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
 wall_parallel=$(grep -o '"wall_parallel_s": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
 echo "wall_single_s=$wall_single wall_parallel_s=$wall_parallel"
@@ -45,5 +60,15 @@ trap 'rm -rf "$par" "$out"' EXIT INT TERM
 dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
   --metrics-out "$out/metrics.jsonl" --trace-out "$out/trace.jsonl" > /dev/null
 dune exec tools/validate_jsonl.exe -- "$out/metrics.jsonl" "$out/trace.jsonl"
+# Same smoke with the network model on: the net.* trace events must be
+# well-formed JSONL and actually present, and the report must carry the
+# net summary line.
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
+  --latency 0.02 --loss 0.1 --rpc-timeout 0.5 --rpc-retries 2 \
+  --metrics-out "$out/net-metrics.jsonl" --trace-out "$out/net-trace.jsonl" \
+  > "$out/net-report.txt"
+dune exec tools/validate_jsonl.exe -- "$out/net-metrics.jsonl" "$out/net-trace.jsonl"
+grep -q '"cat":"net"' "$out/net-trace.jsonl"
+grep -q 'net: sent=' "$out/net-report.txt"
 
 echo "CI OK"
