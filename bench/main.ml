@@ -888,6 +888,129 @@ let section_perf () =
       loss_sweep;
     t
   in
+  (* Crash faults under the same workload: the contract first — an
+     empty fault plan must reproduce the no-fault report
+     field-for-field once its own [fault] summary is set aside — then
+     E21 in miniature: a crash-fraction sweep 0 -> 50% at mid-run with
+     anti-entropy repair, showing dip depth, recovery time and repair
+     message overhead. *)
+  let run_with_fault plan =
+    (* 10 s sample buckets: the dip lives in the first seconds after the
+       crash (organic re-insertion repairs popular keys query-by-query),
+       so the default 60 s buckets would average it away. *)
+    let options = { options with System.sample_every = 10. } in
+    let options =
+      match plan with
+      | None -> System.Options.without_fault options
+      | Some p -> System.Options.with_fault p options
+    in
+    System.run net_scenario net_partial options
+  in
+  let no_fault_report = run_with_fault None in
+  let empty_plan_report = run_with_fault (Some Pdht_fault.Plan.default) in
+  let no_fault_equivalent =
+    { empty_plan_report with System.fault = None } = no_fault_report
+  in
+  if not no_fault_equivalent then
+    failwith "perf: empty fault plan diverged from the no-fault report";
+  let crash_sweep =
+    List.map
+      (fun fraction ->
+        let plan =
+          {
+            Pdht_fault.Plan.default with
+            Pdht_fault.Plan.events =
+              [ Pdht_fault.Plan.Crash { peer_fraction = fraction; at = 300. } ];
+            repair = Some { Pdht_fault.Plan.every = 30.; min_fraction = 0.5 };
+          }
+        in
+        (fraction, run_with_fault (Some plan)))
+      [ 0.0; 0.1; 0.3; 0.5 ]
+  in
+  let fault_of (r : System.report) =
+    match r.System.fault with
+    | Some f -> f
+    | None -> failwith "perf: fault-enabled report lacks its fault summary"
+  in
+  let e21 = fault_of (List.assoc 0.3 crash_sweep) in
+  let e21_recovered =
+    match e21.System.time_to_recover with Some _ -> true | None -> false
+  in
+  let fault_json =
+    let row (fraction, (r : System.report)) =
+      let f = fault_of r in
+      Json.Obj
+        [
+          ("crash_fraction", Json.Float fraction);
+          ("crashes", Json.Int f.System.crashes);
+          ("entries_lost", Json.Int f.System.entries_lost);
+          ("content_lost", Json.Int f.System.content_lost);
+          ("repair_passes", Json.Int f.System.repair_passes);
+          ("repair_messages", Json.Int f.System.repair_messages);
+          ( "repair_overhead",
+            Json.Float
+              (float_of_int f.System.repair_messages
+              /. float_of_int (max 1 r.System.total_messages)) );
+          ("repaired_items", Json.Int f.System.repaired_items);
+          ("repaired_entries", Json.Int f.System.repaired_entries);
+          ("pre_fault_rate", Json.Float f.System.pre_fault_rate);
+          ("dip_rate", Json.Float f.System.dip_rate);
+          ("dip_depth", Json.Float (f.System.pre_fault_rate -. f.System.dip_rate));
+          ( "time_to_recover_s",
+            match f.System.time_to_recover with
+            | Some t -> Json.Float t
+            | None -> Json.Null );
+        ]
+    in
+    Json.Obj
+      [
+        ("no_fault_equivalent", Json.Bool no_fault_equivalent);
+        ("crash_sweep", Json.List (List.map row crash_sweep));
+        ( "e21_small",
+          Json.Obj
+            [
+              ("crash_fraction", Json.Float 0.3);
+              ("pre_fault_rate", Json.Float e21.System.pre_fault_rate);
+              ("dip_rate", Json.Float e21.System.dip_rate);
+              ( "time_to_recover_s",
+                match e21.System.time_to_recover with
+                | Some t -> Json.Float t
+                | None -> Json.Null );
+              ("fault_recovered", Json.Bool e21_recovered);
+            ] );
+      ]
+  in
+  let fault_table =
+    let t =
+      Table.create
+        ~columns:
+          [ ("crash", Table.Right); ("crashes", Table.Right);
+            ("entries lost", Table.Right); ("content lost", Table.Right);
+            ("pre", Table.Right); ("dip", Table.Right);
+            ("recover [s]", Table.Right); ("repair msgs", Table.Right);
+            ("overhead", Table.Right) ]
+    in
+    List.iter
+      (fun (fraction, (r : System.report)) ->
+        let f = fault_of r in
+        Table.add_row t
+          [ Printf.sprintf "%.0f%%" (100. *. fraction);
+            string_of_int f.System.crashes;
+            string_of_int f.System.entries_lost;
+            string_of_int f.System.content_lost;
+            Printf.sprintf "%.3f" f.System.pre_fault_rate;
+            Printf.sprintf "%.3f" f.System.dip_rate;
+            (match f.System.time_to_recover with
+            | Some t -> Printf.sprintf "%.0f" t
+            | None -> "never");
+            string_of_int f.System.repair_messages;
+            Printf.sprintf "%.1f%%"
+              (100.
+              *. float_of_int f.System.repair_messages
+              /. float_of_int (max 1 r.System.total_messages)) ])
+      crash_sweep;
+    t
+  in
   let run_name = scenario.Scenario.name ^ "/partial" in
   let json =
     Json.Obj
@@ -940,6 +1063,7 @@ let section_perf () =
               ("identical_reports", Json.Bool true);
             ] );
         ("net", net_json);
+        ("fault", fault_json);
       ]
   in
   let path = "BENCH_pdht.json" in
@@ -960,7 +1084,12 @@ let section_perf () =
     "\nnetwork model (constant 20 ms/hop, 0.5 s timeout, %d retries): \
      zero-cost net == no net: %b\n"
     Pdht_net.Config.default.Pdht_net.Config.rpc_retries zero_cost_equivalent;
-  Table.print net_table
+  Table.print net_table;
+  Printf.printf
+    "\nfault injection (crash at t=300, anti-entropy every 30 s): empty plan == no \
+     fault: %b; E21-small recovered: %b\n"
+    no_fault_equivalent e21_recovered;
+  Table.print fault_table
 
 (* ------------------------------------------------------------------ *)
 (* Bechamel micro-benchmarks of the hot paths *)

@@ -141,6 +141,65 @@ let net_term =
   Term.(const build $ latency_arg $ loss_arg $ timeout_arg $ retries_arg)
 
 (* ------------------------------------------------------------------ *)
+(* Fault-injection flags (simulate only).  [--fault] carries the whole
+   schedule; the companion flags turn on the self-healing and checking
+   halves. *)
+
+let fault_term =
+  let plan_arg =
+    Arg.(value & opt (some string) None
+         & info [ "fault" ] ~docv:"PLAN"
+             ~doc:"Crash-fault schedule: comma-separated events \
+                   $(b,crash:F\\@T) (crash fraction F at time T), \
+                   $(b,crash:F\\@T+D) (recover after D), \
+                   $(b,flap:F\\@T+DxN) (N crash episodes of length D), \
+                   $(b,rack:LO-HI\\@T[+D]) (correlated index-range failure), \
+                   $(b,abort\\@T).  Enables fault injection.")
+  in
+  let repair_arg =
+    Arg.(value & opt (some float) None
+         & info [ "fault-repair" ] ~docv:"S"
+             ~doc:"Run a self-healing anti-entropy pass every S simulated \
+                   seconds (requires $(b,--fault)).")
+  in
+  let threshold_arg =
+    Arg.(value & opt (some float) None
+         & info [ "fault-repair-threshold" ] ~docv:"F"
+             ~doc:"Re-replicate an item when its online replica count falls \
+                   below F * repl (default 0.5; requires $(b,--fault-repair)).")
+  in
+  let check_arg =
+    Arg.(value & flag
+         & info [ "fault-check" ]
+             ~doc:"Periodically verify fault invariants (store bounds, crashed \
+                   peers hold nothing), failing the run with the simulated time \
+                   on violation (requires $(b,--fault)).")
+  in
+  let build plan repair threshold check =
+    match (plan, repair, threshold) with
+    | None, None, None when not check -> Ok None
+    | None, _, _ ->
+        Error "--fault-repair/--fault-repair-threshold/--fault-check require --fault"
+    | Some _, None, Some _ -> Error "--fault-repair-threshold requires --fault-repair"
+    | Some spec, repair, threshold -> (
+        match Pdht_fault.Plan.of_string spec with
+        | Error msg -> Error ("--fault: " ^ msg)
+        | Ok plan -> (
+            let repair =
+              Option.map
+                (fun every ->
+                  { Pdht_fault.Plan.every;
+                    min_fraction = Option.value threshold ~default:0.5 })
+                repair
+            in
+            let plan = { plan with Pdht_fault.Plan.repair; check_invariants = check } in
+            match Pdht_fault.Plan.validate plan with
+            | Ok plan -> Ok (Some plan)
+            | Error msg -> Error ("invalid fault plan: " ^ msg)))
+  in
+  Term.(const build $ plan_arg $ repair_arg $ threshold_arg $ check_arg)
+
+(* ------------------------------------------------------------------ *)
 (* model *)
 
 let run_model params =
@@ -272,7 +331,8 @@ let parse_trace_filter spec =
   convert [] tokens
 
 let run_simulate verbose log_level metrics_out trace_out trace_filter preset peers keys
-    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate net =
+    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate net
+    fault =
   setup_logging verbose log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else if replicate < 1 then `Error (false, "--replicate must be >= 1")
@@ -280,6 +340,9 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
   match net with
   | Error msg -> `Error (false, msg)
   | Ok net ->
+  match fault with
+  | Error msg -> `Error (false, msg)
+  | Ok fault ->
   let scenario =
     match preset with
     | Some name -> (
@@ -314,7 +377,7 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
         if adaptive then System.Adaptive
         else match key_ttl with Some ttl -> System.Fixed ttl | None -> System.Model_derived
       in
-      let options = System.Options.make ~repl ~stor ~ttl_policy ?net () in
+      let options = System.Options.make ~repl ~stor ~ttl_policy ?net ?fault () in
       let strategy =
         match strategy with
         | `Partial ->
@@ -483,7 +546,7 @@ let simulate_cmd =
         (const run_simulate $ verbose_arg $ log_level_arg $ metrics_out_arg
          $ trace_out_arg $ trace_filter_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
-         $ churn_arg $ jobs_arg $ replicate_arg $ net_term))
+         $ churn_arg $ jobs_arg $ replicate_arg $ net_term $ fault_term))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)

@@ -575,6 +575,140 @@ let indexed_key_count t ~now =
   done;
   !count
 
+(* Crash-stop consequences inside the PDHT state.  The caller (the
+   fault injector's actions, wired by {!System}) owns the liveness
+   predicate; this only destroys state.  Returns
+   (index entries lost, content items lost). *)
+let crash_peer t ~peer =
+  if peer < 0 || peer >= t.config.Config.num_peers then
+    invalid_arg "Pdht.crash_peer: bad peer";
+  let entries_lost =
+    if peer < t.config.Config.active_members then begin
+      Dht.forget_routes t.dht ~peer;
+      Storage.clear t.stores.(peer)
+    end
+    else 0
+  in
+  let content_lost = Replication.remove_peer t.content ~peer in
+  (entries_lost, content_lost)
+
+(* Rejoin-empty: a member rebuilds routing state via its backend's join
+   protocol (charged to maintenance); its index cache stays empty until
+   repair or organic re-insertion refills it.  Non-members carry no
+   routing or index state, so their recovery is free. *)
+let recover_peer t rng ~peer =
+  if peer < 0 || peer >= t.config.Config.num_peers then
+    invalid_arg "Pdht.recover_peer: bad peer";
+  if peer < t.config.Config.active_members then begin
+    let messages = Dht.rebuild_routes t.dht rng ~online:t.online ~peer in
+    Metrics.charge t.metrics Metrics.Maintenance messages;
+    messages
+  end
+  else 0
+
+(* One anti-entropy pass (the scheduled half of self-healing; the
+   organic half is [index_insert] on the query path).
+
+   Content: any item whose online replica count fell below
+   [ceil (min_fraction * repl)] is topped back up to [repl] online
+   holders, copying from a surviving replica (2 messages per new copy:
+   request + data).  Needs at least one online source.
+
+   Index: for every key whose replica subnetwork is materialised, if
+   some online group member still caches the key, copy it (with its
+   remaining TTL — repair must not extend a key's life, or it would
+   fight the paper's selection algorithm) to the online members that
+   lost it.  One probe message per member scanned, one per copy.
+
+   Returns (messages, content items repaired, index entries copied);
+   messages are charged to [Maintenance]. *)
+let repair_pass t rng ~now ~min_fraction =
+  if not (min_fraction > 0. && min_fraction <= 1.) then
+    invalid_arg "Pdht.repair_pass: min_fraction must be in (0, 1]";
+  let repl = t.config.Config.repl in
+  let num_peers = t.config.Config.num_peers in
+  let threshold = int_of_float (Float.ceil (min_fraction *. float_of_int repl)) in
+  let messages = ref 0 in
+  let repaired_items = ref 0 in
+  let repaired_entries = ref 0 in
+  for key_index = 0 to t.config.Config.keys - 1 do
+    let reps = Replication.replicas t.content ~item:key_index in
+    let live = Array.fold_left (fun n p -> if t.online p then n + 1 else n) 0 reps in
+    if live >= 1 && live < threshold then begin
+      let want = repl - live in
+      let fresh = ref [] in
+      let found = ref 0 in
+      let attempts = ref ((20 * want) + 50) in
+      while !found < want && !attempts > 0 do
+        decr attempts;
+        let cand = Rng.int rng num_peers in
+        if
+          t.online cand
+          && (not (Replication.holds t.content ~peer:cand ~item:key_index))
+          && not (List.mem cand !fresh)
+        then begin
+          fresh := cand :: !fresh;
+          incr found
+        end
+      done;
+      match !fresh with
+      | [] -> ()
+      | fresh ->
+          let merged = Array.append reps (Array.of_list fresh) in
+          Replication.place_on t.content ~item:key_index ~replicas:merged;
+          messages := !messages + (2 * List.length fresh);
+          incr repaired_items
+    end
+  done;
+  (match t.config.Config.strategy with
+  | Strategy.No_index -> ()
+  | Strategy.Index_all | Strategy.Partial_index _ ->
+      for key_index = 0 to t.config.Config.keys - 1 do
+        match Hashtbl.find_opt t.replica_nets key_index with
+        | None -> () (* never queried: nothing to repair *)
+        | Some net ->
+            let key = t.bitkeys.(key_index) in
+            let group = Replica_net.replicas net in
+            (* Find a surviving online holder; every probe is a
+               message. *)
+            let holder = ref (-1) in
+            let i = ref 0 in
+            while !holder < 0 && !i < Array.length group do
+              let member = group.(!i) in
+              incr i;
+              if t.online member then begin
+                incr messages;
+                if Storage.mem t.stores.(member) ~key ~now then holder := member
+              end
+            done;
+            if !holder >= 0 then begin
+              let store = t.stores.(!holder) in
+              match (Storage.expiry store ~key, Storage.get store ~key ~now) with
+              | Some expiry, Some provider when expiry -. now > 0. ->
+                  let remaining = expiry -. now in
+                  Array.iter
+                    (fun member ->
+                      if
+                        member <> !holder && t.online member
+                        && not (Storage.mem t.stores.(member) ~key ~now)
+                      then begin
+                        Storage.put t.stores.(member) ~key ~value:provider ~now
+                          ~ttl:remaining;
+                        incr messages;
+                        incr repaired_entries
+                      end)
+                    group
+              | _ -> ()
+            end
+      done);
+  Metrics.charge t.metrics Metrics.Maintenance !messages;
+  (!messages, !repaired_items, !repaired_entries)
+
+let store_live_count t ~now ~peer =
+  if peer < 0 || peer >= t.config.Config.active_members then
+    invalid_arg "Pdht.store_live_count: not a member";
+  Storage.live_count t.stores.(peer) ~now
+
 let index_hit_probe t ~now ~key_index =
   let key = t.bitkeys.(key_index) in
   match Dht.responsible t.dht ~online:t.online key with

@@ -101,6 +101,33 @@ val indexed_key_count : t -> now:float -> int
 (** Number of workload keys currently live in at least one replica's
     index cache — the empirical Eq. 15. *)
 
+val crash_peer : t -> peer:int -> int * int
+(** Crash-stop state destruction for one peer: a DHT member loses its
+    whole index cache and routing state; every peer loses its content
+    replicas (dropped from the replication table).  Returns
+    (index entries lost, content items lost).  Does not touch the
+    liveness predicate — the caller owns that. *)
+
+val recover_peer : t -> Pdht_util.Rng.t -> peer:int -> int
+(** Rejoin *empty*: a member rebuilds its routing table via its
+    backend's join protocol (messages returned and charged to
+    [Maintenance]); the index cache stays empty until repair or organic
+    re-insertion.  Free for non-members. *)
+
+val repair_pass : t -> Pdht_util.Rng.t -> now:float -> min_fraction:float -> int * int * int
+(** One anti-entropy self-healing pass: top content items whose online
+    replica count fell below [ceil (min_fraction *. repl)] back up to
+    [repl] (copying from a surviving online replica), and re-copy index
+    entries — with their *remaining* TTL, so repair never extends a
+    key's life — from surviving group members to online members that
+    lost them.  Returns (messages, content items repaired, index
+    entries copied); messages are charged to [Maintenance].
+    @raise Invalid_argument unless [min_fraction] is in (0, 1]. *)
+
+val store_live_count : t -> now:float -> peer:int -> int
+(** Live index-cache entries of a DHT member (invariant checking).
+    @raise Invalid_argument for non-members. *)
+
 val index_hit_probe : t -> now:float -> key_index:int -> bool
 (** Would an index search for this key succeed right now?  (Read-only:
     no TTL refresh, no message charges.)  Used by experiments to measure

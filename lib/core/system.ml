@@ -22,6 +22,7 @@ type options = {
   sizing_slack : float;
   eviction : Pdht_dht.Storage.eviction;
   net : Pdht_net.Config.t option;
+  fault : Pdht_fault.Plan.t option;
 }
 
 let default_options =
@@ -35,11 +36,12 @@ let default_options =
     sizing_slack = 1.5;
     eviction = Pdht_dht.Storage.Evict_soonest_expiry;
     net = None;
+    fault = None;
   }
 
 module Options = struct
   let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction
-      ?net () =
+      ?net ?fault () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
     {
@@ -52,6 +54,7 @@ module Options = struct
       sizing_slack = value d.sizing_slack sizing_slack;
       eviction = value d.eviction eviction;
       net = (match net with Some _ -> net | None -> d.net);
+      fault = (match fault with Some _ -> fault | None -> d.fault);
     }
 
   let with_repl repl options = { options with repl }
@@ -62,6 +65,8 @@ module Options = struct
   let with_eviction eviction options = { options with eviction }
   let with_net net options = { options with net = Some net }
   let without_net options = { options with net = None }
+  let with_fault fault options = { options with fault = Some fault }
+  let without_fault options = { options with fault = None }
 end
 
 type sample = {
@@ -70,6 +75,8 @@ type sample = {
   messages : int;
   indexed_keys : int;
   key_ttl : float;
+  queries : int;
+  answer_rate : float;
 }
 
 (* Network-model outcome of a run: the [net.*] registry instruments
@@ -83,6 +90,23 @@ type net_summary = {
   latency_p50 : float;
   latency_p95 : float;
   latency_p99 : float;
+}
+
+(* Fault-injection outcome of a run, folded from the [fault.*]
+   instruments and the answer-rate time series.  [None] exactly when
+   [options.fault] was [None], mirroring [net_summary]. *)
+type fault_summary = {
+  crashes : int;
+  recoveries : int;
+  entries_lost : int;
+  content_lost : int;
+  repair_passes : int;
+  repair_messages : int;
+  repaired_items : int;
+  repaired_entries : int;
+  pre_fault_rate : float;
+  dip_rate : float;
+  time_to_recover : float option;
 }
 
 type report = {
@@ -111,6 +135,7 @@ type report = {
   c_s_unstr_measured : float;
   histograms : (string * Histogram.summary) list;
   net : net_summary option;
+  fault : fault_summary option;
   samples : sample list;
 }
 
@@ -181,6 +206,7 @@ type counters = {
   mutable failed : int;
   mutable bucket_queries : int;
   mutable bucket_hits : int;
+  mutable bucket_answered : int;
   mutable last_total_messages : int;
   mutable samples_rev : sample list;
 }
@@ -219,6 +245,23 @@ let run ?obs scenario strategy options =
         let net_rng = Rng.split rng in
         Some (Pdht_net.Hook.create ~obs ~rng:net_rng cfg)
   in
+  (* Same discipline for the fault subsystem: one dedicated stream,
+     split only when a plan is present (and after the conditional net
+     split, so enabling faults perturbs neither the base streams nor the
+     network model).  The stream covers victim sampling, routing-table
+     rebuilds on recovery, and anti-entropy peer choice — all
+     fault-only randomness. *)
+  let injector =
+    match options.fault with
+    | None -> None
+    | Some plan ->
+        let fault_rng = Rng.split rng in
+        let inj =
+          Pdht_fault.Injector.create ~tracer:obs.Obs.tracer ~registry:obs.Obs.registry
+            ~rng:fault_rng ~peers:scenario.Scenario.num_peers plan
+        in
+        Some (inj, fault_rng, plan)
+  in
   let active_members = plan_active_members scenario options strategy in
   Log.info (fun m ->
       m "run %s/%s: %d peers (%d members), %d keys, fQry=%g, %.0fs" scenario.Scenario.name
@@ -237,7 +280,17 @@ let run ?obs scenario strategy options =
   let churn = build_churn scenario churn_rng in
   Pdht_dht.Churn.instrument churn obs;
   Pdht_dht.Churn.attach churn engine;
-  Pdht.set_online pdht (Pdht_dht.Churn.online churn);
+  (* Liveness = churn AND not crashed.  The [None] arm keeps the exact
+     pre-fault closure (a partial application of [Churn.online]), so
+     fault-free runs execute the same code path as before the fault
+     subsystem existed. *)
+  let online_peer =
+    match injector with
+    | None -> Pdht_dht.Churn.online churn
+    | Some (inj, _, _) ->
+        fun p -> Pdht_dht.Churn.online churn p && not (Pdht_fault.Injector.crashed inj p)
+  in
+  Pdht.set_online pdht online_peer;
   (* Anti-entropy: under the index-everything baseline, a DHT member
      returning from an offline session pulls missed updates from its
      replica subnetworks ([DaHa03]). *)
@@ -247,7 +300,7 @@ let run ?obs scenario strategy options =
           if now_online && peer < active_members then
             ignore (Pdht.rejoin_sync pdht churn_rng ~now:time ~peer))
   | Strategy.No_index | Strategy.Partial_index _ -> ());
-  let online_member p = p < active_members && Pdht_dht.Churn.online churn p in
+  let online_member p = p < active_members && online_peer p in
   let uses_dht =
     match strategy with Strategy.No_index -> false | Strategy.Index_all | Strategy.Partial_index _ -> true
   in
@@ -279,6 +332,7 @@ let run ?obs scenario strategy options =
       failed = 0;
       bucket_queries = 0;
       bucket_hits = 0;
+      bucket_answered = 0;
       last_total_messages = 0;
       samples_rev = [];
     }
@@ -297,7 +351,7 @@ let run ?obs scenario strategy options =
       (* An offline peer issues no queries: the per-peer rate is an
          online activity, so drop the event rather than counting a
          phantom failure. *)
-      if Pdht_dht.Churn.online churn q.Pdht_work.Query_gen.peer then begin
+      if online_peer q.Pdht_work.Query_gen.peer then begin
       let now = Engine.now eng in
       let result =
         Pdht.query pdht ~now ~peer:q.Pdht_work.Query_gen.peer
@@ -308,8 +362,11 @@ let run ?obs scenario strategy options =
       (match result.Pdht.source with
       | Pdht.From_index ->
           counters.from_index <- counters.from_index + 1;
-          counters.bucket_hits <- counters.bucket_hits + 1
-      | Pdht.From_broadcast -> counters.from_broadcast <- counters.from_broadcast + 1
+          counters.bucket_hits <- counters.bucket_hits + 1;
+          counters.bucket_answered <- counters.bucket_answered + 1
+      | Pdht.From_broadcast ->
+          counters.from_broadcast <- counters.from_broadcast + 1;
+          counters.bucket_answered <- counters.bucket_answered + 1
       | Pdht.Not_found -> counters.failed <- counters.failed + 1);
       match adaptive with
       | Some controller -> Adaptive.note_query controller result
@@ -341,12 +398,76 @@ let run ?obs scenario strategy options =
         else float_of_int counters.bucket_hits /. float_of_int counters.bucket_queries
       in
       let indexed_keys = if uses_dht then Pdht.indexed_key_count pdht ~now else 0 in
+      let answer_rate =
+        if counters.bucket_queries = 0 then 0.
+        else float_of_int counters.bucket_answered /. float_of_int counters.bucket_queries
+      in
       counters.samples_rev <-
         { time = now; hit_rate; messages = bucket_messages; indexed_keys;
-          key_ttl = Pdht.key_ttl pdht }
+          key_ttl = Pdht.key_ttl pdht; queries = counters.bucket_queries; answer_rate }
         :: counters.samples_rev;
       counters.bucket_queries <- 0;
-      counters.bucket_hits <- 0);
+      counters.bucket_hits <- 0;
+      counters.bucket_answered <- 0);
+  (* Fault injection: wire the plan's consequences to the PDHT state and
+     schedule everything on the engine.  The invariant sweep fails fast
+     through [Engine.Handler_failed], carrying the simulated time and
+     the ["fault:check"] label to the experiment runner. *)
+  (match injector with
+  | None -> ()
+  | Some (inj, fault_rng, plan) ->
+      let registry = obs.Obs.registry in
+      let c_entries_lost = Registry.counter registry "fault.entries_lost" in
+      let c_content_lost = Registry.counter registry "fault.content_lost" in
+      let c_repair_messages = Registry.counter registry "fault.repair_messages" in
+      let c_repaired_items = Registry.counter registry "fault.repaired_items" in
+      let c_repaired_entries = Registry.counter registry "fault.repaired_entries" in
+      let min_fraction =
+        match plan.Pdht_fault.Plan.repair with
+        | Some r -> r.Pdht_fault.Plan.min_fraction
+        | None -> 0.5 (* unused: repair is only scheduled when enabled *)
+      in
+      let check ~now =
+        let fail fmt =
+          Printf.ksprintf (fun msg -> failwith ("fault invariant violated: " ^ msg)) fmt
+        in
+        for p = 0 to active_members - 1 do
+          let live = Pdht.store_live_count pdht ~now ~peer:p in
+          if live > options.stor then
+            fail "member %d holds %d live entries, over stor=%d" p live options.stor;
+          if Pdht_fault.Injector.crashed inj p then begin
+            if live > 0 then fail "crashed member %d still holds %d index entries" p live;
+            if online_peer p then fail "crashed peer %d passes the online predicate" p
+          end
+        done;
+        for key_index = 0 to scenario.Scenario.keys - 1 do
+          Array.iter
+            (fun peer ->
+              if Pdht_fault.Injector.crashed inj peer then
+                fail "crashed peer %d still replicates key %d" peer key_index)
+            (Pdht.content_replicas pdht ~key_index)
+        done
+      in
+      let actions =
+        {
+          Pdht_fault.Injector.crash =
+            (fun ~peer ~now:_ ->
+              let entries, content = Pdht.crash_peer pdht ~peer in
+              Registry.incr c_entries_lost entries;
+              Registry.incr c_content_lost content);
+          recover = (fun ~peer ~now:_ -> ignore (Pdht.recover_peer pdht fault_rng ~peer));
+          repair =
+            (fun ~now ->
+              let messages, items, entries =
+                Pdht.repair_pass pdht fault_rng ~now ~min_fraction
+              in
+              Registry.incr c_repair_messages messages;
+              Registry.incr c_repaired_items items;
+              Registry.incr c_repaired_entries entries);
+          check = (fun ~now -> check ~now);
+        }
+      in
+      Pdht_fault.Injector.attach inj engine actions);
   Engine.run engine ~until:scenario.Scenario.duration;
   Log.info (fun m ->
       m "done %s/%s: %d queries, %d total messages" scenario.Scenario.name
@@ -412,6 +533,82 @@ let run ?obs scenario strategy options =
             latency_p99 = latency_q 0.99;
           }
   in
+  let fault_summary =
+    match injector with
+    | None -> None
+    | Some (inj, _, _) ->
+        let c name =
+          match Registry.counter_value_by_name registry name with Some v -> v | None -> 0
+        in
+        (* Recovery is read off a per-bucket service-rate time series:
+           the mean rate before the first fault is the baseline, the
+           post-fault minimum is the dip, and the system has recovered
+           at the first post-fault sample back within 5% of the
+           baseline.  For index strategies the rate is the bucket
+           hit rate — the empirical pIndxd, which is what a crash
+           actually damages (the broadcast fallback masks moderate
+           crashes in the plain answer rate); under [No_index] the
+           answer rate is the only signal.  Only buckets that saw
+           queries vote — an idle bucket's 0/0 is not an outage. *)
+        let rate =
+          match strategy with
+          | Strategy.No_index -> fun (s : sample) -> s.answer_rate
+          | Strategy.Partial_index _ | Strategy.Index_all ->
+              fun (s : sample) -> s.hit_rate
+        in
+        let samples = List.rev counters.samples_rev in
+        let voting = List.filter (fun (s : sample) -> s.queries > 0) samples in
+        let mean = function
+          | [] -> 1.
+          | l ->
+              List.fold_left (fun acc s -> acc +. rate s) 0. l
+              /. float_of_int (List.length l)
+        in
+        let pre, dip, time_to_recover =
+          match Pdht_fault.Injector.first_fault_time inj with
+          | None ->
+              let pre = mean voting in
+              (pre, pre, Some 0.)
+          | Some fault_time ->
+              let before = List.filter (fun s -> s.time <= fault_time) voting in
+              let after = List.filter (fun s -> s.time > fault_time) voting in
+              (* Steady state, not whole history: the index starts empty,
+                 so early buckets would drag the baseline below what the
+                 fault actually disrupts.  Use the later half of the
+                 pre-fault buckets. *)
+              let before =
+                let n = List.length before in
+                List.filteri (fun i _ -> i >= n / 2) before
+              in
+              let pre = if before = [] then 1. else mean before in
+              let dip =
+                List.fold_left (fun acc s -> Float.min acc (rate s))
+                  (if after = [] then pre else Float.infinity)
+                  after
+              in
+              let rec recovered_at = function
+                | [] -> None
+                | s :: rest ->
+                    if rate s >= 0.95 *. pre then Some (s.time -. fault_time)
+                    else recovered_at rest
+              in
+              (pre, dip, recovered_at after)
+        in
+        Some
+          {
+            crashes = c "fault.crashes";
+            recoveries = c "fault.recoveries";
+            entries_lost = c "fault.entries_lost";
+            content_lost = c "fault.content_lost";
+            repair_passes = c "fault.repair_passes";
+            repair_messages = c "fault.repair_messages";
+            repaired_items = c "fault.repaired_items";
+            repaired_entries = c "fault.repaired_entries";
+            pre_fault_rate = pre;
+            dip_rate = dip;
+            time_to_recover;
+          }
+  in
   {
     scenario_name = scenario.Scenario.name;
     strategy;
@@ -442,6 +639,7 @@ let run ?obs scenario strategy options =
     c_s_unstr_measured = hist_mean "broadcast.reach";
     histograms;
     net = net_summary;
+    fault = fault_summary;
     samples = List.rev counters.samples_rev;
   }
 
@@ -468,6 +666,19 @@ let pp_report ppf r =
          %.4f / %.4f / %.4f s@,"
         n.messages_sent n.messages_dropped n.messages_retried n.messages_timed_out
         n.latency_p50 n.latency_p95 n.latency_p99);
+  (match r.fault with
+  | None -> ()
+  | Some f ->
+      Format.fprintf ppf
+        "  fault: crashes=%d recoveries=%d entries_lost=%d content_lost=%d@,  repair: \
+         passes=%d messages=%d items=%d entries=%d@,  service rate: pre-fault %.3f, dip \
+         %.3f, recovered %s@,"
+        f.crashes f.recoveries f.entries_lost f.content_lost f.repair_passes
+        f.repair_messages f.repaired_items f.repaired_entries f.pre_fault_rate
+        f.dip_rate
+        (match f.time_to_recover with
+        | Some t -> Printf.sprintf "after %.0fs" t
+        | None -> "never"));
   List.iter
     (fun (cat, n) ->
       if n > 0 then Format.fprintf ppf "  %-20s %d@," (Metrics.category_label cat) n)

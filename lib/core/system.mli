@@ -39,6 +39,14 @@ type options = {
           pre-network behaviour).  When set, per-hop latency, loss,
           partitions and RPC timeout/retry semantics apply, and the
           report gains its [net] summary. *)
+  fault : Pdht_fault.Plan.t option;
+      (** crash-fault schedule (default [None] = no fault machinery at
+          all — bit-identical to the pre-fault behaviour, same
+          dedicated-RNG-split discipline as [net]).  When set, the plan
+          is driven against the run: crash-stop peers lose their index
+          cache, content replicas and routing state; optional
+          anti-entropy repair and invariant checking run periodically;
+          and the report gains its [fault] summary. *)
 }
 
 val default_options : options
@@ -56,6 +64,7 @@ module Options : sig
     ?sizing_slack:float ->
     ?eviction:Pdht_dht.Storage.eviction ->
     ?net:Pdht_net.Config.t ->
+    ?fault:Pdht_fault.Plan.t ->
     unit ->
     options
   (** Unnamed arguments take their {!default_options} value. *)
@@ -68,6 +77,8 @@ module Options : sig
   val with_eviction : Pdht_dht.Storage.eviction -> options -> options
   val with_net : Pdht_net.Config.t -> options -> options
   val without_net : options -> options
+  val with_fault : Pdht_fault.Plan.t -> options -> options
+  val without_fault : options -> options
 end
 
 type sample = {
@@ -77,6 +88,9 @@ type sample = {
   messages : int;            (** all messages in this bucket *)
   indexed_keys : int;        (** empirical Eq. 15 at the sample instant *)
   key_ttl : float;           (** TTL in force (changes when adaptive) *)
+  queries : int;             (** queries issued in this bucket *)
+  answer_rate : float;       (** answered (index or broadcast) / queries
+                                 in this bucket; 0. for an idle bucket *)
 }
 
 (** The [net.*] instruments in report form; present exactly when
@@ -92,6 +106,32 @@ type net_summary = {
   latency_p50 : float;
   latency_p95 : float;
   latency_p99 : float;
+}
+
+(** Fault-injection outcome, present exactly when [options.fault] was
+    set.  Counter fields are whole-run totals from the [fault.*]
+    instruments; the recovery triple is read off a per-bucket service
+    rate — the bucket hit rate (empirical pIndxd) for index strategies,
+    since crashes damage the index while the broadcast fallback masks
+    them in the plain answer rate, or the answer rate under [No_index].
+    [pre_fault_rate] is the mean over the later half of the
+    query-carrying buckets up to the first fault — the steady state,
+    skipping index warm-up (1.0 when no such bucket exists), [dip_rate]
+    the post-fault minimum, and [time_to_recover] the seconds from the
+    first fault until the first bucket whose rate is back within 5% of
+    the baseline ([None] = never recovered within the run). *)
+type fault_summary = {
+  crashes : int;
+  recoveries : int;
+  entries_lost : int;        (** index entries destroyed by crashes *)
+  content_lost : int;        (** content replicas dropped by crashes *)
+  repair_passes : int;
+  repair_messages : int;
+  repaired_items : int;      (** content items re-replicated *)
+  repaired_entries : int;    (** index entries re-copied *)
+  pre_fault_rate : float;
+  dip_rate : float;
+  time_to_recover : float option;
 }
 
 type report = {
@@ -124,6 +164,7 @@ type report = {
           which measures host speed rather than the simulation and
           would break the determinism contract below *)
   net : net_summary option;   (** see {!net_summary} *)
+  fault : fault_summary option; (** see {!fault_summary} *)
   samples : sample list;      (** chronological *)
 }
 

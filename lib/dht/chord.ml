@@ -175,5 +175,31 @@ let probe_and_repair t rng ~online ~peer ~probes =
   done;
   probes
 
+(* Crash-stop state loss: point every finger of [peer] at itself.
+   [lookup] skips self-fingers, so until the member rebuilds it can only
+   walk the ring successor by successor — the behaviour of a node that
+   lost its finger table.  Other members' fingers *to* the crashed node
+   are handled by the existing [probe_and_repair] (it is offline while
+   crashed). *)
+let forget_routes t ~peer =
+  let fingers = t.fingers.(peer) in
+  for j = 0 to Array.length fingers - 1 do
+    fingers.(j) <- peer
+  done
+
+(* Rejoin: recompute the finger table the way a Chord join does — one
+   lookup per finger level, landing on the first *online* member at or
+   after the ideal target.  Returns the message cost (one per level). *)
+let rebuild_routes t ~online ~peer =
+  let fingers = t.fingers.(peer) in
+  let levels = Array.length fingers in
+  for j = 0 to levels - 1 do
+    let ideal = t.finger_ids.(peer).(j) in
+    match first_online_from t ~online (successor_pos t ideal) with
+    | Some fresh -> fingers.(j) <- fresh
+    | None -> fingers.(j) <- successor_member t ideal
+  done;
+  levels
+
 let expected_lookup_messages ~members =
   0.5 *. (Float.log (float_of_int members) /. Float.log 2.)

@@ -67,5 +67,17 @@ val probe_and_repair :
     id — repair itself is free, as the paper assumes repair information
     is piggybacked on other traffic (Section 3.3.1). *)
 
+val forget_routes : t -> peer:int -> unit
+(** Crash-stop routing loss: every finger of [peer] points at itself
+    (self-fingers are unusable, so lookups from the member degrade to
+    ring walking until {!rebuild_routes}).  Fingers of *other* members
+    pointing at the crashed node are repaired by the ordinary
+    {!probe_and_repair} while it is offline. *)
+
+val rebuild_routes : t -> online:(int -> bool) -> peer:int -> int
+(** Rejoin: recompute [peer]'s finger table against the current online
+    population (the join protocol's finger fixup — one lookup per
+    level).  Returns the message cost, one per finger level. *)
+
 val expected_lookup_messages : members:int -> float
 (** Model Eq. 7: [1/2 * log2 members]. *)

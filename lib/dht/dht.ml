@@ -77,6 +77,20 @@ let probe_and_repair t rng ~online ~peer ~probes =
   | Kademlia k -> Kademlia.probe_and_repair k rng ~online ~peer ~probes
   | Pastry p -> Pastry.probe_and_repair p rng ~online ~peer ~probes
 
+let forget_routes t ~peer =
+  match t.impl with
+  | Chord c -> Chord.forget_routes c ~peer
+  | Pgrid g -> Pgrid.forget_routes g ~peer
+  | Kademlia k -> Kademlia.forget_routes k ~peer
+  | Pastry p -> Pastry.forget_routes p ~peer
+
+let rebuild_routes t rng ~online ~peer =
+  match t.impl with
+  | Chord c -> Chord.rebuild_routes c ~online ~peer
+  | Pgrid g -> Pgrid.rebuild_routes g rng ~peer
+  | Kademlia k -> Kademlia.rebuild_routes k rng ~peer
+  | Pastry p -> Pastry.rebuild_routes p rng ~peer
+
 let routing_table_size t p =
   match t.impl with
   | Chord c -> Chord.finger_count c p

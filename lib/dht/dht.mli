@@ -55,6 +55,19 @@ val replica_group : t -> repl:int -> Pdht_util.Bitkey.t -> int array
 val probe_and_repair :
   t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> probes:int -> int
 
+val forget_routes : t -> peer:int -> unit
+(** Crash-stop routing loss for one member: drop every routing entry it
+    holds (fingers / references / buckets / table rows, per backend).
+    Lookups *from* the member degrade to their worst case or fail until
+    {!rebuild_routes}; other members route around it via the ordinary
+    churn handling while it is offline. *)
+
+val rebuild_routes : t -> Pdht_util.Rng.t -> online:(int -> bool) -> peer:int -> int
+(** Rejoin: reconstruct the member's routing state as its backend's join
+    protocol would, returning the message cost.  [rng] drives the
+    re-sampling backends (P-Grid / Kademlia / Pastry); Chord rebuilds
+    deterministically against [online]. *)
+
 val routing_table_size : t -> int -> int
 
 val expected_lookup_messages : t -> float

@@ -161,6 +161,47 @@ let bucket_count t m =
 let routing_table_size t m =
   Array.fold_left (fun acc b -> acc + Array.length b) 0 t.buckets.(m)
 
+(* Crash-stop state loss: empty every k-bucket of [peer].  Lookups from
+   the member then start with no candidates and fail immediately (miss
+   path); [probe_and_repair] only touches non-empty buckets, so only
+   {!rebuild_routes} restores the table. *)
+let forget_routes t ~peer =
+  let buckets = t.buckets.(peer) in
+  for b = 0 to Array.length buckets - 1 do
+    buckets.(b) <- [||]
+  done
+
+(* Rejoin: repopulate [peer]'s k-buckets with the construction-time
+   reservoir pass (uniform bucket membership among eligible members).
+   One message per entry learned — the FIND_NODE traffic of a Kademlia
+   join. *)
+let rebuild_routes t rng ~peer =
+  let n = members t in
+  let mine = t.ids.(peer) in
+  let per_bucket = Array.make Bitkey.width [] in
+  let counts = Array.make Bitkey.width 0 in
+  for other = 0 to n - 1 do
+    if other <> peer then begin
+      let cpl = Bitkey.common_prefix_length mine t.ids.(other) in
+      let b = min cpl (Bitkey.width - 1) in
+      counts.(b) <- counts.(b) + 1;
+      if List.length per_bucket.(b) < t.bucket_size then
+        per_bucket.(b) <- other :: per_bucket.(b)
+      else if Rng.int rng counts.(b) < t.bucket_size then begin
+        let keep = List.filteri (fun i _ -> i > 0) per_bucket.(b) in
+        per_bucket.(b) <- other :: keep
+      end
+    end
+  done;
+  let messages = ref 0 in
+  Array.iteri
+    (fun b entries ->
+      let arr = Array.of_list entries in
+      t.buckets.(peer).(b) <- arr;
+      messages := !messages + Array.length arr)
+    per_bucket;
+  !messages
+
 let probe_and_repair t rng ~online ~peer ~probes =
   if probes < 0 then invalid_arg "Kademlia.probe_and_repair: negative probes";
   let nonempty =

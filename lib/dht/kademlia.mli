@@ -60,3 +60,13 @@ val probe_and_repair :
     random online member from the same bucket's distance range if one
     exists (repair free, probes one message each — the [MaCa03]
     discipline shared by all backends). *)
+
+val forget_routes : t -> peer:int -> unit
+(** Crash-stop routing loss: empty every k-bucket of [peer].  Lookups
+    from the member fail immediately (no candidates) until
+    {!rebuild_routes}; {!probe_and_repair} skips empty buckets. *)
+
+val rebuild_routes : t -> Pdht_util.Rng.t -> peer:int -> int
+(** Rejoin: repopulate the member's k-buckets with the construction-time
+    reservoir sampling.  Returns the message cost — one FIND_NODE-style
+    exchange per entry learned. *)

@@ -282,6 +282,39 @@ let routing_table_size t m =
   in
   table + Array.length (leaf_set t m)
 
+(* Crash-stop state loss: blank every routing-table entry of [peer].
+   The leaf set is derived from the static sorted ring, so routing from
+   the member degrades to leaf-set-only hand-offs (slow, often stalls —
+   miss path) until {!rebuild_routes}.  [probe_and_repair] never fills a
+   [None] slot. *)
+let forget_routes t ~peer =
+  Array.iter (fun row -> Array.fill row 0 (Array.length row) None) t.routing.(peer)
+
+(* Rejoin: refill the routing table from the prefix groups exactly as
+   [create] does — a uniform pick per (row, digit) slot.  One message
+   per entry learned (the state exchange of a Pastry join). *)
+let rebuild_routes t rng ~peer =
+  let id = t.ids.(peer) in
+  let digit_values = 1 lsl t.digit_bits in
+  let messages = ref 0 in
+  Array.iteri
+    (fun row entries ->
+      for d = 0 to digit_values - 1 do
+        if d = digit t id row then entries.(d) <- None
+        else begin
+          let base = Bitkey.prefix id ~len:(row * t.digit_bits) in
+          let shift = Bitkey.width - ((row + 1) * t.digit_bits) in
+          let target_prefix = Bitkey.of_int (Bitkey.to_int base lor (d lsl shift)) in
+          match Hashtbl.find_opt t.groups (row + 1, Bitkey.to_int target_prefix) with
+          | None | Some [||] -> entries.(d) <- None
+          | Some pool ->
+              entries.(d) <- Some pool.(Rng.int rng (Array.length pool));
+              incr messages
+        end
+      done)
+    t.routing.(peer);
+  !messages
+
 let probe_and_repair t rng ~online ~peer ~probes =
   if probes < 0 then invalid_arg "Pastry.probe_and_repair: negative probes";
   let rows = Array.length t.routing.(peer) in

@@ -66,3 +66,14 @@ val probe_and_repair :
 (** The shared [MaCa03] probing discipline: probe random routing
     entries, replace discovered-offline ones with an online member
     matching the same prefix slot when available. *)
+
+val forget_routes : t -> peer:int -> unit
+(** Crash-stop routing loss: blank every routing-table entry of [peer]
+    (the leaf set, derived from the static ring, survives).  Routing
+    from the member degrades badly until {!rebuild_routes};
+    {!probe_and_repair} never fills blank slots. *)
+
+val rebuild_routes : t -> Pdht_util.Rng.t -> peer:int -> int
+(** Rejoin: refill the member's routing table from the prefix groups as
+    at construction.  Returns the message cost — one exchange per entry
+    learned. *)

@@ -230,3 +230,34 @@ let probe_and_repair t rng ~online ~peer ~probes =
 
 let routing_table_size t p =
   Array.fold_left (fun acc refs -> acc + Array.length refs) 0 t.refs.(p)
+
+let complement_prefix path l =
+  let flipped = if path.[l] = '0' then '1' else '0' in
+  String.sub path 0 l ^ String.make 1 flipped
+
+(* Crash-stop state loss: empty every reference level of [peer].
+   [lookup] from it then fails at the first hop (dead level) and the
+   caller degrades to its miss path; [probe_and_repair] skips empty
+   levels, so only {!rebuild_routes} restores them. *)
+let forget_routes t ~peer =
+  let refs = t.refs.(peer) in
+  for l = 0 to Array.length refs - 1 do
+    refs.(l) <- [||]
+  done
+
+(* Rejoin: re-run the construction-time exchange for one peer — sample
+   [refs_per_level] fresh references from each complementary subtree.
+   One message per reference learned (the P-Grid exchange that taught
+   it). *)
+let rebuild_routes t rng ~peer =
+  let path = t.paths.(peer) in
+  let refs = t.refs.(peer) in
+  let messages = ref 0 in
+  for l = 0 to Array.length refs - 1 do
+    let pool = Hashtbl.find t.subtrees (complement_prefix path l) in
+    let k = min t.refs_per_level (Array.length pool) in
+    let idx = Sampling.sample_without_replacement rng ~k ~n:(Array.length pool) in
+    refs.(l) <- Array.map (fun i -> pool.(i)) idx;
+    messages := !messages + k
+  done;
+  !messages

@@ -62,3 +62,14 @@ val probe_and_repair :
 
 val routing_table_size : t -> int -> int
 (** Total references a peer currently holds. *)
+
+val forget_routes : t -> peer:int -> unit
+(** Crash-stop routing loss: empty every reference level of [peer].
+    Lookups from the member fail at their first hop (dead level) until
+    {!rebuild_routes}; {!probe_and_repair} skips empty levels and never
+    restores them. *)
+
+val rebuild_routes : t -> Pdht_util.Rng.t -> peer:int -> int
+(** Rejoin: re-sample [refs_per_level] fresh references per level from
+    the complementary subtrees, as at construction.  Returns the message
+    cost — one exchange per reference learned. *)

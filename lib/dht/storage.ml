@@ -105,6 +105,11 @@ let get_and_refresh t ~key ~now ~ttl =
 let mem t ~key ~now = find_live t ~key ~now <> None
 let remove t ~key = Hashtbl.remove t.table key
 
+let clear t =
+  let n = Hashtbl.length t.table in
+  Hashtbl.reset t.table;
+  n
+
 let live_count t ~now =
   let _ = expire t ~now in
   Hashtbl.length t.table

@@ -48,6 +48,12 @@ val mem : 'v t -> key:Pdht_util.Bitkey.t -> now:float -> bool
 
 val remove : 'v t -> key:Pdht_util.Bitkey.t -> unit
 
+val clear : 'v t -> int
+(** Drop every entry, live or expired, and return how many there were —
+    the crash-stop "index cache lost" operation.  Does not touch the
+    eviction RNG, so a cleared store's future [Evict_random] choices are
+    unchanged. *)
+
 val expire : 'v t -> now:float -> int
 (** Purge everything past expiry; returns the number evicted. *)
 

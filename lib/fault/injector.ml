@@ -1,0 +1,187 @@
+module Rng = Pdht_util.Rng
+module Sampling = Pdht_util.Sampling
+module Engine = Pdht_sim.Engine
+module Tracer = Pdht_obs.Tracer
+module Event = Pdht_obs.Event
+module Registry = Pdht_obs.Registry
+
+type actions = {
+  crash : peer:int -> now:float -> unit;
+  recover : peer:int -> now:float -> unit;
+  repair : now:float -> unit;
+  check : now:float -> unit;
+}
+
+type counters = {
+  crashes : Registry.counter;
+  recoveries : Registry.counter;
+  repair_passes : Registry.counter;
+  crashed_gauge : Registry.gauge;
+}
+
+type t = {
+  plan : Plan.t;
+  rng : Rng.t;
+  peers : int;
+  crashed : bool array;
+  mutable crashed_count : int;
+  tracer : Tracer.t option;
+  counters : counters option;
+}
+
+let create ?tracer ?registry ~rng ~peers plan =
+  if peers < 1 then invalid_arg "Injector.create: need >= 1 peer";
+  let plan =
+    match Plan.validate plan with
+    | Ok p -> p
+    | Error msg -> invalid_arg ("Injector.create: " ^ msg)
+  in
+  let counters =
+    Option.map
+      (fun reg ->
+        {
+          crashes = Registry.counter reg "fault.crashes";
+          recoveries = Registry.counter reg "fault.recoveries";
+          repair_passes = Registry.counter reg "fault.repair_passes";
+          crashed_gauge = Registry.gauge reg "fault.crashed_count";
+        })
+      registry
+  in
+  { plan; rng; peers; crashed = Array.make peers false; crashed_count = 0; tracer; counters }
+
+let crashed t peer = t.crashed.(peer)
+let crashed_count t = t.crashed_count
+let first_fault_time t = Plan.first_fault_time t.plan
+
+let trace t ~now ~peer ~detail =
+  match t.tracer with
+  | Some tr when Tracer.active tr Event.Fault ->
+      Tracer.emit tr (Event.make ~time:now ~peer ~detail Event.Fault)
+  | _ -> ()
+
+(* State flips before the action runs, so every predicate the action
+   consults (membership, online, storage guards) already sees the
+   post-transition world. *)
+let apply_crash t actions ~now peer =
+  if not t.crashed.(peer) then begin
+    t.crashed.(peer) <- true;
+    t.crashed_count <- t.crashed_count + 1;
+    (match t.counters with
+    | Some c ->
+        Registry.incr c.crashes 1;
+        Registry.set_gauge c.crashed_gauge (float_of_int t.crashed_count)
+    | None -> ());
+    trace t ~now ~peer ~detail:"crash";
+    actions.crash ~peer ~now
+  end
+
+let apply_recover t actions ~now peer =
+  if t.crashed.(peer) then begin
+    t.crashed.(peer) <- false;
+    t.crashed_count <- t.crashed_count - 1;
+    (match t.counters with
+    | Some c ->
+        Registry.incr c.recoveries 1;
+        Registry.set_gauge c.crashed_gauge (float_of_int t.crashed_count)
+    | None -> ());
+    trace t ~now ~peer ~detail:"recover";
+    actions.recover ~peer ~now
+  end
+
+(* Victims are drawn at fire time among the currently alive peers, so
+   overlapping events compose (a second wave hits survivors of the
+   first).  All randomness comes from the injector's own RNG stream. *)
+let sample_victims t ~fraction =
+  let alive = Array.make (t.peers - t.crashed_count) 0 in
+  let j = ref 0 in
+  for p = 0 to t.peers - 1 do
+    if not t.crashed.(p) then begin
+      alive.(!j) <- p;
+      incr j
+    end
+  done;
+  let want = int_of_float (Float.round (fraction *. float_of_int t.peers)) in
+  let k = min want (Array.length alive) in
+  let idx = Sampling.sample_without_replacement t.rng ~k ~n:(Array.length alive) in
+  Array.map (fun i -> alive.(i)) idx
+
+let crash_wave t actions ~now ~fraction =
+  let victims = sample_victims t ~fraction in
+  Array.iter (apply_crash t actions ~now) victims;
+  victims
+
+let attach t engine actions =
+  List.iter
+    (fun event ->
+      match event with
+      | Plan.Crash { peer_fraction; at } ->
+          Engine.schedule_at engine ~time:at
+            (Engine.labelled "fault:crash" (fun e ->
+                 ignore (crash_wave t actions ~now:(Engine.now e) ~fraction:peer_fraction)))
+      | Plan.Crash_recover { peer_fraction; at; after } ->
+          let victims = ref [||] in
+          Engine.schedule_at engine ~time:at
+            (Engine.labelled "fault:crash" (fun e ->
+                 victims := crash_wave t actions ~now:(Engine.now e) ~fraction:peer_fraction));
+          Engine.schedule_at engine ~time:(at +. after)
+            (Engine.labelled "fault:recover" (fun e ->
+                 Array.iter (apply_recover t actions ~now:(Engine.now e)) !victims))
+      | Plan.Flap { peer_fraction; at; period; cycles } ->
+          (* One victim set, sampled at the first crash, crashing and
+             rejoining [cycles] times; episode [k] is down during
+             [at + 2k*period, at + (2k+1)*period). *)
+          let victims = ref None in
+          for k = 0 to cycles - 1 do
+            let down_at = at +. (float_of_int (2 * k) *. period) in
+            let up_at = at +. (float_of_int ((2 * k) + 1) *. period) in
+            Engine.schedule_at engine ~time:down_at
+              (Engine.labelled "fault:flap" (fun e ->
+                   let vs =
+                     match !victims with
+                     | Some vs -> vs
+                     | None ->
+                         let vs = sample_victims t ~fraction:peer_fraction in
+                         victims := Some vs;
+                         vs
+                   in
+                   Array.iter (apply_crash t actions ~now:(Engine.now e)) vs));
+            Engine.schedule_at engine ~time:up_at
+              (Engine.labelled "fault:flap" (fun e ->
+                   match !victims with
+                   | Some vs -> Array.iter (apply_recover t actions ~now:(Engine.now e)) vs
+                   | None -> ()))
+          done
+      | Plan.Correlated { lo; hi; at; after } ->
+          let first = int_of_float (Float.of_int t.peers *. lo) in
+          let limit = int_of_float (Float.of_int t.peers *. hi) in
+          Engine.schedule_at engine ~time:at
+            (Engine.labelled "fault:crash" (fun e ->
+                 for p = first to limit - 1 do
+                   apply_crash t actions ~now:(Engine.now e) p
+                 done));
+          (match after with
+          | None -> ()
+          | Some d ->
+              Engine.schedule_at engine ~time:(at +. d)
+                (Engine.labelled "fault:recover" (fun e ->
+                     for p = first to limit - 1 do
+                       apply_recover t actions ~now:(Engine.now e) p
+                     done)))
+      | Plan.Abort { at } ->
+          Engine.schedule_at engine ~time:at
+            (Engine.labelled "fault:abort" (fun _ ->
+                 failwith "deliberate abort scheduled by the fault plan")))
+    t.plan.Plan.events;
+  (match t.plan.Plan.repair with
+  | None -> ()
+  | Some { Plan.every; _ } ->
+      Engine.schedule_periodic engine ~first:every ~every
+        (Engine.labelled "fault:repair" (fun e ->
+             (match t.counters with
+             | Some c -> Registry.incr c.repair_passes 1
+             | None -> ());
+             actions.repair ~now:(Engine.now e))));
+  if t.plan.Plan.check_invariants then
+    Engine.schedule_periodic engine ~first:t.plan.Plan.check_every
+      ~every:t.plan.Plan.check_every
+      (Engine.labelled "fault:check" (fun e -> actions.check ~now:(Engine.now e)))

@@ -1,0 +1,61 @@
+(** Drives a {!Plan} against a running simulation.
+
+    The injector owns the fault-side state (who is crashed right now)
+    and a dedicated RNG stream for victim sampling; the simulation
+    supplies the *consequences* as an {!actions} record, so this module
+    stays ignorant of storage, replication and DHT internals and the
+    fault library never depends on the core.
+
+    Determinism contract: the injector draws only from the RNG handed
+    to {!create}.  A system that splits that stream off its root seed
+    conditionally (only when a fault plan is present) keeps fault-free
+    runs bit-identical to builds without the fault subsystem at all. *)
+
+type actions = {
+  crash : peer:int -> now:float -> unit;
+      (** Make the crash-stop consequences real: clear the victim's
+          index cache, drop it from replica membership, forget its
+          routing state.  Called once per transition (already-crashed
+          victims are skipped). *)
+  recover : peer:int -> now:float -> unit;
+      (** Rejoin-empty: rebuild routing via the join protocol, rejoin
+          membership.  Called once per transition. *)
+  repair : now:float -> unit;
+      (** One anti-entropy pass (only scheduled when the plan enables
+          repair). *)
+  check : now:float -> unit;
+      (** One sampled invariant sweep; expected to raise on violation
+          (only scheduled when the plan enables checking). *)
+}
+
+type t
+
+val create :
+  ?tracer:Pdht_obs.Tracer.t ->
+  ?registry:Pdht_obs.Registry.t ->
+  rng:Pdht_util.Rng.t ->
+  peers:int ->
+  Plan.t ->
+  t
+(** The plan is re-validated ([Invalid_argument] on a bad one).  With a
+    [registry], the injector maintains counters [fault.crashes],
+    [fault.recoveries], [fault.repair_passes] and gauge
+    [fault.crashed_count]; with a [tracer], each transition emits a
+    [Fault] event ([detail] = "crash" / "recover"). *)
+
+val attach : t -> Pdht_sim.Engine.t -> actions -> unit
+(** Schedule every plan event on the engine (call once, before the
+    run).  Fractional events sample victims at fire time among the
+    currently alive peers; correlated events hit the contiguous index
+    range.  All handlers are labelled ["fault:*"], so a failure escapes
+    as {!Pdht_sim.Engine.Handler_failed} carrying the simulated time
+    and the fault stage. *)
+
+val crashed : t -> int -> bool
+(** Is the peer currently crashed?  Compose this into the system's
+    online predicate. *)
+
+val crashed_count : t -> int
+
+val first_fault_time : t -> float option
+(** See {!Plan.first_fault_time}. *)

@@ -1,0 +1,184 @@
+type event =
+  | Crash of { peer_fraction : float; at : float }
+  | Crash_recover of { peer_fraction : float; at : float; after : float }
+  | Flap of { peer_fraction : float; at : float; period : float; cycles : int }
+  | Correlated of { lo : float; hi : float; at : float; after : float option }
+  | Abort of { at : float }
+
+type repair = { every : float; min_fraction : float }
+
+type t = {
+  events : event list;
+  repair : repair option;
+  check_invariants : bool;
+  check_every : float;
+}
+
+let default = { events = []; repair = None; check_invariants = false; check_every = 60. }
+
+let err fmt = Format.kasprintf (fun m -> Error m) fmt
+
+let finite_nonneg what v =
+  if Float.is_finite v && v >= 0. then Ok () else err "%s %g must be finite and >= 0" what v
+
+let fraction_ok what f =
+  if Float.is_finite f && 0. <= f && f <= 1. then Ok ()
+  else err "%s %g must be in [0, 1]" what f
+
+let ( let* ) r f = match r with Ok () -> f () | Error _ as e -> e
+
+let validate_event = function
+  | Crash { peer_fraction; at } ->
+      let* () = fraction_ok "crash fraction" peer_fraction in
+      finite_nonneg "crash time" at
+  | Crash_recover { peer_fraction; at; after } ->
+      let* () = fraction_ok "crash fraction" peer_fraction in
+      let* () = finite_nonneg "crash time" at in
+      if Float.is_finite after && after > 0. then Ok ()
+      else err "recovery delay %g must be finite and > 0" after
+  | Flap { peer_fraction; at; period; cycles } ->
+      let* () = fraction_ok "flap fraction" peer_fraction in
+      let* () = finite_nonneg "flap start" at in
+      if not (Float.is_finite period && period > 0.) then
+        err "flap period %g must be finite and > 0" period
+      else if cycles < 1 then err "flap cycles %d must be >= 1" cycles
+      else Ok ()
+  | Correlated { lo; hi; at; after } ->
+      let* () = fraction_ok "rack range low" lo in
+      let* () = fraction_ok "rack range high" hi in
+      if lo >= hi then err "rack range [%g, %g) is empty" lo hi
+      else
+        let* () = finite_nonneg "rack crash time" at in
+        (match after with
+        | None -> Ok ()
+        | Some d when Float.is_finite d && d > 0. -> Ok ()
+        | Some d -> err "rack recovery delay %g must be finite and > 0" d)
+  | Abort { at } -> finite_nonneg "abort time" at
+
+let validate t =
+  let rec events_ok = function
+    | [] -> Ok ()
+    | e :: rest -> ( match validate_event e with Ok () -> events_ok rest | Error _ as e -> e)
+  in
+  match events_ok t.events with
+  | Error msg -> Error msg
+  | Ok () -> (
+      let repair_ok =
+        match t.repair with
+        | None -> Ok ()
+        | Some { every; min_fraction } ->
+            if not (Float.is_finite every && every > 0.) then
+              err "repair period %g must be finite and > 0" every
+            else if not (Float.is_finite min_fraction && 0. < min_fraction && min_fraction <= 1.)
+            then err "repair threshold %g must be in (0, 1]" min_fraction
+            else Ok ()
+      in
+      match repair_ok with
+      | Error msg -> Error msg
+      | Ok () ->
+          if not (Float.is_finite t.check_every && t.check_every > 0.) then
+            err "invariant-check period %g must be finite and > 0" t.check_every
+          else Ok t)
+
+let event_to_string = function
+  | Crash { peer_fraction; at } -> Printf.sprintf "crash:%g@%g" peer_fraction at
+  | Crash_recover { peer_fraction; at; after } ->
+      Printf.sprintf "crash:%g@%g+%g" peer_fraction at after
+  | Flap { peer_fraction; at; period; cycles } ->
+      Printf.sprintf "flap:%g@%g+%gx%d" peer_fraction at period cycles
+  | Correlated { lo; hi; at; after = None } -> Printf.sprintf "rack:%g-%g@%g" lo hi at
+  | Correlated { lo; hi; at; after = Some d } -> Printf.sprintf "rack:%g-%g@%g+%g" lo hi at d
+  | Abort { at } -> Printf.sprintf "abort@%g" at
+
+let to_string t = String.concat "," (List.map event_to_string t.events)
+
+let float_of s = try Some (float_of_string (String.trim s)) with _ -> None
+let int_of s = try Some (int_of_string (String.trim s)) with _ -> None
+
+let parse_event spec =
+  let bad why = err "fault event %S: %s" spec why in
+  match String.index_opt spec '@' with
+  | None -> bad "missing @TIME"
+  | Some at_pos -> (
+      let head = String.sub spec 0 at_pos in
+      let timing = String.sub spec (at_pos + 1) (String.length spec - at_pos - 1) in
+      let time_and_delay =
+        match String.split_on_char '+' timing with
+        | [ t ] -> (
+            match float_of t with Some t -> Ok (t, None) | None -> Error "bad time")
+        | [ t; d ] -> (
+            match float_of t with
+            | Some t -> Ok (t, Some d) (* delay kept raw: flap packs DxN in it *)
+            | None -> Error "bad time")
+        | _ -> Error "too many +"
+      in
+      match time_and_delay with
+      | Error why -> bad why
+      | Ok (at, delay) -> (
+          match String.split_on_char ':' head with
+          | [ "abort" ] | [ "abort"; "" ] ->
+              if delay = None then Ok (Abort { at }) else bad "abort takes no +DELAY"
+          | [ "crash"; f ] -> (
+              match (float_of f, delay) with
+              | Some peer_fraction, None -> Ok (Crash { peer_fraction; at })
+              | Some peer_fraction, Some d -> (
+                  match float_of d with
+                  | Some after -> Ok (Crash_recover { peer_fraction; at; after })
+                  | None -> bad "bad recovery delay")
+              | None, _ -> bad "expected crash:FRACTION@TIME[+DELAY]")
+          | [ "flap"; f ] -> (
+              match (float_of f, delay) with
+              | Some peer_fraction, Some d -> (
+                  match String.split_on_char 'x' d with
+                  | [ period; cycles ] -> (
+                      match (float_of period, int_of cycles) with
+                      | Some period, Some cycles ->
+                          Ok (Flap { peer_fraction; at; period; cycles })
+                      | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
+                  | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
+              | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
+          | [ "rack"; range ] -> (
+              match String.split_on_char '-' range with
+              | [ lo; hi ] -> (
+                  match (float_of lo, float_of hi) with
+                  | Some lo, Some hi -> (
+                      match delay with
+                      | None -> Ok (Correlated { lo; hi; at; after = None })
+                      | Some d -> (
+                          match float_of d with
+                          | Some d -> Ok (Correlated { lo; hi; at; after = Some d })
+                          | None -> bad "bad recovery delay"))
+                  | _ -> bad "expected rack:LO-HI@TIME[+DELAY]")
+              | _ -> bad "expected rack:LO-HI@TIME[+DELAY]")
+          | _ -> bad "unknown kind (crash / flap / rack / abort)"))
+
+let of_string s =
+  let specs =
+    String.split_on_char ',' s |> List.map String.trim
+    |> List.filter (fun s -> s <> "")
+  in
+  if specs = [] then err "fault plan %S: no events" s
+  else
+    let rec go acc = function
+      | [] -> (
+          let plan = { default with events = List.rev acc } in
+          match validate plan with Ok _ -> Ok plan | Error msg -> Error msg)
+      | spec :: rest -> (
+          match parse_event spec with Ok e -> go (e :: acc) rest | Error msg -> Error msg)
+    in
+    go [] specs
+
+let first_fault_time t =
+  List.fold_left
+    (fun acc e ->
+      let time =
+        match e with
+        | Crash { at; _ } | Crash_recover { at; _ } | Flap { at; _ } | Correlated { at; _ } ->
+            Some at
+        | Abort _ -> None
+      in
+      match (acc, time) with
+      | None, t -> t
+      | Some a, Some b -> Some (Float.min a b)
+      | (Some _ as a), None -> a)
+    None t.events

@@ -1,0 +1,75 @@
+(** Declarative crash-fault schedules.
+
+    A plan is data, not behaviour: a validated list of timed fault
+    events plus the self-healing knobs, interpreted by {!Injector}
+    against a running engine.  Keeping the schedule declarative makes
+    experiments reproducible (the plan round-trips through
+    {!to_string} / {!of_string}, so a CLI flag fully describes the
+    fault load) and lets the driver validate everything before any
+    simulation state exists.
+
+    Fractions are of the whole peer population; victims are drawn at
+    fire time from the injector's own RNG stream, never from the
+    streams the fault-free simulation consumes. *)
+
+type event =
+  | Crash of { peer_fraction : float; at : float }
+      (** Crash-stop [peer_fraction] of the population at time [at]:
+          index cache and routing state are lost, membership predicates
+          turn false.  No recovery. *)
+  | Crash_recover of { peer_fraction : float; at : float; after : float }
+      (** As {!Crash}, but the victims rejoin *empty* at [at +. after]
+          (routing rebuilt by the join protocol; index entries only
+          return via repair or organic re-insertion). *)
+  | Flap of { peer_fraction : float; at : float; period : float; cycles : int }
+      (** One victim set crashing and rejoining repeatedly: [cycles]
+          crash episodes of length [period] each, starting at [at],
+          ending recovered. *)
+  | Correlated of { lo : float; hi : float; at : float; after : float option }
+      (** Mass failure of the contiguous peer-index range
+          [\[lo*n, hi*n)] — a rack / AS going dark, correlated rather
+          than independent victims.  Recovers after [after] if given. *)
+  | Abort of { at : float }
+      (** Deliberately abort the whole run at [at] (raises through the
+          engine).  For harness testing: checks that failure context
+          (time + handler label) survives to the experiment runner. *)
+
+type repair = {
+  every : float;  (** anti-entropy period, simulated seconds *)
+  min_fraction : float;
+      (** re-replicate an item when its live replica count falls below
+          [min_fraction *. repl] *)
+}
+
+type t = {
+  events : event list;
+  repair : repair option;  (** [None] = organic repair only *)
+  check_invariants : bool;
+      (** sampled invariant sweep; fails fast with event time + label *)
+  check_every : float;  (** invariant sweep period *)
+}
+
+val default : t
+(** No events, no anti-entropy, no checking, [check_every = 60.]. *)
+
+val validate : t -> (t, string) result
+(** Fractions in [0, 1], times finite and non-negative, delays and
+    periods positive, [cycles >= 1], rack ranges non-empty, repair
+    threshold in (0, 1]. *)
+
+val of_string : string -> (t, string) result
+(** Parse a comma-separated event list (repair / checking are separate
+    flags).  Grammar, one event per item:
+    - [crash:F@T] — crash fraction F at time T, no recovery;
+    - [crash:F@T+D] — crash at T, rejoin empty at T+D;
+    - [flap:F@T+DxN] — N crash episodes of length D starting at T;
+    - [rack:LO-HI@T] and [rack:LO-HI@T+D] — correlated range failure;
+    - [abort@T] — abort the run at T.
+    The result is validated. *)
+
+val to_string : t -> string
+(** The events in [of_string] syntax (round-trips). *)
+
+val first_fault_time : t -> float option
+(** Earliest fault time, excluding {!Abort} events — the boundary the
+    recovery-time measurement compares "before" samples against. *)

@@ -9,6 +9,7 @@ type category =
   | Churn
   | Engine
   | Net
+  | Fault
   | Custom
 
 type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
@@ -30,7 +31,7 @@ let make ?(peer = -1) ?(key_index = -1) ?(hops = 0) ?(messages = 0)
 
 let all_categories =
   [ Query; Dht_lookup; Broadcast; Index_insert; Ttl_reset; Gossip; Maintenance;
-    Churn; Engine; Net; Custom ]
+    Churn; Engine; Net; Fault; Custom ]
 
 let category_label = function
   | Query -> "query"
@@ -43,6 +44,7 @@ let category_label = function
   | Churn -> "churn"
   | Engine -> "engine"
   | Net -> "net"
+  | Fault -> "fault"
   | Custom -> "custom"
 
 let category_of_label s =

@@ -22,6 +22,8 @@ type category =
                       [key_index] = destination peer, [hops] = attempt
                       number (RPCs), [outcome] = [Completed] delivered /
                       [Dropped] lost, [detail] = "send"/"rpc"/"timeout" *)
+  | Fault         (** one fault-injection action on a peer; [detail] =
+                      "crash"/"recover" *)
   | Custom        (** free-form ({!Pdht_sim.Trace} compatibility);
                       [detail] = the message *)
 

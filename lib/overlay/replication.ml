@@ -55,6 +55,29 @@ let place_on t ~item ~replicas =
   t.by_item.(item) <- reps;
   Array.iter (fun p -> t.at_peer.(p) <- Int_set.add item t.at_peer.(p)) reps
 
+let remove_peer t ~peer =
+  if peer < 0 || peer >= t.total_peers then invalid_arg "Replication.remove_peer: bad peer";
+  let items = t.at_peer.(peer) in
+  let n = Int_set.cardinal items in
+  Int_set.iter
+    (fun item ->
+      let reps = t.by_item.(item) in
+      let kept = Array.make (Array.length reps - 1) 0 in
+      let j = ref 0 in
+      Array.iter
+        (fun p ->
+          if p <> peer then begin
+            kept.(!j) <- p;
+            incr j
+          end)
+        reps;
+      (* [reps] was sorted and held [peer] exactly once, so [kept] is
+         full and still sorted. *)
+      t.by_item.(item) <- (if Array.length kept = 0 then no_replicas else kept))
+    items;
+  t.at_peer.(peer) <- Int_set.empty;
+  n
+
 let place t rng ~item ~repl =
   if repl < 1 then invalid_arg "Replication.place: repl must be >= 1";
   let k = min repl t.total_peers in

@@ -22,6 +22,11 @@ val place_on : t -> item:int -> replicas:int array -> unit
 
 val remove : t -> item:int -> unit
 
+val remove_peer : t -> peer:int -> int
+(** Drop [peer] from the replica set of every item it holds (the
+    crash-stop "content lost" operation) and return how many items it
+    held.  Items whose last replica goes become unplaced. *)
+
 val replicas : t -> item:int -> int array
 (** Peers currently holding [item] (empty if never placed). *)
 

@@ -18,6 +18,24 @@ type t = {
 
 and handler = t -> unit
 
+exception Handler_failed of { time : float; label : string; exn : exn }
+
+(* Registered once at module load so [Printexc.to_string] — and with it
+   every failure message the runner records — carries the simulation
+   time and handler label instead of an anonymous exception. *)
+let () =
+  Printexc.register_printer (function
+    | Handler_failed { time; label; exn } ->
+        Some
+          (Printf.sprintf "event handler %S failed at t=%g: %s" label time
+             (Printexc.to_string exn))
+    | _ -> None)
+
+let labelled label handler t =
+  try handler t with
+  | Handler_failed _ as e -> raise e
+  | exn -> raise (Handler_failed { time = t.now; label; exn })
+
 let create () =
   { queue = Event_queue.create (); now = 0.; events_processed = 0; instruments = None }
 
@@ -102,7 +120,14 @@ let run t ~until =
       end
     end
   in
-  loop ();
+  (* One try frame around the whole loop (not one per event — that
+     would cost a trap per dispatch): [t.now] is already the failing
+     event's time when the exception escapes, so the context is exact.
+     Handlers wrapped with [labelled] arrive pre-annotated and pass
+     through; anonymous handlers get the generic label. *)
+  (try loop () with
+  | Handler_failed _ as e -> raise e
+  | exn -> raise (Handler_failed { time = t.now; label = "event"; exn }));
   match t.instruments with Some ins -> sample ins t | None -> ()
 
 let pending t = Event_queue.size t.queue

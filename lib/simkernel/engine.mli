@@ -6,6 +6,18 @@
 
 type t
 
+exception Handler_failed of { time : float; label : string; exn : exn }
+(** An event handler raised during {!run}.  [time] is the simulated
+    instant of the failing event and [label] the handler's tag —
+    ["event"] unless the handler was wrapped with {!labelled}.  A
+    printer is registered, so [Printexc.to_string] (and therefore the
+    runner's recorded failure messages) includes both. *)
+
+val labelled : string -> (t -> unit) -> t -> unit
+(** [labelled tag handler] is [handler] with failures annotated as
+    [Handler_failed] carrying [tag] and the failure time.  Already
+    annotated exceptions pass through unchanged. *)
+
 val create : unit -> t
 
 val now : t -> float
@@ -28,7 +40,12 @@ val run : t -> until:float -> unit
 (** Process events in time order until the queue is empty or the next
     event is strictly after [until].  [now] ends at the time of the
     last processed event (or is left unchanged when nothing fired).
-    Can be called again to continue a paused simulation. *)
+    Can be called again to continue a paused simulation.
+
+    A handler exception aborts the run and escapes as
+    {!Handler_failed} with the failing event's time attached (one
+    [try] frame around the whole loop, so per-event dispatch stays
+    allocation- and trap-free). *)
 
 val pending : t -> int
 (** Events still scheduled. *)

@@ -1,0 +1,386 @@
+(* Tests for the fault subsystem (Pdht_fault) and its system wiring:
+   plan grammar and validation, injector transition semantics, the
+   no-fault equivalence contract (an empty plan perturbs nothing), the
+   E21 crash-dip-recover shape, repair counters gated on the repair
+   knob, deterministic fault-enabled batches across worker counts, and
+   the scheduled-abort path carrying engine context (time + handler
+   label) into the experiment runner's failure rows. *)
+
+module Rng = Pdht_util.Rng
+module Engine = Pdht_sim.Engine
+module Plan = Pdht_fault.Plan
+module Injector = Pdht_fault.Injector
+module Registry = Pdht_obs.Registry
+module Scenario = Pdht_work.Scenario
+module System = Pdht_core.System
+module Strategy = Pdht_core.Strategy
+module Runner = Pdht_core.Runner
+module Run_spec = Pdht_core.Run_spec
+module Run_result = Pdht_core.Run_result
+
+let contains hay needle =
+  let nl = String.length needle and hl = String.length hay in
+  let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+  go 0
+
+(* ------------------------------------------------------------------ *)
+(* Plan *)
+
+let test_plan_parse () =
+  let ok spec expected =
+    match Plan.of_string spec with
+    | Ok plan -> Alcotest.(check bool) spec true (plan.Plan.events = expected)
+    | Error msg -> Alcotest.failf "%s rejected: %s" spec msg
+  in
+  ok "crash:0.3@600" [ Plan.Crash { peer_fraction = 0.3; at = 600. } ];
+  ok "crash:0.3@600+120"
+    [ Plan.Crash_recover { peer_fraction = 0.3; at = 600.; after = 120. } ];
+  ok "flap:0.1@100+30x4"
+    [ Plan.Flap { peer_fraction = 0.1; at = 100.; period = 30.; cycles = 4 } ];
+  ok "rack:0.2-0.4@50"
+    [ Plan.Correlated { lo = 0.2; hi = 0.4; at = 50.; after = None } ];
+  ok "rack:0.2-0.4@50+25"
+    [ Plan.Correlated { lo = 0.2; hi = 0.4; at = 50.; after = Some 25. } ];
+  ok "abort@42" [ Plan.Abort { at = 42. } ];
+  ok "crash:0.5@10,abort@99"
+    [ Plan.Crash { peer_fraction = 0.5; at = 10. }; Plan.Abort { at = 99. } ]
+
+let test_plan_roundtrip () =
+  List.iter
+    (fun spec ->
+      match Plan.of_string spec with
+      | Error msg -> Alcotest.failf "%s rejected: %s" spec msg
+      | Ok plan -> (
+          match Plan.of_string (Plan.to_string plan) with
+          | Error msg -> Alcotest.failf "%s reparse rejected: %s" spec msg
+          | Ok plan' ->
+              Alcotest.(check bool) (spec ^ " round-trips") true (plan = plan')))
+    [ "crash:0.3@600"; "crash:0.25@600+120"; "flap:0.1@100+30x4";
+      "rack:0.2-0.4@50+25"; "abort@42"; "crash:0.1@5,flap:0.2@50+10x2,abort@500" ]
+
+let test_plan_validate () =
+  let bad label plan =
+    Alcotest.(check bool) label true (Result.is_error (Plan.validate plan))
+  in
+  let crash f at = { Plan.default with Plan.events = [ Plan.Crash { peer_fraction = f; at } ] } in
+  Alcotest.(check bool) "default valid" true (Result.is_ok (Plan.validate Plan.default));
+  bad "fraction > 1" (crash 1.5 10.);
+  bad "fraction < 0" (crash (-0.1) 10.);
+  bad "negative time" (crash 0.3 (-5.));
+  bad "nan time" (crash 0.3 Float.nan);
+  bad "zero recovery delay"
+    { Plan.default with
+      Plan.events = [ Plan.Crash_recover { peer_fraction = 0.3; at = 10.; after = 0. } ] };
+  bad "flap zero cycles"
+    { Plan.default with
+      Plan.events =
+        [ Plan.Flap { peer_fraction = 0.3; at = 10.; period = 5.; cycles = 0 } ] };
+  bad "rack empty range"
+    { Plan.default with
+      Plan.events = [ Plan.Correlated { lo = 0.5; hi = 0.5; at = 10.; after = None } ] };
+  bad "repair zero period"
+    { Plan.default with Plan.repair = Some { Plan.every = 0.; min_fraction = 0.5 } };
+  bad "repair threshold zero"
+    { Plan.default with Plan.repair = Some { Plan.every = 10.; min_fraction = 0. } };
+  bad "repair threshold > 1"
+    { Plan.default with Plan.repair = Some { Plan.every = 10.; min_fraction = 1.5 } };
+  bad "check zero period" { Plan.default with Plan.check_invariants = true; check_every = 0. }
+
+let test_plan_rejects_garbage () =
+  List.iter
+    (fun spec ->
+      Alcotest.(check bool) (spec ^ " rejected") true
+        (Result.is_error (Plan.of_string spec)))
+    [ ""; "bogus"; "crash@10"; "crash:0.3"; "crash:x@10"; "flap:0.3@10+5";
+      "rack:0.4@10"; "abort@-1" ]
+
+let test_plan_first_fault_time () =
+  let plan events = { Plan.default with Plan.events } in
+  Alcotest.(check (option (float 0.))) "empty" None (Plan.first_fault_time Plan.default);
+  Alcotest.(check (option (float 0.))) "abort excluded" None
+    (Plan.first_fault_time (plan [ Plan.Abort { at = 5. } ]));
+  Alcotest.(check (option (float 0.))) "earliest crash"
+    (Some 20.)
+    (Plan.first_fault_time
+       (plan
+          [ Plan.Abort { at = 5. };
+            Plan.Crash { peer_fraction = 0.1; at = 50. };
+            Plan.Flap { peer_fraction = 0.1; at = 20.; period = 5.; cycles = 2 } ]))
+
+(* ------------------------------------------------------------------ *)
+(* Injector *)
+
+let run_injector ?registry plan ~peers ~until =
+  let engine = Engine.create () in
+  let inj = Injector.create ?registry ~rng:(Rng.create ~seed:7) ~peers plan in
+  let log = ref [] in
+  let actions =
+    {
+      Injector.crash = (fun ~peer ~now -> log := (`Crash, peer, now) :: !log);
+      recover = (fun ~peer ~now -> log := (`Recover, peer, now) :: !log);
+      repair = (fun ~now -> log := (`Repair, -1, now) :: !log);
+      check = (fun ~now -> log := (`Check, -1, now) :: !log);
+    }
+  in
+  Injector.attach inj engine actions;
+  Engine.run engine ~until;
+  (inj, List.rev !log)
+
+let test_injector_crash_recover () =
+  let plan =
+    { Plan.default with
+      Plan.events = [ Plan.Crash_recover { peer_fraction = 0.5; at = 10.; after = 20. } ] }
+  in
+  let registry = Registry.create () in
+  let inj, log = run_injector ~registry plan ~peers:40 ~until:100. in
+  let count k = List.length (List.filter (fun (k', _, _) -> k' = k) log) in
+  Alcotest.(check int) "20 crashes" 20 (count `Crash);
+  Alcotest.(check int) "20 recoveries" 20 (count `Recover);
+  Alcotest.(check int) "all back up" 0 (Injector.crashed_count inj);
+  List.iter
+    (fun (kind, _, now) ->
+      match kind with
+      | `Crash -> Alcotest.(check (float 0.)) "crash at 10" 10. now
+      | `Recover -> Alcotest.(check (float 0.)) "recover at 30" 30. now
+      | _ -> Alcotest.fail "unexpected action")
+    log;
+  let c name =
+    match Registry.counter_value_by_name registry name with Some v -> v | None -> -1
+  in
+  Alcotest.(check int) "fault.crashes" 20 (c "fault.crashes");
+  Alcotest.(check int) "fault.recoveries" 20 (c "fault.recoveries")
+
+let test_injector_crash_is_sticky () =
+  let plan =
+    { Plan.default with Plan.events = [ Plan.Crash { peer_fraction = 0.25; at = 5. } ] }
+  in
+  let inj, log = run_injector plan ~peers:80 ~until:50. in
+  Alcotest.(check int) "20 crashed" 20 (Injector.crashed_count inj);
+  Alcotest.(check int) "no recoveries" 0
+    (List.length (List.filter (fun (k, _, _) -> k = `Recover) log));
+  let crashed_peers = List.filter_map (fun (k, p, _) -> if k = `Crash then Some p else None) log in
+  List.iter
+    (fun p -> Alcotest.(check bool) "predicate agrees" true (Injector.crashed inj p))
+    crashed_peers
+
+let test_injector_flap_ends_recovered () =
+  let plan =
+    { Plan.default with
+      Plan.events =
+        [ Plan.Flap { peer_fraction = 0.2; at = 10.; period = 5.; cycles = 3 } ] }
+  in
+  let inj, log = run_injector plan ~peers:50 ~until:200. in
+  let count k = List.length (List.filter (fun (k', _, _) -> k' = k) log) in
+  Alcotest.(check int) "3 cycles of 10 crashes" 30 (count `Crash);
+  Alcotest.(check int) "3 cycles of 10 recoveries" 30 (count `Recover);
+  Alcotest.(check int) "ends recovered" 0 (Injector.crashed_count inj)
+
+let test_injector_correlated_range () =
+  let plan =
+    { Plan.default with
+      Plan.events = [ Plan.Correlated { lo = 0.25; hi = 0.5; at = 5.; after = None } ] }
+  in
+  let inj, _ = run_injector plan ~peers:100 ~until:50. in
+  for p = 0 to 99 do
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d" p)
+      (p >= 25 && p < 50) (Injector.crashed inj p)
+  done
+
+let test_injector_repair_schedule () =
+  let plan =
+    { Plan.default with Plan.repair = Some { Plan.every = 10.; min_fraction = 0.5 } }
+  in
+  let _, log = run_injector plan ~peers:10 ~until:55. in
+  Alcotest.(check int) "5 passes in 55s" 5
+    (List.length (List.filter (fun (k, _, _) -> k = `Repair) log))
+
+let test_injector_rejects_invalid_plan () =
+  let plan =
+    { Plan.default with Plan.events = [ Plan.Crash { peer_fraction = 2.0; at = 1. } ] }
+  in
+  match Injector.create ~rng:(Rng.create ~seed:1) ~peers:10 plan with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "expected Invalid_argument"
+
+(* ------------------------------------------------------------------ *)
+(* System-level contracts *)
+
+let sim_scenario =
+  {
+    Scenario.news_default with
+    Scenario.num_peers = 300;
+    keys = 600;
+    duration = 600.;
+    seed = 17;
+  }
+
+let options = System.Options.make ~repl:20 ~stor:100 ()
+
+let partial scenario options =
+  Strategy.Partial_index { key_ttl = System.derive_key_ttl scenario options }
+
+let run_with_fault ?(scenario = sim_scenario) plan =
+  let options =
+    match plan with
+    | None -> System.Options.without_fault options
+    | Some p -> System.Options.with_fault p options
+  in
+  System.run scenario (partial scenario options) options
+
+let test_empty_plan_equivalence () =
+  (* Tentpole contract: enabling the machinery with an empty plan must
+     reproduce the no-fault report field for field once its own [fault]
+     summary is set aside — proof that the injector draws from its
+     private stream only and perturbs nothing. *)
+  let plain = run_with_fault None in
+  let faulted = run_with_fault (Some Plan.default) in
+  (match faulted.System.fault with
+  | None -> Alcotest.fail "fault-enabled report lacks its fault summary"
+  | Some f ->
+      Alcotest.(check int) "no crashes" 0 f.System.crashes;
+      Alcotest.(check int) "no repair passes" 0 f.System.repair_passes);
+  let stripped = { faulted with System.fault = None } in
+  Alcotest.(check int) "queries" plain.System.queries stripped.System.queries;
+  Alcotest.(check int) "total messages" plain.System.total_messages
+    stripped.System.total_messages;
+  Alcotest.(check bool) "entire report identical" true (stripped = plain)
+
+let e21_plan ~repair =
+  {
+    Plan.default with
+    Plan.events = [ Plan.Crash { peer_fraction = 0.3; at = 300. } ];
+    repair = (if repair then Some { Plan.every = 30.; min_fraction = 0.5 } else None);
+  }
+
+let test_mass_crash_dip_and_recovery () =
+  (* E21 in miniature: a 30% mass crash at steady state damages the
+     index (entries and content replicas lost), dips the service rate,
+     and the run recovers to within 5% of the pre-fault baseline. *)
+  let report = run_with_fault (Some (e21_plan ~repair:true)) in
+  match report.System.fault with
+  | None -> Alcotest.fail "missing fault summary"
+  | Some f ->
+      Alcotest.(check int) "30% of 300 crashed" 90 f.System.crashes;
+      Alcotest.(check bool) "index entries lost" true (f.System.entries_lost > 0);
+      Alcotest.(check bool) "content replicas lost" true (f.System.content_lost > 0);
+      Alcotest.(check bool) "dip below baseline" true
+        (f.System.dip_rate < f.System.pre_fault_rate);
+      (match f.System.time_to_recover with
+      | None -> Alcotest.fail "never recovered"
+      | Some t ->
+          Alcotest.(check bool) "recovery time positive and in-run" true
+            (t > 0. && t <= sim_scenario.Scenario.duration))
+
+let test_repair_counters_gated () =
+  (* Repair counters are non-zero exactly when repair is enabled; the
+     crash-side counters fire either way. *)
+  let without = run_with_fault (Some (e21_plan ~repair:false)) in
+  let with_repair = run_with_fault (Some (e21_plan ~repair:true)) in
+  match (without.System.fault, with_repair.System.fault) with
+  | Some off, Some on ->
+      Alcotest.(check int) "no passes when disabled" 0 off.System.repair_passes;
+      Alcotest.(check int) "no repair traffic when disabled" 0 off.System.repair_messages;
+      Alcotest.(check int) "nothing re-replicated when disabled" 0
+        (off.System.repaired_items + off.System.repaired_entries);
+      Alcotest.(check bool) "passes when enabled" true (on.System.repair_passes > 0);
+      Alcotest.(check bool) "repair traffic when enabled" true
+        (on.System.repair_messages > 0);
+      Alcotest.(check int) "crashes identical" off.System.crashes on.System.crashes
+  | _ -> Alcotest.fail "missing fault summary"
+
+let test_crash_differs_from_no_fault () =
+  (* A non-empty plan must actually change the run — guard against the
+     injector silently becoming a no-op. *)
+  let plain = run_with_fault None in
+  let crashed = run_with_fault (Some (e21_plan ~repair:false)) in
+  Alcotest.(check bool) "reports differ" true
+    ({ crashed with System.fault = None } <> plain)
+
+let test_abort_carries_context_to_runner () =
+  (* Satellite: a scheduled abort raises through the engine's labelled
+     wrapper, and Runner.run_all records the failure with the simulated
+     time and the "fault:abort" stage attached. *)
+  let plan = { Plan.default with Plan.events = [ Plan.Abort { at = 120. } ] } in
+  let scenario = { sim_scenario with Scenario.duration = 300. } in
+  let spec =
+    Run_spec.make ~options:(System.Options.with_fault plan options) scenario
+  in
+  let results = Runner.run_all ~jobs:1 [ spec ] in
+  match Run_result.failures results with
+  | [ (_, message) ] ->
+      Alcotest.(check bool) "mentions stage" true (contains message "fault:abort");
+      Alcotest.(check bool) "mentions time" true (contains message "t=120")
+  | [] -> Alcotest.fail "abort did not fail the run"
+  | _ -> Alcotest.fail "expected exactly one failure"
+
+(* ------------------------------------------------------------------ *)
+(* Determinism: fault-enabled batches across worker counts *)
+
+let qcheck_tests =
+  let open QCheck in
+  [
+    Test.make ~name:"fault-enabled runs identical for -j 1 vs -j 4" ~count:3
+      (pair (int_bound 10_000) (int_bound 2))
+      (fun (seed, which) ->
+        let events =
+          match which with
+          | 0 -> [ Plan.Crash { peer_fraction = 0.3; at = 80. } ]
+          | 1 -> [ Plan.Crash_recover { peer_fraction = 0.4; at = 60.; after = 40. } ]
+          | _ -> [ Plan.Flap { peer_fraction = 0.2; at = 40.; period = 15.; cycles = 2 } ]
+        in
+        let plan =
+          { Plan.default with
+            Plan.events;
+            repair = Some { Plan.every = 20.; min_fraction = 0.5 } }
+        in
+        let scenario =
+          { sim_scenario with Scenario.num_peers = 150; keys = 300;
+            duration = 200.; seed }
+        in
+        let spec =
+          Run_spec.make ~options:(System.Options.with_fault plan options) scenario
+        in
+        let reports jobs =
+          Run_result.reports_exn (Runner.run_all ~jobs [ spec; spec ])
+        in
+        reports 1 = reports 4);
+  ]
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "pdht_fault"
+    [
+      ( "plan",
+        [
+          Alcotest.test_case "parse" `Quick test_plan_parse;
+          Alcotest.test_case "round-trip" `Quick test_plan_roundtrip;
+          Alcotest.test_case "validate" `Quick test_plan_validate;
+          Alcotest.test_case "rejects garbage" `Quick test_plan_rejects_garbage;
+          Alcotest.test_case "first fault time" `Quick test_plan_first_fault_time;
+        ] );
+      ( "injector",
+        [
+          Alcotest.test_case "crash + recover" `Quick test_injector_crash_recover;
+          Alcotest.test_case "crash is sticky" `Quick test_injector_crash_is_sticky;
+          Alcotest.test_case "flap ends recovered" `Quick test_injector_flap_ends_recovered;
+          Alcotest.test_case "correlated range" `Quick test_injector_correlated_range;
+          Alcotest.test_case "repair schedule" `Quick test_injector_repair_schedule;
+          Alcotest.test_case "rejects invalid plan" `Quick
+            test_injector_rejects_invalid_plan;
+        ] );
+      ( "system",
+        [
+          Alcotest.test_case "empty plan == no fault" `Slow test_empty_plan_equivalence;
+          Alcotest.test_case "mass crash dips then recovers" `Slow
+            test_mass_crash_dip_and_recovery;
+          Alcotest.test_case "repair counters gated on repair" `Slow
+            test_repair_counters_gated;
+          Alcotest.test_case "crash perturbs the run" `Slow
+            test_crash_differs_from_no_fault;
+          Alcotest.test_case "abort carries context to runner" `Quick
+            test_abort_carries_context_to_runner;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

@@ -59,6 +59,61 @@ let test_net_flood_offline_members () =
   Alcotest.(check bool) "partial reach" true (r.Replica_net.reached < 8);
   Alcotest.(check bool) "still reaches some" true (r.Replica_net.reached > 1)
 
+let reference_bfs net ~online ~from_peer =
+  (* Independent connectivity oracle: breadth-first search over the
+     subnetwork restricted to online members. *)
+  match Replica_net.member_of_peer net from_peer with
+  | None -> 0
+  | Some _ when not (online from_peer) -> 0
+  | Some source ->
+      let n = Replica_net.size net in
+      let visited = Array.make n false in
+      visited.(source) <- true;
+      let queue = Queue.create () in
+      Queue.add source queue;
+      let reached = ref 1 in
+      while not (Queue.is_empty queue) do
+        let m = Queue.pop queue in
+        Array.iter
+          (fun peer ->
+            match Replica_net.member_of_peer net peer with
+            | Some m' when (not visited.(m')) && online peer ->
+                visited.(m') <- true;
+                incr reached;
+                Queue.add m' queue
+            | _ -> ())
+          (Replica_net.neighbors net ~member:m)
+      done;
+      !reached
+
+let test_net_flood_majority_offline_matches_bfs () =
+  (* Fault-tolerance degradation contract: with a majority of the ring
+     offline in long runs, ring connectivity breaks and [reached] must
+     equal what an independent BFS over online members computes — on a
+     bare ring (where the source is trapped in its own online segment)
+     and with chords (whose long-range links partially save reach). *)
+  let replicas = Array.init 30 (fun i -> 200 + i) in
+  (* Offline in runs of three out of every five members: 60% down. *)
+  let online p = (p - 200) mod 5 >= 3 in
+  let check ~chords =
+    let _, net = build ~seed:11 ~replicas ~chords in
+    let r = Replica_net.flood net ~online ~from_peer:203 in
+    let expected = reference_bfs net ~online ~from_peer:203 in
+    Alcotest.(check int)
+      (Printf.sprintf "reached matches BFS (chords=%d)" chords)
+      expected r.Replica_net.reached;
+    expected
+  in
+  let ring_only = check ~chords:0 in
+  let with_chords = check ~chords:3 in
+  (* The bare ring strands the source with its sole online segment
+     neighbour; chords must reach at least as far. *)
+  Alcotest.(check int) "ring segment of two" 2 ring_only;
+  Alcotest.(check bool) "chords save reach" true (with_chords >= ring_only);
+  (* Sanity: nobody ever exceeds the online population. *)
+  let online_total = Array.fold_left (fun a p -> if online p then a + 1 else a) 0 replicas in
+  Alcotest.(check bool) "bounded by online members" true (with_chords <= online_total)
+
 let test_net_flood_from_nonmember () =
   let replicas = [| 1; 2; 3 |] in
   let _, net = build ~seed:6 ~replicas ~chords:0 in
@@ -215,6 +270,8 @@ let () =
           Alcotest.test_case "neighbors are members" `Quick test_net_neighbors_are_members;
           Alcotest.test_case "flood counts duplicates" `Quick test_net_flood_counts_duplicates;
           Alcotest.test_case "flood with offline" `Quick test_net_flood_offline_members;
+          Alcotest.test_case "majority offline matches reference BFS" `Quick
+            test_net_flood_majority_offline_matches_bfs;
           Alcotest.test_case "flood from non-member" `Quick test_net_flood_from_nonmember;
           Alcotest.test_case "singleton" `Quick test_net_singleton;
           Alcotest.test_case "validation" `Quick test_net_validation;

@@ -191,6 +191,50 @@ let test_engine_schedule_at_past_rejected () =
         (fun () -> Engine.schedule_at e ~time:1. (fun _ -> ())));
   Engine.run engine ~until:10.
 
+let test_engine_handler_failure_context () =
+  (* A raising handler escapes [run] as [Handler_failed] carrying the
+     simulated time and, when wrapped with [labelled], the handler's
+     tag — so a crash deep in a long run is attributable without a
+     debugger. *)
+  let engine = Engine.create () in
+  Engine.schedule_at engine ~time:3.5
+    (Engine.labelled "test:boom" (fun _ -> failwith "boom"));
+  (try
+     Engine.run engine ~until:10.;
+     Alcotest.fail "expected Handler_failed"
+   with Engine.Handler_failed { time; label; exn } ->
+     Alcotest.(check (float 0.)) "time" 3.5 time;
+     Alcotest.(check string) "label" "test:boom" label;
+     Alcotest.(check bool) "original exn" true (exn = Failure "boom"));
+  (* Unlabelled handlers still get the time, under the generic tag. *)
+  let engine = Engine.create () in
+  Engine.schedule_at engine ~time:1.25 (fun _ -> failwith "anon");
+  (try
+     Engine.run engine ~until:10.;
+     Alcotest.fail "expected Handler_failed"
+   with Engine.Handler_failed { time; label; _ } ->
+     Alcotest.(check (float 0.)) "anon time" 1.25 time;
+     Alcotest.(check string) "anon label" "event" label)
+
+let test_engine_handler_failure_printer () =
+  let message =
+    try
+      let engine = Engine.create () in
+      Engine.schedule_at engine ~time:2.
+        (Engine.labelled "fault:crash" (fun _ -> failwith "no survivors"));
+      Engine.run engine ~until:10.;
+      "no exception"
+    with exn -> Printexc.to_string exn
+  in
+  let contains hay needle =
+    let nl = String.length needle and hl = String.length hay in
+    let rec go i = i + nl <= hl && (String.sub hay i nl = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "mentions label" true (contains message "fault:crash");
+  Alcotest.(check bool) "mentions time" true (contains message "t=2");
+  Alcotest.(check bool) "mentions cause" true (contains message "no survivors")
+
 (* ------------------------------------------------------------------ *)
 (* Metrics *)
 
@@ -414,6 +458,10 @@ let () =
             test_engine_periodic_no_drift;
           Alcotest.test_case "rejects negative delay" `Quick test_engine_rejects_negative_delay;
           Alcotest.test_case "rejects past schedule_at" `Quick test_engine_schedule_at_past_rejected;
+          Alcotest.test_case "handler failure context" `Quick
+            test_engine_handler_failure_context;
+          Alcotest.test_case "handler failure printer" `Quick
+            test_engine_handler_failure_printer;
         ] );
       ( "metrics",
         [

@@ -46,6 +46,19 @@ echo "wall_single_s=$wall_single wall_parallel_s=$wall_parallel"
 awk -v s="$wall_single" -v p="$wall_parallel" \
   'BEGIN { if (!(s > 0) || !(p > 0)) exit 1; exit (p <= 1.5 * s) ? 0 : 1 }'
 
+echo "== fault gate =="
+# The perf section also ran the fault contracts (in the same JSON):
+# an empty fault plan must reproduce the no-fault report field for
+# field, the 0 -> 50% crash sweep must have completed, and E21-small
+# (30% mass crash with anti-entropy repair) must have recovered —
+# finite time-to-recover, i.e. some post-fault bucket back within 5%
+# of the pre-fault service rate.  The -j 1 vs -j 4 byte-identity of
+# fault-enabled runs is a qcheck property in test_fault (runs under
+# "dune runtest" above).
+grep -q '"no_fault_equivalent": *true' BENCH_pdht.json
+grep -q '"crash_sweep"' BENCH_pdht.json
+grep -q '"fault_recovered": *true' BENCH_pdht.json
+
 echo "== parallel determinism =="
 # The runner's contract: any --jobs value yields byte-identical output.
 par=$(mktemp -d)
@@ -70,5 +83,16 @@ dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
 dune exec tools/validate_jsonl.exe -- "$out/net-metrics.jsonl" "$out/net-trace.jsonl"
 grep -q '"cat":"net"' "$out/net-trace.jsonl"
 grep -q 'net: sent=' "$out/net-report.txt"
+# And with fault injection on: the fault trace events must be present
+# and well-formed, the report must carry the fault block, and the
+# repair counters must be live.
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 240 \
+  --fault 'crash:0.3@120+60' --fault-repair 30 --fault-check \
+  --metrics-out "$out/fault-metrics.jsonl" --trace-out "$out/fault-trace.jsonl" \
+  > "$out/fault-report.txt"
+dune exec tools/validate_jsonl.exe -- "$out/fault-metrics.jsonl" "$out/fault-trace.jsonl"
+grep -q '"cat":"fault"' "$out/fault-trace.jsonl"
+grep -q 'fault: crashes=' "$out/fault-report.txt"
+grep -q 'repair: passes=' "$out/fault-report.txt"
 
 echo "CI OK"
