@@ -330,12 +330,15 @@ let parse_trace_filter spec =
   in
   convert [] tokens
 
-let run_simulate verbose log_level metrics_out trace_out trace_filter preset peers keys
-    repl stor fqry duration seed strategy key_ttl adaptive churn jobs replicate net
-    fault =
+let run_simulate verbose log_level metrics_out trace_out trace_filter trace_sample
+    timeline_out timeline_window preset peers keys repl stor fqry duration seed strategy
+    key_ttl adaptive churn jobs replicate net fault =
   setup_logging verbose log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else if replicate < 1 then `Error (false, "--replicate must be >= 1")
+  else if trace_sample < 1 then `Error (false, "--trace-sample must be >= 1")
+  else if (match timeline_window with Some w -> not (w > 0.) | None -> false) then
+    `Error (false, "--timeline-window must be positive")
   else
   match net with
   | Error msg -> `Error (false, msg)
@@ -377,7 +380,19 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
         if adaptive then System.Adaptive
         else match key_ttl with Some ttl -> System.Fixed ttl | None -> System.Model_derived
       in
-      let options = System.Options.make ~repl ~stor ~ttl_policy ?net ?fault () in
+      (* [--timeline-out] without an explicit window gets the default
+         sample cadence; a bare [--timeline-window] still lands the
+         summary in the printed report. *)
+      let timeline_width =
+        match (timeline_out, timeline_window) with
+        | _, Some w -> Some w
+        | Some _, None -> Some 60.
+        | None, None -> None
+      in
+      let options =
+        System.Options.make ~repl ~stor ~ttl_policy ?net ?fault
+          ?timeline_window:timeline_width ()
+      in
       let strategy =
         match strategy with
         | `Partial ->
@@ -386,11 +401,11 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
         | `No_index -> Strategy.No_index
       in
       if replicate > 1 then begin
-        if trace_out <> None || metrics_out <> None then
+        if trace_out <> None || metrics_out <> None || timeline_out <> None then
           `Error
             ( false,
-              "--trace-out/--metrics-out describe a single run; drop them or drop \
-               --replicate" )
+              "--trace-out/--metrics-out/--timeline-out describe a single run; drop \
+               them or drop --replicate" )
         else begin
           let seeds = List.init replicate (fun i -> seed + i) in
           let stats =
@@ -425,6 +440,7 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
       | Ok filter -> (
           let obs = Pdht_obs.Context.create () in
           let tracer = Pdht_obs.Context.tracer obs in
+          let run_label = scenario.Scenario.name ^ "/" ^ Strategy.label strategy in
           match
             match trace_out with
             | None -> Ok None
@@ -433,12 +449,28 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
                 | oc ->
                     Pdht_obs.Tracer.enable tracer;
                     Pdht_obs.Tracer.set_filter tracer filter;
+                    Pdht_obs.Tracer.set_sampling tracer trace_sample;
                     Pdht_obs.Tracer.add_sink tracer (Pdht_obs.Sink.jsonl oc);
+                    (* Keep the file usable if the run dies mid-way: the
+                       engine's snapshot tick drives registered
+                       flushers. *)
+                    Pdht_obs.Tracer.add_flusher tracer (fun () -> flush oc);
                     Ok (Some oc)
                 | exception Sys_error msg -> Error ("cannot open trace file: " ^ msg))
           with
           | Error msg -> `Error (false, msg)
           | Ok trace_channel -> (
+              (* Same interrupted-run insurance for metrics: rewrite the
+                 snapshot (sans final timestamp) on every flush tick; the
+                 post-run write below restores the exact final file. *)
+              (match metrics_out with
+              | None -> ()
+              | Some path ->
+                  Pdht_obs.Tracer.add_flusher tracer (fun () ->
+                      try
+                        Pdht_obs.Export.to_file ~run:run_label ~path
+                          (Pdht_obs.Registry.snapshot (Pdht_obs.Context.registry obs))
+                      with Sys_error _ -> ()));
               (* Single-spec batch: the runner executes it inline against
                  this obs context, so the tracer still sees every event,
                  and the seed derivation matches what batch runs use. *)
@@ -455,20 +487,33 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter preset pee
                   Logs.info (fun m ->
                       m "wrote %d trace events"
                         (Pdht_obs.Tracer.events_emitted tracer)));
-              match metrics_out with
-              | None -> `Ok ()
-              | Some path -> (
-                  let run_label =
-                    scenario.Scenario.name ^ "/" ^ Strategy.label strategy
-                  in
-                  match
-                    Pdht_obs.Export.to_file ~run:run_label
-                      ~time:scenario.Scenario.duration ~path
-                      (Pdht_obs.Registry.snapshot (Pdht_obs.Context.registry obs))
-                  with
-                  | () -> `Ok ()
-                  | exception Sys_error msg ->
-                      `Error (false, "cannot write metrics file: " ^ msg)))))
+              let timeline_status =
+                match (timeline_out, report.System.timeline) with
+                | None, _ -> Ok ()
+                | Some path, Some summary -> (
+                    match open_out path with
+                    | oc ->
+                        Pdht_obs.Timeline.write_jsonl oc summary;
+                        close_out oc;
+                        Ok ()
+                    | exception Sys_error msg ->
+                        Error ("cannot write timeline file: " ^ msg))
+                | Some _, None -> Error "timeline missing from report (internal error)"
+              in
+              match timeline_status with
+              | Error msg -> `Error (false, msg)
+              | Ok () -> (
+                  match metrics_out with
+                  | None -> `Ok ()
+                  | Some path -> (
+                      match
+                        Pdht_obs.Export.to_file ~run:run_label
+                          ~time:scenario.Scenario.duration ~path
+                          (Pdht_obs.Registry.snapshot (Pdht_obs.Context.registry obs))
+                      with
+                      | () -> `Ok ()
+                      | exception Sys_error msg ->
+                          `Error (false, "cannot write metrics file: " ^ msg))))))
 
 let simulate_cmd =
   let doc = "Run the event-driven simulator for one strategy on a news-style scenario." in
@@ -519,7 +564,31 @@ let simulate_cmd =
     Arg.(value & opt (some string) None
          & info [ "trace-filter" ] ~docv:"CATS"
              ~doc:"Comma-separated event categories to keep (e.g. \
-                   query,dht-lookup); default: all.")
+                   query,dht-lookup); default: all.  Filtering can orphan \
+                   child spans whose parent's category is dropped; the trace \
+                   analyzer only guarantees rooted trees on unfiltered \
+                   traces.")
+  in
+  let trace_sample_arg =
+    Arg.(value & opt int 1
+         & info [ "trace-sample" ] ~docv:"N"
+             ~doc:"Causally trace 1 in N queries/updates (default 1 = all): \
+                   sampled operations carry span ids linking every step to \
+                   its root, for $(b,trace_stats).")
+  in
+  let timeline_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "timeline-out" ] ~docv:"FILE"
+             ~doc:"Record a windowed timeline (queries, hits, messages, \
+                   latency, indexed keys per window) and write it to FILE as \
+                   JSONL.")
+  in
+  let timeline_window_arg =
+    Arg.(value & opt (some float) None
+         & info [ "timeline-window" ] ~docv:"S"
+             ~doc:"Timeline window width in simulated seconds (default 60); \
+                   also enables the timeline in the printed report without \
+                   $(b,--timeline-out).")
   in
   let preset_arg =
     Arg.(value & opt (some string) None
@@ -544,7 +613,8 @@ let simulate_cmd =
     Term.(
       ret
         (const run_simulate $ verbose_arg $ log_level_arg $ metrics_out_arg
-         $ trace_out_arg $ trace_filter_arg $ preset_arg $ peers $ keys $ repl $ stor
+         $ trace_out_arg $ trace_filter_arg $ trace_sample_arg $ timeline_out_arg
+         $ timeline_window_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
          $ churn_arg $ jobs_arg $ replicate_arg $ net_term $ fault_term))
 

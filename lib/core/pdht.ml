@@ -6,6 +6,7 @@ module Registry = Pdht_obs.Registry
 module Histogram = Pdht_obs.Histogram
 module Tracer = Pdht_obs.Tracer
 module Event = Pdht_obs.Event
+module Span = Pdht_obs.Span
 module Topology = Pdht_overlay.Topology
 module Replication = Pdht_overlay.Replication
 module Unstructured_search = Pdht_overlay.Unstructured_search
@@ -59,8 +60,8 @@ type t = {
      hooks: [net_rpc] per DHT forward hop, [net_cast] per broadcast
      message.  All three are [None] together. *)
   net : Net_hook.t option;
-  net_rpc : (src:int -> dst:int -> bool) option;
-  net_cast : (src:int -> dst:int -> bool) option;
+  net_rpc : (span:int option -> src:int -> dst:int -> bool) option;
+  net_cast : (span:int option -> src:int -> dst:int -> bool) option;
   mutable online : int -> bool;
   mutable key_ttl : float;
 }
@@ -169,11 +170,11 @@ let create ?obs ?net rng config =
       net_rpc =
         (match net with
         | None -> None
-        | Some h -> Some (fun ~src ~dst -> Net_hook.rpc h ~src ~dst));
+        | Some h -> Some (fun ~span ~src ~dst -> Net_hook.rpc ?span h ~src ~dst));
       net_cast =
         (match net with
         | None -> None
-        | Some h -> Some (fun ~src ~dst -> Net_hook.cast h ~src ~dst));
+        | Some h -> Some (fun ~span ~src ~dst -> Net_hook.cast ?span h ~src ~dst));
       online = (fun _ -> true);
       key_ttl = initial_ttl config;
     }
@@ -227,6 +228,21 @@ let empty_result = {
   insert_messages = 0;
 }
 
+(* Causal-span plumbing for the per-operation event tree.  Span ids are
+   plain ints (-1 = none): [child_id] allocates a fresh child of
+   [parent] only when the enclosing operation was sampled, so untraced
+   operations pay a single comparison.  [child_time] is the timestamp
+   child events carry: under the network model the operation's virtual
+   clock has advanced past the engine's [now] by the time the step
+   completes. *)
+let child_id t ~parent =
+  if parent < 0 then -1 else Span.id (Tracer.child_span t.obs.Obs.tracer ~parent)
+
+let opt_span span = if span < 0 then None else Some span
+
+let child_time t ~now =
+  match t.net with Some h -> Net_hook.now h | None -> now
+
 (* Pick a DHT entry point for a peer: itself when it is an online
    member, otherwise a random online member it knows (one contact
    message).  Returns the entry member, or [-1] when none is reachable;
@@ -253,46 +269,70 @@ let entry_contact ~peer entry = if entry = peer then 0 else 1
 (* Under the network model the contact message to a remote entry point
    is itself an RPC: when its retry budget fails, the peer cannot reach
    the index at all this query and the caller sees [-1], degrading
-   exactly like "no online member found". *)
-let reach_entry t ~peer entry =
+   exactly like "no online member found".  The contact is a traced step
+   of its own — a [Dht_lookup] child with [detail = "contact"] whose
+   message count (1, or 0 on failure) matches the [entry_contact]
+   charge; the RPC's per-attempt events parent under it. *)
+let reach_entry t ~now ~parent ~peer entry =
   if entry < 0 || entry = peer then entry
-  else
-    match t.net with
-    | None -> entry
-    | Some h -> if Net_hook.rpc h ~src:peer ~dst:entry then entry else -1
+  else begin
+    let span = child_id t ~parent in
+    let ok =
+      match t.net with
+      | None -> true
+      | Some h -> Net_hook.rpc ?span:(opt_span span) h ~src:peer ~dst:entry
+    in
+    let tracer = t.obs.Obs.tracer in
+    if span >= 0 && Tracer.active tracer Event.Dht_lookup then
+      Tracer.emit tracer
+        (Event.make ~time:(child_time t ~now) ~peer
+           ~messages:(if ok then 1 else 0)
+           ~outcome:(if ok then Event.Found else Event.Not_found)
+           ~detail:"contact" ~span ~parent Event.Dht_lookup);
+    if ok then entry else -1
+  end
 
 (* Per-backend lookup telemetry: hop/message histograms feed the
-   measured-vs-model cSIndx comparison in {!System.report}. *)
-let record_lookup t ~now ~peer ~key_index lookup =
+   measured-vs-model cSIndx comparison in {!System.report}.  [span] is
+   the lookup's own pre-allocated span id (the routing RPCs already
+   parented under it), [parent] its enclosing operation node. *)
+let record_lookup t ~now ~peer ~key_index ~span ~parent lookup =
   Histogram.record_int t.ins.hops_hist lookup.Dht.hops;
   Histogram.record_int t.ins.lookup_msgs_hist lookup.Dht.messages;
   (match lookup.Dht.responsible with
   | None -> Registry.incr t.ins.c_lookup_failed 1
   | Some _ -> ());
   let tracer = t.obs.Obs.tracer in
-  if Tracer.active tracer Event.Dht_lookup then
+  if span >= 0 && Tracer.active tracer Event.Dht_lookup then
     Tracer.emit tracer
       (Event.make ~time:now ~peer ~key_index ~hops:lookup.Dht.hops
          ~messages:lookup.Dht.messages
          ~outcome:
            (if lookup.Dht.responsible = None then Event.Not_found else Event.Found)
-         ~detail:t.ins.backend_label Event.Dht_lookup)
+         ~detail:t.ins.backend_label ~span ~parent Event.Dht_lookup)
 
-let record_ttl_reset t ~now ~peer ~key_index =
+let record_ttl_reset t ~now ~peer ~key_index ~parent =
   Registry.incr t.ins.c_ttl_reset 1;
   let tracer = t.obs.Obs.tracer in
-  if Tracer.active tracer Event.Ttl_reset then
-    Tracer.emit tracer (Event.make ~time:now ~peer ~key_index Event.Ttl_reset)
+  if parent >= 0 && Tracer.active tracer Event.Ttl_reset then
+    Tracer.emit tracer
+      (Event.make ~time:now ~peer ~key_index ~span:(child_id t ~parent) ~parent
+         Event.Ttl_reset)
 
 (* Search the index for a key: DHT routing to a responsible peer, local
    cache check there, replica-subnetwork flood on a local miss
    (Section 5.1 / Eq. 16).  TTL refresh on hits is the selection
    algorithm's "reset on query".  Returns
    (provider option, index_messages, flood_messages). *)
-let index_search t ~now ~entry ~key_index =
+let index_search t ~now ~entry ~key_index ~parent =
   let key = t.bitkeys.(key_index) in
-  let lookup = Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key in
-  record_lookup t ~now ~peer:entry ~key_index lookup;
+  let lookup_span = child_id t ~parent in
+  let lookup =
+    Dht.lookup ?span:(opt_span lookup_span) ?deliver:t.net_rpc t.dht t.rng
+      ~online:t.online ~source:entry ~key
+  in
+  record_lookup t ~now:(child_time t ~now) ~peer:entry ~key_index ~span:lookup_span
+    ~parent lookup;
   let index_messages = lookup.Dht.messages in
   let result =
     match lookup.Dht.responsible with
@@ -302,7 +342,8 @@ let index_search t ~now ~entry ~key_index =
           Storage.get_and_refresh t.stores.(responsible) ~key ~now ~ttl:t.key_ttl
         with
         | Some provider ->
-            record_ttl_reset t ~now ~peer:responsible ~key_index;
+            record_ttl_reset t ~now:(child_time t ~now) ~peer:responsible ~key_index
+              ~parent;
             (Some provider, index_messages, 0)
         | None ->
             (* Local miss: ask the other replicas.  Plain loop with an
@@ -311,6 +352,12 @@ let index_search t ~now ~entry ~key_index =
             let net = replica_net t key_index in
             let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
             let flood_messages = flood.Replica_net.messages in
+            let tracer = t.obs.Obs.tracer in
+            if parent >= 0 && Tracer.active tracer Event.Replica_flood then
+              Tracer.emit tracer
+                (Event.make ~time:(child_time t ~now) ~peer:responsible ~key_index
+                   ~messages:flood_messages ~span:(child_id t ~parent) ~parent
+                   Event.Replica_flood);
             let members = Replica_net.replicas net in
             let found = ref (-1) in
             let i = ref 0 in
@@ -323,7 +370,8 @@ let index_search t ~now ~entry ~key_index =
                   Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
                 with
                 | Some provider ->
-                    record_ttl_reset t ~now ~peer:member ~key_index;
+                    record_ttl_reset t ~now:(child_time t ~now) ~peer:member ~key_index
+                      ~parent;
                     found := provider
                 | None -> ()
             done;
@@ -338,18 +386,34 @@ let index_search t ~now ~entry ~key_index =
 
 (* Install a freshly resolved key on every online member of its replica
    group: one DHT routing to reach the group, then dissemination inside
-   the subnetwork (counted as flood traffic). *)
-let index_insert t ~now ~entry ~key_index ~provider =
+   the subnetwork (counted as flood traffic).  In the trace the insert
+   is an interior [Index_insert] node under [parent]: its message count
+   is the sum of its own [Dht_lookup] / [Replica_flood] leaves, so
+   per-tree leaf sums stay exact. *)
+let index_insert t ~now ~entry ~key_index ~provider ~parent =
   let key = t.bitkeys.(key_index) in
-  let lookup = Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key in
-  record_lookup t ~now ~peer:entry ~key_index lookup;
+  let insert_span = child_id t ~parent in
+  let lookup_span = child_id t ~parent:insert_span in
+  let lookup =
+    Dht.lookup ?span:(opt_span lookup_span) ?deliver:t.net_rpc t.dht t.rng
+      ~online:t.online ~source:entry ~key
+  in
+  record_lookup t ~now:(child_time t ~now) ~peer:entry ~key_index ~span:lookup_span
+    ~parent:insert_span lookup;
   Registry.incr t.ins.c_index_insert 1;
+  let tracer = t.obs.Obs.tracer in
   let messages =
     match lookup.Dht.responsible with
     | None -> lookup.Dht.messages
     | Some responsible ->
         let net = replica_net t key_index in
         let flood = Replica_net.flood net ~online:t.online ~from_peer:responsible in
+        if insert_span >= 0 && Tracer.active tracer Event.Replica_flood then
+          Tracer.emit tracer
+            (Event.make ~time:(child_time t ~now) ~peer:responsible ~key_index
+               ~messages:flood.Replica_net.messages
+               ~span:(child_id t ~parent:insert_span) ~parent:insert_span
+               Event.Replica_flood);
         Array.iter
           (fun member ->
             if t.online member then
@@ -357,16 +421,17 @@ let index_insert t ~now ~entry ~key_index ~provider =
           (Replica_net.replicas net);
         lookup.Dht.messages + flood.Replica_net.messages
   in
-  let tracer = t.obs.Obs.tracer in
-  if Tracer.active tracer Event.Index_insert then
+  if insert_span >= 0 && Tracer.active tracer Event.Index_insert then
     Tracer.emit tracer
-      (Event.make ~time:now ~peer:entry ~key_index ~messages Event.Index_insert);
+      (Event.make ~time:(child_time t ~now) ~peer:entry ~key_index ~messages
+         ~span:insert_span ~parent Event.Index_insert);
   messages
 
-let broadcast_search t ~now ~peer ~key_index =
+let broadcast_search t ~now ~peer ~key_index ~parent =
+  let bcast_span = child_id t ~parent in
   let outcome =
-    Unstructured_search.search ?deliver:t.net_cast t.unstructured t.rng ~online:t.online
-      ~source:peer ~item:key_index
+    Unstructured_search.search ?span:(opt_span bcast_span) ?deliver:t.net_cast
+      t.unstructured t.rng ~online:t.online ~source:peer ~item:key_index
   in
   (* A broadcast advances in synchronous waves; its wall-clock cost is
      one per-hop latency per wave, not per message. *)
@@ -381,11 +446,11 @@ let broadcast_search t ~now ~peer ~key_index =
   | Some _ -> Registry.incr t.ins.c_broadcast_found 1
   | None -> ());
   let tracer = t.obs.Obs.tracer in
-  if Tracer.active tracer Event.Broadcast then
+  if bcast_span >= 0 && Tracer.active tracer Event.Broadcast then
     Tracer.emit tracer
-      (Event.make ~time:now ~peer ~key_index ~messages
+      (Event.make ~time:(child_time t ~now) ~peer ~key_index ~messages
          ~outcome:(if provider = None then Event.Not_found else Event.Found)
-         Event.Broadcast);
+         ~span:bcast_span ~parent Event.Broadcast);
   (provider, messages)
 
 let charge t result =
@@ -400,10 +465,18 @@ let query t ~now ~peer ~key_index =
   if not (t.online peer) then empty_result
   else begin
     (match t.net with Some h -> Net_hook.begin_op h ~now | None -> ());
+    (* Root span for the query's causal tree, or -1 when this query is
+       sampled out (or tracing is off): every traced step below parents
+       under it, directly or through an interior node. *)
+    let root =
+      match Tracer.sample_root t.obs.Obs.tracer with
+      | Some s -> Span.id s
+      | None -> -1
+    in
     let result =
       match t.config.Config.strategy with
       | Strategy.No_index ->
-          let provider, messages = broadcast_search t ~now ~peer ~key_index in
+          let provider, messages = broadcast_search t ~now ~peer ~key_index ~parent:root in
           {
             empty_result with
             source = (if provider <> None then From_broadcast else Not_found);
@@ -411,13 +484,13 @@ let query t ~now ~peer ~key_index =
             broadcast_messages = messages;
           }
       | Strategy.Index_all -> (
-          let entry = reach_entry t ~peer (entry_point t peer) in
+          let entry = reach_entry t ~now ~parent:root ~peer (entry_point t peer) in
           if entry < 0 then empty_result
           else
             let contact = entry_contact ~peer entry in
             (
               let provider, index_messages, flood_messages =
-                index_search t ~now ~entry ~key_index
+                index_search t ~now ~entry ~key_index ~parent:root
               in
               let index_messages = index_messages + contact in
               match provider with
@@ -431,10 +504,12 @@ let query t ~now ~peer ~key_index =
                   { empty_result with index_messages;
                     replica_flood_messages = flood_messages }))
       | Strategy.Partial_index _ -> (
-          let entry = reach_entry t ~peer (entry_point t peer) in
+          let entry = reach_entry t ~now ~parent:root ~peer (entry_point t peer) in
           if entry < 0 then
             (* Cannot reach the index at all; degrade to broadcast. *)
-            let provider, messages = broadcast_search t ~now ~peer ~key_index in
+            let provider, messages =
+              broadcast_search t ~now ~peer ~key_index ~parent:root
+            in
             {
               empty_result with
               source = (if provider <> None then From_broadcast else Not_found);
@@ -445,7 +520,7 @@ let query t ~now ~peer ~key_index =
             let contact = entry_contact ~peer entry in
             (
               let provider, index_messages, flood_messages =
-                index_search t ~now ~entry ~key_index
+                index_search t ~now ~entry ~key_index ~parent:root
               in
               let index_messages = index_messages + contact in
               match provider with
@@ -454,7 +529,7 @@ let query t ~now ~peer ~key_index =
                     index_messages; replica_flood_messages = flood_messages }
               | None -> (
                   let provider, broadcast_messages =
-                    broadcast_search t ~now ~peer ~key_index
+                    broadcast_search t ~now ~peer ~key_index ~parent:root
                   in
                   match provider with
                   | None ->
@@ -462,7 +537,7 @@ let query t ~now ~peer ~key_index =
                         replica_flood_messages = flood_messages; broadcast_messages }
                   | Some p ->
                       let insert_messages =
-                        index_insert t ~now ~entry ~key_index ~provider:p
+                        index_insert t ~now ~entry ~key_index ~provider:p ~parent:root
                       in
                       {
                         source = From_broadcast;
@@ -477,7 +552,7 @@ let query t ~now ~peer ~key_index =
     (match t.net with Some h -> Net_hook.record_latency h | None -> ());
     Histogram.record_int t.ins.query_cost_hist (total_messages result);
     let tracer = t.obs.Obs.tracer in
-    if Tracer.active tracer Event.Query then
+    if root >= 0 && Tracer.active tracer Event.Query then
       Tracer.emit tracer
         (Event.make ~time:now ~peer ~key_index ~messages:(total_messages result)
            ~outcome:
@@ -485,7 +560,7 @@ let query t ~now ~peer ~key_index =
              | From_index -> Event.Hit
              | From_broadcast -> Event.Found
              | Not_found -> Event.Not_found)
-           Event.Query);
+           ~span:root Event.Query);
     result
   end
 
@@ -496,23 +571,44 @@ let update_key t rng ~now ~key_index =
   | Strategy.No_index | Strategy.Partial_index _ -> 0
   | Strategy.Index_all -> (
       (* Route the new value to a responsible peer, then rumor-spread it
-         through the replica subnetwork (Eq. 9's push/pull gossip). *)
+         through the replica subnetwork (Eq. 9's push/pull gossip).  In
+         the trace an update is its own rooted tree: a [Gossip] root
+         whose message count is the whole update's cost, with the
+         contact, the routing lookup and a [detail = "spread"] gossip
+         leaf as children. *)
       let issuer = Rng.int rng t.config.Config.num_peers in
       (match t.net with Some h -> Net_hook.begin_op h ~now | None -> ());
-      let entry = reach_entry t ~peer:issuer (entry_point t issuer) in
-      if entry < 0 then 0
+      let tracer = t.obs.Obs.tracer in
+      let root =
+        match Tracer.sample_root tracer with Some s -> Span.id s | None -> -1
+      in
+      let emit_root ~peer ~messages ~outcome =
+        if root >= 0 && Tracer.active tracer Event.Gossip then
+          Tracer.emit tracer
+            (Event.make ~time:now ~peer ~key_index ~messages ~outcome ~span:root
+               Event.Gossip)
+      in
+      let entry = reach_entry t ~now ~parent:root ~peer:issuer (entry_point t issuer) in
+      if entry < 0 then begin
+        emit_root ~peer:issuer ~messages:0 ~outcome:Event.Not_found;
+        0
+      end
       else
         let contact = entry_contact ~peer:issuer entry in
         (
           let key = t.bitkeys.(key_index) in
+          let lookup_span = child_id t ~parent:root in
           let lookup =
-            Dht.lookup ?deliver:t.net_rpc t.dht t.rng ~online:t.online ~source:entry ~key
+            Dht.lookup ?span:(opt_span lookup_span) ?deliver:t.net_rpc t.dht t.rng
+              ~online:t.online ~source:entry ~key
           in
-          record_lookup t ~now ~peer:entry ~key_index lookup;
+          record_lookup t ~now:(child_time t ~now) ~peer:entry ~key_index
+            ~span:lookup_span ~parent:root lookup;
           match lookup.Dht.responsible with
           | None ->
               let total = contact + lookup.Dht.messages in
               Metrics.charge t.metrics Metrics.Update_gossip total;
+              emit_root ~peer:issuer ~messages:total ~outcome:Event.Not_found;
               total
           | Some responsible ->
               let provider =
@@ -532,14 +628,15 @@ let update_key t rng ~now ~key_index =
                 (Replica_net.replicas net);
               Histogram.record_int t.ins.gossip_rounds_hist spread.Rumor.rounds;
               Registry.incr t.ins.c_gossip_spreads 1;
-              let tracer = t.obs.Obs.tracer in
-              if Tracer.active tracer Event.Gossip then
+              if root >= 0 && Tracer.active tracer Event.Gossip then
                 Tracer.emit tracer
-                  (Event.make ~time:now ~peer:responsible ~key_index
+                  (Event.make ~time:(child_time t ~now) ~peer:responsible ~key_index
                      ~hops:spread.Rumor.rounds ~messages:spread.Rumor.messages
+                     ~detail:"spread" ~span:(child_id t ~parent:root) ~parent:root
                      Event.Gossip);
               let total = contact + lookup.Dht.messages + spread.Rumor.messages in
               Metrics.charge t.metrics Metrics.Update_gossip total;
+              emit_root ~peer:responsible ~messages:total ~outcome:Event.Found;
               total))
 
 let rejoin_sync t rng ~now ~peer =
@@ -621,8 +718,10 @@ let recover_peer t rng ~peer =
    lost it.  One probe message per member scanned, one per copy.
 
    Returns (messages, content items repaired, index entries copied);
-   messages are charged to [Maintenance]. *)
-let repair_pass t rng ~now ~min_fraction =
+   messages are charged to [Maintenance].  [span] is the repair root
+   span id from the fault injector (when tracing): the pass's summary
+   [Maintenance] event parents under it. *)
+let repair_pass ?span t rng ~now ~min_fraction =
   if not (min_fraction > 0. && min_fraction <= 1.) then
     invalid_arg "Pdht.repair_pass: min_fraction must be in (0, 1]";
   let repl = t.config.Config.repl in
@@ -702,6 +801,13 @@ let repair_pass t rng ~now ~min_fraction =
             end
       done);
   Metrics.charge t.metrics Metrics.Maintenance !messages;
+  let tracer = t.obs.Obs.tracer in
+  if Tracer.active tracer Event.Maintenance then begin
+    let parent = match span with Some s -> s | None -> -1 in
+    Tracer.emit tracer
+      (Event.make ~time:now ~messages:!messages ~detail:"repair"
+         ~span:(child_id t ~parent) ~parent Event.Maintenance)
+  end;
   (!messages, !repaired_items, !repaired_entries)
 
 let store_live_count t ~now ~peer =

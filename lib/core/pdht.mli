@@ -31,8 +31,14 @@ val create : ?obs:Pdht_obs.Context.t -> ?net:Pdht_net.Hook.t -> Pdht_util.Rng.t 
     [dht.lookup_failures]/[broadcast.searches]/[broadcast.found]/
     [gossip.spreads], the per-category [messages.*] counters teed from
     {!Pdht_sim.Metrics}, and — when the tracer is enabled — typed
-    [Query]/[Dht_lookup]/[Broadcast]/[Index_insert]/[Ttl_reset]/[Gossip]
-    events.
+    [Query]/[Dht_lookup]/[Replica_flood]/[Broadcast]/[Index_insert]/
+    [Ttl_reset]/[Gossip] events.  Operations the tracer samples (see
+    {!Pdht_obs.Tracer.set_sampling}) additionally carry causal span
+    ids: the [Query] (or [Gossip], for updates) event is the root and
+    every step — entry contact, DHT routing, replica flood,
+    unstructured wave, re-insertion, per-attempt network events —
+    parents under it, forming a tree whose leaf message counts sum to
+    the root's total.
 
     [net] (default: none — reliable, instantaneous messages, bit-for-bit
     the pre-network-model behaviour) applies the network model to the
@@ -114,14 +120,18 @@ val recover_peer : t -> Pdht_util.Rng.t -> peer:int -> int
     [Maintenance]); the index cache stays empty until repair or organic
     re-insertion.  Free for non-members. *)
 
-val repair_pass : t -> Pdht_util.Rng.t -> now:float -> min_fraction:float -> int * int * int
+val repair_pass :
+  ?span:int -> t -> Pdht_util.Rng.t -> now:float -> min_fraction:float -> int * int * int
 (** One anti-entropy self-healing pass: top content items whose online
     replica count fell below [ceil (min_fraction *. repl)] back up to
     [repl] (copying from a surviving online replica), and re-copy index
     entries — with their *remaining* TTL, so repair never extends a
     key's life — from surviving group members to online members that
     lost them.  Returns (messages, content items repaired, index
-    entries copied); messages are charged to [Maintenance].
+    entries copied); messages are charged to [Maintenance].  [span] is
+    the repair root span id (from the fault injector's trace event):
+    when tracing, the pass emits a summary [Maintenance] event
+    ([detail = "repair"]) parented under it.
     @raise Invalid_argument unless [min_fraction] is in (0, 1]. *)
 
 val store_live_count : t -> now:float -> peer:int -> int

@@ -23,6 +23,7 @@ type options = {
   eviction : Pdht_dht.Storage.eviction;
   net : Pdht_net.Config.t option;
   fault : Pdht_fault.Plan.t option;
+  timeline_window : float option;
 }
 
 let default_options =
@@ -37,11 +38,12 @@ let default_options =
     eviction = Pdht_dht.Storage.Evict_soonest_expiry;
     net = None;
     fault = None;
+    timeline_window = None;
   }
 
 module Options = struct
   let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction
-      ?net ?fault () =
+      ?net ?fault ?timeline_window () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
     {
@@ -55,6 +57,8 @@ module Options = struct
       eviction = value d.eviction eviction;
       net = (match net with Some _ -> net | None -> d.net);
       fault = (match fault with Some _ -> fault | None -> d.fault);
+      timeline_window =
+        (match timeline_window with Some _ -> timeline_window | None -> d.timeline_window);
     }
 
   let with_repl repl options = { options with repl }
@@ -67,6 +71,8 @@ module Options = struct
   let without_net options = { options with net = None }
   let with_fault fault options = { options with fault = Some fault }
   let without_fault options = { options with fault = None }
+  let with_timeline_window w options = { options with timeline_window = Some w }
+  let without_timeline options = { options with timeline_window = None }
 end
 
 type sample = {
@@ -136,6 +142,7 @@ type report = {
   histograms : (string * Histogram.summary) list;
   net : net_summary option;
   fault : fault_summary option;
+  timeline : Pdht_obs.Timeline.summary option;
   samples : sample list;
 }
 
@@ -275,8 +282,12 @@ let run ?obs scenario strategy options =
   let pdht = Pdht.create ~obs ?net:net_hook build_rng config in
   let engine = Engine.create () in
   Engine.instrument engine obs.Obs.registry;
-  if Pdht_obs.Tracer.enabled obs.Obs.tracer then
-    Engine.emit_snapshots engine ~every:options.sample_every ~tracer:obs.Obs.tracer;
+  (* Snapshots also drive the tracer's registered flushers, so schedule
+     them whenever either consumer exists. *)
+  if
+    Pdht_obs.Tracer.enabled obs.Obs.tracer
+    || Pdht_obs.Tracer.has_flushers obs.Obs.tracer
+  then Engine.emit_snapshots engine ~every:options.sample_every ~tracer:obs.Obs.tracer;
   let churn = build_churn scenario churn_rng in
   Pdht_dht.Churn.instrument churn obs;
   Pdht_dht.Churn.attach churn engine;
@@ -337,6 +348,25 @@ let run ?obs scenario strategy options =
       samples_rev = [];
     }
   in
+  (* Optional windowed timeline: per-window workload counters plus an
+     indexed-keys gauge.  Slots are pre-resolved once — the per-query
+     feed must not pay a string lookup. *)
+  let timeline =
+    match options.timeline_window with
+    | None -> None
+    | Some width ->
+        let tl =
+          Pdht_obs.Timeline.create ~width
+            ~series:
+              [ "queries"; "hits"; "answered"; "messages"; "latency_ms";
+                "indexed_keys" ]
+        in
+        let id = Pdht_obs.Timeline.series_id tl in
+        Some
+          ( tl,
+            ( id "queries", id "hits", id "answered", id "messages",
+              id "latency_ms", id "indexed_keys" ) )
+  in
   (* Query workload. *)
   let query_gen =
     Pdht_work.Query_gen.create workload_rng ~num_peers:scenario.Scenario.num_peers
@@ -368,6 +398,22 @@ let run ?obs scenario strategy options =
           counters.from_broadcast <- counters.from_broadcast + 1;
           counters.bucket_answered <- counters.bucket_answered + 1
       | Pdht.Not_found -> counters.failed <- counters.failed + 1);
+      (match timeline with
+      | None -> ()
+      | Some (tl, (s_q, s_h, s_a, s_m, s_l, _)) ->
+          Pdht_obs.Timeline.add tl ~now s_q 1.;
+          (match result.Pdht.source with
+          | Pdht.From_index ->
+              Pdht_obs.Timeline.add tl ~now s_h 1.;
+              Pdht_obs.Timeline.add tl ~now s_a 1.
+          | Pdht.From_broadcast -> Pdht_obs.Timeline.add tl ~now s_a 1.
+          | Pdht.Not_found -> ());
+          Pdht_obs.Timeline.add tl ~now s_m
+            (float_of_int (Pdht.total_messages result));
+          (match net_hook with
+          | Some h ->
+              Pdht_obs.Timeline.add tl ~now s_l (1000. *. Pdht_net.Hook.elapsed h)
+          | None -> ()));
       match adaptive with
       | Some controller -> Adaptive.note_query controller result
       | None -> ()
@@ -398,6 +444,10 @@ let run ?obs scenario strategy options =
         else float_of_int counters.bucket_hits /. float_of_int counters.bucket_queries
       in
       let indexed_keys = if uses_dht then Pdht.indexed_key_count pdht ~now else 0 in
+      (match timeline with
+      | None -> ()
+      | Some (tl, (_, _, _, _, _, s_ik)) ->
+          Pdht_obs.Timeline.set tl ~now s_ik (float_of_int indexed_keys));
       let answer_rate =
         if counters.bucket_queries = 0 then 0.
         else float_of_int counters.bucket_answered /. float_of_int counters.bucket_queries
@@ -457,9 +507,9 @@ let run ?obs scenario strategy options =
               Registry.incr c_content_lost content);
           recover = (fun ~peer ~now:_ -> ignore (Pdht.recover_peer pdht fault_rng ~peer));
           repair =
-            (fun ~now ->
+            (fun ~span ~now ->
               let messages, items, entries =
-                Pdht.repair_pass pdht fault_rng ~now ~min_fraction
+                Pdht.repair_pass ?span pdht fault_rng ~now ~min_fraction
               in
               Registry.incr c_repair_messages messages;
               Registry.incr c_repaired_items items;
@@ -640,6 +690,7 @@ let run ?obs scenario strategy options =
     histograms;
     net = net_summary;
     fault = fault_summary;
+    timeline = Option.map (fun (tl, _) -> Pdht_obs.Timeline.summary tl) timeline;
     samples = List.rev counters.samples_rev;
   }
 
@@ -679,6 +730,9 @@ let pp_report ppf r =
         (match f.time_to_recover with
         | Some t -> Printf.sprintf "after %.0fs" t
         | None -> "never"));
+  (match r.timeline with
+  | None -> ()
+  | Some tl -> Format.fprintf ppf "  %a@," Pdht_obs.Timeline.pp tl);
   List.iter
     (fun (cat, n) ->
       if n > 0 then Format.fprintf ppf "  %-20s %d@," (Metrics.category_label cat) n)

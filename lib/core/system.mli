@@ -47,6 +47,13 @@ type options = {
           cache, content replicas and routing state; optional
           anti-entropy repair and invariant checking run periodically;
           and the report gains its [fault] summary. *)
+  timeline_window : float option;
+      (** windowed-timeline width in simulated seconds (default [None]
+          = no timeline, report structurally unchanged).  When set, the
+          run feeds per-window query/hit/answer counts, message costs
+          and latency sums (plus an indexed-keys gauge at sample ticks)
+          into a {!Pdht_obs.Timeline}, and the report gains its
+          [timeline] summary. *)
 }
 
 val default_options : options
@@ -65,6 +72,7 @@ module Options : sig
     ?eviction:Pdht_dht.Storage.eviction ->
     ?net:Pdht_net.Config.t ->
     ?fault:Pdht_fault.Plan.t ->
+    ?timeline_window:float ->
     unit ->
     options
   (** Unnamed arguments take their {!default_options} value. *)
@@ -79,6 +87,8 @@ module Options : sig
   val without_net : options -> options
   val with_fault : Pdht_fault.Plan.t -> options -> options
   val without_fault : options -> options
+  val with_timeline_window : float -> options -> options
+  val without_timeline : options -> options
 end
 
 type sample = {
@@ -165,6 +175,9 @@ type report = {
           would break the determinism contract below *)
   net : net_summary option;   (** see {!net_summary} *)
   fault : fault_summary option; (** see {!fault_summary} *)
+  timeline : Pdht_obs.Timeline.summary option;
+      (** windowed time series; present exactly when
+          [options.timeline_window] was set *)
   samples : sample list;      (** chronological *)
 }
 
@@ -189,6 +202,9 @@ val run :
     instrumentation ([engine.*]), churn telemetry ([churn.*]) and
     maintenance telemetry ([maintenance.*]).  Pass a context with an
     enabled tracer to capture typed events; periodic [Engine] snapshot
-    events are emitted every [options.sample_every] sim-seconds. *)
+    events are emitted every [options.sample_every] sim-seconds (and
+    the tracer's registered flushers run on the same schedule, also
+    when only flushers are registered).  Sampled operations carry
+    causal span ids — see {!Pdht.create} and {!Pdht_obs.Span}. *)
 
 val pp_report : Format.formatter -> report -> unit

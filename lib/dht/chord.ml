@@ -83,7 +83,7 @@ let in_open_interval ~a ~b x =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup ?deliver t ~online ~source ~key =
+let lookup ?span ?deliver t ~online ~source ~key =
   if source < 0 || source >= members t then invalid_arg "Chord.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
   else
@@ -99,7 +99,7 @@ let lookup ?deliver t ~online ~source ~key =
            network model; an exhausted retry budget aborts the routing
            (the caller degrades to its miss path). *)
         let forward src dst =
-          match deliver with None -> true | Some d -> d ~src ~dst
+          match deliver with None -> true | Some d -> d ~span ~src ~dst
         in
         (* Each iteration strictly advances clockwise toward the key, so
            the loop terminates after at most [n] hops. *)

@@ -39,7 +39,8 @@ type outcome = {
 }
 
 val lookup :
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   t ->
   online:(int -> bool) ->
   source:int ->

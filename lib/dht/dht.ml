@@ -39,20 +39,20 @@ let members t =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup ?deliver t rng ~online ~source ~key =
+let lookup ?span ?deliver t rng ~online ~source ~key =
   match t.impl with
   | Chord c ->
-      let o = Chord.lookup ?deliver c ~online ~source ~key in
+      let o = Chord.lookup ?span ?deliver c ~online ~source ~key in
       { responsible = o.Chord.responsible; messages = o.Chord.messages; hops = o.Chord.hops }
   | Pgrid g ->
-      let o = Pgrid.lookup ?deliver g rng ~online ~source ~key in
+      let o = Pgrid.lookup ?span ?deliver g rng ~online ~source ~key in
       { responsible = o.Pgrid.responsible; messages = o.Pgrid.messages; hops = o.Pgrid.hops }
   | Kademlia k ->
-      let o = Kademlia.lookup ?deliver k rng ~online ~source ~key in
+      let o = Kademlia.lookup ?span ?deliver k rng ~online ~source ~key in
       { responsible = o.Kademlia.responsible; messages = o.Kademlia.messages;
         hops = o.Kademlia.hops }
   | Pastry p ->
-      let o = Pastry.lookup ?deliver p rng ~online ~source ~key in
+      let o = Pastry.lookup ?span ?deliver p rng ~online ~source ~key in
       { responsible = o.Pastry.responsible; messages = o.Pastry.messages;
         hops = o.Pastry.hops }
 

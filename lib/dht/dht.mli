@@ -31,7 +31,8 @@ val members : t -> int
 type outcome = { responsible : int option; messages : int; hops : int }
 
 val lookup :
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -41,7 +42,10 @@ val lookup :
 (** [deliver] threads the network model's per-hop RPC verdict into the
     backend (see each backend's [lookup]); a failed delivery makes the
     lookup fail ([responsible = None]) or routes around the silent peer,
-    never raises.  Omitted = reliable, instantaneous semantics. *)
+    never raises.  Omitted = reliable, instantaneous semantics.
+    [span] is this routing's causal span id ({!Pdht_obs.Span}),
+    forwarded to every [deliver] call so the network layer can parent
+    its per-hop trace events. *)
 
 val responsible : t -> online:(int -> bool) -> Pdht_util.Bitkey.t -> int option
 

@@ -91,7 +91,7 @@ let closest_in_table t member key ~k =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup ?deliver t rng ~online ~source ~key =
+let lookup ?span ?deliver t rng ~online ~source ~key =
   ignore rng;
   if source < 0 || source >= members t then invalid_arg "Kademlia.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
@@ -140,7 +140,7 @@ let lookup ?deliver t rng ~online ~source ~key =
                      unresponsive nodes, no abort needed. *)
                   if
                     online m
-                    && (match deliver with None -> true | Some d -> d ~src:source ~dst:m)
+                    && (match deliver with None -> true | Some d -> d ~span ~src:source ~dst:m)
                   then begin
                     Hashtbl.replace contacted m ();
                     if improves m then best_online := Some m;

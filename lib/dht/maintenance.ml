@@ -39,11 +39,19 @@ let attach ?obs engine ~dht ~rng ~online ~metrics ~env ~interval =
         | Some hist -> Pdht_obs.Histogram.record_int hist !sent_this_tick
         | None -> ());
         let tracer = obs.Pdht_obs.Context.tracer in
-        if Pdht_obs.Tracer.active tracer Pdht_obs.Event.Maintenance then
+        if Pdht_obs.Tracer.active tracer Pdht_obs.Event.Maintenance then begin
+          (* Each maintenance tick is a causal root of its own (never
+             query-sampled): its probes answer to no query. *)
+          let span =
+            match Pdht_obs.Tracer.root_span tracer with
+            | Some s -> Pdht_obs.Span.id s
+            | None -> -1
+          in
           Pdht_obs.Tracer.emit tracer
             (Pdht_obs.Event.make
                ~time:(Pdht_sim.Engine.now engine)
-               ~messages:!sent_this_tick Pdht_obs.Event.Maintenance)
+               ~messages:!sent_this_tick ~span Pdht_obs.Event.Maintenance)
+        end
   in
   Pdht_sim.Engine.schedule_periodic engine ~first:interval ~every:interval tick
 

@@ -160,7 +160,7 @@ let responsible t ~online key =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup ?deliver t rng ~online ~source ~key =
+let lookup ?span ?deliver t rng ~online ~source ~key =
   ignore rng;
   if source < 0 || source >= members t then invalid_arg "Pastry.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
@@ -175,7 +175,7 @@ let lookup ?deliver t rng ~online ~source ~key =
         (* One RPC per successful forward under the network model; an
            exhausted retry budget stalls the routing (miss path). *)
         let forward src dst =
-          match deliver with None -> true | Some d -> d ~src ~dst
+          match deliver with None -> true | Some d -> d ~span ~src ~dst
         in
         (* Progress measure: (shared prefix length, numeric closeness)
            lexicographically — preferred hops grow the prefix, fallback

@@ -46,7 +46,8 @@ type outcome = {
 }
 
 val lookup :
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->

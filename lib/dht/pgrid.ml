@@ -143,7 +143,7 @@ let refs_at t ~peer ~level =
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
-let lookup ?deliver t rng ~online ~source ~key =
+let lookup ?span ?deliver t rng ~online ~source ~key =
   if source < 0 || source >= members t then invalid_arg "Pgrid.lookup: bad source";
   if not (online source) then { responsible = None; messages = 0; hops = 0 }
   else begin
@@ -182,7 +182,7 @@ let lookup ?deliver t rng ~online ~source ~key =
         (* Forward hop = one RPC under the network model; an exhausted
            retry budget fails the lookup like a dead level would. *)
         let delivered =
-          match deliver with None -> true | Some d -> d ~src:!current ~dst:!next
+          match deliver with None -> true | Some d -> d ~span ~src:!current ~dst:!next
         in
         if delivered then begin
           incr hops;

@@ -40,7 +40,8 @@ val refs_at : t -> peer:int -> level:int -> int array
 type outcome = { responsible : int option; messages : int; hops : int }
 
 val lookup :
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->

@@ -8,7 +8,7 @@ module Registry = Pdht_obs.Registry
 type actions = {
   crash : peer:int -> now:float -> unit;
   recover : peer:int -> now:float -> unit;
-  repair : now:float -> unit;
+  repair : span:int option -> now:float -> unit;
   check : now:float -> unit;
 }
 
@@ -53,10 +53,19 @@ let crashed t peer = t.crashed.(peer)
 let crashed_count t = t.crashed_count
 let first_fault_time t = Plan.first_fault_time t.plan
 
+(* Every fault action is a causal root of its own: crash and recover
+   events carry unsampled root spans, and a repair pass additionally
+   hands its root span to [actions.repair] so the repair work's
+   Maintenance events (and their network children) parent under it. *)
 let trace t ~now ~peer ~detail =
   match t.tracer with
   | Some tr when Tracer.active tr Event.Fault ->
-      Tracer.emit tr (Event.make ~time:now ~peer ~detail Event.Fault)
+      let span =
+        match Tracer.root_span tr with
+        | Some s -> Pdht_obs.Span.id s
+        | None -> -1
+      in
+      Tracer.emit tr (Event.make ~time:now ~peer ~detail ~span Event.Fault)
   | _ -> ()
 
 (* State flips before the action runs, so every predicate the action
@@ -180,7 +189,21 @@ let attach t engine actions =
              (match t.counters with
              | Some c -> Registry.incr c.repair_passes 1
              | None -> ());
-             actions.repair ~now:(Engine.now e))));
+             let now = Engine.now e in
+             let span =
+               match t.tracer with
+               | Some tr when Tracer.active tr Event.Fault -> (
+                   match Tracer.root_span tr with
+                   | Some s ->
+                       let id = Pdht_obs.Span.id s in
+                       Tracer.emit tr
+                         (Event.make ~time:now ~detail:"repair" ~span:id
+                            Event.Fault);
+                       Some id
+                   | None -> None)
+               | _ -> None
+             in
+             actions.repair ~span ~now)));
   if t.plan.Plan.check_invariants then
     Engine.schedule_periodic engine ~first:t.plan.Plan.check_every
       ~every:t.plan.Plan.check_every

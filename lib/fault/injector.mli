@@ -20,9 +20,11 @@ type actions = {
   recover : peer:int -> now:float -> unit;
       (** Rejoin-empty: rebuild routing via the join protocol, rejoin
           membership.  Called once per transition. *)
-  repair : now:float -> unit;
+  repair : span:int option -> now:float -> unit;
       (** One anti-entropy pass (only scheduled when the plan enables
-          repair). *)
+          repair).  [span] is the pass's causal root span id when
+          tracing is on ([None] otherwise): the pass's own trace
+          events should parent under it. *)
   check : now:float -> unit;
       (** One sampled invariant sweep; expected to raise on violation
           (only scheduled when the plan enables checking). *)
@@ -41,7 +43,8 @@ val create :
     [registry], the injector maintains counters [fault.crashes],
     [fault.recoveries], [fault.repair_passes] and gauge
     [fault.crashed_count]; with a [tracer], each transition emits a
-    [Fault] event ([detail] = "crash" / "recover"). *)
+    [Fault] event ([detail] = "crash" / "recover" / "repair") carrying
+    an unsampled root span. *)
 
 val attach : t -> Pdht_sim.Engine.t -> actions -> unit
 (** Schedule every plan event on the engine (call once, before the

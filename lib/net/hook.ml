@@ -37,18 +37,27 @@ let begin_op t ~now =
 let elapsed t = t.clock
 let now t = t.op_start +. t.clock
 
-let trace t ~src ~dst ~attempt ~dropped ~detail =
-  if Tracer.active t.tracer Event.Net then
+(* Each traced network message or RPC attempt gets its own child span
+   under [parent] (the enclosing lookup / wave / contact span), so the
+   offline analyzer can attribute retry ladders to the query that paid
+   for them.  Span allocation only happens when the event is actually
+   emitted, keeping untraced runs allocation-free.  A message with no
+   parent belongs to an unsampled operation and is not emitted at all:
+   that is what makes --trace-sample bound trace volume. *)
+let trace t ?(parent = -1) ~src ~dst ~attempt ~dropped ~detail () =
+  if parent >= 0 && Tracer.active t.tracer Event.Net then begin
+    let span = Pdht_obs.Span.id (Tracer.child_span t.tracer ~parent) in
     Tracer.emit t.tracer
       (Event.make ~time:(now t) ~peer:src ~key_index:dst ~hops:attempt
          ~outcome:(if dropped then Event.Dropped else Event.Completed)
-         ~detail Event.Net)
+         ~detail ~span ~parent Event.Net)
+  end
 
-let cast t ~src ~dst =
+let cast ?span:parent t ~src ~dst =
   Registry.incr t.stats.Stats.c_sent 1;
   if Link_model.drops t.link t.rng ~src ~dst ~now:(now t) then begin
     Registry.incr t.stats.Stats.c_dropped 1;
-    trace t ~src ~dst ~attempt:0 ~dropped:true ~detail:"send";
+    trace t ?parent ~src ~dst ~attempt:0 ~dropped:true ~detail:"send" ();
     false
   end
   else true
@@ -67,25 +76,25 @@ let leg t ~src ~dst =
     true
   end
 
-let rpc t ~src ~dst =
+let rpc ?span:parent t ~src ~dst =
   let retries = t.config.Config.rpc_retries in
   let rec attempt k =
     if k > 0 then Registry.incr t.stats.Stats.c_retried 1;
     let before = t.clock in
     let ok = leg t ~src ~dst && leg t ~src:dst ~dst:src in
     if ok then begin
-      trace t ~src ~dst ~attempt:k ~dropped:false ~detail:"rpc";
+      trace t ?parent ~src ~dst ~attempt:k ~dropped:false ~detail:"rpc" ();
       true
     end
     else begin
       (* A lost leg costs the attempt's full timeout; any latency the
          surviving first leg charged is subsumed by it. *)
       t.clock <- before +. Config.timeout_for_attempt t.config ~attempt:k;
-      trace t ~src ~dst ~attempt:k ~dropped:true ~detail:"rpc";
+      trace t ?parent ~src ~dst ~attempt:k ~dropped:true ~detail:"rpc" ();
       if k < retries then attempt (k + 1)
       else begin
         Registry.incr t.stats.Stats.c_timed_out 1;
-        trace t ~src ~dst ~attempt:k ~dropped:true ~detail:"timeout";
+        trace t ?parent ~src ~dst ~attempt:k ~dropped:true ~detail:"timeout" ();
         false
       end
     end

@@ -34,14 +34,19 @@ val begin_op : t -> now:float -> unit
 val elapsed : t -> float
 (** Virtual seconds accumulated since {!begin_op}. *)
 
-val cast : t -> src:int -> dst:int -> bool
+val now : t -> float
+(** [op_start + elapsed]: the virtual completion time of whatever the
+    operation just did — the timestamp traced child events carry. *)
+
+val cast : ?span:int -> t -> src:int -> dst:int -> bool
 (** One fire-and-forget message (flood / walk step semantics): counted
     as sent, subject to loss and partitions, no retries, no clock
     charge (broadcast time is per-round, see {!advance_rounds}).
     Returns false when the message is lost — the receiver never sees
-    it. *)
+    it.  [span] is the enclosing causal span id: when supplied and
+    tracing is on, the traced loss event becomes its child. *)
 
-val rpc : t -> src:int -> dst:int -> bool
+val rpc : ?span:int -> t -> src:int -> dst:int -> bool
 (** One request/response exchange (DHT hop semantics) on the virtual
     clock: each attempt sends a request and, if it arrives, a response;
     a loss on either leg costs the attempt's full timeout
@@ -49,7 +54,9 @@ val rpc : t -> src:int -> dst:int -> bool
     the round-trip added to the clock, or false — with every timeout
     charged and [net.messages_timed_out] bumped — when the retry
     budget is exhausted (caller degrades: treat the peer as
-    unreachable). *)
+    unreachable).  [span] parents the per-attempt trace events: each
+    attempt (and the final timeout) is emitted as its own child span
+    of the supplied id, stamped at its virtual completion time. *)
 
 val advance_rounds : t -> int -> unit
 (** Charge [n] sequential broadcast rounds to the clock: one latency

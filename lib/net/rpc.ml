@@ -10,7 +10,7 @@ let transport t = t.transport
 
 type call_state = { mutable settled : bool }
 
-let call t ~src ~dst ~handler ~on_reply =
+let call ?span t ~src ~dst ~handler ~on_reply =
   let stats = Transport.stats t.transport in
   let engine = Transport.engine t.transport in
   let state = { settled = false } in
@@ -18,10 +18,10 @@ let call t ~src ~dst ~handler ~on_reply =
     if not state.settled then begin
       if k > 0 then Registry.incr stats.Stats.c_retried 1;
       let (_ : bool) =
-        Transport.send t.transport ~src ~dst (fun _eng ->
+        Transport.send t.transport ?span ~src ~dst (fun _eng ->
             if (not state.settled) && handler () then
               let (_ : bool) =
-                Transport.send t.transport ~src:dst ~dst:src (fun eng ->
+                Transport.send t.transport ?span ~src:dst ~dst:src (fun eng ->
                     if not state.settled then begin
                       state.settled <- true;
                       on_reply ~ok:true eng

@@ -29,6 +29,7 @@ val create : Transport.t -> t
 val transport : t -> Transport.t
 
 val call :
+  ?span:int ->
   t ->
   src:int ->
   dst:int ->
@@ -41,4 +42,5 @@ val call :
     [on_reply ~ok:false] fires when every attempt timed out, or when
     [handler] returned false on a delivered attempt and the timeout
     budget subsequently ran out (a peer that refuses to answer looks
-    identical to a lost message from the caller's side). *)
+    identical to a lost message from the caller's side).  [span]
+    parents the per-attempt send trace events. *)

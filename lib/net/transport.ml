@@ -27,24 +27,29 @@ let link t = t.link
 let stats t = t.stats
 let engine t = t.engine
 
-let trace t ~src ~dst ~dropped =
-  if Tracer.active t.tracer Event.Net then
+let trace t ?(parent = -1) ~src ~dst ~dropped () =
+  if Tracer.active t.tracer Event.Net then begin
+    let span =
+      if parent >= 0 then Pdht_obs.Span.id (Tracer.child_span t.tracer ~parent)
+      else -1
+    in
     Tracer.emit t.tracer
       (Event.make ~time:(Engine.now t.engine) ~peer:src ~key_index:dst
          ~outcome:(if dropped then Event.Dropped else Event.Completed)
-         ~detail:"send" Event.Net)
+         ~detail:"send" ~span ~parent Event.Net)
+  end
 
-let send t ~src ~dst callback =
+let send t ?span:parent ~src ~dst callback =
   Registry.incr t.stats.Stats.c_sent 1;
   let now = Engine.now t.engine in
   if Link_model.drops t.link t.rng ~src ~dst ~now then begin
     Registry.incr t.stats.Stats.c_dropped 1;
-    trace t ~src ~dst ~dropped:true;
+    trace t ?parent ~src ~dst ~dropped:true ();
     false
   end
   else begin
     let latency = Link_model.sample_latency t.link t.rng in
-    trace t ~src ~dst ~dropped:false;
+    trace t ?parent ~src ~dst ~dropped:false ();
     Engine.schedule t.engine ~delay:latency callback;
     true
   end

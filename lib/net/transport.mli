@@ -23,12 +23,14 @@ val link : t -> Link_model.t
 val stats : t -> Stats.t
 val engine : t -> Pdht_sim.Engine.t
 
-val send : t -> src:int -> dst:int -> (Pdht_sim.Engine.t -> unit) -> bool
+val send :
+  t -> ?span:int -> src:int -> dst:int -> (Pdht_sim.Engine.t -> unit) -> bool
 (** Send one message from [src] to [dst]; the callback runs on the
     engine when the message arrives.  Returns false — and never runs
     the callback — when the message is dropped (loss coin or active
     partition).  Counts [net.messages_sent] always and
-    [net.messages_dropped] on a drop. *)
+    [net.messages_dropped] on a drop.  [span] is the enclosing causal
+    span id: the traced send event becomes its child. *)
 
 val delay : t -> float
 (** Sample one delivery latency from the link model without sending —

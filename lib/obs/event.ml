@@ -1,6 +1,7 @@
 type category =
   | Query
   | Dht_lookup
+  | Replica_flood
   | Broadcast
   | Index_insert
   | Ttl_reset
@@ -23,19 +24,23 @@ type t = {
   messages : int;
   outcome : outcome;
   detail : string;
+  span : int;
+  parent : int;
 }
 
 let make ?(peer = -1) ?(key_index = -1) ?(hops = 0) ?(messages = 0)
-    ?(outcome = Completed) ?(detail = "") ~time category =
-  { time; category; peer; key_index; hops; messages; outcome; detail }
+    ?(outcome = Completed) ?(detail = "") ?(span = -1) ?(parent = -1) ~time
+    category =
+  { time; category; peer; key_index; hops; messages; outcome; detail; span; parent }
 
 let all_categories =
-  [ Query; Dht_lookup; Broadcast; Index_insert; Ttl_reset; Gossip; Maintenance;
-    Churn; Engine; Net; Fault; Custom ]
+  [ Query; Dht_lookup; Replica_flood; Broadcast; Index_insert; Ttl_reset;
+    Gossip; Maintenance; Churn; Engine; Net; Fault; Custom ]
 
 let category_label = function
   | Query -> "query"
   | Dht_lookup -> "dht-lookup"
+  | Replica_flood -> "replica-flood"
   | Broadcast -> "broadcast"
   | Index_insert -> "index-insert"
   | Ttl_reset -> "ttl-reset"
@@ -77,7 +82,9 @@ let to_json e =
     @ opt "hops" e.hops 0 (fun h -> Json.Int h)
     @ opt "msgs" e.messages 0 (fun m -> Json.Int m)
     @ opt "outcome" e.outcome Completed (fun o -> Json.String (outcome_label o))
-    @ opt "detail" e.detail "" (fun d -> Json.String d))
+    @ opt "detail" e.detail "" (fun d -> Json.String d)
+    @ opt "span" e.span (-1) (fun s -> Json.Int s)
+    @ opt "parent" e.parent (-1) (fun p -> Json.Int p))
 
 let of_json json =
   match json with
@@ -119,6 +126,8 @@ let of_json json =
               messages = int_field "msgs" 0;
               outcome;
               detail;
+              span = int_field "span" (-1);
+              parent = int_field "parent" (-1);
             }
       | None, _ -> Error "event: missing or malformed \"t\""
       | _, None -> Error "event: missing or unknown \"cat\"")
@@ -132,6 +141,8 @@ let pp ppf e =
   if e.messages > 0 then Format.fprintf ppf " msgs=%d" e.messages;
   if e.outcome <> Completed then
     Format.fprintf ppf " %s" (outcome_label e.outcome);
+  if e.span >= 0 then Format.fprintf ppf " span=%d" e.span;
+  if e.parent >= 0 then Format.fprintf ppf " parent=%d" e.parent;
   if e.detail <> "" then Format.fprintf ppf " %s" e.detail
 
 let to_line e = Format.asprintf "%a" pp e

@@ -9,7 +9,10 @@
 type category =
   | Query         (** one end-to-end PDHT query; [messages] = total cost *)
   | Dht_lookup    (** one structured-overlay routing; [hops], [messages],
-                      [detail] = backend label *)
+                      [detail] = backend label (or ["contact"] for the
+                      entry-point hop of a query) *)
+  | Replica_flood (** one flood over a key's replica subnetwork;
+                      [messages] = flood cost *)
   | Broadcast     (** one unstructured search; [messages] = reach *)
   | Index_insert  (** key installed into the partial index *)
   | Ttl_reset     (** a stored key's expiry pushed out by a query hit *)
@@ -24,8 +27,11 @@ type category =
                       [Dropped] lost, [detail] = "send"/"rpc"/"timeout" *)
   | Fault         (** one fault-injection action on a peer; [detail] =
                       "crash"/"recover" *)
-  | Custom        (** free-form ({!Pdht_sim.Trace} compatibility);
-                      [detail] = the message *)
+  | Custom        (** free-form; [detail] = the message.  Deprecated for
+                      internal use: the simulator's own subsystems emit
+                      typed categories only, and [Custom] remains solely
+                      for external callers of the {!Pdht_sim.Trace}
+                      compatibility shim. *)
 
 type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
 
@@ -38,6 +44,8 @@ type t = {
   messages : int;   (** messages this event accounts for; 0 default *)
   outcome : outcome;
   detail : string;  (** category-specific label; "" default *)
+  span : int;       (** this event's own span id ({!Span}); -1 untraced *)
+  parent : int;     (** causing span's id; -1 for roots and untraced *)
 }
 
 val make :
@@ -47,11 +55,13 @@ val make :
   ?messages:int ->
   ?outcome:outcome ->
   ?detail:string ->
+  ?span:int ->
+  ?parent:int ->
   time:float ->
   category ->
   t
 (** Defaults: [peer = -1], [key_index = -1], [hops = 0], [messages = 0],
-    [outcome = Completed], [detail = ""]. *)
+    [outcome = Completed], [detail = ""], [span = -1], [parent = -1]. *)
 
 val all_categories : category list
 val category_label : category -> string

@@ -63,6 +63,55 @@ let to_file ?run ?time ~path snapshot =
       if Filename.check_suffix path ".csv" then write_csv channel snapshot
       else write_jsonl ?run ?time channel snapshot)
 
+(* Schema checks beyond well-formed JSON: trace-event lines (member
+   "cat") must round-trip through the event codec with sane span ids,
+   and timeline lines (member "tl") must carry a non-negative window
+   index, an ordered [t0, t1) range, and numeric series values. *)
+let validate_event json =
+  match Event.of_json json with
+  | Error _ as e -> e
+  | Ok e ->
+      if e.Event.span < -1 then Error "event: span must be >= -1"
+      else if e.Event.parent < -1 then Error "event: parent must be >= -1"
+      else if e.Event.span = -1 && e.Event.parent >= 0 then
+        Error "event: parent set on a span-less event"
+      else Ok ()
+
+let validate_timeline json =
+  let num name =
+    match Option.bind (Json.member name json) Json.to_float_opt with
+    | Some v -> Ok v
+    | None -> Error (Printf.sprintf "timeline: missing or non-numeric %S" name)
+  in
+  match Option.bind (Json.member "tl" json) Json.to_int_opt with
+  | None -> Error "timeline: \"tl\" must be an integer"
+  | Some k when k < 0 -> Error "timeline: negative window index"
+  | Some _ -> (
+      match (num "t0", num "t1") with
+      | Error _ as e, _ | _, (Error _ as e) -> e
+      | Ok t0, Ok t1 ->
+          if not (t1 > t0) then Error "timeline: t1 must exceed t0"
+          else
+            let bad_series =
+              match json with
+              | Json.Obj fields ->
+                  List.find_opt
+                    (fun (name, v) ->
+                      name <> "tl" && name <> "t0" && name <> "t1"
+                      && Json.to_float_opt v = None)
+                    fields
+              | _ -> None
+            in
+            (match bad_series with
+            | Some (name, _) ->
+                Error (Printf.sprintf "timeline: non-numeric series %S" name)
+            | None -> Ok ()))
+
+let validate_line json =
+  if Json.member "cat" json <> None then validate_event json
+  else if Json.member "tl" json <> None then validate_timeline json
+  else Ok ()
+
 let validate_jsonl_file ~path =
   let channel = open_in path in
   Fun.protect
@@ -76,7 +125,10 @@ let validate_jsonl_file ~path =
            let line = input_line channel in
            incr line_no;
            if String.trim line <> "" then
-             match Json.of_string line with
+             match
+               Result.bind (Json.of_string line) (fun json ->
+                   Result.map (fun () -> json) (validate_line json))
+             with
              | Ok _ -> incr valid
              | Error msg ->
                  result := Error (Printf.sprintf "line %d: %s" !line_no msg)

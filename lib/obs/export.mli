@@ -30,8 +30,18 @@ val to_file : ?run:string -> ?time:float -> path:string -> Registry.snapshot -> 
 (** Create/truncate [path] and write the snapshot; format chosen by
     extension ([.csv] for CSV, JSONL otherwise). *)
 
+val validate_line : Json.t -> (unit, string) result
+(** Validate one parsed JSONL line: trace events (member ["cat"]) must
+    decode through {!Event.of_json} with sane span/parent ids, timeline
+    windows (member ["tl"]) must match the {!Timeline} schema, and any
+    other object passes (metric lines carry no invariants beyond JSON
+    well-formedness). *)
+
 val validate_jsonl_file : path:string -> (int, string) result
 (** Parse every non-empty line of [path]; [Ok n] gives the number of
-    valid lines, [Error] names the first offending line.  Used by the
-    CI smoke script so the emitted telemetry is checked with the same
-    parser that tests use. *)
+    valid lines, [Error] names the first offending line.  Lines that
+    look like trace events (member ["cat"]) must additionally decode
+    through {!Event.of_json} with consistent span/parent ids, and
+    timeline lines (member ["tl"]) must match the {!Timeline} window
+    schema.  Used by the CI smoke script so the emitted telemetry is
+    checked with the same parser that tests use. *)

@@ -19,7 +19,8 @@ type result = {
 
 val search :
   ?scratch:Scratch.t ->
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   Topology.t ->
   online:(int -> bool) ->
   holds:(int -> bool) ->
@@ -43,7 +44,13 @@ val search :
     and then offered to [deliver]; a [false] verdict means the message
     was lost in flight, so the receiver neither answers nor forwards.
     Omitting [deliver] keeps the classic instantaneous-and-reliable
-    semantics, bit for bit. *)
+    semantics, bit for bit.
+
+    [span] is the causal span id of the wave this flood serves (see
+    [Pdht_obs.Span]); it is forwarded verbatim to every [deliver] call
+    so the network layer can parent its per-message trace events.  It
+    is a plain [int] precisely so this library needs no dependency on
+    the observability layer. *)
 
 val duplication_factor : result -> float
 (** [messages / peers_reached]; 0. when nothing was reached. *)

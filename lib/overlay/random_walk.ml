@@ -6,8 +6,8 @@ type result = {
   rounds : int;
 }
 
-let search ?scratch ?deliver topo rng ~online ~holds ~source ~walkers ~max_steps
-    ~check_every =
+let search ?scratch ?span ?deliver topo rng ~online ~holds ~source ~walkers
+    ~max_steps ~check_every =
   if walkers < 1 then invalid_arg "Random_walk.search: walkers must be >= 1";
   if check_every < 1 then invalid_arg "Random_walk.search: check_every must be >= 1";
   if not (online source) then
@@ -79,7 +79,7 @@ let search ?scratch ?deliver topo rng ~online ~holds ~source ~walkers ~max_steps
              it was: the step is paid for but the next peer never hears
              the query, exactly like a stalled walker for one round. *)
           let delivered =
-            match deliver with None -> true | Some d -> d ~src:p ~dst:q
+            match deliver with None -> true | Some d -> d ~span ~src:p ~dst:q
           in
           if delivered then begin
             positions.(w) <- q;

@@ -19,7 +19,8 @@ type result = {
 
 val search :
   ?scratch:Scratch.t ->
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   Topology.t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -41,7 +42,9 @@ val search :
     is counted but the walker stays put for that round (termination
     check-backs stay reliable — they model [LvCa02]'s bounded-overrun
     abstraction, not a concrete message exchange).  Omitted = reliable
-    delivery, unchanged semantics. *)
+    delivery, unchanged semantics.
+
+    [span] is forwarded to every [deliver] call (see {!Flood.search}). *)
 
 val duplication_factor : result -> float
 (** [messages / distinct_visited]; the empirical analogue of the

@@ -33,7 +33,8 @@ type outcome = {
 }
 
 val search :
-  ?deliver:(src:int -> dst:int -> bool) ->
+  ?span:int ->
+  ?deliver:(span:int option -> src:int -> dst:int -> bool) ->
   t ->
   Pdht_util.Rng.t ->
   online:(int -> bool) ->
@@ -42,7 +43,8 @@ val search :
   outcome
 (** Search for [item] starting at [source].  Counts every message of the
     underlying mechanism.  [deliver] threads the network model's
-    per-message loss decision into the mechanism (omitted = reliable). *)
+    per-message loss decision into the mechanism (omitted = reliable);
+    [span] is the wave's causal span id, forwarded to [deliver]. *)
 
 val expected_cost_model : peers:int -> repl:int -> dup:float -> float
 (** The analytic Eq. 6 for comparison against measured outcomes. *)

@@ -137,4 +137,8 @@ let emit_snapshots t ~every ~tracer =
       if Pdht_obs.Tracer.active tracer Pdht_obs.Event.Engine then
         Pdht_obs.Tracer.emit tracer
           (Pdht_obs.Event.make ~time:engine.now ~messages:engine.events_processed
-             ~hops:(Event_queue.size engine.queue) Pdht_obs.Event.Engine))
+             ~hops:(Event_queue.size engine.queue) Pdht_obs.Event.Engine);
+      (* Flush the JSONL channels behind the sinks on every snapshot
+         tick (even when the Engine category is filtered out), so an
+         interrupted or crashed run leaves usable trace files. *)
+      Pdht_obs.Tracer.flush tracer)

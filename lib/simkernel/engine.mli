@@ -72,5 +72,8 @@ val instrument : ?sample_every:int -> t -> Pdht_obs.Registry.t -> unit
 val emit_snapshots : t -> every:float -> tracer:Pdht_obs.Tracer.t -> unit
 (** Schedule a periodic [Engine]-category trace event every [every]
     simulated seconds carrying [messages] = events processed so far and
-    [hops] = queue depth.  A no-op while the tracer is disabled or
-    filters out [Engine] events. *)
+    [hops] = queue depth, then run the tracer's registered flushers
+    ({!Pdht_obs.Tracer.add_flusher}) so JSONL channels stay usable if
+    the run is interrupted.  The trace event is skipped while the
+    tracer is disabled or filters out [Engine] events; flushers run on
+    every tick regardless. *)

@@ -19,8 +19,13 @@ let enable t = Tracer.enable t.tracer
 let disable t = Tracer.disable t.tracer
 let enabled t = Tracer.enabled t.tracer
 
+let record_event t event = Tracer.emit t.tracer event
+
+(* Legacy free-form path: the last in-tree producer of [Event.Custom].
+   Kept for external callers; everything inside the simulator emits
+   typed categories (via [record_event] or a subsystem tracer). *)
 let record t ~time msg =
-  Tracer.emit t.tracer (Event.make ~time ~detail:msg Event.Custom)
+  record_event t (Event.make ~time ~detail:msg Event.Custom)
 
 (* A formatter that discards everything: the disabled branch of
    [recordf] must not touch shared global state (the old implementation

@@ -118,7 +118,7 @@ let run_injector ?registry plan ~peers ~until =
     {
       Injector.crash = (fun ~peer ~now -> log := (`Crash, peer, now) :: !log);
       recover = (fun ~peer ~now -> log := (`Recover, peer, now) :: !log);
-      repair = (fun ~now -> log := (`Repair, -1, now) :: !log);
+      repair = (fun ~span:_ ~now -> log := (`Repair, -1, now) :: !log);
       check = (fun ~now -> log := (`Check, -1, now) :: !log);
     }
   in

@@ -10,6 +10,8 @@ module Sink = Pdht_obs.Sink
 module Tracer = Pdht_obs.Tracer
 module Export = Pdht_obs.Export
 module Context = Pdht_obs.Context
+module Span = Pdht_obs.Span
+module Timeline = Pdht_obs.Timeline
 
 (* ------------------------------------------------------------------ *)
 (* JSON *)
@@ -118,6 +120,12 @@ let sample_events =
     Event.make ~time:0. Event.Engine;
     Event.make ~time:2.25 ~peer:8 ~outcome:Event.Miss Event.Query;
     Event.make ~time:3. ~detail:"with \"quotes\" and\nnewline" Event.Custom;
+    Event.make ~time:4. ~peer:1 ~key_index:5 ~messages:7 ~outcome:Event.Found
+      ~span:12 Event.Query;
+    Event.make ~time:4.5 ~peer:1 ~key_index:5 ~hops:3 ~messages:2 ~span:13
+      ~parent:12 Event.Dht_lookup;
+    Event.make ~time:4.6 ~peer:2 ~key_index:5 ~messages:19 ~span:14 ~parent:12
+      Event.Replica_flood;
   ]
 
 let test_event_json_roundtrip () =
@@ -396,6 +404,281 @@ let test_system_run_populates_histograms () =
     report.Pdht_core.System.total_messages total_teed
 
 (* ------------------------------------------------------------------ *)
+(* Spans + sampling *)
+
+let test_span_allocator () =
+  let a = Span.allocator () in
+  let r = Span.root a in
+  Alcotest.(check int) "first root id" 0 (Span.id r);
+  Alcotest.(check int) "root parent" Span.none (Span.parent r);
+  let c = Span.issue a ~parent:(Span.id r) in
+  Alcotest.(check int) "sequential ids" 1 (Span.id c);
+  Alcotest.(check int) "child parent" 0 (Span.parent c);
+  Alcotest.(check int) "next id peek" 2 (Span.next_id a);
+  Span.reset a;
+  Alcotest.(check int) "reset restarts at 0" 0 (Span.id (Span.root a));
+  Alcotest.(check bool) "is_none" true (Span.is_none Span.none);
+  Alcotest.(check bool) "0 is a real span" false (Span.is_none 0)
+
+let test_tracer_sampling () =
+  let tracer = Tracer.create ~enabled:true () in
+  (* Sink-less tracer: tracing is off, so no root and no counter tick. *)
+  Alcotest.(check bool) "sink-less -> None" true (Tracer.sample_root tracer = None);
+  Tracer.add_sink tracer (Sink.callback ignore);
+  Tracer.set_sampling tracer 3;
+  Alcotest.(check int) "sampling getter" 3 (Tracer.sampling tracer);
+  let picks = List.init 7 (fun _ -> Tracer.sample_root tracer <> None) in
+  Alcotest.(check (list bool)) "1-in-3 pattern, first op sampled"
+    [ true; false; false; true; false; false; true ]
+    picks;
+  (* Unsampled roots (maintenance/fault) ignore the sampling counter. *)
+  Alcotest.(check bool) "root_span always traced" true
+    (Tracer.root_span tracer <> None);
+  Tracer.disable tracer;
+  Alcotest.(check bool) "disabled -> None" true (Tracer.sample_root tracer = None);
+  Alcotest.(check bool) "disabled root_span -> None" true
+    (Tracer.root_span tracer = None);
+  Alcotest.check_raises "every < 1 rejected"
+    (Invalid_argument "Tracer.set_sampling: every must be >= 1") (fun () ->
+      Tracer.set_sampling tracer 0)
+
+let test_tracer_flushers () =
+  let tracer = Tracer.create () in
+  Alcotest.(check bool) "no flushers initially" false (Tracer.has_flushers tracer);
+  let log = ref [] in
+  Tracer.add_flusher tracer (fun () -> log := "a" :: !log);
+  Tracer.add_flusher tracer (fun () -> log := "b" :: !log);
+  Alcotest.(check bool) "has flushers" true (Tracer.has_flushers tracer);
+  Tracer.flush tracer;
+  Alcotest.(check (list string)) "registration order" [ "b"; "a" ] !log
+
+(* ------------------------------------------------------------------ *)
+(* Timeline *)
+
+let test_timeline_basic () =
+  let tl = Timeline.create ~width:10. ~series:[ "queries"; "messages" ] in
+  let s_q = Timeline.series_id tl "queries" in
+  let s_m = Timeline.series_id tl "messages" in
+  Timeline.add tl ~now:1. s_q 1.;
+  Timeline.add tl ~now:9.9 s_q 1.;
+  Timeline.add tl ~now:25. s_m 40.;
+  Timeline.set tl ~now:25. s_q 7.;
+  Timeline.set tl ~now:26. s_q 8.;
+  (* gauge: last write wins *)
+  let s = Timeline.summary tl in
+  Alcotest.(check (float 0.)) "width" 10. s.Timeline.width;
+  Alcotest.(check (list string)) "series" [ "queries"; "messages" ] s.Timeline.series;
+  (* Window 1 was never touched: only materialized windows appear. *)
+  Alcotest.(check (list int)) "touched windows only" [ 0; 2 ]
+    (List.map (fun w -> w.Timeline.index) s.Timeline.windows);
+  (match s.Timeline.windows with
+  | [ w0; w2 ] ->
+      Alcotest.(check (float 0.)) "w0 t0" 0. w0.Timeline.t0;
+      Alcotest.(check (float 0.)) "w0 t1" 10. w0.Timeline.t1;
+      Alcotest.(check (float 0.)) "w0 queries" 2. w0.Timeline.values.(s_q);
+      Alcotest.(check (float 0.)) "w2 queries gauge" 8. w2.Timeline.values.(s_q);
+      Alcotest.(check (float 0.)) "w2 messages" 40. w2.Timeline.values.(s_m)
+  | ws -> Alcotest.failf "expected 2 windows, got %d" (List.length ws));
+  (* JSONL lines parse back and carry the series as members. *)
+  List.iter
+    (fun line ->
+      match Json.of_string line with
+      | Error msg -> Alcotest.failf "timeline line %S: %s" line msg
+      | Ok json ->
+          Alcotest.(check bool) "has tl" true (Json.member "tl" json <> None);
+          Alcotest.(check bool) "validates" true
+            (Export.validate_line json = Ok ()))
+    (Timeline.jsonl_lines s)
+
+let test_timeline_rejects_bad_input () =
+  let bad name f = Alcotest.(check bool) name true (try ignore (f ()); false with Invalid_argument _ -> true) in
+  bad "non-positive width" (fun () -> Timeline.create ~width:0. ~series:[ "a" ]);
+  bad "empty series" (fun () -> Timeline.create ~width:1. ~series:[]);
+  bad "duplicate series" (fun () -> Timeline.create ~width:1. ~series:[ "a"; "a" ]);
+  let tl = Timeline.create ~width:1. ~series:[ "a" ] in
+  bad "unknown series" (fun () -> Timeline.series_id tl "b")
+
+(* ------------------------------------------------------------------ *)
+(* validate_line: span/parent sanity and timeline schema *)
+
+let test_validate_rejects_bad_lines () =
+  let reject name line =
+    let path = Filename.temp_file "pdht_obs" ".jsonl" in
+    let oc = open_out path in
+    output_string oc (line ^ "\n");
+    close_out oc;
+    (match Export.validate_jsonl_file ~path with
+    | Ok _ -> Alcotest.failf "%s: accepted %S" name line
+    | Error _ -> ());
+    Sys.remove path
+  in
+  reject "span < -1" {|{"t":1.0,"cat":"query","span":-2}|};
+  reject "parent < -1" {|{"t":1.0,"cat":"query","span":0,"parent":-7}|};
+  reject "parent without span" {|{"t":1.0,"cat":"query","parent":3}|};
+  reject "negative window index" {|{"tl":-1,"t0":0,"t1":10}|};
+  reject "t1 <= t0" {|{"tl":0,"t0":10,"t1":10}|};
+  reject "missing t1" {|{"tl":0,"t0":0}|};
+  reject "non-numeric series" {|{"tl":0,"t0":0,"t1":10,"queries":"many"}|};
+  (* And the happy path still passes through the same entry point. *)
+  let path = Filename.temp_file "pdht_obs" ".jsonl" in
+  let oc = open_out path in
+  output_string oc
+    ({|{"t":1.0,"cat":"query","span":0,"msgs":3}|} ^ "\n"
+   ^ {|{"t":1.2,"cat":"dht-lookup","span":1,"parent":0,"msgs":3}|} ^ "\n"
+   ^ {|{"tl":0,"t0":0,"t1":10,"queries":4}|} ^ "\n");
+  close_out oc;
+  (match Export.validate_jsonl_file ~path with
+  | Ok n -> Alcotest.(check int) "valid lines" 3 n
+  | Error msg -> Alcotest.failf "rejected good lines: %s" msg);
+  Sys.remove path
+
+(* ------------------------------------------------------------------ *)
+(* Traced system run: causal completeness + leaf-sum identity *)
+
+(* Mirrors tools/trace_stats --check: every span-carrying event must
+   reach a root, and an operation root's message total must equal the
+   sum of its message-bearing leaves. *)
+let check_causal_completeness events =
+  let spanned = List.filter (fun (e : Event.t) -> e.Event.span >= 0) events in
+  let by_span = Hashtbl.create 256 in
+  List.iter (fun (e : Event.t) -> Hashtbl.replace by_span e.Event.span e) spanned;
+  let rec root_of (e : Event.t) =
+    if e.Event.parent < 0 then Some e
+    else
+      match Hashtbl.find_opt by_span e.Event.parent with
+      | Some p -> root_of p
+      | None -> None
+  in
+  let orphans = ref 0 in
+  let trees = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      match root_of e with
+      | None -> incr orphans
+      | Some r ->
+          let members =
+            Option.value ~default:[] (Hashtbl.find_opt trees r.Event.span)
+          in
+          Hashtbl.replace trees r.Event.span (e :: members))
+    spanned;
+  let is_leaf (e : Event.t) =
+    e.Event.parent >= 0
+    &&
+    match e.Event.category with
+    | Event.Dht_lookup | Event.Replica_flood | Event.Broadcast | Event.Gossip ->
+        true
+    | _ -> false
+  in
+  let mismatches = ref 0 in
+  let roots = Hashtbl.create 64 in
+  List.iter
+    (fun (e : Event.t) ->
+      if e.Event.parent < 0 then Hashtbl.replace roots e.Event.span e)
+    spanned;
+  let query_roots = ref 0 and gossip_roots = ref 0 in
+  Hashtbl.iter
+    (fun span (root : Event.t) ->
+      match root.Event.category with
+      | Event.Query | Event.Gossip ->
+          (match root.Event.category with
+          | Event.Query -> incr query_roots
+          | _ -> incr gossip_roots);
+          let members = Option.value ~default:[] (Hashtbl.find_opt trees span) in
+          let leaf_sum =
+            List.fold_left
+              (fun acc e -> if is_leaf e then acc + e.Event.messages else acc)
+              0 members
+          in
+          if leaf_sum <> root.Event.messages then incr mismatches
+      | _ -> ())
+    roots;
+  (!orphans, !mismatches, !query_roots, !gossip_roots)
+
+let traced_scenario seed =
+  {
+    Pdht_work.Scenario.news_default with
+    Pdht_work.Scenario.num_peers = 150;
+    keys = 200;
+    duration = 150.;
+    seed;
+    (* short article lifetime so the run exercises Gossip update trees *)
+    update_mean_lifetime = Some 400.;
+  }
+
+let traced_options () =
+  Pdht_core.System.Options.make ~repl:10 ~stor:50
+    ~net:
+      {
+        Pdht_net.Config.default with
+        Pdht_net.Config.latency = Pdht_net.Config.Constant 0.02;
+        loss = 0.05;
+        rpc_timeout = 0.5;
+        rpc_retries = 2;
+      }
+    ()
+
+let traced_run scenario strategy =
+  let options = traced_options () in
+  let events = ref [] in
+  let tracer = Tracer.create ~enabled:true () in
+  Tracer.add_sink tracer (Sink.callback (fun e -> events := e :: !events));
+  let obs = Context.create ~tracer () in
+  let _report = Pdht_core.System.run ~obs scenario strategy options in
+  check_causal_completeness (List.rev !events)
+
+let test_traced_run_causal_completeness () =
+  let scenario = traced_scenario 21 in
+  let key_ttl = Pdht_core.System.derive_key_ttl scenario (traced_options ()) in
+  let orphans, mismatches, query_roots, _ =
+    traced_run scenario (Pdht_core.Strategy.Partial_index { key_ttl })
+  in
+  Alcotest.(check int) "partial: no orphan spans" 0 orphans;
+  Alcotest.(check int) "partial: leaf sums match roots" 0 mismatches;
+  Alcotest.(check bool) "partial: query trees present" true (query_roots > 0);
+  (* Updates only cost (and trace) under Index_all: replica groups must
+     be kept consistent, so each update gossips through its subnetwork. *)
+  let orphans, mismatches, query_roots, gossip_roots =
+    traced_run scenario Pdht_core.Strategy.Index_all
+  in
+  Alcotest.(check int) "index-all: no orphan spans" 0 orphans;
+  Alcotest.(check int) "index-all: leaf sums match roots" 0 mismatches;
+  Alcotest.(check bool) "index-all: query trees present" true (query_roots > 0);
+  Alcotest.(check bool) "index-all: gossip trees present" true (gossip_roots > 0)
+
+let test_system_timeline_report () =
+  let scenario = traced_scenario 22 in
+  let base = Pdht_core.System.Options.make ~repl:10 ~stor:50 () in
+  let key_ttl = Pdht_core.System.derive_key_ttl scenario base in
+  let strategy = Pdht_core.Strategy.Partial_index { key_ttl } in
+  let plain = Pdht_core.System.run scenario strategy base in
+  Alcotest.(check bool) "no timeline by default" true
+    (plain.Pdht_core.System.timeline = None);
+  let with_tl =
+    Pdht_core.System.run scenario strategy
+      (Pdht_core.System.Options.with_timeline_window 30. base)
+  in
+  match with_tl.Pdht_core.System.timeline with
+  | None -> Alcotest.fail "timeline missing from report"
+  | Some s ->
+      Alcotest.(check (float 0.)) "window width" 30. s.Timeline.width;
+      Alcotest.(check (list string)) "series"
+        [ "queries"; "hits"; "answered"; "messages"; "latency_ms"; "indexed_keys" ]
+        s.Timeline.series;
+      Alcotest.(check bool) "windows populated" true (s.Timeline.windows <> []);
+      let total_queries =
+        List.fold_left
+          (fun acc w -> acc +. w.Timeline.values.(0))
+          0. s.Timeline.windows
+      in
+      Alcotest.(check (float 0.)) "windowed queries sum to report total"
+        (float_of_int with_tl.Pdht_core.System.queries)
+        total_queries;
+      (* Enabling the timeline must not perturb the simulation. *)
+      Alcotest.(check int) "same total messages"
+        plain.Pdht_core.System.total_messages
+        with_tl.Pdht_core.System.total_messages
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let qcheck_tests =
@@ -426,6 +709,79 @@ let qcheck_tests =
         Registry.incr (Registry.counter dst "c") y;
         Registry.merge_into src ~into:dst;
         Registry.counter_value_by_name dst "c" = Some (x + y));
+    (* Every category x outcome, all fields including span/parent, must
+       survive the JSONL codec byte-for-byte. *)
+    Test.make ~name:"event codec round-trips every category and outcome" ~count:400
+      (let gen =
+         let base =
+           Gen.pair
+             (Gen.pair (Gen.oneofl Event.all_categories)
+                (Gen.oneofl
+                   [
+                     Event.Hit;
+                     Event.Miss;
+                     Event.Found;
+                     Event.Not_found;
+                     Event.Completed;
+                     Event.Dropped;
+                   ]))
+             (Gen.pair (Gen.int_range (-1) 500) (Gen.int_range (-1) 500))
+         in
+         let rest =
+           Gen.pair
+             (Gen.pair (Gen.int_range 0 64) (Gen.int_range 0 100_000))
+             (Gen.pair (Gen.int_range (-1) 10_000) (Gen.int_range (-1) 10_000))
+         in
+         Gen.map
+           (fun (((cat, out), (peer, key_index)), ((hops, messages), (span, parent))) ->
+             let parent = if span < 0 then -1 else parent in
+             Event.make
+               ~time:(float_of_int (37 * (hops + messages)) /. 16.)
+               ~peer ~key_index ~hops ~messages ~outcome:out
+               ~detail:(if messages mod 3 = 0 then "x\"y\nz" else "")
+               ~span ~parent cat)
+           (Gen.pair base rest)
+       in
+       make ~print:Event.to_line gen)
+      (fun ev ->
+        match Json.of_string (Json.to_string (Event.to_json ev)) with
+        | Error _ -> false
+        | Ok json -> (
+            match Event.of_json json with
+            | Error _ -> false
+            | Ok ev' -> ev = ev' && Event.to_line ev = Event.to_line ev'));
+    (* Sampled traces are part of the determinism contract: the same
+       single-spec batch must produce byte-identical trace files no
+       matter how many worker domains the runner was given. *)
+    Test.make ~name:"sampled traces byte-identical at -j1 vs -j4" ~count:2
+      (int_range 0 10_000)
+      (fun seed ->
+        let scenario =
+          {
+            (traced_scenario seed) with
+            Pdht_work.Scenario.num_peers = 100;
+            keys = 150;
+            duration = 100.;
+          }
+        in
+        let spec =
+          Pdht_core.Run_spec.make ~options:(traced_options ()) scenario
+        in
+        let trace jobs =
+          let buf = Buffer.create 8192 in
+          let tracer = Tracer.create ~enabled:true () in
+          Tracer.set_sampling tracer 4;
+          Tracer.add_sink tracer
+            (Sink.callback (fun e ->
+                 Buffer.add_string buf (Event.to_line e);
+                 Buffer.add_char buf '\n'));
+          let obs = Context.create ~tracer () in
+          let results = Pdht_core.Runner.run_all ~jobs ~obs [ spec ] in
+          ignore (Pdht_core.Run_result.reports_exn results);
+          Buffer.contents buf
+        in
+        let t1 = trace 1 in
+        String.length t1 > 0 && t1 = trace 4);
   ]
 
 let () =
@@ -455,7 +811,19 @@ let () =
           Alcotest.test_case "labels bijective" `Quick test_event_labels_bijective;
         ] );
       ( "tracer",
-        [ Alcotest.test_case "filter and ring" `Quick test_tracer_filter_and_ring ] );
+        [
+          Alcotest.test_case "filter and ring" `Quick test_tracer_filter_and_ring;
+          Alcotest.test_case "sampling" `Quick test_tracer_sampling;
+          Alcotest.test_case "flushers" `Quick test_tracer_flushers;
+        ] );
+      ( "span",
+        [ Alcotest.test_case "allocator" `Quick test_span_allocator ] );
+      ( "timeline",
+        [
+          Alcotest.test_case "windows, counters, gauges" `Quick test_timeline_basic;
+          Alcotest.test_case "rejects bad input" `Quick
+            test_timeline_rejects_bad_input;
+        ] );
       ( "registry",
         [
           Alcotest.test_case "snapshot diff reset" `Quick
@@ -467,6 +835,8 @@ let () =
         [
           Alcotest.test_case "jsonl and csv" `Quick test_export_jsonl_and_csv;
           Alcotest.test_case "validate file" `Quick test_export_validate_file;
+          Alcotest.test_case "validate rejects bad span/timeline lines" `Quick
+            test_validate_rejects_bad_lines;
         ] );
       ( "metrics-tee",
         [ Alcotest.test_case "registry agrees with total" `Quick test_metrics_tee_agrees ]
@@ -475,6 +845,10 @@ let () =
         [
           Alcotest.test_case "run populates histograms" `Quick
             test_system_run_populates_histograms;
+          Alcotest.test_case "traced run is causally complete" `Quick
+            test_traced_run_causal_completeness;
+          Alcotest.test_case "timeline lands in the report" `Quick
+            test_system_timeline_report;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

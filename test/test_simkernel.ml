@@ -335,6 +335,29 @@ let test_trace_clear () =
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.length tr)
 
+let test_trace_record_event_typed () =
+  let module Event = Pdht_obs.Event in
+  let tr = Trace.create () in
+  Trace.enable tr;
+  Trace.record_event tr
+    (Event.make ~time:3. ~peer:4 ~key_index:9 ~hops:2 ~messages:5 ~span:1
+       Event.Dht_lookup);
+  Trace.record tr ~time:4. "legacy";
+  (match Trace.typed_events tr with
+  | [ typed; legacy ] ->
+      Alcotest.(check bool) "typed category kept" true
+        (typed.Event.category = Event.Dht_lookup);
+      Alcotest.(check int) "span kept" 1 typed.Event.span;
+      Alcotest.(check bool) "legacy goes through Custom" true
+        (legacy.Event.category = Event.Custom)
+  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
+  (* Typed events render via Event.to_line; Custom stays free-form. *)
+  match Trace.events tr with
+  | [ (3., line); (4., "legacy") ] ->
+      Alcotest.(check bool) "rendered line mentions category" true
+        (String.length line > 0)
+  | _ -> Alcotest.fail "rendered events shape"
+
 (* ------------------------------------------------------------------ *)
 (* Properties *)
 
@@ -479,6 +502,8 @@ let () =
           Alcotest.test_case "records when enabled" `Quick test_trace_records_when_enabled;
           Alcotest.test_case "capacity trim" `Quick test_trace_capacity_trim;
           Alcotest.test_case "clear" `Quick test_trace_clear;
+          Alcotest.test_case "record_event typed migration" `Quick
+            test_trace_record_event_typed;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

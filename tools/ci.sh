@@ -95,4 +95,31 @@ grep -q '"cat":"fault"' "$out/fault-trace.jsonl"
 grep -q 'fault: crashes=' "$out/fault-report.txt"
 grep -q 'repair: passes=' "$out/fault-report.txt"
 
+echo "== causal tracing gate =="
+# Every sampled query in an unfiltered trace must reconstruct as a
+# rooted span tree: zero orphan spans, and each root's message count
+# equal to the sum over its message-bearing leaves.  trace_stats
+# --check turns both invariants (plus "at least one tree") into an
+# exit code.  The timeline JSONL must pass the same validator the
+# tests use.
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
+  --latency 0.02 --loss 0.1 --rpc-timeout 0.5 --rpc-retries 2 \
+  --trace-out "$out/causal-trace.jsonl" --trace-sample 1 \
+  --timeline-out "$out/timeline.jsonl" --timeline-window 30 \
+  > "$out/causal-report.txt"
+dune exec tools/trace_stats.exe -- --check "$out/causal-trace.jsonl"
+dune exec tools/validate_jsonl.exe -- "$out/causal-trace.jsonl" "$out/timeline.jsonl"
+grep -q '"tl":0' "$out/timeline.jsonl"
+grep -q 'timeline: windows=' "$out/causal-report.txt"
+
+echo "== tracing overhead gate =="
+# The perf section measures the cost of the tracing plumbing with the
+# tracer disabled (the default for every run that doesn't pass
+# --trace-out): it must stay within 2% of the pre-instrumentation
+# baseline, re-measured in the same process to cancel host noise.
+grep -q '"tracing_disabled_within_2pct": *true' BENCH_pdht.json
+frac=$(grep -o '"disabled_overhead_frac": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
+echo "disabled_overhead_frac=$frac"
+awk -v f="$frac" 'BEGIN { exit (f <= 0.02) ? 0 : 1 }'
+
 echo "CI OK"

@@ -1,0 +1,368 @@
+(* Offline causal-trace analyzer: reconstruct span trees from a trace
+   JSONL file (written by `pdht simulate --trace-out`), verify causal
+   completeness, and attribute messages and virtual latency to
+   subsystems.
+
+   Checks:
+     - every span-carrying event with a parent can reach a root
+       (orphans = 0 on an unfiltered trace);
+     - per tree, the message-bearing leaves sum exactly to the root's
+       message total (the simulator's per-query accounting identity).
+
+   Attribution buckets mirror the paper's cost decomposition:
+     index-routing   DHT routing + replica floods (cSIndx's world)
+     unstructured    broadcast waves (cSUnstr's world)
+     update          gossip spread (cUpd's world)
+     repair          maintenance / anti-entropy passes
+     net-retry       network attempts beyond the first, drops, timeouts
+
+   Latency is attributed by time deltas inside each tree: events are
+   sorted by timestamp and each gap is charged to the subsystem of the
+   event that closes it (a completed first-attempt network event counts
+   toward its parent's subsystem; retries, drops and timeouts toward
+   net-retry).  Exit 1 under --check when causal completeness or the
+   leaf-sum identity fails. *)
+
+module Event = Pdht_obs.Event
+module Json = Pdht_obs.Json
+
+type tree = {
+  root : Event.t;
+  mutable events : Event.t list; (* root included *)
+}
+
+type totals = {
+  mutable index_routing : float;
+  mutable unstructured : float;
+  mutable update : float;
+  mutable repair : float;
+  mutable net_retry : float;
+  mutable other : float;
+}
+
+let zero_totals () =
+  { index_routing = 0.; unstructured = 0.; update = 0.; repair = 0.; net_retry = 0.;
+    other = 0. }
+
+let bucket_add t bucket v =
+  match bucket with
+  | `Index -> t.index_routing <- t.index_routing +. v
+  | `Unstructured -> t.unstructured <- t.unstructured +. v
+  | `Update -> t.update <- t.update +. v
+  | `Repair -> t.repair <- t.repair +. v
+  | `Net -> t.net_retry <- t.net_retry +. v
+  | `Other -> t.other <- t.other +. v
+
+let totals_sum t =
+  t.index_routing +. t.unstructured +. t.update +. t.repair +. t.net_retry +. t.other
+
+(* Message-bearing leaf categories: the only nodes whose [messages]
+   field enters the leaf-sum identity.  Interior nodes (Query, Gossip
+   roots, Index_insert) carry aggregates of their own leaves. *)
+let is_message_leaf (e : Event.t) =
+  e.Event.parent >= 0
+  &&
+  match e.Event.category with
+  | Event.Dht_lookup | Event.Replica_flood | Event.Broadcast | Event.Gossip -> true
+  | _ -> false
+
+let message_bucket (e : Event.t) =
+  match e.Event.category with
+  | Event.Dht_lookup | Event.Replica_flood -> `Index
+  | Event.Broadcast -> `Unstructured
+  | Event.Gossip -> `Update
+  | Event.Maintenance -> `Repair
+  | _ -> `Other
+
+(* Latency bucket; [parent_category] resolves a delivered first-attempt
+   network event to the subsystem doing the waiting. *)
+let latency_bucket ~parent_category (e : Event.t) =
+  match e.Event.category with
+  | Event.Net ->
+      if
+        e.Event.outcome = Event.Dropped
+        || e.Event.detail = "timeout"
+        || e.Event.hops > 0 (* attempt number: > 0 means a retry *)
+      then `Net
+      else (
+        match parent_category e with
+        | Some (Event.Dht_lookup | Event.Replica_flood | Event.Index_insert) -> `Index
+        | Some Event.Broadcast -> `Unstructured
+        | Some Event.Gossip -> `Update
+        | Some (Event.Maintenance | Event.Fault) -> `Repair
+        | _ -> `Net)
+  | Event.Dht_lookup | Event.Replica_flood | Event.Index_insert | Event.Ttl_reset ->
+      `Index
+  | Event.Broadcast -> `Unstructured
+  | Event.Gossip -> `Update
+  | Event.Maintenance | Event.Fault -> `Repair
+  | Event.Query | Event.Engine | Event.Churn | Event.Custom -> `Other
+
+let read_events path =
+  let ic = open_in path in
+  let events = ref [] in
+  let bad = ref None in
+  let lineno = ref 0 in
+  (try
+     while true do
+       let line = input_line ic in
+       incr lineno;
+       let trimmed = String.trim line in
+       if trimmed <> "" then
+         match Json.of_string trimmed with
+         | Error msg ->
+             if !bad = None then bad := Some (!lineno, "bad JSON: " ^ msg)
+         | Ok json -> (
+             (* Only event lines ("cat" member) are trace records; skip
+                metrics / timeline lines so mixed files still analyze. *)
+             match Json.member "cat" json with
+             | None -> ()
+             | Some _ -> (
+                 match Event.of_json json with
+                 | Ok e -> events := e :: !events
+                 | Error msg ->
+                     if !bad = None then bad := Some (!lineno, msg)))
+     done
+   with End_of_file -> ());
+  close_in ic;
+  match !bad with
+  | Some (n, msg) -> Error (Printf.sprintf "%s:%d: %s" path n msg)
+  | None -> Ok (List.rev !events)
+
+let () =
+  let check = ref false in
+  let top = ref 5 in
+  let path = ref None in
+  let usage = "usage: trace_stats [--check] [--top N] TRACE.jsonl" in
+  let rec parse = function
+    | [] -> ()
+    | "--check" :: rest ->
+        check := true;
+        parse rest
+    | "--top" :: n :: rest ->
+        (match int_of_string_opt n with
+        | Some v when v >= 0 -> top := v
+        | _ ->
+            prerr_endline "--top expects a non-negative integer";
+            exit 2);
+        parse rest
+    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
+        path := Some arg;
+        parse rest
+    | arg :: _ ->
+        Printf.eprintf "unexpected argument %S\n%s\n" arg usage;
+        exit 2
+  in
+  parse (List.tl (Array.to_list Sys.argv));
+  let path =
+    match !path with
+    | Some p -> p
+    | None ->
+        prerr_endline usage;
+        exit 2
+  in
+  let events =
+    match read_events path with
+    | Ok evs -> evs
+    | Error msg ->
+        prerr_endline msg;
+        exit 1
+    | exception Sys_error msg ->
+        prerr_endline msg;
+        exit 1
+  in
+  let spanned = List.filter (fun (e : Event.t) -> e.Event.span >= 0) events in
+  (* Span id -> event.  Ids are unique by construction (sequential
+     allocator); a duplicate would be a codec or producer bug. *)
+  let by_span = Hashtbl.create (List.length spanned) in
+  let duplicates = ref 0 in
+  List.iter
+    (fun (e : Event.t) ->
+      if Hashtbl.mem by_span e.Event.span then incr duplicates
+      else Hashtbl.add by_span e.Event.span e)
+    spanned;
+  let parent_category (e : Event.t) =
+    if e.Event.parent < 0 then None
+    else
+      Option.map
+        (fun (p : Event.t) -> p.Event.category)
+        (Hashtbl.find_opt by_span e.Event.parent)
+  in
+  (* Climb to each event's root; orphans are events whose parent chain
+     dangles (possible only on filtered traces). *)
+  let orphans = ref 0 in
+  let root_of (e : Event.t) =
+    let rec climb (e : Event.t) depth =
+      if depth > 1_000_000 then None (* cycle guard; cannot happen with a
+                                        monotone allocator *)
+      else if e.Event.parent < 0 then Some e
+      else
+        match Hashtbl.find_opt by_span e.Event.parent with
+        | Some p -> climb p (depth + 1)
+        | None -> None
+    in
+    climb e 0
+  in
+  let trees = Hashtbl.create 256 in
+  (* root span id -> tree *)
+  List.iter
+    (fun (e : Event.t) ->
+      match root_of e with
+      | None -> incr orphans
+      | Some root -> (
+          match Hashtbl.find_opt trees root.Event.span with
+          | Some t -> if e.Event.span <> root.Event.span then t.events <- e :: t.events
+          | None -> Hashtbl.add trees root.Event.span { root; events = [ e ] }))
+    spanned;
+  (* Normalize: make sure each tree's event list contains the root
+     exactly once (the root registered itself when first visited). *)
+  Hashtbl.iter
+    (fun _ t ->
+      if not (List.memq t.root t.events) then t.events <- t.root :: t.events)
+    trees;
+  let tree_list = Hashtbl.fold (fun _ t acc -> t :: acc) trees [] in
+  let query_trees =
+    List.filter (fun t -> t.root.Event.category = Event.Query) tree_list
+  in
+  let update_trees =
+    List.filter (fun t -> t.root.Event.category = Event.Gossip) tree_list
+  in
+  (* Leaf-sum identity per operation tree. *)
+  let mismatches = ref 0 in
+  let check_tree t =
+    let leaf_sum =
+      List.fold_left
+        (fun acc e -> if is_message_leaf e then acc + e.Event.messages else acc)
+        0 t.events
+    in
+    if leaf_sum <> t.root.Event.messages then begin
+      incr mismatches;
+      if !mismatches <= 5 then
+        Printf.printf
+          "MISMATCH span %d (%s t=%.3f): leaves sum to %d, root says %d\n"
+          t.root.Event.span
+          (Event.category_label t.root.Event.category)
+          t.root.Event.time leaf_sum t.root.Event.messages
+    end
+  in
+  List.iter check_tree query_trees;
+  List.iter check_tree update_trees;
+  (* Message attribution (leaves only, plus repair passes). *)
+  let msg_totals = zero_totals () in
+  List.iter
+    (fun (e : Event.t) ->
+      if is_message_leaf e then
+        bucket_add msg_totals (message_bucket e) (float_of_int e.Event.messages)
+      else if e.Event.category = Event.Maintenance && e.Event.parent >= 0 then
+        bucket_add msg_totals `Repair (float_of_int e.Event.messages))
+    spanned;
+  let root_messages =
+    List.fold_left
+      (fun acc t -> acc + t.root.Event.messages)
+      0 (query_trees @ update_trees)
+  in
+  (* Latency attribution: per tree, charge each inter-event gap to the
+     subsystem of the event that closes it.  Root timestamps are the
+     operation start, so the earliest gap is measured from the root. *)
+  let lat_totals = zero_totals () in
+  let tree_duration t =
+    let sorted =
+      List.sort
+        (fun (a : Event.t) (b : Event.t) -> compare a.Event.time b.Event.time)
+        (List.filter (fun (e : Event.t) -> e.Event.span <> t.root.Event.span) t.events)
+    in
+    let last =
+      List.fold_left
+        (fun prev (e : Event.t) ->
+          let d = e.Event.time -. prev in
+          if d > 0. then bucket_add lat_totals (latency_bucket ~parent_category e) d;
+          Float.max prev e.Event.time)
+        t.root.Event.time sorted
+    in
+    last -. t.root.Event.time
+  in
+  let with_duration = List.map (fun t -> (tree_duration t, t)) query_trees in
+  let _update_durations = List.map tree_duration update_trees in
+  (* Critical path of a tree: walk up from its latest event. *)
+  let critical_path t =
+    match
+      List.fold_left
+        (fun acc (e : Event.t) ->
+          match acc with
+          | None -> Some e
+          | Some (m : Event.t) -> if e.Event.time > m.Event.time then Some e else acc)
+        None t.events
+    with
+    | None -> ""
+    | Some last ->
+        let rec climb (e : Event.t) acc =
+          let acc = Event.category_label e.Event.category :: acc in
+          if e.Event.parent < 0 then acc
+          else
+            match Hashtbl.find_opt by_span e.Event.parent with
+            | Some p -> climb p acc
+            | None -> acc
+        in
+        String.concat " > " (climb last [])
+  in
+  (* ---- report ---- *)
+  Printf.printf "%s: %d events, %d span-correlated\n" path (List.length events)
+    (List.length spanned);
+  Printf.printf
+    "trees: %d queries, %d updates, %d other roots; orphans: %d; duplicate span ids: \
+     %d\n"
+    (List.length query_trees) (List.length update_trees)
+    (List.length tree_list - List.length query_trees - List.length update_trees)
+    !orphans !duplicates;
+  Printf.printf "leaf-sum identity: %d mismatches over %d operation trees\n" !mismatches
+    (List.length query_trees + List.length update_trees);
+  Printf.printf "\nmessages by subsystem (operation trees sum to %d):\n" root_messages;
+  let msum = Float.max 1. (totals_sum msg_totals) in
+  let row label v = Printf.printf "  %-14s %10.0f  (%5.1f%%)\n" label v (100. *. v /. msum) in
+  row "index-routing" msg_totals.index_routing;
+  row "unstructured" msg_totals.unstructured;
+  row "update" msg_totals.update;
+  row "repair" msg_totals.repair;
+  Printf.printf "\nvirtual latency by subsystem [s]:\n";
+  let lrow label v = Printf.printf "  %-14s %10.3f\n" label v in
+  lrow "index-routing" lat_totals.index_routing;
+  lrow "unstructured" lat_totals.unstructured;
+  lrow "update" lat_totals.update;
+  lrow "repair" lat_totals.repair;
+  lrow "net-retry" lat_totals.net_retry;
+  if lat_totals.other > 0. then lrow "other" lat_totals.other;
+  if !top > 0 && with_duration <> [] then begin
+    Printf.printf "\ntop %d slow queries:\n" !top;
+    let sorted =
+      List.sort (fun (a, _) (b, _) -> compare b a) with_duration
+    in
+    List.iteri
+      (fun i (d, t) ->
+        if i < !top then
+          Printf.printf "  t=%8.2f span=%-6d key=%-5d msgs=%-5d %8.4fs  %s\n"
+            t.root.Event.time t.root.Event.span t.root.Event.key_index
+            t.root.Event.messages d (critical_path t))
+      sorted
+  end;
+  if !check then begin
+    let failed = ref false in
+    if query_trees = [] && update_trees = [] then begin
+      prerr_endline "CHECK FAILED: no span-rooted operation trees in the trace";
+      failed := true
+    end;
+    if !orphans > 0 then begin
+      Printf.eprintf "CHECK FAILED: %d orphan span events\n" !orphans;
+      failed := true
+    end;
+    if !duplicates > 0 then begin
+      Printf.eprintf "CHECK FAILED: %d duplicate span ids\n" !duplicates;
+      failed := true
+    end;
+    if !mismatches > 0 then begin
+      Printf.eprintf "CHECK FAILED: %d leaf-sum mismatches\n" !mismatches;
+      failed := true
+    end;
+    if !failed then exit 1;
+    Printf.printf "\ncausal completeness: OK (every span reaches a root, leaf sums \
+                   match)\n"
+  end
