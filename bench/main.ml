@@ -31,6 +31,7 @@ module Scenario = Pdht_work.Scenario
 module System = Pdht_core.System
 module Experiment = Pdht_core.Experiment
 module Strategy = Pdht_core.Strategy
+module Psel = Pdht_policy.Selector
 
 let heading title note =
   Printf.printf "\n================================================================\n";
@@ -1011,6 +1012,122 @@ let section_perf () =
       crash_sweep;
     t
   in
+  (* Selection-policy race (E23 in miniature): contracts first — the
+     deprecated [ttl_policy] alias must build the very options the
+     defaults already carry, and a [Ttl _] run must install no selector
+     (its report carries no policy summary; the byte-level golden-file
+     gate lives in ci.sh) — then the five-policy race across a
+     flash-crowd popularity flip.  The post-shift message rate is the
+     empirical Eq.-17 analogue; at least one adaptive policy must beat
+     the static model-derived TTL there. *)
+  let policy_default_equivalent =
+    let tiny = { net_scenario with Scenario.duration = 300. } in
+    let r_default = System.run tiny net_partial options in
+    let r_alias =
+      System.run tiny net_partial
+        (System.Options.with_ttl_policy System.Model_derived options)
+    in
+    if r_alias <> r_default then
+      failwith "perf: deprecated ttl_policy alias diverged from the default options";
+    if r_default.System.policy <> None then
+      failwith "perf: default-policy run unexpectedly installed a selector";
+    true
+  in
+  let race_scenario =
+    (* Updates every 10 minutes make the *model's* TTL conservative
+       (Eq. 2 charges staleness), so the statically-derived lease is
+       short; the measurement-driven policies re-learn the simulator's
+       actual cost structure and recover the headroom. *)
+    {
+      net_scenario with
+      Scenario.name = "flash-race";
+      duration = 900.;
+      shift = Scenario.Swap_halves_at 450.;
+      update_mean_lifetime = Some 300.;
+      seed = 2023;
+    }
+  in
+  let race_budget =
+    let params =
+      {
+        Params.default with
+        Params.num_peers = race_scenario.Scenario.num_peers;
+        keys = race_scenario.Scenario.keys;
+        stor = options.System.stor;
+        repl = options.System.repl;
+        f_qry = race_scenario.Scenario.f_qry;
+      }
+    in
+    max 1 (Index_policy.solve params).Index_policy.max_rank
+  in
+  let race_policies =
+    [
+      Psel.Ttl Psel.Model_derived;
+      Psel.Ttl Psel.Adaptive;
+      Psel.Cost_optimal;
+      Psel.Learned;
+      Psel.Cache_budget race_budget;
+    ]
+  in
+  let race_rows =
+    Experiment.policy_race ~jobs:!jobs ~options ~scenario:race_scenario
+      ~policies:race_policies ()
+  in
+  let static_row, adaptive_race_rows =
+    match race_rows with
+    | static :: rest -> (static, rest)
+    | [] -> assert false
+  in
+  let policy_adaptive_beats_static =
+    List.exists
+      (fun (r : Experiment.policy_race_row) ->
+        r.Experiment.post_shift_cost < static_row.Experiment.post_shift_cost)
+      adaptive_race_rows
+  in
+  let policy_json =
+    let row (r : Experiment.policy_race_row) =
+      Json.Obj
+        [
+          ("policy", Json.String r.Experiment.policy_label);
+          ("hit_rate", Json.Float r.Experiment.hit_rate);
+          ("messages_per_second", Json.Float r.Experiment.messages_per_second);
+          ("post_shift_cost", Json.Float r.Experiment.post_shift_cost);
+          ("post_shift_hit_rate", Json.Float r.Experiment.post_shift_hit_rate);
+          ("rejected_inserts", Json.Int r.Experiment.rejected_inserts);
+          ("indexed_keys_final", Json.Int r.Experiment.indexed_keys_final);
+        ]
+    in
+    Json.Obj
+      [
+        ("policy_default_equivalent", Json.Bool policy_default_equivalent);
+        ("policy_adaptive_beats_static", Json.Bool policy_adaptive_beats_static);
+        ("cache_budget", Json.Int race_budget);
+        ("shift_time_s", Json.Float 450.);
+        ("policy_race", Json.List (List.map row race_rows));
+      ]
+  in
+  let policy_table =
+    let t =
+      Table.create
+        ~columns:
+          [ ("policy", Table.Left); ("hit rate", Table.Right);
+            ("msg/s", Table.Right); ("post-shift msg/s", Table.Right);
+            ("post-shift hits", Table.Right); ("rejected", Table.Right);
+            ("indexed", Table.Right) ]
+    in
+    List.iter
+      (fun (r : Experiment.policy_race_row) ->
+        Table.add_row t
+          [ r.Experiment.policy_label;
+            Printf.sprintf "%.3f" r.Experiment.hit_rate;
+            Printf.sprintf "%.0f" r.Experiment.messages_per_second;
+            Printf.sprintf "%.0f" r.Experiment.post_shift_cost;
+            Printf.sprintf "%.3f" r.Experiment.post_shift_hit_rate;
+            string_of_int r.Experiment.rejected_inserts;
+            string_of_int r.Experiment.indexed_keys_final ])
+      race_rows;
+    t
+  in
   (* Tracing overhead: every simulation now threads span context and
      guards event construction with [Tracer.active]; the contract is
      that a *disabled* tracer (the default for every run without
@@ -1144,6 +1261,7 @@ let section_perf () =
             ] );
         ("net", net_json);
         ("fault", fault_json);
+        ("policy", policy_json);
         ("tracing", tracing_json);
       ]
   in
@@ -1171,6 +1289,11 @@ let section_perf () =
      fault: %b; E21-small recovered: %b\n"
     no_fault_equivalent e21_recovered;
   Table.print fault_table;
+  Printf.printf
+    "\nselection policies (flash crowd, halves swap at t=450): deprecated alias == \
+     default: %b; adaptive beats static TTL post-shift: %b (cache budget %d keys)\n"
+    policy_default_equivalent policy_adaptive_beats_static race_budget;
+  Table.print policy_table;
   Printf.printf
     "\ntracing: disabled %.2f s vs %.2f s re-measured (%.2f%% apart, within 2%%: %b); \
      enabled %.2f s for %d events (1/1), %.2f s for %d events (1/16)\n"

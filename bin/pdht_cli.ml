@@ -17,6 +17,7 @@ module Table = Pdht_util.Table
 module Scenario = Pdht_work.Scenario
 module System = Pdht_core.System
 module Strategy = Pdht_core.Strategy
+module Psel = Pdht_policy.Selector
 
 (* ------------------------------------------------------------------ *)
 (* Shared parameter arguments (defaults = paper Table 1) *)
@@ -75,6 +76,26 @@ let jobs_arg =
        & info [ "jobs"; "j" ] ~docv:"N"
            ~doc:"Worker domains for independent tasks (default: cores - 1). \
                  Results are identical for any value.")
+
+(* ------------------------------------------------------------------ *)
+(* Index-selection policy flag (shared by simulate and sweep). *)
+
+let policy_conv =
+  let parse s =
+    match Psel.of_string s with Ok spec -> Ok spec | Error msg -> Error (`Msg msg)
+  in
+  let print ppf spec = Format.pp_print_string ppf (Psel.to_string spec) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(value & opt (some policy_conv) None
+       & info [ "policy" ] ~docv:"POLICY"
+           ~doc:"Index-selection policy: $(b,ttl) (model-derived keyTtl, the \
+                 default), $(b,ttl:SECS) (fixed keyTtl), $(b,ttl:adaptive) \
+                 (self-tuning controller), $(b,cost) (online Eq. 1-2 \
+                 re-solve), $(b,learned) (demand-coverage placement), or \
+                 $(b,cache:BUDGET) (size-budgeted cache).  Subsumes \
+                 $(b,--key-ttl)/$(b,--adaptive); combining them is an error.")
 
 (* ------------------------------------------------------------------ *)
 (* Network-model flags (shared by simulate and sweep).  Giving any of
@@ -234,12 +255,22 @@ let model_cmd =
 (* ------------------------------------------------------------------ *)
 (* sweep *)
 
-let run_sweep csv jobs net params =
+let run_sweep csv jobs net policy params =
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else
   match net with
   | Error msg -> `Error (false, msg)
   | Ok net ->
+  (match policy with
+  | Some spec when Psel.uses_selector spec ->
+      (* Same symmetry contract as --net below: the analytical sweep
+         has no query stream for a selector to learn from. *)
+      Printf.eprintf
+        "note: selection policy %s does not affect the analytical sweep (the \
+         TTL column is always the model's 1/fMin); use `pdht simulate \
+         --policy` to measure it\n"
+        (Psel.to_string spec)
+  | Some _ | None -> ());
   (match net with
   | Some cfg ->
       (* The analytical sweep counts messages (Eqs. 11-17); delivery
@@ -281,7 +312,7 @@ let sweep_cmd =
     Arg.(value & flag & info [ "csv" ] ~doc:"Emit CSV instead of an aligned table.")
   in
   Cmd.v (Cmd.info "sweep" ~doc)
-    Term.(ret (const run_sweep $ csv_arg $ jobs_arg $ net_term $ params_term))
+    Term.(ret (const run_sweep $ csv_arg $ jobs_arg $ net_term $ policy_arg $ params_term))
 
 (* ------------------------------------------------------------------ *)
 (* simulate *)
@@ -332,9 +363,14 @@ let parse_trace_filter spec =
 
 let run_simulate verbose log_level metrics_out trace_out trace_filter trace_sample
     timeline_out timeline_window preset peers keys repl stor fqry duration seed strategy
-    key_ttl adaptive churn jobs replicate net fault =
+    key_ttl adaptive policy churn jobs replicate net fault =
   setup_logging verbose log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else if policy <> None && (adaptive || key_ttl <> None) then
+    `Error
+      ( false,
+        "--policy subsumes --key-ttl/--adaptive; use --policy ttl:SECS or \
+         --policy ttl:adaptive instead of combining them" )
   else if replicate < 1 then `Error (false, "--replicate must be >= 1")
   else if trace_sample < 1 then `Error (false, "--trace-sample must be >= 1")
   else if (match timeline_window with Some w -> not (w > 0.) | None -> false) then
@@ -374,11 +410,18 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
   match Scenario.validate scenario with
   | Error msg -> `Error (false, "invalid scenario: " ^ msg)
   | Ok scenario ->
-      let ttl_policy =
-        (* --adaptive wins over --key-ttl: the controller subsumes any
-           fixed starting point. *)
-        if adaptive then System.Adaptive
-        else match key_ttl with Some ttl -> System.Fixed ttl | None -> System.Model_derived
+      let selection_policy =
+        match policy with
+        | Some spec -> spec
+        | None ->
+            (* Legacy flags: --adaptive wins over --key-ttl (the
+               controller subsumes any fixed starting point). *)
+            System.spec_of_ttl_policy
+              (if adaptive then System.Adaptive
+               else
+                 match key_ttl with
+                 | Some ttl -> System.Fixed ttl
+                 | None -> System.Model_derived)
       in
       (* [--timeline-out] without an explicit window gets the default
          sample cadence; a bare [--timeline-window] still lands the
@@ -390,7 +433,7 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
         | None, None -> None
       in
       let options =
-        System.Options.make ~repl ~stor ~ttl_policy ?net ?fault
+        System.Options.make ~repl ~stor ~selection_policy ?net ?fault
           ?timeline_window:timeline_width ()
       in
       let strategy =
@@ -616,7 +659,7 @@ let simulate_cmd =
          $ trace_out_arg $ trace_filter_arg $ trace_sample_arg $ timeline_out_arg
          $ timeline_window_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
-         $ churn_arg $ jobs_arg $ replicate_arg $ net_term $ fault_term))
+         $ policy_arg $ churn_arg $ jobs_arg $ replicate_arg $ net_term $ fault_term))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)

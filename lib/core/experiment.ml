@@ -494,6 +494,80 @@ let eviction_ablation ?jobs ?(options = System.default_options) ~scenario ~stor 
       })
     policies reports
 
+type policy_race_row = {
+  policy_label : string;
+  hit_rate : float;
+  messages_per_second : float;
+  post_shift_cost : float;
+  post_shift_hit_rate : float;
+  rejected_inserts : int;
+  indexed_keys_final : int;
+}
+
+(* E23: race selection policies on one workload.  Every policy gets the
+   same (scenario, seed), so the comparison is paired; the post-shift
+   window isolates how fast each policy re-learns the new demand.  The
+   per-second message total over that window is the empirical analogue
+   of the paper's Eq. 17 total cost (maintenance + index search +
+   broadcast search), which is exactly what the selection policy is
+   trying to minimise. *)
+let policy_race ?jobs ?(options = System.default_options) ~scenario ~policies () =
+  if policies = [] then invalid_arg "Experiment.policy_race: no policies";
+  let shift_time =
+    match scenario.Scenario.shift with
+    | Scenario.Swap_halves_at t -> t
+    | Scenario.Rotate { times = t :: _; _ } -> t
+    | Scenario.Rotate { times = []; _ } | Scenario.No_shift -> 0.
+  in
+  let spec_of policy =
+    let options = System.Options.with_selection_policy policy options in
+    let key_ttl = System.derive_key_ttl scenario options in
+    Run_spec.make ~options
+      ~tag:(scenario.Scenario.name ^ "/policy-" ^ Pdht_policy.Selector.label policy)
+      ~strategy:(Strategy.Partial_index { key_ttl })
+      scenario
+  in
+  let reports = run_specs ?jobs (List.map spec_of policies) in
+  List.map2
+    (fun policy report ->
+      let post =
+        List.filter (fun (s : System.sample) -> s.System.time > shift_time)
+          report.System.samples
+      in
+      let post_seconds =
+        match post with
+        | [] -> 0.
+        | _ -> scenario.Scenario.duration -. shift_time
+      in
+      let post_messages =
+        List.fold_left (fun acc (s : System.sample) -> acc + s.System.messages) 0 post
+      in
+      (* Query-weighted hit rate: idle buckets should not vote. *)
+      let post_queries =
+        List.fold_left (fun acc (s : System.sample) -> acc + s.System.queries) 0 post
+      in
+      let post_hits =
+        List.fold_left
+          (fun acc (s : System.sample) ->
+            acc +. (s.System.hit_rate *. float_of_int s.System.queries))
+          0. post
+      in
+      {
+        policy_label = Pdht_policy.Selector.label policy;
+        hit_rate = report.System.hit_rate;
+        messages_per_second = report.System.messages_per_second;
+        post_shift_cost =
+          (if post_seconds > 0. then float_of_int post_messages /. post_seconds else 0.);
+        post_shift_hit_rate =
+          (if post_queries > 0 then post_hits /. float_of_int post_queries else 0.);
+        rejected_inserts =
+          (match report.System.policy with
+          | Some s -> s.Pdht_policy.Selector.rejected_inserts
+          | None -> 0);
+        indexed_keys_final = report.System.indexed_keys_final;
+      })
+    policies reports
+
 type ttl_tuning_row = {
   label : string;
   key_ttl_final : float;

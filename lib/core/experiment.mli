@@ -221,6 +221,33 @@ val eviction_ablation :
     imply evict-soonest-expiry; the ablation measures what LRU or random
     eviction would cost instead. *)
 
+(** E23: index-selection policy race.  One partial-strategy run per
+    {!Pdht_policy.Selector.spec} on identical workloads; the post-shift
+    window (everything after the scenario's first popularity shift, or
+    the whole run when it has none) measures how fast each policy
+    re-learns the new demand.  [post_shift_cost] is the empirical
+    Eq.-17 analogue — all messages per second over that window. *)
+type policy_race_row = {
+  policy_label : string;       (** {!Pdht_policy.Selector.label} *)
+  hit_rate : float;            (** whole-run index hit rate *)
+  messages_per_second : float; (** whole-run total cost *)
+  post_shift_cost : float;     (** msg/s after the first shift *)
+  post_shift_hit_rate : float; (** query-weighted, after the shift *)
+  rejected_inserts : int;      (** insertions the policy declined; 0 for
+                                   [Ttl _] runs (no selector) *)
+  indexed_keys_final : int;
+}
+
+val policy_race :
+  ?jobs:int ->
+  ?options:System.options ->
+  scenario:Pdht_work.Scenario.t ->
+  policies:Pdht_policy.Selector.spec list ->
+  unit ->
+  policy_race_row list
+(** Rows in [policies] order.  @raise Invalid_argument on an empty
+    policy list. *)
+
 (** Extension: adaptive-TTL controller vs fixed TTLs. *)
 type ttl_tuning_row = {
   label : string;

@@ -64,6 +64,16 @@ type t = {
   net_cast : (span:int option -> src:int -> dst:int -> bool) option;
   mutable online : int -> bool;
   mutable key_ttl : float;
+  (* Selection-policy hook.  [None] (the default, and the paper's
+     behaviour) admits every resolved key and leases [key_ttl] — the
+     exact pre-policy code path, so TTL-policy runs are bit-identical
+     to builds that predate the hook. *)
+  mutable policy : policy option;
+}
+
+and policy = {
+  admit : now:float -> key_index:int -> bool;
+  ttl_for : now:float -> key_index:int -> float;
 }
 
 let key_of_index t i =
@@ -80,6 +90,15 @@ let key_ttl t = t.key_ttl
 let set_key_ttl t ttl =
   if not (ttl > 0.) then invalid_arg "Pdht.set_key_ttl: ttl must be positive";
   t.key_ttl <- ttl
+
+let set_policy t policy = t.policy <- Some policy
+let clear_policy t = t.policy <- None
+
+(* Expiration lease for an insertion or query-hit refresh of a key. *)
+let lease t ~now ~key_index =
+  match t.policy with
+  | None -> t.key_ttl
+  | Some p -> p.ttl_for ~now ~key_index
 
 let replica_net t key_index =
   match Hashtbl.find_opt t.replica_nets key_index with
@@ -177,6 +196,7 @@ let create ?obs ?net rng config =
         | Some h -> Some (fun ~span ~src ~dst -> Net_hook.cast ?span h ~src ~dst));
       online = (fun _ -> true);
       key_ttl = initial_ttl config;
+      policy = None;
     }
   in
   (* Tee per-category message counts into the registry so exported
@@ -339,7 +359,8 @@ let index_search t ~now ~entry ~key_index ~parent =
     | None -> (None, index_messages, 0)
     | Some responsible -> (
         match
-          Storage.get_and_refresh t.stores.(responsible) ~key ~now ~ttl:t.key_ttl
+          Storage.get_and_refresh t.stores.(responsible) ~key ~now
+            ~ttl:(lease t ~now ~key_index)
         with
         | Some provider ->
             record_ttl_reset t ~now:(child_time t ~now) ~peer:responsible ~key_index
@@ -367,7 +388,8 @@ let index_search t ~now ~entry ~key_index ~parent =
               incr i;
               if member <> responsible && t.online member then
                 match
-                  Storage.get_and_refresh t.stores.(member) ~key ~now ~ttl:t.key_ttl
+                  Storage.get_and_refresh t.stores.(member) ~key ~now
+                    ~ttl:(lease t ~now ~key_index)
                 with
                 | Some provider ->
                     record_ttl_reset t ~now:(child_time t ~now) ~peer:member ~key_index
@@ -390,7 +412,7 @@ let index_search t ~now ~entry ~key_index ~parent =
    is an interior [Index_insert] node under [parent]: its message count
    is the sum of its own [Dht_lookup] / [Replica_flood] leaves, so
    per-tree leaf sums stay exact. *)
-let index_insert t ~now ~entry ~key_index ~provider ~parent =
+let index_insert_admitted t ~now ~entry ~key_index ~provider ~parent =
   let key = t.bitkeys.(key_index) in
   let insert_span = child_id t ~parent in
   let lookup_span = child_id t ~parent:insert_span in
@@ -417,7 +439,8 @@ let index_insert t ~now ~entry ~key_index ~provider ~parent =
         Array.iter
           (fun member ->
             if t.online member then
-              Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:t.key_ttl)
+              Storage.put t.stores.(member) ~key ~value:provider ~now
+                ~ttl:(lease t ~now ~key_index))
           (Replica_net.replicas net);
         lookup.Dht.messages + flood.Replica_net.messages
   in
@@ -426,6 +449,17 @@ let index_insert t ~now ~entry ~key_index ~provider ~parent =
       (Event.make ~time:(child_time t ~now) ~peer:entry ~key_index ~messages
          ~span:insert_span ~parent Event.Index_insert);
   messages
+
+let index_insert t ~now ~entry ~key_index ~provider ~parent =
+  match t.policy with
+  | Some p when not (p.admit ~now ~key_index) ->
+      (* The selection policy declines the key: no routing, no flood,
+         no insertion.  The query's answer already came from the
+         broadcast, so rejection costs nothing now and saves the whole
+         insert (and its maintenance tail) for keys judged not worth
+         indexing. *)
+      0
+  | _ -> index_insert_admitted t ~now ~entry ~key_index ~provider ~parent
 
 let broadcast_search t ~now ~peer ~key_index ~parent =
   let bcast_span = child_id t ~parent in

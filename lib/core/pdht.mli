@@ -70,6 +70,23 @@ val set_key_ttl : t -> float -> unit
 
 val key_ttl : t -> float
 
+(** Selection-policy hook: gates index insertions and sets per-key
+    expiration leases.  [admit] is consulted once per would-be
+    re-insertion (after a successful broadcast); a rejected key costs
+    zero messages.  [ttl_for] supplies the lease used both when
+    inserting and when a query hit refreshes a stored key. *)
+type policy = {
+  admit : now:float -> key_index:int -> bool;
+  ttl_for : now:float -> key_index:int -> float;
+}
+
+val set_policy : t -> policy -> unit
+(** Install a selection policy.  Without one (the default), every key
+    is admitted with lease {!key_ttl} — the paper's behaviour, on the
+    exact pre-policy code path. *)
+
+val clear_policy : t -> unit
+
 type answer_source = From_index | From_broadcast | Not_found
 
 type query_result = {

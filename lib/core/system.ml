@@ -10,14 +10,22 @@ let log_src = Logs.Src.create "pdht.system" ~doc:"PDHT simulation runner"
 
 module Log = (val Logs.src_log log_src : Logs.LOG)
 
+module Psel = Pdht_policy.Selector
+
 type ttl_policy = Model_derived | Fixed of float | Adaptive
+
+(* The deprecated TTL axis maps losslessly into the policy space. *)
+let spec_of_ttl_policy = function
+  | Model_derived -> Psel.Ttl Psel.Model_derived
+  | Fixed ttl -> Psel.Ttl (Psel.Fixed ttl)
+  | Adaptive -> Psel.Ttl Psel.Adaptive
 
 type options = {
   repl : int;
   stor : int;
   backend : Pdht_dht.Dht.backend;
   env : float option;
-  ttl_policy : ttl_policy;
+  selection_policy : Psel.spec;
   sample_every : float;
   sizing_slack : float;
   eviction : Pdht_dht.Storage.eviction;
@@ -32,7 +40,7 @@ let default_options =
     stor = 100;
     backend = Pdht_dht.Dht.Pgrid_backend;
     env = None;
-    ttl_policy = Model_derived;
+    selection_policy = Psel.default;
     sample_every = 60.;
     sizing_slack = 1.5;
     eviction = Pdht_dht.Storage.Evict_soonest_expiry;
@@ -42,8 +50,8 @@ let default_options =
   }
 
 module Options = struct
-  let make ?repl ?stor ?backend ?env ?ttl_policy ?sample_every ?sizing_slack ?eviction
-      ?net ?fault ?timeline_window () =
+  let make ?repl ?stor ?backend ?env ?ttl_policy ?selection_policy ?sample_every
+      ?sizing_slack ?eviction ?net ?fault ?timeline_window () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
     {
@@ -51,7 +59,12 @@ module Options = struct
       stor = value d.stor stor;
       backend = value d.backend backend;
       env = (match env with Some _ -> env | None -> d.env);
-      ttl_policy = value d.ttl_policy ttl_policy;
+      selection_policy =
+        (* The new axis wins; [?ttl_policy] is the deprecated alias. *)
+        (match (selection_policy, ttl_policy) with
+        | Some spec, _ -> spec
+        | None, Some tp -> spec_of_ttl_policy tp
+        | None, None -> d.selection_policy);
       sample_every = value d.sample_every sample_every;
       sizing_slack = value d.sizing_slack sizing_slack;
       eviction = value d.eviction eviction;
@@ -64,7 +77,12 @@ module Options = struct
   let with_repl repl options = { options with repl }
   let with_stor stor options = { options with stor }
   let with_backend backend options = { options with backend }
-  let with_ttl_policy ttl_policy options = { options with ttl_policy }
+  let with_selection_policy selection_policy options = { options with selection_policy }
+
+  (* Deprecated alias: forwards into the selection-policy axis. *)
+  let with_ttl_policy ttl_policy options =
+    { options with selection_policy = spec_of_ttl_policy ttl_policy }
+
   let with_sample_every sample_every options = { options with sample_every }
   let with_eviction eviction options = { options with eviction }
   let with_net net options = { options with net = Some net }
@@ -142,6 +160,7 @@ type report = {
   histograms : (string * Histogram.summary) list;
   net : net_summary option;
   fault : fault_summary option;
+  policy : Psel.summary option;
   timeline : Pdht_obs.Timeline.summary option;
   samples : sample list;
 }
@@ -175,9 +194,10 @@ let model_params (scenario : Scenario.t) (options : options) =
   }
 
 let derive_key_ttl scenario options =
-  match options.ttl_policy with
-  | Fixed ttl -> ttl
-  | Model_derived | Adaptive ->
+  match options.selection_policy with
+  | Psel.Ttl (Psel.Fixed ttl) -> ttl
+  | Psel.Ttl Psel.Model_derived | Psel.Ttl Psel.Adaptive
+  | Psel.Cost_optimal | Psel.Learned | Psel.Cache_budget _ ->
       let params = model_params scenario options in
       let solution = Pdht_model.Index_policy.solve params in
       let ttl = Pdht_model.Strategies.default_key_ttl solution in
@@ -328,10 +348,42 @@ let run ?obs scenario strategy options =
   end;
   (* Adaptive TTL controller (extension). *)
   let adaptive =
-    if options.ttl_policy = Adaptive && Strategy.is_partial strategy then begin
+    if
+      Psel.equal options.selection_policy (Psel.Ttl Psel.Adaptive)
+      && Strategy.is_partial strategy
+    then begin
       let controller = Adaptive.create () in
       Adaptive.attach controller engine pdht ~every:(10. *. options.sample_every);
       Some controller
+    end
+    else None
+  in
+  (* Pluggable selection policy (extension): only the adaptive policies
+     instantiate a selector; [Ttl _] runs install no hook and keep the
+     exact pre-policy code path, so their reports stay byte-identical.
+     Selectors draw no randomness, preserving the determinism contract. *)
+  let selector =
+    if Psel.uses_selector options.selection_policy && Strategy.is_partial strategy
+    then begin
+      let retune_every = 5. *. options.sample_every in
+      let sel =
+        Psel.instantiate options.selection_policy
+          ~params:(model_params scenario options)
+          ~base_ttl:(Pdht.key_ttl pdht) ~retune_every
+      in
+      Pdht.set_policy pdht
+        {
+          Pdht.admit =
+            (fun ~now ~key_index ->
+              let ok = Psel.admit sel ~now ~key_index in
+              Psel.observe sel ~now ~key_index
+                (if ok then Psel.Inserted else Psel.Rejected);
+              ok);
+          ttl_for = (fun ~now ~key_index -> Psel.ttl_for sel ~now ~key_index);
+        };
+      Engine.schedule_periodic engine ~first:retune_every ~every:retune_every
+        (fun eng -> Psel.retune sel ~now:(Engine.now eng));
+      Some sel
     end
     else None
   in
@@ -414,8 +466,13 @@ let run ?obs scenario strategy options =
           | Some h ->
               Pdht_obs.Timeline.add tl ~now s_l (1000. *. Pdht_net.Hook.elapsed h)
           | None -> ()));
-      match adaptive with
+      (match adaptive with
       | Some controller -> Adaptive.note_query controller result
+      | None -> ());
+      match selector with
+      | Some sel ->
+          Psel.observe sel ~now ~key_index:q.Pdht_work.Query_gen.key_index
+            (Psel.Queried { hit = result.Pdht.source = Pdht.From_index })
       | None -> ()
       end);
   (* Update workload (article replacements). *)
@@ -690,6 +747,7 @@ let run ?obs scenario strategy options =
     histograms;
     net = net_summary;
     fault = fault_summary;
+    policy = Option.map Psel.summary selector;
     timeline = Option.map (fun (tl, _) -> Pdht_obs.Timeline.summary tl) timeline;
     samples = List.rev counters.samples_rev;
   }
@@ -730,6 +788,16 @@ let pp_report ppf r =
         (match f.time_to_recover with
         | Some t -> Printf.sprintf "after %.0fs" t
         | None -> "never"));
+  (match r.policy with
+  | None -> ()
+  | Some p ->
+      Format.fprintf ppf
+        "  policy: %s retunes=%d observed=%d admitted=%d rejected=%d target=%s \
+         estFQry=%g threshold=%g@,"
+        p.Psel.policy p.Psel.retunes p.Psel.observed_queries p.Psel.admitted_inserts
+        p.Psel.rejected_inserts
+        (if p.Psel.target_keys < 0 then "all" else string_of_int p.Psel.target_keys)
+        p.Psel.est_f_qry p.Psel.threshold);
   (match r.timeline with
   | None -> ()
   | Some tl -> Format.fprintf ppf "  %a@," Pdht_obs.Timeline.pp tl);

@@ -6,10 +6,10 @@
     discrete-event engine for the scenario's duration, and reports the
     counters the paper's evaluation cares about. *)
 
-(** How a run picks (and maintains) the partial index's key TTL.  One
-    policy instead of the old [adaptive_ttl : bool] +
-    [key_ttl_override : float option] pair, whose four combinations
-    included two that silently meant the same thing. *)
+(** The original key-TTL axis, kept as a deprecated alias into the
+    selection-policy space ({!Pdht_policy.Selector.spec}).  New code
+    should use [selection_policy] / {!Options.with_selection_policy};
+    [ttl_policy] values map losslessly via {!spec_of_ttl_policy}. *)
 type ttl_policy =
   | Model_derived  (** the analytical model's [1/fMin] (the default) *)
   | Fixed of float  (** force this TTL, seconds *)
@@ -18,14 +18,25 @@ type ttl_policy =
           controller steer it during the run (extension; only active
           under [Partial_index]) *)
 
+val spec_of_ttl_policy : ttl_policy -> Pdht_policy.Selector.spec
+(** [Model_derived -> Ttl Model_derived], [Fixed f -> Ttl (Fixed f)],
+    [Adaptive -> Ttl Adaptive]. *)
+
 type options = {
   repl : int;                  (** replication factor (default 20) *)
   stor : int;                  (** per-peer index cache (default 100) *)
   backend : Pdht_dht.Dht.backend;
   env : float option;          (** maintenance constant; [None] derives
                                    it from a 1 msg/peer/s trace rate *)
-  ttl_policy : ttl_policy;     (** key-TTL selection (default
-                                   [Model_derived]) *)
+  selection_policy : Pdht_policy.Selector.spec;
+      (** what drives index selection (default [Ttl Model_derived] —
+          the paper's behaviour).  [Ttl _] specs run the original
+          global-TTL code path with no selector installed, so their
+          reports are byte-identical to the pre-policy system; the
+          adaptive specs ([Cost_optimal], [Learned], [Cache_budget])
+          install a {!Pdht_policy.Selector} that gates insertions and
+          sets per-key leases, and the report gains its [policy]
+          summary.  Only active under [Partial_index]. *)
   sample_every : float;        (** time-series bucket width, seconds *)
   sizing_slack : float;
       (** headroom multiplier on the model's [numActivePeers]: replica
@@ -67,6 +78,7 @@ module Options : sig
     ?backend:Pdht_dht.Dht.backend ->
     ?env:float ->
     ?ttl_policy:ttl_policy ->
+    ?selection_policy:Pdht_policy.Selector.spec ->
     ?sample_every:float ->
     ?sizing_slack:float ->
     ?eviction:Pdht_dht.Storage.eviction ->
@@ -75,12 +87,21 @@ module Options : sig
     ?timeline_window:float ->
     unit ->
     options
-  (** Unnamed arguments take their {!default_options} value. *)
+  (** Unnamed arguments take their {!default_options} value.
+      [?ttl_policy] is the deprecated alias for [?selection_policy]
+      (mapped through {!spec_of_ttl_policy}); when both are given, the
+      new axis wins. *)
 
   val with_repl : int -> options -> options
   val with_stor : int -> options -> options
   val with_backend : Pdht_dht.Dht.backend -> options -> options
+
+  val with_selection_policy : Pdht_policy.Selector.spec -> options -> options
+
   val with_ttl_policy : ttl_policy -> options -> options
+  (** Deprecated: forwards to {!with_selection_policy} via
+      {!spec_of_ttl_policy}. *)
+
   val with_sample_every : float -> options -> options
   val with_eviction : Pdht_dht.Storage.eviction -> options -> options
   val with_net : Pdht_net.Config.t -> options -> options
@@ -175,6 +196,10 @@ type report = {
           would break the determinism contract below *)
   net : net_summary option;   (** see {!net_summary} *)
   fault : fault_summary option; (** see {!fault_summary} *)
+  policy : Pdht_policy.Selector.summary option;
+      (** selection-policy snapshot; present exactly when the run
+          installed a selector (an adaptive [selection_policy] under
+          [Partial_index]), [None] for [Ttl _] runs *)
   timeline : Pdht_obs.Timeline.summary option;
       (** windowed time series; present exactly when
           [options.timeline_window] was set *)
@@ -182,8 +207,8 @@ type report = {
 }
 
 val derive_key_ttl : Pdht_work.Scenario.t -> options -> float
-(** The TTL a run starts with: [Fixed ttl] verbatim, otherwise (both
-    [Model_derived] and [Adaptive]) [1/fMin] from the analytical model
+(** The TTL a run starts with: [Ttl (Fixed ttl)] verbatim, otherwise
+    (every other policy) [1/fMin] from the analytical model
     instantiated with the scenario's parameters (Zipf alpha
     approximated as 1.0 for non-Zipf distributions). *)
 

@@ -11,7 +11,6 @@ type category =
   | Engine
   | Net
   | Fault
-  | Custom
 
 type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
 
@@ -35,7 +34,7 @@ let make ?(peer = -1) ?(key_index = -1) ?(hops = 0) ?(messages = 0)
 
 let all_categories =
   [ Query; Dht_lookup; Replica_flood; Broadcast; Index_insert; Ttl_reset;
-    Gossip; Maintenance; Churn; Engine; Net; Fault; Custom ]
+    Gossip; Maintenance; Churn; Engine; Net; Fault ]
 
 let category_label = function
   | Query -> "query"
@@ -50,7 +49,6 @@ let category_label = function
   | Engine -> "engine"
   | Net -> "net"
   | Fault -> "fault"
-  | Custom -> "custom"
 
 let category_of_label s =
   List.find_opt (fun c -> category_label c = String.lowercase_ascii s) all_categories

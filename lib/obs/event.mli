@@ -27,11 +27,6 @@ type category =
                       [Dropped] lost, [detail] = "send"/"rpc"/"timeout" *)
   | Fault         (** one fault-injection action on a peer; [detail] =
                       "crash"/"recover" *)
-  | Custom        (** free-form; [detail] = the message.  Deprecated for
-                      internal use: the simulator's own subsystems emit
-                      typed categories only, and [Custom] remains solely
-                      for external callers of the {!Pdht_sim.Trace}
-                      compatibility shim. *)
 
 type outcome = Hit | Miss | Found | Not_found | Completed | Dropped
 

@@ -20,33 +20,10 @@ let disable t = Tracer.disable t.tracer
 let enabled t = Tracer.enabled t.tracer
 
 let record_event t event = Tracer.emit t.tracer event
-
-(* Legacy free-form path: the last in-tree producer of [Event.Custom].
-   Kept for external callers; everything inside the simulator emits
-   typed categories (via [record_event] or a subsystem tracer). *)
-let record t ~time msg =
-  record_event t (Event.make ~time ~detail:msg Event.Custom)
-
-(* A formatter that discards everything: the disabled branch of
-   [recordf] must not touch shared global state (the old implementation
-   leaned on [Format.str_formatter], clobbering anyone else's pending
-   output in it). *)
-let devnull = Format.make_formatter (fun _ _ _ -> ()) (fun () -> ())
-
-let recordf t ~time fmt =
-  if enabled t then Format.kasprintf (fun msg -> record t ~time msg) fmt
-  else Format.ikfprintf (fun _ -> ()) devnull fmt
-
 let typed_events t = Sink.Ring.contents t.ring
 
 let events t =
-  List.map
-    (fun (e : Event.t) ->
-      ( e.Event.time,
-        match e.Event.category with
-        | Event.Custom -> e.Event.detail
-        | _ -> Event.to_line e ))
-    (typed_events t)
+  List.map (fun (e : Event.t) -> (e.Event.time, Event.to_line e)) (typed_events t)
 
 let length t = Sink.Ring.length t.ring
 let clear t = Sink.Ring.clear t.ring

@@ -6,12 +6,9 @@
     selectively (e.g. the quickstart example prints the first few trace
     lines to show what the system is doing).
 
-    [record]/[recordf] write free-form [Custom] events and exist only
-    for backward compatibility with external callers: in-tree
-    subsystems emit typed categories (through {!record_event} or a
-    subsystem tracer), and [Custom] is deprecated for internal use
-    (see {!Pdht_obs.Event.category}).  Typed events land in the same
-    ring and are rendered by {!events} via {!Pdht_obs.Event.pp}. *)
+    Everything records typed {!Pdht_obs.Event.t} values (through
+    {!record_event} or a subsystem tracer); {!events} renders them via
+    {!Pdht_obs.Event.pp}. *)
 
 type t
 
@@ -27,16 +24,7 @@ val disable : t -> unit
 val enabled : t -> bool
 
 val record_event : t -> Pdht_obs.Event.t -> unit
-(** Record one typed event (no-op when disabled) — the migration
-    target for code that used to [record] free-form strings. *)
-
-val record : t -> time:float -> string -> unit
-(** No-op when disabled.  Emits an [Event.Custom] event; deprecated
-    for internal use — prefer {!record_event} with a typed category. *)
-
-val recordf : t -> time:float -> ('a, Format.formatter, unit, unit) format4 -> 'a
-(** Formatted variant of [record]; the message is only built when
-    enabled.  Same deprecation note as {!record}. *)
+(** Record one typed event (no-op when disabled). *)
 
 val events : t -> (float * string) list
 (** Recorded events, oldest first, rendered to strings. *)

@@ -387,7 +387,11 @@ let test_system_with_churn () =
 
 let test_system_adaptive_option_runs () =
   let options =
-    { tiny_options with System.ttl_policy = System.Adaptive; sample_every = 20. }
+    {
+      tiny_options with
+      System.selection_policy = System.spec_of_ttl_policy System.Adaptive;
+      sample_every = 20.;
+    }
   in
   let ttl = System.derive_key_ttl tiny_scenario options in
   let r = System.run tiny_scenario (partial ttl) options in
@@ -408,16 +412,116 @@ let test_system_options_builders () =
   let o =
     System.Options.make ~repl:7 ~stor:42 ~ttl_policy:(System.Fixed 5.) ()
   in
+  let fixed5 = System.spec_of_ttl_policy (System.Fixed 5.) in
   Alcotest.(check int) "repl" 7 o.System.repl;
   Alcotest.(check int) "stor" 42 o.System.stor;
-  Alcotest.(check bool) "ttl policy" true (o.System.ttl_policy = System.Fixed 5.);
+  Alcotest.(check bool) "ttl policy aliases into the policy axis" true
+    (Pdht_policy.Selector.equal o.System.selection_policy fixed5);
   Alcotest.(check int) "defaults survive" System.default_options.System.repl
     (System.Options.make ()).System.repl;
   let o2 = System.Options.with_stor 9 (System.Options.with_repl 3 o) in
   Alcotest.(check int) "with_repl" 3 o2.System.repl;
   Alcotest.(check int) "with_stor" 9 o2.System.stor;
   Alcotest.(check bool) "with_* keeps the rest" true
-    (o2.System.ttl_policy = System.Fixed 5.)
+    (Pdht_policy.Selector.equal o2.System.selection_policy fixed5)
+
+let test_system_options_make_defaults () =
+  (* [Options.make ()] must be [default_options], field for field: a
+     new option axis that forgets to thread its default through [make]
+     silently changes every caller that builds options that way. *)
+  let o = System.Options.make () in
+  let d = System.default_options in
+  Alcotest.(check int) "repl" d.System.repl o.System.repl;
+  Alcotest.(check int) "stor" d.System.stor o.System.stor;
+  Alcotest.(check bool) "selection_policy" true
+    (Pdht_policy.Selector.equal d.System.selection_policy o.System.selection_policy);
+  Alcotest.(check (float 0.)) "sample_every" d.System.sample_every o.System.sample_every;
+  Alcotest.(check (float 0.)) "sizing_slack" d.System.sizing_slack o.System.sizing_slack;
+  Alcotest.(check bool) "env" true (d.System.env = o.System.env);
+  Alcotest.(check bool) "backend" true (d.System.backend = o.System.backend);
+  Alcotest.(check bool) "eviction" true (d.System.eviction = o.System.eviction);
+  Alcotest.(check bool) "net" true (d.System.net = o.System.net);
+  Alcotest.(check bool) "fault" true (d.System.fault = o.System.fault);
+  Alcotest.(check bool) "timeline_window" true
+    (d.System.timeline_window = o.System.timeline_window);
+  Alcotest.(check bool) "whole record" true (o = d)
+
+let test_system_ttl_policy_alias_forwards () =
+  (* The deprecated builder must be indistinguishable from routing the
+     same mode through the policy axis. *)
+  List.iter
+    (fun tp ->
+      let via_alias = System.Options.with_ttl_policy tp tiny_options in
+      let via_policy =
+        System.Options.with_selection_policy (System.spec_of_ttl_policy tp)
+          tiny_options
+      in
+      Alcotest.(check bool) "alias forwards" true (via_alias = via_policy))
+    [ System.Model_derived; System.Fixed 77.; System.Adaptive ]
+
+let test_adaptive_retune_empty_window () =
+  let ctl = Adaptive.create () in
+  let _, p = build () in
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(float_of_int k) ~peer:k ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(40. +. float_of_int k) ~peer:(k + 50) ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  Metrics.charge (Pdht.metrics p) Metrics.Maintenance 500;
+  (match Adaptive.retune ctl p ~now:100. with
+  | Some _ -> ()
+  | None -> Alcotest.fail "expected the primed retune to produce a TTL");
+  (* The retune reset the observation window: with nothing new observed
+     the next retune must decline rather than divide by an empty
+     window, and the previous estimate must survive. *)
+  let before = Adaptive.current_ttl_estimate ctl in
+  Alcotest.(check (option (float 1e-9))) "empty window declines" None
+    (Adaptive.retune ctl p ~now:200.);
+  Alcotest.(check (option (float 1e-9))) "estimate survives" before
+    (Adaptive.current_ttl_estimate ctl)
+
+let test_adaptive_retune_no_index () =
+  (* Costs observed on a busy instance, but retuned against one whose
+     index is empty: cRtn per indexed key is undefined, so no tune. *)
+  let ctl = Adaptive.create () in
+  let _, busy = build () in
+  for k = 0 to 30 do
+    let r = Pdht.query busy ~now:(float_of_int k) ~peer:k ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  for k = 0 to 30 do
+    let r = Pdht.query busy ~now:(40. +. float_of_int k) ~peer:(k + 50) ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  let _, empty = build () in
+  Metrics.charge (Pdht.metrics empty) Metrics.Maintenance 500;
+  Alcotest.(check (option (float 1e-9))) "no indexed keys, no tune" None
+    (Adaptive.retune ctl empty ~now:100.)
+
+let test_adaptive_retune_clamps_to_max () =
+  let max_ttl = 2.5 in
+  let ctl = Adaptive.create ~min_ttl:1. ~max_ttl () in
+  let _, p = build () in
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(float_of_int k) ~peer:k ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  for k = 0 to 30 do
+    let r = Pdht.query p ~now:(40. +. float_of_int k) ~peer:(k + 50) ~key_index:k in
+    Adaptive.note_query ctl r
+  done;
+  (* Almost no maintenance traffic: the raw 1/fMin estimate is huge and
+     only the clamp keeps it sane. *)
+  Metrics.charge (Pdht.metrics p) Metrics.Maintenance 1;
+  match Adaptive.retune ctl p ~now:100. with
+  | Some ttl ->
+      Alcotest.(check bool)
+        (Printf.sprintf "clamped: %g <= %g" ttl max_ttl)
+        true (ttl <= max_ttl)
+  | None -> Alcotest.fail "expected a retune"
 
 let test_system_query_cost_percentiles () =
   let ttl = System.derive_key_ttl tiny_scenario tiny_options in
@@ -592,6 +696,9 @@ let () =
           Alcotest.test_case "needs data" `Quick test_adaptive_needs_data;
           Alcotest.test_case "produces estimate" `Quick test_adaptive_produces_estimate;
           Alcotest.test_case "validation" `Quick test_adaptive_smoothing_and_clamp;
+          Alcotest.test_case "empty window declines" `Quick test_adaptive_retune_empty_window;
+          Alcotest.test_case "no index declines" `Quick test_adaptive_retune_no_index;
+          Alcotest.test_case "clamps to max" `Quick test_adaptive_retune_clamps_to_max;
         ] );
       ( "system",
         [
@@ -605,6 +712,8 @@ let () =
           Alcotest.test_case "adaptive option" `Quick test_system_adaptive_option_runs;
           Alcotest.test_case "ttl override" `Quick test_system_ttl_override;
           Alcotest.test_case "options builders" `Quick test_system_options_builders;
+          Alcotest.test_case "make defaults" `Quick test_system_options_make_defaults;
+          Alcotest.test_case "ttl alias forwards" `Quick test_system_ttl_policy_alias_forwards;
           Alcotest.test_case "query cost percentiles" `Quick test_system_query_cost_percentiles;
           Alcotest.test_case "report printable" `Quick test_system_report_printable;
         ] );

@@ -121,6 +121,25 @@ let test_solve_converges () =
   Alcotest.(check bool) "maxRank in range" true
     (s.Index_policy.max_rank > 0 && s.Index_policy.max_rank <= 40_000)
 
+let test_solve_iteration_cap_returns_last_iterate () =
+  (* A starved iteration budget is not an error: [solve] stops at the
+     cap and returns the last iterate, which must still be a sane
+     (if unconverged) solution. *)
+  let s1 = Index_policy.solve ~max_iterations:1 p0 in
+  Alcotest.(check int) "stopped at the cap" 1 s1.Index_policy.iterations;
+  Alcotest.(check bool) "maxRank still in range" true
+    (s1.Index_policy.max_rank >= 0 && s1.Index_policy.max_rank <= 40_000);
+  Alcotest.(check bool) "pIndxd still a probability" true
+    (s1.Index_policy.p_indexed >= 0. && s1.Index_policy.p_indexed <= 1.);
+  (* Granting exactly as many steps as convergence takes reproduces the
+     unconstrained answer — the cap only ever truncates. *)
+  let full = Index_policy.solve p0 in
+  let capped = Index_policy.solve ~max_iterations:full.Index_policy.iterations p0 in
+  Alcotest.(check int) "same maxRank at the exact budget"
+    full.Index_policy.max_rank capped.Index_policy.max_rank;
+  Alcotest.(check (float 1e-12)) "same fMin at the exact budget"
+    full.Index_policy.f_min capped.Index_policy.f_min
+
 let test_solve_busy_period_matches_fig3 () =
   (* At fQry = 1/30 the paper's Fig. 3 shows ~60% of keys indexed and
      pIndxd near 1. *)
@@ -547,6 +566,8 @@ let () =
         [
           Alcotest.test_case "Eq. 4 extremes" `Quick test_eq4_prob_queried;
           Alcotest.test_case "solve converges" `Quick test_solve_converges;
+          Alcotest.test_case "iteration cap returns last iterate" `Quick
+            test_solve_iteration_cap_returns_last_iterate;
           Alcotest.test_case "busy period vs Fig. 3" `Quick test_solve_busy_period_matches_fig3;
           Alcotest.test_case "quiet period vs Fig. 3" `Quick test_solve_quiet_period_matches_fig3;
           Alcotest.test_case "maxRank monotone" `Quick test_max_rank_monotone_in_frequency;

@@ -119,7 +119,7 @@ let sample_events =
       ~outcome:Event.Found ~detail:"chord" Event.Dht_lookup;
     Event.make ~time:0. Event.Engine;
     Event.make ~time:2.25 ~peer:8 ~outcome:Event.Miss Event.Query;
-    Event.make ~time:3. ~detail:"with \"quotes\" and\nnewline" Event.Custom;
+    Event.make ~time:3. ~detail:"with \"quotes\" and\nnewline" Event.Gossip;
     Event.make ~time:4. ~peer:1 ~key_index:5 ~messages:7 ~outcome:Event.Found
       ~span:12 Event.Query;
     Event.make ~time:4.5 ~peer:1 ~key_index:5 ~hops:3 ~messages:2 ~span:13

@@ -302,36 +302,40 @@ let test_metrics_series_rejects_bad () =
 (* ------------------------------------------------------------------ *)
 (* Trace *)
 
+let gossip_event ~time detail =
+  let module Event = Pdht_obs.Event in
+  Event.make ~time ~detail Event.Gossip
+
 let test_trace_disabled_by_default () =
   let tr = Trace.create () in
-  Trace.record tr ~time:1. "ignored";
+  Trace.record_event tr (gossip_event ~time:1. "ignored");
   Alcotest.(check int) "nothing recorded" 0 (Trace.length tr)
 
 let test_trace_records_when_enabled () =
   let tr = Trace.create () in
   Trace.enable tr;
-  Trace.record tr ~time:1. "a";
-  Trace.recordf tr ~time:2. "b%d" 2;
+  Trace.record_event tr (gossip_event ~time:1. "a");
+  Trace.record_event tr (gossip_event ~time:2. "b2");
   Alcotest.(check int) "two events" 2 (Trace.length tr);
-  Alcotest.(check (list (pair (float 0.) string))) "oldest first"
-    [ (1., "a"); (2., "b2") ]
-    (Trace.events tr)
+  Alcotest.(check (list (float 0.))) "oldest first" [ 1.; 2. ]
+    (List.map fst (Trace.events tr))
 
 let test_trace_capacity_trim () =
+  let module Event = Pdht_obs.Event in
   let tr = Trace.create ~capacity:10 () in
   Trace.enable tr;
   for i = 1 to 100 do
-    Trace.record tr ~time:(float_of_int i) (string_of_int i)
+    Trace.record_event tr (gossip_event ~time:(float_of_int i) (string_of_int i))
   done;
   Alcotest.(check bool) "bounded" true (Trace.length tr <= 10);
-  let events = Trace.events tr in
-  let _, last = List.nth events (List.length events - 1) in
-  Alcotest.(check string) "latest kept" "100" last
+  let events = Trace.typed_events tr in
+  let last = List.nth events (List.length events - 1) in
+  Alcotest.(check string) "latest kept" "100" last.Event.detail
 
 let test_trace_clear () =
   let tr = Trace.create () in
   Trace.enable tr;
-  Trace.record tr ~time:1. "x";
+  Trace.record_event tr (gossip_event ~time:1. "x");
   Trace.clear tr;
   Alcotest.(check int) "cleared" 0 (Trace.length tr)
 
@@ -342,18 +346,15 @@ let test_trace_record_event_typed () =
   Trace.record_event tr
     (Event.make ~time:3. ~peer:4 ~key_index:9 ~hops:2 ~messages:5 ~span:1
        Event.Dht_lookup);
-  Trace.record tr ~time:4. "legacy";
   (match Trace.typed_events tr with
-  | [ typed; legacy ] ->
+  | [ typed ] ->
       Alcotest.(check bool) "typed category kept" true
         (typed.Event.category = Event.Dht_lookup);
-      Alcotest.(check int) "span kept" 1 typed.Event.span;
-      Alcotest.(check bool) "legacy goes through Custom" true
-        (legacy.Event.category = Event.Custom)
-  | evs -> Alcotest.failf "expected 2 events, got %d" (List.length evs));
-  (* Typed events render via Event.to_line; Custom stays free-form. *)
+      Alcotest.(check int) "span kept" 1 typed.Event.span
+  | evs -> Alcotest.failf "expected 1 event, got %d" (List.length evs));
+  (* Typed events render via Event.to_line. *)
   match Trace.events tr with
-  | [ (3., line); (4., "legacy") ] ->
+  | [ (3., line) ] ->
       Alcotest.(check bool) "rendered line mentions category" true
         (String.length line > 0)
   | _ -> Alcotest.fail "rendered events shape"

@@ -59,17 +59,46 @@ grep -q '"no_fault_equivalent": *true' BENCH_pdht.json
 grep -q '"crash_sweep"' BENCH_pdht.json
 grep -q '"fault_recovered": *true' BENCH_pdht.json
 
+echo "== selection policy gate =="
+# The perf section raced the selection policies (same JSON).  Two
+# contracts: (1) the default [Ttl Model_derived] policy must be
+# indistinguishable from the pre-policy system — the deprecated
+# ttl_policy alias reproduces it field for field and installs no
+# selector — and (2) in the E23 flash-crowd race at least one adaptive
+# policy must beat the static model-derived TTL on post-shift cost.
+grep -q '"policy_default_equivalent": *true' BENCH_pdht.json
+grep -q '"policy_adaptive_beats_static": *true' BENCH_pdht.json
+grep -q '"policy_race"' BENCH_pdht.json
+# Byte-level anchor for the same contract: the default-policy CLI report
+# is pinned against a golden file committed before the policy axis
+# existed.  Any drift here means the selection_policy redesign perturbed
+# the default code path.
+pol=$(mktemp -d)
+trap 'rm -rf "$pol"' EXIT INT TERM
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 240 \
+  > "$pol/default-report.txt"
+diff "$pol/default-report.txt" test/golden/default_policy_report.txt
+# An explicit --policy ttl spells the same default and must also match.
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 240 \
+  --policy ttl > "$pol/ttl-report.txt"
+diff "$pol/ttl-report.txt" test/golden/default_policy_report.txt
+# And an adaptive spec must actually install its selector: the report
+# grows the policy summary line (run long enough for one retune).
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 400 \
+  --policy cost > "$pol/cost-report.txt"
+grep -q 'policy: cost' "$pol/cost-report.txt"
+
 echo "== parallel determinism =="
 # The runner's contract: any --jobs value yields byte-identical output.
 par=$(mktemp -d)
-trap 'rm -rf "$par"' EXIT INT TERM
+trap 'rm -rf "$pol" "$par"' EXIT INT TERM
 dune exec bench/main.exe -- -j 1 seeds > "$par/seeds-j1.txt"
 dune exec bench/main.exe -- -j 4 seeds > "$par/seeds-j4.txt"
 diff "$par/seeds-j1.txt" "$par/seeds-j4.txt"
 
 echo "== telemetry smoke =="
 out=$(mktemp -d)
-trap 'rm -rf "$par" "$out"' EXIT INT TERM
+trap 'rm -rf "$pol" "$par" "$out"' EXIT INT TERM
 dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
   --metrics-out "$out/metrics.jsonl" --trace-out "$out/trace.jsonl" > /dev/null
 dune exec tools/validate_jsonl.exe -- "$out/metrics.jsonl" "$out/trace.jsonl"

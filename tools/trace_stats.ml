@@ -96,7 +96,7 @@ let latency_bucket ~parent_category (e : Event.t) =
   | Event.Broadcast -> `Unstructured
   | Event.Gossip -> `Update
   | Event.Maintenance | Event.Fault -> `Repair
-  | Event.Query | Event.Engine | Event.Churn | Event.Custom -> `Other
+  | Event.Query | Event.Engine | Event.Churn -> `Other
 
 let read_events path =
   let ic = open_in path in
