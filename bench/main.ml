@@ -14,8 +14,12 @@
      ablation         E8       flooding vs random walks; Chord vs P-Grid
      ttl_tuning       ext      fixed keyTtl grid vs the adaptive controller
      micro            -        Bechamel micro-benchmarks of the hot paths
+     scale            ext      decade sweep 10^3..10^6 peers (bytes/peer,
+                               events/s, hops vs log N); cap the largest
+                               decade with --scale-max N
 
-   Usage: main.exe [section ...] [-j N]   (no sections = everything)
+   Usage: main.exe [section ...] [-j N] [--scale-max N]
+   (no sections = everything)
 
    -j/--jobs N runs each experiment's independent simulations on N
    domains (default: recommended_domain_count - 1).  Output is
@@ -750,6 +754,28 @@ let section_perf () =
   in
   let flood_scratch_words = flood_words ~scratch:(Pdht_overlay.Scratch.create ()) () in
   let flood_fresh_words = flood_words () in
+  (* Storage probes: the open-addressed table's expiry sweep and the
+     put/get cycle must both run without allocating — [expire] used to
+     build a list of doomed keys per call, which at simulation scale was
+     a steady allocation tax proportional to live entries. *)
+  let storage_expire_words =
+    let store = Pdht_dht.Storage.create ~capacity:256 () in
+    for i = 0 to 199 do
+      Pdht_dht.Storage.put store ~key:(Pdht_util.Bitkey.of_int i) ~value:i ~now:0.
+        ~ttl:(3_600. +. float_of_int i)
+    done;
+    minor_words_per_op ~warmup:1_000 ~iters:100_000 (fun () ->
+        ignore (Pdht_dht.Storage.expire store ~now:1.0))
+  in
+  let storage_put_get_words =
+    let store = Pdht_dht.Storage.create ~capacity:256 () in
+    let i = ref 0 in
+    minor_words_per_op ~warmup:1_000 ~iters:100_000 (fun () ->
+        let key = Pdht_util.Bitkey.of_int (!i land 127) in
+        incr i;
+        Pdht_dht.Storage.put store ~key ~value:!i ~now:0. ~ttl:3_600.;
+        ignore (Pdht_dht.Storage.get store ~key ~now:0.))
+  in
   (* Runner scaling: a sweep-sized seed batch (>= 4x the domain count, so
      work-stealing has something to balance) on one domain and on
      [max !jobs 4] domains.  The outputs are asserted identical; only the
@@ -1238,6 +1264,9 @@ let section_perf () =
               ("event_queue_add_pop_minor_words_per_op", Json.Float queue_words_per_op);
               ("flood_scratch_minor_words_per_search", Json.Float flood_scratch_words);
               ("flood_fresh_minor_words_per_search", Json.Float flood_fresh_words);
+              ("storage_expire_minor_words_per_op", Json.Float storage_expire_words);
+              ("storage_put_get_minor_words_per_op", Json.Float storage_put_get_words);
+              ("storage_expire_alloc_free", Json.Bool (storage_expire_words = 0.));
             ] );
         ( "histograms",
           Json.Obj
@@ -1272,13 +1301,15 @@ let section_perf () =
   close_out oc;
   Printf.printf
     "%s: %d engine events in %.2f s wall (%.0f events/s), %.1f minor words/event\n\
-     alloc: queue add+pop %.2f w/op, flood %.0f w/search with scratch vs %.0f fresh\n\
+     alloc: queue add+pop %.2f w/op, flood %.0f w/search with scratch vs %.0f fresh, \
+     storage expire %.2f w/op (alloc-free: %b), put+get %.2f w/op\n\
      runner: %d-spec batch %.2f s on 1 domain vs %.2f s at -j %d (%.2fx on %d core(s), \
      identical output)\n\
      wrote %s\n"
     run_name engine_events wall events_per_second minor_words_per_event queue_words_per_op
-    flood_scratch_words flood_fresh_words (List.length batch_specs) wall_single
-    wall_parallel par_jobs speedup cores path;
+    flood_scratch_words flood_fresh_words storage_expire_words
+    (storage_expire_words = 0.) storage_put_get_words (List.length batch_specs)
+    wall_single wall_parallel par_jobs speedup cores path;
   Printf.printf
     "\nnetwork model (constant 20 ms/hop, 0.5 s timeout, %d retries): \
      zero-cost net == no net: %b\n"
@@ -1371,6 +1402,240 @@ let section_micro () =
   Table.print table
 
 (* ------------------------------------------------------------------ *)
+(* Decade scale sweep: 10^3 .. 10^6 peers.  Per decade, one news-scaled
+   partial-index simulation (timed, Gc-measured) plus one raw-DHT
+   lookup arm at the full population.  Splices a "scale" object into
+   BENCH_pdht.json so ci.sh can gate on it after a [perf] run. *)
+
+let scale_max = ref 1_000_000
+
+let peak_rss_mb () =
+  (* VmHWM is the process high-water RSS; 0. when /proc is unreadable. *)
+  match open_in "/proc/self/status" with
+  | exception _ -> 0.
+  | ic ->
+      let rec find () =
+        match input_line ic with
+        | exception End_of_file -> 0.
+        | line ->
+            if String.length line > 6 && String.sub line 0 6 = "VmHWM:" then
+              Scanf.sscanf
+                (String.sub line 6 (String.length line - 6))
+                " %d kB"
+                (fun kb -> float_of_int kb /. 1024.)
+            else find ()
+      in
+      let mb = find () in
+      close_in ic;
+      mb
+
+let contains_substring haystack needle =
+  let n = String.length needle and h = String.length haystack in
+  let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
+  at 0
+
+(* Merge ["scale": ...] into an existing single-line BENCH_pdht.json
+   object (the [perf] section's output); start a fresh object when the
+   file is missing or malformed.  A previous scale block (always the
+   trailing member, since we put it there) is dropped first so reruns
+   replace it instead of discarding the perf data. *)
+let splice_scale_json path scale_json =
+  let base =
+    if Sys.file_exists path then (
+      let ic = open_in_bin path in
+      let s = really_input_string ic (in_channel_length ic) in
+      close_in ic;
+      String.trim s)
+    else ""
+  in
+  let base =
+    let marker = "\"scale\":" in
+    let m = String.length marker and len = String.length base in
+    let rec find i = if i + m > len then -1 else if String.sub base i m = marker then i else find (i + 1) in
+    match find 0 with
+    | -1 -> base
+    | p ->
+        let pre = String.trim (String.sub base 0 p) in
+        let pre =
+          let l = String.length pre in
+          if l > 0 && pre.[l - 1] = ',' then String.trim (String.sub pre 0 (l - 1)) else pre
+        in
+        if pre = "{" then "{}" else pre ^ "}"
+  in
+  let scale_str = Pdht_obs.Json.to_string scale_json in
+  let len = String.length base in
+  let merged =
+    if
+      len >= 2
+      && base.[0] = '{'
+      && base.[len - 1] = '}'
+      && not (contains_substring base "\"scale\":")
+    then
+      String.sub base 0 (len - 1)
+      ^ (if String.trim (String.sub base 1 (len - 2)) = "" then "" else ", ")
+      ^ "\"scale\": " ^ scale_str ^ "}"
+    else "{\"scale\": " ^ scale_str ^ "}"
+  in
+  let oc = open_out path in
+  output_string oc merged;
+  output_char oc '\n';
+  close_out oc
+
+let section_scale () =
+  heading
+    (Printf.sprintf "Scale sweep: 10^3 -> %d peers (decades)" !scale_max)
+    "(per decade: a news-scaled partial-index run -- Gc-measured bytes/peer,\n\
+     events/s, mean index-lookup hops -- plus a raw P-Grid lookup arm at the\n\
+     full population; bytes/peer must stay flat while hops track log N)";
+  let module Json = Pdht_obs.Json in
+  let decades =
+    List.filter (fun n -> n <= !scale_max) [ 1_000; 10_000; 100_000; 1_000_000 ]
+  in
+  if decades = [] then (
+    Printf.printf "scale: --scale-max %d leaves no decade to run\n" !scale_max;
+    exit 2);
+  let log2 n = log (float_of_int n) /. log 2. in
+  let rows =
+    List.map
+      (fun n ->
+        (* Replication grows with the population (paper deployments keep
+           repl a population fraction) so per-peer load stays constant;
+           the duration shrinks with n to hold the event count at
+           roughly 60k queries per decade -- the sweep measures memory
+           and per-event cost, not ever-longer simulations. *)
+        let repl = max 20 (n / 500) in
+        let scenario =
+          {
+            (Scenario.with_scale Scenario.news_default ~peers:n ~keys:2_000) with
+            Scenario.name = Printf.sprintf "scale-%d" n;
+            duration = 60_000. /. (float_of_int n /. 30.);
+            seed = 2004;
+          }
+        in
+        let options = System.Options.make ~repl ~stor:100 () in
+        let key_ttl = System.derive_key_ttl scenario options in
+        let strategy = Strategy.Partial_index { key_ttl } in
+        let active = System.plan_active_members scenario options strategy in
+        (* bytes/peer: compacted live-heap growth across building the
+           full system state, divided by the population. *)
+        Gc.compact ();
+        let live0 = (Gc.stat ()).Gc.live_words in
+        let state =
+          let rng = Pdht_util.Rng.create ~seed:scenario.Scenario.seed in
+          let config =
+            Pdht_core.Config.make ~num_peers:n ~active_members:active ~keys:2_000
+              ~repl ~stor:100 ~strategy ()
+          in
+          Pdht_core.Pdht.create rng config
+        in
+        Gc.compact ();
+        let live1 = (Gc.stat ()).Gc.live_words in
+        let bytes_per_peer =
+          8. *. float_of_int (live1 - live0) /. float_of_int n
+        in
+        ignore (Sys.opaque_identity state);
+        (* Throughput: the timed simulation at this decade. *)
+        let obs = Pdht_obs.Context.create () in
+        let t0 = Unix.gettimeofday () in
+        let report = System.run ~obs scenario strategy options in
+        let wall = Unix.gettimeofday () -. t0 in
+        let engine_events =
+          match
+            Pdht_obs.Registry.counter_value_by_name
+              (Pdht_obs.Context.registry obs)
+              "engine.events_processed"
+          with
+          | Some c -> c
+          | None -> 0
+        in
+        let events_per_second =
+          if wall > 0. then float_of_int engine_events /. wall else 0.
+        in
+        let sim_hops =
+          match List.assoc_opt "dht.hops.p-grid" report.System.histograms with
+          | Some s -> s.Pdht_obs.Histogram.mean
+          | None -> 0.
+        in
+        (* Raw-DHT arm: the structured backend alone at the FULL
+           population (the simulation's index spans active_members
+           only), so the hops-vs-log-N claim is tested at n itself. *)
+        let dht_rng = Pdht_util.Rng.create ~seed:(scenario.Scenario.seed + n) in
+        let dht =
+          Pdht_dht.Dht.create dht_rng ~backend:Pdht_dht.Dht.Pgrid_backend
+            ~members:n ()
+        in
+        let online _ = true in
+        let trials = 500 in
+        let hops_sum = ref 0 and found = ref 0 in
+        for _ = 1 to trials do
+          let source = Pdht_util.Rng.int dht_rng n in
+          let key = Pdht_util.Bitkey.random dht_rng in
+          let o = Pdht_dht.Dht.lookup dht dht_rng ~online ~source ~key in
+          hops_sum := !hops_sum + o.Pdht_dht.Dht.hops;
+          if o.Pdht_dht.Dht.responsible <> None then incr found
+        done;
+        let dht_hops = float_of_int !hops_sum /. float_of_int trials in
+        let dht_success = float_of_int !found /. float_of_int trials in
+        Printf.printf
+          "  n=%-8d repl=%-4d active=%-6d %8.0f B/peer  %9.0f events/s  \
+           sim hops %.2f  dht hops %.2f (log2 n = %.1f, success %.2f)  wall %.1f s\n\
+           %!"
+          n repl active bytes_per_peer events_per_second sim_hops dht_hops
+          (log2 n) dht_success wall;
+        (n, repl, active, bytes_per_peer, events_per_second, sim_hops, dht_hops,
+         dht_success, wall))
+      decades
+  in
+  let bytes = List.map (fun (_, _, _, b, _, _, _, _, _) -> b) rows in
+  let bytes_per_peer_flat =
+    (* Flat-representation invariant: bytes/peer must not creep up
+       decade over decade (10% slack covers hash-table rounding). *)
+    let rec ok = function
+      | b1 :: (b2 :: _ as rest) -> b2 <= 1.10 *. b1 && ok rest
+      | _ -> true
+    in
+    ok bytes
+  in
+  let ratios =
+    List.map (fun (n, _, _, _, _, _, h, _, _) -> h /. log2 n) rows
+  in
+  let hops_track_log_n =
+    match ratios with
+    | [] -> false
+    | r0 :: _ -> List.for_all (fun r -> r >= 0.4 *. r0 && r <= 2.0 *. r0) ratios
+  in
+  let rss = peak_rss_mb () in
+  let row_json (n, repl, active, b, eps, sh, dh, ds, wall) =
+    Json.Obj
+      [
+        ("peers", Json.Int n);
+        ("repl", Json.Int repl);
+        ("active_members", Json.Int active);
+        ("bytes_per_peer", Json.Float b);
+        ("events_per_second", Json.Float eps);
+        ("sim_mean_hops", Json.Float sh);
+        ("dht_mean_hops", Json.Float dh);
+        ("dht_lookup_success", Json.Float ds);
+        ("wall_s", Json.Float wall);
+      ]
+  in
+  let scale_json =
+    Json.Obj
+      [
+        ("decades", Json.List (List.map row_json rows));
+        ("bytes_per_peer_flat", Json.Bool bytes_per_peer_flat);
+        ("hops_track_log_n", Json.Bool hops_track_log_n);
+        ("peak_rss_mb", Json.Float rss);
+      ]
+  in
+  let path = "BENCH_pdht.json" in
+  splice_scale_json path scale_json;
+  Printf.printf
+    "bytes/peer flat across decades: %b; dht hops track log N: %b; peak RSS %.0f \
+     MB\nspliced \"scale\" into %s\n"
+    bytes_per_peer_flat hops_track_log_n rss path
+
+(* ------------------------------------------------------------------ *)
 
 let sections =
   [
@@ -1397,6 +1662,7 @@ let sections =
     ("replication_planning", section_replication_planning);
     ("perf", section_perf);
     ("micro", section_micro);
+    ("scale", section_scale);
   ]
 
 let set_jobs value =
@@ -1406,8 +1672,15 @@ let set_jobs value =
       Printf.eprintf "-j/--jobs needs a positive integer, got %S\n" value;
       exit 2
 
-(* [-j N] / [--jobs N] / [--jobs=N] may appear anywhere among the
-   section names. *)
+let set_scale_max value =
+  match int_of_string_opt value with
+  | Some n when n >= 1 -> scale_max := n
+  | Some _ | None ->
+      Printf.eprintf "--scale-max needs a positive integer, got %S\n" value;
+      exit 2
+
+(* [-j N] / [--jobs N] / [--jobs=N] and [--scale-max N] / [--scale-max=N]
+   may appear anywhere among the section names. *)
 let rec strip_jobs acc = function
   | [] -> List.rev acc
   | ("-j" | "--jobs") :: value :: rest ->
@@ -1418,6 +1691,16 @@ let rec strip_jobs acc = function
       exit 2
   | arg :: rest when String.length arg > 7 && String.sub arg 0 7 = "--jobs=" ->
       set_jobs (String.sub arg 7 (String.length arg - 7));
+      strip_jobs acc rest
+  | "--scale-max" :: value :: rest ->
+      set_scale_max value;
+      strip_jobs acc rest
+  | [ "--scale-max" ] ->
+      Printf.eprintf "--scale-max needs a value\n";
+      exit 2
+  | arg :: rest
+    when String.length arg > 12 && String.sub arg 0 12 = "--scale-max=" ->
+      set_scale_max (String.sub arg 12 (String.length arg - 12));
       strip_jobs acc rest
   | arg :: rest -> strip_jobs (arg :: acc) rest
 

@@ -606,3 +606,75 @@ let ttl_tuning ?jobs ?(options = System.default_options) ~scenario ~fixed_ttls (
         hit_rate = report.System.hit_rate;
       })
     labels reports
+
+(* Representation-equivalence battery (scale discipline, DESIGN.md
+   sect. 13).  A fixed set of small same-seed runs chosen so that every
+   flat/SoA data-structure path introduced by the million-peer refactor
+   is on some arm's hot path: all four DHT backends (Kademlia's trie
+   k-NN and scratch lookup, P-Grid/Chord/Pastry over the shared
+   storage), churn (routing forget/rebuild, replication remove_peer,
+   storage expiry under pressure), both non-default eviction policies
+   (slot-order victim scans, the Evict_random RNG draw), the pure
+   broadcast path (CSR topology walks/floods) and the Index_all path
+   (forever-TTL storage).  The rendered reports are pinned as a golden
+   file before any representation changes; byte-identity of the battery
+   is the proof that a refactor was purely representational. *)
+let representation_battery ?jobs () =
+  let base =
+    {
+      (Scenario.with_scale Scenario.news_default ~peers:200 ~keys:300) with
+      Scenario.duration = 240.;
+    }
+  in
+  let churny name =
+    {
+      base with
+      Scenario.name;
+      churn =
+        Scenario.Exponential_sessions
+          {
+            mean_uptime = 600.;
+            mean_downtime = 120.;
+            initially_online_fraction = 0.9;
+          };
+    }
+  in
+  let backend b = System.Options.with_backend b System.default_options in
+  let small_cache eviction = System.Options.make ~stor:10 ~eviction () in
+  let specs =
+    [
+      Run_spec.make ~tag:"pgrid-partial" base;
+      Run_spec.make ~tag:"chord-partial"
+        ~options:(backend Pdht_dht.Dht.Chord_backend)
+        base;
+      Run_spec.make ~tag:"kademlia-partial"
+        ~options:(backend Pdht_dht.Dht.Kademlia_backend)
+        base;
+      Run_spec.make ~tag:"pastry-partial"
+        ~options:(backend Pdht_dht.Dht.Pastry_backend)
+        base;
+      Run_spec.make ~tag:"pgrid-index-all" ~strategy:Strategy.Index_all base;
+      Run_spec.make ~tag:"pgrid-no-index" ~strategy:Strategy.No_index base;
+      Run_spec.make ~tag:"pgrid-churn" (churny "news-churn");
+      Run_spec.make ~tag:"kademlia-churn"
+        ~options:(backend Pdht_dht.Dht.Kademlia_backend)
+        (churny "news-churn");
+      Run_spec.make ~tag:"pgrid-evict-random"
+        ~options:(small_cache Pdht_dht.Storage.Evict_random)
+        base;
+      Run_spec.make ~tag:"pgrid-evict-lru"
+        ~options:(small_cache Pdht_dht.Storage.Evict_lru)
+        base;
+    ]
+  in
+  let reports = run_specs ?jobs specs in
+  List.map2 (fun spec report -> (spec.Run_spec.tag, report)) specs reports
+
+let render_reports rows =
+  let buf = Buffer.create (1 lsl 16) in
+  List.iter
+    (fun (tag, report) ->
+      Buffer.add_string buf ("=== " ^ tag ^ " ===\n");
+      Buffer.add_string buf (Format.asprintf "%a@." System.pp_report report))
+    rows;
+  Buffer.contents buf

@@ -264,3 +264,16 @@ val ttl_tuning :
   unit ->
   ttl_tuning_row list
 (** One run per fixed TTL plus one adaptive run, identical workloads. *)
+
+(** Representation-equivalence battery: a fixed set of small same-seed
+    runs covering every flat/SoA data-structure path of the
+    million-peer refactor (all four backends, churn, both non-default
+    eviction policies, pure broadcast, [Index_all]).  Rendered with
+    {!render_reports} and pinned as
+    [test/golden/representation_reports.txt]; any purely
+    representational change must keep the rendering byte-identical. *)
+val representation_battery : ?jobs:int -> unit -> (string * System.report) list
+
+val render_reports : (string * System.report) list -> string
+(** Concatenate ["=== <tag> ===\n" ^ pp_report] per row — the exact
+    bytes of the golden file. *)

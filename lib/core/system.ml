@@ -429,16 +429,13 @@ let run ?obs scenario strategy options =
       ()
   in
   Pdht_work.Query_gen.attach query_gen engine ~until:scenario.Scenario.duration
-    ~handler:(fun eng q ->
+    ~handler:(fun eng ~peer ~key_index ~rank:_ ->
       (* An offline peer issues no queries: the per-peer rate is an
          online activity, so drop the event rather than counting a
          phantom failure. *)
-      if online_peer q.Pdht_work.Query_gen.peer then begin
+      if online_peer peer then begin
       let now = Engine.now eng in
-      let result =
-        Pdht.query pdht ~now ~peer:q.Pdht_work.Query_gen.peer
-          ~key_index:q.Pdht_work.Query_gen.key_index
-      in
+      let result = Pdht.query pdht ~now ~peer ~key_index in
       counters.queries <- counters.queries + 1;
       counters.bucket_queries <- counters.bucket_queries + 1;
       (match result.Pdht.source with
@@ -471,7 +468,7 @@ let run ?obs scenario strategy options =
       | None -> ());
       match selector with
       | Some sel ->
-          Psel.observe sel ~now ~key_index:q.Pdht_work.Query_gen.key_index
+          Psel.observe sel ~now ~key_index
             (Psel.Queried { hit = result.Pdht.source = Pdht.From_index })
       | None -> ()
       end);
@@ -484,11 +481,9 @@ let run ?obs scenario strategy options =
           ~mean_lifetime
       in
       Pdht_work.Update_gen.attach update_gen engine ~until:scenario.Scenario.duration
-        ~handler:(fun eng u ->
+        ~handler:(fun eng ~article_id ->
           let now = Engine.now eng in
-          ignore
-            (Pdht.update_key pdht update_rng ~now
-               ~key_index:u.Pdht_work.Update_gen.article_id)));
+          ignore (Pdht.update_key pdht update_rng ~now ~key_index:article_id)));
   (* Periodic sampling of hit rate, traffic and index size. *)
   Engine.schedule_periodic engine ~first:options.sample_every ~every:options.sample_every
     (fun eng ->

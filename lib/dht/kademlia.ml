@@ -1,11 +1,35 @@
 module Bitkey = Pdht_util.Bitkey
 module Rng = Pdht_util.Rng
 
+(* Flat-state Kademlia.  Ids double as their own int keys: [sorted_ids]
+   holds the raw 62-bit ids in ascending order with [sorted_members]
+   giving the owning member per position, which makes the id set an
+   implicit binary trie — descending into the child that matches the
+   query key's bit at each depth enumerates members in exactly
+   increasing XOR distance, so k-NN ([closest_members]) and
+   nearest-online ([responsible]) are O(k + log n) walks instead of a
+   full sort / full scan.  Lookups run on generation-stamped scratch
+   owned by [t] (the PR 3 [Scratch] discipline): no per-lookup
+   Hashtbls, no per-round candidate lists. *)
 type t = {
   ids : Bitkey.t array; (* member -> id *)
+  sorted_ids : int array; (* raw ids, ascending *)
+  sorted_members : int array; (* member owning sorted_ids.(i) *)
   buckets : int array array array; (* member -> cpl bucket -> entries *)
   bucket_size : int;
   alpha : int;
+  (* per-lookup scratch; a slot is live iff its stamp equals the
+     current generation *)
+  mutable generation : int;
+  cand_stamp : int array;
+  contacted_stamp : int array;
+  dead_stamp : int array;
+  mutable cand_buf : int array;
+  mutable cand_len : int;
+  table_dist : int array; (* routing-table sort scratch *)
+  table_buf : int array;
+  batch_dist : int array; (* alpha smallest pending, ascending *)
+  batch_buf : int array;
 }
 
 let members t = Array.length t.ids
@@ -13,45 +37,113 @@ let id_of t m = t.ids.(m)
 
 let distance key id = Bitkey.xor_distance key id
 
-(* The [k] members closest to [key] in XOR distance.  A full scan keeps
-   this exact; member counts in simulations are small enough that the
-   O(n log n) cost never shows up outside construction. *)
+(* First position in [lo, hi) whose id has bit [depth] set (MSB-first).
+   Within a segment sharing all bits above [depth], ascending id order
+   puts every 0-bit id before every 1-bit id. *)
+let split t lo hi depth =
+  let bit = 1 lsl (Bitkey.width - 1 - depth) in
+  let lo = ref lo and hi = ref hi in
+  while !lo < !hi do
+    let mid = (!lo + !hi) lsr 1 in
+    if t.sorted_ids.(mid) land bit = 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Visit members in strictly increasing XOR distance from [key],
+   stopping early when [f] returns [false].  At each trie level the
+   child whose bit matches the key is exhausted first; ids are distinct,
+   so every segment of two or more ids has a discriminating bit and the
+   recursion terminates. *)
+let rec visit_xor t keybits lo hi depth f =
+  if lo >= hi then true
+  else if hi - lo = 1 then f t.sorted_members.(lo)
+  else begin
+    let mid = split t lo hi depth in
+    if mid = lo || mid = hi then visit_xor t keybits lo hi (depth + 1) f
+    else if keybits land (1 lsl (Bitkey.width - 1 - depth)) <> 0 then
+      if visit_xor t keybits mid hi (depth + 1) f then
+        visit_xor t keybits lo mid (depth + 1) f
+      else false
+    else if visit_xor t keybits lo mid (depth + 1) f then
+      visit_xor t keybits mid hi (depth + 1) f
+    else false
+  end
+
+let visit_closest t key f =
+  ignore (visit_xor t (Bitkey.to_int key) 0 (members t) 0 f)
+
+(* The [k] members closest to [key] in XOR distance: the first [k]
+   stops of the trie walk, already in increasing-distance order (the
+   order the old full sort produced — XOR distances of distinct ids are
+   distinct, so the ordering is unique). *)
 let closest_members t key ~k =
   let n = members t in
   let k = min k n in
   if k < 0 then invalid_arg "Kademlia.closest_members: negative k";
-  let order = Array.init n Fun.id in
-  Array.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b))) order;
-  Array.sub order 0 k
+  if k = 0 then [||]
+  else begin
+    let out = Array.make k 0 in
+    let count = ref 0 in
+    visit_closest t key (fun m ->
+        out.(!count) <- m;
+        incr count;
+        !count < k);
+    out
+  end
 
+(* Nearest online member = first online stop of the same walk. *)
 let responsible t ~online key =
-  let n = members t in
-  let best = ref None in
-  for m = 0 to n - 1 do
-    if online m then
-      match !best with
-      | None -> best := Some m
-      | Some b -> if distance key t.ids.(m) < distance key t.ids.(b) then best := Some m
-  done;
-  !best
+  let best = ref (-1) in
+  visit_closest t key (fun m ->
+      if online m then begin
+        best := m;
+        false
+      end
+      else true);
+  if !best < 0 then None else Some !best
 
 let create rng ~members:n ?(bucket_size = 8) ?(alpha = 3) () =
   if n < 1 then invalid_arg "Kademlia.create: need >= 1 member";
   if bucket_size < 1 then invalid_arg "Kademlia.create: bucket_size must be >= 1";
   if alpha < 1 then invalid_arg "Kademlia.create: alpha must be >= 1";
-  let seen = Hashtbl.create n in
-  let ids =
-    Array.init n (fun _ ->
-        let rec fresh () =
-          let id = Bitkey.random rng in
-          if Hashtbl.mem seen id then fresh ()
-          else begin
-            Hashtbl.add seen id ();
-            id
-          end
-        in
-        fresh ())
+  (* Bulk id draw with a sorted-array duplicate check instead of a
+     boxed-key Hashtbl per peer.  A collision among n 62-bit draws has
+     probability ~n^2/2^63, so the fix-up loop below effectively never
+     runs and the RNG stream matches the old draw-until-fresh
+     implementation in every collision-free run (the only runs that
+     occur in practice). *)
+  let ids = Array.init n (fun _ -> Bitkey.random rng) in
+  let order = Array.init n Fun.id in
+  let sort_order () =
+    Array.sort
+      (fun a b ->
+        compare (Bitkey.to_int ids.(a)) (Bitkey.to_int ids.(b)))
+      order
   in
+  sort_order ();
+  let rec dedup () =
+    let clashed = ref false in
+    for i = 1 to n - 1 do
+      if Bitkey.equal ids.(order.(i)) ids.(order.(i - 1)) then begin
+        clashed := true;
+        (* redraw at the later member index, as the sequential
+           implementation would have *)
+        let victim = max order.(i) order.(i - 1) in
+        ids.(victim) <- Bitkey.random rng
+      end
+    done;
+    if !clashed then begin
+      sort_order ();
+      dedup ()
+    end
+  in
+  dedup ();
+  let sorted_ids = Array.make n 0 in
+  let sorted_members = Array.make n 0 in
+  for i = 0 to n - 1 do
+    sorted_ids.(i) <- Bitkey.to_int ids.(order.(i));
+    sorted_members.(i) <- order.(i)
+  done;
   (* Global construction: reservoir-sample up to [bucket_size] members
      into each common-prefix-length bucket.  One O(n^2) pass with a
      cheap inner body; fine at simulation scale. *)
@@ -77,19 +169,52 @@ let create rng ~members:n ?(bucket_size = 8) ?(alpha = 3) () =
         done;
         Array.map Array.of_list per_bucket)
   in
-  { ids; buckets; bucket_size; alpha }
-
-(* A member's routing-table answer to "who do you know near [key]?" *)
-let closest_in_table t member key ~k =
-  let entries =
-    Array.to_list t.buckets.(member) |> List.concat_map Array.to_list
-  in
-  let sorted =
-    List.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b))) entries
-  in
-  List.filteri (fun i _ -> i < k) sorted
+  {
+    ids;
+    sorted_ids;
+    sorted_members;
+    buckets;
+    bucket_size;
+    alpha;
+    generation = 0;
+    cand_stamp = Array.make n 0;
+    contacted_stamp = Array.make n 0;
+    dead_stamp = Array.make n 0;
+    cand_buf = Array.make 64 0;
+    cand_len = 0;
+    table_dist = Array.make (Bitkey.width * bucket_size) 0;
+    table_buf = Array.make (Bitkey.width * bucket_size) 0;
+    batch_dist = Array.make alpha 0;
+    batch_buf = Array.make alpha 0;
+  }
 
 type outcome = { responsible : int option; messages : int; hops : int }
+
+(* In-place quicksort of (dist, member) pairs held in two parallel
+   scratch arrays — the routing-table answers are a few hundred entries
+   at most, and sorting them in scratch replaces the old per-contact
+   List.sort allocation. *)
+let rec sort_pairs dist buf lo hi =
+  if hi - lo > 1 then begin
+    let pivot = dist.((lo + hi) lsr 1) in
+    let i = ref lo and j = ref (hi - 1) in
+    while !i <= !j do
+      while dist.(!i) < pivot do incr i done;
+      while dist.(!j) > pivot do decr j done;
+      if !i <= !j then begin
+        let d = dist.(!i) in
+        dist.(!i) <- dist.(!j);
+        dist.(!j) <- d;
+        let m = buf.(!i) in
+        buf.(!i) <- buf.(!j);
+        buf.(!j) <- m;
+        incr i;
+        decr j
+      end
+    done;
+    sort_pairs dist buf lo (!j + 1);
+    sort_pairs dist buf !i hi
+  end
 
 let lookup ?span ?deliver t rng ~online ~source ~key =
   ignore rng;
@@ -101,58 +226,107 @@ let lookup ?span ?deliver t rng ~online ~source ~key =
     | Some target ->
         let messages = ref 0 in
         let hops = ref 0 in
-        let contacted = Hashtbl.create 64 in
-        let dead = Hashtbl.create 16 in
-        let candidates = Hashtbl.create 64 in
-        let add_candidate m = if not (Hashtbl.mem candidates m) then Hashtbl.replace candidates m () in
-        Hashtbl.replace contacted source ();
-        List.iter add_candidate (closest_in_table t source key ~k:t.bucket_size);
-        let best_online = ref (Some source) in
-        let improves m =
-          match !best_online with
-          | None -> true
-          | Some b -> distance key t.ids.(m) < distance key t.ids.(b)
+        t.generation <- t.generation + 1;
+        let gen = t.generation in
+        t.cand_len <- 0;
+        let add_candidate m =
+          if t.cand_stamp.(m) <> gen then begin
+            t.cand_stamp.(m) <- gen;
+            if t.cand_len = Array.length t.cand_buf then begin
+              let bigger = Array.make (2 * t.cand_len) 0 in
+              Array.blit t.cand_buf 0 bigger 0 t.cand_len;
+              t.cand_buf <- bigger
+            end;
+            t.cand_buf.(t.cand_len) <- m;
+            t.cand_len <- t.cand_len + 1
+          end
         in
+        (* A member's routing-table answer to "who do you know near
+           [key]?": its bucket entries, closest [bucket_size] first.
+           Sorted in scratch; entries duplicated by past repairs count
+           against the quota exactly as they did in the old sorted
+           list. *)
+        let add_closest_in_table member =
+          let len = ref 0 in
+          let buckets = t.buckets.(member) in
+          for b = 0 to Array.length buckets - 1 do
+            let bucket = buckets.(b) in
+            for i = 0 to Array.length bucket - 1 do
+              t.table_buf.(!len) <- bucket.(i);
+              t.table_dist.(!len) <- distance key t.ids.(bucket.(i));
+              incr len
+            done
+          done;
+          sort_pairs t.table_dist t.table_buf 0 !len;
+          let take = min !len t.bucket_size in
+          for i = 0 to take - 1 do
+            add_candidate t.table_buf.(i)
+          done
+        in
+        t.contacted_stamp.(source) <- gen;
+        add_closest_in_table source;
+        let best_online = ref source in
         let finished = ref (source = target) in
         while not !finished do
-          (* Up to alpha closest uncontacted, un-dead candidates. *)
-          let pending =
-            Hashtbl.fold
-              (fun m () acc ->
-                if Hashtbl.mem contacted m || Hashtbl.mem dead m then acc else m :: acc)
-              candidates []
-            |> List.sort (fun a b -> compare (distance key t.ids.(a)) (distance key t.ids.(b)))
-          in
-          match pending with
-          | [] -> finished := true
-          | _ :: _ ->
-              incr hops;
-              let batch = List.filteri (fun i _ -> i < t.alpha) pending in
-              List.iter
-                (fun m ->
-                  incr messages;
-                  (* The iterative caller contacts each candidate
-                     directly; under the network model that contact is
-                     one RPC (consulted only for live candidates —
-                     offline ones already pay their timeout message),
-                     and an exhausted retry budget makes the candidate
-                     look dead — Kademlia's native tolerance to
-                     unresponsive nodes, no abort needed. *)
-                  if
-                    online m
-                    && (match deliver with None -> true | Some d -> d ~span ~src:source ~dst:m)
-                  then begin
-                    Hashtbl.replace contacted m ();
-                    if improves m then best_online := Some m;
-                    List.iter add_candidate (closest_in_table t m key ~k:t.bucket_size)
-                  end
-                  else Hashtbl.replace dead m ())
-                batch;
-              (match !best_online with
-              | Some b when b = target -> finished := true
-              | Some _ | None -> ())
+          (* Up to alpha closest uncontacted, un-dead candidates, in
+             increasing distance (the head of the old sorted pending
+             list — XOR distances of distinct ids never tie). *)
+          let batch_len = ref 0 in
+          for idx = 0 to t.cand_len - 1 do
+            let m = t.cand_buf.(idx) in
+            if t.contacted_stamp.(m) <> gen && t.dead_stamp.(m) <> gen then begin
+              let d = distance key t.ids.(m) in
+              if !batch_len < t.alpha then begin
+                let p = ref !batch_len in
+                while !p > 0 && t.batch_dist.(!p - 1) > d do
+                  t.batch_dist.(!p) <- t.batch_dist.(!p - 1);
+                  t.batch_buf.(!p) <- t.batch_buf.(!p - 1);
+                  decr p
+                done;
+                t.batch_dist.(!p) <- d;
+                t.batch_buf.(!p) <- m;
+                incr batch_len
+              end
+              else if d < t.batch_dist.(t.alpha - 1) then begin
+                let p = ref (t.alpha - 1) in
+                while !p > 0 && t.batch_dist.(!p - 1) > d do
+                  t.batch_dist.(!p) <- t.batch_dist.(!p - 1);
+                  t.batch_buf.(!p) <- t.batch_buf.(!p - 1);
+                  decr p
+                done;
+                t.batch_dist.(!p) <- d;
+                t.batch_buf.(!p) <- m
+              end
+            end
+          done;
+          if !batch_len = 0 then finished := true
+          else begin
+            incr hops;
+            for i = 0 to !batch_len - 1 do
+              let m = t.batch_buf.(i) in
+              incr messages;
+              (* The iterative caller contacts each candidate directly;
+                 under the network model that contact is one RPC
+                 (consulted only for live candidates — offline ones
+                 already pay their timeout message), and an exhausted
+                 retry budget makes the candidate look dead —
+                 Kademlia's native tolerance to unresponsive nodes, no
+                 abort needed. *)
+              if
+                online m
+                && (match deliver with None -> true | Some d -> d ~span ~src:source ~dst:m)
+              then begin
+                t.contacted_stamp.(m) <- gen;
+                if distance key t.ids.(m) < distance key t.ids.(!best_online) then
+                  best_online := m;
+                add_closest_in_table m
+              end
+              else t.dead_stamp.(m) <- gen
+            done;
+            if !best_online = target then finished := true
+          end
         done;
-        let result = match !best_online with Some b when b = target -> Some target | _ -> None in
+        let result = if !best_online = target then Some target else None in
         { responsible = result; messages = !messages; hops = !hops }
 
 let bucket_count t m =

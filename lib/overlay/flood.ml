@@ -36,9 +36,9 @@ let search ?scratch ?span ?deliver topo ~online ~holds ~source ~ttl =
       let fr = !frontier and nx = !next in
       for i = 0 to !frontier_len - 1 do
         let p = fr.(i) in
-        let nbrs = Topology.neighbors topo p in
-        for k = 0 to Array.length nbrs - 1 do
-          let q = nbrs.(k) in
+        let deg = Topology.degree topo p in
+        for k = 0 to deg - 1 do
+          let q = Topology.neighbor topo p k in
           if online q then begin
             incr messages;
             (* The drop decision is per message: duplicates flip the

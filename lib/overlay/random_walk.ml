@@ -37,8 +37,7 @@ let search ?scratch ?span ?deliver topo rng ~online ~holds ~source ~walkers
       (* One synchronous step of every walker. *)
       for w = 0 to walkers - 1 do
         let p = positions.(w) in
-        let nbrs = Topology.neighbors topo p in
-        let deg = Array.length nbrs in
+        let deg = Topology.degree topo p in
         (* Uniform draw over the *online* neighbors.  Rejection sampling
            (draw a neighbor, retry while offline) has exactly that
            conditional distribution and usually succeeds in one or two
@@ -54,14 +53,14 @@ let search ?scratch ?span ?deliver topo rng ~online ~holds ~source ~walkers
             let picked = ref (-1) in
             while !picked < 0 && !attempts > 0 do
               decr attempts;
-              let c = nbrs.(Pdht_util.Rng.int rng deg) in
+              let c = Topology.neighbor topo p (Pdht_util.Rng.int rng deg) in
               if online c then picked := c
             done;
             if !picked >= 0 then !picked
             else begin
               let online_count = ref 0 in
               for k = 0 to deg - 1 do
-                let c = nbrs.(k) in
+                let c = Topology.neighbor topo p k in
                 if online c then begin
                   candidates.(!online_count) <- c;
                   incr online_count

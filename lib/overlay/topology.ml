@@ -1,16 +1,44 @@
 module Int_set = Set.Make (Int)
 
-type t = { adj : int array array; edges : int }
+(* CSR adjacency: [neighbors.(offsets.(p) .. offsets.(p+1) - 1)] are
+   peer [p]'s neighbors in ascending order — two flat int arrays for
+   the whole graph instead of a boxed array per peer, so a million-peer
+   topology is ~2 words per directed edge with no per-peer headers.
+   Topologies are build-once static; the Int_set accumulation below is
+   construction-only scaffolding (its membership gating also fixes the
+   RNG draw sequence, so it must not change shape). *)
+type t = { offsets : int array; neighbors : int array; edges : int }
 
-let peer_count t = Array.length t.adj
-let neighbors t p = t.adj.(p)
-let degree t p = Array.length t.adj.(p)
+let peer_count t = Array.length t.offsets - 1
+let degree t p = t.offsets.(p + 1) - t.offsets.(p)
+let neighbor t p i = t.neighbors.(t.offsets.(p) + i)
+
+let iter_neighbors t p ~f =
+  for i = t.offsets.(p) to t.offsets.(p + 1) - 1 do
+    f t.neighbors.(i)
+  done
+
+let neighbors t p = Array.sub t.neighbors t.offsets.(p) (degree t p)
 let edge_count t = t.edges
 
 let of_edge_sets sets =
-  let adj = Array.map (fun s -> Array.of_list (Int_set.elements s)) sets in
-  let edges = Array.fold_left (fun acc a -> acc + Array.length a) 0 adj / 2 in
-  { adj; edges }
+  let peers = Array.length sets in
+  let offsets = Array.make (peers + 1) 0 in
+  for p = 0 to peers - 1 do
+    offsets.(p + 1) <- offsets.(p) + Int_set.cardinal sets.(p)
+  done;
+  let neighbors = Array.make (max 1 offsets.(peers)) 0 in
+  for p = 0 to peers - 1 do
+    let i = ref offsets.(p) in
+    (* Int_set.iter is ascending, matching the sorted per-peer arrays
+       this layout replaced. *)
+    Int_set.iter
+      (fun q ->
+        neighbors.(!i) <- q;
+        incr i)
+      sets.(p)
+  done;
+  { offsets; neighbors; edges = offsets.(peers) / 2 }
 
 let random_regularish rng ~peers ~degree =
   if peers < 2 then invalid_arg "Topology.random_regularish: need >= 2 peers";
@@ -131,13 +159,11 @@ let bfs_reach t ~online start =
   while not (Queue.is_empty queue) do
     let p = Queue.pop queue in
     incr reached;
-    Array.iter
-      (fun q ->
+    iter_neighbors t p ~f:(fun q ->
         if (not visited.(q)) && online q then begin
           visited.(q) <- true;
           Queue.add q queue
         end)
-      t.adj.(p)
   done;
   !reached
 

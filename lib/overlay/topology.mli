@@ -9,8 +9,19 @@
 type t
 
 val peer_count : t -> int
+
 val neighbors : t -> int -> int array
-(** Adjacency of a peer (no self-loops, no duplicates). *)
+(** Adjacency of a peer (no self-loops, no duplicates), ascending.
+    Allocates a copy of the CSR slice — convenience for tests and
+    debugging; hot paths use {!degree}/{!neighbor}/{!iter_neighbors},
+    which read the flat arrays in place. *)
+
+val neighbor : t -> int -> int -> int
+(** [neighbor t p i] is the [i]-th neighbor of [p] (ascending order),
+    [0 <= i < degree t p].  No allocation. *)
+
+val iter_neighbors : t -> int -> f:(int -> unit) -> unit
+(** Apply [f] to each neighbor of [p] in ascending order. *)
 
 val degree : t -> int -> int
 val edge_count : t -> int

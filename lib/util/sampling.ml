@@ -15,14 +15,24 @@ let choose rng arr =
 
 let sample_without_replacement rng ~k ~n =
   if k < 0 || k > n then invalid_arg "Sampling.sample_without_replacement";
-  let pool = Array.init n Fun.id in
+  (* Sparse partial Fisher-Yates: O(k) time and space instead of
+     materialising the whole [0..n-1] pool (which made every caller pay
+     O(n) — ruinous when P-Grid construction samples references out of
+     half the population per peer).  [displaced] records only the
+     positions the virtual pool differs from the identity at; draws and
+     output are index-for-index identical to shuffling the real pool. *)
+  let displaced = Hashtbl.create (2 * k + 1) in
+  let get i = match Hashtbl.find_opt displaced i with Some v -> v | None -> i in
+  let out = Array.make (max k 1) 0 in
   for i = 0 to k - 1 do
     let j = Rng.int_in_range rng ~lo:i ~hi:(n - 1) in
-    let tmp = pool.(i) in
-    pool.(i) <- pool.(j);
-    pool.(j) <- tmp
+    let vi = get i and vj = get j in
+    out.(i) <- vj;
+    (* Position [i] is never read again (future draws live in
+       [i+1, n-1]), so only [j]'s displacement needs recording. *)
+    Hashtbl.replace displaced j vi
   done;
-  Array.sub pool 0 k
+  if k = Array.length out then out else Array.sub out 0 k
 
 let reservoir rng ~k seq =
   if k < 0 then invalid_arg "Sampling.reservoir";

@@ -6,6 +6,15 @@ type t = {
   profile : Rate_profile.t;
   distribution : Pdht_dist.Discrete.t;
   shift : Pdht_dist.Popularity_shift.t;
+  (* Streaming state: the single pending event, held flat so the
+     generator's memory is O(1) in event count and a scheduled run
+     allocates nothing per query — ints in mutable fields, the time in
+     a one-element float array (a mutable float field in this mixed
+     record would box on every store). *)
+  pending_time : float array;
+  mutable pending_peer : int;
+  mutable pending_key : int;
+  mutable pending_rank : int;
 }
 
 let create rng ~num_peers ~f_qry ?profile ~distribution ~shift () =
@@ -16,13 +25,26 @@ let create rng ~num_peers ~f_qry ?profile ~distribution ~shift () =
   let profile =
     match profile with Some p -> p | None -> Rate_profile.constant f_qry
   in
-  { rng; num_peers; profile; distribution; shift }
+  {
+    rng;
+    num_peers;
+    profile;
+    distribution;
+    shift;
+    pending_time = Array.make 1 0.;
+    pending_peer = 0;
+    pending_key = 0;
+    pending_rank = 0;
+  }
 
 let expected_rate t = float_of_int t.num_peers *. Rate_profile.max_rate t.profile
 
 (* Non-homogeneous Poisson sampling by thinning: draw candidates at the
-   peak aggregate rate, accept each with probability rate(t) / peak. *)
-let next t ~after =
+   peak aggregate rate, accept each with probability rate(t) / peak.
+   Draws into the pending fields — the one generation path both the
+   record API ([next]/[stream]) and the zero-alloc [attach] share, so
+   they consume the RNG identically. *)
+let draw_pending t ~after =
   let peak = expected_rate t in
   let rec draw after =
     let gap = Pdht_util.Rng.exponential t.rng ~rate:peak in
@@ -33,10 +55,20 @@ let next t ~after =
     if Pdht_util.Rng.unit_float t.rng < accept_probability then time else draw time
   in
   let time = draw after in
-  let peer = Pdht_util.Rng.int t.rng t.num_peers in
-  let rank = Pdht_dist.Discrete.sample t.distribution t.rng in
-  let key_index = Pdht_dist.Popularity_shift.key_of_rank t.shift ~time rank in
-  { time; peer; key_index; rank }
+  t.pending_time.(0) <- time;
+  t.pending_peer <- Pdht_util.Rng.int t.rng t.num_peers;
+  t.pending_rank <- Pdht_dist.Discrete.sample t.distribution t.rng;
+  t.pending_key <-
+    Pdht_dist.Popularity_shift.key_of_rank t.shift ~time t.pending_rank
+
+let next t ~after =
+  draw_pending t ~after;
+  {
+    time = t.pending_time.(0);
+    peer = t.pending_peer;
+    key_index = t.pending_key;
+    rank = t.pending_rank;
+  }
 
 let stream t ~from ~until =
   let rec continue after () =
@@ -45,12 +77,19 @@ let stream t ~from ~until =
   in
   continue from
 
+(* One closure, re-scheduled for every event: each firing reads the
+   pending event out of [t], runs the handler, then draws the next
+   event in place — nothing is allocated per query no matter how many
+   the run generates. *)
 let attach t engine ~until ~handler =
-  let rec schedule_next after =
-    let q = next t ~after in
-    if q.time <= until then
-      Pdht_sim.Engine.schedule_at engine ~time:q.time (fun eng ->
-          handler eng q;
-          schedule_next q.time)
+  let rec fire eng =
+    let time = t.pending_time.(0) in
+    handler eng ~peer:t.pending_peer ~key_index:t.pending_key
+      ~rank:t.pending_rank;
+    advance time
+  and advance after =
+    draw_pending t ~after;
+    if t.pending_time.(0) <= until then
+      Pdht_sim.Engine.schedule_at engine ~time:t.pending_time.(0) fire
   in
-  schedule_next (Pdht_sim.Engine.now engine)
+  advance (Pdht_sim.Engine.now engine)

@@ -35,9 +35,16 @@ val stream : t -> from:float -> until:float -> query Seq.t
 (** Lazy stream of queries in [(from, until\]]. *)
 
 val attach :
-  t -> Pdht_sim.Engine.t -> until:float -> handler:(Pdht_sim.Engine.t -> query -> unit) -> unit
+  t ->
+  Pdht_sim.Engine.t ->
+  until:float ->
+  handler:(Pdht_sim.Engine.t -> peer:int -> key_index:int -> rank:int -> unit) ->
+  unit
 (** Schedule the whole stream on an engine; each query fires [handler]
-    at its time. *)
+    at its time (so [Engine.now] inside the handler is the query time).
+    Events are streamed from the RNG one at a time through a single
+    re-scheduled closure — no per-event record or closure is ever
+    built, so attached-workload memory is O(1) in event count. *)
 
 val expected_rate : t -> float
 (** [num_peers * f_qry] queries per second ([f_qry] = the profile's peak

@@ -17,7 +17,14 @@ val next : t -> after:float -> update
 val stream : t -> from:float -> until:float -> update Seq.t
 
 val attach :
-  t -> Pdht_sim.Engine.t -> until:float -> handler:(Pdht_sim.Engine.t -> update -> unit) -> unit
+  t ->
+  Pdht_sim.Engine.t ->
+  until:float ->
+  handler:(Pdht_sim.Engine.t -> article_id:int -> unit) ->
+  unit
+(** Schedule the whole stream; each replacement fires [handler] at its
+    time ([Engine.now] inside the handler).  Streamed through a single
+    re-scheduled closure — O(1) memory in event count. *)
 
 val per_key_update_frequency : t -> keys_per_article:int -> float
 (** The model's [fUpd]: replacing an article rewrites each of its keys

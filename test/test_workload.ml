@@ -77,11 +77,14 @@ let test_query_attach_to_engine () =
   let seen = ref 0 in
   let monotone = ref true in
   let last = ref 0. in
-  Query_gen.attach g engine ~until:50. ~handler:(fun eng q ->
+  Query_gen.attach g engine ~until:50. ~handler:(fun eng ~peer ~key_index ~rank ->
       incr seen;
-      if Pdht_sim.Engine.now eng <> q.Query_gen.time then monotone := false;
-      if q.Query_gen.time < !last then monotone := false;
-      last := q.Query_gen.time);
+      if peer < 0 || peer >= 100 then monotone := false;
+      if key_index < 0 || rank < 0 then monotone := false;
+      (* handlers fire at the query's scheduled time, so engine time is
+         the event time and must advance monotonically *)
+      if Pdht_sim.Engine.now eng < !last then monotone := false;
+      last := Pdht_sim.Engine.now eng);
   Pdht_sim.Engine.run engine ~until:50.;
   Alcotest.(check bool) "queries fired" true (!seen > 0);
   Alcotest.(check bool) "times consistent with engine" true !monotone
@@ -188,7 +191,7 @@ let test_update_attach () =
   let g = Update_gen.create rng ~articles:10 ~mean_lifetime:5. in
   let engine = Pdht_sim.Engine.create () in
   let seen = ref 0 in
-  Update_gen.attach g engine ~until:20. ~handler:(fun _ _ -> incr seen);
+  Update_gen.attach g engine ~until:20. ~handler:(fun _ ~article_id:_ -> incr seen);
   Pdht_sim.Engine.run engine ~until:20.;
   Alcotest.(check bool) "updates fired" true (!seen > 10)
 

@@ -151,4 +151,27 @@ frac=$(grep -o '"disabled_overhead_frac": *[0-9.eE+-]*' BENCH_pdht.json | awk -F
 echo "disabled_overhead_frac=$frac"
 awk -v f="$frac" 'BEGIN { exit (f <= 0.02) ? 0 : 1 }'
 
+echo "== scale smoke gate =="
+# Flat-representation contract at a tenth of the full sweep: the decade
+# sweep up to 10^5 peers must finish inside a 10-minute wall budget and
+# a 2 GB high-water RSS, bytes/peer must not regress by more than 10%
+# decade-over-decade (the bench folds that rule into
+# bytes_per_peer_flat), hops must track log N, and the in-place expiry
+# sweep must still be allocation-free.  The scale section splices its
+# block into the BENCH_pdht.json the perf section wrote above; the
+# merged file must still be valid JSON.
+scale_t0=$(date +%s)
+dune exec bench/main.exe -- scale --scale-max 100000 > /dev/null
+scale_t1=$(date +%s)
+scale_wall=$((scale_t1 - scale_t0))
+echo "scale --scale-max 100000 wall=${scale_wall}s"
+test "$scale_wall" -le 600
+dune exec tools/validate_jsonl.exe -- BENCH_pdht.json
+grep -q '"bytes_per_peer_flat": *true' BENCH_pdht.json
+grep -q '"hops_track_log_n": *true' BENCH_pdht.json
+grep -q '"storage_expire_alloc_free": *true' BENCH_pdht.json
+scale_rss=$(grep -o '"peak_rss_mb": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{print $2}')
+echo "scale peak_rss_mb=$scale_rss"
+awk -v r="$scale_rss" 'BEGIN { exit (r > 0 && r <= 2048) ? 0 : 1 }'
+
 echo "CI OK"

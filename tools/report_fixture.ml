@@ -1,0 +1,11 @@
+(* Regenerates the representation-equivalence golden file:
+
+     dune exec tools/report_fixture.exe > test/golden/representation_reports.txt
+
+   Run it only when a PR deliberately changes observable behaviour;
+   purely representational PRs must leave the output byte-identical
+   (test_scale diffs the battery against the committed file). *)
+let () =
+  print_string
+    (Pdht_core.Experiment.render_reports
+       (Pdht_core.Experiment.representation_battery ~jobs:1 ()))
