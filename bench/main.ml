@@ -1038,8 +1038,8 @@ let section_perf () =
       crash_sweep;
     t
   in
-  (* Selection-policy race (E23 in miniature): contracts first — the
-     deprecated [ttl_policy] alias must build the very options the
+  (* Selection-policy race (E23 in miniature): contracts first — an
+     explicit [Ttl Model_derived] spec must build the very options the
      defaults already carry, and a [Ttl _] run must install no selector
      (its report carries no policy summary; the byte-level golden-file
      gate lives in ci.sh) — then the five-policy race across a
@@ -1051,10 +1051,11 @@ let section_perf () =
     let r_default = System.run tiny net_partial options in
     let r_alias =
       System.run tiny net_partial
-        (System.Options.with_ttl_policy System.Model_derived options)
+        (System.Options.with_selection_policy
+           (Pdht_policy.Selector.Ttl Pdht_policy.Selector.Model_derived) options)
     in
     if r_alias <> r_default then
-      failwith "perf: deprecated ttl_policy alias diverged from the default options";
+      failwith "perf: explicit default policy spec diverged from the default options";
     if r_default.System.policy <> None then
       failwith "perf: default-policy run unexpectedly installed a selector";
     true

@@ -361,37 +361,33 @@ let parse_trace_filter spec =
   in
   convert [] tokens
 
-let run_simulate verbose log_level metrics_out trace_out trace_filter trace_sample
-    timeline_out timeline_window preset peers keys repl stor fqry duration seed strategy
-    key_ttl adaptive policy churn jobs replicate net fault =
-  setup_logging verbose log_level;
-  if jobs < 1 then `Error (false, "--jobs must be >= 1")
-  else if policy <> None && (adaptive || key_ttl <> None) then
-    `Error
-      ( false,
-        "--policy subsumes --key-ttl/--adaptive; use --policy ttl:SECS or \
-         --policy ttl:adaptive instead of combining them" )
-  else if replicate < 1 then `Error (false, "--replicate must be >= 1")
-  else if trace_sample < 1 then `Error (false, "--trace-sample must be >= 1")
-  else if (match timeline_window with Some w -> not (w > 0.) | None -> false) then
-    `Error (false, "--timeline-window must be positive")
+(* [--policy] subsumes the legacy TTL flags; the error names every
+   conflicting flag actually passed, so one fix clears the whole
+   conflict. *)
+let policy_flag_conflict ~policy ~key_ttl ~adaptive =
+  if policy = None then None
   else
-  match net with
-  | Error msg -> `Error (false, msg)
-  | Ok net ->
-  match fault with
-  | Error msg -> `Error (false, msg)
-  | Ok fault ->
-  let scenario =
-    match preset with
-    | Some name -> (
-        match Scenario.preset name with
-        | Some s -> { s with Scenario.seed }
-        | None ->
-            Printf.eprintf "unknown preset %S; available: %s\n" name
-              (String.concat ", " (List.map (fun (n, _, _) -> n) Scenario.presets));
-            exit 1)
-    | None ->
+    Option.map
+      (fun msg ->
+        msg
+        ^ "; use --policy ttl:SECS or --policy ttl:adaptive instead of combining \
+           them")
+      (Pdht_util.Flags.conflicts ~dominant:"--policy"
+         ~subsumed:[ ("--key-ttl", key_ttl <> None); ("--adaptive", adaptive) ])
+
+(* Scenario construction shared by [simulate] and [cluster], so a
+   same-flag cluster run reproduces the simulator's workload exactly. *)
+let build_scenario ~preset ~peers ~keys ~fqry ~duration ~seed ~churn =
+  match preset with
+  | Some name -> (
+      match Scenario.preset name with
+      | Some s -> Ok { s with Scenario.seed }
+      | None ->
+          Error
+            (Printf.sprintf "unknown preset %S; available: %s" name
+               (String.concat ", " (List.map (fun (n, _, _) -> n) Scenario.presets))))
+  | None ->
+      Ok
         {
           Scenario.news_default with
           Scenario.num_peers = peers;
@@ -406,23 +402,53 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
                    initially_online_fraction = 0.75 }
              else Scenario.No_churn);
         }
-  in
+
+let selection_policy_of_flags ~policy ~key_ttl ~adaptive =
+  match policy with
+  | Some spec -> spec
+  | None ->
+      (* Legacy flags: --adaptive wins over --key-ttl (the controller
+         subsumes any fixed starting point). *)
+      if adaptive then Psel.Ttl Psel.Adaptive
+      else (
+        match key_ttl with
+        | Some ttl -> Psel.Ttl (Psel.Fixed ttl)
+        | None -> Psel.Ttl Psel.Model_derived)
+
+let strategy_of_flag strategy ~scenario ~options =
+  match strategy with
+  | `Partial ->
+      Strategy.Partial_index { key_ttl = System.derive_key_ttl scenario options }
+  | `Index_all -> Strategy.Index_all
+  | `No_index -> Strategy.No_index
+
+let run_simulate verbose log_level metrics_out trace_out trace_filter trace_sample
+    timeline_out timeline_window preset peers keys repl stor fqry duration seed strategy
+    key_ttl adaptive policy churn jobs replicate net fault =
+  setup_logging verbose log_level;
+  if jobs < 1 then `Error (false, "--jobs must be >= 1")
+  else
+    match policy_flag_conflict ~policy ~key_ttl ~adaptive with
+  | Some msg -> `Error (false, msg)
+  | None ->
+  if replicate < 1 then `Error (false, "--replicate must be >= 1")
+  else if trace_sample < 1 then `Error (false, "--trace-sample must be >= 1")
+  else if (match timeline_window with Some w -> not (w > 0.) | None -> false) then
+    `Error (false, "--timeline-window must be positive")
+  else
+  match net with
+  | Error msg -> `Error (false, msg)
+  | Ok net ->
+  match fault with
+  | Error msg -> `Error (false, msg)
+  | Ok fault ->
+  match build_scenario ~preset ~peers ~keys ~fqry ~duration ~seed ~churn with
+  | Error msg -> `Error (false, msg)
+  | Ok scenario ->
   match Scenario.validate scenario with
   | Error msg -> `Error (false, "invalid scenario: " ^ msg)
   | Ok scenario ->
-      let selection_policy =
-        match policy with
-        | Some spec -> spec
-        | None ->
-            (* Legacy flags: --adaptive wins over --key-ttl (the
-               controller subsumes any fixed starting point). *)
-            System.spec_of_ttl_policy
-              (if adaptive then System.Adaptive
-               else
-                 match key_ttl with
-                 | Some ttl -> System.Fixed ttl
-                 | None -> System.Model_derived)
-      in
+      let selection_policy = selection_policy_of_flags ~policy ~key_ttl ~adaptive in
       (* [--timeline-out] without an explicit window gets the default
          sample cadence; a bare [--timeline-window] still lands the
          summary in the printed report. *)
@@ -436,13 +462,7 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
         System.Options.make ~repl ~stor ~selection_policy ?net ?fault
           ?timeline_window:timeline_width ()
       in
-      let strategy =
-        match strategy with
-        | `Partial ->
-            Strategy.Partial_index { key_ttl = System.derive_key_ttl scenario options }
-        | `Index_all -> Strategy.Index_all
-        | `No_index -> Strategy.No_index
-      in
+      let strategy = strategy_of_flag strategy ~scenario ~options in
       if replicate > 1 then begin
         if trace_out <> None || metrics_out <> None || timeline_out <> None then
           `Error
@@ -721,8 +741,172 @@ let plan_cmd =
     Term.(ret (const run_plan $ params_term $ availability_arg $ target_arg $ max_repl_arg))
 
 (* ------------------------------------------------------------------ *)
+(* node *)
+
+let run_node connect node_id obs_out =
+  if connect < 1 || connect > 65535 then
+    `Error (false, "--connect must be a TCP port (1-65535)")
+  else if node_id < 0 then `Error (false, "--node-id must be >= 0")
+  else
+    match Pdht_proc.Node.run ?obs_out ~port:connect ~node_id () with
+    | () -> `Ok ()
+    | exception Failure msg -> `Error (false, msg)
+    | exception Unix.Unix_error (err, fn, _) ->
+        `Error
+          ( false,
+            Printf.sprintf "node %d: %s: %s" node_id fn (Unix.error_message err) )
+
+let node_cmd =
+  let doc =
+    "Run one storage worker process (spawned by $(b,cluster); rarely run by hand)."
+  in
+  let connect_arg =
+    Arg.(required & opt (some int) None
+         & info [ "connect" ] ~docv:"PORT"
+             ~doc:"Conductor port on 127.0.0.1 to connect to.")
+  in
+  let node_id_arg =
+    Arg.(required & opt (some int) None
+         & info [ "node-id" ] ~docv:"K" ~doc:"This worker's id in [0, nodes).")
+  in
+  let obs_out_arg =
+    Arg.(value & opt (some string) None
+         & info [ "obs-out" ] ~docv:"FILE"
+             ~doc:"Write this node's counter registry as node-stamped JSONL on \
+                   shutdown.")
+  in
+  Cmd.v (Cmd.info "node" ~doc)
+    Term.(ret (const run_node $ connect_arg $ node_id_arg $ obs_out_arg))
+
+(* ------------------------------------------------------------------ *)
+(* cluster *)
+
+let run_cluster verbose log_level nodes obs_dir preset peers keys repl stor fqry
+    duration seed strategy key_ttl adaptive policy churn =
+  setup_logging verbose log_level;
+  if nodes < 1 then `Error (false, "--nodes must be >= 1")
+  else
+    match policy_flag_conflict ~policy ~key_ttl ~adaptive with
+    | Some msg -> `Error (false, msg)
+    | None -> (
+        match build_scenario ~preset ~peers ~keys ~fqry ~duration ~seed ~churn with
+        | Error msg -> `Error (false, msg)
+        | Ok scenario -> (
+            match Scenario.validate scenario with
+            | Error msg -> `Error (false, "invalid scenario: " ^ msg)
+            | Ok scenario -> (
+                let selection_policy =
+                  selection_policy_of_flags ~policy ~key_ttl ~adaptive
+                in
+                let options =
+                  System.Options.make ~repl ~stor ~selection_policy ()
+                in
+                let strategy = strategy_of_flag strategy ~scenario ~options in
+                (* The simulator path hands its spec to the batch runner,
+                   which derives the run seed as stream 0 of the scenario
+                   seed; apply the same derivation so a same-flag cluster
+                   run is the same-seed run. *)
+                let scenario =
+                  { scenario with
+                    Scenario.seed =
+                      Pdht_util.Rng.derive_seed ~seed:scenario.Scenario.seed
+                        ~stream:0 }
+                in
+                let config =
+                  { (Pdht_proc.Cluster.default_config ~nodes
+                       ~exe:Sys.executable_name)
+                    with Pdht_proc.Cluster.obs_dir }
+                in
+                match Pdht_proc.Cluster.run config scenario strategy options with
+                | report ->
+                    Format.printf "%a@." System.pp_report report;
+                    `Ok ()
+                | exception Failure msg -> `Error (false, msg)
+                | exception Invalid_argument msg -> `Error (false, msg)
+                | exception Unix.Unix_error (err, fn, _) ->
+                    `Error
+                      ( false,
+                        Printf.sprintf "cluster: %s: %s" fn
+                          (Unix.error_message err) ))))
+
+let cluster_cmd =
+  let doc =
+    "Run a scenario across N worker processes on this machine: the conductor \
+     keeps the protocol brain and drives every index-store access and DHT hop \
+     over loopback TCP to the worker owning that member's shard.  With the \
+     same flags and seed, prints the exact report $(b,simulate) prints."
+  in
+  let nodes_arg =
+    Arg.(value & opt int 4
+         & info [ "nodes" ] ~docv:"N" ~doc:"Worker process count.")
+  in
+  let obs_dir_arg =
+    Arg.(value & opt (some string) None
+         & info [ "obs-dir" ] ~docv:"DIR"
+             ~doc:"Telemetry directory: each worker writes \
+                   $(i,node-K.jsonl) and the conductor writes \
+                   $(i,merged.jsonl) (run registry plus summed worker \
+                   counters).")
+  in
+  let verbose_arg =
+    Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log run progress to stderr.")
+  in
+  let log_level_arg =
+    let level_conv =
+      Arg.conv
+        ( Logs.level_of_string,
+          fun ppf l -> Format.pp_print_string ppf (Logs.level_to_string l) )
+    in
+    Arg.(value & opt (some level_conv) None
+         & info [ "log-level" ] ~docv:"LEVEL"
+             ~doc:"Log verbosity (quiet, error, warning, info, debug); overrides \
+                   $(b,--verbose).")
+  in
+  let preset_arg =
+    Arg.(value & opt (some string) None
+         & info [ "preset" ]
+             ~doc:"Named scenario (news, flash-crowd, churn-storm, busy-day, \
+                   uniform-stress); overrides the size/rate flags.")
+  in
+  let peers = Arg.(value & opt int 1000 & info [ "peers" ] ~docv:"N" ~doc:"Peers.") in
+  let keys = Arg.(value & opt int 2000 & info [ "keys" ] ~docv:"N" ~doc:"Keys.") in
+  let repl = Arg.(value & opt int 20 & info [ "repl" ] ~docv:"N" ~doc:"Replication factor.") in
+  let stor = Arg.(value & opt int 100 & info [ "stor" ] ~docv:"N" ~doc:"Cache capacity.") in
+  let fqry =
+    Arg.(value & opt float (1. /. 30.) & info [ "fqry" ] ~docv:"F" ~doc:"Queries/peer/s.")
+  in
+  let duration_arg =
+    Arg.(value & opt float 1800. & info [ "duration" ] ~docv:"S" ~doc:"Simulated seconds.")
+  in
+  let seed_arg = Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N" ~doc:"RNG seed.") in
+  let strategy_arg =
+    Arg.(value & opt strategy_conv `Partial
+         & info [ "strategy" ] ~docv:"S" ~doc:"partial | indexall | noindex.")
+  in
+  let ttl_arg =
+    Arg.(value & opt (some float) None
+         & info [ "key-ttl" ] ~docv:"S" ~doc:"Fixed keyTtl (default: model-derived 1/fMin).")
+  in
+  let adaptive_arg =
+    Arg.(value & flag & info [ "adaptive" ] ~doc:"Enable the self-tuning keyTtl controller.")
+  in
+  let churn_arg =
+    Arg.(value & flag & info [ "churn" ] ~doc:"Enable peer churn (75% availability).")
+  in
+  Cmd.v (Cmd.info "cluster" ~doc)
+    Term.(
+      ret
+        (const run_cluster $ verbose_arg $ log_level_arg $ nodes_arg $ obs_dir_arg
+         $ preset_arg $ peers $ keys $ repl $ stor $ fqry $ duration_arg $ seed_arg
+         $ strategy_arg $ ttl_arg $ adaptive_arg $ policy_arg $ churn_arg))
+
+(* ------------------------------------------------------------------ *)
 
 let () =
   let doc = "query-adaptive partial distributed hash table (Klemm, Datta, Aberer; EDBT 2004)" in
   let info = Cmd.info "pdht" ~version:"1.0.0" ~doc in
-  exit (Cmd.eval (Cmd.group info [ model_cmd; sweep_cmd; simulate_cmd; ttl_cmd; plan_cmd ]))
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [ model_cmd; sweep_cmd; simulate_cmd; cluster_cmd; node_cmd; ttl_cmd;
+            plan_cmd ]))

@@ -583,7 +583,10 @@ let ttl_tuning ?jobs ?(options = System.default_options) ~scenario ~fixed_ttls (
       scenario
   in
   let adaptive_spec =
-    let options = System.Options.with_ttl_policy System.Adaptive options in
+    let options =
+      System.Options.with_selection_policy
+        (Pdht_policy.Selector.Ttl Pdht_policy.Selector.Adaptive) options
+    in
     let key_ttl = System.derive_key_ttl scenario options in
     Run_spec.make ~options
       ~tag:(scenario.Scenario.name ^ "/adaptive-ttl")

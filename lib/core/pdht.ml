@@ -15,12 +15,32 @@ module Storage = Pdht_dht.Storage
 module Replica_net = Pdht_gossip.Replica_net
 module Rumor = Pdht_gossip.Rumor
 module Net_hook = Pdht_net.Hook
-
-
+module Query_plan = Pdht_proto.Query_plan
+module Update_plan = Pdht_proto.Update_plan
+module Selection = Pdht_proto.Selection
 
 (* TTL standing in for "never expires" in the baseline index; large but
    far from Float.max_float so [now +. ttl] stays finite. *)
 let forever = 1e15
+
+(* Index-store access, keyed by workload key index rather than raw
+   bitkey so a remote implementation can rebuild keys from the key
+   count alone.  The default (built by {!create} when no [?store] is
+   passed) reads and writes the in-process [Storage.t] array; the
+   multi-process driver substitutes closures that cross the wire to
+   whichever worker owns [peer]'s shard.  [repair_put] is the
+   anti-entropy copy — same write, but carrying a remaining (not
+   renewed) TTL, kept separate so drivers can account it apart. *)
+type store_ops = {
+  get_and_refresh : peer:int -> key_index:int -> now:float -> ttl:float -> int option;
+  put : peer:int -> key_index:int -> value:int -> now:float -> ttl:float -> unit;
+  repair_put : peer:int -> key_index:int -> value:int -> now:float -> ttl:float -> unit;
+  mem : peer:int -> key_index:int -> now:float -> bool;
+  get : peer:int -> key_index:int -> now:float -> int option;
+  expiry : peer:int -> key_index:int -> float option;
+  clear : peer:int -> int;
+  live_count : peer:int -> now:float -> int;
+}
 
 (* Pre-resolved observability instruments: hot paths must not pay a
    registry hash lookup per query. *)
@@ -51,17 +71,20 @@ type t = {
   content : Replication.t;
   unstructured : Unstructured_search.t;
   stores : int Storage.t array; (* per active member; value = provider peer *)
+  store : store_ops; (* how the index stores are reached (local/remote) *)
   replica_nets : (int, Replica_net.t) Hashtbl.t; (* key_index -> subnet *)
   metrics : Metrics.t;
   obs : Obs.t;
   ins : instruments;
-  (* Network model, if any.  The two closures are built once at
-     creation (no per-query allocation) and passed as the [?deliver]
-     hooks: [net_rpc] per DHT forward hop, [net_cast] per broadcast
-     message.  All three are [None] together. *)
+  (* Delivery hooks, if any.  Built once (no per-query allocation) and
+     passed as the [?deliver] hooks: [net_rpc] per DHT forward hop and
+     entry contact, [net_cast] per broadcast message.  Two sources:
+     the simulator's network model ([net] set, hooks derived from it at
+     creation) or a real transport installed by {!set_transport}
+     ([net] stays [None]; each hook materialises one wire frame). *)
   net : Net_hook.t option;
-  net_rpc : (span:int option -> src:int -> dst:int -> bool) option;
-  net_cast : (span:int option -> src:int -> dst:int -> bool) option;
+  mutable net_rpc : (span:int option -> src:int -> dst:int -> bool) option;
+  mutable net_cast : (span:int option -> src:int -> dst:int -> bool) option;
   mutable online : int -> bool;
   mutable key_ttl : float;
   (* Selection-policy hook.  [None] (the default, and the paper's
@@ -71,7 +94,7 @@ type t = {
   mutable policy : policy option;
 }
 
-and policy = {
+and policy = Selection.policy = {
   admit : now:float -> key_index:int -> bool;
   ttl_for : now:float -> key_index:int -> float;
 }
@@ -96,9 +119,13 @@ let clear_policy t = t.policy <- None
 
 (* Expiration lease for an insertion or query-hit refresh of a key. *)
 let lease t ~now ~key_index =
-  match t.policy with
-  | None -> t.key_ttl
-  | Some p -> p.ttl_for ~now ~key_index
+  Selection.lease t.policy ~default_ttl:t.key_ttl ~now ~key_index
+
+let set_transport t ~rpc ~cast =
+  if t.net <> None then
+    invalid_arg "Pdht.set_transport: incompatible with the simulated network model";
+  t.net_rpc <- Some rpc;
+  t.net_cast <- Some cast
 
 let replica_net t key_index =
   match Hashtbl.find_opt t.replica_nets key_index with
@@ -145,7 +172,28 @@ let make_instruments (obs : Obs.t) ~backend =
     c_gossip_spreads = Registry.counter r "gossip.spreads";
   }
 
-let create ?obs ?net rng config =
+(* Default store implementation: the in-process [Storage.t] array the
+   simulator owns.  Built over the arrays directly (not [t]) so it can
+   be assembled before the record. *)
+let local_store_ops ~stores ~(bitkeys : Bitkey.t array) =
+  {
+    get_and_refresh =
+      (fun ~peer ~key_index ~now ~ttl ->
+        Storage.get_and_refresh stores.(peer) ~key:bitkeys.(key_index) ~now ~ttl);
+    put =
+      (fun ~peer ~key_index ~value ~now ~ttl ->
+        Storage.put stores.(peer) ~key:bitkeys.(key_index) ~value ~now ~ttl);
+    repair_put =
+      (fun ~peer ~key_index ~value ~now ~ttl ->
+        Storage.put stores.(peer) ~key:bitkeys.(key_index) ~value ~now ~ttl);
+    mem = (fun ~peer ~key_index ~now -> Storage.mem stores.(peer) ~key:bitkeys.(key_index) ~now);
+    get = (fun ~peer ~key_index ~now -> Storage.get stores.(peer) ~key:bitkeys.(key_index) ~now);
+    expiry = (fun ~peer ~key_index -> Storage.expiry stores.(peer) ~key:bitkeys.(key_index));
+    clear = (fun ~peer -> Storage.clear stores.(peer));
+    live_count = (fun ~peer ~now -> Storage.live_count stores.(peer) ~now);
+  }
+
+let create ?obs ?net ?store rng config =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let keys = config.Config.keys in
   let bitkeys =
@@ -171,6 +219,9 @@ let create ?obs ?net rng config =
     Array.init config.Config.active_members (fun _ ->
         Storage.create ~eviction:config.Config.eviction ~capacity:config.Config.stor ())
   in
+  let store =
+    match store with Some ops -> ops | None -> local_store_ops ~stores ~bitkeys
+  in
   let t =
     {
       rng;
@@ -181,6 +232,7 @@ let create ?obs ?net rng config =
       content;
       unstructured;
       stores;
+      store;
       replica_nets = Hashtbl.create (min keys 4096);
       metrics = Metrics.create ();
       obs;
@@ -218,8 +270,7 @@ let create ?obs ?net rng config =
         in
         Array.iter
           (fun member ->
-            Storage.put t.stores.(member) ~key:t.bitkeys.(key_index) ~value:provider
-              ~now:0. ~ttl:forever)
+            t.store.put ~peer:member ~key_index ~value:provider ~now:0. ~ttl:forever)
           group
       done
   | Strategy.No_index | Strategy.Partial_index _ -> ());
@@ -298,9 +349,9 @@ let reach_entry t ~now ~parent ~peer entry =
   else begin
     let span = child_id t ~parent in
     let ok =
-      match t.net with
+      match t.net_rpc with
       | None -> true
-      | Some h -> Net_hook.rpc ?span:(opt_span span) h ~src:peer ~dst:entry
+      | Some rpc -> rpc ~span:(opt_span span) ~src:peer ~dst:entry
     in
     let tracer = t.obs.Obs.tracer in
     if span >= 0 && Tracer.active tracer Event.Dht_lookup then
@@ -359,7 +410,7 @@ let index_search t ~now ~entry ~key_index ~parent =
     | None -> (None, index_messages, 0)
     | Some responsible -> (
         match
-          Storage.get_and_refresh t.stores.(responsible) ~key ~now
+          t.store.get_and_refresh ~peer:responsible ~key_index ~now
             ~ttl:(lease t ~now ~key_index)
         with
         | Some provider ->
@@ -388,7 +439,7 @@ let index_search t ~now ~entry ~key_index ~parent =
               incr i;
               if member <> responsible && t.online member then
                 match
-                  Storage.get_and_refresh t.stores.(member) ~key ~now
+                  t.store.get_and_refresh ~peer:member ~key_index ~now
                     ~ttl:(lease t ~now ~key_index)
                 with
                 | Some provider ->
@@ -439,7 +490,7 @@ let index_insert_admitted t ~now ~entry ~key_index ~provider ~parent =
         Array.iter
           (fun member ->
             if t.online member then
-              Storage.put t.stores.(member) ~key ~value:provider ~now
+              t.store.put ~peer:member ~key_index ~value:provider ~now
                 ~ttl:(lease t ~now ~key_index))
           (Replica_net.replicas net);
         lookup.Dht.messages + flood.Replica_net.messages
@@ -451,15 +502,14 @@ let index_insert_admitted t ~now ~entry ~key_index ~provider ~parent =
   messages
 
 let index_insert t ~now ~entry ~key_index ~provider ~parent =
-  match t.policy with
-  | Some p when not (p.admit ~now ~key_index) ->
-      (* The selection policy declines the key: no routing, no flood,
-         no insertion.  The query's answer already came from the
-         broadcast, so rejection costs nothing now and saves the whole
-         insert (and its maintenance tail) for keys judged not worth
-         indexing. *)
-      0
-  | _ -> index_insert_admitted t ~now ~entry ~key_index ~provider ~parent
+  if not (Selection.admits t.policy ~now ~key_index) then
+    (* The selection policy declines the key: no routing, no flood,
+       no insertion.  The query's answer already came from the
+       broadcast, so rejection costs nothing now and saves the whole
+       insert (and its maintenance tail) for keys judged not worth
+       indexing. *)
+    0
+  else index_insert_admitted t ~now ~entry ~key_index ~provider ~parent
 
 let broadcast_search t ~now ~peer ~key_index ~parent =
   let bcast_span = child_id t ~parent in
@@ -507,80 +557,75 @@ let query t ~now ~peer ~key_index =
       | Some s -> Span.id s
       | None -> -1
     in
-    let result =
+    (* Drive the pure {!Query_plan} machine: it decides the next step,
+       this loop executes each step against the substrates (through the
+       pluggable store / delivery hooks) and feeds the outcome back.
+       Message accounting stays here — the machine is driver-agnostic
+       and counts nothing. *)
+    let strategy =
       match t.config.Config.strategy with
-      | Strategy.No_index ->
+      | Strategy.No_index -> Query_plan.No_index
+      | Strategy.Index_all -> Query_plan.Index_all
+      | Strategy.Partial_index _ -> Query_plan.Partial
+    in
+    let entry = ref (-1) in
+    let contact = ref 0 in
+    let acc_index = ref 0 in
+    let acc_flood = ref 0 in
+    let acc_broadcast = ref 0 in
+    let acc_insert = ref 0 in
+    let rec drive plan action =
+      match action with
+      | Query_plan.Finish outcome -> outcome
+      | Query_plan.Reach_entry ->
+          let e = reach_entry t ~now ~parent:root ~peer (entry_point t peer) in
+          if e < 0 then feed plan Query_plan.Entry_failed
+          else begin
+            entry := e;
+            contact := entry_contact ~peer e;
+            feed plan Query_plan.Entry_reached
+          end
+      | Query_plan.Search_index ->
+          let provider, index_messages, flood_messages =
+            index_search t ~now ~entry:!entry ~key_index ~parent:root
+          in
+          acc_index := index_messages + !contact;
+          acc_flood := flood_messages;
+          feed plan
+            (match provider with
+            | Some provider -> Query_plan.Index_hit { provider }
+            | None -> Query_plan.Index_miss)
+      | Query_plan.Search_broadcast ->
           let provider, messages = broadcast_search t ~now ~peer ~key_index ~parent:root in
-          {
-            empty_result with
-            source = (if provider <> None then From_broadcast else Not_found);
-            provider;
-            broadcast_messages = messages;
-          }
-      | Strategy.Index_all -> (
-          let entry = reach_entry t ~now ~parent:root ~peer (entry_point t peer) in
-          if entry < 0 then empty_result
-          else
-            let contact = entry_contact ~peer entry in
-            (
-              let provider, index_messages, flood_messages =
-                index_search t ~now ~entry ~key_index ~parent:root
-              in
-              let index_messages = index_messages + contact in
-              match provider with
-              | Some _ ->
-                  { empty_result with source = From_index; provider;
-                    index_messages; replica_flood_messages = flood_messages }
-              | None ->
-                  (* All keys are nominally indexed; a miss here means
-                     cache pressure or churn lost every replica.  The
-                     baseline has no fallback. *)
-                  { empty_result with index_messages;
-                    replica_flood_messages = flood_messages }))
-      | Strategy.Partial_index _ -> (
-          let entry = reach_entry t ~now ~parent:root ~peer (entry_point t peer) in
-          if entry < 0 then
-            (* Cannot reach the index at all; degrade to broadcast. *)
-            let provider, messages =
-              broadcast_search t ~now ~peer ~key_index ~parent:root
-            in
-            {
-              empty_result with
-              source = (if provider <> None then From_broadcast else Not_found);
-              provider;
-              broadcast_messages = messages;
-            }
-          else
-            let contact = entry_contact ~peer entry in
-            (
-              let provider, index_messages, flood_messages =
-                index_search t ~now ~entry ~key_index ~parent:root
-              in
-              let index_messages = index_messages + contact in
-              match provider with
-              | Some _ ->
-                  { empty_result with source = From_index; provider;
-                    index_messages; replica_flood_messages = flood_messages }
-              | None -> (
-                  let provider, broadcast_messages =
-                    broadcast_search t ~now ~peer ~key_index ~parent:root
-                  in
-                  match provider with
-                  | None ->
-                      { empty_result with index_messages;
-                        replica_flood_messages = flood_messages; broadcast_messages }
-                  | Some p ->
-                      let insert_messages =
-                        index_insert t ~now ~entry ~key_index ~provider:p ~parent:root
-                      in
-                      {
-                        source = From_broadcast;
-                        provider;
-                        index_messages;
-                        replica_flood_messages = flood_messages;
-                        broadcast_messages;
-                        insert_messages;
-                      })))
+          acc_broadcast := messages;
+          feed plan
+            (match provider with
+            | Some provider -> Query_plan.Broadcast_found { provider }
+            | None -> Query_plan.Broadcast_failed)
+      | Query_plan.Insert_key { provider } ->
+          acc_insert := index_insert t ~now ~entry:!entry ~key_index ~provider ~parent:root;
+          feed plan Query_plan.Insert_done
+    and feed plan event =
+      let plan, action = Query_plan.step plan event in
+      drive plan action
+    in
+    let outcome =
+      let plan, action = Query_plan.start strategy in
+      drive plan action
+    in
+    let result =
+      {
+        source =
+          (match outcome.Query_plan.source with
+          | Query_plan.From_index -> From_index
+          | Query_plan.From_broadcast -> From_broadcast
+          | Query_plan.Not_found -> Not_found);
+        provider = outcome.Query_plan.provider;
+        index_messages = !acc_index;
+        replica_flood_messages = !acc_flood;
+        broadcast_messages = !acc_broadcast;
+        insert_messages = !acc_insert;
+      }
     in
     charge t result;
     (match t.net with Some h -> Net_hook.record_latency h | None -> ());
@@ -622,56 +667,86 @@ let update_key t rng ~now ~key_index =
             (Event.make ~time:now ~peer ~key_index ~messages ~outcome ~span:root
                Event.Gossip)
       in
-      let entry = reach_entry t ~now ~parent:root ~peer:issuer (entry_point t issuer) in
-      if entry < 0 then begin
-        emit_root ~peer:issuer ~messages:0 ~outcome:Event.Not_found;
-        0
-      end
-      else
-        let contact = entry_contact ~peer:issuer entry in
-        (
-          let key = t.bitkeys.(key_index) in
-          let lookup_span = child_id t ~parent:root in
-          let lookup =
-            Dht.lookup ?span:(opt_span lookup_span) ?deliver:t.net_rpc t.dht t.rng
-              ~online:t.online ~source:entry ~key
-          in
-          record_lookup t ~now:(child_time t ~now) ~peer:entry ~key_index
-            ~span:lookup_span ~parent:root lookup;
-          match lookup.Dht.responsible with
-          | None ->
-              let total = contact + lookup.Dht.messages in
-              Metrics.charge t.metrics Metrics.Update_gossip total;
-              emit_root ~peer:issuer ~messages:total ~outcome:Event.Not_found;
-              total
-          | Some responsible ->
-              let provider =
-                match content_replicas t ~key_index with
-                | [||] -> 0
-                | reps -> reps.(0)
-              in
-              let net = replica_net t key_index in
-              let spread =
-                Rumor.spread rng ~net ~online:t.online ~origin_peer:responsible
-                  ~push_fanout:2 ~max_rounds:32
-              in
-              Array.iter
-                (fun member ->
-                  if t.online member then
-                    Storage.put t.stores.(member) ~key ~value:provider ~now ~ttl:forever)
-                (Replica_net.replicas net);
-              Histogram.record_int t.ins.gossip_rounds_hist spread.Rumor.rounds;
-              Registry.incr t.ins.c_gossip_spreads 1;
-              if root >= 0 && Tracer.active tracer Event.Gossip then
-                Tracer.emit tracer
-                  (Event.make ~time:(child_time t ~now) ~peer:responsible ~key_index
-                     ~hops:spread.Rumor.rounds ~messages:spread.Rumor.messages
-                     ~detail:"spread" ~span:(child_id t ~parent:root) ~parent:root
-                     Event.Gossip);
-              let total = contact + lookup.Dht.messages + spread.Rumor.messages in
-              Metrics.charge t.metrics Metrics.Update_gossip total;
-              emit_root ~peer:responsible ~messages:total ~outcome:Event.Found;
-              total))
+      (* Drive the pure {!Update_plan} machine; same driver/core split
+         as [query].  [acc] collects the contact, routing and gossip
+         traffic; entry failure is the one exit that never charges
+         (nothing was sent). *)
+      let entry = ref (-1) in
+      let contact = ref 0 in
+      let resp = ref (-1) in
+      let acc = ref 0 in
+      let rec drive plan action =
+        match action with
+        | Update_plan.Finish { delivered } ->
+            if delivered then begin
+              Metrics.charge t.metrics Metrics.Update_gossip !acc;
+              emit_root ~peer:!resp ~messages:!acc ~outcome:Event.Found;
+              !acc
+            end
+            else if !entry < 0 then begin
+              emit_root ~peer:issuer ~messages:0 ~outcome:Event.Not_found;
+              0
+            end
+            else begin
+              Metrics.charge t.metrics Metrics.Update_gossip !acc;
+              emit_root ~peer:issuer ~messages:!acc ~outcome:Event.Not_found;
+              !acc
+            end
+        | Update_plan.Reach_entry ->
+            let e = reach_entry t ~now ~parent:root ~peer:issuer (entry_point t issuer) in
+            if e < 0 then feed plan Update_plan.Entry_failed
+            else begin
+              entry := e;
+              contact := entry_contact ~peer:issuer e;
+              feed plan Update_plan.Entry_reached
+            end
+        | Update_plan.Route ->
+            let key = t.bitkeys.(key_index) in
+            let lookup_span = child_id t ~parent:root in
+            let lookup =
+              Dht.lookup ?span:(opt_span lookup_span) ?deliver:t.net_rpc t.dht t.rng
+                ~online:t.online ~source:!entry ~key
+            in
+            record_lookup t ~now:(child_time t ~now) ~peer:!entry ~key_index
+              ~span:lookup_span ~parent:root lookup;
+            acc := !contact + lookup.Dht.messages;
+            (match lookup.Dht.responsible with
+            | None -> feed plan Update_plan.Route_failed
+            | Some responsible ->
+                resp := responsible;
+                feed plan Update_plan.Route_ok)
+        | Update_plan.Spread ->
+            let provider =
+              match content_replicas t ~key_index with
+              | [||] -> 0
+              | reps -> reps.(0)
+            in
+            let net = replica_net t key_index in
+            let spread =
+              Rumor.spread rng ~net ~online:t.online ~origin_peer:!resp
+                ~push_fanout:2 ~max_rounds:32
+            in
+            Array.iter
+              (fun member ->
+                if t.online member then
+                  t.store.put ~peer:member ~key_index ~value:provider ~now ~ttl:forever)
+              (Replica_net.replicas net);
+            Histogram.record_int t.ins.gossip_rounds_hist spread.Rumor.rounds;
+            Registry.incr t.ins.c_gossip_spreads 1;
+            if root >= 0 && Tracer.active tracer Event.Gossip then
+              Tracer.emit tracer
+                (Event.make ~time:(child_time t ~now) ~peer:!resp ~key_index
+                   ~hops:spread.Rumor.rounds ~messages:spread.Rumor.messages
+                   ~detail:"spread" ~span:(child_id t ~parent:root) ~parent:root
+                   Event.Gossip);
+            acc := !acc + spread.Rumor.messages;
+            feed plan Update_plan.Spread_done
+      and feed plan event =
+        let plan, action = Update_plan.step plan event in
+        drive plan action
+      in
+      let plan, action = Update_plan.start Query_plan.Index_all in
+      drive plan action)
 
 let rejoin_sync t rng ~now ~peer =
   match t.config.Config.strategy with
@@ -701,7 +776,7 @@ let indexed_key_count t ~now =
   for key_index = 0 to t.config.Config.keys - 1 do
     let key = t.bitkeys.(key_index) in
     let group = Dht.replica_group t.dht ~repl:t.config.Config.repl key in
-    if Array.exists (fun member -> Storage.mem t.stores.(member) ~key ~now) group then
+    if Array.exists (fun member -> t.store.mem ~peer:member ~key_index ~now) group then
       incr count
   done;
   !count
@@ -716,7 +791,7 @@ let crash_peer t ~peer =
   let entries_lost =
     if peer < t.config.Config.active_members then begin
       Dht.forget_routes t.dht ~peer;
-      Storage.clear t.stores.(peer)
+      t.store.clear ~peer
     end
     else 0
   in
@@ -760,18 +835,18 @@ let repair_pass ?span t rng ~now ~min_fraction =
     invalid_arg "Pdht.repair_pass: min_fraction must be in (0, 1]";
   let repl = t.config.Config.repl in
   let num_peers = t.config.Config.num_peers in
-  let threshold = int_of_float (Float.ceil (min_fraction *. float_of_int repl)) in
+  let threshold = Pdht_proto.Repair_rules.content_threshold ~min_fraction ~repl in
   let messages = ref 0 in
   let repaired_items = ref 0 in
   let repaired_entries = ref 0 in
   for key_index = 0 to t.config.Config.keys - 1 do
     let reps = Replication.replicas t.content ~item:key_index in
     let live = Array.fold_left (fun n p -> if t.online p then n + 1 else n) 0 reps in
-    if live >= 1 && live < threshold then begin
-      let want = repl - live in
+    if Pdht_proto.Repair_rules.needs_topup ~live ~threshold then begin
+      let want = Pdht_proto.Repair_rules.topup_want ~repl ~live in
       let fresh = ref [] in
       let found = ref 0 in
-      let attempts = ref ((20 * want) + 50) in
+      let attempts = ref (Pdht_proto.Repair_rules.topup_attempts ~want) in
       while !found < want && !attempts > 0 do
         decr attempts;
         let cand = Rng.int rng num_peers in
@@ -789,7 +864,8 @@ let repair_pass ?span t rng ~now ~min_fraction =
       | fresh ->
           let merged = Array.append reps (Array.of_list fresh) in
           Replication.place_on t.content ~item:key_index ~replicas:merged;
-          messages := !messages + (2 * List.length fresh);
+          messages :=
+            !messages + Pdht_proto.Repair_rules.copy_messages ~fresh:(List.length fresh);
           incr repaired_items
     end
   done;
@@ -800,7 +876,6 @@ let repair_pass ?span t rng ~now ~min_fraction =
         match Hashtbl.find_opt t.replica_nets key_index with
         | None -> () (* never queried: nothing to repair *)
         | Some net ->
-            let key = t.bitkeys.(key_index) in
             let group = Replica_net.replicas net in
             (* Find a surviving online holder; every probe is a
                message. *)
@@ -811,26 +886,27 @@ let repair_pass ?span t rng ~now ~min_fraction =
               incr i;
               if t.online member then begin
                 incr messages;
-                if Storage.mem t.stores.(member) ~key ~now then holder := member
+                if t.store.mem ~peer:member ~key_index ~now then holder := member
               end
             done;
             if !holder >= 0 then begin
-              let store = t.stores.(!holder) in
-              match (Storage.expiry store ~key, Storage.get store ~key ~now) with
-              | Some expiry, Some provider when expiry -. now > 0. ->
-                  let remaining = expiry -. now in
-                  Array.iter
-                    (fun member ->
-                      if
-                        member <> !holder && t.online member
-                        && not (Storage.mem t.stores.(member) ~key ~now)
-                      then begin
-                        Storage.put t.stores.(member) ~key ~value:provider ~now
-                          ~ttl:remaining;
-                        incr messages;
-                        incr repaired_entries
-                      end)
-                    group
+              match (t.store.expiry ~peer:!holder ~key_index, t.store.get ~peer:!holder ~key_index ~now) with
+              | Some expiry, Some provider -> (
+                  match Pdht_proto.Repair_rules.remaining_ttl ~expiry ~now with
+                  | None -> ()
+                  | Some remaining ->
+                      Array.iter
+                        (fun member ->
+                          if
+                            member <> !holder && t.online member
+                            && not (t.store.mem ~peer:member ~key_index ~now)
+                          then begin
+                            t.store.repair_put ~peer:member ~key_index ~value:provider
+                              ~now ~ttl:remaining;
+                            incr messages;
+                            incr repaired_entries
+                          end)
+                        group)
               | _ -> ()
             end
       done);
@@ -847,7 +923,7 @@ let repair_pass ?span t rng ~now ~min_fraction =
 let store_live_count t ~now ~peer =
   if peer < 0 || peer >= t.config.Config.active_members then
     invalid_arg "Pdht.store_live_count: not a member";
-  Storage.live_count t.stores.(peer) ~now
+  t.store.live_count ~peer ~now
 
 let index_hit_probe t ~now ~key_index =
   let key = t.bitkeys.(key_index) in
@@ -855,7 +931,7 @@ let index_hit_probe t ~now ~key_index =
   | None -> false
   | Some responsible ->
       let group = Dht.replica_group t.dht ~repl:t.config.Config.repl key in
-      Storage.mem t.stores.(responsible) ~key ~now
+      t.store.mem ~peer:responsible ~key_index ~now
       || Array.exists
-           (fun member -> t.online member && Storage.mem t.stores.(member) ~key ~now)
+           (fun member -> t.online member && t.store.mem ~peer:member ~key_index ~now)
            group

@@ -19,7 +19,34 @@
 
 type t
 
-val create : ?obs:Pdht_obs.Context.t -> ?net:Pdht_net.Hook.t -> Pdht_util.Rng.t -> Config.t -> t
+(** Pluggable index-store access, keyed by workload key index.  The
+    default implementation (no [?store] at {!create}) operates on the
+    in-process per-member [Storage.t] array; the multi-process driver
+    substitutes closures that reach whichever worker process owns
+    [peer]'s shard over the wire.  All reads and writes the protocol
+    performs against member caches flow through this record, so a
+    remote store is authoritative — including LRU/expiry side effects.
+    [repair_put] is the anti-entropy copy (same write as [put], but
+    carrying a remaining rather than renewed TTL), kept separate so
+    drivers can account repair traffic apart. *)
+type store_ops = {
+  get_and_refresh : peer:int -> key_index:int -> now:float -> ttl:float -> int option;
+  put : peer:int -> key_index:int -> value:int -> now:float -> ttl:float -> unit;
+  repair_put : peer:int -> key_index:int -> value:int -> now:float -> ttl:float -> unit;
+  mem : peer:int -> key_index:int -> now:float -> bool;
+  get : peer:int -> key_index:int -> now:float -> int option;
+  expiry : peer:int -> key_index:int -> float option;
+  clear : peer:int -> int;
+  live_count : peer:int -> now:float -> int;
+}
+
+val create :
+  ?obs:Pdht_obs.Context.t ->
+  ?net:Pdht_net.Hook.t ->
+  ?store:store_ops ->
+  Pdht_util.Rng.t ->
+  Config.t ->
+  t
 (** Build topology, DHT, content placement and (for [Index_all]) the
     pre-loaded index.  Deterministic in the generator state.
 
@@ -63,6 +90,16 @@ val key_of_index : t -> int -> Pdht_util.Bitkey.t
 val set_online : t -> (int -> bool) -> unit
 (** Wire a churn model in; default: everyone always online. *)
 
+val set_transport : t -> rpc:(span:int option -> src:int -> dst:int -> bool) ->
+  cast:(span:int option -> src:int -> dst:int -> bool) -> unit
+(** Install real-transport delivery hooks: [rpc] fires once per DHT
+    forward hop and entry contact (its return deciding delivery, as
+    with the simulated network model), [cast] once per broadcast
+    message.  For the multi-process driver these materialise the hop as
+    a wire frame to the owning worker.  @raise Invalid_argument when a
+    simulated network model is already attached — the two delivery
+    paths are mutually exclusive. *)
+
 val set_key_ttl : t -> float -> unit
 (** Change the TTL used for subsequent insertions and refreshes (the
     self-tuning extension's knob).  Only meaningful under
@@ -75,7 +112,7 @@ val key_ttl : t -> float
     re-insertion (after a successful broadcast); a rejected key costs
     zero messages.  [ttl_for] supplies the lease used both when
     inserting and when a query hit refreshes a stored key. *)
-type policy = {
+type policy = Pdht_proto.Selection.policy = {
   admit : now:float -> key_index:int -> bool;
   ttl_for : now:float -> key_index:int -> float;
 }

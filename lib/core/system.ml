@@ -12,14 +12,6 @@ module Log = (val Logs.src_log log_src : Logs.LOG)
 
 module Psel = Pdht_policy.Selector
 
-type ttl_policy = Model_derived | Fixed of float | Adaptive
-
-(* The deprecated TTL axis maps losslessly into the policy space. *)
-let spec_of_ttl_policy = function
-  | Model_derived -> Psel.Ttl Psel.Model_derived
-  | Fixed ttl -> Psel.Ttl (Psel.Fixed ttl)
-  | Adaptive -> Psel.Ttl Psel.Adaptive
-
 type options = {
   repl : int;
   stor : int;
@@ -50,7 +42,7 @@ let default_options =
   }
 
 module Options = struct
-  let make ?repl ?stor ?backend ?env ?ttl_policy ?selection_policy ?sample_every
+  let make ?repl ?stor ?backend ?env ?selection_policy ?sample_every
       ?sizing_slack ?eviction ?net ?fault ?timeline_window () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
@@ -59,12 +51,7 @@ module Options = struct
       stor = value d.stor stor;
       backend = value d.backend backend;
       env = (match env with Some _ -> env | None -> d.env);
-      selection_policy =
-        (* The new axis wins; [?ttl_policy] is the deprecated alias. *)
-        (match (selection_policy, ttl_policy) with
-        | Some spec, _ -> spec
-        | None, Some tp -> spec_of_ttl_policy tp
-        | None, None -> d.selection_policy);
+      selection_policy = value d.selection_policy selection_policy;
       sample_every = value d.sample_every sample_every;
       sizing_slack = value d.sizing_slack sizing_slack;
       eviction = value d.eviction eviction;
@@ -78,11 +65,6 @@ module Options = struct
   let with_stor stor options = { options with stor }
   let with_backend backend options = { options with backend }
   let with_selection_policy selection_policy options = { options with selection_policy }
-
-  (* Deprecated alias: forwards into the selection-policy axis. *)
-  let with_ttl_policy ttl_policy options =
-    { options with selection_policy = spec_of_ttl_policy ttl_policy }
-
   let with_sample_every sample_every options = { options with sample_every }
   let with_eviction eviction options = { options with eviction }
   let with_net net options = { options with net = Some net }
@@ -225,6 +207,13 @@ let build_churn scenario rng =
       Pdht_dht.Churn.create rng ~peers:scenario.Scenario.num_peers ~mean_uptime
         ~mean_downtime ~initially_online_fraction
 
+(* External execution driver: substitutes the protocol's store access
+   (e.g. with wire-crossing closures to worker processes) and gets the
+   built [Pdht.t] back once, before any event runs, to install
+   transport hooks via {!Pdht.set_transport}.  With no driver the exact
+   pre-existing creation path runs. *)
+type driver = { store : Pdht.store_ops; attach : Pdht.t -> unit }
+
 (* Mutable run-time counters, folded into the report at the end. *)
 type counters = {
   mutable queries : int;
@@ -238,7 +227,7 @@ type counters = {
   mutable samples_rev : sample list;
 }
 
-let run ?obs scenario strategy options =
+let run ?obs ?driver scenario strategy options =
   let obs = match obs with Some o -> o | None -> Obs.create () in
   let scenario =
     match Scenario.validate scenario with
@@ -299,7 +288,19 @@ let run ?obs scenario strategy options =
       ~num_peers:scenario.Scenario.num_peers ~active_members
       ~keys:scenario.Scenario.keys ~repl:options.repl ~stor:options.stor ~strategy ()
   in
-  let pdht = Pdht.create ~obs ?net:net_hook build_rng config in
+  let pdht =
+    match driver with
+    | None -> Pdht.create ~obs ?net:net_hook build_rng config
+    | Some d ->
+        (* A real transport and the simulated network model are mutually
+           exclusive delivery paths. *)
+        (match options.net with
+        | Some _ -> invalid_arg "System.run: driver and net model are mutually exclusive"
+        | None -> ());
+        let p = Pdht.create ~obs ~store:d.store build_rng config in
+        d.attach p;
+        p
+  in
   let engine = Engine.create () in
   Engine.instrument engine obs.Obs.registry;
   (* Snapshots also drive the tracer's registered flushers, so schedule

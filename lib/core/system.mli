@@ -6,22 +6,6 @@
     discrete-event engine for the scenario's duration, and reports the
     counters the paper's evaluation cares about. *)
 
-(** The original key-TTL axis, kept as a deprecated alias into the
-    selection-policy space ({!Pdht_policy.Selector.spec}).  New code
-    should use [selection_policy] / {!Options.with_selection_policy};
-    [ttl_policy] values map losslessly via {!spec_of_ttl_policy}. *)
-type ttl_policy =
-  | Model_derived  (** the analytical model's [1/fMin] (the default) *)
-  | Fixed of float  (** force this TTL, seconds *)
-  | Adaptive
-      (** start from the model's TTL, then let the self-tuning
-          controller steer it during the run (extension; only active
-          under [Partial_index]) *)
-
-val spec_of_ttl_policy : ttl_policy -> Pdht_policy.Selector.spec
-(** [Model_derived -> Ttl Model_derived], [Fixed f -> Ttl (Fixed f)],
-    [Adaptive -> Ttl Adaptive]. *)
-
 type options = {
   repl : int;                  (** replication factor (default 20) *)
   stor : int;                  (** per-peer index cache (default 100) *)
@@ -77,7 +61,6 @@ module Options : sig
     ?stor:int ->
     ?backend:Pdht_dht.Dht.backend ->
     ?env:float ->
-    ?ttl_policy:ttl_policy ->
     ?selection_policy:Pdht_policy.Selector.spec ->
     ?sample_every:float ->
     ?sizing_slack:float ->
@@ -87,21 +70,12 @@ module Options : sig
     ?timeline_window:float ->
     unit ->
     options
-  (** Unnamed arguments take their {!default_options} value.
-      [?ttl_policy] is the deprecated alias for [?selection_policy]
-      (mapped through {!spec_of_ttl_policy}); when both are given, the
-      new axis wins. *)
+  (** Unnamed arguments take their {!default_options} value. *)
 
   val with_repl : int -> options -> options
   val with_stor : int -> options -> options
   val with_backend : Pdht_dht.Dht.backend -> options -> options
-
   val with_selection_policy : Pdht_policy.Selector.spec -> options -> options
-
-  val with_ttl_policy : ttl_policy -> options -> options
-  (** Deprecated: forwards to {!with_selection_policy} via
-      {!spec_of_ttl_policy}. *)
-
   val with_sample_every : float -> options -> options
   val with_eviction : Pdht_dht.Storage.eviction -> options -> options
   val with_net : Pdht_net.Config.t -> options -> options
@@ -218,9 +192,26 @@ val plan_active_members : Pdht_work.Scenario.t -> options -> Strategy.t -> int
     and a minimal 2-member ring under [No_index] (no DHT traffic is
     generated there). *)
 
+(** External execution driver for the protocol's state-bearing side
+    effects: [store] replaces {!Pdht}'s in-process index-store access
+    (the multi-process conductor passes closures that cross the wire to
+    the worker owning each member's shard), and [attach] receives the
+    built {!Pdht.t} once — before any event runs — to install real
+    transport hooks via {!Pdht.set_transport}.  Mutually exclusive with
+    [options.net]: the simulated network model and a real transport are
+    two implementations of the same delivery seam. *)
+type driver = { store : Pdht.store_ops; attach : Pdht.t -> unit }
+
 val run :
-  ?obs:Pdht_obs.Context.t -> Pdht_work.Scenario.t -> Strategy.t -> options -> report
+  ?obs:Pdht_obs.Context.t ->
+  ?driver:driver ->
+  Pdht_work.Scenario.t ->
+  Strategy.t ->
+  options ->
+  report
 (** Execute the simulation.  Deterministic in [scenario.seed].
+    Without [?driver] the exact in-process creation path runs —
+    byte-identical reports to builds that predate the driver seam.
 
     [obs] (default: fresh, tracer disabled) collects the run's metrics
     and trace events: everything {!Pdht.create} registers, plus engine

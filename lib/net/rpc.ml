@@ -1,5 +1,5 @@
 module Engine = Pdht_sim.Engine
-module Registry = Pdht_obs.Registry
+module Machine = Pdht_proto.Rpc_machine
 
 type t = { transport : Transport.t; config : Config.t }
 
@@ -8,40 +8,46 @@ let create transport =
 
 let transport t = t.transport
 
-type call_state = { mutable settled : bool }
-
+(* Driver over the pure {!Pdht_proto.Rpc_machine}: the machine decides
+   retry/settle, this code binds its events to the simulator — the
+   attempt deadline is an engine timer and the reply is the transport's
+   delivery callback.  The process driver binds the same machine to a
+   real timer wheel. *)
 let call ?span t ~src ~dst ~handler ~on_reply =
   let stats = Transport.stats t.transport in
   let engine = Transport.engine t.transport in
-  let state = { settled = false } in
+  let machine =
+    ref
+      (Machine.create ~timeout:t.config.Config.rpc_timeout
+         ~retries:t.config.Config.rpc_retries ~backoff:t.config.Config.backoff)
+  in
+  let step event =
+    let m, action = Machine.step !machine event in
+    machine := m;
+    action
+  in
   let rec attempt k =
-    if not state.settled then begin
-      if k > 0 then Registry.incr stats.Stats.c_retried 1;
-      let (_ : bool) =
-        Transport.send t.transport ?span ~src ~dst (fun _eng ->
-            if (not state.settled) && handler () then
-              let (_ : bool) =
-                Transport.send t.transport ?span ~src:dst ~dst:src (fun eng ->
-                    if not state.settled then begin
-                      state.settled <- true;
-                      on_reply ~ok:true eng
-                    end)
-              in
-              ())
-      in
-      (* The caller cannot observe a send-time drop: it always waits the
-         attempt's full timeout before retrying or giving up, exactly as
-         a real endpoint would. *)
-      Engine.schedule engine
-        ~delay:(Config.timeout_for_attempt t.config ~attempt:k)
-        (fun eng ->
-          if not state.settled then
-            if k < t.config.Config.rpc_retries then attempt (k + 1)
-            else begin
-              state.settled <- true;
-              Registry.incr stats.Stats.c_timed_out 1;
-              on_reply ~ok:false eng
-            end)
-    end
+    if k > 0 then Pdht_obs.Registry.incr stats.Stats.c_retried 1;
+    let (_ : bool) =
+      Transport.send t.transport ?span ~src ~dst (fun _eng ->
+          if (not (Machine.settled !machine)) && handler () then
+            let (_ : bool) =
+              Transport.send t.transport ?span ~src:dst ~dst:src (fun eng ->
+                  match step Machine.Reply_received with
+                  | Machine.Deliver_reply -> on_reply ~ok:true eng
+                  | Machine.Ignore | Machine.Retry _ | Machine.Give_up -> ())
+            in
+            ())
+    in
+    (* The caller cannot observe a send-time drop: it always waits the
+       attempt's full timeout before retrying or giving up, exactly as
+       a real endpoint would. *)
+    Engine.schedule engine ~delay:(Machine.current_timeout !machine) (fun eng ->
+        match step Machine.Attempt_timeout with
+        | Machine.Retry { attempt = k'; timeout = _ } -> attempt k'
+        | Machine.Give_up ->
+            Pdht_obs.Registry.incr stats.Stats.c_timed_out 1;
+            on_reply ~ok:false eng
+        | Machine.Ignore | Machine.Deliver_reply -> ())
   in
   attempt 0

@@ -1,18 +1,21 @@
-let stamp ?run ?time fields =
+let stamp ?run ?time ?node fields =
   let run_field = match run with Some r -> [ ("run", Json.String r) ] | None -> [] in
   let time_field = match time with Some t -> [ ("time", Json.Float t) ] | None -> [] in
-  fields @ run_field @ time_field
+  let node_field =
+    match node with Some k -> [ ("node_id", Json.Int k) ] | None -> []
+  in
+  fields @ run_field @ time_field @ node_field
 
-let metric_json ?run ?time name value =
+let metric_json ?run ?time ?node name value =
   match value with
   | Registry.Counter_v n ->
       Json.Obj
-        (stamp ?run ?time
+        (stamp ?run ?time ?node
            [ ("type", Json.String "counter"); ("name", Json.String name);
              ("value", Json.Int n) ])
   | Registry.Gauge_v v ->
       Json.Obj
-        (stamp ?run ?time
+        (stamp ?run ?time ?node
            [ ("type", Json.String "gauge"); ("name", Json.String name);
              ("value", Json.Float v) ])
   | Registry.Histogram_v s ->
@@ -20,19 +23,21 @@ let metric_json ?run ?time name value =
         match Histogram.summary_to_json s with Json.Obj fields -> fields | _ -> []
       in
       Json.Obj
-        (stamp ?run ?time
+        (stamp ?run ?time ?node
            ([ ("type", Json.String "histogram"); ("name", Json.String name) ]
            @ summary_fields))
 
-let jsonl_lines ?run ?time snapshot =
-  List.map (fun (name, value) -> Json.to_string (metric_json ?run ?time name value)) snapshot
+let jsonl_lines ?run ?time ?node snapshot =
+  List.map
+    (fun (name, value) -> Json.to_string (metric_json ?run ?time ?node name value))
+    snapshot
 
-let write_jsonl ?run ?time channel snapshot =
+let write_jsonl ?run ?time ?node channel snapshot =
   List.iter
     (fun line ->
       output_string channel line;
       output_char channel '\n')
-    (jsonl_lines ?run ?time snapshot)
+    (jsonl_lines ?run ?time ?node snapshot)
 
 let csv_escape s =
   if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
@@ -55,13 +60,13 @@ let csv snapshot =
 
 let write_csv channel snapshot = output_string channel (csv snapshot)
 
-let to_file ?run ?time ~path snapshot =
+let to_file ?run ?time ?node ~path snapshot =
   let channel = open_out path in
   Fun.protect
     ~finally:(fun () -> close_out channel)
     (fun () ->
       if Filename.check_suffix path ".csv" then write_csv channel snapshot
-      else write_jsonl ?run ?time channel snapshot)
+      else write_jsonl ?run ?time ?node channel snapshot)
 
 (* Schema checks beyond well-formed JSON: trace-event lines (member
    "cat") must round-trip through the event codec with sane span ids,
@@ -107,10 +112,25 @@ let validate_timeline json =
                 Error (Printf.sprintf "timeline: non-numeric series %S" name)
             | None -> Ok ()))
 
+(* Per-node JSONL (process driver) stamps every line with the emitting
+   node; the merge tooling keys on it, so a present [node_id] must be a
+   non-negative integer whatever the line's kind. *)
+let validate_node_id json =
+  match Json.member "node_id" json with
+  | None -> Ok ()
+  | Some v -> (
+      match Json.to_int_opt v with
+      | Some k when k >= 0 -> Ok ()
+      | Some _ -> Error "node_id: must be non-negative"
+      | None -> Error "node_id: must be an integer")
+
 let validate_line json =
-  if Json.member "cat" json <> None then validate_event json
-  else if Json.member "tl" json <> None then validate_timeline json
-  else Ok ()
+  match validate_node_id json with
+  | Error _ as e -> e
+  | Ok () ->
+      if Json.member "cat" json <> None then validate_event json
+      else if Json.member "tl" json <> None then validate_timeline json
+      else Ok ()
 
 let validate_jsonl_file ~path =
   let channel = open_in path in

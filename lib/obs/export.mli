@@ -8,17 +8,23 @@
      "p50":F,"p90":F,"p95":F,"p99":F,"max":F,"buckets":[[lo,hi,count],...]}
     v}
     [run] and [time] are optional labels stamped on every line so
-    snapshot streams from periodic emission stay self-describing.
+    snapshot streams from periodic emission stay self-describing;
+    [node] adds a ["node_id"] member so per-process emissions (the
+    multi-process driver writes one JSONL file per node) remain
+    attributable after merging.
 
     CSV schema: [name,type,value,count,mean,p50,p90,p95,p99,max]; for
     counters and gauges the histogram columns are empty. *)
 
-val metric_json : ?run:string -> ?time:float -> string -> Registry.value -> Json.t
+val metric_json :
+  ?run:string -> ?time:float -> ?node:int -> string -> Registry.value -> Json.t
 (** One instrument reading as the JSONL object described above. *)
 
-val jsonl_lines : ?run:string -> ?time:float -> Registry.snapshot -> string list
+val jsonl_lines :
+  ?run:string -> ?time:float -> ?node:int -> Registry.snapshot -> string list
 
-val write_jsonl : ?run:string -> ?time:float -> out_channel -> Registry.snapshot -> unit
+val write_jsonl :
+  ?run:string -> ?time:float -> ?node:int -> out_channel -> Registry.snapshot -> unit
 (** One line per instrument; does not flush or close. *)
 
 val csv : Registry.snapshot -> string
@@ -26,16 +32,18 @@ val csv : Registry.snapshot -> string
 
 val write_csv : out_channel -> Registry.snapshot -> unit
 
-val to_file : ?run:string -> ?time:float -> path:string -> Registry.snapshot -> unit
+val to_file :
+  ?run:string -> ?time:float -> ?node:int -> path:string -> Registry.snapshot -> unit
 (** Create/truncate [path] and write the snapshot; format chosen by
     extension ([.csv] for CSV, JSONL otherwise). *)
 
 val validate_line : Json.t -> (unit, string) result
-(** Validate one parsed JSONL line: trace events (member ["cat"]) must
-    decode through {!Event.of_json} with sane span/parent ids, timeline
-    windows (member ["tl"]) must match the {!Timeline} schema, and any
-    other object passes (metric lines carry no invariants beyond JSON
-    well-formedness). *)
+(** Validate one parsed JSONL line: a present ["node_id"] member must
+    be a non-negative integer (whatever the line's kind), trace events
+    (member ["cat"]) must decode through {!Event.of_json} with sane
+    span/parent ids, timeline windows (member ["tl"]) must match the
+    {!Timeline} schema, and any other object passes (metric lines carry
+    no invariants beyond JSON well-formedness). *)
 
 val validate_jsonl_file : path:string -> (int, string) result
 (** Parse every non-empty line of [path]; [Ok n] gives the number of

@@ -1,0 +1,294 @@
+module Wire = Pdht_wire.Wire
+module M = Pdht_proto.Rpc_machine
+module System = Pdht_core.System
+module Pdht = Pdht_core.Pdht
+module Scenario = Pdht_work.Scenario
+module Registry = Pdht_obs.Registry
+module Export = Pdht_obs.Export
+
+type config = {
+  nodes : int;
+  exe : string;
+  obs_dir : string option;
+  rpc : M.config;
+}
+
+let default_config ~nodes ~exe =
+  let net = Pdht_net.Config.default in
+  {
+    nodes;
+    exe;
+    obs_dir = None;
+    rpc =
+      {
+        M.timeout = net.Pdht_net.Config.rpc_timeout;
+        retries = net.Pdht_net.Config.rpc_retries;
+        backoff = net.Pdht_net.Config.backoff;
+      };
+  }
+
+let ensure_dir dir =
+  if not (Sys.file_exists dir) then Unix.mkdir dir 0o755
+  else if not (Sys.is_directory dir) then
+    invalid_arg (Printf.sprintf "Cluster.run: %s is not a directory" dir)
+
+let node_obs_path dir k = Filename.concat dir (Printf.sprintf "node-%d.jsonl" k)
+
+(* One conductor->worker RPC identifier space for the whole run, so a
+   stale reply (from a timed-out attempt the worker answered late) can
+   never be mistaken for the current call's. *)
+let next_rid = ref 0
+
+let rid_of = function
+  | Wire.Ack { rid; _ } | Wire.Ack_float { rid; _ }
+  | Wire.Counters { rid; _ } ->
+      Some rid
+  | _ -> None
+
+let spawn config ~port k =
+  let base =
+    [ config.exe; "node"; "--connect"; string_of_int port;
+      "--node-id"; string_of_int k ]
+  in
+  let argv =
+    match config.obs_dir with
+    | Some dir -> base @ [ "--obs-out"; node_obs_path dir k ]
+    | None -> base
+  in
+  Unix.create_process config.exe (Array.of_list argv) Unix.stdin Unix.stdout
+    Unix.stderr
+
+let accept_deadline = 30.0
+
+let accept_workers lsock ~nodes =
+  let conns = Array.make nodes None in
+  for _ = 1 to nodes do
+    let deadline = Unix.gettimeofday () +. accept_deadline in
+    (match Unix.select [ lsock ] [] [] accept_deadline with
+    | [], _, _ -> failwith "cluster: timed out waiting for workers to connect"
+    | _ -> ());
+    let fd, _ = Unix.accept lsock in
+    Unix.setsockopt fd Unix.TCP_NODELAY true;
+    let conn = Frame_io.of_fd fd in
+    match Frame_io.recv ~deadline conn with
+    | Ok (Wire.Hello { node_id })
+      when node_id >= 0 && node_id < nodes && conns.(node_id) = None ->
+        conns.(node_id) <- Some conn
+    | Ok msg ->
+        failwith (Format.asprintf "cluster: expected a fresh Hello, got %a" Wire.pp msg)
+    | Error e ->
+        failwith ("cluster: during handshake: " ^ Frame_io.recv_error_to_string e)
+  done;
+  Array.map Option.get conns
+
+let run ?obs config scenario strategy (options : System.options) =
+  if config.nodes < 1 then invalid_arg "Cluster.run: nodes must be >= 1";
+  (match options.System.net with
+  | Some _ ->
+      invalid_arg "Cluster.run: a network model and a real transport are mutually exclusive"
+  | None -> ());
+  Option.iter ensure_dir config.obs_dir;
+  let obs = match obs with Some o -> o | None -> Pdht_obs.Context.create () in
+  let members = System.plan_active_members scenario options strategy in
+  let lsock = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  Unix.setsockopt lsock Unix.SO_REUSEADDR true;
+  Unix.bind lsock (Unix.ADDR_INET (Unix.inet_addr_loopback, 0));
+  Unix.listen lsock config.nodes;
+  let port =
+    match Unix.getsockname lsock with
+    | Unix.ADDR_INET (_, port) -> port
+    | _ -> assert false
+  in
+  let pids = Array.init config.nodes (spawn config ~port) in
+  let conns = ref [||] in
+  let reaped = Array.make config.nodes false in
+  let cleanup () =
+    Array.iter Frame_io.close !conns;
+    Array.iteri
+      (fun k pid ->
+        if not reaped.(k) then begin
+          (try Unix.kill pid Sys.sigkill with Unix.Unix_error _ -> ());
+          (try ignore (Unix.waitpid [] pid) with Unix.Unix_error _ -> ());
+          reaped.(k) <- true
+        end)
+      pids
+  in
+  Fun.protect ~finally:cleanup @@ fun () ->
+  conns := accept_workers lsock ~nodes:config.nodes;
+  Unix.close lsock;
+  let conn k = !conns.(k) in
+  let owner m = m mod config.nodes in
+  let setup =
+    Wire.Setup
+      {
+        nodes = config.nodes;
+        members;
+        keys = scenario.Scenario.keys;
+        stor = options.System.stor;
+        eviction = Node.eviction_code options.System.eviction;
+        seed = scenario.Scenario.seed;
+      }
+  in
+  Array.iter (fun c -> Frame_io.send c setup) !conns;
+  let wheel = Timer_wheel.create () in
+  (* Synchronous request/reply with real deadlines: each attempt arms a
+     wall-clock timer from the Rpc_machine schedule; select waits are
+     bounded by the wheel's earliest deadline so an expiry is noticed
+     the moment it is due. *)
+  let call k make_frame =
+    incr next_rid;
+    let rid = !next_rid in
+    let frame = make_frame rid in
+    let c = conn k in
+    let machine = ref (M.create ~timeout:config.rpc.M.timeout
+                         ~retries:config.rpc.M.retries ~backoff:config.rpc.M.backoff)
+    in
+    let expired = ref false in
+    let feed event =
+      let m, action = M.step !machine event in
+      machine := m;
+      action
+    in
+    let rec attempt () =
+      Frame_io.send c frame;
+      expired := false;
+      let timer =
+        Timer_wheel.schedule wheel
+          ~at:(Unix.gettimeofday () +. M.current_timeout !machine)
+          (fun () -> expired := true)
+      in
+      await timer
+    and await timer =
+      match Frame_io.recv ?deadline:(Timer_wheel.next_due wheel) c with
+      | Ok reply when rid_of reply = Some rid -> (
+          Timer_wheel.cancel wheel timer;
+          match feed M.Reply_received with
+          | M.Deliver_reply -> reply
+          | _ -> assert false)
+      | Ok _ ->
+          (* A late answer to an attempt we already gave up on. *)
+          await timer
+      | Error Frame_io.Timeout -> (
+          ignore (Timer_wheel.run_due wheel ~now:(Unix.gettimeofday ()));
+          if not !expired then await timer
+          else
+            match feed M.Attempt_timeout with
+            | M.Retry _ -> attempt ()
+            | M.Give_up ->
+                failwith
+                  (Printf.sprintf
+                     "cluster: rpc to node %d gave up after %d attempts" k
+                     (M.attempt !machine + 1))
+            | _ -> assert false)
+      | Error Frame_io.Closed ->
+          failwith (Printf.sprintf "cluster: node %d closed its connection" k)
+      | Error (Frame_io.Wire e) ->
+          failwith
+            (Printf.sprintf "cluster: corrupt frame from node %d: %s" k
+               (Wire.error_to_string e))
+    in
+    attempt ()
+  in
+  let call_ack ~peer make_frame =
+    match call (owner peer) make_frame with
+    | Wire.Ack { ok; value; _ } -> (ok, value)
+    | msg -> failwith (Format.asprintf "cluster: expected Ack, got %a" Wire.pp msg)
+  in
+  let store : Pdht.store_ops =
+    {
+      get_and_refresh =
+        (fun ~peer ~key_index ~now ~ttl ->
+          let ok, value =
+            call_ack ~peer (fun rid ->
+                Wire.Get { rid; peer; key = key_index; refresh = true; now; ttl })
+          in
+          if ok then Some value else None);
+      put =
+        (fun ~peer ~key_index ~value ~now ~ttl ->
+          ignore
+            (call_ack ~peer (fun rid ->
+                 Wire.Insert { rid; peer; key = key_index; value; now; ttl })));
+      repair_put =
+        (fun ~peer ~key_index ~value ~now ~ttl ->
+          ignore
+            (call_ack ~peer (fun rid ->
+                 Wire.Repair { rid; peer; key = key_index; value; now; ttl })));
+      mem =
+        (fun ~peer ~key_index ~now ->
+          fst
+            (call_ack ~peer (fun rid ->
+                 Wire.Probe { rid; op = Wire.Mem; peer; key = key_index; now })));
+      get =
+        (fun ~peer ~key_index ~now ->
+          let ok, value =
+            call_ack ~peer (fun rid ->
+                Wire.Get { rid; peer; key = key_index; refresh = false; now; ttl = 0.0 })
+          in
+          if ok then Some value else None);
+      expiry =
+        (fun ~peer ~key_index ->
+          match
+            call (owner peer) (fun rid ->
+                Wire.Probe { rid; op = Wire.Expiry; peer; key = key_index; now = 0.0 })
+          with
+          | Wire.Ack_float { ok; value; _ } -> if ok then Some value else None
+          | msg ->
+              failwith
+                (Format.asprintf "cluster: expected Ack_float, got %a" Wire.pp msg));
+      clear =
+        (fun ~peer ->
+          snd
+            (call_ack ~peer (fun rid ->
+                 Wire.Probe { rid; op = Wire.Clear; peer; key = -1; now = 0.0 })));
+      live_count =
+        (fun ~peer ~now ->
+          snd
+            (call_ack ~peer (fun rid ->
+                 Wire.Probe { rid; op = Wire.Live_count; peer; key = -1; now })));
+    }
+  in
+  let span_id = function Some s -> s | None -> -1 in
+  let rpc ~span ~src ~dst =
+    match
+      call (owner dst) (fun rid ->
+          Wire.Lookup { rid; span = span_id span; src; dst; key = -1 })
+    with
+    | Wire.Ack { ok; _ } -> ok
+    | msg -> failwith (Format.asprintf "cluster: expected Ack, got %a" Wire.pp msg)
+  in
+  let cast ~span ~src ~dst =
+    Frame_io.send (conn (owner dst))
+      (Wire.Gossip { span = span_id span; src; dst; key = -1 });
+    true
+  in
+  let driver =
+    { System.store; attach = (fun p -> Pdht.set_transport p ~rpc ~cast) }
+  in
+  let report = System.run ~obs ~driver scenario strategy options in
+  (* Merge worker counters only after the report is rendered from the
+     conductor's registry: the merge can never perturb the
+     sim-equivalence contract. *)
+  let merged = Registry.create () in
+  Registry.merge_into (Pdht_obs.Context.registry obs) ~into:merged;
+  for k = 0 to config.nodes - 1 do
+    match call k (fun rid -> Wire.Snapshot { rid }) with
+    | Wire.Counters { counters; _ } ->
+        List.iter
+          (fun (name, value) -> Registry.incr (Registry.counter merged name) value)
+          counters
+    | msg ->
+        failwith (Format.asprintf "cluster: expected Counters, got %a" Wire.pp msg)
+  done;
+  Option.iter
+    (fun dir ->
+      Export.to_file ~run:scenario.Scenario.name
+        ~path:(Filename.concat dir "merged.jsonl")
+        (Registry.snapshot merged))
+    config.obs_dir;
+  Array.iter (fun c -> Frame_io.send c Wire.Bye) !conns;
+  Array.iteri
+    (fun k pid ->
+      ignore (Unix.waitpid [] pid);
+      reaped.(k) <- true)
+    pids;
+  report

@@ -1,0 +1,46 @@
+(** Multi-process conductor: run a {!Pdht_core.System} scenario with
+    the index state sharded across [nodes] worker processes on one box.
+
+    The conductor keeps the whole protocol brain — workloads, routing,
+    selection, accounting — and drives it through {!Pdht_core.System}'s
+    driver seam: every store access and every DHT hop / broadcast edge
+    becomes a {!Pdht_wire.Wire} frame to the worker owning the target
+    member ([member mod nodes]).  Workers answer strictly in order and
+    the loopback link is reliable, so the cluster's report is
+    field-for-field the same-seed simulator report; RPC deadlines
+    (timeout, retry, exponential backoff — the
+    {!Pdht_proto.Rpc_machine} semantics) are enforced in wall-clock
+    time via a {!Timer_wheel}, and exist to fail fast when a worker
+    dies rather than to model loss. *)
+
+type config = {
+  nodes : int;            (** worker process count, >= 1 *)
+  exe : string;           (** executable spawned as
+                              [exe node --connect PORT --node-id K] *)
+  obs_dir : string option;
+      (** when set: workers write [node-K.jsonl] here and the conductor
+          writes [merged.jsonl] (run registry + summed worker
+          counters) *)
+  rpc : Pdht_proto.Rpc_machine.config;
+      (** wall-clock deadline semantics for conductor->worker calls *)
+}
+
+val default_config : nodes:int -> exe:string -> config
+(** No [obs_dir]; RPC deadlines from {!Pdht_net.Config.default}
+    ([rpc_timeout]/[rpc_retries]/[backoff]). *)
+
+val run :
+  ?obs:Pdht_obs.Context.t ->
+  config ->
+  Pdht_work.Scenario.t ->
+  Pdht_core.Strategy.t ->
+  Pdht_core.System.options ->
+  Pdht_core.System.report
+(** Spawn the workers, run the scenario through them, merge worker
+    counters, shut the workers down, and return the report.
+    @raise Invalid_argument when [options.net] is set (a simulated
+    network model and a real transport are mutually exclusive) or
+    [nodes < 1].
+    @raise Failure when a worker dies, misbehaves, or an RPC exhausts
+    its retry budget; spawned processes are killed before the exception
+    escapes. *)

@@ -1,0 +1,78 @@
+module Wire = Pdht_wire.Wire
+
+type t = { fd : Unix.file_descr; mutable buf : Bytes.t; mutable len : int }
+
+type recv_error = Timeout | Closed | Wire of Wire.error
+
+let of_fd fd = { fd; buf = Bytes.create 4096; len = 0 }
+let fd t = t.fd
+
+let rec write_all fd bytes off len =
+  if len > 0 then
+    match Unix.write fd bytes off len with
+    | n -> write_all fd bytes (off + n) (len - n)
+    | exception Unix.Unix_error (Unix.EINTR, _, _) -> write_all fd bytes off len
+
+let send t msg =
+  let frame = Wire.encode_bytes msg in
+  write_all t.fd frame 0 (Bytes.length frame)
+
+let ensure_capacity t extra =
+  let need = t.len + extra in
+  if need > Bytes.length t.buf then begin
+    let cap = ref (Bytes.length t.buf * 2) in
+    while !cap < need do
+      cap := !cap * 2
+    done;
+    let grown = Bytes.create !cap in
+    Bytes.blit t.buf 0 grown 0 t.len;
+    t.buf <- grown
+  end
+
+let consume t used =
+  Bytes.blit t.buf used t.buf 0 (t.len - used);
+  t.len <- t.len - used
+
+let rec wait_readable t ~deadline =
+  let timeout =
+    match deadline with
+    | None -> -1.0
+    | Some d -> Float.max 0.0 (d -. Unix.gettimeofday ())
+  in
+  match Unix.select [ t.fd ] [] [] timeout with
+  | [], _, _ -> Error Timeout
+  | _ :: _, _, _ -> Ok ()
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> wait_readable t ~deadline
+
+let chunk = 4096
+
+let rec fill t ~deadline =
+  match wait_readable t ~deadline with
+  | Error _ as e -> e
+  | Ok () -> (
+      ensure_capacity t chunk;
+      match Unix.read t.fd t.buf t.len chunk with
+      | 0 -> Error Closed
+      | n ->
+          t.len <- t.len + n;
+          Ok ()
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> fill t ~deadline
+      | exception Unix.Unix_error (Unix.ECONNRESET, _, _) -> Error Closed)
+
+let rec recv ?deadline t =
+  match Wire.decode t.buf ~pos:0 ~len:t.len with
+  | Ok (msg, used) ->
+      consume t used;
+      Ok msg
+  | Error (Wire.Truncated _) -> (
+      match fill t ~deadline with
+      | Ok () -> recv ?deadline t
+      | Error _ as e -> e)
+  | Error e -> Error (Wire e)
+
+let recv_error_to_string = function
+  | Timeout -> "timed out waiting for a frame"
+  | Closed -> "peer closed the connection"
+  | Wire e -> Wire.error_to_string e
+
+let close t = try Unix.close t.fd with Unix.Unix_error _ -> ()

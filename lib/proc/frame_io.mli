@@ -1,0 +1,38 @@
+(** Framed {!Pdht_wire.Wire} message transport over a file descriptor.
+
+    One [t] wraps one stream socket: {!send} writes a complete encoded
+    frame (handling short writes), {!recv} accumulates bytes until the
+    codec yields a whole message.  The codec's {!Pdht_wire.Wire.Truncated}
+    verdict is exactly the "wait for more bytes" signal; every other
+    decode error is surfaced to the caller, who should drop the
+    connection — a byte stream that mis-frames once never recovers.
+
+    Blocking, single-threaded: [recv] waits in [select] (bounded by
+    [deadline] when given), [send] blocks until the frame is written. *)
+
+type t
+
+type recv_error =
+  | Timeout                        (** deadline passed with no whole frame *)
+  | Closed                         (** peer closed the stream *)
+  | Wire of Pdht_wire.Wire.error   (** corrupt frame; drop the connection *)
+
+val of_fd : Unix.file_descr -> t
+(** Take ownership of a connected stream socket. *)
+
+val fd : t -> Unix.file_descr
+
+val send : t -> Pdht_wire.Wire.msg -> unit
+(** Encode and write the whole frame; retries short writes and EINTR.
+    Raises [Unix.Unix_error] if the peer is gone (EPIPE/ECONNRESET) —
+    the drivers treat a dead peer as fatal. *)
+
+val recv : ?deadline:float -> t -> (Pdht_wire.Wire.msg, recv_error) result
+(** Next whole message.  [deadline] is an absolute [Unix.gettimeofday]
+    instant; without it the call blocks until a frame, EOF, or a codec
+    error.  Bytes beyond the returned frame stay buffered for the next
+    call. *)
+
+val recv_error_to_string : recv_error -> string
+
+val close : t -> unit

@@ -1,0 +1,180 @@
+module Wire = Pdht_wire.Wire
+module Storage = Pdht_dht.Storage
+module Registry = Pdht_obs.Registry
+module Export = Pdht_obs.Export
+module Hashing = Pdht_util.Hashing
+
+let eviction_code = function
+  | Storage.Evict_soonest_expiry -> 0
+  | Storage.Evict_lru -> 1
+  | Storage.Evict_random -> 2
+
+let eviction_of_code = function
+  | 0 -> Ok Storage.Evict_soonest_expiry
+  | 1 -> Ok Storage.Evict_lru
+  | 2 -> Ok Storage.Evict_random
+  | n -> Error (Printf.sprintf "unknown eviction code %d" n)
+
+type shard = {
+  node_id : int;
+  nodes : int;
+  bitkeys : Pdht_util.Bitkey.t array;
+  stores : int Storage.t option array;  (* member -> store iff owned *)
+}
+
+let build_shard ~node_id ~nodes ~members ~keys ~stor ~eviction =
+  (* The same key hashes and store construction as [Pdht.create], so a
+     sharded run is state-for-state the in-process run, split by
+     member. *)
+  let bitkeys =
+    Array.init keys (fun i ->
+        Hashing.hash_to_key (Hashing.combine [ "key"; string_of_int i ]))
+  in
+  let stores =
+    Array.init members (fun m ->
+        if m mod nodes = node_id then
+          Some (Storage.create ~eviction ~capacity:stor ())
+        else None)
+  in
+  { node_id; nodes; bitkeys; stores }
+
+let store shard ~peer =
+  match shard.stores.(peer) with
+  | Some s -> s
+  | None ->
+      failwith
+        (Printf.sprintf "node %d: not the owner of member %d" shard.node_id peer)
+
+let key shard ~key_index = shard.bitkeys.(key_index)
+
+let serve ?obs_out ~node_id conn =
+  let registry = Registry.create () in
+  let counter name = Registry.counter registry name in
+  let frames_in = counter "proc.frames_in"
+  and frames_out = counter "proc.frames_out"
+  and hops = counter "proc.hops"
+  and casts = counter "proc.casts"
+  and gets = counter "proc.gets"
+  and puts = counter "proc.puts"
+  and repair_puts = counter "proc.repair_puts"
+  and probes = counter "proc.probes" in
+  let reply msg =
+    Registry.incr frames_out 1;
+    Frame_io.send conn msg
+  in
+  reply (Wire.Hello { node_id });
+  let shard =
+    match Frame_io.recv conn with
+    | Ok (Wire.Setup { nodes; members; keys; stor; eviction; seed = _ }) -> (
+        Registry.incr frames_in 1;
+        match eviction_of_code eviction with
+        | Ok eviction -> build_shard ~node_id ~nodes ~members ~keys ~stor ~eviction
+        | Error msg -> failwith (Printf.sprintf "node %d: %s" node_id msg))
+    | Ok msg ->
+        failwith
+          (Format.asprintf "node %d: expected Setup, got %a" node_id Wire.pp msg)
+    | Error e ->
+        failwith
+          (Printf.sprintf "node %d: %s" node_id (Frame_io.recv_error_to_string e))
+  in
+  let flush_obs () =
+    match obs_out with
+    | Some path ->
+        Export.to_file ~node:node_id ~path (Registry.snapshot registry)
+    | None -> ()
+  in
+  let rec loop () =
+    match Frame_io.recv conn with
+    | Error Frame_io.Closed ->
+        (* Conductor gone without [Bye]; keep whatever telemetry we
+           have rather than losing the run's worth. *)
+        flush_obs ()
+    | Error e ->
+        failwith
+          (Printf.sprintf "node %d: %s" node_id (Frame_io.recv_error_to_string e))
+    | Ok msg -> (
+        Registry.incr frames_in 1;
+        match msg with
+        | Wire.Lookup { rid; span = _; src = _; dst = _; key = _ } ->
+            (* The routing decision lives with the conductor; the hop is
+               materialised here so it crosses a real socket. *)
+            Registry.incr hops 1;
+            reply (Wire.Ack { rid; ok = true; value = 0 });
+            loop ()
+        | Wire.Gossip _ ->
+            Registry.incr casts 1;
+            loop ()
+        | Wire.Insert { rid; peer; key = key_index; value; now; ttl } ->
+            Registry.incr puts 1;
+            Storage.put (store shard ~peer) ~key:(key shard ~key_index) ~value ~now
+              ~ttl;
+            reply (Wire.Ack { rid; ok = true; value = 0 });
+            loop ()
+        | Wire.Repair { rid; peer; key = key_index; value; now; ttl } ->
+            Registry.incr repair_puts 1;
+            Storage.put (store shard ~peer) ~key:(key shard ~key_index) ~value ~now
+              ~ttl;
+            reply (Wire.Ack { rid; ok = true; value = 0 });
+            loop ()
+        | Wire.Get { rid; peer; key = key_index; refresh; now; ttl } ->
+            Registry.incr gets 1;
+            let s = store shard ~peer in
+            let k = key shard ~key_index in
+            let found =
+              if refresh then Storage.get_and_refresh s ~key:k ~now ~ttl
+              else Storage.get s ~key:k ~now
+            in
+            (match found with
+            | Some value -> reply (Wire.Ack { rid; ok = true; value })
+            | None -> reply (Wire.Ack { rid; ok = false; value = 0 }));
+            loop ()
+        | Wire.Probe { rid; op; peer; key = key_index; now } ->
+            Registry.incr probes 1;
+            let s = store shard ~peer in
+            (match op with
+            | Wire.Mem ->
+                let ok = Storage.mem s ~key:(key shard ~key_index) ~now in
+                reply (Wire.Ack { rid; ok; value = 0 })
+            | Wire.Expiry -> (
+                match Storage.expiry s ~key:(key shard ~key_index) with
+                | Some at -> reply (Wire.Ack_float { rid; ok = true; value = at })
+                | None -> reply (Wire.Ack_float { rid; ok = false; value = 0.0 }))
+            | Wire.Live_count ->
+                reply
+                  (Wire.Ack { rid; ok = true; value = Storage.live_count s ~now })
+            | Wire.Clear ->
+                reply (Wire.Ack { rid; ok = true; value = Storage.clear s }));
+            loop ()
+        | Wire.Snapshot { rid } ->
+            let counters =
+              List.filter_map
+                (fun (name, value) ->
+                  match value with
+                  | Registry.Counter_v n -> Some (name, n)
+                  | _ -> None)
+                (Registry.snapshot registry)
+            in
+            reply (Wire.Counters { rid; node_id; counters });
+            loop ()
+        | Wire.Bye -> flush_obs ()
+        | Wire.Hello _ | Wire.Setup _ | Wire.Ack _ | Wire.Ack_float _
+        | Wire.Counters _ ->
+            failwith
+              (Format.asprintf "node %d: unexpected frame %a" node_id Wire.pp msg))
+  in
+  loop ()
+
+let run ?obs_out ~port ~node_id () =
+  let fd = Unix.socket Unix.PF_INET Unix.SOCK_STREAM 0 in
+  let conn =
+    try
+      Unix.connect fd (Unix.ADDR_INET (Unix.inet_addr_loopback, port));
+      Unix.setsockopt fd Unix.TCP_NODELAY true;
+      Frame_io.of_fd fd
+    with e ->
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      raise e
+  in
+  Fun.protect
+    ~finally:(fun () -> Frame_io.close conn)
+    (fun () -> serve ?obs_out ~node_id conn)

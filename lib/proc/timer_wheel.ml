@@ -1,0 +1,41 @@
+type entry = { at : float; id : int; cb : unit -> unit }
+
+(* Kept ascending by (at, id); the driver holds a handful of timers at
+   a time (one per in-flight RPC attempt), so an ordered list beats a
+   heap on both simplicity and constant factor. *)
+type t = { mutable entries : entry list; mutable next_id : int }
+
+let create () = { entries = []; next_id = 0 }
+
+let schedule t ~at cb =
+  let id = t.next_id in
+  t.next_id <- id + 1;
+  let entry = { at; id; cb } in
+  let rec insert = function
+    | [] -> [ entry ]
+    | e :: rest ->
+        if e.at < at || (e.at = at && e.id < id) then e :: insert rest
+        else entry :: e :: rest
+  in
+  t.entries <- insert t.entries;
+  id
+
+let cancel t id = t.entries <- List.filter (fun e -> e.id <> id) t.entries
+
+let next_due t = match t.entries with [] -> None | e :: _ -> Some e.at
+
+let run_due t ~now =
+  let fired = ref 0 in
+  let rec loop () =
+    match t.entries with
+    | e :: rest when e.at <= now ->
+        t.entries <- rest;
+        incr fired;
+        e.cb ();
+        loop ()
+    | _ -> ()
+  in
+  loop ();
+  !fired
+
+let pending t = List.length t.entries

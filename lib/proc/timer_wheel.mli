@@ -1,0 +1,32 @@
+(** Real-time timer registry for the process driver's event loop.
+
+    Where the simulator's engine owns virtual time, the process driver
+    owns [Unix.gettimeofday]: RPC attempt deadlines from
+    {!Pdht_proto.Rpc_machine} become wall-clock instants here.  The
+    event loop asks {!next_due} to bound its [select] wait, then calls
+    {!run_due} so every expired timer fires exactly once.
+
+    Single-threaded by design (like everything in the driver): callbacks
+    run inside {!run_due} on the caller's stack. *)
+
+type t
+
+val create : unit -> t
+
+val schedule : t -> at:float -> (unit -> unit) -> int
+(** Register a callback to fire once [now >= at]; returns a cancel
+    handle.  Timers fire in deadline order, ties broken by creation
+    order. *)
+
+val cancel : t -> int -> unit
+(** Forget a pending timer; unknown or already-fired ids are a no-op. *)
+
+val next_due : t -> float option
+(** Earliest pending deadline; [None] when the wheel is empty. *)
+
+val run_due : t -> now:float -> int
+(** Fire (and drop) every timer with [at <= now], earliest first;
+    returns how many fired.  Timers scheduled by a firing callback are
+    honoured within the same call when already due. *)
+
+val pending : t -> int

@@ -1,0 +1,92 @@
+type strategy = No_index | Index_all | Partial
+
+type source = From_index | From_broadcast | Not_found
+
+type outcome = { source : source; provider : int option }
+
+type action =
+  | Reach_entry
+  | Search_index
+  | Search_broadcast
+  | Insert_key of { provider : int }
+  | Finish of outcome
+
+type event =
+  | Entry_reached
+  | Entry_failed
+  | Index_hit of { provider : int }
+  | Index_miss
+  | Broadcast_found of { provider : int }
+  | Broadcast_failed
+  | Insert_done
+
+type phase =
+  | Contacting
+  | Searching_index
+  | Broadcasting of { insert_on_found : bool }
+  | Inserting of { provider : int }
+  | Done
+
+type t = { strategy : strategy; phase : phase }
+
+let miss = Finish { source = Not_found; provider = None }
+
+let start strategy =
+  match strategy with
+  | No_index ->
+      ({ strategy; phase = Broadcasting { insert_on_found = false } }, Search_broadcast)
+  | Index_all | Partial -> ({ strategy; phase = Contacting }, Reach_entry)
+
+let reject t event =
+  let phase =
+    match t.phase with
+    | Contacting -> "contacting"
+    | Searching_index -> "searching-index"
+    | Broadcasting _ -> "broadcasting"
+    | Inserting _ -> "inserting"
+    | Done -> "done"
+  in
+  let event =
+    match event with
+    | Entry_reached -> "entry-reached"
+    | Entry_failed -> "entry-failed"
+    | Index_hit _ -> "index-hit"
+    | Index_miss -> "index-miss"
+    | Broadcast_found _ -> "broadcast-found"
+    | Broadcast_failed -> "broadcast-failed"
+    | Insert_done -> "insert-done"
+  in
+  invalid_arg (Printf.sprintf "Query_plan.step: %s event in %s phase" event phase)
+
+let step t event =
+  match (t.phase, event) with
+  | Contacting, Entry_reached -> ({ t with phase = Searching_index }, Search_index)
+  | Contacting, Entry_failed -> (
+      match t.strategy with
+      | Index_all ->
+          (* The baseline indexes everything; with the index out of
+             reach there is nothing else to ask. *)
+          ({ t with phase = Done }, miss)
+      | Partial ->
+          (* Degrade to broadcast, but with no reachable entry point a
+             found key cannot be re-inserted. *)
+          ( { t with phase = Broadcasting { insert_on_found = false } },
+            Search_broadcast )
+      | No_index -> reject t event)
+  | Searching_index, Index_hit { provider } ->
+      ({ t with phase = Done }, Finish { source = From_index; provider = Some provider })
+  | Searching_index, Index_miss -> (
+      match t.strategy with
+      | Index_all -> ({ t with phase = Done }, miss)
+      | Partial ->
+          ({ t with phase = Broadcasting { insert_on_found = true } }, Search_broadcast)
+      | No_index -> reject t event)
+  | Broadcasting { insert_on_found }, Broadcast_found { provider } ->
+      if insert_on_found then
+        ({ t with phase = Inserting { provider } }, Insert_key { provider })
+      else
+        ({ t with phase = Done }, Finish { source = From_broadcast; provider = Some provider })
+  | Broadcasting _, Broadcast_failed -> ({ t with phase = Done }, miss)
+  | Inserting { provider }, Insert_done ->
+      ({ t with phase = Done }, Finish { source = From_broadcast; provider = Some provider })
+  | _, _ -> reject t event

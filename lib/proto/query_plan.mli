@@ -1,0 +1,49 @@
+(** Pure control-flow core of the PDHT selection algorithm
+    (Section 5.1): which step a query takes next, given what happened
+    so far.
+
+    The machine decides {e what} to do — contact an entry point, search
+    the index, broadcast, re-insert — and the driver decides {e how}:
+    the simulator executes steps against in-process substrate state,
+    the process driver turns them into wire frames.  Feeding the
+    outcome of each step back via {!step} yields the next {!action}
+    until {!Finish}.
+
+    The three strategies map to the paper's systems: [No_index] is pure
+    broadcast, [Index_all] is the index-everything baseline (no
+    broadcast fallback — a miss is final), [Partial] is the PDHT: index
+    first, broadcast on a miss, re-insert what the broadcast found
+    (entry-point failure degrades to broadcast {e without}
+    re-insertion, since there is no reachable index to insert into). *)
+
+type strategy = No_index | Index_all | Partial
+
+type source = From_index | From_broadcast | Not_found
+
+type outcome = { source : source; provider : int option }
+
+type action =
+  | Reach_entry
+      (** find and contact a DHT entry point for the querying peer *)
+  | Search_index       (** route to a responsible peer, check caches *)
+  | Search_broadcast   (** flood the unstructured overlay *)
+  | Insert_key of { provider : int }
+      (** re-insert the broadcast-resolved key into the index *)
+  | Finish of outcome  (** terminal; no further [step] calls *)
+
+type event =
+  | Entry_reached
+  | Entry_failed       (** no online entry point / contact RPC failed *)
+  | Index_hit of { provider : int }
+  | Index_miss
+  | Broadcast_found of { provider : int }
+  | Broadcast_failed
+  | Insert_done
+
+type t
+
+val start : strategy -> t * action
+val step : t -> event -> t * action
+(** @raise Invalid_argument on an event the current state cannot
+    accept (including any event after {!Finish}) — drivers feeding the
+    machine its own requested step's outcome never trigger this. *)

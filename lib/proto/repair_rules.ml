@@ -1,0 +1,11 @@
+let content_threshold ~min_fraction ~repl =
+  int_of_float (Float.ceil (min_fraction *. float_of_int repl))
+
+let needs_topup ~live ~threshold = live >= 1 && live < threshold
+let topup_want ~repl ~live = repl - live
+let topup_attempts ~want = (20 * want) + 50
+let copy_messages ~fresh = 2 * fresh
+
+let remaining_ttl ~expiry ~now =
+  let remaining = expiry -. now in
+  if remaining > 0. then Some remaining else None

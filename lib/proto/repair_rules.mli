@@ -1,0 +1,30 @@
+(** Pure decision rules of the anti-entropy repair pass; the driver
+    (simulator or process) supplies state access and message delivery.
+
+    Content rule: an item whose online replica count fell below
+    [ceil (min_fraction *. repl)] — but still has at least one online
+    source to copy from — is topped back up to [repl] holders, at two
+    messages (request + data) per new copy.
+
+    Index rule: a surviving cached entry is re-copied to group members
+    that lost it with its {e remaining} TTL — repair must never extend
+    a key's life, or it would fight the selection algorithm's
+    expiration. *)
+
+val content_threshold : min_fraction:float -> repl:int -> int
+(** [ceil (min_fraction *. repl)]. *)
+
+val needs_topup : live:int -> threshold:int -> bool
+(** Below threshold yet not extinct ([live >= 1]); items with zero
+    online replicas are unrecoverable by copying. *)
+
+val topup_want : repl:int -> live:int -> int
+val topup_attempts : want:int -> int
+(** Random-candidate probe budget for finding [want] fresh holders. *)
+
+val copy_messages : fresh:int -> int
+(** Request + data per new copy. *)
+
+val remaining_ttl : expiry:float -> now:float -> float option
+(** [Some (expiry -. now)] when still positive; [None] for entries at
+    or past expiry (nothing worth copying). *)

@@ -1,0 +1,10 @@
+type policy = {
+  admit : now:float -> key_index:int -> bool;
+  ttl_for : now:float -> key_index:int -> float;
+}
+
+let lease policy ~default_ttl ~now ~key_index =
+  match policy with None -> default_ttl | Some p -> p.ttl_for ~now ~key_index
+
+let admits policy ~now ~key_index =
+  match policy with None -> true | Some p -> p.admit ~now ~key_index

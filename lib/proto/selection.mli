@@ -1,0 +1,18 @@
+(** Selection-policy contract: which keys the PDHT admits into the
+    index and what expiration lease they get.
+
+    The record lives here, in the pure protocol layer, because every
+    driver consults it the same way; [Pdht.policy] re-exports it.
+    [None] everywhere means the paper's baseline behaviour: admit every
+    resolved key, lease the system-wide default TTL. *)
+
+type policy = {
+  admit : now:float -> key_index:int -> bool;
+      (** consulted once per would-be re-insertion (after a successful
+          broadcast); a rejected key costs zero messages *)
+  ttl_for : now:float -> key_index:int -> float;
+      (** lease for insertions and query-hit refreshes *)
+}
+
+val lease : policy option -> default_ttl:float -> now:float -> key_index:int -> float
+val admits : policy option -> now:float -> key_index:int -> bool

@@ -1,0 +1,49 @@
+type action =
+  | Reach_entry
+  | Route
+  | Spread
+  | Finish of { delivered : bool }
+
+type event =
+  | Entry_reached
+  | Entry_failed
+  | Route_ok
+  | Route_failed
+  | Spread_done
+
+type phase = Contacting | Routing | Spreading | Done
+
+type t = { phase : phase }
+
+let start (strategy : Query_plan.strategy) =
+  match strategy with
+  | Query_plan.Index_all -> ({ phase = Contacting }, Reach_entry)
+  | Query_plan.No_index | Query_plan.Partial ->
+      ({ phase = Done }, Finish { delivered = false })
+
+let reject t event =
+  let phase =
+    match t.phase with
+    | Contacting -> "contacting"
+    | Routing -> "routing"
+    | Spreading -> "spreading"
+    | Done -> "done"
+  in
+  let event =
+    match event with
+    | Entry_reached -> "entry-reached"
+    | Entry_failed -> "entry-failed"
+    | Route_ok -> "route-ok"
+    | Route_failed -> "route-failed"
+    | Spread_done -> "spread-done"
+  in
+  invalid_arg (Printf.sprintf "Update_plan.step: %s event in %s phase" event phase)
+
+let step t event =
+  match (t.phase, event) with
+  | Contacting, Entry_reached -> ({ phase = Routing }, Route)
+  | Contacting, Entry_failed -> ({ phase = Done }, Finish { delivered = false })
+  | Routing, Route_ok -> ({ phase = Spreading }, Spread)
+  | Routing, Route_failed -> ({ phase = Done }, Finish { delivered = false })
+  | Spreading, Spread_done -> ({ phase = Done }, Finish { delivered = true })
+  | _, _ -> reject t event

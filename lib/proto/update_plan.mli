@@ -1,0 +1,29 @@
+(** Pure control-flow core of a proactive key update (Eq. 9): contact
+    an entry point, route the new value to a responsible peer, spread
+    it through the key's replica subnetwork.
+
+    Only the index-everything baseline issues proactive updates; under
+    [Partial] the paper drops them (Section 5.1) and [No_index] has no
+    index — both start already {!Finish}ed with [delivered = false].
+    Entry or routing failure ends the update (the messages already
+    spent still count; the driver owns accounting). *)
+
+type action =
+  | Reach_entry  (** find and contact a DHT entry point for the issuer *)
+  | Route        (** DHT-route the update to a responsible peer *)
+  | Spread       (** rumor-spread through the replica subnetwork *)
+  | Finish of { delivered : bool }
+
+type event =
+  | Entry_reached
+  | Entry_failed
+  | Route_ok
+  | Route_failed
+  | Spread_done
+
+type t
+
+val start : Query_plan.strategy -> t * action
+val step : t -> event -> t * action
+(** @raise Invalid_argument on an event the current state cannot
+    accept. *)

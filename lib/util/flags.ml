@@ -1,0 +1,11 @@
+let conflicts ~dominant ~subsumed =
+  match List.filter_map (fun (flag, present) -> if present then Some flag else None) subsumed with
+  | [] -> None
+  | present ->
+      let listed =
+        match List.rev present with
+        | [] -> assert false
+        | [ only ] -> only
+        | last :: front -> String.concat ", " (List.rev front) ^ " and " ^ last
+      in
+      Some (Printf.sprintf "%s subsumes %s" dominant listed)

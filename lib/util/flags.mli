@@ -1,0 +1,13 @@
+(** Command-line flag conflict reporting.
+
+    When one flag subsumes others, a usage error should name {e every}
+    offending flag the user passed, not just the first one noticed —
+    otherwise fixing the reported flag surfaces the next as a fresh
+    error. *)
+
+val conflicts : dominant:string -> subsumed:(string * bool) list -> string option
+(** [conflicts ~dominant ~subsumed] with [subsumed] a list of
+    [(flag, present)] pairs returns [None] when no subsumed flag is
+    present, otherwise [Some "DOMINANT subsumes F1 and F2"] naming all
+    present flags (in list order, joined with "," / "and").  The caller
+    appends its remedy hint. *)

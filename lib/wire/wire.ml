@@ -1,0 +1,421 @@
+type probe_op = Mem | Expiry | Live_count | Clear
+
+type msg =
+  | Hello of { node_id : int }
+  | Setup of {
+      nodes : int;
+      members : int;
+      keys : int;
+      stor : int;
+      eviction : int;
+      seed : int;
+    }
+  | Lookup of { rid : int; span : int; src : int; dst : int; key : int }
+  | Insert of { rid : int; peer : int; key : int; value : int; now : float; ttl : float }
+  | Gossip of { span : int; src : int; dst : int; key : int }
+  | Repair of { rid : int; peer : int; key : int; value : int; now : float; ttl : float }
+  | Get of { rid : int; peer : int; key : int; refresh : bool; now : float; ttl : float }
+  | Probe of { rid : int; op : probe_op; peer : int; key : int; now : float }
+  | Ack of { rid : int; ok : bool; value : int }
+  | Ack_float of { rid : int; ok : bool; value : float }
+  | Snapshot of { rid : int }
+  | Counters of { rid : int; node_id : int; counters : (string * int) list }
+  | Bye
+
+type error =
+  | Truncated of { need : int; have : int }
+  | Frame_too_large of { length : int; limit : int }
+  | Bad_version of int
+  | Unknown_kind of int
+  | Malformed of string
+
+let version = 1
+
+(* Counter snapshots dominate payload size: a few hundred instrument
+   names at ~40 bytes each.  1 MiB leaves two orders of magnitude of
+   headroom while bounding what a corrupt length prefix can demand. *)
+let max_payload = 1 lsl 20
+
+(* A registry snapshot has one entry per instrument; anything past this
+   is a corrupt count, not a real simulator. *)
+let max_list = 65_536
+let max_string = 4_096
+
+let kind_code = function
+  | Hello _ -> 1
+  | Setup _ -> 2
+  | Lookup _ -> 3
+  | Insert _ -> 4
+  | Gossip _ -> 5
+  | Repair _ -> 6
+  | Get _ -> 7
+  | Probe _ -> 8
+  | Ack _ -> 9
+  | Ack_float _ -> 10
+  | Snapshot _ -> 11
+  | Counters _ -> 12
+  | Bye -> 13
+
+let probe_code = function Mem -> 0 | Expiry -> 1 | Live_count -> 2 | Clear -> 3
+
+let probe_of_code = function
+  | 0 -> Some Mem
+  | 1 -> Some Expiry
+  | 2 -> Some Live_count
+  | 3 -> Some Clear
+  | _ -> None
+
+(* ---- encoding ----------------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u32 b v =
+  put_u8 b (v lsr 24);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 8);
+  put_u8 b v
+
+let put_i64 b v =
+  let v = Int64.of_int v in
+  for shift = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical v (8 * shift)))
+  done
+
+let put_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for shift = 7 downto 0 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * shift)))
+  done
+
+let put_bool b v = put_u8 b (if v then 1 else 0)
+
+let put_string b s =
+  put_u32 b (String.length s);
+  Buffer.add_string b s
+
+let encode_body b msg =
+  match msg with
+  | Hello { node_id } -> put_i64 b node_id
+  | Setup { nodes; members; keys; stor; eviction; seed } ->
+      put_i64 b nodes;
+      put_i64 b members;
+      put_i64 b keys;
+      put_i64 b stor;
+      put_i64 b eviction;
+      put_i64 b seed
+  | Lookup { rid; span; src; dst; key } ->
+      put_i64 b rid;
+      put_i64 b span;
+      put_i64 b src;
+      put_i64 b dst;
+      put_i64 b key
+  | Insert { rid; peer; key; value; now; ttl } ->
+      put_i64 b rid;
+      put_i64 b peer;
+      put_i64 b key;
+      put_i64 b value;
+      put_f64 b now;
+      put_f64 b ttl
+  | Repair { rid; peer; key; value; now; ttl } ->
+      put_i64 b rid;
+      put_i64 b peer;
+      put_i64 b key;
+      put_i64 b value;
+      put_f64 b now;
+      put_f64 b ttl
+  | Gossip { span; src; dst; key } ->
+      put_i64 b span;
+      put_i64 b src;
+      put_i64 b dst;
+      put_i64 b key
+  | Get { rid; peer; key; refresh; now; ttl } ->
+      put_i64 b rid;
+      put_i64 b peer;
+      put_i64 b key;
+      put_bool b refresh;
+      put_f64 b now;
+      put_f64 b ttl
+  | Probe { rid; op; peer; key; now } ->
+      put_i64 b rid;
+      put_u8 b (probe_code op);
+      put_i64 b peer;
+      put_i64 b key;
+      put_f64 b now
+  | Ack { rid; ok; value } ->
+      put_i64 b rid;
+      put_bool b ok;
+      put_i64 b value
+  | Ack_float { rid; ok; value } ->
+      put_i64 b rid;
+      put_bool b ok;
+      put_f64 b value
+  | Snapshot { rid } -> put_i64 b rid
+  | Counters { rid; node_id; counters } ->
+      put_i64 b rid;
+      put_i64 b node_id;
+      put_u32 b (List.length counters);
+      List.iter
+        (fun (name, v) ->
+          put_string b name;
+          put_i64 b v)
+        counters
+  | Bye -> ()
+
+let encode b msg =
+  let body = Buffer.create 64 in
+  put_u8 body version;
+  put_u8 body (kind_code msg);
+  encode_body body msg;
+  put_u32 b (Buffer.length body);
+  Buffer.add_buffer b body
+
+let encode_bytes msg =
+  let b = Buffer.create 64 in
+  encode b msg;
+  Buffer.to_bytes b
+
+(* ---- decoding ----------------------------------------------------- *)
+
+(* Body reader: a cursor over the payload slice.  Every read checks the
+   remaining length, so a corrupt frame fails with [Malformed] instead
+   of an out-of-bounds access. *)
+type cursor = { buf : Bytes.t; mutable pos : int; stop : int }
+
+exception Bad of string
+
+let need c n = if c.stop - c.pos < n then raise (Bad "short body")
+
+let get_u8 c =
+  need c 1;
+  let v = Char.code (Bytes.get c.buf c.pos) in
+  c.pos <- c.pos + 1;
+  v
+
+let get_u32 c =
+  let a = get_u8 c in
+  let b = get_u8 c in
+  let d = get_u8 c in
+  let e = get_u8 c in
+  (a lsl 24) lor (b lsl 16) lor (d lsl 8) lor e
+
+let get_i64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 c))
+  done;
+  Int64.to_int !v
+
+let get_f64 c =
+  need c 8;
+  let v = ref 0L in
+  for _ = 1 to 8 do
+    v := Int64.logor (Int64.shift_left !v 8) (Int64.of_int (get_u8 c))
+  done;
+  Int64.float_of_bits !v
+
+let get_bool c =
+  match get_u8 c with
+  | 0 -> false
+  | 1 -> true
+  | v -> raise (Bad (Printf.sprintf "bad boolean byte %d" v))
+
+let get_string c =
+  let n = get_u32 c in
+  if n > max_string then raise (Bad (Printf.sprintf "string length %d over limit" n));
+  need c n;
+  let s = Bytes.sub_string c.buf c.pos n in
+  c.pos <- c.pos + n;
+  s
+
+let decode_body kind c =
+  match kind with
+  | 1 -> Hello { node_id = get_i64 c }
+  | 2 ->
+      let nodes = get_i64 c in
+      let members = get_i64 c in
+      let keys = get_i64 c in
+      let stor = get_i64 c in
+      let eviction = get_i64 c in
+      let seed = get_i64 c in
+      Setup { nodes; members; keys; stor; eviction; seed }
+  | 3 ->
+      let rid = get_i64 c in
+      let span = get_i64 c in
+      let src = get_i64 c in
+      let dst = get_i64 c in
+      let key = get_i64 c in
+      Lookup { rid; span; src; dst; key }
+  | 4 | 6 ->
+      let rid = get_i64 c in
+      let peer = get_i64 c in
+      let key = get_i64 c in
+      let value = get_i64 c in
+      let now = get_f64 c in
+      let ttl = get_f64 c in
+      if kind = 4 then Insert { rid; peer; key; value; now; ttl }
+      else Repair { rid; peer; key; value; now; ttl }
+  | 5 ->
+      let span = get_i64 c in
+      let src = get_i64 c in
+      let dst = get_i64 c in
+      let key = get_i64 c in
+      Gossip { span; src; dst; key }
+  | 7 ->
+      let rid = get_i64 c in
+      let peer = get_i64 c in
+      let key = get_i64 c in
+      let refresh = get_bool c in
+      let now = get_f64 c in
+      let ttl = get_f64 c in
+      Get { rid; peer; key; refresh; now; ttl }
+  | 8 ->
+      let rid = get_i64 c in
+      let op =
+        let code = get_u8 c in
+        match probe_of_code code with
+        | Some op -> op
+        | None -> raise (Bad (Printf.sprintf "bad probe op %d" code))
+      in
+      let peer = get_i64 c in
+      let key = get_i64 c in
+      let now = get_f64 c in
+      Probe { rid; op; peer; key; now }
+  | 9 ->
+      let rid = get_i64 c in
+      let ok = get_bool c in
+      let value = get_i64 c in
+      Ack { rid; ok; value }
+  | 10 ->
+      let rid = get_i64 c in
+      let ok = get_bool c in
+      let value = get_f64 c in
+      Ack_float { rid; ok; value }
+  | 11 -> Snapshot { rid = get_i64 c }
+  | 12 ->
+      let rid = get_i64 c in
+      let node_id = get_i64 c in
+      let n = get_u32 c in
+      if n > max_list then raise (Bad (Printf.sprintf "counter list length %d over limit" n));
+      let counters =
+        List.init n (fun _ ->
+            let name = get_string c in
+            let v = get_i64 c in
+            (name, v))
+      in
+      Counters { rid; node_id; counters }
+  | 13 -> Bye
+  | _ -> assert false (* kind was range-checked by the caller *)
+
+let decode buf ~pos ~len =
+  if pos < 0 || len < 0 || pos + len > Bytes.length buf then
+    Error (Malformed "decode: pos/len out of range")
+  else if len < 4 then Error (Truncated { need = 4; have = len })
+  else
+    let plen =
+      (Char.code (Bytes.get buf pos) lsl 24)
+      lor (Char.code (Bytes.get buf (pos + 1)) lsl 16)
+      lor (Char.code (Bytes.get buf (pos + 2)) lsl 8)
+      lor Char.code (Bytes.get buf (pos + 3))
+    in
+    if plen > max_payload then Error (Frame_too_large { length = plen; limit = max_payload })
+    else if plen < 2 then Error (Malformed "payload shorter than its envelope")
+    else if len < 4 + plen then Error (Truncated { need = 4 + plen; have = len })
+    else
+      let c = { buf; pos = pos + 4; stop = pos + 4 + plen } in
+      let v = get_u8 c in
+      if v <> version then Error (Bad_version v)
+      else
+        let kind = get_u8 c in
+        if kind < 1 || kind > 13 then Error (Unknown_kind kind)
+        else
+          match decode_body kind c with
+          | msg ->
+              if c.pos <> c.stop then
+                Error (Malformed (Printf.sprintf "%d trailing bytes" (c.stop - c.pos)))
+              else Ok (msg, 4 + plen)
+          | exception Bad why -> Error (Malformed why)
+
+(* ---- equality and printing ---------------------------------------- *)
+
+(* Floats compare by bit pattern so NaN payloads round-trip in tests. *)
+let feq a b = Int64.equal (Int64.bits_of_float a) (Int64.bits_of_float b)
+
+let equal a b =
+  match (a, b) with
+  | Hello a, Hello b -> a.node_id = b.node_id
+  | Setup a, Setup b ->
+      a.nodes = b.nodes && a.members = b.members && a.keys = b.keys && a.stor = b.stor
+      && a.eviction = b.eviction && a.seed = b.seed
+  | Lookup a, Lookup b ->
+      a.rid = b.rid && a.span = b.span && a.src = b.src && a.dst = b.dst && a.key = b.key
+  | Insert a, Insert b ->
+      a.rid = b.rid && a.peer = b.peer && a.key = b.key && a.value = b.value
+      && feq a.now b.now && feq a.ttl b.ttl
+  | Repair a, Repair b ->
+      a.rid = b.rid && a.peer = b.peer && a.key = b.key && a.value = b.value
+      && feq a.now b.now && feq a.ttl b.ttl
+  | Gossip a, Gossip b ->
+      a.span = b.span && a.src = b.src && a.dst = b.dst && a.key = b.key
+  | Get a, Get b ->
+      a.rid = b.rid && a.peer = b.peer && a.key = b.key && a.refresh = b.refresh
+      && feq a.now b.now && feq a.ttl b.ttl
+  | Probe a, Probe b ->
+      a.rid = b.rid && a.op = b.op && a.peer = b.peer && a.key = b.key && feq a.now b.now
+  | Ack a, Ack b -> a.rid = b.rid && a.ok = b.ok && a.value = b.value
+  | Ack_float a, Ack_float b -> a.rid = b.rid && a.ok = b.ok && feq a.value b.value
+  | Snapshot a, Snapshot b -> a.rid = b.rid
+  | Counters a, Counters b ->
+      a.rid = b.rid && a.node_id = b.node_id
+      && List.length a.counters = List.length b.counters
+      && List.for_all2
+           (fun (n1, v1) (n2, v2) -> String.equal n1 n2 && v1 = v2)
+           a.counters b.counters
+  | Bye, Bye -> true
+  | ( ( Hello _ | Setup _ | Lookup _ | Insert _ | Gossip _ | Repair _ | Get _ | Probe _
+      | Ack _ | Ack_float _ | Snapshot _ | Counters _ | Bye ),
+      _ ) ->
+      false
+
+let probe_label = function
+  | Mem -> "mem"
+  | Expiry -> "expiry"
+  | Live_count -> "live_count"
+  | Clear -> "clear"
+
+let pp ppf = function
+  | Hello { node_id } -> Format.fprintf ppf "hello(node=%d)" node_id
+  | Setup { nodes; members; keys; stor; eviction; seed } ->
+      Format.fprintf ppf "setup(nodes=%d members=%d keys=%d stor=%d eviction=%d seed=%d)"
+        nodes members keys stor eviction seed
+  | Lookup { rid; span; src; dst; key } ->
+      Format.fprintf ppf "lookup(rid=%d span=%d %d->%d key=%d)" rid span src dst key
+  | Insert { rid; peer; key; value; now; ttl } ->
+      Format.fprintf ppf "insert(rid=%d peer=%d key=%d value=%d now=%g ttl=%g)" rid peer
+        key value now ttl
+  | Gossip { span; src; dst; key } ->
+      Format.fprintf ppf "gossip(span=%d %d->%d key=%d)" span src dst key
+  | Repair { rid; peer; key; value; now; ttl } ->
+      Format.fprintf ppf "repair(rid=%d peer=%d key=%d value=%d now=%g ttl=%g)" rid peer
+        key value now ttl
+  | Get { rid; peer; key; refresh; now; ttl } ->
+      Format.fprintf ppf "get(rid=%d peer=%d key=%d refresh=%b now=%g ttl=%g)" rid peer
+        key refresh now ttl
+  | Probe { rid; op; peer; key; now } ->
+      Format.fprintf ppf "probe(rid=%d op=%s peer=%d key=%d now=%g)" rid (probe_label op)
+        peer key now
+  | Ack { rid; ok; value } -> Format.fprintf ppf "ack(rid=%d ok=%b value=%d)" rid ok value
+  | Ack_float { rid; ok; value } ->
+      Format.fprintf ppf "ack_float(rid=%d ok=%b value=%g)" rid ok value
+  | Snapshot { rid } -> Format.fprintf ppf "snapshot(rid=%d)" rid
+  | Counters { rid; node_id; counters } ->
+      Format.fprintf ppf "counters(rid=%d node=%d n=%d)" rid node_id (List.length counters)
+  | Bye -> Format.fprintf ppf "bye"
+
+let error_to_string = function
+  | Truncated { need; have } -> Printf.sprintf "truncated frame: need %d bytes, have %d" need have
+  | Frame_too_large { length; limit } ->
+      Printf.sprintf "frame payload %d exceeds limit %d" length limit
+  | Bad_version v -> Printf.sprintf "unsupported wire version %d" v
+  | Unknown_kind k -> Printf.sprintf "unknown message kind %d" k
+  | Malformed why -> "malformed frame: " ^ why

@@ -1,0 +1,100 @@
+(** Binary wire codec for the multi-process driver.
+
+    Every message travels as one length-prefixed frame:
+
+    {v
+      +----------------+---------+------+------------------+
+      | payload length | version | kind | body (per kind)  |
+      |   4 bytes BE   | 1 byte  | 1 B  | length - 2 bytes |
+      +----------------+---------+------+------------------+
+    v}
+
+    The payload length covers everything after the 4-byte prefix.
+    Integers are 8-byte big-endian two's complement, floats 8-byte
+    big-endian IEEE-754 bit patterns, booleans one byte (0/1), strings
+    and lists a 4-byte big-endian count followed by the items.
+
+    Decoding is total: any byte sequence yields either a message or a
+    structured {!error} — never an exception.  Truncation is
+    distinguished from corruption so a stream reader knows whether to
+    wait for more bytes ({!Truncated}) or drop the connection
+    (everything else). *)
+
+(** Read-only store probes that return a single scalar. *)
+type probe_op =
+  | Mem         (** is the key live in the store? *)
+  | Expiry      (** current expiration instant of a key *)
+  | Live_count  (** non-expired entries held by a member *)
+  | Clear       (** crash consequence: drop every entry, return count *)
+
+type msg =
+  | Hello of { node_id : int }
+      (** worker -> conductor: first frame after connecting *)
+  | Setup of {
+      nodes : int;       (** worker process count *)
+      members : int;     (** DHT members (store array size) *)
+      keys : int;        (** distinct keys; workers rebuild the same
+                             key hashes from this count *)
+      stor : int;        (** per-member store capacity *)
+      eviction : int;    (** store eviction policy code *)
+      seed : int;        (** run seed, for logging/sanity only *)
+    }  (** conductor -> worker: sizing for the worker's shard *)
+  | Lookup of { rid : int; span : int; src : int; dst : int; key : int }
+      (** one DHT routing hop, delivered to the owner of [dst];
+          answered by {!Ack} *)
+  | Insert of { rid : int; peer : int; key : int; value : int; now : float; ttl : float }
+      (** index insertion / update write into [peer]'s store *)
+  | Gossip of { span : int; src : int; dst : int; key : int }
+      (** one broadcast/cast edge; one-way, never acknowledged *)
+  | Repair of { rid : int; peer : int; key : int; value : int; now : float; ttl : float }
+      (** anti-entropy copy: like {!Insert} but carrying the remaining
+          (not renewed) TTL *)
+  | Get of { rid : int; peer : int; key : int; refresh : bool; now : float; ttl : float }
+      (** store read; [refresh] resets the expiry to [now +. ttl]
+          (the paper's query-hit behaviour) *)
+  | Probe of { rid : int; op : probe_op; peer : int; key : int; now : float }
+  | Ack of { rid : int; ok : bool; value : int }
+      (** generic RPC acknowledgement; [value]'s meaning depends on the
+          request ([ok = false] = negative result, e.g. a store miss) *)
+  | Ack_float of { rid : int; ok : bool; value : float }
+      (** acknowledgement carrying a float (e.g. {!Expiry}) *)
+  | Snapshot of { rid : int }
+      (** conductor -> worker: request the worker's registry counters *)
+  | Counters of { rid : int; node_id : int; counters : (string * int) list }
+      (** worker -> conductor: registry counter snapshot for merging *)
+  | Bye  (** conductor -> worker: flush observability output and exit *)
+
+type error =
+  | Truncated of { need : int; have : int }
+      (** not a whole frame yet; [need] is the total bytes required
+          (known once the 4-byte prefix is readable, else 4) *)
+  | Frame_too_large of { length : int; limit : int }
+  | Bad_version of int
+  | Unknown_kind of int
+  | Malformed of string
+      (** complete frame whose body does not parse (short body,
+          trailing bytes, bad bool/probe code, oversized list...) *)
+
+val version : int
+(** Current envelope version (1). *)
+
+val max_payload : int
+(** Upper bound on the payload length a decoder accepts; anything
+    larger is {!Frame_too_large} (garbage length prefixes otherwise
+    turn into gigabyte waits). *)
+
+val encode : Buffer.t -> msg -> unit
+(** Append one complete frame. *)
+
+val encode_bytes : msg -> Bytes.t
+(** One complete frame as fresh bytes. *)
+
+val decode : Bytes.t -> pos:int -> len:int -> (msg * int, error) result
+(** [decode buf ~pos ~len] parses one frame from [buf.[pos .. pos+len)].
+    On success returns the message and the total bytes consumed
+    (prefix included).  Never raises on any input; out-of-range
+    [pos]/[len] are reported as {!Malformed}. *)
+
+val equal : msg -> msg -> bool
+val pp : Format.formatter -> msg -> unit
+val error_to_string : error -> string

@@ -389,7 +389,7 @@ let test_system_adaptive_option_runs () =
   let options =
     {
       tiny_options with
-      System.selection_policy = System.spec_of_ttl_policy System.Adaptive;
+      System.selection_policy = Pdht_policy.Selector.(Ttl Adaptive);
       sample_every = 20.;
     }
   in
@@ -398,7 +398,11 @@ let test_system_adaptive_option_runs () =
   Alcotest.(check bool) "completes and answers" true (r.System.answered > 0)
 
 let test_system_ttl_override () =
-  let options = System.Options.with_ttl_policy (System.Fixed 123.) tiny_options in
+  let options =
+    System.Options.with_selection_policy
+      Pdht_policy.Selector.(Ttl (Fixed 123.))
+      tiny_options
+  in
   Alcotest.(check (float 1e-9)) "fixed policy wins" 123.
     (System.derive_key_ttl tiny_scenario options);
   (* Adaptive runs start from the same model-derived TTL as the default
@@ -406,16 +410,20 @@ let test_system_ttl_override () =
   Alcotest.(check (float 1e-9)) "adaptive starts model-derived"
     (System.derive_key_ttl tiny_scenario tiny_options)
     (System.derive_key_ttl tiny_scenario
-       (System.Options.with_ttl_policy System.Adaptive tiny_options))
+       (System.Options.with_selection_policy
+          Pdht_policy.Selector.(Ttl Adaptive)
+          tiny_options))
 
 let test_system_options_builders () =
   let o =
-    System.Options.make ~repl:7 ~stor:42 ~ttl_policy:(System.Fixed 5.) ()
+    System.Options.make ~repl:7 ~stor:42
+      ~selection_policy:Pdht_policy.Selector.(Ttl (Fixed 5.))
+      ()
   in
-  let fixed5 = System.spec_of_ttl_policy (System.Fixed 5.) in
+  let fixed5 = Pdht_policy.Selector.(Ttl (Fixed 5.)) in
   Alcotest.(check int) "repl" 7 o.System.repl;
   Alcotest.(check int) "stor" 42 o.System.stor;
-  Alcotest.(check bool) "ttl policy aliases into the policy axis" true
+  Alcotest.(check bool) "selection policy lands" true
     (Pdht_policy.Selector.equal o.System.selection_policy fixed5);
   Alcotest.(check int) "defaults survive" System.default_options.System.repl
     (System.Options.make ()).System.repl;
@@ -446,18 +454,6 @@ let test_system_options_make_defaults () =
     (d.System.timeline_window = o.System.timeline_window);
   Alcotest.(check bool) "whole record" true (o = d)
 
-let test_system_ttl_policy_alias_forwards () =
-  (* The deprecated builder must be indistinguishable from routing the
-     same mode through the policy axis. *)
-  List.iter
-    (fun tp ->
-      let via_alias = System.Options.with_ttl_policy tp tiny_options in
-      let via_policy =
-        System.Options.with_selection_policy (System.spec_of_ttl_policy tp)
-          tiny_options
-      in
-      Alcotest.(check bool) "alias forwards" true (via_alias = via_policy))
-    [ System.Model_derived; System.Fixed 77.; System.Adaptive ]
 
 let test_adaptive_retune_empty_window () =
   let ctl = Adaptive.create () in
@@ -713,7 +709,6 @@ let () =
           Alcotest.test_case "ttl override" `Quick test_system_ttl_override;
           Alcotest.test_case "options builders" `Quick test_system_options_builders;
           Alcotest.test_case "make defaults" `Quick test_system_options_make_defaults;
-          Alcotest.test_case "ttl alias forwards" `Quick test_system_ttl_policy_alias_forwards;
           Alcotest.test_case "query cost percentiles" `Quick test_system_query_cost_percentiles;
           Alcotest.test_case "report printable" `Quick test_system_report_printable;
         ] );

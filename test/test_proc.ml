@@ -1,0 +1,289 @@
+(* Tests for the process-driver plumbing: the wall-clock timer wheel,
+   framed socket I/O, and the worker-node protocol driven end-to-end
+   over a socketpair (the worker answers frames buffered by the kernel,
+   so no second process or thread is needed). *)
+
+module Wire = Pdht_wire.Wire
+module Timer_wheel = Pdht_proc.Timer_wheel
+module Frame_io = Pdht_proc.Frame_io
+module Node = Pdht_proc.Node
+module Storage = Pdht_dht.Storage
+
+(* ---------------------------------------------------------------- *)
+(* Timer_wheel                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_wheel_fires_in_deadline_order () =
+  let w = Timer_wheel.create () in
+  let fired = ref [] in
+  let note tag () = fired := tag :: !fired in
+  ignore (Timer_wheel.schedule w ~at:3.0 (note "late"));
+  ignore (Timer_wheel.schedule w ~at:1.0 (note "early"));
+  ignore (Timer_wheel.schedule w ~at:2.0 (note "middle"));
+  Alcotest.(check (option (float 0.))) "earliest deadline" (Some 1.0)
+    (Timer_wheel.next_due w);
+  Alcotest.(check int) "two due at t=2" 2 (Timer_wheel.run_due w ~now:2.0);
+  Alcotest.(check (list string)) "fired earliest first" [ "early"; "middle" ]
+    (List.rev !fired);
+  Alcotest.(check int) "one pending" 1 (Timer_wheel.pending w);
+  Alcotest.(check int) "remainder fires" 1 (Timer_wheel.run_due w ~now:10.0);
+  Alcotest.(check (option (float 0.))) "empty wheel" None (Timer_wheel.next_due w)
+
+let test_wheel_ties_fire_in_creation_order () =
+  let w = Timer_wheel.create () in
+  let fired = ref [] in
+  ignore (Timer_wheel.schedule w ~at:1.0 (fun () -> fired := "first" :: !fired));
+  ignore (Timer_wheel.schedule w ~at:1.0 (fun () -> fired := "second" :: !fired));
+  ignore (Timer_wheel.run_due w ~now:1.0);
+  Alcotest.(check (list string)) "creation order" [ "first"; "second" ]
+    (List.rev !fired)
+
+let test_wheel_cancel () =
+  let w = Timer_wheel.create () in
+  let fired = ref 0 in
+  let id = Timer_wheel.schedule w ~at:1.0 (fun () -> incr fired) in
+  ignore (Timer_wheel.schedule w ~at:2.0 (fun () -> incr fired));
+  Timer_wheel.cancel w id;
+  Timer_wheel.cancel w 9999;
+  Alcotest.(check int) "only survivor fires" 1 (Timer_wheel.run_due w ~now:5.0);
+  Alcotest.(check int) "cancelled callback never ran" 1 !fired
+
+let test_wheel_callback_can_reschedule () =
+  let w = Timer_wheel.create () in
+  let fired = ref [] in
+  ignore
+    (Timer_wheel.schedule w ~at:1.0 (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Timer_wheel.schedule w ~at:1.5 (fun () -> fired := "inner" :: !fired))));
+  Alcotest.(check int) "due chain runs in one call" 2 (Timer_wheel.run_due w ~now:2.0);
+  Alcotest.(check (list string)) "chained order" [ "outer"; "inner" ] (List.rev !fired)
+
+(* ---------------------------------------------------------------- *)
+(* Frame_io                                                          *)
+(* ---------------------------------------------------------------- *)
+
+let with_socketpair f =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let ca = Frame_io.of_fd a and cb = Frame_io.of_fd b in
+  Fun.protect
+    ~finally:(fun () ->
+      Frame_io.close ca;
+      Frame_io.close cb)
+    (fun () -> f ca cb)
+
+let recv_exn conn =
+  match Frame_io.recv ~deadline:(Unix.gettimeofday () +. 5.0) conn with
+  | Ok msg -> msg
+  | Error e -> Alcotest.fail (Frame_io.recv_error_to_string e)
+
+let check_msg name want got =
+  Alcotest.(check bool)
+    (Format.asprintf "%s: %a" name Wire.pp want)
+    true (Wire.equal want got)
+
+let test_frame_io_roundtrip_preserves_order () =
+  with_socketpair @@ fun ca cb ->
+  let msgs =
+    [ Wire.Hello { node_id = 3 };
+      Wire.Get { rid = 1; peer = 7; key = 2; refresh = true; now = 1.5; ttl = 30. };
+      Wire.Bye ]
+  in
+  List.iter (Frame_io.send ca) msgs;
+  List.iter (fun want -> check_msg "in order" want (recv_exn cb)) msgs
+
+let test_frame_io_reassembles_split_frames () =
+  with_socketpair @@ fun ca cb ->
+  let frame =
+    Wire.encode_bytes (Wire.Counters { rid = 9; node_id = 1; counters = [ ("a", 2) ] })
+  in
+  let n = Bytes.length frame in
+  ignore (Unix.write (Frame_io.fd ca) frame 0 3);
+  (* Only a prefix is readable: a bounded recv must time out, not fail. *)
+  (match Frame_io.recv ~deadline:(Unix.gettimeofday () +. 0.05) cb with
+  | Error Frame_io.Timeout -> ()
+  | Ok _ -> Alcotest.fail "decoded a message from a partial frame"
+  | Error e -> Alcotest.fail (Frame_io.recv_error_to_string e));
+  ignore (Unix.write (Frame_io.fd ca) frame 3 (n - 3));
+  check_msg "reassembled"
+    (Wire.Counters { rid = 9; node_id = 1; counters = [ ("a", 2) ] })
+    (recv_exn cb)
+
+let test_frame_io_reports_closed () =
+  with_socketpair @@ fun ca cb ->
+  Frame_io.send ca Wire.Bye;
+  Unix.shutdown (Frame_io.fd ca) Unix.SHUTDOWN_SEND;
+  check_msg "buffered frame still delivered" Wire.Bye (recv_exn cb);
+  match Frame_io.recv ~deadline:(Unix.gettimeofday () +. 5.0) cb with
+  | Error Frame_io.Closed -> ()
+  | Ok _ -> Alcotest.fail "message after EOF"
+  | Error e -> Alcotest.fail (Frame_io.recv_error_to_string e)
+
+let test_frame_io_surfaces_codec_errors () =
+  with_socketpair @@ fun ca cb ->
+  (* A frame with a bogus version byte: complete, but corrupt. *)
+  let raw = Bytes.of_string "\x00\x00\x00\x02\x63\x01" in
+  ignore (Unix.write (Frame_io.fd ca) raw 0 (Bytes.length raw));
+  match Frame_io.recv ~deadline:(Unix.gettimeofday () +. 5.0) cb with
+  | Error (Frame_io.Wire (Wire.Bad_version 0x63)) -> ()
+  | Ok _ -> Alcotest.fail "decoded garbage"
+  | Error e -> Alcotest.fail ("wrong error: " ^ Frame_io.recv_error_to_string e)
+
+(* ---------------------------------------------------------------- *)
+(* Node protocol                                                     *)
+(* ---------------------------------------------------------------- *)
+
+let test_eviction_codes_roundtrip () =
+  List.iter
+    (fun ev ->
+      match Node.eviction_of_code (Node.eviction_code ev) with
+      | Ok ev' -> Alcotest.(check bool) "roundtrip" true (ev = ev')
+      | Error msg -> Alcotest.fail msg)
+    [ Storage.Evict_soonest_expiry; Storage.Evict_lru; Storage.Evict_random ];
+  match Node.eviction_of_code 42 with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "accepted an unknown eviction code"
+
+(* Script a whole worker session through the kernel socket buffer:
+   write every conductor frame, run [serve] (which drains them and
+   buffers its replies), then read the replies back. *)
+let run_node_session ?obs_out script =
+  let a, b = Unix.socketpair Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  let conductor = Frame_io.of_fd a and worker = Frame_io.of_fd b in
+  Fun.protect
+    ~finally:(fun () ->
+      Frame_io.close conductor;
+      Frame_io.close worker)
+    (fun () ->
+      List.iter (Frame_io.send conductor) script;
+      Node.serve ?obs_out ~node_id:1 worker;
+      let rec drain acc =
+        match Frame_io.recv ~deadline:(Unix.gettimeofday () +. 1.0) conductor with
+        | Ok msg -> drain (msg :: acc)
+        | Error Frame_io.Timeout | Error Frame_io.Closed -> List.rev acc
+        | Error e -> Alcotest.fail (Frame_io.recv_error_to_string e)
+      in
+      drain [])
+
+(* node_id 1 of 2 nodes owns the odd members. *)
+let setup = Wire.Setup { nodes = 2; members = 6; keys = 4; stor = 8; eviction = 0; seed = 7 }
+
+let test_node_serves_store_ops () =
+  let replies =
+    run_node_session
+      [ setup;
+        Wire.Insert { rid = 1; peer = 3; key = 2; value = 55; now = 10.0; ttl = 30.0 };
+        Wire.Get { rid = 2; peer = 3; key = 2; refresh = true; now = 20.0; ttl = 30.0 };
+        Wire.Probe { rid = 3; op = Wire.Mem; peer = 3; key = 2; now = 45.0 };
+        (* The refresh at t=20 moved expiry to t=50, so t=45 still hits. *)
+        Wire.Get { rid = 4; peer = 3; key = 1; refresh = false; now = 20.0; ttl = 0.0 };
+        Wire.Probe { rid = 5; op = Wire.Live_count; peer = 3; key = -1; now = 20.0 };
+        Wire.Probe { rid = 6; op = Wire.Clear; peer = 3; key = -1; now = 0.0 };
+        Wire.Lookup { rid = 7; span = -1; src = 0; dst = 5; key = -1 };
+        Wire.Gossip { span = -1; src = 0; dst = 1; key = -1 };
+        Wire.Bye ]
+  in
+  match replies with
+  | [ Wire.Hello { node_id = 1 };
+      Wire.Ack { rid = 1; ok = true; _ };
+      Wire.Ack { rid = 2; ok = true; value = 55 };
+      Wire.Ack { rid = 3; ok = true; _ };
+      Wire.Ack { rid = 4; ok = false; _ };
+      Wire.Ack { rid = 5; ok = true; value = 1 };
+      Wire.Ack { rid = 6; ok = true; value = 1 };
+      Wire.Ack { rid = 7; ok = true; _ } ] ->
+      ()
+  | replies ->
+      Alcotest.fail
+        (Format.asprintf "unexpected session transcript:@ %a"
+           (Format.pp_print_list Wire.pp) replies)
+
+let test_node_snapshot_counts_traffic () =
+  let replies =
+    run_node_session
+      [ setup;
+        Wire.Insert { rid = 1; peer = 1; key = 0; value = 9; now = 0.0; ttl = 10.0 };
+        Wire.Gossip { span = -1; src = 0; dst = 1; key = -1 };
+        Wire.Snapshot { rid = 2 };
+        Wire.Bye ]
+  in
+  match replies with
+  | [ Wire.Hello _; Wire.Ack { rid = 1; _ };
+      Wire.Counters { rid = 2; node_id = 1; counters } ] ->
+      let count name =
+        match List.assoc_opt name counters with Some n -> n | None -> 0
+      in
+      Alcotest.(check int) "one put" 1 (count "proc.puts");
+      Alcotest.(check int) "one cast" 1 (count "proc.casts");
+      (* Setup + Insert + Gossip + Snapshot received before the reply. *)
+      Alcotest.(check int) "frames in" 4 (count "proc.frames_in")
+  | replies ->
+      Alcotest.fail
+        (Format.asprintf "unexpected session transcript:@ %a"
+           (Format.pp_print_list Wire.pp) replies)
+
+let test_node_rejects_unowned_member () =
+  match
+    run_node_session
+      [ setup;
+        (* Member 2 belongs to node 0, not node 1. *)
+        Wire.Get { rid = 1; peer = 2; key = 0; refresh = false; now = 0.0; ttl = 0.0 } ]
+  with
+  | exception Failure msg ->
+      let contains sub =
+        let n = String.length sub and m = String.length msg in
+        let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) "names the member" true (contains "member 2")
+  | _ -> Alcotest.fail "expected a protocol failure"
+
+let test_node_obs_out_validates () =
+  let path = Filename.temp_file "pdht_node" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> try Sys.remove path with Sys_error _ -> ())
+    (fun () ->
+      ignore
+        (run_node_session ~obs_out:path
+           [ setup;
+             Wire.Insert { rid = 1; peer = 1; key = 0; value = 1; now = 0.0; ttl = 5.0 };
+             Wire.Bye ]);
+      match Pdht_obs.Export.validate_jsonl_file ~path with
+      | Ok lines -> Alcotest.(check bool) "wrote node-stamped lines" true (lines > 0)
+      | Error msg -> Alcotest.fail msg)
+
+let () =
+  Alcotest.run "pdht_proc"
+    [
+      ( "timer_wheel",
+        [
+          Alcotest.test_case "fires in deadline order" `Quick
+            test_wheel_fires_in_deadline_order;
+          Alcotest.test_case "ties fire in creation order" `Quick
+            test_wheel_ties_fire_in_creation_order;
+          Alcotest.test_case "cancel" `Quick test_wheel_cancel;
+          Alcotest.test_case "callback can reschedule" `Quick
+            test_wheel_callback_can_reschedule;
+        ] );
+      ( "frame_io",
+        [
+          Alcotest.test_case "roundtrip preserves order" `Quick
+            test_frame_io_roundtrip_preserves_order;
+          Alcotest.test_case "reassembles split frames" `Quick
+            test_frame_io_reassembles_split_frames;
+          Alcotest.test_case "reports closed" `Quick test_frame_io_reports_closed;
+          Alcotest.test_case "surfaces codec errors" `Quick
+            test_frame_io_surfaces_codec_errors;
+        ] );
+      ( "node",
+        [
+          Alcotest.test_case "eviction codes roundtrip" `Quick
+            test_eviction_codes_roundtrip;
+          Alcotest.test_case "serves store ops" `Quick test_node_serves_store_ops;
+          Alcotest.test_case "snapshot counts traffic" `Quick
+            test_node_snapshot_counts_traffic;
+          Alcotest.test_case "rejects unowned member" `Quick
+            test_node_rejects_unowned_member;
+          Alcotest.test_case "obs-out validates" `Quick test_node_obs_out_validates;
+        ] );
+    ]

@@ -1,0 +1,295 @@
+(* Unit tests for the pure protocol cores in [lib/proto].
+
+   Each machine is exercised as plain data: feed events, assert the
+   exact action sequence.  The drivers (simulator engine, process
+   event loop) are deliberately absent — that is the point of the
+   extraction — so these tests pin the protocol semantics that both
+   drivers must share. *)
+
+module M = Pdht_proto.Rpc_machine
+module Q = Pdht_proto.Query_plan
+module U = Pdht_proto.Update_plan
+module Sel = Pdht_proto.Selection
+module Rr = Pdht_proto.Repair_rules
+
+let feq = Alcotest.(check (float 1e-9))
+
+(* ---------------------------------------------------------------- *)
+(* Rpc_machine                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_rpc_backoff_schedule () =
+  let config = { M.timeout = 0.5; retries = 4; backoff = 2.0 } in
+  List.iter
+    (fun (attempt, want) ->
+      feq (Printf.sprintf "timeout for attempt %d" attempt) want
+        (M.timeout_for config ~attempt))
+    [ (0, 0.5); (1, 1.0); (2, 2.0); (3, 4.0); (4, 8.0) ]
+
+let test_rpc_matches_net_config () =
+  (* The machine's schedule must agree with the network model's
+     published [timeout_for_attempt] — the process driver leans on the
+     former, the simulator documents the latter. *)
+  let net = { Pdht_net.Config.default with rpc_timeout = 0.3; rpc_retries = 5; backoff = 1.7 } in
+  let config = { M.timeout = 0.3; retries = 5; backoff = 1.7 } in
+  for attempt = 0 to 5 do
+    feq
+      (Printf.sprintf "net/proto agree on attempt %d" attempt)
+      (Pdht_net.Config.timeout_for_attempt net ~attempt)
+      (M.timeout_for config ~attempt)
+  done
+
+let test_rpc_retry_then_give_up () =
+  let m = M.create ~timeout:1.0 ~retries:2 ~backoff:2.0 in
+  Alcotest.(check int) "starts at attempt 0" 0 (M.attempt m);
+  feq "initial deadline" 1.0 (M.current_timeout m);
+  let m, a = M.step m M.Attempt_timeout in
+  (match a with
+  | M.Retry { attempt = 1; timeout } -> feq "first retry waits 2x" 2.0 timeout
+  | _ -> Alcotest.fail "expected first Retry");
+  let m, a = M.step m M.Attempt_timeout in
+  (match a with
+  | M.Retry { attempt = 2; timeout } -> feq "second retry waits 4x" 4.0 timeout
+  | _ -> Alcotest.fail "expected second Retry");
+  Alcotest.(check bool) "not settled while retrying" false (M.settled m);
+  let m, a = M.step m M.Attempt_timeout in
+  (match a with
+  | M.Give_up -> ()
+  | _ -> Alcotest.fail "expected Give_up after retry budget");
+  Alcotest.(check bool) "settled after give-up" true (M.settled m);
+  (* Every event after settling is a stale no-op. *)
+  let _, a = M.step m M.Reply_received in
+  (match a with M.Ignore -> () | _ -> Alcotest.fail "reply after give-up must Ignore");
+  let _, a = M.step m M.Attempt_timeout in
+  match a with M.Ignore -> () | _ -> Alcotest.fail "timeout after give-up must Ignore"
+
+let test_rpc_reply_settles_once () =
+  let m = M.create ~timeout:1.0 ~retries:3 ~backoff:2.0 in
+  let m, a = M.step m M.Reply_received in
+  (match a with
+  | M.Deliver_reply -> ()
+  | _ -> Alcotest.fail "expected Deliver_reply");
+  Alcotest.(check bool) "settled after reply" true (M.settled m);
+  let _, a = M.step m M.Reply_received in
+  (match a with M.Ignore -> () | _ -> Alcotest.fail "duplicate reply must Ignore");
+  let _, a = M.step m M.Attempt_timeout in
+  match a with M.Ignore -> () | _ -> Alcotest.fail "late timeout must Ignore"
+
+let test_rpc_zero_retries_one_shot () =
+  let m = M.create ~timeout:0.25 ~retries:0 ~backoff:3.0 in
+  let _, a = M.step m M.Attempt_timeout in
+  match a with
+  | M.Give_up -> ()
+  | _ -> Alcotest.fail "zero retries: first timeout is final"
+
+(* ---------------------------------------------------------------- *)
+(* Query_plan                                                        *)
+(* ---------------------------------------------------------------- *)
+
+let check_finish name (a : Q.action) ~source ~provider =
+  match a with
+  | Q.Finish o ->
+      Alcotest.(check bool) (name ^ ": source") true (o.Q.source = source);
+      Alcotest.(check (option int)) (name ^ ": provider") provider o.Q.provider
+  | _ -> Alcotest.fail (name ^ ": expected Finish")
+
+let test_query_no_index_paths () =
+  let t, a = Q.start Q.No_index in
+  (match a with
+  | Q.Search_broadcast -> ()
+  | _ -> Alcotest.fail "No_index starts by broadcasting");
+  let _, a = Q.step t (Q.Broadcast_found { provider = 7 }) in
+  check_finish "no-index hit" a ~source:Q.From_broadcast ~provider:(Some 7);
+  let t, _ = Q.start Q.No_index in
+  let _, a = Q.step t Q.Broadcast_failed in
+  check_finish "no-index miss" a ~source:Q.Not_found ~provider:None
+
+let test_query_index_all_paths () =
+  let t, a = Q.start Q.Index_all in
+  (match a with
+  | Q.Reach_entry -> ()
+  | _ -> Alcotest.fail "Index_all starts at the entry point");
+  (* Entry failure is final: there is no broadcast fallback. *)
+  let _, a = Q.step t Q.Entry_failed in
+  check_finish "index-all entry failure" a ~source:Q.Not_found ~provider:None;
+  let t, a = Q.step t Q.Entry_reached in
+  (match a with
+  | Q.Search_index -> ()
+  | _ -> Alcotest.fail "Index_all searches the index after contact");
+  let _, a = Q.step t (Q.Index_hit { provider = 3 }) in
+  check_finish "index-all hit" a ~source:Q.From_index ~provider:(Some 3);
+  let _, a = Q.step t Q.Index_miss in
+  check_finish "index-all miss is final" a ~source:Q.Not_found ~provider:None
+
+let test_query_partial_hit () =
+  let t, a = Q.start Q.Partial in
+  (match a with Q.Reach_entry -> () | _ -> Alcotest.fail "Partial starts at entry");
+  let t, a = Q.step t Q.Entry_reached in
+  (match a with Q.Search_index -> () | _ -> Alcotest.fail "then searches the index");
+  let _, a = Q.step t (Q.Index_hit { provider = 11 }) in
+  check_finish "partial index hit" a ~source:Q.From_index ~provider:(Some 11)
+
+let test_query_partial_miss_broadcast_insert () =
+  let t, _ = Q.start Q.Partial in
+  let t, _ = Q.step t Q.Entry_reached in
+  let t, a = Q.step t Q.Index_miss in
+  (match a with
+  | Q.Search_broadcast -> ()
+  | _ -> Alcotest.fail "index miss falls back to broadcast");
+  let t, a = Q.step t (Q.Broadcast_found { provider = 5 }) in
+  (match a with
+  | Q.Insert_key { provider = 5 } -> ()
+  | _ -> Alcotest.fail "broadcast hit after a miss re-inserts");
+  let _, a = Q.step t Q.Insert_done in
+  check_finish "resolved via broadcast" a ~source:Q.From_broadcast ~provider:(Some 5)
+
+let test_query_partial_entry_failure_degrades () =
+  (* No reachable index: broadcast still runs, but a find must NOT
+     trigger re-insertion (nowhere to insert). *)
+  let t, _ = Q.start Q.Partial in
+  let t, a = Q.step t Q.Entry_failed in
+  (match a with
+  | Q.Search_broadcast -> ()
+  | _ -> Alcotest.fail "entry failure degrades to broadcast");
+  let _, a = Q.step t (Q.Broadcast_found { provider = 9 }) in
+  check_finish "degraded hit skips insertion" a ~source:Q.From_broadcast
+    ~provider:(Some 9);
+  let t, _ = Q.start Q.Partial in
+  let t, _ = Q.step t Q.Entry_failed in
+  let _, a = Q.step t Q.Broadcast_failed in
+  check_finish "degraded miss" a ~source:Q.Not_found ~provider:None
+
+let test_query_rejects_out_of_phase_events () =
+  let t, _ = Q.start Q.Partial in
+  Alcotest.check_raises "broadcast result while contacting"
+    (Invalid_argument "Query_plan.step: broadcast-found event in contacting phase")
+    (fun () -> ignore (Q.step t (Q.Broadcast_found { provider = 1 })))
+
+(* ---------------------------------------------------------------- *)
+(* Update_plan                                                       *)
+(* ---------------------------------------------------------------- *)
+
+let test_update_only_index_all_runs () =
+  (match U.start Q.No_index with
+  | _, U.Finish { delivered = false } -> ()
+  | _ -> Alcotest.fail "No_index updates are dropped");
+  match U.start Q.Partial with
+  | _, U.Finish { delivered = false } -> ()
+  | _ -> Alcotest.fail "Partial drops proactive updates (Section 5.1)"
+
+let test_update_full_path () =
+  let t, a = U.start Q.Index_all in
+  (match a with U.Reach_entry -> () | _ -> Alcotest.fail "update starts at entry");
+  let t, a = U.step t U.Entry_reached in
+  (match a with U.Route -> () | _ -> Alcotest.fail "then routes");
+  let t, a = U.step t U.Route_ok in
+  (match a with U.Spread -> () | _ -> Alcotest.fail "then spreads");
+  match U.step t U.Spread_done with
+  | _, U.Finish { delivered = true } -> ()
+  | _ -> Alcotest.fail "spread completes the update"
+
+let test_update_failures_end_undelivered () =
+  let t, _ = U.start Q.Index_all in
+  (match U.step t U.Entry_failed with
+  | _, U.Finish { delivered = false } -> ()
+  | _ -> Alcotest.fail "entry failure ends the update");
+  let t, _ = U.start Q.Index_all in
+  let t, _ = U.step t U.Entry_reached in
+  match U.step t U.Route_failed with
+  | _, U.Finish { delivered = false } -> ()
+  | _ -> Alcotest.fail "routing failure ends the update"
+
+(* ---------------------------------------------------------------- *)
+(* Selection                                                         *)
+(* ---------------------------------------------------------------- *)
+
+let test_selection_defaults () =
+  feq "no policy leases the default TTL" 42.0
+    (Sel.lease None ~default_ttl:42.0 ~now:10.0 ~key_index:3);
+  Alcotest.(check bool) "no policy admits everything" true
+    (Sel.admits None ~now:10.0 ~key_index:3)
+
+let test_selection_policy_consulted () =
+  let policy =
+    { Sel.admit = (fun ~now:_ ~key_index -> key_index mod 2 = 0);
+      ttl_for = (fun ~now ~key_index -> now +. float_of_int key_index) }
+  in
+  feq "policy lease wins over default" 12.0
+    (Sel.lease (Some policy) ~default_ttl:99.0 ~now:10.0 ~key_index:2);
+  Alcotest.(check bool) "policy admit: even" true
+    (Sel.admits (Some policy) ~now:0.0 ~key_index:4);
+  Alcotest.(check bool) "policy admit: odd" false
+    (Sel.admits (Some policy) ~now:0.0 ~key_index:5)
+
+(* ---------------------------------------------------------------- *)
+(* Repair_rules                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let test_repair_threshold_and_topup () =
+  Alcotest.(check int) "ceil(0.5 * 5)" 3
+    (Rr.content_threshold ~min_fraction:0.5 ~repl:5);
+  Alcotest.(check int) "exact fraction stays exact" 2
+    (Rr.content_threshold ~min_fraction:0.5 ~repl:4);
+  Alcotest.(check bool) "below threshold needs top-up" true
+    (Rr.needs_topup ~live:2 ~threshold:3);
+  Alcotest.(check bool) "at threshold is healthy" false
+    (Rr.needs_topup ~live:3 ~threshold:3);
+  Alcotest.(check bool) "extinct items are unrecoverable" false
+    (Rr.needs_topup ~live:0 ~threshold:3);
+  Alcotest.(check int) "want tops back to repl" 3 (Rr.topup_want ~repl:5 ~live:2);
+  Alcotest.(check int) "probe budget scales with want" (20 * 3 + 50)
+    (Rr.topup_attempts ~want:3);
+  Alcotest.(check int) "two messages per fresh copy" 8 (Rr.copy_messages ~fresh:4)
+
+let test_repair_remaining_ttl () =
+  (match Rr.remaining_ttl ~expiry:15.0 ~now:10.0 with
+  | Some r -> feq "live entry keeps its remainder" 5.0 r
+  | None -> Alcotest.fail "expected Some remaining");
+  (match Rr.remaining_ttl ~expiry:10.0 ~now:10.0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "expiry boundary is dead");
+  match Rr.remaining_ttl ~expiry:3.0 ~now:10.0 with
+  | None -> ()
+  | Some _ -> Alcotest.fail "past expiry is dead"
+
+let () =
+  Alcotest.run "pdht_proto"
+    [
+      ( "rpc_machine",
+        [
+          Alcotest.test_case "backoff schedule" `Quick test_rpc_backoff_schedule;
+          Alcotest.test_case "matches net config" `Quick test_rpc_matches_net_config;
+          Alcotest.test_case "retry then give up" `Quick test_rpc_retry_then_give_up;
+          Alcotest.test_case "reply settles once" `Quick test_rpc_reply_settles_once;
+          Alcotest.test_case "zero retries one shot" `Quick test_rpc_zero_retries_one_shot;
+        ] );
+      ( "query_plan",
+        [
+          Alcotest.test_case "no-index paths" `Quick test_query_no_index_paths;
+          Alcotest.test_case "index-all paths" `Quick test_query_index_all_paths;
+          Alcotest.test_case "partial hit" `Quick test_query_partial_hit;
+          Alcotest.test_case "partial miss broadcast insert" `Quick
+            test_query_partial_miss_broadcast_insert;
+          Alcotest.test_case "partial entry failure degrades" `Quick
+            test_query_partial_entry_failure_degrades;
+          Alcotest.test_case "rejects out-of-phase events" `Quick
+            test_query_rejects_out_of_phase_events;
+        ] );
+      ( "update_plan",
+        [
+          Alcotest.test_case "only index-all runs" `Quick test_update_only_index_all_runs;
+          Alcotest.test_case "full path" `Quick test_update_full_path;
+          Alcotest.test_case "failures end undelivered" `Quick
+            test_update_failures_end_undelivered;
+        ] );
+      ( "selection",
+        [
+          Alcotest.test_case "defaults" `Quick test_selection_defaults;
+          Alcotest.test_case "policy consulted" `Quick test_selection_policy_consulted;
+        ] );
+      ( "repair_rules",
+        [
+          Alcotest.test_case "threshold and topup" `Quick test_repair_threshold_and_topup;
+          Alcotest.test_case "remaining ttl" `Quick test_repair_remaining_ttl;
+        ] );
+    ]

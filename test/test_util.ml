@@ -451,6 +451,34 @@ let test_table_csv () =
   Alcotest.(check string) "quoting" "\"with,comma\",\"say \"\"hi\"\"\"" (List.nth lines 2)
 
 (* ------------------------------------------------------------------ *)
+(* Flags *)
+
+let test_flags_no_conflict () =
+  Alcotest.(check (option string)) "nothing present" None
+    (Pdht_util.Flags.conflicts ~dominant:"--policy"
+       ~subsumed:[ ("--key-ttl", false); ("--adaptive", false) ]);
+  Alcotest.(check (option string)) "empty subsumed list" None
+    (Pdht_util.Flags.conflicts ~dominant:"--policy" ~subsumed:[])
+
+let test_flags_single_conflict () =
+  Alcotest.(check (option string)) "one flag named"
+    (Some "--policy subsumes --adaptive")
+    (Pdht_util.Flags.conflicts ~dominant:"--policy"
+       ~subsumed:[ ("--key-ttl", false); ("--adaptive", true) ])
+
+let test_flags_reports_every_conflict () =
+  (* The point of the helper: passing several subsumed flags yields ONE
+     error naming them all, so one fix clears the whole conflict. *)
+  Alcotest.(check (option string)) "both flags named"
+    (Some "--policy subsumes --key-ttl and --adaptive")
+    (Pdht_util.Flags.conflicts ~dominant:"--policy"
+       ~subsumed:[ ("--key-ttl", true); ("--adaptive", true) ]);
+  Alcotest.(check (option string)) "three flags: comma list then and"
+    (Some "--a subsumes --x, --y and --z")
+    (Pdht_util.Flags.conflicts ~dominant:"--a"
+       ~subsumed:[ ("--x", true); ("--y", true); ("--z", true) ])
+
+(* ------------------------------------------------------------------ *)
 (* Property-based tests *)
 
 let qcheck_tests =
@@ -573,6 +601,13 @@ let () =
           Alcotest.test_case "row width check" `Quick test_table_row_width_check;
           Alcotest.test_case "float rows" `Quick test_table_float_rows;
           Alcotest.test_case "csv" `Quick test_table_csv;
+        ] );
+      ( "flags",
+        [
+          Alcotest.test_case "no conflict" `Quick test_flags_no_conflict;
+          Alcotest.test_case "single conflict" `Quick test_flags_single_conflict;
+          Alcotest.test_case "reports every conflict" `Quick
+            test_flags_reports_every_conflict;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

@@ -1,0 +1,254 @@
+(* Wire codec tests: qcheck encode/decode round-trip over every message
+   kind, plus adversarial decodes (truncation, garbage, wrong version,
+   corrupt bodies) asserting structured errors and no exceptions. *)
+
+module Wire = Pdht_wire.Wire
+
+let msg = Alcotest.testable Wire.pp Wire.equal
+
+let decode_ok bytes =
+  match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Ok (m, consumed) -> (m, consumed)
+  | Error e -> Alcotest.failf "decode failed: %s" (Wire.error_to_string e)
+
+let roundtrip m =
+  let bytes = Wire.encode_bytes m in
+  let m', consumed = decode_ok bytes in
+  Alcotest.check msg "round-trip" m m';
+  Alcotest.(check int) "consumed whole frame" (Bytes.length bytes) consumed
+
+(* ------------------------------------------------------------------ *)
+(* Deterministic round-trips: one representative per constructor, with
+   awkward scalar values (negative ints, infinities, NaN, zero-length
+   and non-ASCII strings). *)
+
+let sample_msgs : Wire.msg list =
+  [
+    Hello { node_id = 0 };
+    Hello { node_id = max_int };
+    Setup { nodes = 8; members = 1000; keys = 300; stor = 50; eviction = 2; seed = 42 };
+    Lookup { rid = 1; span = -1; src = 17; dst = 988; key = 299 };
+    Insert { rid = 2; peer = 3; key = 7; value = 11; now = 120.5; ttl = 1e15 };
+    Gossip { span = 9; src = 0; dst = 999; key = 0 };
+    Repair { rid = 3; peer = 4; key = 8; value = 12; now = 0.; ttl = 0.25 };
+    Get { rid = 4; peer = 5; key = 9; refresh = true; now = 1.5; ttl = 30. };
+    Get { rid = 5; peer = 6; key = 10; refresh = false; now = nan; ttl = infinity };
+    Probe { rid = 6; op = Mem; peer = 7; key = 11; now = 3. };
+    Probe { rid = 7; op = Expiry; peer = 8; key = 12; now = 4. };
+    Probe { rid = 8; op = Live_count; peer = 9; key = 0; now = 5. };
+    Probe { rid = 9; op = Clear; peer = 10; key = 0; now = 6. };
+    Ack { rid = 10; ok = true; value = -1 };
+    Ack { rid = 11; ok = false; value = min_int };
+    Ack_float { rid = 12; ok = true; value = neg_infinity };
+    Snapshot { rid = 13 };
+    Counters { rid = 14; node_id = 3; counters = [] };
+    Counters
+      {
+        rid = 15;
+        node_id = 0;
+        counters = [ ("proc.frames_in", 12); ("", 0); ("utf8 n\xc3\xb8de", -7) ];
+      };
+    Bye;
+  ]
+
+let test_samples_roundtrip () = List.iter roundtrip sample_msgs
+
+let test_stream_of_frames () =
+  (* Several frames back to back in one buffer decode in sequence. *)
+  let b = Buffer.create 256 in
+  List.iter (Wire.encode b) sample_msgs;
+  let bytes = Buffer.to_bytes b in
+  let pos = ref 0 in
+  List.iter
+    (fun expect ->
+      match Wire.decode bytes ~pos:!pos ~len:(Bytes.length bytes - !pos) with
+      | Ok (m, consumed) ->
+          Alcotest.check msg "stream frame" expect m;
+          pos := !pos + consumed
+      | Error e -> Alcotest.failf "stream decode failed: %s" (Wire.error_to_string e))
+    sample_msgs;
+  Alcotest.(check int) "stream fully consumed" (Bytes.length bytes) !pos
+
+(* ------------------------------------------------------------------ *)
+(* Adversarial decodes.  Contract: every byte string yields Ok or a
+   structured Error — never an exception — and the error kind
+   distinguishes "wait for more bytes" from "drop the connection". *)
+
+let test_truncation_every_prefix () =
+  let bytes = Wire.encode_bytes (Wire.Lookup { rid = 1; span = 2; src = 3; dst = 4; key = 5 }) in
+  let total = Bytes.length bytes in
+  for len = 0 to total - 1 do
+    match Wire.decode bytes ~pos:0 ~len with
+    | Error (Wire.Truncated { need; have }) ->
+        Alcotest.(check int) "have = len" len have;
+        let expected_need = if len < 4 then 4 else total in
+        Alcotest.(check int) "need" expected_need need
+    | Ok _ -> Alcotest.failf "truncated frame (len=%d) decoded" len
+    | Error e ->
+        Alcotest.failf "truncated frame (len=%d) misreported: %s" len
+          (Wire.error_to_string e)
+  done
+
+let test_bad_version () =
+  let bytes = Wire.encode_bytes Wire.Bye in
+  Bytes.set bytes 4 '\x63';
+  match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Error (Wire.Bad_version 0x63) -> ()
+  | Ok _ -> Alcotest.fail "bad version accepted"
+  | Error e -> Alcotest.failf "bad version misreported: %s" (Wire.error_to_string e)
+
+let test_unknown_kind () =
+  let bytes = Wire.encode_bytes Wire.Bye in
+  Bytes.set bytes 5 '\xfe';
+  match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Error (Wire.Unknown_kind 0xfe) -> ()
+  | Ok _ -> Alcotest.fail "unknown kind accepted"
+  | Error e -> Alcotest.failf "unknown kind misreported: %s" (Wire.error_to_string e)
+
+let test_frame_too_large () =
+  let bytes = Bytes.make 8 '\xff' in
+  match Wire.decode bytes ~pos:0 ~len:8 with
+  | Error (Wire.Frame_too_large { limit; _ }) ->
+      Alcotest.(check int) "limit advertised" Wire.max_payload limit
+  | Ok _ -> Alcotest.fail "absurd length prefix accepted"
+  | Error e -> Alcotest.failf "oversize misreported: %s" (Wire.error_to_string e)
+
+let malformed label bytes =
+  match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+  | Error (Wire.Malformed _) -> ()
+  | Ok _ -> Alcotest.failf "%s: accepted" label
+  | Error e -> Alcotest.failf "%s: misreported: %s" label (Wire.error_to_string e)
+
+let frame_of_payload payload =
+  let n = String.length payload in
+  let b = Buffer.create (4 + n) in
+  Buffer.add_char b (Char.chr ((n lsr 24) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 16) land 0xff));
+  Buffer.add_char b (Char.chr ((n lsr 8) land 0xff));
+  Buffer.add_char b (Char.chr (n land 0xff));
+  Buffer.add_string b payload;
+  Buffer.to_bytes b
+
+let test_malformed_bodies () =
+  (* Complete frames whose payloads are garbage in various ways. *)
+  malformed "empty payload rejected" (frame_of_payload "");
+  malformed "version-only payload" (frame_of_payload "\x01");
+  (* Hello with a short body: kind 1 but no 8-byte node id. *)
+  malformed "short body" (frame_of_payload "\x01\x01\x00\x00");
+  (* Bye with trailing junk after the (empty) body. *)
+  malformed "trailing bytes" (frame_of_payload "\x01\x0d\x00");
+  (* Ack whose boolean byte is 7. *)
+  (let bytes = Wire.encode_bytes (Wire.Ack { rid = 0; ok = false; value = 0 }) in
+   Bytes.set bytes (4 + 2 + 8) '\x07';
+   malformed "bad boolean" bytes);
+  (* Probe whose op code is out of range. *)
+  (let bytes = Wire.encode_bytes (Wire.Probe { rid = 0; op = Mem; peer = 0; key = 0; now = 0. }) in
+   Bytes.set bytes (4 + 2 + 8) '\x2a';
+   malformed "bad probe op" bytes);
+  (* Counters whose list count claims far more entries than the body holds. *)
+  (let payload = "\x01\x0c" ^ String.make 16 '\x00' ^ "\x00\x00\xff\xff" in
+   malformed "oversized list count" (frame_of_payload payload));
+  (* Out-of-range pos/len must be a structured error, not a crash. *)
+  malformed "negative len" (Bytes.create 0 |> fun b ->
+    match Wire.decode b ~pos:0 ~len:(-1) with
+    | Error (Wire.Malformed _) -> frame_of_payload "\x00"  (* re-checked below *)
+    | _ -> Alcotest.fail "negative len accepted");
+  match Wire.decode (Bytes.create 4) ~pos:3 ~len:4 with
+  | Error (Wire.Malformed _) -> ()
+  | _ -> Alcotest.fail "pos+len beyond buffer accepted"
+
+(* ------------------------------------------------------------------ *)
+(* qcheck properties *)
+
+let gen_msg : Wire.msg QCheck.Gen.t =
+  let open QCheck.Gen in
+  let id = frequency [ (8, small_nat); (1, int) ] in
+  let fl =
+    frequency
+      [ (8, float); (1, oneofl [ 0.; -0.; infinity; neg_infinity; nan; 1e15 ]) ]
+  in
+  let op = oneofl [ Wire.Mem; Wire.Expiry; Wire.Live_count; Wire.Clear ] in
+  let name = string_size ~gen:printable (int_bound 40) in
+  oneof
+    [
+      map (fun node_id -> Wire.Hello { node_id }) id;
+      map3
+        (fun (nodes, members) (keys, stor) (eviction, seed) ->
+          Wire.Setup { nodes; members; keys; stor; eviction; seed })
+        (pair id id) (pair id id) (pair id id);
+      map3
+        (fun rid (span, src) (dst, key) -> Wire.Lookup { rid; span; src; dst; key })
+        id (pair id id) (pair id id);
+      map3
+        (fun (rid, peer) (key, value) (now, ttl) ->
+          Wire.Insert { rid; peer; key; value; now; ttl })
+        (pair id id) (pair id id) (pair fl fl);
+      map3 (fun span src (dst, key) -> Wire.Gossip { span; src; dst; key }) id id (pair id id);
+      map3
+        (fun (rid, peer) (key, value) (now, ttl) ->
+          Wire.Repair { rid; peer; key; value; now; ttl })
+        (pair id id) (pair id id) (pair fl fl);
+      map3
+        (fun (rid, peer) (key, refresh) (now, ttl) ->
+          Wire.Get { rid; peer; key; refresh; now; ttl })
+        (pair id id) (pair id bool) (pair fl fl);
+      map3
+        (fun (rid, op) (peer, key) now -> Wire.Probe { rid; op; peer; key; now })
+        (pair id op) (pair id id) fl;
+      map3 (fun rid ok value -> Wire.Ack { rid; ok; value }) id bool id;
+      map3 (fun rid ok value -> Wire.Ack_float { rid; ok; value }) id bool fl;
+      map (fun rid -> Wire.Snapshot { rid }) id;
+      map3
+        (fun rid node_id counters -> Wire.Counters { rid; node_id; counters })
+        id id
+        (list_size (int_bound 12) (pair name id));
+      return Wire.Bye;
+    ]
+
+let arb_msg = QCheck.make ~print:(Format.asprintf "%a" Wire.pp) gen_msg
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"wire round-trip all kinds" ~count:2000 arb_msg (fun m ->
+      let bytes = Wire.encode_bytes m in
+      match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+      | Ok (m', consumed) -> Wire.equal m m' && consumed = Bytes.length bytes
+      | Error _ -> false)
+
+let prop_garbage_total =
+  (* Decoding arbitrary bytes never raises; every outcome is Ok or a
+     structured error. *)
+  QCheck.Test.make ~name:"wire decode total on garbage" ~count:2000
+    QCheck.(string_of_size Gen.(int_bound 64))
+    (fun s ->
+      let bytes = Bytes.of_string s in
+      match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+      | Ok _ | Error _ -> true)
+
+let prop_corrupted_frame_total =
+  (* Flipping one byte of a valid frame never raises either. *)
+  QCheck.Test.make ~name:"wire decode total on corrupted frames" ~count:2000
+    QCheck.(pair arb_msg (pair small_nat (int_bound 255)))
+    (fun (m, (at, v)) ->
+      let bytes = Wire.encode_bytes m in
+      let at = at mod Bytes.length bytes in
+      Bytes.set bytes at (Char.chr v);
+      match Wire.decode bytes ~pos:0 ~len:(Bytes.length bytes) with
+      | Ok _ | Error _ -> true)
+
+let qcheck_tests = [ prop_roundtrip; prop_garbage_total; prop_corrupted_frame_total ]
+
+let () =
+  Alcotest.run "pdht_wire"
+    [
+      ( "codec",
+        [
+          Alcotest.test_case "sample round-trips" `Quick test_samples_roundtrip;
+          Alcotest.test_case "frame stream" `Quick test_stream_of_frames;
+          Alcotest.test_case "truncation at every prefix" `Quick test_truncation_every_prefix;
+          Alcotest.test_case "bad version" `Quick test_bad_version;
+          Alcotest.test_case "unknown kind" `Quick test_unknown_kind;
+          Alcotest.test_case "frame too large" `Quick test_frame_too_large;
+          Alcotest.test_case "malformed bodies" `Quick test_malformed_bodies;
+        ] );
+      ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

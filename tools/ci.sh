@@ -174,4 +174,38 @@ scale_rss=$(grep -o '"peak_rss_mb": *[0-9.eE+-]*' BENCH_pdht.json | awk -F: '{pr
 echo "scale peak_rss_mb=$scale_rss"
 awk -v r="$scale_rss" 'BEGIN { exit (r > 0 && r <= 2048) ? 0 : 1 }'
 
+echo "== cluster smoke gate =="
+# Simulator-vs-processes equivalence (DESIGN §14, E25): an 8-process
+# loopback cluster run must print the same-seed simulator report byte
+# for byte, every per-node JSONL file must pass the schema validator
+# (including the node_id stamp), and the merged registry must carry the
+# workers' proc.* traffic counters.
+clu=$(mktemp -d)
+trap 'rm -rf "$pol" "$par" "$out" "$clu"' EXIT INT TERM
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
+  > "$clu/sim-report.txt"
+dune exec bin/pdht_cli.exe -- cluster --nodes 8 --peers 200 --keys 300 \
+  --duration 120 --obs-dir "$clu/obs" > "$clu/cluster-report.txt"
+diff "$clu/sim-report.txt" "$clu/cluster-report.txt"
+test "$(ls "$clu"/obs/node-*.jsonl | wc -l)" -eq 8
+dune exec tools/validate_jsonl.exe -- "$clu"/obs/node-*.jsonl "$clu/obs/merged.jsonl"
+grep -q '"name":"proc.frames_in"' "$clu/obs/merged.jsonl"
+grep -q '"node_id":0' "$clu/obs/node-0.jsonl"
+# Flag-conflict reporting: --policy combined with BOTH legacy TTL flags
+# must name both in one usage error (exit 124 = cmdliner usage error).
+if dune exec bin/pdht_cli.exe -- simulate --policy ttl --key-ttl 30 --adaptive \
+  > /dev/null 2> "$clu/conflict.txt"; then
+  echo "conflicting flags were accepted" >&2; exit 1
+fi
+grep -q -- '--policy subsumes --key-ttl and --adaptive' "$clu/conflict.txt"
+# Multi-node causal traces: the analyzer must merge per-node files by
+# (node_id, span) — two differently-stamped copies of one trace are
+# 2x the trees with zero duplicate-span collisions.
+sed 's/^{/{"node_id":0,/' "$out/causal-trace.jsonl" > "$clu/trace-n0.jsonl"
+sed 's/^{/{"node_id":1,/' "$out/causal-trace.jsonl" > "$clu/trace-n1.jsonl"
+dune exec tools/validate_jsonl.exe -- "$clu/trace-n0.jsonl" "$clu/trace-n1.jsonl"
+dune exec tools/trace_stats.exe -- --check "$clu/trace-n0.jsonl" "$clu/trace-n1.jsonl" \
+  > "$clu/trace-merged.txt"
+grep -q 'duplicate span ids: 0' "$clu/trace-merged.txt"
+
 echo "CI OK"

@@ -1,7 +1,14 @@
-(* Offline causal-trace analyzer: reconstruct span trees from a trace
-   JSONL file (written by `pdht simulate --trace-out`), verify causal
-   completeness, and attribute messages and virtual latency to
-   subsystems.
+(* Offline causal-trace analyzer: reconstruct span trees from one or
+   more trace JSONL files (written by `pdht simulate --trace-out`, or
+   one per node by the process driver), verify causal completeness, and
+   attribute messages and virtual latency to subsystems.
+
+   Multi-node traces: each emitting process allocates span ids from its
+   own sequential counter, so ids are only unique per node.  Lines may
+   carry a "node_id" member (see Pdht_obs.Export); spans are keyed by
+   (node_id, span) — with node_id defaulting to -1 for single-process
+   traces — and remapped into one global id space before analysis, so
+   merged per-node files never alias each other's trees.
 
    Checks:
      - every span-carrying event with a parent can reach a root
@@ -98,7 +105,24 @@ let latency_bucket ~parent_category (e : Event.t) =
   | Event.Maintenance | Event.Fault -> `Repair
   | Event.Query | Event.Engine | Event.Churn -> `Other
 
-let read_events path =
+(* (node_id, per-node span id) -> global span id, allocated on first
+   sight in either a "span" or a "parent" position so parent links
+   resolve regardless of line order across files. *)
+let make_span_remap () =
+  let table = Hashtbl.create 1024 in
+  let next = ref 0 in
+  fun ~node span ->
+    if span < 0 then span
+    else
+      match Hashtbl.find_opt table (node, span) with
+      | Some g -> g
+      | None ->
+          let g = !next in
+          incr next;
+          Hashtbl.add table (node, span) g;
+          g
+
+let read_events ~remap path =
   let ic = open_in path in
   let events = ref [] in
   let bad = ref None in
@@ -119,7 +143,20 @@ let read_events path =
              | None -> ()
              | Some _ -> (
                  match Event.of_json json with
-                 | Ok e -> events := e :: !events
+                 | Ok e ->
+                     let node =
+                       match
+                         Option.bind (Json.member "node_id" json) Json.to_int_opt
+                       with
+                       | Some k -> k
+                       | None -> -1
+                     in
+                     let e =
+                       { e with
+                         Event.span = remap ~node e.Event.span;
+                         parent = remap ~node e.Event.parent }
+                     in
+                     events := e :: !events
                  | Error msg ->
                      if !bad = None then bad := Some (!lineno, msg)))
      done
@@ -132,8 +169,8 @@ let read_events path =
 let () =
   let check = ref false in
   let top = ref 5 in
-  let path = ref None in
-  let usage = "usage: trace_stats [--check] [--top N] TRACE.jsonl" in
+  let paths = ref [] in
+  let usage = "usage: trace_stats [--check] [--top N] TRACE.jsonl [MORE.jsonl ...]" in
   let rec parse = function
     | [] -> ()
     | "--check" :: rest ->
@@ -146,31 +183,36 @@ let () =
             prerr_endline "--top expects a non-negative integer";
             exit 2);
         parse rest
-    | arg :: rest when !path = None && String.length arg > 0 && arg.[0] <> '-' ->
-        path := Some arg;
+    | arg :: rest when String.length arg > 0 && arg.[0] <> '-' ->
+        paths := arg :: !paths;
         parse rest
     | arg :: _ ->
         Printf.eprintf "unexpected argument %S\n%s\n" arg usage;
         exit 2
   in
   parse (List.tl (Array.to_list Sys.argv));
-  let path =
-    match !path with
-    | Some p -> p
-    | None ->
+  let paths =
+    match List.rev !paths with
+    | [] ->
         prerr_endline usage;
         exit 2
+    | paths -> paths
   in
+  let remap = make_span_remap () in
   let events =
-    match read_events path with
-    | Ok evs -> evs
-    | Error msg ->
-        prerr_endline msg;
-        exit 1
-    | exception Sys_error msg ->
-        prerr_endline msg;
-        exit 1
+    List.concat_map
+      (fun path ->
+        match read_events ~remap path with
+        | Ok evs -> evs
+        | Error msg ->
+            prerr_endline msg;
+            exit 1
+        | exception Sys_error msg ->
+            prerr_endline msg;
+            exit 1)
+      paths
   in
+  let path = String.concat ", " paths in
   let spanned = List.filter (fun (e : Event.t) -> e.Event.span >= 0) events in
   (* Span id -> event.  Ids are unique by construction (sequential
      allocator); a duplicate would be a codec or producer bug. *)
