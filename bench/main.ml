@@ -1435,12 +1435,13 @@ let contains_substring haystack needle =
   let rec at i = i + n <= h && (String.sub haystack i n = needle || at (i + 1)) in
   at 0
 
-(* Merge ["scale": ...] into an existing single-line BENCH_pdht.json
+(* Merge ["KEY": ...] into an existing single-line BENCH_pdht.json
    object (the [perf] section's output); start a fresh object when the
-   file is missing or malformed.  A previous scale block (always the
-   trailing member, since we put it there) is dropped first so reruns
-   replace it instead of discarding the perf data. *)
-let splice_scale_json path scale_json =
+   file is missing or malformed.  A previous block under the same key
+   is dropped first — together with everything after it, so splice
+   sections in a fixed order (perf writes the base; scale, then churn,
+   append) and reruns replace rather than duplicate. *)
+let splice_section_json path ~key json_value =
   let base =
     if Sys.file_exists path then (
       let ic = open_in_bin path in
@@ -1449,8 +1450,8 @@ let splice_scale_json path scale_json =
       String.trim s)
     else ""
   in
+  let marker = "\"" ^ key ^ "\":" in
   let base =
-    let marker = "\"scale\":" in
     let m = String.length marker and len = String.length base in
     let rec find i = if i + m > len then -1 else if String.sub base i m = marker then i else find (i + 1) in
     match find 0 with
@@ -1463,24 +1464,26 @@ let splice_scale_json path scale_json =
         in
         if pre = "{" then "{}" else pre ^ "}"
   in
-  let scale_str = Pdht_obs.Json.to_string scale_json in
+  let value_str = Pdht_obs.Json.to_string json_value in
   let len = String.length base in
   let merged =
     if
       len >= 2
       && base.[0] = '{'
       && base.[len - 1] = '}'
-      && not (contains_substring base "\"scale\":")
+      && not (contains_substring base marker)
     then
       String.sub base 0 (len - 1)
       ^ (if String.trim (String.sub base 1 (len - 2)) = "" then "" else ", ")
-      ^ "\"scale\": " ^ scale_str ^ "}"
-    else "{\"scale\": " ^ scale_str ^ "}"
+      ^ marker ^ " " ^ value_str ^ "}"
+    else "{" ^ marker ^ " " ^ value_str ^ "}"
   in
   let oc = open_out path in
   output_string oc merged;
   output_char oc '\n';
   close_out oc
+
+let splice_scale_json path scale_json = splice_section_json path ~key:"scale" scale_json
 
 let section_scale () =
   heading
@@ -1637,6 +1640,87 @@ let section_scale () =
     bytes_per_peer_flat hops_track_log_n rss path
 
 (* ------------------------------------------------------------------ *)
+(* E26: churn-hardened routing.  Living vs frozen k-buckets under
+   heavy-tailed session churn, one decade of mean session length per
+   row triple; splices a "churn" object into BENCH_pdht.json so ci.sh
+   can gate on it (live must beat frozen on stale-route rate at equal
+   maintenance spend, and stay near the no-churn success ceiling). *)
+
+let section_churn_routing () =
+  heading "E26 - churn-hardened routing: live vs frozen k-buckets"
+    "(per decade of mean session length: a no-churn baseline, living\n\
+     k-buckets with replacement caches + liveness probing + bucket\n\
+     refresh, and frozen tables on the live arm's measured maintenance\n\
+     budget; cRtn is measured, not assumed)";
+  let module Json = Pdht_obs.Json in
+  let rows =
+    Experiment.churn_routing ~jobs:!jobs ~seed:2026 ~members:600 ~duration:600.
+      ~mean_sessions:[ 60.; 600.; 6_000. ] ()
+  in
+  let t =
+    Table.create
+      ~columns:
+        [ ("mean session", Table.Right); ("arm", Table.Left); ("lookups", Table.Right);
+          ("success", Table.Right); ("hops", Table.Right); ("stale-route", Table.Right);
+          ("maint msgs", Table.Right); ("cRtn msg/peer/s", Table.Right) ]
+  in
+  List.iter
+    (fun (r : Experiment.churn_routing_row) ->
+      Table.add_row t
+        [ Printf.sprintf "%.0fs" r.Experiment.mean_session;
+          r.Experiment.arm;
+          string_of_int r.Experiment.attempted;
+          Printf.sprintf "%.3f" r.Experiment.success_rate;
+          Printf.sprintf "%.2f" r.Experiment.mean_hops;
+          Printf.sprintf "%.4f" r.Experiment.stale_route_rate;
+          string_of_int r.Experiment.maintenance_messages;
+          Printf.sprintf "%.3f" r.Experiment.crtn ])
+    rows;
+  Table.print t;
+  let row_json (r : Experiment.churn_routing_row) =
+    Json.Obj
+      [
+        ("mean_session", Json.Float r.Experiment.mean_session);
+        ("arm", Json.String r.Experiment.arm);
+        ("attempted", Json.Int r.Experiment.attempted);
+        ("success_rate", Json.Float r.Experiment.success_rate);
+        ("mean_hops", Json.Float r.Experiment.mean_hops);
+        ("stale_route_rate", Json.Float r.Experiment.stale_route_rate);
+        ("maintenance_messages", Json.Int r.Experiment.maintenance_messages);
+        ("crtn", Json.Float r.Experiment.crtn);
+      ]
+  in
+  (* Per-decade contracts, spliced as booleans for the CI gate: the
+     living tables must win the stale-route race at equal maintenance
+     spend while staying within 5% of the no-churn success ceiling. *)
+  let rec triples = function
+    | b :: l :: f :: rest -> (b, l, f) :: triples rest
+    | _ -> []
+  in
+  let ts = triples rows in
+  let all f = ts <> [] && List.for_all f ts in
+  let stale_ok =
+    all (fun ((_, l, f) : Experiment.churn_routing_row * _ * _) ->
+        l.Experiment.stale_route_rate < f.Experiment.stale_route_rate)
+  in
+  let success_ok =
+    all (fun (b, l, _) ->
+        l.Experiment.success_rate >= 0.95 *. b.Experiment.success_rate)
+  in
+  let budget_ok =
+    all (fun (_, l, f) ->
+        l.Experiment.maintenance_messages = f.Experiment.maintenance_messages)
+  in
+  let path = "BENCH_pdht.json" in
+  splice_section_json path ~key:"churn"
+    (Json.Obj
+       [
+         ("rows", Json.List (List.map row_json rows));
+         ("live_beats_frozen_stale_route", Json.Bool stale_ok);
+         ("live_within_success_floor", Json.Bool success_ok);
+         ("equal_maintenance_budget", Json.Bool budget_ok);
+       ]);
+  Printf.printf "spliced \"churn\" into %s\n" path
 
 let sections =
   [
@@ -1664,6 +1748,7 @@ let sections =
     ("perf", section_perf);
     ("micro", section_micro);
     ("scale", section_scale);
+    ("churn_routing", section_churn_routing);
   ]
 
 let set_jobs value =

@@ -375,6 +375,29 @@ let policy_flag_conflict ~policy ~key_ttl ~adaptive =
       (Pdht_util.Flags.conflicts ~dominant:"--policy"
          ~subsumed:[ ("--key-ttl", key_ttl <> None); ("--adaptive", adaptive) ])
 
+(* [--churn] takes an optional session spec in the
+   {!Pdht_dist.Session.of_string} grammar; the bare flag means the
+   historical default (exponential 10-minute uptimes, 75% availability
+   — see [churn_arg]'s [~vopt]).  An all-exponential spec normalises to
+   [Exponential_sessions], so it runs the exact pre-existing churn code
+   path; heavy-tailed legs become a [Sessions] plan. *)
+let churn_plan_of_flag = function
+  | None -> Ok Scenario.No_churn
+  | Some spec_str -> (
+      match Pdht_dist.Session.of_string spec_str with
+      | Error msg -> Error ("--churn: " ^ msg)
+      | Ok spec ->
+          if Pdht_dist.Session.is_exponential spec then
+            Ok
+              (Scenario.Exponential_sessions
+                 {
+                   mean_uptime = spec.Pdht_dist.Session.mean_uptime;
+                   mean_downtime = spec.Pdht_dist.Session.mean_downtime;
+                   initially_online_fraction =
+                     spec.Pdht_dist.Session.initially_online_fraction;
+                 })
+          else Ok (Scenario.Sessions spec))
+
 (* Scenario construction shared by [simulate] and [cluster], so a
    same-flag cluster run reproduces the simulator's workload exactly. *)
 let build_scenario ~preset ~peers ~keys ~fqry ~duration ~seed ~churn =
@@ -386,22 +409,20 @@ let build_scenario ~preset ~peers ~keys ~fqry ~duration ~seed ~churn =
           Error
             (Printf.sprintf "unknown preset %S; available: %s" name
                (String.concat ", " (List.map (fun (n, _, _) -> n) Scenario.presets))))
-  | None ->
-      Ok
-        {
-          Scenario.news_default with
-          Scenario.num_peers = peers;
-          keys;
-          f_qry = fqry;
-          duration;
-          seed;
-          churn =
-            (if churn then
-               Scenario.Exponential_sessions
-                 { mean_uptime = 600.; mean_downtime = 200.;
-                   initially_online_fraction = 0.75 }
-             else Scenario.No_churn);
-        }
+  | None -> (
+      match churn_plan_of_flag churn with
+      | Error _ as e -> e
+      | Ok churn ->
+          Ok
+            {
+              Scenario.news_default with
+              Scenario.num_peers = peers;
+              keys;
+              f_qry = fqry;
+              duration;
+              seed;
+              churn;
+            })
 
 let selection_policy_of_flags ~policy ~key_ttl ~adaptive =
   match policy with
@@ -424,7 +445,7 @@ let strategy_of_flag strategy ~scenario ~options =
 
 let run_simulate verbose log_level metrics_out trace_out trace_filter trace_sample
     timeline_out timeline_window preset peers keys repl stor fqry duration seed strategy
-    key_ttl adaptive policy churn jobs replicate net fault =
+    key_ttl adaptive policy churn bucket_refresh jobs replicate net fault =
   setup_logging verbose log_level;
   if jobs < 1 then `Error (false, "--jobs must be >= 1")
   else
@@ -435,6 +456,8 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
   else if trace_sample < 1 then `Error (false, "--trace-sample must be >= 1")
   else if (match timeline_window with Some w -> not (w > 0.) | None -> false) then
     `Error (false, "--timeline-window must be positive")
+  else if (match bucket_refresh with Some r -> not (r > 0.) | None -> false) then
+    `Error (false, "--bucket-refresh must be positive")
   else
   match net with
   | Error msg -> `Error (false, msg)
@@ -458,9 +481,16 @@ let run_simulate verbose log_level metrics_out trace_out trace_filter trace_samp
         | Some _, None -> Some 60.
         | None, None -> None
       in
+      (* [--bucket-refresh] only makes sense on Kademlia, and the CLI has
+         no backend flag, so the option implies the backend. *)
+      let backend =
+        match bucket_refresh with
+        | Some _ -> Some Pdht_dht.Dht.Kademlia_backend
+        | None -> None
+      in
       let options =
-        System.Options.make ~repl ~stor ~selection_policy ?net ?fault
-          ?timeline_window:timeline_width ()
+        System.Options.make ~repl ~stor ~selection_policy ?backend ?net ?fault
+          ?timeline_window:timeline_width ?bucket_refresh ()
       in
       let strategy = strategy_of_flag strategy ~scenario ~options in
       if replicate > 1 then begin
@@ -596,7 +626,28 @@ let simulate_cmd =
     Arg.(value & flag & info [ "adaptive" ] ~doc:"Enable the self-tuning keyTtl controller.")
   in
   let churn_arg =
-    Arg.(value & flag & info [ "churn" ] ~doc:"Enable peer churn (75% availability).")
+    Arg.(
+      value
+      & opt ~vopt:(Some "exp:up=600:down=200") (some string) None
+      & info [ "churn" ] ~docv:"SPEC"
+          ~doc:
+            "Enable peer churn.  Bare $(b,--churn) keeps the historical default \
+             (exponential sessions, 10-minute mean uptime, 75% availability).  \
+             SPEC is DIST[:up=S][:down=S][:sigma=X|:shape=X][:on=F] with DIST \
+             one of exp, lognormal, weibull, pareto; up/down are mean session \
+             seconds, sigma/shape the heavy-tail parameter, on the initial \
+             online fraction (default: stationary up/(up+down)).")
+  in
+  let bucket_refresh_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "bucket-refresh" ] ~docv:"SECS"
+          ~doc:
+            "Live Kademlia routing tables: mutable k-buckets with replacement \
+             caches and liveness probing, plus a stale-range refresh sweep \
+             every SECS simulated seconds.  Implies the Kademlia backend; \
+             probe traffic is charged to the maintenance account.")
   in
   let verbose_arg =
     Arg.(value & flag & info [ "verbose"; "v" ] ~doc:"Log run progress to stderr.")
@@ -679,7 +730,8 @@ let simulate_cmd =
          $ trace_out_arg $ trace_filter_arg $ trace_sample_arg $ timeline_out_arg
          $ timeline_window_arg $ preset_arg $ peers $ keys $ repl $ stor
          $ fqry $ duration_arg $ seed_arg $ strategy_arg $ ttl_arg $ adaptive_arg
-         $ policy_arg $ churn_arg $ jobs_arg $ replicate_arg $ net_term $ fault_term))
+         $ policy_arg $ churn_arg $ bucket_refresh_arg $ jobs_arg $ replicate_arg
+         $ net_term $ fault_term))
 
 (* ------------------------------------------------------------------ *)
 (* ttl *)
@@ -891,7 +943,14 @@ let cluster_cmd =
     Arg.(value & flag & info [ "adaptive" ] ~doc:"Enable the self-tuning keyTtl controller.")
   in
   let churn_arg =
-    Arg.(value & flag & info [ "churn" ] ~doc:"Enable peer churn (75% availability).")
+    Arg.(
+      value
+      & opt ~vopt:(Some "exp:up=600:down=200") (some string) None
+      & info [ "churn" ] ~docv:"SPEC"
+          ~doc:
+            "Enable peer churn.  Bare $(b,--churn) keeps the historical default \
+             (exponential sessions, 10-minute mean uptime, 75% availability); \
+             SPEC accepts the session grammar documented under $(b,simulate).")
   in
   Cmd.v (Cmd.info "cluster" ~doc)
     Term.(

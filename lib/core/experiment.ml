@@ -303,6 +303,161 @@ let churn_sensitivity ?jobs ?(options = System.default_options) ~scenario ~avail
       })
     availabilities reports
 
+type churn_routing_row = {
+  mean_session : float;
+  arm : string;
+  attempted : int;
+  success_rate : float;
+  mean_hops : float;
+  stale_route_rate : float;
+  maintenance_messages : int;
+  crtn : float;
+}
+
+(* E26: sustained-churn routing race — living vs frozen k-buckets.
+
+   A raw-Kademlia experiment in the style of [backend_ablation]: no
+   PDHT layer, so routing quality is isolated from index behaviour.
+   Per decade of mean session length, three arms replay the same
+   paired-seed table build, churn trajectory and workload:
+
+   - [baseline]: no churn, frozen tables — the success ceiling;
+   - [live]: heavy-tailed (Weibull shape 0.6) session churn against
+     living k-buckets, maintained at the paper's one probe per peer
+     per second plus a periodic bucket-refresh sweep; every probe
+     ladder is counted;
+   - [frozen]: the same churn against the static tables, with a probe
+     budget allotted tick by tick from the live arm's *measured* total
+     — equal maintenance spend, so the race compares disciplines, not
+     budgets.
+
+   Maintenance totals divided by (members x duration) give the
+   per-peer-per-second routing upkeep rate — the empirical cRtn the
+   analytical model only assumes (paper Section 3.3.1). *)
+let churn_routing ?jobs ~seed ~members ~duration ~mean_sessions () =
+  if members < 8 then invalid_arg "Experiment.churn_routing: need >= 8 members";
+  if not (duration > 0. && Float.is_finite duration) then
+    invalid_arg "Experiment.churn_routing: duration must be positive";
+  let module K = Pdht_dht.Kademlia in
+  let module S = Pdht_dist.Session in
+  let ticks = int_of_float (Float.ceil duration) in
+  let lookups_per_tick = max 1 (members / 50) in
+  let refresh_every = 30 in
+  let session_spec mean_session =
+    {
+      S.up = S.Weibull { shape = 0.6 };
+      down = S.Weibull { shape = 0.6 };
+      mean_uptime = mean_session;
+      mean_downtime = mean_session /. 2.;
+      initially_online_fraction = 2. /. 3.;
+    }
+  in
+  let run_decade idx mean_session =
+    if not (mean_session > 0. && Float.is_finite mean_session) then
+      invalid_arg "Experiment.churn_routing: mean sessions must be positive";
+    let spec = session_spec mean_session in
+    (* Per-decade deterministic sub-seeds: every arm rebuilds the same
+       table and replays the same churn trajectory and query stream. *)
+    let sub role = Pdht_util.Rng.derive_seed ~seed ~stream:((idx * 8) + role) in
+    (* [churned = false] -> the no-churn baseline (no maintenance);
+       [budget = None]  -> living tables at 1 probe/peer/s;
+       [budget = Some total] -> frozen tables on that equalised spend. *)
+    let run_arm ~arm ~churned ~budget =
+      let build_rng = Pdht_util.Rng.create ~seed:(sub 0) in
+      let churn_rng = Pdht_util.Rng.create ~seed:(sub 1) in
+      (* Sources and keys come from [work_rng] only; the lookup's own
+         internal draws use a separate stream, so arms that disagree on
+         routing state still replay the identical query sequence. *)
+      let work_rng = Pdht_util.Rng.create ~seed:(sub 2) in
+      let maint_rng = Pdht_util.Rng.create ~seed:(sub 3) in
+      let route_rng = Pdht_util.Rng.create ~seed:(sub 4) in
+      let dht = K.create build_rng ~members ~bucket_size:8 () in
+      if churned && budget = None then K.enable_live_routing dht;
+      let online_now = Array.make members true in
+      let next_toggle = Array.make members Float.infinity in
+      let draw_session p =
+        if online_now.(p) then S.draw churn_rng spec.S.up ~mean:spec.S.mean_uptime
+        else S.draw churn_rng spec.S.down ~mean:spec.S.mean_downtime
+      in
+      if churned then
+        for p = 0 to members - 1 do
+          online_now.(p) <-
+            Pdht_util.Rng.bernoulli churn_rng ~p:spec.S.initially_online_fraction;
+          next_toggle.(p) <- draw_session p
+        done;
+      let online p = online_now.(p) in
+      let attempted = ref 0 and successes = ref 0 and hops = ref 0 in
+      let maintenance = ref 0 in
+      for tick = 0 to ticks - 1 do
+        let now = float_of_int (tick + 1) in
+        if churned then
+          for p = 0 to members - 1 do
+            while next_toggle.(p) <= now do
+              let due = next_toggle.(p) in
+              online_now.(p) <- not online_now.(p);
+              next_toggle.(p) <- due +. draw_session p
+            done
+          done;
+        (match budget with
+        | None ->
+            if churned then begin
+              for p = 0 to members - 1 do
+                if online_now.(p) then
+                  maintenance :=
+                    !maintenance + K.probe_and_repair dht maint_rng ~online ~peer:p ~probes:1
+              done;
+              if (tick + 1) mod refresh_every = 0 then
+                maintenance := !maintenance + K.refresh_sweep dht maint_rng ~online
+            end
+        | Some total ->
+            (* Spend the equalised total linearly: by the end of tick k
+               the arm has sent (k+1)/ticks of it, one probe at a time
+               round-robin over the online members. *)
+            let due = total * (tick + 1) / ticks in
+            let owed = ref (due - !maintenance) in
+            let p = ref 0 and scanned = ref 0 in
+            while !owed > 0 && !scanned < 4 * members do
+              if online_now.(!p) then begin
+                let sent = K.probe_and_repair dht maint_rng ~online ~peer:!p ~probes:1 in
+                maintenance := !maintenance + sent;
+                owed := !owed - sent
+              end;
+              incr scanned;
+              p := (!p + 1) mod members
+            done);
+        for _ = 1 to lookups_per_tick do
+          let source = Pdht_util.Rng.int work_rng members in
+          let key = Pdht_util.Bitkey.random work_rng in
+          if online_now.(source) then begin
+            incr attempted;
+            let o = K.lookup dht route_rng ~online ~source ~key in
+            hops := !hops + o.K.hops;
+            if o.K.responsible <> None then incr successes
+          end
+        done
+      done;
+      let contacts, dead = K.contact_stats dht in
+      let attempted_f = float_of_int (max 1 !attempted) in
+      {
+        mean_session;
+        arm;
+        attempted = !attempted;
+        success_rate = float_of_int !successes /. attempted_f;
+        mean_hops = float_of_int !hops /. attempted_f;
+        stale_route_rate = float_of_int dead /. float_of_int (max 1 contacts);
+        maintenance_messages = !maintenance;
+        crtn = float_of_int !maintenance /. (float_of_int members *. duration);
+      }
+    in
+    let baseline = run_arm ~arm:"baseline" ~churned:false ~budget:None in
+    let live = run_arm ~arm:"live" ~churned:true ~budget:None in
+    let frozen =
+      run_arm ~arm:"frozen" ~churned:true ~budget:(Some live.maintenance_messages)
+    in
+    [ baseline; live; frozen ]
+  in
+  List.concat (Pool.map_list ?jobs ~f:run_decade mean_sessions)
+
 type workload_row = {
   workload : string;
   hit_rate : float;

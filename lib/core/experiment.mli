@@ -112,6 +112,38 @@ val churn_sensitivity :
 (** One partial-strategy run per availability level (1.0 = no churn;
     others use exponential sessions with 10-minute mean uptime). *)
 
+(** E26: sustained-churn routing race — living vs frozen k-buckets on a
+    raw Kademlia substrate, one triple of rows per decade of mean
+    session length. *)
+type churn_routing_row = {
+  mean_session : float;     (** mean online-session length, seconds *)
+  arm : string;             (** "baseline" / "live" / "frozen" *)
+  attempted : int;          (** lookups issued by online sources *)
+  success_rate : float;
+  mean_hops : float;
+  stale_route_rate : float; (** dead contacts / contacts *)
+  maintenance_messages : int;
+  crtn : float;             (** maintenance msgs / (members x seconds) —
+                                the measured per-peer upkeep rate *)
+}
+
+val churn_routing :
+  ?jobs:int ->
+  seed:int ->
+  members:int ->
+  duration:float ->
+  mean_sessions:float list ->
+  unit ->
+  churn_routing_row list
+(** Per mean session length, three paired-seed arms over an identical
+    query stream: a no-churn frozen [baseline]; [live] self-healing
+    k-buckets under heavy-tailed (Weibull shape 0.6, availability 2/3)
+    churn, maintained at 1 probe/peer/s plus periodic bucket refresh,
+    with every liveness-probe ladder counted; and [frozen] static
+    tables under the same churn given the live arm's measured
+    maintenance total as an equalised probe budget.  Requires
+    [members >= 8] and positive [duration] / session means. *)
+
 (** E13: how the index responds to workload shape. *)
 type workload_row = {
   workload : string;

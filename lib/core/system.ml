@@ -24,6 +24,7 @@ type options = {
   net : Pdht_net.Config.t option;
   fault : Pdht_fault.Plan.t option;
   timeline_window : float option;
+  bucket_refresh : float option;
 }
 
 let default_options =
@@ -39,11 +40,12 @@ let default_options =
     net = None;
     fault = None;
     timeline_window = None;
+    bucket_refresh = None;
   }
 
 module Options = struct
   let make ?repl ?stor ?backend ?env ?selection_policy ?sample_every
-      ?sizing_slack ?eviction ?net ?fault ?timeline_window () =
+      ?sizing_slack ?eviction ?net ?fault ?timeline_window ?bucket_refresh () =
     let d = default_options in
     let value default = function Some v -> v | None -> default in
     {
@@ -59,6 +61,8 @@ module Options = struct
       fault = (match fault with Some _ -> fault | None -> d.fault);
       timeline_window =
         (match timeline_window with Some _ -> timeline_window | None -> d.timeline_window);
+      bucket_refresh =
+        (match bucket_refresh with Some _ -> bucket_refresh | None -> d.bucket_refresh);
     }
 
   let with_repl repl options = { options with repl }
@@ -73,6 +77,8 @@ module Options = struct
   let without_fault options = { options with fault = None }
   let with_timeline_window w options = { options with timeline_window = Some w }
   let without_timeline options = { options with timeline_window = None }
+  let with_bucket_refresh r options = { options with bucket_refresh = Some r }
+  let without_bucket_refresh options = { options with bucket_refresh = None }
 end
 
 type sample = {
@@ -206,6 +212,8 @@ let build_churn scenario rng =
     ->
       Pdht_dht.Churn.create rng ~peers:scenario.Scenario.num_peers ~mean_uptime
         ~mean_downtime ~initially_online_fraction
+  | Scenario.Sessions spec ->
+      Pdht_dht.Churn.create_spec rng ~peers:scenario.Scenario.num_peers spec
 
 (* External execution driver: substitutes the protocol's store access
    (e.g. with wire-crossing closures to worker processes) and gets the
@@ -301,6 +309,22 @@ let run ?obs ?driver scenario strategy options =
         d.attach p;
         p
   in
+  (* Live routing tables (opt-in, Kademlia only): self-healing k-buckets
+     plus a periodic bucket-refresh sweep.  Enabling consumes no RNG, so
+     [bucket_refresh = None] runs stay byte-identical to the frozen
+     tables. *)
+  (match options.bucket_refresh with
+  | None -> ()
+  | Some r ->
+      if options.backend <> Pdht_dht.Dht.Kademlia_backend then
+        invalid_arg "System.run: bucket_refresh requires the Kademlia backend";
+      if not (r > 0.) then invalid_arg "System.run: bucket_refresh must be positive";
+      let probe_retries =
+        Pdht_net.Config.attempts
+          (match options.net with Some cfg -> cfg | None -> Pdht_net.Config.default)
+        - 1
+      in
+      Pdht_dht.Dht.enable_live_routing ~probe_retries (Pdht.dht pdht));
   let engine = Engine.create () in
   Engine.instrument engine obs.Obs.registry;
   (* Snapshots also drive the tracer's registered flushers, so schedule
@@ -320,7 +344,10 @@ let run ?obs ?driver scenario strategy options =
     match injector with
     | None -> Pdht_dht.Churn.online churn
     | Some (inj, _, _) ->
-        fun p -> Pdht_dht.Churn.online churn p && not (Pdht_fault.Injector.crashed inj p)
+        fun p ->
+          Pdht_dht.Churn.online churn p
+          && not (Pdht_fault.Injector.crashed inj p)
+          && not (Pdht_fault.Injector.plan_offline inj p)
   in
   Pdht.set_online pdht online_peer;
   (* Anti-entropy: under the index-everything baseline, a DHT member
@@ -344,8 +371,9 @@ let run ?obs ?driver scenario strategy options =
           Pdht_dht.Maintenance.env_from_trace ~maintenance_rate:1.0
             ~members:(max 2 active_members)
     in
-    Pdht_dht.Maintenance.attach ~obs engine ~dht:(Pdht.dht pdht) ~rng:maintenance_rng
-      ~online:online_member ~metrics:(Pdht.metrics pdht) ~env ~interval:10.
+    Pdht_dht.Maintenance.attach ~obs ?refresh_every:options.bucket_refresh engine
+      ~dht:(Pdht.dht pdht) ~rng:maintenance_rng ~online:online_member
+      ~metrics:(Pdht.metrics pdht) ~env ~interval:10.
   end;
   (* Adaptive TTL controller (extension). *)
   let adaptive =

@@ -49,6 +49,18 @@ type options = {
           and latency sums (plus an indexed-keys gauge at sample ticks)
           into a {!Pdht_obs.Timeline}, and the report gains its
           [timeline] summary. *)
+  bucket_refresh : float option;
+      (** live Kademlia routing tables (default [None] = the frozen
+          build-time snapshot — byte-identical to the historical
+          behaviour).  When set to a period in seconds, the Kademlia
+          backend's k-buckets become mutable and self-healing
+          (replacement caches, liveness probing on contact, eviction of
+          confirmed-dead entries) and the maintenance process runs a
+          bucket-refresh sweep over stale ranges every period.  Probe
+          ladders cost [Pdht_net.Config.attempts] messages per dead
+          peer (the default config's when [net] is off); everything is
+          charged to the [Maintenance] account.  [Invalid_argument]
+          with any other backend. *)
 }
 
 val default_options : options
@@ -68,6 +80,7 @@ module Options : sig
     ?net:Pdht_net.Config.t ->
     ?fault:Pdht_fault.Plan.t ->
     ?timeline_window:float ->
+    ?bucket_refresh:float ->
     unit ->
     options
   (** Unnamed arguments take their {!default_options} value. *)
@@ -84,6 +97,8 @@ module Options : sig
   val without_fault : options -> options
   val with_timeline_window : float -> options -> options
   val without_timeline : options -> options
+  val with_bucket_refresh : float -> options -> options
+  val without_bucket_refresh : options -> options
 end
 
 type sample = {

@@ -1,12 +1,27 @@
+module Session = Pdht_dist.Session
+
+type callback = peer:int -> now_online:bool -> time:float -> unit
+
 type t = {
   rng : Pdht_util.Rng.t option; (* None = static, always online *)
   online : bool array;
   mean_uptime : float;
   mean_downtime : float;
+  up_dist : Session.dist;
+  down_dist : Session.dist;
   mutable online_count : int;
   mutable session_changes : int;
-  mutable callbacks : (peer:int -> now_online:bool -> time:float -> unit) list;
+  (* Growable array, fired in registration order.  The old list-append
+     registration ([callbacks @ [f]]) was O(n^2) across n registrations
+     — quadratic in peers for per-peer rejoin hooks. *)
+  mutable callbacks : callback array;
+  mutable callback_count : int;
 }
+
+let make ~rng ~online ~mean_uptime ~mean_downtime ~up_dist ~down_dist =
+  let online_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 online in
+  { rng; online; mean_uptime; mean_downtime; up_dist; down_dist; online_count;
+    session_changes = 0; callbacks = [||]; callback_count = 0 }
 
 let create rng ~peers ~mean_uptime ~mean_downtime ~initially_online_fraction =
   if peers < 1 then invalid_arg "Churn.create: need >= 1 peer";
@@ -17,14 +32,28 @@ let create rng ~peers ~mean_uptime ~mean_downtime ~initially_online_fraction =
   let online =
     Array.init peers (fun _ -> Pdht_util.Rng.bernoulli rng ~p:initially_online_fraction)
   in
-  let online_count = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 online in
-  { rng = Some rng; online; mean_uptime; mean_downtime; online_count;
-    session_changes = 0; callbacks = [] }
+  make ~rng:(Some rng) ~online ~mean_uptime ~mean_downtime
+    ~up_dist:Session.Exponential ~down_dist:Session.Exponential
+
+let create_spec rng ~peers (spec : Session.spec) =
+  if peers < 1 then invalid_arg "Churn.create_spec: need >= 1 peer";
+  let spec =
+    match Session.validate spec with
+    | Ok s -> s
+    | Error msg -> invalid_arg ("Churn.create_spec: " ^ msg)
+  in
+  let online =
+    Array.init peers (fun _ ->
+        Pdht_util.Rng.bernoulli rng ~p:spec.Session.initially_online_fraction)
+  in
+  make ~rng:(Some rng) ~online ~mean_uptime:spec.Session.mean_uptime
+    ~mean_downtime:spec.Session.mean_downtime ~up_dist:spec.Session.up
+    ~down_dist:spec.Session.down
 
 let always_online ~peers =
   if peers < 1 then invalid_arg "Churn.always_online: need >= 1 peer";
-  { rng = None; online = Array.make peers true; mean_uptime = 1.; mean_downtime = 1.;
-    online_count = peers; session_changes = 0; callbacks = [] }
+  make ~rng:None ~online:(Array.make peers true) ~mean_uptime:1. ~mean_downtime:1.
+    ~up_dist:Session.Exponential ~down_dist:Session.Exponential
 
 let peers t = Array.length t.online
 let online t p = t.online.(p)
@@ -35,7 +64,15 @@ let availability t =
   | None -> 1.
   | Some _ -> t.mean_uptime /. (t.mean_uptime +. t.mean_downtime)
 
-let on_toggle t f = t.callbacks <- t.callbacks @ [ f ]
+let on_toggle t f =
+  if t.callback_count = Array.length t.callbacks then begin
+    let bigger = Array.make (max 4 (2 * t.callback_count)) f in
+    Array.blit t.callbacks 0 bigger 0 t.callback_count;
+    t.callbacks <- bigger
+  end;
+  t.callbacks.(t.callback_count) <- f;
+  t.callback_count <- t.callback_count + 1
+
 let session_changes t = t.session_changes
 
 let toggle t peer time =
@@ -43,7 +80,9 @@ let toggle t peer time =
   t.online.(peer) <- now_online;
   t.online_count <- t.online_count + (if now_online then 1 else -1);
   t.session_changes <- t.session_changes + 1;
-  List.iter (fun f -> f ~peer ~now_online ~time) t.callbacks
+  for i = 0 to t.callback_count - 1 do
+    t.callbacks.(i) ~peer ~now_online ~time
+  done
 
 let instrument t (obs : Pdht_obs.Context.t) =
   let module R = Pdht_obs.Registry in
@@ -73,10 +112,20 @@ let attach t engine =
   | None -> ()
   | Some rng ->
       let next_duration peer =
-        let rate =
-          if t.online.(peer) then 1. /. t.mean_uptime else 1. /. t.mean_downtime
-        in
-        Pdht_util.Rng.exponential rng ~rate
+        (* The exponential legs keep the exact historical draw (one
+           uniform through [Rng.exponential]), so pre-existing runs
+           stay byte-identical; heavy-tailed legs go through
+           {!Pdht_dist.Session.draw}. *)
+        if t.online.(peer) then
+          match t.up_dist with
+          | Session.Exponential ->
+              Pdht_util.Rng.exponential rng ~rate:(1. /. t.mean_uptime)
+          | d -> Session.draw rng d ~mean:t.mean_uptime
+        else
+          match t.down_dist with
+          | Session.Exponential ->
+              Pdht_util.Rng.exponential rng ~rate:(1. /. t.mean_downtime)
+          | d -> Session.draw rng d ~mean:t.mean_downtime
       in
       let rec schedule_toggle peer delay =
         Pdht_sim.Engine.schedule engine ~delay (fun eng ->

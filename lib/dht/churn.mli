@@ -2,13 +2,16 @@
 
     "Peers continuously join and leave the system" (paper Section
     3.3.1); P2P clients are "extremely transient" [ChRa03].  Each peer
-    alternates independently between online sessions and offline gaps
-    with exponentially distributed durations, the standard model fit to
-    Gnutella traces in [MaCa03].
+    alternates independently between online sessions and offline gaps.
+    The classic fit to Gnutella traces [MaCa03] uses exponential
+    durations ({!create}); later DHT measurement work finds
+    heavy-tailed session lengths, which {!create_spec} models through a
+    {!Pdht_dist.Session.spec} (lognormal / Weibull / Pareto legs,
+    exponential unchanged as the default).
 
     The model is driven by a {!Pdht_sim.Engine}: [attach] schedules the
     on/off toggle events.  Without an engine it can also be stepped
-    manually with [advance_to]. *)
+    manually with [toggle]. *)
 
 type t
 
@@ -19,8 +22,14 @@ val create :
   mean_downtime:float ->
   initially_online_fraction:float ->
   t
-(** Durations in seconds, both strictly positive.  Each peer starts
-    online with probability [initially_online_fraction]. *)
+(** Exponential sessions.  Durations in seconds, both strictly
+    positive.  Each peer starts online with probability
+    [initially_online_fraction]. *)
+
+val create_spec : Pdht_util.Rng.t -> peers:int -> Pdht_dist.Session.spec -> t
+(** General session-length distributions.  The spec is validated
+    ([Invalid_argument] on a bad one); an all-exponential spec behaves
+    exactly like {!create} with the same parameters. *)
 
 val always_online : peers:int -> t
 (** Degenerate model with no churn (for model-validation runs). *)
@@ -45,7 +54,14 @@ val instrument : t -> Pdht_obs.Context.t -> unit
 
 val on_toggle : t -> (peer:int -> now_online:bool -> time:float -> unit) -> unit
 (** Register a callback fired at every session transition (after the
-    state change).  Multiple callbacks run in registration order. *)
+    state change).  Callbacks run in registration order; registration
+    is amortised O(1) (a growable array — the per-peer rejoin hooks
+    register thousands of callbacks). *)
+
+val toggle : t -> int -> float -> unit
+(** [toggle t peer time] flips the peer's session state now and fires
+    every registered callback — the manual stepping primitive behind
+    [attach], exposed for drivers and tests. *)
 
 val session_changes : t -> int
 (** Total number of transitions so far (a churn-intensity measure). *)

@@ -99,3 +99,21 @@ let routing_table_size t p =
   | Pastry pa -> Pastry.routing_table_size pa p
 
 let expected_lookup_messages t = Chord.expected_lookup_messages ~members:(members t)
+
+let enable_live_routing ?probe_retries t =
+  match t.impl with
+  | Kademlia k -> Kademlia.enable_live_routing ?probe_retries k
+  | Chord _ | Pgrid _ | Pastry _ ->
+      invalid_arg "Dht.enable_live_routing: only the Kademlia backend has live k-buckets"
+
+let live_routing t =
+  match t.impl with Kademlia k -> Kademlia.live_routing k | _ -> false
+
+let refresh_sweep t rng ~online =
+  match t.impl with Kademlia k -> Kademlia.refresh_sweep k rng ~online | _ -> 0
+
+let drain_probe_cost t =
+  match t.impl with Kademlia k -> Kademlia.drain_probe_cost k | _ -> 0
+
+let contact_stats t =
+  match t.impl with Kademlia k -> Some (Kademlia.contact_stats k) | _ -> None

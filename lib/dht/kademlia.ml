@@ -1,5 +1,6 @@
 module Bitkey = Pdht_util.Bitkey
 module Rng = Pdht_util.Rng
+module Rules = Pdht_proto.Bucket_rules
 
 (* Flat-state Kademlia.  Ids double as their own int keys: [sorted_ids]
    holds the raw 62-bit ids in ascending order with [sorted_members]
@@ -11,6 +12,28 @@ module Rng = Pdht_util.Rng
    full sort / full scan.  Lookups run on generation-stamped scratch
    owned by [t] (the PR 3 [Scratch] discipline): no per-lookup
    Hashtbls, no per-round candidate lists. *)
+(* Live routing state (opt-in): mutable k-buckets with LRS..MRS order,
+   a per-bucket replacement cache, and the counters the churn
+   experiments read.  [None] = the frozen reservoir tables below, the
+   exact pre-existing behaviour. *)
+type live = {
+  lbuckets : int array array array; (* member -> cpl bucket -> k slots *)
+  llen : int array array; (* occupancy; slot 0 = least-recently-seen *)
+  cache : int array array array; (* replacement cache, oldest first *)
+  clen : int array array;
+  touched : bool array array; (* contact since the last refresh sweep *)
+  range_nonempty : bool array array; (* does anyone live in this range *)
+  probe_retries : int; (* dead-probe retry ladder (Rpc_machine schedule) *)
+  mutable pending_probe_cost : int; (* contact-driven probes, undrained *)
+  mutable probes : int;
+  mutable probe_messages : int;
+  mutable refresh_messages : int;
+  mutable evictions : int;
+  mutable promotions : int;
+  mutable insertions : int;
+  mutable cache_fills : int;
+}
+
 type t = {
   ids : Bitkey.t array; (* member -> id *)
   sorted_ids : int array; (* raw ids, ascending *)
@@ -18,6 +41,12 @@ type t = {
   buckets : int array array array; (* member -> cpl bucket -> entries *)
   bucket_size : int;
   alpha : int;
+  mutable live : live option;
+  (* lookup contact accounting (both table modes): how many contact
+     attempts the iterative searches made, and how many hit a peer that
+     turned out dead — the numerator of the stale-route rate. *)
+  mutable contacts : int;
+  mutable dead_contacts : int;
   (* per-lookup scratch; a slot is live iff its stamp equals the
      current generation *)
   mutable generation : int;
@@ -176,6 +205,9 @@ let create rng ~members:n ?(bucket_size = 8) ?(alpha = 3) () =
     buckets;
     bucket_size;
     alpha;
+    live = None;
+    contacts = 0;
+    dead_contacts = 0;
     generation = 0;
     cand_stamp = Array.make n 0;
     contacted_stamp = Array.make n 0;
@@ -187,6 +219,270 @@ let create rng ~members:n ?(bucket_size = 8) ?(alpha = 3) () =
     batch_dist = Array.make alpha 0;
     batch_buf = Array.make alpha 0;
   }
+
+let bucket_of t m other =
+  min (Bitkey.common_prefix_length t.ids.(m) t.ids.(other)) (Bitkey.width - 1)
+
+let live_routing t = t.live <> None
+
+(* Which cpl buckets of member [m] cover a non-empty id range: one walk
+   down the implicit trie — at depth [d] the segment shares [m]'s first
+   [d] bits, and the opposite child holds exactly the members at cpl
+   [d].  O(width + log n) per member, so enabling live routing stays
+   cheap at scale. *)
+let compute_range_nonempty t m =
+  let out = Array.make Bitkey.width false in
+  let keybits = Bitkey.to_int t.ids.(m) in
+  let lo = ref 0 and hi = ref (members t) and depth = ref 0 in
+  while !hi - !lo > 1 && !depth < Bitkey.width do
+    let mid = split t !lo !hi !depth in
+    let bit_set = keybits land (1 lsl (Bitkey.width - 1 - !depth)) <> 0 in
+    let diff = if bit_set then mid - !lo else !hi - mid in
+    if diff > 0 then out.(!depth) <- true;
+    if bit_set then lo := mid else hi := mid;
+    incr depth
+  done;
+  out
+
+(* Switch the member tables from the frozen reservoir arrays to living
+   k-buckets, seeded from the reservoir contents (existing entries
+   become the initial LRS..MRS order).  No RNG is consumed: enabling
+   live routing after [create] leaves every stream exactly where the
+   frozen path would have it. *)
+let enable_live_routing ?(probe_retries = 3) t =
+  if probe_retries < 0 then
+    invalid_arg "Kademlia.enable_live_routing: negative probe_retries";
+  if t.live = None then begin
+    let n = members t in
+    let k = t.bucket_size in
+    let lbuckets = Array.init n (fun _ -> Array.init Bitkey.width (fun _ -> Array.make k 0)) in
+    let llen = Array.init n (fun _ -> Array.make Bitkey.width 0) in
+    for m = 0 to n - 1 do
+      Array.iteri
+        (fun b entries ->
+          let take = min (Array.length entries) k in
+          Array.blit entries 0 lbuckets.(m).(b) 0 take;
+          llen.(m).(b) <- take)
+        t.buckets.(m)
+    done;
+    t.live <-
+      Some
+        {
+          lbuckets;
+          llen;
+          cache = Array.init n (fun _ -> Array.init Bitkey.width (fun _ -> Array.make k 0));
+          clen = Array.init n (fun _ -> Array.make Bitkey.width 0);
+          touched = Array.init n (fun _ -> Array.make Bitkey.width false);
+          range_nonempty = Array.init n (fun m -> compute_range_nonempty t m);
+          probe_retries;
+          pending_probe_cost = 0;
+          probes = 0;
+          probe_messages = 0;
+          refresh_messages = 0;
+          evictions = 0;
+          promotions = 0;
+          insertions = 0;
+          cache_fills = 0;
+        }
+  end
+
+(* Index of [peer] in the first [len] slots of [arr], or -1. *)
+let slot_of arr len peer =
+  let found = ref (-1) in
+  let i = ref 0 in
+  while !found < 0 && !i < len do
+    if arr.(!i) = peer then found := !i;
+    incr i
+  done;
+  !found
+
+(* Remove slot [i], keeping order (shift the tail left). *)
+let remove_slot arr len i =
+  Array.blit arr (i + 1) arr i (len - i - 1)
+
+(* Append at the most-recently-seen end of the replacement cache,
+   displacing the oldest entry when full. *)
+let cache_add lv ~owner ~bucket peer =
+  let arr = lv.cache.(owner).(bucket) in
+  let len = lv.clen.(owner).(bucket) in
+  let i = slot_of arr len peer in
+  if i >= 0 then begin
+    remove_slot arr len i;
+    arr.(len - 1) <- peer
+  end
+  else if len < Array.length arr then begin
+    arr.(len) <- peer;
+    lv.clen.(owner).(bucket) <- len + 1
+  end
+  else begin
+    remove_slot arr len 0;
+    arr.(len - 1) <- peer
+  end
+
+(* Pop the most recently cached entry of the bucket, if any. *)
+let cache_pop lv ~owner ~bucket =
+  let len = lv.clen.(owner).(bucket) in
+  if len = 0 then None
+  else begin
+    lv.clen.(owner).(bucket) <- len - 1;
+    Some lv.cache.(owner).(bucket).(len - 1)
+  end
+
+let cache_remove lv ~owner ~bucket peer =
+  let arr = lv.cache.(owner).(bucket) in
+  let len = lv.clen.(owner).(bucket) in
+  let i = slot_of arr len peer in
+  if i >= 0 then begin
+    remove_slot arr len i;
+    lv.clen.(owner).(bucket) <- len - 1
+  end
+
+(* [owner] just heard from [peer] (a lookup contact, either direction).
+   Apply the Kademlia rule: promote if present, insert if room,
+   otherwise liveness-probe the least-recently-seen entry and evict or
+   keep.  The probe is a real maintenance message: an alive entry costs
+   one probe, a dead one the whole timeout ladder; both accrue in
+   [pending_probe_cost] until the maintenance tick drains them. *)
+let note_contact t lv ~online ~owner ~peer =
+  if owner <> peer then begin
+    let b = bucket_of t owner peer in
+    let arr = lv.lbuckets.(owner).(b) in
+    let len = lv.llen.(owner).(b) in
+    let i = slot_of arr len peer in
+    lv.touched.(owner).(b) <- true;
+    match Rules.on_contact
+            { Rules.occupancy = len; capacity = t.bucket_size; present = i >= 0 }
+    with
+    | Rules.Promote ->
+        remove_slot arr len i;
+        arr.(len - 1) <- peer;
+        lv.promotions <- lv.promotions + 1
+    | Rules.Insert ->
+        arr.(len) <- peer;
+        lv.llen.(owner).(b) <- len + 1;
+        lv.insertions <- lv.insertions + 1
+    | Rules.Probe_lrs -> (
+        let lrs = arr.(0) in
+        let alive = online lrs in
+        let cost = Rules.probe_messages ~retries:lv.probe_retries ~alive in
+        lv.probes <- lv.probes + 1;
+        lv.probe_messages <- lv.probe_messages + cost;
+        lv.pending_probe_cost <- lv.pending_probe_cost + cost;
+        match Rules.on_probe (if alive then Rules.Lrs_alive else Rules.Lrs_dead) with
+        | Rules.Keep_old_cache_new ->
+            remove_slot arr len 0;
+            arr.(len - 1) <- lrs;
+            cache_add lv ~owner ~bucket:b peer
+        | Rules.Evict_insert_new ->
+            remove_slot arr len 0;
+            arr.(len - 1) <- peer;
+            lv.evictions <- lv.evictions + 1)
+  end
+
+(* A lookup contact to [peer] timed out: route around it.  With a
+   replacement cached, evict and back-fill; with an empty cache, KEEP
+   the entry but demote it to least-recently-seen — Kademlia never
+   discards a route it cannot replace (a stale route beats a shorter
+   table, and under session churn the peer usually comes back).  The
+   demoted entry is the next liveness probe's first target. *)
+let note_dead t lv ~owner ~peer =
+  if owner <> peer then begin
+    let b = bucket_of t owner peer in
+    let arr = lv.lbuckets.(owner).(b) in
+    let len = lv.llen.(owner).(b) in
+    cache_remove lv ~owner ~bucket:b peer;
+    let i = slot_of arr len peer in
+    if i >= 0 then begin
+      lv.touched.(owner).(b) <- true;
+      match cache_pop lv ~owner ~bucket:b with
+      | Some fill ->
+          remove_slot arr len i;
+          arr.(len - 1) <- fill;
+          lv.cache_fills <- lv.cache_fills + 1
+      | None ->
+          for j = i downto 1 do
+            arr.(j) <- arr.(j - 1)
+          done;
+          arr.(0) <- peer
+    end
+  end
+
+type live_stats = {
+  probes : int;
+  probe_messages : int;
+  refresh_messages : int;
+  evictions : int;
+  promotions : int;
+  insertions : int;
+  cache_fills : int;
+}
+
+let live_stats t =
+  Option.map
+    (fun (lv : live) ->
+      {
+        probes = lv.probes;
+        probe_messages = lv.probe_messages;
+        refresh_messages = lv.refresh_messages;
+        evictions = lv.evictions;
+        promotions = lv.promotions;
+        insertions = lv.insertions;
+        cache_fills = lv.cache_fills;
+      })
+    t.live
+
+let contact_stats t = (t.contacts, t.dead_contacts)
+
+let drain_probe_cost t =
+  match t.live with
+  | None -> 0
+  | Some lv ->
+      let c = lv.pending_probe_cost in
+      lv.pending_probe_cost <- 0;
+      c
+
+(* One refresh pass: every online member re-looks-up each bucket range
+   that saw no contact since the previous sweep (and is non-empty in
+   the global id space — ranges nobody occupies are never refreshable).
+   A refresh costs the lookup's [alpha] probes plus one FIND_NODE-style
+   exchange per fresh entry learned; learned entries are live members
+   of the range, found by bounded sampling as in the frozen repair. *)
+let refresh_sweep t rng ~online =
+  match t.live with
+  | None -> 0
+  | Some lv ->
+      let n = members t in
+      let messages = ref 0 in
+      for m = 0 to n - 1 do
+        if online m then begin
+          let tb = lv.touched.(m) in
+          for b = 0 to Bitkey.width - 1 do
+            if lv.range_nonempty.(m).(b) && not tb.(b) then begin
+              messages := !messages + t.alpha;
+              let arr = lv.lbuckets.(m).(b) in
+              let missing = t.bucket_size - lv.llen.(m).(b) in
+              let attempts = ref (30 * max 1 missing) in
+              while lv.llen.(m).(b) < t.bucket_size && !attempts > 0 do
+                decr attempts;
+                let cand = Rng.int rng n in
+                if
+                  cand <> m && online cand
+                  && bucket_of t m cand = b
+                  && slot_of arr lv.llen.(m).(b) cand < 0
+                then begin
+                  let len = lv.llen.(m).(b) in
+                  arr.(len) <- cand;
+                  lv.llen.(m).(b) <- len + 1;
+                  incr messages
+                end
+              done
+            end;
+            tb.(b) <- false
+          done
+        end
+      done;
+      lv.refresh_messages <- lv.refresh_messages + !messages;
+      !messages
 
 type outcome = { responsible : int option; messages : int; hops : int }
 
@@ -248,15 +544,28 @@ let lookup ?span ?deliver t rng ~online ~source ~key =
            list. *)
         let add_closest_in_table member =
           let len = ref 0 in
-          let buckets = t.buckets.(member) in
-          for b = 0 to Array.length buckets - 1 do
-            let bucket = buckets.(b) in
-            for i = 0 to Array.length bucket - 1 do
-              t.table_buf.(!len) <- bucket.(i);
-              t.table_dist.(!len) <- distance key t.ids.(bucket.(i));
-              incr len
-            done
-          done;
+          (match t.live with
+          | Some lv ->
+              let buckets = lv.lbuckets.(member) in
+              let lens = lv.llen.(member) in
+              for b = 0 to Array.length buckets - 1 do
+                let bucket = buckets.(b) in
+                for i = 0 to lens.(b) - 1 do
+                  t.table_buf.(!len) <- bucket.(i);
+                  t.table_dist.(!len) <- distance key t.ids.(bucket.(i));
+                  incr len
+                done
+              done
+          | None ->
+              let buckets = t.buckets.(member) in
+              for b = 0 to Array.length buckets - 1 do
+                let bucket = buckets.(b) in
+                for i = 0 to Array.length bucket - 1 do
+                  t.table_buf.(!len) <- bucket.(i);
+                  t.table_dist.(!len) <- distance key t.ids.(bucket.(i));
+                  incr len
+                done
+              done);
           sort_pairs t.table_dist t.table_buf 0 !len;
           let take = min !len t.bucket_size in
           for i = 0 to take - 1 do
@@ -305,6 +614,7 @@ let lookup ?span ?deliver t rng ~online ~source ~key =
             for i = 0 to !batch_len - 1 do
               let m = t.batch_buf.(i) in
               incr messages;
+              t.contacts <- t.contacts + 1;
               (* The iterative caller contacts each candidate directly;
                  under the network model that contact is one RPC
                  (consulted only for live candidates — offline ones
@@ -319,9 +629,22 @@ let lookup ?span ?deliver t rng ~online ~source ~key =
                 t.contacted_stamp.(m) <- gen;
                 if distance key t.ids.(m) < distance key t.ids.(!best_online) then
                   best_online := m;
-                add_closest_in_table m
+                add_closest_in_table m;
+                (* Living tables learn from the contact in both
+                   directions, as real FIND_NODE traffic does. *)
+                match t.live with
+                | Some lv ->
+                    note_contact t lv ~online ~owner:source ~peer:m;
+                    note_contact t lv ~online ~owner:m ~peer:source
+                | None -> ()
               end
-              else t.dead_stamp.(m) <- gen
+              else begin
+                t.dead_stamp.(m) <- gen;
+                t.dead_contacts <- t.dead_contacts + 1;
+                match t.live with
+                | Some lv -> note_dead t lv ~owner:source ~peer:m
+                | None -> ()
+              end
             done;
             if !best_online = target then finished := true
           end
@@ -330,10 +653,18 @@ let lookup ?span ?deliver t rng ~online ~source ~key =
         { responsible = result; messages = !messages; hops = !hops }
 
 let bucket_count t m =
-  Array.fold_left (fun acc b -> if Array.length b > 0 then acc + 1 else acc) 0 t.buckets.(m)
+  match t.live with
+  | Some lv ->
+      Array.fold_left (fun acc len -> if len > 0 then acc + 1 else acc) 0 lv.llen.(m)
+  | None ->
+      Array.fold_left
+        (fun acc b -> if Array.length b > 0 then acc + 1 else acc)
+        0 t.buckets.(m)
 
 let routing_table_size t m =
-  Array.fold_left (fun acc b -> acc + Array.length b) 0 t.buckets.(m)
+  match t.live with
+  | Some lv -> Array.fold_left ( + ) 0 lv.llen.(m)
+  | None -> Array.fold_left (fun acc b -> acc + Array.length b) 0 t.buckets.(m)
 
 (* Crash-stop state loss: empty every k-bucket of [peer].  Lookups from
    the member then start with no candidates and fail immediately (miss
@@ -343,7 +674,13 @@ let forget_routes t ~peer =
   let buckets = t.buckets.(peer) in
   for b = 0 to Array.length buckets - 1 do
     buckets.(b) <- [||]
-  done
+  done;
+  match t.live with
+  | Some lv ->
+      Array.fill lv.llen.(peer) 0 Bitkey.width 0;
+      Array.fill lv.clen.(peer) 0 Bitkey.width 0;
+      Array.fill lv.touched.(peer) 0 Bitkey.width false
+  | None -> ()
 
 (* Rejoin: repopulate [peer]'s k-buckets with the construction-time
    reservoir pass (uniform bucket membership among eligible members).
@@ -374,10 +711,104 @@ let rebuild_routes t rng ~peer =
       t.buckets.(peer).(b) <- arr;
       messages := !messages + Array.length arr)
     per_bucket;
+  (match t.live with
+  | Some lv ->
+      (* Seed the living table from the freshly joined reservoir (same
+         draws as the frozen path, so stream parity holds per mode). *)
+      for b = 0 to Bitkey.width - 1 do
+        let entries = t.buckets.(peer).(b) in
+        let take = min (Array.length entries) t.bucket_size in
+        Array.blit entries 0 lv.lbuckets.(peer).(b) 0 take;
+        lv.llen.(peer).(b) <- take;
+        lv.clen.(peer).(b) <- 0;
+        lv.touched.(peer).(b) <- true
+      done
+  | None -> ());
   !messages
+
+(* Living-table maintenance: each budgeted probe liveness-checks the
+   least-recently-seen entry of a random non-empty bucket — the entry
+   the Kademlia rule says to distrust first.  An alive entry rotates to
+   most-recently-seen for one message; a dead one eats the full retry
+   ladder, is evicted, and the bucket back-fills from the replacement
+   cache.  The return value also drains the contact-driven probe cost
+   accrued by lookups since the last tick, so every probe message ends
+   up charged to the maintenance account exactly once. *)
+let live_probe_and_repair t lv rng ~online ~peer ~probes =
+  let lens = lv.llen.(peer) in
+  let nonempty = ref [] in
+  let count = ref 0 in
+  for b = Bitkey.width - 1 downto 0 do
+    if lens.(b) > 0 then begin
+      nonempty := b :: !nonempty;
+      incr count
+    end
+  done;
+  let sent = ref (drain_probe_cost t) in
+  if !count > 0 then begin
+    let nonempty = Array.of_list !nonempty in
+    for _ = 1 to probes do
+      let b = nonempty.(Rng.int rng !count) in
+      let len = lens.(b) in
+      if len > 0 then begin
+        let arr = lv.lbuckets.(peer).(b) in
+        let lrs = arr.(0) in
+        let alive = online lrs in
+        let cost = Rules.probe_messages ~retries:lv.probe_retries ~alive in
+        lv.probes <- lv.probes + 1;
+        lv.probe_messages <- lv.probe_messages + cost;
+        sent := !sent + cost;
+        lv.touched.(peer).(b) <- true;
+        (match Rules.on_probe (if alive then Rules.Lrs_alive else Rules.Lrs_dead) with
+        | Rules.Keep_old_cache_new ->
+            remove_slot arr len 0;
+            arr.(len - 1) <- lrs
+        | Rules.Evict_insert_new -> (
+            (* The full retry ladder confirmed the entry dead — unlike
+               a single lookup timeout ([note_dead] demotes but keeps),
+               this is strong enough evidence to evict outright.  Refill
+               from the replacement cache if possible, else learn a live
+               member of the range (the shared [MaCa03] repair
+               discipline, one exchange per entry learned).  If the
+               range offers no live member right now the bucket stays
+               short until a later contact or refresh sweep back-fills
+               it. *)
+            remove_slot arr len 0;
+            lens.(b) <- len - 1;
+            lv.evictions <- lv.evictions + 1;
+            match cache_pop lv ~owner:peer ~bucket:b with
+            | Some fill ->
+                arr.(len - 1) <- fill;
+                lens.(b) <- len;
+                lv.cache_fills <- lv.cache_fills + 1
+            | None ->
+                let n = members t in
+                let attempts = ref 30 in
+                let found = ref false in
+                while (not !found) && !attempts > 0 do
+                  decr attempts;
+                  let cand = Rng.int rng n in
+                  if
+                    cand <> peer && online cand
+                    && bucket_of t peer cand = b
+                    && slot_of arr (len - 1) cand < 0
+                  then begin
+                    arr.(len - 1) <- cand;
+                    lens.(b) <- len;
+                    incr sent;
+                    found := true
+                  end
+                done))
+      end
+    done
+  end;
+  !sent
 
 let probe_and_repair t rng ~online ~peer ~probes =
   if probes < 0 then invalid_arg "Kademlia.probe_and_repair: negative probes";
+  match t.live with
+  | Some lv -> live_probe_and_repair t lv rng ~online ~peer ~probes
+  | None ->
   let nonempty =
     Array.to_list (Array.mapi (fun i b -> (i, b)) t.buckets.(peer))
     |> List.filter (fun (_, b) -> Array.length b > 0)

@@ -8,7 +8,20 @@
     per round, for the usual O(log n) message cost.
 
     Like the other substrates, membership is fixed at construction and
-    churn is an [online] predicate supplied per call. *)
+    churn is an [online] predicate supplied per call.
+
+    Two table modes.  The default ("frozen") tables are the original
+    reservoir-sampled construction: static buckets that only
+    {!probe_and_repair} and {!rebuild_routes} touch.  Opting in with
+    {!enable_live_routing} turns every member's table into living
+    k-buckets in least-recently-seen order with a per-bucket
+    replacement cache, maintained by the {!Pdht_proto.Bucket_rules}
+    discipline: lookup contacts promote or insert, full buckets
+    liveness-probe their LRS entry before admitting a newcomer,
+    evictions back-fill from the cache, and {!refresh_sweep}
+    re-populates ranges no contact has touched.  All probe traffic is
+    counted and drained through the maintenance account, giving the
+    measured [cRtn] the paper only assumes. *)
 
 type t
 
@@ -70,4 +83,50 @@ val forget_routes : t -> peer:int -> unit
 val rebuild_routes : t -> Pdht_util.Rng.t -> peer:int -> int
 (** Rejoin: repopulate the member's k-buckets with the construction-time
     reservoir sampling.  Returns the message cost — one FIND_NODE-style
-    exchange per entry learned. *)
+    exchange per entry learned.  In live mode the living table is
+    re-seeded from the same draws (cache emptied). *)
+
+(** {2 Live routing tables} *)
+
+val enable_live_routing : ?probe_retries:int -> t -> unit
+(** Switch to living k-buckets, seeded from the current frozen tables.
+    Consumes no randomness, so enabling after {!create} leaves every
+    RNG stream untouched.  [probe_retries] (default 3, the
+    {!Pdht_net.Config} default ladder) sets the message cost of a
+    liveness probe that times out: [1 + probe_retries] attempts.
+    Idempotent; cannot be undone. *)
+
+val live_routing : t -> bool
+
+val refresh_sweep : t -> Pdht_util.Rng.t -> online:(int -> bool) -> int
+(** One bucket-refresh pass over every online member: each non-empty id
+    range that saw no contact since the previous sweep gets a refresh
+    lookup ([alpha] probes plus one exchange per live entry learned).
+    Returns the message cost; 0 in frozen mode.  The caller charges the
+    cost to maintenance. *)
+
+val drain_probe_cost : t -> int
+(** Probe messages accrued by lookup-driven bucket updates since the
+    last drain (eviction-rule liveness probes, including full timeout
+    ladders for dead entries).  {!probe_and_repair} drains implicitly;
+    drivers without a maintenance tick can drain and charge manually.
+    Always 0 in frozen mode. *)
+
+type live_stats = {
+  probes : int;            (** liveness probes sent (contact + tick) *)
+  probe_messages : int;    (** probe cost incl. dead-entry retry ladders *)
+  refresh_messages : int;  (** refresh-sweep traffic *)
+  evictions : int;         (** dead LRS entries evicted *)
+  promotions : int;        (** contacts moving an entry to MRS *)
+  insertions : int;        (** newcomers admitted to a bucket with room *)
+  cache_fills : int;       (** bucket back-fills from the replacement cache *)
+}
+
+val live_stats : t -> live_stats option
+(** Whole-run counters; [None] in frozen mode. *)
+
+val contact_stats : t -> int * int
+(** [(contacts, dead_contacts)] across all lookups so far, in either
+    table mode: every contact attempt the iterative searches made, and
+    how many hit a peer that turned out dead — the stale-route rate is
+    [dead / contacts]. *)

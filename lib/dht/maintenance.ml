@@ -8,7 +8,7 @@ let env_from_trace ~maintenance_rate ~members =
   if members < 2 then invalid_arg "Maintenance.env_from_trace: need >= 2 members";
   maintenance_rate /. log2 (float_of_int members)
 
-let attach ?obs engine ~dht ~rng ~online ~metrics ~env ~interval =
+let attach ?obs ?refresh_every engine ~dht ~rng ~online ~metrics ~env ~interval =
   if not (interval > 0.) then invalid_arg "Maintenance.attach: interval must be positive";
   let members = Dht.members dht in
   let budget = probes_per_peer_per_second ~env ~members *. interval in
@@ -53,7 +53,26 @@ let attach ?obs engine ~dht ~rng ~online ~metrics ~env ~interval =
                ~messages:!sent_this_tick ~span Pdht_obs.Event.Maintenance)
         end
   in
-  Pdht_sim.Engine.schedule_periodic engine ~first:interval ~every:interval tick
+  Pdht_sim.Engine.schedule_periodic engine ~first:interval ~every:interval tick;
+  match refresh_every with
+  | None -> ()
+  | Some every ->
+      if not (every > 0.) then
+        invalid_arg "Maintenance.attach: refresh interval must be positive";
+      let refreshes =
+        match obs with
+        | None -> None
+        | Some (obs : Pdht_obs.Context.t) ->
+            Some
+              (Pdht_obs.Registry.counter obs.Pdht_obs.Context.registry
+                 "maintenance.refresh_messages")
+      in
+      Pdht_sim.Engine.schedule_periodic engine ~first:every ~every (fun _engine ->
+          let sent = Dht.refresh_sweep dht rng ~online in
+          Pdht_sim.Metrics.charge metrics Pdht_sim.Metrics.Maintenance sent;
+          match refreshes with
+          | Some c -> Pdht_obs.Registry.incr c sent
+          | None -> ())
 
 let cost_per_key_per_second ~env ~members ~indexed_keys =
   if indexed_keys <= 0 then invalid_arg "Maintenance.cost_per_key_per_second: no keys";

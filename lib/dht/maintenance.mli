@@ -22,6 +22,7 @@ val env_from_trace : maintenance_rate:float -> members:int -> float
 
 val attach :
   ?obs:Pdht_obs.Context.t ->
+  ?refresh_every:float ->
   Pdht_sim.Engine.t ->
   dht:Dht.t ->
   rng:Pdht_util.Rng.t ->
@@ -34,6 +35,13 @@ val attach :
     probe budget ([env * log2 members * interval] probes, with the
     fractional part carried stochastically) and repairs what it finds
     stale.  Requires [interval > 0.].
+
+    With [refresh_every], additionally runs {!Dht.refresh_sweep} every
+    [refresh_every] seconds — the Kademlia bucket-refresh pass over
+    stale ranges — charging its messages to the same [Maintenance]
+    account (and counting them in ["maintenance.refresh_messages"] when
+    observed).  Requires [refresh_every > 0.] when given; a no-op on
+    backends without live routing.
 
     With [obs], each tick also records the
     ["maintenance.messages_per_tick"] histogram and emits one

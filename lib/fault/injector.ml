@@ -19,14 +19,29 @@ type counters = {
   crashed_gauge : Registry.gauge;
 }
 
+type churn_counters = {
+  churn_transitions : Registry.counter;
+  churned_gauge : Registry.gauge;
+}
+
 type t = {
   plan : Plan.t;
   rng : Rng.t;
   peers : int;
   crashed : bool array;
   mutable crashed_count : int;
+  (* Session churn is a separate axis from crash-stop: a churned-offline
+     peer keeps its storage and routing table, so it never goes through
+     [actions] — it is only invisible to the online predicate until its
+     downtime ends. *)
+  churned : bool array;
+  mutable churned_count : int;
   tracer : Tracer.t option;
   counters : counters option;
+  registry : Registry.t option;
+  (* Registered lazily, on the first churn transition, so churn-free
+     fault runs keep their historical telemetry byte-for-byte. *)
+  mutable churn_counters : churn_counters option;
 }
 
 let create ?tracer ?registry ~rng ~peers plan =
@@ -47,10 +62,14 @@ let create ?tracer ?registry ~rng ~peers plan =
         })
       registry
   in
-  { plan; rng; peers; crashed = Array.make peers false; crashed_count = 0; tracer; counters }
+  { plan; rng; peers; crashed = Array.make peers false; crashed_count = 0;
+    churned = Array.make peers false; churned_count = 0; tracer; counters;
+    registry; churn_counters = None }
 
 let crashed t peer = t.crashed.(peer)
 let crashed_count t = t.crashed_count
+let plan_offline t peer = t.churned.(peer)
+let churned_count t = t.churned_count
 let first_fault_time t = Plan.first_fault_time t.plan
 
 (* Every fault action is a causal root of its own: crash and recover
@@ -95,6 +114,34 @@ let apply_recover t actions ~now peer =
     | None -> ());
     trace t ~now ~peer ~detail:"recover";
     actions.recover ~peer ~now
+  end
+
+let churn_counters t =
+  match t.churn_counters with
+  | Some _ as c -> c
+  | None -> (
+      match t.registry with
+      | None -> None
+      | Some reg ->
+          let c =
+            {
+              churn_transitions = Registry.counter reg "fault.churn_transitions";
+              churned_gauge = Registry.gauge reg "fault.churned_count";
+            }
+          in
+          t.churn_counters <- Some c;
+          Some c)
+
+let set_churned t ~now peer offline =
+  if t.churned.(peer) <> offline then begin
+    t.churned.(peer) <- offline;
+    t.churned_count <- t.churned_count + (if offline then 1 else -1);
+    (match churn_counters t with
+    | Some c ->
+        Registry.incr c.churn_transitions 1;
+        Registry.set_gauge c.churned_gauge (float_of_int t.churned_count)
+    | None -> ());
+    trace t ~now ~peer ~detail:(if offline then "churn-offline" else "churn-online")
   end
 
 (* Victims are drawn at fire time among the currently alive peers, so
@@ -175,6 +222,47 @@ let attach t engine actions =
                 (Engine.labelled "fault:recover" (fun e ->
                      for p = first to limit - 1 do
                        apply_recover t actions ~now:(Engine.now e) p
+                     done)))
+      | Plan.Churn { spec; at; until } ->
+          (* All session draws come from the injector's RNG at fire
+             time, so plans without a churn clause consume exactly the
+             draws they always did.  Toggles self-reschedule; a toggle
+             that would fire at or past [until] becomes a no-op (the
+             regime's closing sweep has already forced everyone back
+             online). *)
+          let module S = Pdht_dist.Session in
+          let regime_live now =
+            match until with None -> true | Some u -> now < u
+          in
+          let draw_duration peer =
+            if t.churned.(peer) then S.draw t.rng spec.S.down ~mean:spec.S.mean_downtime
+            else S.draw t.rng spec.S.up ~mean:spec.S.mean_uptime
+          in
+          let rec schedule_toggle peer delay =
+            Engine.schedule engine ~delay
+              (Engine.labelled "fault:churn" (fun e ->
+                   let now = Engine.now e in
+                   if regime_live now then begin
+                     set_churned t ~now peer (not t.churned.(peer));
+                     schedule_toggle peer (draw_duration peer)
+                   end))
+          in
+          Engine.schedule_at engine ~time:at
+            (Engine.labelled "fault:churn" (fun e ->
+                 let now = Engine.now e in
+                 for p = 0 to t.peers - 1 do
+                   if not (Rng.bernoulli t.rng ~p:spec.S.initially_online_fraction) then
+                     set_churned t ~now p true;
+                   schedule_toggle p (draw_duration p)
+                 done));
+          (match until with
+          | None -> ()
+          | Some u ->
+              Engine.schedule_at engine ~time:u
+                (Engine.labelled "fault:churn" (fun e ->
+                     let now = Engine.now e in
+                     for p = 0 to t.peers - 1 do
+                       if t.churned.(p) then set_churned t ~now p false
                      done)))
       | Plan.Abort { at } ->
           Engine.schedule_at engine ~time:at

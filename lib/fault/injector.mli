@@ -42,8 +42,11 @@ val create :
 (** The plan is re-validated ([Invalid_argument] on a bad one).  With a
     [registry], the injector maintains counters [fault.crashes],
     [fault.recoveries], [fault.repair_passes] and gauge
-    [fault.crashed_count]; with a [tracer], each transition emits a
-    [Fault] event ([detail] = "crash" / "recover" / "repair") carrying
+    [fault.crashed_count] — plus, lazily on the first churn transition
+    (so churn-free runs keep historical telemetry unchanged), counter
+    [fault.churn_transitions] and gauge [fault.churned_count]; with a
+    [tracer], each transition emits a [Fault] event ([detail] = "crash"
+    / "recover" / "repair" / "churn-offline" / "churn-online") carrying
     an unsampled root span. *)
 
 val attach : t -> Pdht_sim.Engine.t -> actions -> unit
@@ -59,6 +62,15 @@ val crashed : t -> int -> bool
     online predicate. *)
 
 val crashed_count : t -> int
+
+val plan_offline : t -> int -> bool
+(** Is the peer currently in a churned-offline session
+    ({!Plan.event.Churn} regime)?  Unlike {!crashed}, a plan-offline
+    peer keeps its index cache and routing table — it is merely
+    unreachable until its downtime ends.  Compose this into the
+    system's online predicate alongside {!crashed}. *)
+
+val churned_count : t -> int
 
 val first_fault_time : t -> float option
 (** See {!Plan.first_fault_time}. *)

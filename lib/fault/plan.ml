@@ -3,6 +3,7 @@ type event =
   | Crash_recover of { peer_fraction : float; at : float; after : float }
   | Flap of { peer_fraction : float; at : float; period : float; cycles : int }
   | Correlated of { lo : float; hi : float; at : float; after : float option }
+  | Churn of { spec : Pdht_dist.Session.spec; at : float; until : float option }
   | Abort of { at : float }
 
 type repair = { every : float; min_fraction : float }
@@ -53,11 +54,42 @@ let validate_event = function
         | None -> Ok ()
         | Some d when Float.is_finite d && d > 0. -> Ok ()
         | Some d -> err "rack recovery delay %g must be finite and > 0" d)
+  | Churn { spec; at; until } -> (
+      match Pdht_dist.Session.validate spec with
+      | Error msg -> err "churn spec: %s" msg
+      | Ok _ -> (
+          let* () = finite_nonneg "churn start" at in
+          match until with
+          | None -> Ok ()
+          | Some u ->
+              if Float.is_finite u && u > at then Ok ()
+              else err "churn end %g must be finite and after start %g" u at))
   | Abort { at } -> finite_nonneg "abort time" at
+
+(* Two rack events naming intersecting peer-index ranges would fight
+   over the same victims (the second crash of an already-crashed peer
+   is a no-op, so its recovery silently resurrects the first rack's
+   victims early).  Reject the ambiguity outright. *)
+let rec racks_disjoint = function
+  | [] -> Ok ()
+  | Correlated { lo; hi; _ } :: rest -> (
+      let clash =
+        List.find_map
+          (function
+            | Correlated { lo = lo'; hi = hi'; _ } when lo < hi' && lo' < hi ->
+                Some (lo', hi')
+            | _ -> None)
+          rest
+      in
+      match clash with
+      | Some (lo', hi') ->
+          err "rack ranges [%g, %g) and [%g, %g) overlap" lo hi lo' hi'
+      | None -> racks_disjoint rest)
+  | _ :: rest -> racks_disjoint rest
 
 let validate t =
   let rec events_ok = function
-    | [] -> Ok ()
+    | [] -> racks_disjoint t.events
     | e :: rest -> ( match validate_event e with Ok () -> events_ok rest | Error _ as e -> e)
   in
   match events_ok t.events with
@@ -88,6 +120,10 @@ let event_to_string = function
       Printf.sprintf "flap:%g@%g+%gx%d" peer_fraction at period cycles
   | Correlated { lo; hi; at; after = None } -> Printf.sprintf "rack:%g-%g@%g" lo hi at
   | Correlated { lo; hi; at; after = Some d } -> Printf.sprintf "rack:%g-%g@%g+%g" lo hi at d
+  | Churn { spec; at; until = None } ->
+      Printf.sprintf "churn:%s@%g" (Pdht_dist.Session.to_string spec) at
+  | Churn { spec; at; until = Some u } ->
+      Printf.sprintf "churn:%s@%g+%g" (Pdht_dist.Session.to_string spec) at (u -. at)
   | Abort { at } -> Printf.sprintf "abort@%g" at
 
 let to_string t = String.concat "," (List.map event_to_string t.events)
@@ -137,6 +173,19 @@ let parse_event spec =
                       | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
                   | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
               | _ -> bad "expected flap:FRACTION@TIME+PERIODxCYCLES")
+          | "churn" :: spec_fields -> (
+              (* The session spec is itself ':'-separated (its grammar
+                 avoids commas precisely so it can ride inside a plan
+                 event); re-join what the head split took apart. *)
+              match Pdht_dist.Session.of_string (String.concat ":" spec_fields) with
+              | Error msg -> bad msg
+              | Ok spec -> (
+                  match delay with
+                  | None -> Ok (Churn { spec; at; until = None })
+                  | Some d -> (
+                      match float_of d with
+                      | Some d -> Ok (Churn { spec; at; until = Some (at +. d) })
+                      | None -> bad "bad churn duration")))
           | [ "rack"; range ] -> (
               match String.split_on_char '-' range with
               | [ lo; hi ] -> (
@@ -150,7 +199,7 @@ let parse_event spec =
                           | None -> bad "bad recovery delay"))
                   | _ -> bad "expected rack:LO-HI@TIME[+DELAY]")
               | _ -> bad "expected rack:LO-HI@TIME[+DELAY]")
-          | _ -> bad "unknown kind (crash / flap / rack / abort)"))
+          | _ -> bad "unknown kind (crash / flap / rack / churn / abort)"))
 
 let of_string s =
   let specs =
@@ -173,7 +222,8 @@ let first_fault_time t =
     (fun acc e ->
       let time =
         match e with
-        | Crash { at; _ } | Crash_recover { at; _ } | Flap { at; _ } | Correlated { at; _ } ->
+        | Crash { at; _ } | Crash_recover { at; _ } | Flap { at; _ } | Correlated { at; _ }
+        | Churn { at; _ } ->
             Some at
         | Abort _ -> None
       in

@@ -29,6 +29,15 @@ type event =
       (** Mass failure of the contiguous peer-index range
           [\[lo*n, hi*n)] — a rack / AS going dark, correlated rather
           than independent victims.  Recovers after [after] if given. *)
+  | Churn of { spec : Pdht_dist.Session.spec; at : float; until : float option }
+      (** A session-churn regime: from [at] (until [until], or the end
+          of the run), every peer alternates independently between
+          online sessions and offline gaps drawn from [spec]
+          ({!Pdht_dist.Session.spec} — exponential or heavy-tailed
+          legs).  Unlike {!Crash}, a churned-offline peer keeps its
+          index cache and routing table and simply reappears with them
+          when its downtime ends — the session model of the paper's
+          Section 3.3.1, not a fail-stop. *)
   | Abort of { at : float }
       (** Deliberately abort the whole run at [at] (raises through the
           engine).  For harness testing: checks that failure context
@@ -54,8 +63,10 @@ val default : t
 
 val validate : t -> (t, string) result
 (** Fractions in [0, 1], times finite and non-negative, delays and
-    periods positive, [cycles >= 1], rack ranges non-empty, repair
-    threshold in (0, 1]. *)
+    periods positive, [cycles >= 1], rack ranges non-empty and pairwise
+    disjoint (overlapping [rack:] ranges would fight over the same
+    victims), churn specs valid per {!Pdht_dist.Session.validate},
+    repair threshold in (0, 1]. *)
 
 val of_string : string -> (t, string) result
 (** Parse a comma-separated event list (repair / checking are separate
@@ -64,6 +75,12 @@ val of_string : string -> (t, string) result
     - [crash:F@T+D] — crash at T, rejoin empty at T+D;
     - [flap:F@T+DxN] — N crash episodes of length D starting at T;
     - [rack:LO-HI@T] and [rack:LO-HI@T+D] — correlated range failure;
+    - [churn:SPEC@T] and [churn:SPEC@T+D] — session churn from T (for
+      D seconds if given), where SPEC follows the
+      {!Pdht_dist.Session.of_string} grammar
+      ([DIST\[:up=S\]\[:down=S\]\[:sigma=X|:shape=X\]\[:on=F\]] —
+      ':'-separated precisely so it nests inside the comma-separated
+      plan);
     - [abort@T] — abort the run at T.
     The result is validated. *)
 

@@ -67,6 +67,8 @@ let validate t =
         err "backoff %g must be finite and >= 1" t.backoff
       else ( match all_ok t.partitions with Ok () -> Ok t | Error _ as e -> e)
 
+let attempts t = 1 + t.rpc_retries
+
 let timeout_for_attempt t ~attempt =
   if attempt < 0 then invalid_arg "Config.timeout_for_attempt: negative attempt";
   t.rpc_timeout *. (t.backoff ** float_of_int attempt)

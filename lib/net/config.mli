@@ -50,6 +50,12 @@ val validate : t -> (t, string) result
     [rpc_timeout], non-negative [rpc_retries], [backoff >= 1], partition
     windows ordered and peer ids non-negative. *)
 
+val attempts : t -> int
+(** [1 + rpc_retries] — total delivery attempts per RPC (the first send
+    plus every retry).  This is also the message cost of conclusively
+    discovering a dead peer, which the live routing tables' liveness
+    probes mirror ({!Pdht_dht.Kademlia.enable_live_routing}). *)
+
 val timeout_for_attempt : t -> attempt:int -> float
 (** [rpc_timeout *. backoff ^ attempt] — how long the caller waits
     before declaring attempt [attempt] (0-based) lost. *)

@@ -45,6 +45,26 @@ let rid_of = function
       Some rid
   | _ -> None
 
+let frame_kind = function
+  | Wire.Hello _ -> "Hello"
+  | Wire.Setup _ -> "Setup"
+  | Wire.Lookup _ -> "Lookup"
+  | Wire.Insert _ -> "Insert"
+  | Wire.Gossip _ -> "Gossip"
+  | Wire.Repair _ -> "Repair"
+  | Wire.Get _ -> "Get"
+  | Wire.Probe _ -> "Probe"
+  | Wire.Ack _ -> "Ack"
+  | Wire.Ack_float _ -> "Ack_float"
+  | Wire.Snapshot _ -> "Snapshot"
+  | Wire.Counters _ -> "Counters"
+  | Wire.Bye -> "Bye"
+
+let status_to_string = function
+  | Unix.WEXITED c -> Printf.sprintf "exited with status %d" c
+  | Unix.WSIGNALED s -> Printf.sprintf "was killed by signal %d" s
+  | Unix.WSTOPPED s -> Printf.sprintf "was stopped by signal %d" s
+
 let spawn config ~port k =
   let base =
     [ config.exe; "node"; "--connect"; string_of_int port;
@@ -99,9 +119,28 @@ let run ?obs config scenario strategy (options : System.options) =
     | Unix.ADDR_INET (_, port) -> port
     | _ -> assert false
   in
+  (* A write into a dead worker's socket must surface as EPIPE, not
+     kill the conductor. *)
+  (try Sys.set_signal Sys.sigpipe Sys.Signal_ignore
+   with Invalid_argument _ -> ());
   let pids = Array.init config.nodes (spawn config ~port) in
   let conns = ref [||] in
   let reaped = Array.make config.nodes false in
+  let last_frame = Array.make config.nodes "none" in
+  (* Fail fast with the worker's fate — node id, exit status, the last
+     frame we sent it — instead of burning the whole RPC retry ladder
+     against a dead process. *)
+  let check_dead k =
+    if not reaped.(k) then
+      match Unix.waitpid [ Unix.WNOHANG ] pids.(k) with
+      | 0, _ -> ()
+      | _, status ->
+          reaped.(k) <- true;
+          failwith
+            (Printf.sprintf "cluster: node %d %s (last frame sent: %s)" k
+               (status_to_string status) last_frame.(k))
+      | exception Unix.Unix_error _ -> ()
+  in
   let cleanup () =
     Array.iter Frame_io.close !conns;
     Array.iteri
@@ -117,6 +156,15 @@ let run ?obs config scenario strategy (options : System.options) =
   conns := accept_workers lsock ~nodes:config.nodes;
   Unix.close lsock;
   let conn k = !conns.(k) in
+  let send_to k frame =
+    last_frame.(k) <- frame_kind frame;
+    try Frame_io.send (conn k) frame
+    with Unix.Unix_error ((Unix.EPIPE | Unix.ECONNRESET), _, _) ->
+      check_dead k;
+      failwith
+        (Printf.sprintf "cluster: node %d dropped its connection (last frame sent: %s)"
+           k last_frame.(k))
+  in
   let owner m = m mod config.nodes in
   let setup =
     Wire.Setup
@@ -129,7 +177,7 @@ let run ?obs config scenario strategy (options : System.options) =
         seed = scenario.Scenario.seed;
       }
   in
-  Array.iter (fun c -> Frame_io.send c setup) !conns;
+  Array.iteri (fun k _ -> send_to k setup) !conns;
   let wheel = Timer_wheel.create () in
   (* Synchronous request/reply with real deadlines: each attempt arms a
      wall-clock timer from the Rpc_machine schedule; select waits are
@@ -150,7 +198,7 @@ let run ?obs config scenario strategy (options : System.options) =
       action
     in
     let rec attempt () =
-      Frame_io.send c frame;
+      send_to k frame;
       expired := false;
       let timer =
         Timer_wheel.schedule wheel
@@ -173,15 +221,34 @@ let run ?obs config scenario strategy (options : System.options) =
           if not !expired then await timer
           else
             match feed M.Attempt_timeout with
-            | M.Retry _ -> attempt ()
+            | M.Retry _ ->
+                check_dead k;
+                attempt ()
             | M.Give_up ->
                 failwith
                   (Printf.sprintf
-                     "cluster: rpc to node %d gave up after %d attempts" k
-                     (M.attempt !machine + 1))
+                     "cluster: rpc to node %d gave up after %d attempts (last \
+                      frame sent: %s)"
+                     k
+                     (M.attempt !machine + 1)
+                     last_frame.(k))
             | _ -> assert false)
       | Error Frame_io.Closed ->
-          failwith (Printf.sprintf "cluster: node %d closed its connection" k)
+          (* The socket EOF can beat the worker's exit by a moment;
+             give the death probe a short grace so the failure names
+             the process's fate rather than just a dead socket. *)
+          let rec probe tries =
+            check_dead k;
+            if tries > 0 then begin
+              ignore (Unix.select [] [] [] 0.01);
+              probe (tries - 1)
+            end
+          in
+          probe 20;
+          failwith
+            (Printf.sprintf
+               "cluster: node %d closed its connection (last frame sent: %s)" k
+               last_frame.(k))
       | Error (Frame_io.Wire e) ->
           failwith
             (Printf.sprintf "cluster: corrupt frame from node %d: %s" k
@@ -257,8 +324,7 @@ let run ?obs config scenario strategy (options : System.options) =
     | msg -> failwith (Format.asprintf "cluster: expected Ack, got %a" Wire.pp msg)
   in
   let cast ~span ~src ~dst =
-    Frame_io.send (conn (owner dst))
-      (Wire.Gossip { span = span_id span; src; dst; key = -1 });
+    send_to (owner dst) (Wire.Gossip { span = span_id span; src; dst; key = -1 });
     true
   in
   let driver =
@@ -285,7 +351,7 @@ let run ?obs config scenario strategy (options : System.options) =
         ~path:(Filename.concat dir "merged.jsonl")
         (Registry.snapshot merged))
     config.obs_dir;
-  Array.iter (fun c -> Frame_io.send c Wire.Bye) !conns;
+  Array.iteri (fun k _ -> send_to k Wire.Bye) !conns;
   Array.iteri
     (fun k pid ->
       ignore (Unix.waitpid [] pid);

@@ -19,6 +19,7 @@ type churn_plan =
       mean_downtime : float;
       initially_online_fraction : float;
     }
+  | Sessions of Pdht_dist.Session.spec
 
 type t = {
   name : string;
@@ -96,7 +97,8 @@ let validate t =
     | Exponential_sessions { mean_uptime; mean_downtime; initially_online_fraction } ->
         mean_uptime > 0. && mean_downtime > 0.
         && initially_online_fraction >= 0.
-        && initially_online_fraction <= 1.)
+        && initially_online_fraction <= 1.
+    | Sessions spec -> Result.is_ok (Pdht_dist.Session.validate spec))
     "invalid churn plan"
   @@ fun () -> Ok t
 
@@ -153,6 +155,7 @@ let pp ppf t =
     | No_churn -> "none"
     | Exponential_sessions { mean_uptime; mean_downtime; _ } ->
         Printf.sprintf "exp(up=%g,down=%g)" mean_uptime mean_downtime
+    | Sessions spec -> Pdht_dist.Session.to_string spec
   in
   Format.fprintf ppf
     "@[<v>scenario %s: peers=%d keys=%d fQry=%g dist=%s shift=%s churn=%s duration=%gs seed=%d@]"

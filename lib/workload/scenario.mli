@@ -26,7 +26,11 @@ type churn_plan =
       mean_uptime : float;
       mean_downtime : float;
       initially_online_fraction : float;
-    }
+    }  (** the classic memoryless session model *)
+  | Sessions of Pdht_dist.Session.spec
+      (** general (possibly heavy-tailed) session-length distributions;
+          an all-exponential spec is equivalent to
+          {!Exponential_sessions} with the same parameters *)
 
 type t = {
   name : string;

@@ -385,6 +385,44 @@ let test_system_with_churn () =
   Alcotest.(check bool) (Printf.sprintf "success %.2f > 0.85 under churn" success) true
     (success > 0.85)
 
+let test_system_bucket_refresh () =
+  (* Live k-buckets with a refresh sweep under heavy-tailed session
+     churn: the run completes and still answers; the option is rejected
+     outright on any backend without live-table support. *)
+  let scenario =
+    {
+      tiny_scenario with
+      Scenario.churn =
+        Scenario.Sessions
+          {
+            Pdht_dist.Session.up = Pdht_dist.Session.Weibull { shape = 0.6 };
+            down = Pdht_dist.Session.Weibull { shape = 0.6 };
+            mean_uptime = 600.;
+            mean_downtime = 200.;
+            initially_online_fraction = 0.75;
+          };
+    }
+  in
+  let options =
+    {
+      tiny_options with
+      System.backend = Pdht_dht.Dht.Kademlia_backend;
+      bucket_refresh = Some 30.;
+    }
+  in
+  let ttl = System.derive_key_ttl scenario options in
+  let r = System.run scenario (partial ttl) options in
+  let success = float_of_int r.System.answered /. float_of_int (max 1 r.System.queries) in
+  Alcotest.(check bool)
+    (Printf.sprintf "success %.2f > 0.85 with live buckets" success)
+    true (success > 0.85);
+  match
+    System.run scenario (partial ttl)
+      { options with System.backend = Pdht_dht.Dht.Pgrid_backend }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "bucket_refresh on a non-Kademlia backend must be rejected"
+
 let test_system_adaptive_option_runs () =
   let options =
     {
@@ -705,6 +743,7 @@ let () =
           Alcotest.test_case "indexAll never broadcasts" `Quick test_system_index_all_no_broadcast;
           Alcotest.test_case "noIndex has no DHT traffic" `Quick test_system_no_index_no_dht_traffic;
           Alcotest.test_case "with churn" `Quick test_system_with_churn;
+          Alcotest.test_case "bucket refresh" `Quick test_system_bucket_refresh;
           Alcotest.test_case "adaptive option" `Quick test_system_adaptive_option_runs;
           Alcotest.test_case "ttl override" `Quick test_system_ttl_override;
           Alcotest.test_case "options builders" `Quick test_system_options_builders;

@@ -64,6 +64,92 @@ let test_churn_validation () =
         (Churn.create rng ~peers:2 ~mean_uptime:0. ~mean_downtime:1.
            ~initially_online_fraction:1.))
 
+let test_churn_callback_registration_order () =
+  (* Thousands of registrations (the per-peer rejoin-hook pattern) must
+     fire in exact registration order on every toggle. *)
+  let rng = Rng.create ~seed:83 in
+  let c =
+    Churn.create rng ~peers:3 ~mean_uptime:10. ~mean_downtime:10.
+      ~initially_online_fraction:1.
+  in
+  let n = 5_000 in
+  let order = ref [] in
+  for i = 0 to n - 1 do
+    Churn.on_toggle c (fun ~peer:_ ~now_online:_ ~time:_ -> order := i :: !order)
+  done;
+  Churn.toggle c 0 1.0;
+  let got = List.rev !order in
+  Alcotest.(check int) "every callback fired once" n (List.length got);
+  List.iteri
+    (fun slot i ->
+      if slot <> i then
+        Alcotest.failf "callback %d fired in slot %d (registration order broken)"
+          i slot)
+    got;
+  (* A second toggle replays the same order, appended. *)
+  Churn.toggle c 1 2.0;
+  Alcotest.(check int) "second toggle fired them all again" (2 * n)
+    (List.length !order)
+
+let session_spec up down ~mean_uptime ~mean_downtime ~on =
+  {
+    Pdht_dist.Session.up;
+    down;
+    mean_uptime;
+    mean_downtime;
+    initially_online_fraction = on;
+  }
+
+let churn_trajectory c ~until =
+  let engine = Pdht_sim.Engine.create () in
+  Churn.attach c engine;
+  Pdht_sim.Engine.run engine ~until;
+  (Churn.session_changes c, List.init (Churn.peers c) (Churn.online c))
+
+let test_churn_spec_exponential_equivalence () =
+  (* An all-exponential spec must reproduce the classic constructor
+     draw for draw: same seed, same trajectory. *)
+  let classic =
+    Churn.create (Rng.create ~seed:84) ~peers:200 ~mean_uptime:300.
+      ~mean_downtime:100. ~initially_online_fraction:0.75
+  in
+  let spec =
+    session_spec Pdht_dist.Session.Exponential Pdht_dist.Session.Exponential
+      ~mean_uptime:300. ~mean_downtime:100. ~on:0.75
+  in
+  let via_spec = Churn.create_spec (Rng.create ~seed:84) ~peers:200 spec in
+  let changes_a, states_a = churn_trajectory classic ~until:1000. in
+  let changes_b, states_b = churn_trajectory via_spec ~until:1000. in
+  Alcotest.(check int) "same transition count" changes_a changes_b;
+  Alcotest.(check (list bool)) "same end states" states_a states_b
+
+let test_churn_spec_heavy_tailed () =
+  let spec =
+    session_spec
+      (Pdht_dist.Session.Weibull { shape = 0.6 })
+      (Pdht_dist.Session.Weibull { shape = 0.6 })
+      ~mean_uptime:300. ~mean_downtime:150. ~on:(2. /. 3.)
+  in
+  let c = Churn.create_spec (Rng.create ~seed:85) ~peers:1000 spec in
+  Alcotest.(check (float 1e-9)) "availability from the spec means" (2. /. 3.)
+    (Churn.availability c);
+  let changes, states = churn_trajectory c ~until:3000. in
+  Alcotest.(check bool) "transitions happened" true (changes > 1000);
+  let frac =
+    float_of_int (List.length (List.filter Fun.id states)) /. 1000.
+  in
+  Alcotest.(check (float 0.08)) "hovers near stationary availability" (2. /. 3.)
+    frac
+
+let test_churn_spec_validates () =
+  let bad =
+    session_spec Pdht_dist.Session.Exponential Pdht_dist.Session.Exponential
+      ~mean_uptime:300. ~mean_downtime:100. ~on:1.5
+  in
+  match Churn.create_spec (Rng.create ~seed:86) ~peers:10 bad with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "accepted an out-of-range online fraction"
+
 (* ------------------------------------------------------------------ *)
 (* Storage *)
 
@@ -752,6 +838,164 @@ let test_kademlia_probe_repair () =
     (o.Kademlia.responsible <> None)
 
 (* ------------------------------------------------------------------ *)
+(* Kademlia live routing tables *)
+
+let test_kademlia_live_enable_consumes_no_rng () =
+  let rng_a = Rng.create ~seed:220 and rng_b = Rng.create ~seed:220 in
+  let _frozen = Kademlia.create rng_a ~members:64 () in
+  let live = Kademlia.create rng_b ~members:64 () in
+  Kademlia.enable_live_routing live;
+  Alcotest.(check bool) "live mode on" true (Kademlia.live_routing live);
+  (* Both streams must sit at exactly the same position. *)
+  Alcotest.(check int) "enabling drew nothing" (Rng.int rng_a 1_000_000)
+    (Rng.int rng_b 1_000_000);
+  Kademlia.enable_live_routing live;
+  Alcotest.(check bool) "idempotent" true (Kademlia.live_routing live)
+
+let test_kademlia_live_contacts_maintain_buckets () =
+  let rng = Rng.create ~seed:221 in
+  let k = Kademlia.create rng ~members:128 ~bucket_size:4 () in
+  Kademlia.enable_live_routing k;
+  for _ = 1 to 200 do
+    ignore
+      (Kademlia.lookup k rng ~online:all_online ~source:(Rng.int rng 128)
+         ~key:(Bitkey.random rng))
+  done;
+  match Kademlia.live_stats k with
+  | None -> Alcotest.fail "live stats missing in live mode"
+  | Some s ->
+      Alcotest.(check bool) "contacts promoted entries" true
+        (s.Kademlia.promotions > 0);
+      Alcotest.(check int) "nobody dead, nobody evicted" 0 s.Kademlia.evictions;
+      (* Full buckets probed their LRS entries; everyone answered, so
+         each probe cost exactly one message. *)
+      Alcotest.(check int) "alive probes cost one message each"
+        s.Kademlia.probes s.Kademlia.probe_messages;
+      Alcotest.(check int) "probe cost drains once" s.Kademlia.probe_messages
+        (Kademlia.drain_probe_cost k);
+      Alcotest.(check int) "second drain is empty" 0 (Kademlia.drain_probe_cost k)
+
+let test_kademlia_live_dead_entries_churned_out () =
+  let rng = Rng.create ~seed:222 in
+  let members = 256 in
+  let k = Kademlia.create rng ~members ~bucket_size:4 () in
+  Kademlia.enable_live_routing ~probe_retries:2 k;
+  let offline = Array.init members (fun _ -> Rng.unit_float rng < 0.3) in
+  let online p = not offline.(p) in
+  (* Lookups route around dead contacts and record them. *)
+  for _ = 1 to 150 do
+    let source = Rng.int rng members in
+    if online source then
+      ignore (Kademlia.lookup k rng ~online ~source ~key:(Bitkey.random rng))
+  done;
+  let contacts0, dead0 = Kademlia.contact_stats k in
+  Alcotest.(check bool) "lookups saw stale routes" true
+    (contacts0 > 0 && dead0 > 0);
+  (* Maintenance probing then churns the dead entries out... *)
+  for _ = 1 to 3 do
+    for m = 0 to members - 1 do
+      if online m then
+        ignore (Kademlia.probe_and_repair k rng ~online ~peer:m ~probes:4)
+    done
+  done;
+  (match Kademlia.live_stats k with
+  | None -> Alcotest.fail "live stats missing"
+  | Some s ->
+      Alcotest.(check bool) "dead entries evicted" true (s.Kademlia.evictions > 0);
+      Alcotest.(check bool) "dead probes cost the 3-attempt ladder" true
+        (s.Kademlia.probe_messages > s.Kademlia.probes));
+  (* ...so fresh lookups hit fewer of them. *)
+  for _ = 1 to 150 do
+    let source = Rng.int rng members in
+    if online source then
+      ignore (Kademlia.lookup k rng ~online ~source ~key:(Bitkey.random rng))
+  done;
+  let contacts1, dead1 = Kademlia.contact_stats k in
+  let rate0 = float_of_int dead0 /. float_of_int contacts0 in
+  let rate1 =
+    float_of_int (dead1 - dead0) /. float_of_int (contacts1 - contacts0)
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "stale-route rate dropped (%.3f -> %.3f)" rate0 rate1)
+    true (rate1 < rate0)
+
+let test_kademlia_live_tables_survive_and_recover () =
+  (* Two-phase churn discipline.  Phase 1: lookups alone never shrink a
+     table — a lookup timeout demotes the entry to least-recently-seen
+     instead of dropping it (weak evidence), and a contact-driven probe
+     only ever *replaces* a dead LRS with the newcomer.  Phase 2:
+     maintenance probes may evict confirmed-dead entries outright
+     (shrinking sparse buckets while their range is offline), but once
+     churn heals, contact inserts and refresh sweeps grow every table
+     back to at least its original size. *)
+  let rng = Rng.create ~seed:223 in
+  let members = 128 in
+  let k = Kademlia.create rng ~members ~bucket_size:4 () in
+  Kademlia.enable_live_routing k;
+  let before = Array.init members (Kademlia.routing_table_size k) in
+  let offline = Array.init members (fun _ -> Rng.unit_float rng < 0.6) in
+  let online p = not offline.(p) in
+  (* Phase 1: lookup traffic only. *)
+  for _ = 1 to 3 do
+    for m = 0 to members - 1 do
+      if online m then
+        ignore (Kademlia.lookup k rng ~online ~source:m ~key:(Bitkey.random rng))
+    done
+  done;
+  for m = 0 to members - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "member %d kept its entries under lookups" m)
+      true
+      (Kademlia.routing_table_size k m >= before.(m))
+  done;
+  (* Phase 2: maintenance probes under churn, then the churn heals. *)
+  for _ = 1 to 5 do
+    for m = 0 to members - 1 do
+      if online m then begin
+        ignore (Kademlia.lookup k rng ~online ~source:m ~key:(Bitkey.random rng));
+        ignore (Kademlia.probe_and_repair k rng ~online ~peer:m ~probes:8)
+      end
+    done
+  done;
+  (* Sweep until every table is back to size (the first sweep only
+     resets the touched flags; later ones back-fill each still-untouched
+     range by bounded sampling, so a sparse range can need several
+     passes before the sampler hits its lone member). *)
+  let recovered () =
+    let ok = ref true in
+    for m = 0 to members - 1 do
+      if Kademlia.routing_table_size k m < before.(m) then ok := false
+    done;
+    !ok
+  in
+  let sweeps = ref 0 in
+  while (not (recovered ())) && !sweeps < 50 do
+    incr sweeps;
+    ignore (Kademlia.refresh_sweep k rng ~online:all_online)
+  done;
+  for m = 0 to members - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "member %d table recovered after churn" m)
+      true
+      (Kademlia.routing_table_size k m >= before.(m))
+  done
+
+let test_kademlia_refresh_sweep () =
+  let rng = Rng.create ~seed:224 in
+  let frozen = Kademlia.create rng ~members:64 () in
+  Alcotest.(check int) "frozen mode never refreshes" 0
+    (Kademlia.refresh_sweep frozen rng ~online:all_online);
+  let k = Kademlia.create rng ~members:64 ~bucket_size:4 () in
+  Kademlia.enable_live_routing k;
+  (* Enabling marks nothing touched, so the first sweep refreshes every
+     non-empty range. *)
+  let cost = Kademlia.refresh_sweep k rng ~online:all_online in
+  Alcotest.(check bool) "stale ranges refreshed" true (cost > 0);
+  match Kademlia.live_stats k with
+  | None -> Alcotest.fail "live stats missing"
+  | Some s -> Alcotest.(check int) "cost accounted" cost s.Kademlia.refresh_messages
+
+(* ------------------------------------------------------------------ *)
 (* Pastry *)
 
 module Pastry = Pdht_dht.Pastry
@@ -1065,6 +1309,13 @@ let () =
           Alcotest.test_case "stationary fraction" `Quick test_churn_stationary_fraction;
           Alcotest.test_case "callbacks" `Quick test_churn_callbacks;
           Alcotest.test_case "validation" `Quick test_churn_validation;
+          Alcotest.test_case "callback registration order" `Quick
+            test_churn_callback_registration_order;
+          Alcotest.test_case "spec: exponential equivalence" `Quick
+            test_churn_spec_exponential_equivalence;
+          Alcotest.test_case "spec: heavy-tailed sessions" `Quick
+            test_churn_spec_heavy_tailed;
+          Alcotest.test_case "spec: validates" `Quick test_churn_spec_validates;
         ] );
       ( "storage",
         [
@@ -1135,6 +1386,15 @@ let () =
           Alcotest.test_case "lookup reaches closest" `Quick test_kademlia_lookup_reaches_closest;
           Alcotest.test_case "logarithmic rounds" `Quick test_kademlia_lookup_logarithmic_rounds;
           Alcotest.test_case "lookup under churn" `Quick test_kademlia_lookup_under_churn;
+          Alcotest.test_case "live: enable consumes no rng" `Quick
+            test_kademlia_live_enable_consumes_no_rng;
+          Alcotest.test_case "live: contacts maintain buckets" `Quick
+            test_kademlia_live_contacts_maintain_buckets;
+          Alcotest.test_case "live: dead entries churned out" `Quick
+            test_kademlia_live_dead_entries_churned_out;
+          Alcotest.test_case "live: tables survive and recover" `Quick
+            test_kademlia_live_tables_survive_and_recover;
+          Alcotest.test_case "live: refresh sweep" `Quick test_kademlia_refresh_sweep;
           Alcotest.test_case "routing table bounded" `Quick test_kademlia_routing_table_bounded;
           Alcotest.test_case "probe repair" `Quick test_kademlia_probe_repair;
         ] );

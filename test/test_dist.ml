@@ -5,6 +5,7 @@ module Rng = Pdht_util.Rng
 module Zipf = Pdht_dist.Zipf
 module Discrete = Pdht_dist.Discrete
 module Shift = Pdht_dist.Popularity_shift
+module Session = Pdht_dist.Session
 
 let check_float = Alcotest.(check (float 1e-9))
 let check_float_loose msg = Alcotest.(check (float 0.02)) msg
@@ -210,6 +211,122 @@ let test_shift_permutation_property () =
     [ 0.; 10. ]
 
 (* ------------------------------------------------------------------ *)
+(* Session *)
+
+let test_session_parse_defaults () =
+  match Session.of_string "exp" with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec ->
+      Alcotest.(check bool) "exp legs" true (Session.is_exponential spec);
+      check_float "default up" 600. spec.Session.mean_uptime;
+      check_float "default down" 400. spec.Session.mean_downtime;
+      check_float "default on = stationary availability" 0.6
+        spec.Session.initially_online_fraction;
+      check_float "availability helper agrees" 0.6 (Session.availability spec)
+
+let test_session_parse_fields () =
+  (match Session.of_string "weibull:up=600:down=200:shape=0.6:on=0.5" with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec ->
+      (match (spec.Session.up, spec.Session.down) with
+      | Session.Weibull { shape = s1 }, Session.Weibull { shape = s2 } ->
+          check_float "up shape" 0.6 s1;
+          check_float "down shape" 0.6 s2
+      | _ -> Alcotest.fail "expected Weibull legs");
+      check_float "up" 600. spec.Session.mean_uptime;
+      check_float "down" 200. spec.Session.mean_downtime;
+      check_float "on" 0.5 spec.Session.initially_online_fraction;
+      Alcotest.(check bool) "not exponential" false (Session.is_exponential spec));
+  match Session.of_string "lognormal:sigma=2" with
+  | Error msg -> Alcotest.fail msg
+  | Ok spec -> (
+      match spec.Session.up with
+      | Session.Lognormal { sigma } -> check_float "sigma" 2. sigma
+      | _ -> Alcotest.fail "expected a lognormal up leg")
+
+let test_session_roundtrip () =
+  List.iter
+    (fun s ->
+      match Session.of_string s with
+      | Error msg -> Alcotest.failf "%s rejected: %s" s msg
+      | Ok spec -> (
+          match Session.of_string (Session.to_string spec) with
+          | Error msg -> Alcotest.failf "%s reparse rejected: %s" s msg
+          | Ok spec' ->
+              Alcotest.(check bool) (s ^ " round-trips") true (spec = spec')))
+    [
+      "exp";
+      "exp:up=600:down=200";
+      "lognormal:up=300:down=100:sigma=2:on=0.9";
+      "weibull:up=600:down=200:shape=0.6";
+      "pareto:up=1000:down=500:shape=1.5:on=0.4";
+    ]
+
+let test_session_rejects_garbage () =
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " rejected") true
+        (Result.is_error (Session.of_string s)))
+    [
+      "";
+      "bogus";
+      "bogus:up=1";
+      "exp:up=0";
+      "exp:down=-3";
+      "exp:on=1.5";
+      "exp:nonsense=2";
+      "weibull:shape=0";
+      "pareto:shape=1";   (* infinite mean *)
+      "lognormal:sigma=0";
+      "exp:up=";
+    ]
+
+let test_session_draw_means () =
+  (* Every distribution is re-anchored on the requested mean; the
+     sample mean must land near it.  (Pareto uses shape 3 here — the
+     default 1.5 has infinite variance, so its sample mean converges
+     too slowly for a fixed-seed tolerance check.) *)
+  let n = 100_000 in
+  List.iter
+    (fun (label, dist, tol) ->
+      let rng = Rng.create ~seed:90 in
+      let total = ref 0. in
+      for _ = 1 to n do
+        let d = Session.draw rng dist ~mean:50. in
+        Alcotest.(check bool) (label ^ " draws positive") true (d > 0.);
+        total := !total +. d
+      done;
+      Alcotest.(check (float tol)) (label ^ " mean") 50.
+        (!total /. float_of_int n))
+    [
+      ("exp", Session.Exponential, 1.);
+      ("lognormal", Session.Lognormal { sigma = 1.5 }, 3.);
+      ("weibull", Session.Weibull { shape = 0.6 }, 1.);
+      ("pareto", Session.Pareto { shape = 3. }, 1.);
+    ]
+
+let test_session_heavy_tail_shape () =
+  (* Weibull k < 1 versus exponential at the same mean: more mass in
+     short sessions AND a fatter far tail — the signature that makes
+     churn-hardened routing interesting. *)
+  let n = 50_000 in
+  let count_below ~dist ~cut =
+    let rng = Rng.create ~seed:91 in
+    let c = ref 0 in
+    for _ = 1 to n do
+      if Session.draw rng dist ~mean:100. < cut then incr c
+    done;
+    float_of_int !c /. float_of_int n
+  in
+  let weib = Session.Weibull { shape = 0.6 } in
+  Alcotest.(check bool) "more short sessions than exponential" true
+    (count_below ~dist:weib ~cut:20.
+    > count_below ~dist:Session.Exponential ~cut:20.);
+  Alcotest.(check bool) "fatter far tail than exponential" true
+    (1. -. count_below ~dist:weib ~cut:500.
+    > 1. -. count_below ~dist:Session.Exponential ~cut:500.)
+
+(* ------------------------------------------------------------------ *)
 (* Properties *)
 
 let qcheck_tests =
@@ -285,6 +402,15 @@ let () =
           Alcotest.test_case "swap halves" `Quick test_shift_swap_halves;
           Alcotest.test_case "inverse property" `Quick test_shift_inverse_property;
           Alcotest.test_case "permutation property" `Quick test_shift_permutation_property;
+        ] );
+      ( "session",
+        [
+          Alcotest.test_case "parse defaults" `Quick test_session_parse_defaults;
+          Alcotest.test_case "parse fields" `Quick test_session_parse_fields;
+          Alcotest.test_case "round-trip" `Quick test_session_roundtrip;
+          Alcotest.test_case "rejects garbage" `Quick test_session_rejects_garbage;
+          Alcotest.test_case "draw means" `Quick test_session_draw_means;
+          Alcotest.test_case "heavy-tail shape" `Quick test_session_heavy_tail_shape;
         ] );
       ("properties", List.map QCheck_alcotest.to_alcotest qcheck_tests);
     ]

@@ -26,6 +26,12 @@ let contains hay needle =
 (* ------------------------------------------------------------------ *)
 (* Plan *)
 
+(* A parsed-and-validated session spec, for building expected values. *)
+let session s =
+  match Pdht_dist.Session.of_string s with
+  | Ok spec -> spec
+  | Error msg -> Alcotest.failf "session spec %s rejected: %s" s msg
+
 let test_plan_parse () =
   let ok spec expected =
     match Plan.of_string spec with
@@ -43,7 +49,16 @@ let test_plan_parse () =
     [ Plan.Correlated { lo = 0.2; hi = 0.4; at = 50.; after = Some 25. } ];
   ok "abort@42" [ Plan.Abort { at = 42. } ];
   ok "crash:0.5@10,abort@99"
-    [ Plan.Crash { peer_fraction = 0.5; at = 10. }; Plan.Abort { at = 99. } ]
+    [ Plan.Crash { peer_fraction = 0.5; at = 10. }; Plan.Abort { at = 99. } ];
+  (* The churn clause embeds the full Session grammar (':'-separated,
+     so it nests inside the comma-separated event list). *)
+  ok "churn:exp@50" [ Plan.Churn { spec = session "exp"; at = 50.; until = None } ];
+  ok "churn:weibull:up=600:shape=0.6@100+300"
+    [ Plan.Churn
+        { spec = session "weibull:up=600:shape=0.6"; at = 100.; until = Some 400. } ];
+  ok "crash:0.2@10,churn:lognormal:sigma=2@20+80"
+    [ Plan.Crash { peer_fraction = 0.2; at = 10. };
+      Plan.Churn { spec = session "lognormal:sigma=2"; at = 20.; until = Some 100. } ]
 
 let test_plan_roundtrip () =
   List.iter
@@ -56,7 +71,9 @@ let test_plan_roundtrip () =
           | Ok plan' ->
               Alcotest.(check bool) (spec ^ " round-trips") true (plan = plan')))
     [ "crash:0.3@600"; "crash:0.25@600+120"; "flap:0.1@100+30x4";
-      "rack:0.2-0.4@50+25"; "abort@42"; "crash:0.1@5,flap:0.2@50+10x2,abort@500" ]
+      "rack:0.2-0.4@50+25"; "abort@42"; "crash:0.1@5,flap:0.2@50+10x2,abort@500";
+      "churn:exp@50"; "churn:weibull:up=600:down=200:shape=0.6@100+300";
+      "crash:0.2@10,churn:pareto:shape=2:on=0.5@20" ]
 
 let test_plan_validate () =
   let bad label plan =
@@ -78,6 +95,29 @@ let test_plan_validate () =
   bad "rack empty range"
     { Plan.default with
       Plan.events = [ Plan.Correlated { lo = 0.5; hi = 0.5; at = 10.; after = None } ] };
+  (* Rack ranges are half-open [lo, hi): overlapping ranges would fight
+     over the same victims and are rejected; merely touching ranges
+     share no peer and remain legal. *)
+  let racks rs =
+    { Plan.default with
+      Plan.events =
+        List.map (fun (lo, hi) -> Plan.Correlated { lo; hi; at = 10.; after = None }) rs }
+  in
+  bad "overlapping rack ranges" (racks [ (0.2, 0.5); (0.4, 0.7) ]);
+  bad "nested rack ranges" (racks [ (0.1, 0.9); (0.3, 0.4) ]);
+  Alcotest.(check bool) "touching rack ranges valid" true
+    (Result.is_ok (Plan.validate (racks [ (0.0, 0.3); (0.3, 0.6) ])));
+  Alcotest.(check bool) "disjoint rack ranges valid" true
+    (Result.is_ok (Plan.validate (racks [ (0.0, 0.2); (0.5, 0.7) ])));
+  bad "churn bad spec"
+    { Plan.default with
+      Plan.events =
+        [ Plan.Churn
+            { spec = { (session "exp") with Pdht_dist.Session.initially_online_fraction = 1.5 };
+              at = 10.; until = None } ] };
+  bad "churn window ends before it starts"
+    { Plan.default with
+      Plan.events = [ Plan.Churn { spec = session "exp"; at = 10.; until = Some 5. } ] };
   bad "repair zero period"
     { Plan.default with Plan.repair = Some { Plan.every = 0.; min_fraction = 0.5 } };
   bad "repair threshold zero"
@@ -92,7 +132,8 @@ let test_plan_rejects_garbage () =
       Alcotest.(check bool) (spec ^ " rejected") true
         (Result.is_error (Plan.of_string spec)))
     [ ""; "bogus"; "crash@10"; "crash:0.3"; "crash:x@10"; "flap:0.3@10+5";
-      "rack:0.4@10"; "abort@-1" ]
+      "rack:0.4@10"; "abort@-1"; "churn:bogus@5"; "churn:exp"; "churn:exp@10+0";
+      "churn:exp:shape=2@10" ]
 
 let test_plan_first_fault_time () =
   let plan events = { Plan.default with Plan.events } in
@@ -105,7 +146,13 @@ let test_plan_first_fault_time () =
        (plan
           [ Plan.Abort { at = 5. };
             Plan.Crash { peer_fraction = 0.1; at = 50. };
-            Plan.Flap { peer_fraction = 0.1; at = 20.; period = 5.; cycles = 2 } ]))
+            Plan.Flap { peer_fraction = 0.1; at = 20.; period = 5.; cycles = 2 } ]));
+  Alcotest.(check (option (float 0.))) "churn counts as a fault"
+    (Some 15.)
+    (Plan.first_fault_time
+       (plan
+          [ Plan.Crash { peer_fraction = 0.1; at = 50. };
+            Plan.Churn { spec = session "exp"; at = 15.; until = None } ]))
 
 (* ------------------------------------------------------------------ *)
 (* Injector *)
@@ -186,6 +233,51 @@ let test_injector_correlated_range () =
       (Printf.sprintf "peer %d" p)
       (p >= 25 && p < 50) (Injector.crashed inj p)
   done
+
+let test_injector_churn_regime () =
+  (* A bounded churn window: during it some peers are plan-offline
+     (crashed stays false — churned peers keep their state); the
+     closing sweep forces everyone back online; transitions land on the
+     lazily-registered [fault.churn_transitions] counter. *)
+  let spec = session "weibull:up=40:down=20:shape=0.6:on=0.5" in
+  let plan =
+    { Plan.default with
+      Plan.events = [ Plan.Churn { spec; at = 10.; until = Some 200. } ] }
+  in
+  let peers = 60 in
+  let engine = Engine.create () in
+  let registry = Registry.create () in
+  let inj = Injector.create ~registry ~rng:(Rng.create ~seed:7) ~peers plan in
+  let actions =
+    {
+      Injector.crash = (fun ~peer:_ ~now:_ -> Alcotest.fail "churn must not crash");
+      recover = (fun ~peer:_ ~now:_ -> Alcotest.fail "churn must not recover");
+      repair = (fun ~span:_ ~now:_ -> ());
+      check = (fun ~now:_ -> ());
+    }
+  in
+  Injector.attach inj engine actions;
+  let mid_offline = ref (-1) in
+  Engine.schedule_at engine ~time:100. (fun _ ->
+      mid_offline := Injector.churned_count inj;
+      let recount = ref 0 in
+      for p = 0 to peers - 1 do
+        if Injector.plan_offline inj p then incr recount;
+        Alcotest.(check bool) "churn is not a crash" false (Injector.crashed inj p)
+      done;
+      Alcotest.(check int) "churned_count matches the flags" !recount
+        (Injector.churned_count inj));
+  Engine.run engine ~until:300.;
+  Alcotest.(check bool) "some peers offline mid-window" true (!mid_offline > 0);
+  Alcotest.(check int) "window closes all-online" 0 (Injector.churned_count inj);
+  for p = 0 to peers - 1 do
+    Alcotest.(check bool)
+      (Printf.sprintf "peer %d back online" p)
+      false (Injector.plan_offline inj p)
+  done;
+  match Registry.counter_value_by_name registry "fault.churn_transitions" with
+  | None -> Alcotest.fail "fault.churn_transitions not registered"
+  | Some v -> Alcotest.(check bool) "transitions counted" true (v > 0)
 
 let test_injector_repair_schedule () =
   let plan =
@@ -366,6 +458,7 @@ let () =
           Alcotest.test_case "crash is sticky" `Quick test_injector_crash_is_sticky;
           Alcotest.test_case "flap ends recovered" `Quick test_injector_flap_ends_recovered;
           Alcotest.test_case "correlated range" `Quick test_injector_correlated_range;
+          Alcotest.test_case "churn regime" `Quick test_injector_churn_regime;
           Alcotest.test_case "repair schedule" `Quick test_injector_repair_schedule;
           Alcotest.test_case "rejects invalid plan" `Quick
             test_injector_rejects_invalid_plan;

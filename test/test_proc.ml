@@ -59,6 +59,29 @@ let test_wheel_callback_can_reschedule () =
   Alcotest.(check int) "due chain runs in one call" 2 (Timer_wheel.run_due w ~now:2.0);
   Alcotest.(check (list string)) "chained order" [ "outer"; "inner" ] (List.rev !fired)
 
+let test_wheel_zero_delay_from_callback () =
+  (* A callback arming a timer at the very instant being processed (a
+     zero-delay retry) must fire within the same [run_due] call, not
+     linger as due-but-unfired — and a chain of such timers must
+     terminate rather than re-entering the firing entry. *)
+  let w = Timer_wheel.create () in
+  let fired = ref [] in
+  ignore
+    (Timer_wheel.schedule w ~at:1.0 (fun () ->
+         fired := "outer" :: !fired;
+         ignore
+           (Timer_wheel.schedule w ~at:1.0 (fun () ->
+                fired := "inner" :: !fired;
+                ignore
+                  (Timer_wheel.schedule w ~at:1.0 (fun () ->
+                       fired := "innermost" :: !fired))))));
+  Alcotest.(check int) "whole zero-delay chain fires at once" 3
+    (Timer_wheel.run_due w ~now:1.0);
+  Alcotest.(check (list string)) "nesting order preserved"
+    [ "outer"; "inner"; "innermost" ]
+    (List.rev !fired);
+  Alcotest.(check int) "nothing left pending" 0 (Timer_wheel.pending w)
+
 (* ---------------------------------------------------------------- *)
 (* Frame_io                                                          *)
 (* ---------------------------------------------------------------- *)
@@ -252,6 +275,65 @@ let test_node_obs_out_validates () =
       | Ok lines -> Alcotest.(check bool) "wrote node-stamped lines" true (lines > 0)
       | Error msg -> Alcotest.fail msg)
 
+(* ---------------------------------------------------------------- *)
+(* Cluster worker death                                              *)
+
+let test_cluster_worker_death_fails_fast () =
+  (* [crash_worker.exe] handshakes like a real worker and then exits
+     with status 3; the conductor must detect the death and fail with
+     the node id, exit status and last frame kind — not grind the RPC
+     retry ladder against a dead process. *)
+  let exe =
+    (* dune runtest runs us in the build dir next to the helper; under
+       dune exec the cwd is elsewhere, so fall back to our own dir. *)
+    let candidates =
+      [
+        Filename.concat (Sys.getcwd ()) "crash_worker.exe";
+        Filename.concat (Filename.dirname Sys.executable_name) "crash_worker.exe";
+      ]
+    in
+    match List.find_opt Sys.file_exists candidates with
+    | Some exe -> exe
+    | None -> Alcotest.fail "crash_worker.exe not found beside the test"
+  in
+  let scenario =
+    {
+      Pdht_work.Scenario.news_default with
+      Pdht_work.Scenario.num_peers = 60;
+      keys = 100;
+      duration = 60.;
+      seed = 5;
+    }
+  in
+  let module System = Pdht_core.System in
+  let options = System.Options.make ~repl:5 ~stor:20 () in
+  let strategy =
+    Pdht_core.Strategy.Partial_index
+      { key_ttl = System.derive_key_ttl scenario options }
+  in
+  let config = Pdht_proc.Cluster.default_config ~nodes:1 ~exe in
+  let started = Unix.gettimeofday () in
+  (* A death during the run surfaces through the engine's context
+     wrapper; one during setup/teardown comes out as the bare Failure. *)
+  match Pdht_proc.Cluster.run config scenario strategy options with
+  | _ -> Alcotest.fail "conductor returned a report from a dead worker"
+  | exception
+      ( Failure msg
+      | Pdht_sim.Engine.Handler_failed { exn = Failure msg; _ } ) ->
+      let contains sub =
+        let n = String.length sub and m = String.length msg in
+        let rec at i = i + n <= m && (String.sub msg i n = sub || at (i + 1)) in
+        at 0
+      in
+      Alcotest.(check bool) ("names the node: " ^ msg) true (contains "node 0");
+      Alcotest.(check bool) ("names the exit status: " ^ msg) true
+        (contains "exited with status 3");
+      Alcotest.(check bool) ("names the last frame: " ^ msg) true
+        (contains "last frame sent:");
+      (* Fail-fast: well under the 2s-timeout x 4-attempt retry ladder. *)
+      Alcotest.(check bool) "failed promptly" true
+        (Unix.gettimeofday () -. started < 5.0)
+
 let () =
   Alcotest.run "pdht_proc"
     [
@@ -264,6 +346,8 @@ let () =
           Alcotest.test_case "cancel" `Quick test_wheel_cancel;
           Alcotest.test_case "callback can reschedule" `Quick
             test_wheel_callback_can_reschedule;
+          Alcotest.test_case "zero-delay timer from a callback" `Quick
+            test_wheel_zero_delay_from_callback;
         ] );
       ( "frame_io",
         [
@@ -285,5 +369,10 @@ let () =
           Alcotest.test_case "rejects unowned member" `Quick
             test_node_rejects_unowned_member;
           Alcotest.test_case "obs-out validates" `Quick test_node_obs_out_validates;
+        ] );
+      ( "cluster",
+        [
+          Alcotest.test_case "worker death fails fast" `Quick
+            test_cluster_worker_death_fails_fast;
         ] );
     ]

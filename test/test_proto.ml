@@ -11,6 +11,7 @@ module Q = Pdht_proto.Query_plan
 module U = Pdht_proto.Update_plan
 module Sel = Pdht_proto.Selection
 module Rr = Pdht_proto.Repair_rules
+module B = Pdht_proto.Bucket_rules
 
 let feq = Alcotest.(check (float 1e-9))
 
@@ -252,6 +253,69 @@ let test_repair_remaining_ttl () =
   | None -> ()
   | Some _ -> Alcotest.fail "past expiry is dead"
 
+(* ---------------------------------------------------------------- *)
+(* Bucket_rules                                                      *)
+(* ---------------------------------------------------------------- *)
+
+let test_bucket_contact_decisions () =
+  let view ~occupancy ~present = { B.occupancy; capacity = 8; present } in
+  (match B.on_contact (view ~occupancy:5 ~present:true) with
+  | B.Promote -> ()
+  | _ -> Alcotest.fail "a known entry is promoted");
+  (match B.on_contact (view ~occupancy:8 ~present:true) with
+  | B.Promote -> ()
+  | _ -> Alcotest.fail "promotion also applies to a full bucket");
+  (match B.on_contact (view ~occupancy:5 ~present:false) with
+  | B.Insert -> ()
+  | _ -> Alcotest.fail "a newcomer enters a bucket with room");
+  (match B.on_contact (view ~occupancy:0 ~present:false) with
+  | B.Insert -> ()
+  | _ -> Alcotest.fail "an empty bucket admits");
+  match B.on_contact (view ~occupancy:8 ~present:false) with
+  | B.Probe_lrs -> ()
+  | _ -> Alcotest.fail "a full bucket probes its LRS entry"
+
+let test_bucket_contact_rejects_malformed_view () =
+  List.iter
+    (fun (label, view) ->
+      match B.on_contact view with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.fail (label ^ " accepted"))
+    [
+      ("overfull", { B.occupancy = 9; capacity = 8; present = false });
+      ("negative occupancy", { B.occupancy = -1; capacity = 8; present = false });
+      ("zero capacity", { B.occupancy = 0; capacity = 0; present = false });
+      ("present in empty bucket", { B.occupancy = 0; capacity = 8; present = true });
+    ]
+
+let test_bucket_probe_outcomes () =
+  (* The Kademlia eviction rule: an entry that answers its liveness
+     probe is never displaced; only a confirmed-dead one makes room. *)
+  (match B.on_probe B.Lrs_alive with
+  | B.Keep_old_cache_new -> ()
+  | _ -> Alcotest.fail "alive LRS is kept, newcomer cached");
+  match B.on_probe B.Lrs_dead with
+  | B.Evict_insert_new -> ()
+  | _ -> Alcotest.fail "dead LRS is evicted for the newcomer"
+
+let test_bucket_probe_messages () =
+  Alcotest.(check int) "alive answers the first attempt" 1
+    (B.probe_messages ~retries:3 ~alive:true);
+  Alcotest.(check int) "dead eats the whole ladder" 4
+    (B.probe_messages ~retries:3 ~alive:false);
+  Alcotest.(check int) "no-retry ladder" 1 (B.probe_messages ~retries:0 ~alive:false)
+
+let test_bucket_refresh_due () =
+  Alcotest.(check bool) "stale bucket is due" true
+    (B.refresh_due ~last_touched:0. ~now:100. ~interval:30.);
+  Alcotest.(check bool) "fresh bucket is not" false
+    (B.refresh_due ~last_touched:90. ~now:100. ~interval:30.);
+  Alcotest.(check bool) "exact boundary is due" true
+    (B.refresh_due ~last_touched:70. ~now:100. ~interval:30.);
+  match B.refresh_due ~last_touched:0. ~now:1. ~interval:0. with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero interval accepted"
+
 let () =
   Alcotest.run "pdht_proto"
     [
@@ -291,5 +355,14 @@ let () =
         [
           Alcotest.test_case "threshold and topup" `Quick test_repair_threshold_and_topup;
           Alcotest.test_case "remaining ttl" `Quick test_repair_remaining_ttl;
+        ] );
+      ( "bucket_rules",
+        [
+          Alcotest.test_case "contact decisions" `Quick test_bucket_contact_decisions;
+          Alcotest.test_case "rejects malformed views" `Quick
+            test_bucket_contact_rejects_malformed_view;
+          Alcotest.test_case "probe outcomes" `Quick test_bucket_probe_outcomes;
+          Alcotest.test_case "probe messages" `Quick test_bucket_probe_messages;
+          Alcotest.test_case "refresh due" `Quick test_bucket_refresh_due;
         ] );
     ]

@@ -208,4 +208,33 @@ dune exec tools/trace_stats.exe -- --check "$clu/trace-n0.jsonl" "$clu/trace-n1.
   > "$clu/trace-merged.txt"
 grep -q 'duplicate span ids: 0' "$clu/trace-merged.txt"
 
+echo "== churn routing gate =="
+# E26 (DESIGN §15): per decade of mean session length the living
+# k-buckets must beat the frozen tables on the stale-route rate while
+# spending the exact same measured maintenance budget, and stay within
+# 5% of the no-churn success ceiling.  The section computes the three
+# contracts over its own rows and splices them as booleans; churn runs
+# must also be byte-identical across --jobs values.
+chu=$(mktemp -d)
+trap 'rm -rf "$pol" "$par" "$out" "$clu" "$chu"' EXIT INT TERM
+dune exec bench/main.exe -- -j 1 churn_routing > "$chu/churn-j1.txt"
+dune exec bench/main.exe -- -j 4 churn_routing > "$chu/churn-j4.txt"
+diff "$chu/churn-j1.txt" "$chu/churn-j4.txt"
+dune exec tools/validate_jsonl.exe -- BENCH_pdht.json
+grep -q '"churn"' BENCH_pdht.json
+grep -q '"live_beats_frozen_stale_route": *true' BENCH_pdht.json
+grep -q '"live_within_success_floor": *true' BENCH_pdht.json
+grep -q '"equal_maintenance_budget": *true' BENCH_pdht.json
+# The heavy-tailed session axis end to end: a live-table CLI run with a
+# Weibull spec must complete and report the live-routing block, and the
+# same spec must parse inside a fault-plan churn clause.
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 120 \
+  --churn weibull:up=600:down=200:shape=0.6 --bucket-refresh 30 \
+  > "$chu/live-report.txt"
+grep -q 'churn' "$chu/live-report.txt"
+dune exec bin/pdht_cli.exe -- simulate --peers 200 --keys 300 --duration 240 \
+  --fault 'churn:weibull:up=60:down=30:shape=0.6@60+120' \
+  > "$chu/fault-churn-report.txt"
+grep -q 'fault:' "$chu/fault-churn-report.txt"
+
 echo "CI OK"
